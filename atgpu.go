@@ -1,0 +1,262 @@
+package atgpu
+
+import (
+	"fmt"
+	"time"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/calibrate"
+	"atgpu/internal/core"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// Word is the model's machine word (64-bit signed integer).
+type Word = int64
+
+// Options configures a System.
+type Options struct {
+	// Device selects the simulated GPU; DefaultOptions uses the GTX650
+	// preset of the paper's testbed.
+	Device simgpu.Config
+	// Scheme selects the host↔device transfer technique.
+	Scheme transfer.Scheme
+	// SyncCost is σ, the fixed synchronisation cost per round.
+	SyncCost time.Duration
+}
+
+// DefaultOptions matches the paper's evaluation setup: GTX650-like device,
+// pageable transfers (the cudaMemcpy default, which reproduces the paper's
+// ~84% vecadd transfer share), σ = 50 µs.
+func DefaultOptions() Options {
+	return Options{
+		Device:   simgpu.GTX650(),
+		Scheme:   transfer.Pageable,
+		SyncCost: 50 * time.Microsecond,
+	}
+}
+
+// System bundles a simulated device, a transfer link and calibrated cost
+// parameters — everything needed to both predict (on the abstract model)
+// and observe (on the simulator) an algorithm's running time.
+type System struct {
+	opts   Options
+	link   *transfer.Link
+	params core.CostParams
+}
+
+// NewSystem validates the options and calibrates cost parameters for the
+// device, which takes a few milliseconds of simulation.
+func NewSystem(opts Options) (*System, error) {
+	if err := opts.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.SyncCost < 0 {
+		return nil, fmt.Errorf("atgpu: negative sync cost %v", opts.SyncCost)
+	}
+	link := transfer.PCIeGen3x8Link()
+
+	calCfg := opts.Device
+	if calCfg.GlobalWords > 1<<22 {
+		calCfg.GlobalWords = 1 << 22
+	}
+	dev, err := simgpu.New(calCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := transfer.NewEngine(link, opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := calibrate.Run(dev, eng, opts.SyncCost)
+	if err != nil {
+		return nil, err
+	}
+	return &System{opts: opts, link: link, params: cal.Params}, nil
+}
+
+// CostParams returns the calibrated γ, λ, σ, α, β, k', H.
+func (s *System) CostParams() core.CostParams { return s.params }
+
+// Options returns the system options.
+func (s *System) Options() Options { return s.opts }
+
+// ModelParams returns the perfect-GPU machine instance for a launch of
+// blocks thread blocks on this system's device geometry.
+func (s *System) ModelParams(blocks int) core.Params {
+	return core.ForProblem(blocks, s.opts.Device.WarpWidth,
+		s.opts.Device.SharedWords, s.opts.Device.GlobalWords)
+}
+
+// Prediction is the model-side account of an algorithm: the per-round
+// analysis plus both cost-function evaluations and the SWGPU baseline.
+type Prediction struct {
+	// Analysis is the per-round ATGPU account.
+	Analysis *core.Analysis
+	// PerfectCost is Expression (1) in seconds.
+	PerfectCost float64
+	// GPUCost is Expression (2) in seconds.
+	GPUCost float64
+	// SWGPUCost is the GPU-cost with transfer removed (the baseline).
+	SWGPUCost float64
+	// TransferFraction is Δ_T, the predicted transfer share of GPUCost.
+	TransferFraction float64
+}
+
+func (s *System) predict(a *core.Analysis) (*Prediction, error) {
+	perfect, err := core.PerfectCost(a, s.params)
+	if err != nil {
+		return nil, err
+	}
+	bd, err := core.GPUCostBreakdown(a, s.params)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := models.SWGPUCost(a, s.params)
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Analysis:         a,
+		PerfectCost:      perfect,
+		GPUCost:          bd.Total(),
+		SWGPUCost:        sw,
+		TransferFraction: bd.TransferFraction(),
+	}, nil
+}
+
+// AnalyzeVecAdd predicts vector addition of length n (paper §IV-A).
+func (s *System) AnalyzeVecAdd(n int) (*Prediction, error) {
+	alg := algorithms.VecAdd{N: n}
+	a, err := alg.Analyze(s.ModelParams(alg.Blocks(s.opts.Device.WarpWidth)))
+	if err != nil {
+		return nil, err
+	}
+	return s.predict(a)
+}
+
+// AnalyzeReduce predicts reduction of length n (paper §IV-B).
+func (s *System) AnalyzeReduce(n int) (*Prediction, error) {
+	b := s.opts.Device.WarpWidth
+	a, err := algorithms.Reduce{N: n}.Analyze(s.ModelParams((n + b - 1) / b))
+	if err != nil {
+		return nil, err
+	}
+	return s.predict(a)
+}
+
+// AnalyzeMatMul predicts n×n matrix multiplication (paper §IV-C).
+func (s *System) AnalyzeMatMul(n int) (*Prediction, error) {
+	alg := algorithms.MatMul{N: n}
+	a, err := alg.Analyze(s.ModelParams(alg.Blocks(s.opts.Device.WarpWidth)))
+	if err != nil {
+		return nil, err
+	}
+	return s.predict(a)
+}
+
+// Analyze prices a caller-supplied analysis, for algorithms designed
+// directly against the model.
+func (s *System) Analyze(a *core.Analysis) (*Prediction, error) { return s.predict(a) }
+
+// Observation is the simulator-side account of one run.
+type Observation struct {
+	// Total, Kernel, Transfer and Sync decompose the simulated wall time.
+	Total, Kernel, Transfer, Sync time.Duration
+	// Rounds is the number of model rounds executed.
+	Rounds int
+	// Stats aggregates kernel-side counters (transactions, conflicts…).
+	Stats simgpu.KernelStats
+	// TransferFraction is Δ_E, the observed transfer share.
+	TransferFraction float64
+}
+
+func observation(rep simgpu.RunReport) Observation {
+	return Observation{
+		Total:            rep.Total,
+		Kernel:           rep.Kernel,
+		Transfer:         rep.Transfer,
+		Sync:             rep.Sync,
+		Rounds:           rep.Rounds,
+		Stats:            rep.Stats,
+		TransferFraction: rep.TransferFraction(),
+	}
+}
+
+// newHost builds a fresh device+host pair sized for footprint words.
+func (s *System) newHost(footprint int) (*simgpu.Host, error) {
+	devCfg := s.opts.Device
+	need := footprint + 4*devCfg.WarpWidth
+	if need < devCfg.GlobalWords {
+		devCfg.GlobalWords = need
+	}
+	dev, err := simgpu.New(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := transfer.NewEngine(s.link, s.opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return simgpu.NewHost(dev, eng, s.opts.SyncCost)
+}
+
+// RunVecAdd executes A+B on the simulated device and returns the result
+// with its observation.
+func (s *System) RunVecAdd(a, b []Word) ([]Word, Observation, error) {
+	alg := algorithms.VecAdd{N: len(a)}
+	h, err := s.newHost(alg.GlobalWords())
+	if err != nil {
+		return nil, Observation{}, err
+	}
+	c, err := alg.Run(h, a, b)
+	if err != nil {
+		return nil, Observation{}, err
+	}
+	return c, observation(h.Report()), nil
+}
+
+// RunReduce executes the sum reduction on the simulated device.
+func (s *System) RunReduce(input []Word) (Word, Observation, error) {
+	alg := algorithms.Reduce{N: len(input)}
+	h, err := s.newHost(alg.GlobalWords(s.opts.Device.WarpWidth))
+	if err != nil {
+		return 0, Observation{}, err
+	}
+	sum, err := alg.Run(h, input)
+	if err != nil {
+		return 0, Observation{}, err
+	}
+	return sum, observation(h.Report()), nil
+}
+
+// RunMatMul executes C = A×B (row-major n×n) on the simulated device.
+func (s *System) RunMatMul(a, b []Word, n int) ([]Word, Observation, error) {
+	alg := algorithms.MatMul{N: n}
+	h, err := s.newHost(alg.GlobalWords())
+	if err != nil {
+		return nil, Observation{}, err
+	}
+	c, err := alg.Run(h, a, b)
+	if err != nil {
+		return nil, Observation{}, err
+	}
+	return c, observation(h.Report()), nil
+}
+
+// RunOutOfCoreReduce executes the partitioned reduction (future work §V),
+// comparing serial and overlapped host-communication schedules.
+func (s *System) RunOutOfCoreReduce(input []Word, chunkWords int) (algorithms.OutOfCoreResult, error) {
+	alg := algorithms.OutOfCoreReduce{N: len(input), ChunkWords: chunkWords}
+	b := s.opts.Device.WarpWidth
+	footprint := 2*chunkWords + (chunkWords+b-1)/b
+	h, err := s.newHost(footprint)
+	if err != nil {
+		return algorithms.OutOfCoreResult{}, err
+	}
+	return alg.Run(h, input)
+}
+
+// TableI returns the paper's model feature comparison.
+func TableI() string { return models.TableI() }

@@ -1,0 +1,222 @@
+// Command atgpu analyses algorithms on the ATGPU abstract model: it prints
+// per-round metrics, evaluates the perfect-GPU and GPU cost functions,
+// compares against the SWGPU baseline, and renders the paper's Table I.
+//
+// Usage:
+//
+//	atgpu table1
+//	atgpu calibrate
+//	atgpu analyze -alg vecadd|reduce|matmul -n N
+//	atgpu run     -alg vecadd|reduce|matmul -n N
+//	atgpu ooc     -n N -chunk C
+//
+// analyze prices the algorithm on the abstract model; run additionally
+// executes it on the simulated GTX 650 and reports predicted-vs-observed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"atgpu"
+	"atgpu/internal/algorithms"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	alg := fs.String("alg", "vecadd", "algorithm: vecadd, reduce, matmul")
+	n := fs.Int("n", 1_000_000, "input size (vector length / matrix side)")
+	chunk := fs.Int("chunk", 1<<18, "out-of-core chunk size in words")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	if err := dispatch(cmd, *alg, *n, *chunk); err != nil {
+		fmt.Fprintln(os.Stderr, "atgpu:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: atgpu <command> [flags]
+
+commands:
+  table1      print the paper's Table I model comparison
+  calibrate   print the calibrated cost parameters for the default device
+  analyze     price an algorithm on the abstract model   (-alg, -n)
+  run         predicted-vs-observed on the simulated GPU (-alg, -n)
+  ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)`)
+}
+
+func dispatch(cmd, alg string, n, chunk int) error {
+	switch cmd {
+	case "table1":
+		fmt.Println("Table I — comparison of GPU abstract models")
+		fmt.Print(atgpu.TableI())
+		return nil
+	case "calibrate":
+		sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		cp := sys.CostParams()
+		fmt.Printf("gamma  (op rate)        %.6g op/s\n", cp.Gamma)
+		fmt.Printf("lambda (global latency) %.6g cycles\n", cp.Lambda)
+		fmt.Printf("sigma  (sync cost)      %.6g s\n", cp.Sigma)
+		fmt.Printf("alpha  (transfer setup) %.6g s\n", cp.Alpha)
+		fmt.Printf("beta   (per word)       %.6g s\n", cp.Beta)
+		fmt.Printf("k'     (multiprocessors) %d\n", cp.KPrime)
+		fmt.Printf("H      (blocks per SM)   %d\n", cp.H)
+		return nil
+	case "analyze":
+		return analyze(alg, n)
+	case "run":
+		return run(alg, n)
+	case "ooc":
+		return ooc(n, chunk)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func predictionFor(sys *atgpu.System, alg string, n int) (*atgpu.Prediction, error) {
+	switch alg {
+	case "vecadd":
+		return sys.AnalyzeVecAdd(n)
+	case "reduce":
+		return sys.AnalyzeReduce(n)
+	case "matmul":
+		return sys.AnalyzeMatMul(n)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+func analyze(alg string, n int) error {
+	sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	pred, err := predictionFor(sys, alg, n)
+	if err != nil {
+		return err
+	}
+	a := pred.Analysis
+	fmt.Printf("%s on %s\n", a.Name, a.Params)
+	fmt.Printf("rounds R = %d\n", a.R())
+	for i, r := range a.Rounds {
+		if i < 5 || i == a.R()-1 {
+			fmt.Printf("  round %d: t=%.0f q=%.0f blocks=%d shared=%d global=%d I=%d(Î=%d) O=%d(Ô=%d)\n",
+				i+1, r.Time, r.IO, r.Blocks, r.SharedWords, r.GlobalWords,
+				r.InWords, r.InTransactions, r.OutWords, r.OutTransactions)
+		} else if i == 5 {
+			fmt.Printf("  ... %d more rounds ...\n", a.R()-6)
+		}
+	}
+	fmt.Printf("total transfer words Σ(I+O) = %d\n", a.TotalTransferWords())
+	fmt.Printf("perfect-GPU cost (Expr 1) = %.6g s\n", pred.PerfectCost)
+	fmt.Printf("GPU-cost (Expr 2)         = %.6g s\n", pred.GPUCost)
+	fmt.Printf("SWGPU baseline cost       = %.6g s\n", pred.SWGPUCost)
+	fmt.Printf("predicted transfer share ΔT = %.1f%%\n", 100*pred.TransferFraction)
+	return nil
+}
+
+func run(alg string, n int) error {
+	sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	pred, err := predictionFor(sys, alg, n)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	randWords := func(n int) []atgpu.Word {
+		w := make([]atgpu.Word, n)
+		for i := range w {
+			w[i] = atgpu.Word(rng.Intn(2001) - 1000)
+		}
+		return w
+	}
+
+	var obs atgpu.Observation
+	switch alg {
+	case "vecadd":
+		a, b := randWords(n), randWords(n)
+		var c []atgpu.Word
+		if c, obs, err = sys.RunVecAdd(a, b); err != nil {
+			return err
+		}
+		want, _ := algorithms.VecAddReference(a, b)
+		for i := range want {
+			if c[i] != want[i] {
+				return fmt.Errorf("verification failed at %d", i)
+			}
+		}
+	case "reduce":
+		in := randWords(n)
+		var sum atgpu.Word
+		if sum, obs, err = sys.RunReduce(in); err != nil {
+			return err
+		}
+		if sum != algorithms.ReduceReference(in) {
+			return fmt.Errorf("verification failed: %d", sum)
+		}
+	case "matmul":
+		a, b := randWords(n*n), randWords(n*n)
+		var c []atgpu.Word
+		if c, obs, err = sys.RunMatMul(a, b, n); err != nil {
+			return err
+		}
+		want, _ := algorithms.MatMulReference(a, b, n)
+		for i := range want {
+			if c[i] != want[i] {
+				return fmt.Errorf("verification failed at %d", i)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	fmt.Printf("%s n=%d (verified against CPU reference)\n", alg, n)
+	fmt.Printf("observed:  total=%v kernel=%v transfer=%v sync=%v rounds=%d\n",
+		obs.Total, obs.Kernel, obs.Transfer, obs.Sync, obs.Rounds)
+	fmt.Printf("predicted: GPU-cost=%.6gs SWGPU=%.6gs\n", pred.GPUCost, pred.SWGPUCost)
+	fmt.Printf("ΔE (observed transfer share)  = %.1f%%\n", 100*obs.TransferFraction)
+	fmt.Printf("ΔT (predicted transfer share) = %.1f%%\n", 100*pred.TransferFraction)
+	fmt.Printf("kernel stats:\n%s\n", obs.Stats)
+	return nil
+}
+
+func ooc(n, chunk int) error {
+	sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := make([]atgpu.Word, n)
+	for i := range in {
+		in[i] = atgpu.Word(rng.Intn(2))
+	}
+	res, err := sys.RunOutOfCoreReduce(in, chunk)
+	if err != nil {
+		return err
+	}
+	if res.Sum != algorithms.ReduceReference(in) {
+		return fmt.Errorf("verification failed: %d", res.Sum)
+	}
+	fmt.Printf("out-of-core reduce n=%d chunk=%d (%d chunks, verified)\n", n, chunk, res.Chunks)
+	fmt.Printf("serial schedule:     %v (transfer %v, kernel %v)\n",
+		res.SerialTime, res.TransferTime, res.KernelTime)
+	fmt.Printf("overlapped schedule: %v\n", res.OverlappedTime)
+	fmt.Printf("overlap speedup:     %.2fx\n", res.Speedup())
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command simgpu exercises the simulated GPU directly: it builds one of
+// the library kernels, disassembles it, launches it on a chosen device
+// preset, and prints the device-level statistics (cycles, transactions,
+// coalescing, bank conflicts, occupancy) that the ATGPU model's metrics
+// abstract.
+//
+// Usage:
+//
+//	simgpu [-kernel vecadd|reduce|matmul] [-n N] [-device gtx650|tiny] [-disasm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/kernel"
+	"atgpu/internal/mem"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+func main() {
+	kname := flag.String("kernel", "vecadd", "kernel: vecadd, reduce, matmul")
+	n := flag.Int("n", 4096, "input size")
+	device := flag.String("device", "gtx650", "device preset: gtx650, gtx1080, k40, tiny")
+	disasm := flag.Bool("disasm", false, "print kernel disassembly")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the first launch to this file")
+	flag.Parse()
+
+	if err := run(*kname, *n, *device, *disasm, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "simgpu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kname string, n int, device string, disasm bool, traceOut string) error {
+	var cfg simgpu.Config
+	switch device {
+	case "gtx650":
+		cfg = simgpu.GTX650()
+	case "gtx1080":
+		cfg = simgpu.GTX1080()
+	case "k40":
+		cfg = simgpu.TeslaK40()
+	case "tiny":
+		cfg = simgpu.Tiny()
+	default:
+		return fmt.Errorf("unknown device %q", device)
+	}
+
+	// Size global memory to the problem.
+	need := 4*n + 4*n + 4*cfg.WarpWidth
+	if kname == "matmul" {
+		need = 4*n*n + 4*cfg.WarpWidth
+	}
+	if need < cfg.GlobalWords {
+		cfg.GlobalWords = need
+	}
+
+	dev, err := simgpu.New(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+	if err != nil {
+		return err
+	}
+	h, err := simgpu.NewHost(dev, eng, 0)
+	if err != nil {
+		return err
+	}
+	var tracer *simgpu.Tracer
+	if traceOut != "" {
+		tracer = &simgpu.Tracer{CaptureMemory: true}
+		h.SetTracer(tracer)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	randWords := func(n int) []mem.Word {
+		w := make([]mem.Word, n)
+		for i := range w {
+			w[i] = mem.Word(rng.Intn(100))
+		}
+		return w
+	}
+
+	var prog *kernel.Program
+	switch kname {
+	case "vecadd":
+		alg := algorithms.VecAdd{N: n}
+		if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, 2*n); err != nil {
+			return err
+		}
+		if disasm {
+			fmt.Println(prog.Disassemble())
+		}
+		if _, err := alg.Run(h, randWords(n), randWords(n)); err != nil {
+			return err
+		}
+	case "reduce":
+		alg := algorithms.Reduce{N: n}
+		if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, n); err != nil {
+			return err
+		}
+		if disasm {
+			fmt.Println(prog.Disassemble())
+		}
+		if _, err := alg.Run(h, randWords(n)); err != nil {
+			return err
+		}
+	case "matmul":
+		if n%cfg.WarpWidth != 0 {
+			return fmt.Errorf("matmul n=%d must be a multiple of warp width %d", n, cfg.WarpWidth)
+		}
+		alg := algorithms.MatMul{N: n}
+		if prog, err = alg.Kernel(cfg.WarpWidth, 0, n*n, 2*n*n); err != nil {
+			return err
+		}
+		if disasm {
+			fmt.Println(prog.Disassemble())
+		}
+		if _, err := alg.Run(h, randWords(n*n), randWords(n*n)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown kernel %q", kname)
+	}
+
+	rep := h.Report()
+	fmt.Printf("device %s  kernel %s  n=%d\n", cfg.Name, prog.Name, n)
+	fmt.Printf("kernel time   %v\n", rep.Kernel)
+	fmt.Printf("transfer time %v (in %d words / %d txns, out %d words / %d txns)\n",
+		rep.Transfer, rep.Transfers.InWords, rep.Transfers.InTransactions,
+		rep.Transfers.OutWords, rep.Transfers.OutTransactions)
+	fmt.Printf("total time    %v\n", rep.Total)
+	fmt.Println(rep.Stats)
+
+	if tracer != nil {
+		fh, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		if err := tracer.WriteChromeTrace(fh); err != nil {
+			return err
+		}
+		fmt.Printf("\n%s", tracer.Summary())
+		fmt.Print(tracer.OccupancyTimeline(60))
+		fmt.Printf("chrome trace written to %s\n", traceOut)
+		return fh.Close()
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Transfer schemes: the paper's motivation made concrete. The same vector
+// addition is executed with pageable, pinned and mapped (zero-copy-like)
+// host↔device transfer — the technique space studied by Fujii et al. and
+// van Werkhoven et al. (paper §I-D) — showing how strongly the transfer
+// discipline moves *total* time while kernel time is untouched, and how
+// the ATGPU cost function re-predicts each case by swapping (α, β) while a
+// transfer-blind model cannot distinguish them at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"atgpu"
+	"atgpu/internal/transfer"
+)
+
+func main() {
+	const n = 1 << 21
+
+	rng := rand.New(rand.NewSource(7))
+	a := make([]atgpu.Word, n)
+	b := make([]atgpu.Word, n)
+	for i := range a {
+		a[i] = atgpu.Word(rng.Intn(1000))
+		b[i] = atgpu.Word(rng.Intn(1000))
+	}
+
+	fmt.Printf("vecadd n=%d under three transfer schemes\n\n", n)
+	fmt.Printf("%-10s %12s %12s %12s %8s %8s\n",
+		"scheme", "kernel", "transfer", "total", "ΔE", "ΔT")
+
+	var kernelTimes []time.Duration
+	for _, scheme := range []transfer.Scheme{transfer.Pageable, transfer.Pinned, transfer.Mapped} {
+		opts := atgpu.DefaultOptions()
+		opts.Scheme = scheme
+		sys, err := atgpu.NewSystem(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := sys.AnalyzeVecAdd(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, obs, err := sys.RunVecAdd(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernelTimes = append(kernelTimes, obs.Kernel)
+		fmt.Printf("%-10s %12v %12v %12v %7.1f%% %7.1f%%\n",
+			scheme, obs.Kernel, obs.Transfer, obs.Total,
+			100*obs.TransferFraction, 100*pred.TransferFraction)
+	}
+
+	fmt.Println()
+	fmt.Println("The kernel column is identical across schemes — a model that")
+	fmt.Println("prices only the kernel (SWGPU) predicts the same time for all")
+	fmt.Println("three rows; ATGPU's (α, β) terms separate them.")
+	for i := 1; i < len(kernelTimes); i++ {
+		if kernelTimes[i] != kernelTimes[0] {
+			fmt.Println("note: kernel times diverged unexpectedly — check device determinism")
+		}
+	}
+}

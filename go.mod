@@ -1,0 +1,3 @@
+module atgpu
+
+go 1.22

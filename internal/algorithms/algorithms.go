@@ -1,0 +1,63 @@
+// Package algorithms implements the computational problems the paper
+// evaluates the ATGPU model on — vector addition, reduction and matrix
+// multiplication — plus future-work variants (§V): out-of-core reduction
+// under the global memory constraint with differing host-device
+// communication schemes.
+//
+// Each workload supplies three coordinated artefacts:
+//
+//   - an exact ATGPU analysis (core.Analysis) whose per-round counts follow
+//     the closed forms of the paper's Section IV,
+//   - executable kernels (kernel.Program) run on the simulated device via a
+//     host round plan, faithful to the paper's pseudocode (global→shared
+//     staging, lockstep warps, single-block ifs),
+//   - a CPU reference for correctness checking.
+//
+// The analysis and the kernels are deliberately derived from the same
+// parameters so that predicted cost trends and simulated running times can
+// be compared the way the paper compares predictions against GTX 650
+// measurements.
+package algorithms
+
+import (
+	"errors"
+	"fmt"
+
+	"atgpu/internal/mem"
+)
+
+// Word re-exports the machine word for callers.
+type Word = mem.Word
+
+// Common errors.
+var (
+	ErrBadSize    = errors.New("algorithms: size must be positive")
+	ErrBadShape   = errors.New("algorithms: input shape mismatch")
+	ErrNotPow2    = errors.New("algorithms: warp width must be a power of two")
+	ErrDoesNotFit = errors.New("algorithms: problem does not fit in global memory")
+	ErrVerifyFail = errors.New("algorithms: output does not match reference")
+)
+
+// ceilDiv returns ⌈a/d⌉ for positive d.
+func ceilDiv(a, d int) int { return (a + d - 1) / d }
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// log2 returns ⌊log₂ v⌋ for v ≥ 1.
+func log2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+// checkLen verifies a slice length.
+func checkLen(name string, got, want int) error {
+	if got != want {
+		return fmt.Errorf("%w: %s has %d words, want %d", ErrBadShape, name, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package algorithms
+
+import (
+	"errors"
+	"testing"
+
+	"atgpu/internal/core"
+	"atgpu/internal/simgpu"
+)
+
+// tinyParams returns a perfect-GPU model instance matching the Tiny device
+// geometry for blocks thread blocks.
+func tinyParams(blocks int) core.Params {
+	cfg := simgpu.Tiny()
+	return core.ForProblem(blocks, cfg.WarpWidth, cfg.SharedWords, 1<<30)
+}
+
+// TestVecAddAnalysisMatchesSimulator cross-validates the §IV-A closed forms
+// against the executed kernel: the analysis' qᵢ must equal the device's
+// observed global transactions, and Iᵢ/Oᵢ must equal the transfer engine's
+// word counts. This is the strongest form of "the model describes the
+// machine".
+func TestVecAddAnalysisMatchesSimulator(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 100} {
+		alg := VecAdd{N: n}
+		h := newTestHost(t, alg.GlobalWords()+64)
+		width := h.Device().Config().WarpWidth
+
+		analysis, err := alg.Analyze(tinyParams(alg.Blocks(width)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a := randWords(n, 1)
+		b := randWords(n, 2)
+		if _, err := alg.Run(h, a, b); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+
+		ks := h.KernelStats()
+		if got, want := float64(ks.GlobalTransactions), analysis.TotalIO(); got != want {
+			t.Errorf("n=%d: observed q = %g, analysis says %g", n, got, want)
+		}
+		ts := h.TransferStats()
+		r := analysis.Rounds[0]
+		if ts.InWords != r.InWords || ts.OutWords != r.OutWords {
+			t.Errorf("n=%d: transfer words in/out = %d/%d, analysis %d/%d",
+				n, ts.InWords, ts.OutWords, r.InWords, r.OutWords)
+		}
+		if ts.InTransactions != r.InTransactions || ts.OutTransactions != r.OutTransactions {
+			t.Errorf("n=%d: transfer txns in/out = %d/%d, analysis %d/%d",
+				n, ts.InTransactions, ts.OutTransactions, r.InTransactions, r.OutTransactions)
+		}
+		if h.Rounds() != analysis.R() {
+			t.Errorf("n=%d: rounds = %d, analysis %d", n, h.Rounds(), analysis.R())
+		}
+		// The kernel must be fully coalesced and conflict-free, as the
+		// analysis assumes.
+		if ks.UncoalescedAccesses != 0 {
+			t.Errorf("n=%d: %d uncoalesced accesses", n, ks.UncoalescedAccesses)
+		}
+		if ks.BankConflicts != 0 {
+			t.Errorf("n=%d: %d bank conflicts", n, ks.BankConflicts)
+		}
+	}
+}
+
+// TestReduceAnalysisMatchesSimulator does the same for the multi-round
+// reduction: per-round block counts, total q, transfer totals and R.
+func TestReduceAnalysisMatchesSimulator(t *testing.T) {
+	for _, n := range []int{4, 5, 16, 17, 64, 1000} {
+		alg := Reduce{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		width := h.Device().Config().WarpWidth
+
+		analysis, err := alg.Analyze(tinyParams((n + width - 1) / width))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		in := randWords(n, int64(n))
+		if _, err := alg.Run(h, in); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+
+		if h.Rounds() != analysis.R() {
+			t.Errorf("n=%d: rounds = %d, analysis %d", n, h.Rounds(), analysis.R())
+		}
+		ks := h.KernelStats()
+		if got, want := float64(ks.GlobalTransactions), analysis.TotalIO(); got != want {
+			t.Errorf("n=%d: observed q = %g, analysis %g", n, got, want)
+		}
+		ts := h.TransferStats()
+		if got, want := ts.TotalWords(), analysis.TotalTransferWords(); got != want {
+			t.Errorf("n=%d: transfer words = %d, analysis %d", n, got, want)
+		}
+		blocks := int64(0)
+		for _, r := range analysis.Rounds {
+			blocks += int64(r.Blocks)
+		}
+		if ks.BlocksExecuted != blocks {
+			t.Errorf("n=%d: blocks executed = %d, analysis %d", n, ks.BlocksExecuted, blocks)
+		}
+		if ks.BankConflicts != 0 {
+			t.Errorf("n=%d: %d bank conflicts (kernel should be conflict-free)", n, ks.BankConflicts)
+		}
+	}
+}
+
+// TestMatMulAnalysisMatchesSimulator validates q = (n/b)²(2n+b) and the
+// transfer counts against execution.
+func TestMatMulAnalysisMatchesSimulator(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		alg := MatMul{N: n}
+		h := newTestHost(t, alg.GlobalWords()+64)
+		width := h.Device().Config().WarpWidth
+
+		analysis, err := alg.Analyze(tinyParams(alg.Blocks(width)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a := randWords(n*n, 3)
+		b := randWords(n*n, 4)
+		if _, err := alg.Run(h, a, b); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+
+		ks := h.KernelStats()
+		if got, want := float64(ks.GlobalTransactions), analysis.TotalIO(); got != want {
+			t.Errorf("n=%d: observed q = %g, analysis %g ((n/b)²(2n+b))", n, got, want)
+		}
+		ts := h.TransferStats()
+		r := analysis.Rounds[0]
+		if ts.InWords != r.InWords || ts.OutWords != r.OutWords {
+			t.Errorf("n=%d: transfer words = %d/%d, analysis %d/%d",
+				n, ts.InWords, ts.OutWords, r.InWords, r.OutWords)
+		}
+		if ks.UncoalescedAccesses != 0 {
+			t.Errorf("n=%d: %d uncoalesced accesses", n, ks.UncoalescedAccesses)
+		}
+		if ks.BankConflicts != 0 {
+			t.Errorf("n=%d: %d bank conflicts", n, ks.BankConflicts)
+		}
+	}
+}
+
+// TestAnalysisOpsCountsApproximateKernel: the model's tᵢ (operations per
+// thread) must be within 2× of the executed per-warp instruction stream —
+// constants may differ slightly, asymptotics may not.
+func TestAnalysisOpsCountsApproximateKernel(t *testing.T) {
+	check := func(name string, analysisOps float64, observed int64) {
+		t.Helper()
+		if analysisOps <= 0 || observed <= 0 {
+			t.Fatalf("%s: degenerate ops (analysis %g, observed %d)", name, analysisOps, observed)
+		}
+		ratio := analysisOps / float64(observed)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: analysis t=%g vs observed max warp instrs %d (ratio %.2f)",
+				name, analysisOps, observed, ratio)
+		}
+	}
+
+	// VecAdd.
+	{
+		alg := VecAdd{N: 64}
+		h := newTestHost(t, 3*64+64)
+		analysis, err := alg.Analyze(tinyParams(alg.Blocks(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := alg.Run(h, randWords(64, 1), randWords(64, 2)); err != nil {
+			t.Fatal(err)
+		}
+		check("vecadd", analysis.Rounds[0].Time, h.KernelStats().MaxWarpInstrs)
+	}
+	// Reduce (per-round kernels are identical in shape).
+	{
+		alg := Reduce{N: 64}
+		h := newTestHost(t, 2*64+64)
+		analysis, err := alg.Analyze(tinyParams(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := alg.Run(h, randWords(64, 3)); err != nil {
+			t.Fatal(err)
+		}
+		check("reduce", analysis.Rounds[0].Time, h.KernelStats().MaxWarpInstrs)
+	}
+	// MatMul.
+	{
+		alg := MatMul{N: 16}
+		h := newTestHost(t, 3*256+64)
+		analysis, err := alg.Analyze(tinyParams(alg.Blocks(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := alg.Run(h, randWords(256, 5), randWords(256, 6)); err != nil {
+			t.Fatal(err)
+		}
+		check("matmul", analysis.Rounds[0].Time, h.KernelStats().MaxWarpInstrs)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	p := tinyParams(4)
+	if _, err := (VecAdd{N: 0}).Analyze(p); !errors.Is(err, ErrBadSize) {
+		t.Errorf("vecadd n=0: %v", err)
+	}
+	if _, err := (Reduce{N: -1}).Analyze(p); !errors.Is(err, ErrBadSize) {
+		t.Errorf("reduce n=-1: %v", err)
+	}
+	if _, err := (MatMul{N: 0}).Analyze(p); !errors.Is(err, ErrBadSize) {
+		t.Errorf("matmul n=0: %v", err)
+	}
+	if _, err := (MatMul{N: 6}).Analyze(p); !errors.Is(err, ErrBadShape) {
+		t.Errorf("matmul n not multiple of b: %v", err)
+	}
+	badB := core.Params{P: 6, B: 3, M: 64, G: 1 << 20}
+	if _, err := (Reduce{N: 16}).Analyze(badB); !errors.Is(err, ErrNotPow2) {
+		t.Errorf("reduce non-pow2 b: %v", err)
+	}
+	// Infeasible G.
+	small := core.Params{P: 4, B: 4, M: 64, G: 10}
+	if _, err := (VecAdd{N: 100}).Analyze(small); err == nil {
+		t.Error("vecadd exceeding G accepted")
+	}
+}
+
+func TestReduceRoundSizes(t *testing.T) {
+	r := Reduce{N: 100}
+	sizes := r.RoundSizes(4)
+	want := []int{100, 25, 7, 2}
+	if len(sizes) != len(want) {
+		t.Fatalf("RoundSizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("RoundSizes = %v, want %v", sizes, want)
+		}
+	}
+	if r.Rounds(4) != 4 {
+		t.Fatalf("Rounds = %d, want 4", r.Rounds(4))
+	}
+	if got := (Reduce{N: 1}).RoundSizes(4); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RoundSizes(n=1) = %v", got)
+	}
+}
+
+func TestAGPUReports(t *testing.T) {
+	for _, r := range []struct {
+		name string
+		rep  string
+	}{
+		{"vecadd", VecAdd{N: 8}.AGPU().String()},
+		{"reduce", Reduce{N: 8}.AGPU().String()},
+		{"matmul", MatMul{N: 8}.AGPU().String()},
+	} {
+		if r.rep == "" {
+			t.Errorf("%s: empty AGPU report", r.name)
+		}
+	}
+}

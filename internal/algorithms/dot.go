@@ -1,0 +1,205 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+)
+
+// Dot computes ⟨x, y⟩ = Σ xᵢ·yᵢ, another verification workload in the
+// spirit of the paper's future work. Its first round fuses the elementwise
+// multiply with the first reduction level (each block loads b elements of
+// both vectors, multiplies into shared memory and tree-reduces); later
+// rounds are plain reductions over the partials. Compared with reduction
+// it doubles the inward transfer (two vectors) for the same kernel-side
+// asymptotics, shifting the transfer share up — a data point between
+// vecadd and reduce on the paper's spectrum.
+type Dot struct {
+	// N is the vector length.
+	N int
+}
+
+// Name identifies the workload.
+func (d Dot) Name() string { return "dot" }
+
+// Rounds returns ⌈log_b n⌉ (at least 1).
+func (d Dot) Rounds(b int) int { return Reduce{N: d.N}.Rounds(b) }
+
+// GlobalWords returns the footprint: two inputs plus a partials buffer.
+func (d Dot) GlobalWords(b int) int { return 2*d.N + ceilDiv(d.N, b) }
+
+// dotOps is the first-round per-thread operation count: reduce's plus the
+// second load and the multiply.
+func dotOps(b int) float64 { return reduceOps(b) + 6 }
+
+// Analyze returns the exact ATGPU account: like reduction, but round 1
+// loads two vectors (q₁ = 3k₁: two coalesced loads plus the partial
+// store) and transfers 2n words inward in 2 transactions.
+func (d Dot) Analyze(p core.Params) (*core.Analysis, error) {
+	if d.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, d.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(p.B) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, p.B)
+	}
+	sizes := Reduce{N: d.N}.RoundSizes(p.B)
+	a := &core.Analysis{Name: d.Name(), Params: p}
+	for i, n := range sizes {
+		k := ceilDiv(n, p.B)
+		round := core.Round{
+			Time:        reduceOps(p.B),
+			IO:          float64(2 * k),
+			GlobalWords: d.GlobalWords(p.B),
+			SharedWords: p.B,
+			Blocks:      k,
+		}
+		if i == 0 {
+			round.Time = dotOps(p.B)
+			round.IO = float64(3 * k)
+			round.InWords = 2 * d.N
+			round.InTransactions = 2
+		}
+		if i == len(sizes)-1 {
+			round.OutWords = 1
+			round.OutTransactions = 1
+		}
+		a.Rounds = append(a.Rounds, round)
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AGPU returns the asymptotic report.
+func (d Dot) AGPU() models.AGPUReport {
+	return models.AGPUReport{
+		Algorithm:        d.Name(),
+		TimeComplexity:   "O(log b · log n)",
+		IOComplexity:     "O((n/b)·(1-(1/b)^log n)/(1-1/b))",
+		GlobalComplexity: "O(n)",
+		SharedComplexity: "O(b)",
+	}
+}
+
+// fusedKernel builds the first-round kernel: _s[j] ← x[idx]·y[idx] (zero
+// when out of range), tree-reduce, write one partial per block.
+func (d Dot) fusedKernel(b, xBase, yBase, outBase, count int) (*kernel.Program, error) {
+	if !isPow2(b) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, b)
+	}
+	kb := kernel.NewBuilder(fmt.Sprintf("dot-n%d", count), b)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	zero := kb.Reg("zero")
+	kb.Const(zero, 0)
+	kb.StShared(j, zero)
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(count)))
+	xv := kb.Reg("xv")
+	yv := kb.Reg("yv")
+	addr := kb.Reg("addr")
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx, kernel.Imm(int64(xBase)))
+		kb.LdGlobal(xv, addr)
+		kb.Add(addr, idx, kernel.Imm(int64(yBase)))
+		kb.LdGlobal(yv, addr)
+		kb.Mul(xv, xv, kernel.R(yv))
+		kb.StShared(j, xv)
+	})
+	kb.Barrier()
+
+	val := kb.Reg("val")
+	sequentialTree(kb, b, j, val)
+	writeResult(kb, j, blk, val, addr, outBase)
+	return kb.Build()
+}
+
+// Run executes the fused first round then plain reduction rounds.
+func (d Dot) Run(h *simgpu.Host, x, y []Word) (Word, error) {
+	if err := checkLen("x", len(x), d.N); err != nil {
+		return 0, err
+	}
+	if err := checkLen("y", len(y), d.N); err != nil {
+		return 0, err
+	}
+	width := h.Device().Config().WarpWidth
+	if !isPow2(width) {
+		return 0, fmt.Errorf("%w: device warp width %d", ErrNotPow2, width)
+	}
+
+	xBase, err := h.Malloc(d.N)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	yBase, err := h.Malloc(d.N)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	partials, err := h.Malloc(ceilDiv(d.N, width))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+
+	if err := h.TransferIn(xBase, x); err != nil {
+		return 0, err
+	}
+	if err := h.TransferIn(yBase, y); err != nil {
+		return 0, err
+	}
+
+	prog, err := d.fusedKernel(width, xBase, yBase, partials, d.N)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := h.Launch(prog, ceilDiv(d.N, width)); err != nil {
+		return 0, err
+	}
+	h.EndRound()
+
+	// Remaining rounds: plain reduction over the partials, ping-ponging
+	// with the x buffer (its contents are dead now).
+	in, out := partials, xBase
+	count := ceilDiv(d.N, width)
+	for count > 1 {
+		prog, err := (Reduce{N: count}).Kernel(width, in, out, count)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := h.Launch(prog, ceilDiv(count, width)); err != nil {
+			return 0, err
+		}
+		h.EndRound()
+		count = ceilDiv(count, width)
+		in, out = out, in
+	}
+	ans, err := h.TransferOut(in, 1)
+	if err != nil {
+		return 0, err
+	}
+	return ans[0], nil
+}
+
+// DotReference computes the dot product on the CPU.
+func DotReference(x, y []Word) (Word, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrBadShape, len(x), len(y))
+	}
+	var s Word
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s, nil
+}

@@ -1,0 +1,125 @@
+package algorithms
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotSmoke(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 16, 17, 100, 1000} {
+		alg := Dot{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		x := randWords(n, int64(n))
+		y := randWords(n, int64(n)+99)
+		got, err := alg.Run(h, x, y)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := DotReference(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("n=%d: dot = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDotAnalysisMatchesSimulator(t *testing.T) {
+	for _, n := range []int{4, 5, 16, 100, 1000} {
+		alg := Dot{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		width := h.Device().Config().WarpWidth
+
+		analysis, err := alg.Analyze(tinyParams((n + width - 1) / width))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := randWords(n, 13)
+		y := randWords(n, 14)
+		if _, err := alg.Run(h, x, y); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if h.Rounds() != analysis.R() {
+			t.Errorf("n=%d: rounds = %d, analysis %d", n, h.Rounds(), analysis.R())
+		}
+		ks := h.KernelStats()
+		if got, want := float64(ks.GlobalTransactions), analysis.TotalIO(); got != want {
+			t.Errorf("n=%d: observed q = %g, analysis %g", n, got, want)
+		}
+		ts := h.TransferStats()
+		if got, want := ts.TotalWords(), analysis.TotalTransferWords(); got != want {
+			t.Errorf("n=%d: transfer words = %d, analysis %d", n, got, want)
+		}
+		if ts.InTransactions != 2 {
+			t.Errorf("n=%d: inward transactions = %d, want 2 (two vectors)", n, ts.InTransactions)
+		}
+	}
+}
+
+// Dot's transfer share must exceed plain reduction's at the same n: twice
+// the inward words for near-identical kernel work.
+func TestDotTransfersMoreThanReduce(t *testing.T) {
+	n := 4096
+	hd := newTestHost(t, (Dot{N: n}).GlobalWords(4)+64)
+	if _, err := (Dot{N: n}).Run(hd, randWords(n, 1), randWords(n, 2)); err != nil {
+		t.Fatal(err)
+	}
+	hr := newTestHost(t, (Reduce{N: n}).GlobalWords(4)+64)
+	if _, err := (Reduce{N: n}).Run(hr, randWords(n, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dDot := hd.Report().TransferFraction()
+	dRed := hr.Report().TransferFraction()
+	if dDot <= dRed {
+		t.Fatalf("dot ΔE %.3f should exceed reduce ΔE %.3f", dDot, dRed)
+	}
+}
+
+func TestDotValidation(t *testing.T) {
+	if _, err := (Dot{N: 0}).Analyze(tinyParams(1)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("n=0: %v", err)
+	}
+	h := newTestHost(t, 1024)
+	if _, err := (Dot{N: 4}).Run(h, make([]Word, 4), make([]Word, 3)); !errors.Is(err, ErrBadShape) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := DotReference(make([]Word, 2), make([]Word, 3)); !errors.Is(err, ErrBadShape) {
+		t.Errorf("reference mismatch: %v", err)
+	}
+}
+
+// Property: the simulated dot product matches the reference, and is
+// symmetric in its arguments.
+func TestDotAgreesWithReferenceProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		n := len(raw) + 1
+		x := make([]Word, n)
+		y := make([]Word, n)
+		for i := 0; i < len(raw); i++ {
+			x[i] = Word(raw[i])
+			y[i] = Word(raw[len(raw)-1-i])
+		}
+		x[n-1], y[n-1] = 3, -4
+		alg := Dot{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		got, err := alg.Run(h, x, y)
+		if err != nil {
+			return false
+		}
+		want, err := DotReference(x, y)
+		if err != nil {
+			return false
+		}
+		h2 := newTestHost(t, alg.GlobalWords(4)+64)
+		sym, err := alg.Run(h2, y, x)
+		if err != nil {
+			return false
+		}
+		return got == want && sym == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package algorithms
+
+import (
+	"fmt"
+	"time"
+
+	"atgpu/internal/core"
+	"atgpu/internal/simgpu"
+)
+
+// OutOfCoreReduce realises the paper's future-work direction (§V): "analyse
+// different approaches where the data does not fit on the global memory,
+// thereby requiring some sort of partitioning, and it is hoped that
+// differences could be illustrated in approaches with differing host device
+// communication requirements."
+//
+// The input of n words is processed in partitions of ChunkWords ≤ usable
+// global memory. Each partition is transferred in, reduced on-device to a
+// single partial (reusing the in-core Reduce kernels), and the partials are
+// combined. Two host-communication disciplines are compared:
+//
+//   - Serial: transfer chunk i, then reduce chunk i, then transfer chunk
+//     i+1 — the naive schedule, R = #chunks rounds each paying full
+//     transfer plus kernel latency.
+//   - Overlapped: double-buffered streams — while chunk i reduces, chunk
+//     i+1 transfers. Per-step cost is max(transfer, kernel) after the
+//     pipeline fills, the standard stream-overlap schedule whose benefit
+//     the data-transfer literature the paper cites (Fujii et al., van
+//     Werkhoven et al.) quantifies on real links.
+//
+// Both disciplines move identical words; only the schedule differs, so the
+// comparison isolates exactly the communication-requirement effect the
+// paper hoped to illustrate.
+type OutOfCoreReduce struct {
+	// N is the total input length (may exceed device global memory).
+	N int
+	// ChunkWords is the partition size; it must fit the device's usable
+	// global memory alongside the partials buffer.
+	ChunkWords int
+}
+
+// Name identifies the workload.
+func (o OutOfCoreReduce) Name() string { return "oocreduce" }
+
+// Chunks returns the partition count.
+func (o OutOfCoreReduce) Chunks() int { return ceilDiv(o.N, o.ChunkWords) }
+
+// OutOfCoreResult reports both schedules over identical work.
+type OutOfCoreResult struct {
+	// Sum is the reduction result (identical under both schedules).
+	Sum Word
+	// SerialTime is the end-to-end simulated time of the serial schedule.
+	SerialTime time.Duration
+	// OverlappedTime is the end-to-end time with transfer/compute
+	// overlap.
+	OverlappedTime time.Duration
+	// TransferTime and KernelTime decompose the serial schedule.
+	TransferTime, KernelTime time.Duration
+	// Chunks is the partition count used.
+	Chunks int
+}
+
+// Speedup returns SerialTime/OverlappedTime.
+func (r OutOfCoreResult) Speedup() float64 {
+	if r.OverlappedTime <= 0 {
+		return 0
+	}
+	return float64(r.SerialTime) / float64(r.OverlappedTime)
+}
+
+// Run executes the partitioned reduction on the host's device. The device
+// needs 2·ChunkWords (double buffer) plus partial-buffer space; Run
+// returns ErrDoesNotFit otherwise. Input chunks are reduced with the
+// in-core Reduce round plan; per-chunk transfer and kernel durations are
+// measured individually so both schedules can be assembled exactly.
+func (o OutOfCoreReduce) Run(h *simgpu.Host, input []Word) (OutOfCoreResult, error) {
+	var res OutOfCoreResult
+	if err := checkLen("input", len(input), o.N); err != nil {
+		return res, err
+	}
+	if o.ChunkWords <= 0 {
+		return res, fmt.Errorf("%w: chunk=%d", ErrBadSize, o.ChunkWords)
+	}
+	width := h.Device().Config().WarpWidth
+	if !isPow2(width) {
+		return res, fmt.Errorf("%w: device warp width %d", ErrNotPow2, width)
+	}
+
+	// Layout: two chunk buffers (ping-pong for overlap) and a partials
+	// buffer sized for one chunk's first reduction round.
+	bufA, err := h.Malloc(o.ChunkWords)
+	if err != nil {
+		return res, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	bufB, err := h.Malloc(o.ChunkWords)
+	if err != nil {
+		return res, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	partials, err := h.Malloc(ceilDiv(o.ChunkWords, width))
+	if err != nil {
+		return res, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+
+	chunks := o.Chunks()
+	res.Chunks = chunks
+	transferDur := make([]time.Duration, chunks)
+	kernelDur := make([]time.Duration, chunks)
+	var sum Word
+
+	buffers := [2]int{bufA, bufB}
+	for c := 0; c < chunks; c++ {
+		lo := c * o.ChunkWords
+		hi := lo + o.ChunkWords
+		if hi > o.N {
+			hi = o.N
+		}
+		chunk := input[lo:hi]
+		buf := buffers[c%2]
+
+		t0, k0 := h.TransferTime(), h.KernelTime()
+		if err := h.TransferIn(buf, chunk); err != nil {
+			return res, err
+		}
+
+		// Reduce the chunk in place: rounds ping-pong between the chunk
+		// buffer and the partials buffer.
+		in, out := buf, partials
+		count := len(chunk)
+		for count > 1 {
+			prog, err := (Reduce{N: count}).Kernel(width, in, out, count)
+			if err != nil {
+				return res, err
+			}
+			if _, err := h.Launch(prog, ceilDiv(count, width)); err != nil {
+				return res, err
+			}
+			h.EndRound()
+			count = ceilDiv(count, width)
+			in, out = out, in
+		}
+		kernelDur[c] = h.KernelTime() - k0
+
+		part, err := h.TransferOut(in, 1)
+		if err != nil {
+			return res, err
+		}
+		transferDur[c] = h.TransferTime() - t0
+		sum += part[0]
+	}
+
+	res.Sum = sum
+	res.TransferTime = h.TransferTime()
+	res.KernelTime = h.KernelTime()
+	res.SerialTime = h.TotalTime()
+	res.OverlappedTime = overlapSchedule(transferDur, kernelDur) + h.SyncTime()
+	return res, nil
+}
+
+// overlapSchedule computes the makespan of the two-stage pipeline where
+// chunk c's transfer must precede its kernel, transfers are serial on the
+// link, kernels are serial on the device, and transfer c+1 may proceed
+// while kernel c runs (double buffering limits lookahead to one chunk).
+func overlapSchedule(transfers, kernels []time.Duration) time.Duration {
+	var linkFree, devFree time.Duration
+	var kernelEnd []time.Duration
+	for c := range transfers {
+		start := linkFree
+		// Double buffering: transfer c may not start before kernel c-2
+		// has freed its buffer.
+		if c >= 2 && kernelEnd[c-2] > start {
+			start = kernelEnd[c-2]
+		}
+		tEnd := start + transfers[c]
+		linkFree = tEnd
+		kStart := tEnd
+		if devFree > kStart {
+			kStart = devFree
+		}
+		kEnd := kStart + kernels[c]
+		devFree = kEnd
+		kernelEnd = append(kernelEnd, kEnd)
+	}
+	return devFree
+}
+
+// AnalyzeSerial returns the ATGPU account of the serial schedule: each
+// chunk contributes its transfer-in, its ⌈log_b chunk⌉ reduction rounds and
+// its one-word transfer-out. This is a direct multi-round composition of
+// the in-core analysis — the model needs no new machinery to price
+// out-of-core execution, which is the point of the G constraint.
+func (o OutOfCoreReduce) AnalyzeSerial(p core.Params) (*core.Analysis, error) {
+	if o.N <= 0 || o.ChunkWords <= 0 {
+		return nil, fmt.Errorf("%w: n=%d chunk=%d", ErrBadSize, o.N, o.ChunkWords)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(p.B) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, p.B)
+	}
+	a := &core.Analysis{Name: o.Name(), Params: p}
+	footprint := 2*o.ChunkWords + ceilDiv(o.ChunkWords, p.B)
+	for c := 0; c < o.Chunks(); c++ {
+		lo := c * o.ChunkWords
+		hi := lo + o.ChunkWords
+		if hi > o.N {
+			hi = o.N
+		}
+		size := hi - lo
+		sub, err := (Reduce{N: size}).Analyze(core.Params{
+			P: p.P, B: p.B, M: p.M, G: p.G,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range sub.Rounds {
+			sub.Rounds[i].GlobalWords = footprint
+		}
+		a.Rounds = append(a.Rounds, sub.Rounds...)
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,169 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the simulated vector addition agrees with the CPU reference on
+// arbitrary inputs (random lengths and values).
+func TestVecAddAgreesWithReferenceProperty(t *testing.T) {
+	f := func(raw []int16, pad uint8) bool {
+		n := len(raw) + 1 // never empty
+		a := make([]Word, n)
+		b := make([]Word, n)
+		for i := 0; i < len(raw); i++ {
+			a[i] = Word(raw[i])
+			b[i] = Word(raw[len(raw)-1-i]) * 3
+		}
+		a[n-1], b[n-1] = Word(pad), -Word(pad)
+
+		h := newTestHost(t, 3*n+64)
+		got, err := VecAdd{N: n}.Run(h, a, b)
+		if err != nil {
+			return false
+		}
+		want, err := VecAddReference(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulated reduction equals the sequential sum for arbitrary
+// inputs, including negative values and non-power-of-two lengths.
+func TestReduceAgreesWithReferenceProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		n := len(raw) + 1
+		in := make([]Word, n)
+		for i := 0; i < len(raw); i++ {
+			in[i] = Word(raw[i])
+		}
+		in[n-1] = 7
+		h := newTestHost(t, 2*n+64)
+		got, err := Reduce{N: n}.Run(h, in)
+		if err != nil {
+			return false
+		}
+		return got == ReduceReference(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simulated matmul equals the CPU reference for random square
+// matrices whose side is a multiple of the warp width.
+func TestMatMulAgreesWithReferenceProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 4 * (int(sizeSel)%3 + 1) // 4, 8, 12
+		a := randWords(n*n, seed)
+		b := randWords(n*n, seed+1)
+		h := newTestHost(t, 3*n*n+64)
+		got, err := MatMul{N: n}.Run(h, a, b)
+		if err != nil {
+			return false
+		}
+		want, err := MatMulReference(a, b, n)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reduction analyses are feasibility-monotone — if n words fit,
+// every smaller input fits, and costs only shrink.
+func TestReduceAnalysisMonotoneProperty(t *testing.T) {
+	p := tinyParams(64)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)%1000 + 2
+		big, err := Reduce{N: n}.Analyze(p)
+		if err != nil {
+			return false
+		}
+		small, err := Reduce{N: n / 2}.Analyze(p)
+		if err != nil {
+			return false
+		}
+		return small.TotalIO() <= big.TotalIO() &&
+			small.TotalTransferWords() <= big.TotalTransferWords() &&
+			small.R() <= big.R()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reduction round sizes decay by exactly ⌈nᵢ/b⌉ and end at ≤ b.
+func TestReduceRoundSizesProperty(t *testing.T) {
+	f := func(nRaw uint32) bool {
+		n := int(nRaw)%100000 + 1
+		sizes := Reduce{N: n}.RoundSizes(4)
+		if len(sizes) == 0 || sizes[0] != n {
+			return false
+		}
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] != (sizes[i-1]+3)/4 {
+				return false
+			}
+		}
+		last := sizes[len(sizes)-1]
+		return n == 1 || (last > 1 && (last+3)/4 == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VecAddReference is commutative and length-checked.
+func TestVecAddReferenceProperties(t *testing.T) {
+	f := func(a, b []int16) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		aw := make([]Word, n)
+		bw := make([]Word, n)
+		for i := 0; i < n; i++ {
+			aw[i], bw[i] = Word(a[i]), Word(b[i])
+		}
+		ab, err := VecAddReference(aw, bw)
+		if err != nil {
+			return n == 0 && err == nil || err == nil
+		}
+		ba, err := VecAddReference(bw, aw)
+		if err != nil {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VecAddReference(make([]Word, 2), make([]Word, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

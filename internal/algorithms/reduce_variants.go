@@ -1,0 +1,417 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/simgpu"
+)
+
+// ReduceStrategy selects one of the classic reduction kernel designs from
+// Harris's "Optimizing parallel reduction in CUDA", the study the paper's
+// future work asks for ("further investigation of reduction algorithms on
+// the ATGPU"). All strategies compute the same sum; they differ in
+// divergence, addressing and per-thread work — exactly the levers the
+// ATGPU metrics (tᵢ, qᵢ, R) price differently.
+type ReduceStrategy int
+
+const (
+	// StrategySequential is the baseline used by Reduce: tree reduction
+	// with sequential addressing (stride halving), divergence confined to
+	// a shrinking prefix of lanes.
+	StrategySequential ReduceStrategy = iota
+	// StrategyInterleaved is Harris's kernel 1: interleaved addressing
+	// with a modulo test (core % (2·stride) == 0), maximal divergence —
+	// on the ATGPU model "all paths are executed", so the extra paths
+	// cost real operations.
+	StrategyInterleaved
+	// StrategyFirstAdd is Harris's kernel 4: each block loads and adds
+	// *two* elements during the global load, halving the number of blocks
+	// and rounds (factor 2b per round instead of b).
+	StrategyFirstAdd
+	// StrategyGridStride gives each block Elements/b input elements to
+	// accumulate serially in registers before one tree reduction —
+	// algorithm cascading. Fewer blocks, fewer rounds, better work per
+	// synchronisation; the classic recipe for reductions.
+	StrategyGridStride
+)
+
+// String names the strategy.
+func (s ReduceStrategy) String() string {
+	switch s {
+	case StrategySequential:
+		return "sequential"
+	case StrategyInterleaved:
+		return "interleaved"
+	case StrategyFirstAdd:
+		return "first-add"
+	case StrategyGridStride:
+		return "grid-stride"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ReduceVariant is a reduction with a selectable kernel strategy.
+type ReduceVariant struct {
+	// N is the input length.
+	N int
+	// Strategy selects the kernel design.
+	Strategy ReduceStrategy
+	// GridStrideFactor is how many elements each thread accumulates in
+	// the grid-stride strategy (ignored otherwise); 0 means 8.
+	GridStrideFactor int
+}
+
+// factor returns the per-round shrink factor: each block consumes
+// factor·... elements and emits one partial.
+func (r ReduceVariant) perBlockElements(b int) int {
+	switch r.Strategy {
+	case StrategyFirstAdd:
+		return 2 * b
+	case StrategyGridStride:
+		f := r.GridStrideFactor
+		if f <= 0 {
+			f = 8
+		}
+		return f * b
+	default:
+		return b
+	}
+}
+
+// RoundSizes returns the element count entering each round.
+func (r ReduceVariant) RoundSizes(b int) []int {
+	per := r.perBlockElements(b)
+	var sizes []int
+	for n := r.N; n > 1; n = ceilDiv(n, per) {
+		sizes = append(sizes, n)
+	}
+	if r.N == 1 {
+		sizes = []int{1}
+	}
+	return sizes
+}
+
+// GlobalWords returns the footprint: input plus a partials buffer.
+func (r ReduceVariant) GlobalWords(b int) int {
+	return r.N + ceilDiv(r.N, r.perBlockElements(b))
+}
+
+// opsPerThread estimates the straight-line operation count of one round's
+// kernel per the strategy. Interleaved pays every tree level twice (both
+// paths of the divergent if execute); grid-stride adds the serial
+// accumulation loop.
+func (r ReduceVariant) opsPerThread(b int) float64 {
+	treeSteps := log2(b)
+	switch r.Strategy {
+	case StrategyInterleaved:
+		// Modulo test + both paths at each step.
+		return float64(14 + 13*treeSteps)
+	case StrategyFirstAdd:
+		return float64(20 + 9*treeSteps)
+	case StrategyGridStride:
+		f := r.GridStrideFactor
+		if f <= 0 {
+			f = 8
+		}
+		return float64(14 + 8*f + 9*treeSteps)
+	default:
+		return reduceOps(b)
+	}
+}
+
+// Analyze returns the exact ATGPU account of the variant. Per round over
+// nᵢ elements: kᵢ = ⌈nᵢ/per⌉ blocks, each loading ⌈per/b⌉ coalesced block
+// transactions plus one store.
+func (r ReduceVariant) Analyze(p core.Params) (*core.Analysis, error) {
+	if r.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, r.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(p.B) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, p.B)
+	}
+	per := r.perBlockElements(p.B)
+	loadsPerBlock := per / p.B
+	a := &core.Analysis{Name: "reduce-" + r.Strategy.String(), Params: p}
+	sizes := r.RoundSizes(p.B)
+	for i, n := range sizes {
+		k := ceilDiv(n, per)
+		// Coalesced loads: only the blocks' in-range strips are fetched;
+		// exact transaction count is the number of non-empty b-strips,
+		// which is ⌈n/b⌉ across the whole round, plus one store each.
+		strips := ceilDiv(n, p.B)
+		if strips > k*loadsPerBlock {
+			strips = k * loadsPerBlock
+		}
+		round := core.Round{
+			Time:        r.opsPerThread(p.B),
+			IO:          float64(strips + k),
+			GlobalWords: r.GlobalWords(p.B),
+			SharedWords: p.B,
+			Blocks:      k,
+		}
+		if i == 0 {
+			round.InWords = r.N
+			round.InTransactions = 1
+		}
+		if i == len(sizes)-1 {
+			round.OutWords = 1
+			round.OutTransactions = 1
+		}
+		a.Rounds = append(a.Rounds, round)
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Kernel builds one round's kernel for count elements at inBase, writing
+// ⌈count/per⌉ partials at outBase.
+func (r ReduceVariant) Kernel(b, inBase, outBase, count int) (*kernel.Program, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: count=%d", ErrBadSize, count)
+	}
+	if !isPow2(b) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, b)
+	}
+	switch r.Strategy {
+	case StrategyInterleaved:
+		return r.interleavedKernel(b, inBase, outBase, count)
+	case StrategyFirstAdd:
+		return r.firstAddKernel(b, inBase, outBase, count)
+	case StrategyGridStride:
+		return r.gridStrideKernel(b, inBase, outBase, count)
+	default:
+		return Reduce{N: count}.Kernel(b, inBase, outBase, count)
+	}
+}
+
+// loadPrologue emits the common index computation and the guarded load of
+// element inBase+idx into shared[j] (zero when out of range), with idx =
+// blk·per + j + offset.
+func loadPrologue(kb *kernel.Builder, b, per, inBase, count, offset int) (j, blk, val, addr kernel.Reg) {
+	j = kb.Reg("lane")
+	blk = kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(per)))
+	kb.Add(idx, idx, kernel.R(j))
+	if offset != 0 {
+		kb.Add(idx, idx, kernel.Imm(int64(offset)))
+	}
+	zero := kb.Reg("zero")
+	kb.Const(zero, 0)
+	kb.StShared(j, zero)
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(count)))
+	val = kb.Reg("val")
+	addr = kb.Reg("addr")
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx, kernel.Imm(int64(inBase)))
+		kb.LdGlobal(val, addr)
+		kb.StShared(j, val)
+	})
+	kb.Barrier()
+	return j, blk, val, addr
+}
+
+// writeResult emits the lane-0 store of shared[0] to outBase+blk.
+func writeResult(kb *kernel.Builder, j, blk, val, addr kernel.Reg, outBase int) {
+	isZero := kb.Reg("isZero")
+	kb.Seq(isZero, j, kernel.Imm(0))
+	kb.IfDo(isZero, func() {
+		zAddr := kb.Reg("zAddr")
+		kb.Const(zAddr, 0)
+		kb.LdShared(val, zAddr)
+		kb.Add(addr, blk, kernel.Imm(int64(outBase)))
+		kb.StGlobal(addr, val)
+	})
+}
+
+// sequentialTree emits the stride-halving tree on shared[0..b).
+func sequentialTree(kb *kernel.Builder, b int, j, val kernel.Reg) {
+	lt := kb.Reg("lt")
+	other := kb.Reg("other")
+	sum := kb.Reg("sum")
+	for stride := b / 2; stride >= 1; stride /= 2 {
+		kb.Slt(lt, j, kernel.Imm(int64(stride)))
+		kb.IfDo(lt, func() {
+			kb.Add(other, j, kernel.Imm(int64(stride)))
+			kb.LdShared(val, j)
+			kb.LdShared(sum, other)
+			kb.Add(val, val, kernel.R(sum))
+			kb.StShared(j, val)
+		})
+		kb.Barrier()
+	}
+}
+
+// interleavedKernel is Harris kernel 1: at step s the active lanes are
+// those with core % (2s) == 0, each adding shared[core+s] — highly
+// divergent, which the ATGPU model charges via all-paths execution.
+func (r ReduceVariant) interleavedKernel(b, inBase, outBase, count int) (*kernel.Program, error) {
+	kb := kernel.NewBuilder(fmt.Sprintf("reduce-interleaved-n%d", count), b)
+	j, blk, val, addr := loadPrologue(kb, b, b, inBase, count, 0)
+
+	modr := kb.Reg("modr")
+	isOwner := kb.Reg("isOwner")
+	other := kb.Reg("other")
+	sum := kb.Reg("sum")
+	for stride := 1; stride < b; stride *= 2 {
+		kb.Mod(modr, j, kernel.Imm(int64(2*stride)))
+		kb.Seq(isOwner, modr, kernel.Imm(0))
+		kb.IfDo(isOwner, func() {
+			kb.Add(other, j, kernel.Imm(int64(stride)))
+			kb.LdShared(val, j)
+			kb.LdShared(sum, other)
+			kb.Add(val, val, kernel.R(sum))
+			kb.StShared(j, val)
+		})
+		kb.Barrier()
+	}
+	writeResult(kb, j, blk, val, addr, outBase)
+	return kb.Build()
+}
+
+// firstAddKernel is Harris kernel 4: lane j loads elements blk·2b+j and
+// blk·2b+b+j, adds them during the load, then runs the sequential tree.
+func (r ReduceVariant) firstAddKernel(b, inBase, outBase, count int) (*kernel.Program, error) {
+	kb := kernel.NewBuilder(fmt.Sprintf("reduce-firstadd-n%d", count), b)
+	per := 2 * b
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(per)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	zero := kb.Reg("zero")
+	kb.Const(zero, 0)
+	kb.StShared(j, zero)
+	acc := kb.Reg("acc")
+	kb.Const(acc, 0)
+	val := kb.Reg("val")
+	addr := kb.Reg("addr")
+	inRange := kb.Reg("inRange")
+	// First element.
+	kb.Slt(inRange, idx, kernel.Imm(int64(count)))
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx, kernel.Imm(int64(inBase)))
+		kb.LdGlobal(val, addr)
+		kb.Add(acc, acc, kernel.R(val))
+	})
+	// Second element at +b (first add during load).
+	idx2 := kb.Reg("idx2")
+	kb.Add(idx2, idx, kernel.Imm(int64(b)))
+	kb.Slt(inRange, idx2, kernel.Imm(int64(count)))
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx2, kernel.Imm(int64(inBase)))
+		kb.LdGlobal(val, addr)
+		kb.Add(acc, acc, kernel.R(val))
+	})
+	kb.StShared(j, acc)
+	kb.Barrier()
+
+	sequentialTree(kb, b, j, val)
+	writeResult(kb, j, blk, val, addr, outBase)
+	return kb.Build()
+}
+
+// gridStrideKernel: lane j of block blk serially accumulates elements
+// blk·f·b + i·b + j for i = 0..f-1 (each pass coalesced), then tree-reduces.
+func (r ReduceVariant) gridStrideKernel(b, inBase, outBase, count int) (*kernel.Program, error) {
+	f := r.GridStrideFactor
+	if f <= 0 {
+		f = 8
+	}
+	per := f * b
+	kb := kernel.NewBuilder(fmt.Sprintf("reduce-gridstride-n%d", count), b)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	base := kb.Reg("base")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(base, blk, kernel.Imm(int64(per)))
+	kb.Add(base, base, kernel.R(j))
+
+	acc := kb.Reg("acc")
+	kb.Const(acc, 0)
+	val := kb.Reg("val")
+	addr := kb.Reg("addr")
+	idx := kb.Reg("idx")
+	inRange := kb.Reg("inRange")
+	kb.ForDo(kernel.Imm(0), kernel.Imm(int64(f)), 1, func(i kernel.Reg) {
+		kb.Mul(idx, i, kernel.Imm(int64(b)))
+		kb.Add(idx, idx, kernel.R(base))
+		kb.Slt(inRange, idx, kernel.Imm(int64(count)))
+		kb.IfDo(inRange, func() {
+			kb.Add(addr, idx, kernel.Imm(int64(inBase)))
+			kb.LdGlobal(val, addr)
+			kb.Add(acc, acc, kernel.R(val))
+		})
+	})
+	kb.StShared(j, acc)
+	kb.Barrier()
+
+	sequentialTree(kb, b, j, val)
+	writeResult(kb, j, blk, val, addr, outBase)
+	return kb.Build()
+}
+
+// Run executes the multi-round plan with the selected strategy.
+func (r ReduceVariant) Run(h *simgpu.Host, input []Word) (Word, error) {
+	if err := checkLen("input", len(input), r.N); err != nil {
+		return 0, err
+	}
+	width := h.Device().Config().WarpWidth
+	if !isPow2(width) {
+		return 0, fmt.Errorf("%w: device warp width %d", ErrNotPow2, width)
+	}
+	per := r.perBlockElements(width)
+
+	bufA, err := h.Malloc(r.N)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	bufB, err := h.Malloc(ceilDiv(r.N, per))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	if err := h.TransferIn(bufA, input); err != nil {
+		return 0, err
+	}
+
+	in, out := bufA, bufB
+	count := r.N
+	for count > 1 {
+		prog, err := r.Kernel(width, in, out, count)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := h.Launch(prog, ceilDiv(count, per)); err != nil {
+			return 0, err
+		}
+		h.EndRound()
+		count = ceilDiv(count, per)
+		in, out = out, in
+	}
+	ans, err := h.TransferOut(in, 1)
+	if err != nil {
+		return 0, err
+	}
+	return ans[0], nil
+}
+
+// ReduceStrategies lists all implemented strategies.
+func ReduceStrategies() []ReduceStrategy {
+	return []ReduceStrategy{
+		StrategySequential, StrategyInterleaved, StrategyFirstAdd, StrategyGridStride,
+	}
+}

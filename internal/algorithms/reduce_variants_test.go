@@ -1,0 +1,187 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceVariantsCorrectness(t *testing.T) {
+	for _, strat := range ReduceStrategies() {
+		for _, n := range []int{1, 2, 4, 5, 16, 17, 64, 100, 1000} {
+			alg := ReduceVariant{N: n, Strategy: strat}
+			h := newTestHost(t, alg.GlobalWords(4)+64)
+			in := randWords(n, int64(n)*7)
+			got, err := alg.Run(h, in)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", strat, n, err)
+			}
+			if want := ReduceReference(in); got != want {
+				t.Fatalf("%s n=%d: sum = %d, want %d", strat, n, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceVariantsAnalysisMatchesSimulator(t *testing.T) {
+	for _, strat := range ReduceStrategies() {
+		for _, n := range []int{16, 100, 1000} {
+			alg := ReduceVariant{N: n, Strategy: strat}
+			h := newTestHost(t, alg.GlobalWords(4)+64)
+			width := h.Device().Config().WarpWidth
+
+			analysis, err := alg.Analyze(tinyParams((n + width - 1) / width))
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", strat, n, err)
+			}
+			in := randWords(n, 11)
+			if _, err := alg.Run(h, in); err != nil {
+				t.Fatalf("%s n=%d: %v", strat, n, err)
+			}
+			if h.Rounds() != analysis.R() {
+				t.Errorf("%s n=%d: rounds = %d, analysis %d", strat, n, h.Rounds(), analysis.R())
+			}
+			ks := h.KernelStats()
+			if got, want := float64(ks.GlobalTransactions), analysis.TotalIO(); got != want {
+				t.Errorf("%s n=%d: observed q = %g, analysis %g", strat, n, got, want)
+			}
+			ts := h.TransferStats()
+			if got, want := ts.TotalWords(), analysis.TotalTransferWords(); got != want {
+				t.Errorf("%s n=%d: transfer words = %d, analysis %d", strat, n, got, want)
+			}
+		}
+	}
+}
+
+// TestStrategyStructure: the designs must differ the way Harris says they
+// do — interleaved diverges more than sequential; first-add halves the
+// block count; grid-stride cuts rounds.
+func TestStrategyStructure(t *testing.T) {
+	n := 4096
+	run := func(strat ReduceStrategy) (rounds int, blocks, instrs int64) {
+		alg := ReduceVariant{N: n, Strategy: strat}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		if _, err := alg.Run(h, randWords(n, 3)); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		ks := h.KernelStats()
+		return h.Rounds(), ks.BlocksExecuted, ks.InstructionsIssued
+	}
+
+	seqRounds, seqBlocks, seqInstr := run(StrategySequential)
+	intRounds, intBlocks, intInstr := run(StrategyInterleaved)
+	faRounds, faBlocks, _ := run(StrategyFirstAdd)
+	gsRounds, gsBlocks, _ := run(StrategyGridStride)
+
+	if intRounds != seqRounds || intBlocks != seqBlocks {
+		t.Errorf("interleaved should match sequential structure: rounds %d/%d blocks %d/%d",
+			intRounds, seqRounds, intBlocks, seqBlocks)
+	}
+	// With one warp per block both trees diverge at every step; the
+	// interleaved penalty the model prices is the extra modulo work
+	// executed by every lane ("all paths are executed").
+	if intInstr <= seqInstr {
+		t.Errorf("interleaved instructions %d should exceed sequential %d", intInstr, seqInstr)
+	}
+	if faBlocks >= seqBlocks {
+		t.Errorf("first-add blocks %d should be below sequential %d", faBlocks, seqBlocks)
+	}
+	if faRounds > seqRounds {
+		t.Errorf("first-add rounds %d should not exceed sequential %d", faRounds, seqRounds)
+	}
+	if gsRounds >= seqRounds {
+		t.Errorf("grid-stride rounds %d should be below sequential %d", gsRounds, seqRounds)
+	}
+	if gsBlocks >= faBlocks {
+		t.Errorf("grid-stride blocks %d should be below first-add %d", gsBlocks, faBlocks)
+	}
+}
+
+// TestStrategyModelOrdersKernelTime: the ATGPU cost (kernel side only, via
+// SWGPU-style pricing without transfer) must order interleaved as more
+// expensive than sequential, matching the simulator — the model "sees"
+// divergence through the all-paths operation count.
+func TestStrategyModelOrdersKernelTime(t *testing.T) {
+	n := 4096
+	p := tinyParams((n + 3) / 4)
+
+	seq, err := (ReduceVariant{N: n, Strategy: StrategySequential}).Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := (ReduceVariant{N: n, Strategy: StrategyInterleaved}).Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.TotalTime() <= seq.TotalTime() {
+		t.Errorf("model: interleaved t=%g should exceed sequential t=%g",
+			inter.TotalTime(), seq.TotalTime())
+	}
+
+	hSeq := newTestHost(t, 2*n+64)
+	if _, err := (ReduceVariant{N: n, Strategy: StrategySequential}).Run(hSeq, randWords(n, 5)); err != nil {
+		t.Fatal(err)
+	}
+	hInt := newTestHost(t, 2*n+64)
+	if _, err := (ReduceVariant{N: n, Strategy: StrategyInterleaved}).Run(hInt, randWords(n, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if hInt.KernelTime() <= hSeq.KernelTime() {
+		t.Errorf("device: interleaved %v should be slower than sequential %v",
+			hInt.KernelTime(), hSeq.KernelTime())
+	}
+}
+
+// TestCascadingReducesTotalTime: grid-stride should beat the baseline on
+// kernel time for large inputs (fewer rounds, fewer barriers, more work
+// per thread) — the point of algorithm cascading.
+func TestCascadingReducesTotalTime(t *testing.T) {
+	n := 1 << 14
+	hSeq := newTestHost(t, 2*n+64)
+	if _, err := (ReduceVariant{N: n, Strategy: StrategySequential}).Run(hSeq, randWords(n, 6)); err != nil {
+		t.Fatal(err)
+	}
+	hGS := newTestHost(t, 2*n+64)
+	if _, err := (ReduceVariant{N: n, Strategy: StrategyGridStride}).Run(hGS, randWords(n, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if hGS.KernelTime() >= hSeq.KernelTime() {
+		t.Errorf("grid-stride %v should beat sequential %v at n=%d",
+			hGS.KernelTime(), hSeq.KernelTime(), n)
+	}
+}
+
+func TestReduceVariantValidation(t *testing.T) {
+	p := tinyParams(4)
+	if _, err := (ReduceVariant{N: 0}).Analyze(p); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := (ReduceVariant{N: 4, Strategy: StrategySequential}).Kernel(3, 0, 4, 4); err == nil {
+		t.Error("non-pow2 b accepted")
+	}
+	if (ReduceStrategy(99)).String() == "" {
+		t.Error("unknown strategy should print")
+	}
+}
+
+// Property: every strategy computes the same sum on arbitrary inputs.
+func TestStrategiesAgreeProperty(t *testing.T) {
+	f := func(raw []int16, stratSel uint8) bool {
+		n := len(raw) + 1
+		in := make([]Word, n)
+		for i := 0; i < len(raw); i++ {
+			in[i] = Word(raw[i])
+		}
+		in[n-1] = 42
+		strat := ReduceStrategies()[int(stratSel)%4]
+		alg := ReduceVariant{N: n, Strategy: strat}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		got, err := alg.Run(h, in)
+		if err != nil {
+			return false
+		}
+		return got == ReduceReference(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+)
+
+// Scan computes the inclusive prefix sum of an n-vector, the follow-on
+// computational problem the paper's future work calls for ("carry out
+// further experiments on other computational problems to verify our
+// model"). The algorithm is the classic three-phase block scan:
+//
+//  1. every block loads b elements into shared memory, performs a
+//     Hillis–Steele inclusive scan in log₂b warp-synchronous steps, writes
+//     the scanned block back and its block total into a sums array;
+//  2. the sums array is scanned recursively (levels shrink by b);
+//  3. every block (except the first at each level) adds the exclusive
+//     scanned sum of the preceding blocks to its elements.
+//
+// Like reduction it is multi-round with one inward and one outward
+// transfer, so transfer cost amortises with depth — a mid-point between
+// vector addition and matrix multiplication on the paper's spectrum.
+type Scan struct {
+	// N is the input length.
+	N int
+}
+
+// Name identifies the workload.
+func (s Scan) Name() string { return "scan" }
+
+// LevelSizes returns the element count at each recursion level: n, ⌈n/b⌉,
+// … down to 1 block's worth.
+func (s Scan) LevelSizes(b int) []int {
+	var sizes []int
+	for n := s.N; ; n = ceilDiv(n, b) {
+		sizes = append(sizes, n)
+		if n <= b {
+			break
+		}
+	}
+	return sizes
+}
+
+// GlobalWords returns the device footprint: the data buffer plus the sums
+// pyramid.
+func (s Scan) GlobalWords(b int) int {
+	total := 0
+	for _, n := range s.LevelSizes(b) {
+		total += n
+	}
+	return total
+}
+
+// scanOps is the per-thread operation count of the scan kernel: setup plus
+// log₂b Hillis–Steele steps (each with both paths of the divergent if).
+func scanOps(b int) float64 { return float64(16 + 10*log2(b)) }
+
+// addOps is the per-thread operation count of the offset-add kernel.
+const addOps = 12
+
+// Analyze returns the exact ATGPU account: for each level i with nᵢ
+// elements and kᵢ = ⌈nᵢ/b⌉ blocks there is one scan round (q = 3kᵢ: load
+// block, store scanned block, store sum) and — for every level except the
+// last — one offset round later (q = 3kᵢ: load element, load offset, store
+// element). Transfers: n words in before the first round, n words out
+// after the last.
+func (s Scan) Analyze(p core.Params) (*core.Analysis, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, s.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(p.B) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, p.B)
+	}
+	levels := s.LevelSizes(p.B)
+	footprint := s.GlobalWords(p.B)
+	a := &core.Analysis{Name: s.Name(), Params: p}
+
+	// Scan rounds, top-down.
+	for i, n := range levels {
+		k := ceilDiv(n, p.B)
+		r := core.Round{
+			Time:        scanOps(p.B),
+			IO:          float64(3 * k),
+			GlobalWords: footprint,
+			SharedWords: p.B,
+			Blocks:      k,
+		}
+		if i == 0 {
+			r.InWords = s.N
+			r.InTransactions = 1
+		}
+		a.Rounds = append(a.Rounds, r)
+	}
+	// Offset rounds, bottom-up (levels shallower than the deepest). Every
+	// block loads its offset (k transactions); blocks 1..k-1 additionally
+	// read-modify-write their elements (2(k-1) transactions).
+	for i := len(levels) - 2; i >= 0; i-- {
+		k := ceilDiv(levels[i], p.B)
+		a.Rounds = append(a.Rounds, core.Round{
+			Time:        addOps,
+			IO:          float64(3*k - 2),
+			GlobalWords: footprint,
+			SharedWords: 1,
+			Blocks:      k,
+		})
+	}
+	last := len(a.Rounds) - 1
+	a.Rounds[last].OutWords = s.N
+	a.Rounds[last].OutTransactions = 1
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AGPU returns the asymptotic report.
+func (s Scan) AGPU() models.AGPUReport {
+	return models.AGPUReport{
+		Algorithm:        s.Name(),
+		TimeComplexity:   "O(log b · log n)",
+		IOComplexity:     "O((n/b)·(1-(1/b)^log n)/(1-1/b))",
+		GlobalComplexity: "O(n)",
+		SharedComplexity: "O(b)",
+	}
+}
+
+// scanKernel scans blocks of count elements at dataBase in place, writing
+// each block's total to sumsBase+blockID. b must be a power of two. The
+// Hillis–Steele steps are warp-synchronous: within a lockstep warp the
+// loads of step d complete for every lane before the stores, so no double
+// buffer is needed.
+func (s Scan) scanKernel(b, dataBase, sumsBase, count int) (*kernel.Program, error) {
+	if !isPow2(b) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, b)
+	}
+	kb := kernel.NewBuilder(fmt.Sprintf("scan-n%d", count), b)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	zero := kb.Reg("zero")
+	kb.Const(zero, 0)
+	kb.StShared(j, zero)
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(count)))
+	val := kb.Reg("val")
+	addr := kb.Reg("addr")
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx, kernel.Imm(int64(dataBase)))
+		kb.LdGlobal(val, addr)
+		kb.StShared(j, val)
+	})
+	kb.Barrier()
+
+	// Hillis–Steele: for d = 1, 2, …, b/2: s[j] += s[j-d] when j ≥ d.
+	ge := kb.Reg("ge")
+	prev := kb.Reg("prev")
+	cur := kb.Reg("cur")
+	src := kb.Reg("src")
+	for d := 1; d < b; d *= 2 {
+		// ge = j >= d  ⇔  (j < d) == 0
+		kb.Slt(ge, j, kernel.Imm(int64(d)))
+		kb.Seq(ge, ge, kernel.Imm(0))
+		kb.IfDo(ge, func() {
+			kb.Add(src, j, kernel.Imm(int64(-d)))
+			kb.LdShared(prev, src)
+			kb.LdShared(cur, j)
+			kb.Add(cur, cur, kernel.R(prev))
+			kb.StShared(j, cur)
+		})
+		kb.Barrier()
+	}
+
+	// Write the scanned block back.
+	kb.IfDo(inRange, func() {
+		kb.LdShared(val, j)
+		kb.Add(addr, idx, kernel.Imm(int64(dataBase)))
+		kb.StGlobal(addr, val)
+	})
+	// Lane 0 writes the block total (shared[b-1]).
+	isZero := kb.Reg("isZero")
+	kb.Seq(isZero, j, kernel.Imm(0))
+	kb.IfDo(isZero, func() {
+		lastIdx := kb.Reg("lastIdx")
+		kb.Const(lastIdx, int64(b-1))
+		kb.LdShared(val, lastIdx)
+		kb.Add(addr, blk, kernel.Imm(int64(sumsBase)))
+		kb.StGlobal(addr, val)
+	})
+	return kb.Build()
+}
+
+// addKernel adds the exclusive scanned block offset (sums[blk-1]) to every
+// element of block blk, for blk ≥ 1.
+func (s Scan) addKernel(b, dataBase, sumsBase, count int) (*kernel.Program, error) {
+	kb := kernel.NewBuilder(fmt.Sprintf("scan-add-n%d", count), 1)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	// Lane 0 stages the offset through shared memory so the warp reads it
+	// as a broadcast.
+	isZero := kb.Reg("isZero")
+	kb.Seq(isZero, j, kernel.Imm(0))
+	off := kb.Reg("off")
+	addr := kb.Reg("addr")
+	kb.IfDo(isZero, func() {
+		kb.Add(addr, blk, kernel.Imm(int64(sumsBase-1)))
+		kb.LdGlobal(off, addr)
+		zeroAddr := kb.Reg("zeroAddr")
+		kb.Const(zeroAddr, 0)
+		kb.StShared(zeroAddr, off)
+	})
+	kb.Barrier()
+
+	cond := kb.Reg("cond")
+	// blk ≥ 1 and idx < count.
+	kb.Sne(cond, blk, kernel.Imm(0))
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(count)))
+	kb.And(cond, cond, kernel.R(inRange))
+	val := kb.Reg("val")
+	kb.IfDo(cond, func() {
+		sAddr := kb.Reg("sAddr")
+		kb.Const(sAddr, 0)
+		kb.LdShared(off, sAddr)
+		kb.Add(addr, idx, kernel.Imm(int64(dataBase)))
+		kb.LdGlobal(val, addr)
+		kb.Add(val, val, kernel.R(off))
+		kb.StGlobal(addr, val)
+	})
+	return kb.Build()
+}
+
+// Run executes the full multi-level plan on the host and returns the
+// inclusive prefix sums.
+func (s Scan) Run(h *simgpu.Host, input []Word) ([]Word, error) {
+	if err := checkLen("input", len(input), s.N); err != nil {
+		return nil, err
+	}
+	width := h.Device().Config().WarpWidth
+	if !isPow2(width) {
+		return nil, fmt.Errorf("%w: device warp width %d", ErrNotPow2, width)
+	}
+
+	levels := s.LevelSizes(width)
+	bases := make([]int, len(levels))
+	for i, n := range levels {
+		base, err := h.Malloc(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+		bases[i] = base
+	}
+	// The deepest level still needs somewhere to write its (single)
+	// block total; reuse a one-word scratch allocation.
+	scratch, err := h.Malloc(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+
+	if err := h.TransferIn(bases[0], input); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: scan every level top-down, producing the next level's
+	// input (block sums).
+	for i, n := range levels {
+		sums := scratch
+		if i+1 < len(levels) {
+			sums = bases[i+1]
+		}
+		prog, err := s.scanKernel(width, bases[i], sums, n)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.Launch(prog, ceilDiv(n, width)); err != nil {
+			return nil, err
+		}
+		h.EndRound()
+	}
+	// Phase 2: propagate offsets bottom-up.
+	for i := len(levels) - 2; i >= 0; i-- {
+		prog, err := s.addKernel(width, bases[i], bases[i+1], levels[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.Launch(prog, ceilDiv(levels[i], width)); err != nil {
+			return nil, err
+		}
+		h.EndRound()
+	}
+
+	return h.TransferOut(bases[0], s.N)
+}
+
+// ScanReference computes the inclusive prefix sum on the CPU.
+func ScanReference(input []Word) []Word {
+	out := make([]Word, len(input))
+	var acc Word
+	for i, v := range input {
+		acc += v
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package algorithms
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanSmoke(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 16, 17, 64, 100, 1000} {
+		alg := Scan{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		in := randWords(n, int64(n))
+		got, err := alg.Run(h, in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := ScanReference(in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanAnalysisMatchesSimulator(t *testing.T) {
+	for _, n := range []int{4, 5, 16, 17, 64, 1000} {
+		alg := Scan{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		width := h.Device().Config().WarpWidth
+
+		analysis, err := alg.Analyze(tinyParams((n + width - 1) / width))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		in := randWords(n, 9)
+		if _, err := alg.Run(h, in); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+
+		if h.Rounds() != analysis.R() {
+			t.Errorf("n=%d: rounds = %d, analysis %d", n, h.Rounds(), analysis.R())
+		}
+		ks := h.KernelStats()
+		if got, want := float64(ks.GlobalTransactions), analysis.TotalIO(); got != want {
+			t.Errorf("n=%d: observed q = %g, analysis %g", n, got, want)
+		}
+		ts := h.TransferStats()
+		if got, want := ts.TotalWords(), analysis.TotalTransferWords(); got != want {
+			t.Errorf("n=%d: transfer words = %d, analysis %d", n, got, want)
+		}
+		if ks.BankConflicts != 0 {
+			t.Errorf("n=%d: %d bank conflicts in scan kernels", n, ks.BankConflicts)
+		}
+	}
+}
+
+func TestScanLevelSizes(t *testing.T) {
+	s := Scan{N: 100}
+	got := s.LevelSizes(4)
+	want := []int{100, 25, 7, 2}
+	if len(got) != len(want) {
+		t.Fatalf("LevelSizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LevelSizes = %v, want %v", got, want)
+		}
+	}
+	if got := (Scan{N: 3}).LevelSizes(4); len(got) != 1 {
+		t.Fatalf("single level expected for n<=b: %v", got)
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	if _, err := (Scan{N: 0}).Analyze(tinyParams(1)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("n=0: %v", err)
+	}
+	h := newTestHost(t, 1024)
+	if _, err := (Scan{N: 5}).Run(h, make([]Word, 4)); !errors.Is(err, ErrBadShape) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+// Property: simulated scan equals the reference for arbitrary inputs, and
+// its last element equals the reduction of the input.
+func TestScanAgreesWithReferenceProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		n := len(raw) + 1
+		in := make([]Word, n)
+		for i := 0; i < len(raw); i++ {
+			in[i] = Word(raw[i])
+		}
+		in[n-1] = -5
+		alg := Scan{N: n}
+		h := newTestHost(t, alg.GlobalWords(4)+64)
+		got, err := alg.Run(h, in)
+		if err != nil {
+			return false
+		}
+		want := ScanReference(in)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return got[n-1] == ReduceReference(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanReference(t *testing.T) {
+	got := ScanReference([]Word{3, -1, 4, 1, -5})
+	want := []Word{3, 2, 6, 7, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanReference = %v, want %v", got, want)
+		}
+	}
+	if len(ScanReference(nil)) != 0 {
+		t.Fatal("empty scan should be empty")
+	}
+}

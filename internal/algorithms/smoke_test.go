@@ -1,0 +1,104 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// newTestHost builds a host over the Tiny device with enough global memory
+// for the requested words.
+func newTestHost(t testing.TB, globalWords int) *simgpu.Host {
+	t.Helper()
+	cfg := simgpu.Tiny()
+	if globalWords > cfg.GlobalWords {
+		cfg.GlobalWords = globalWords
+	}
+	dev, err := simgpu.New(cfg)
+	if err != nil {
+		t.Fatalf("New device: %v", err)
+	}
+	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	h, err := simgpu.NewHost(dev, eng, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	return h
+}
+
+func randWords(n int, seed int64) []Word {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]Word, n)
+	for i := range w {
+		w[i] = Word(rng.Intn(2001) - 1000)
+	}
+	return w
+}
+
+func TestVecAddSmoke(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 5, 16, 33, 100} {
+		h := newTestHost(t, 3*n+64)
+		a := randWords(n, 1)
+		b := randWords(n, 2)
+		got, err := VecAdd{N: n}.Run(h, a, b)
+		if err != nil {
+			t.Fatalf("n=%d: Run: %v", n, err)
+		}
+		want, err := VecAddReference(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: c[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if h.TotalTime() <= 0 {
+			t.Errorf("n=%d: total time not positive: %v", n, h.TotalTime())
+		}
+		if h.KernelTime() <= 0 {
+			t.Errorf("n=%d: kernel time not positive: %v", n, h.KernelTime())
+		}
+	}
+}
+
+func TestReduceSmoke(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 16, 17, 64, 100, 1000} {
+		h := newTestHost(t, 2*n+64)
+		in := randWords(n, int64(n))
+		got, err := Reduce{N: n}.Run(h, in)
+		if err != nil {
+			t.Fatalf("n=%d: Run: %v", n, err)
+		}
+		want := ReduceReference(in)
+		if got != want {
+			t.Fatalf("n=%d: sum = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMatMulSmoke(t *testing.T) {
+	for _, n := range []int{4, 8, 16} { // Tiny warp width is 4
+		h := newTestHost(t, 3*n*n+64)
+		a := randWords(n*n, int64(n))
+		b := randWords(n*n, int64(n)+100)
+		got, err := MatMul{N: n}.Run(h, a, b)
+		if err != nil {
+			t.Fatalf("n=%d: Run: %v", n, err)
+		}
+		want, err := MatMulReference(a, b, n)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: c[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+)
+
+// Transpose computes B = Aᵀ for an n×n matrix, in two variants that bracket
+// the model's I/O metric:
+//
+//   - Naive: thread (blk, j) reads A row-wise (coalesced) and writes B
+//     column-wise — every warp store scatters across b memory blocks, so
+//     q = k·(1+b) and the model predicts the slowdown the simulator then
+//     exhibits.
+//   - Tiled: each block stages a b×b tile through shared memory and writes
+//     the transposed tile row-wise, so both directions coalesce and
+//     q = 3k (b-row tile load + b-row tile store per tile... accounted per
+//     warp access below).
+//
+// The pair exercises exactly the coalescing rule the ATGPU model inherits
+// from AGPU/SWGPU ("if requested words are in l separate memory blocks,
+// l separate transactions occur") and provides the coalescing ablation
+// workload.
+type Transpose struct {
+	// N is the matrix side; must be a multiple of the warp width.
+	N int
+	// Tiled selects the shared-memory variant.
+	Tiled bool
+}
+
+// Name identifies the workload.
+func (t Transpose) Name() string {
+	if t.Tiled {
+		return "transpose-tiled"
+	}
+	return "transpose-naive"
+}
+
+// Blocks returns the launch size: one warp per row strip (naive) or per
+// b×b tile (tiled).
+func (t Transpose) Blocks(b int) int {
+	if t.Tiled {
+		s := ceilDiv(t.N, b)
+		return s * s
+	}
+	return ceilDiv(t.N*t.N, b)
+}
+
+// GlobalWords returns the footprint: input plus output matrices.
+func (t Transpose) GlobalWords() int { return 2 * t.N * t.N }
+
+// Analyze returns the exact ATGPU account. Both variants move 2n² words
+// across the link in one round; they differ only in q:
+//
+//	naive:  every warp's read coalesces (1 txn) and its write scatters
+//	        over b blocks (b txns): q = (n²/b)·(1+b).
+//	tiled:  per tile, b coalesced row reads and b coalesced row writes:
+//	        q = (n/b)²·2b = 2n²/b.
+func (t Transpose) Analyze(p core.Params) (*core.Analysis, error) {
+	if t.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, t.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if t.N%p.B != 0 {
+		return nil, fmt.Errorf("%w: n=%d not a multiple of b=%d", ErrBadShape, t.N, p.B)
+	}
+	var q float64
+	var tOps float64
+	var shared int
+	if t.Tiled {
+		tiles := t.N / p.B
+		q = float64(tiles * tiles * 2 * p.B)
+		tOps = float64(10 + p.B*16)
+		shared = p.B * (p.B + 1) // +1 padding stride avoids bank conflicts
+	} else {
+		warps := t.N * t.N / p.B
+		q = float64(warps * (1 + p.B))
+		tOps = 14
+		shared = 1
+	}
+	a := &core.Analysis{
+		Name:   t.Name(),
+		Params: p,
+		Rounds: []core.Round{{
+			Time:            tOps,
+			IO:              q,
+			GlobalWords:     t.GlobalWords(),
+			SharedWords:     shared,
+			Blocks:          t.Blocks(p.B),
+			InWords:         t.N * t.N,
+			InTransactions:  1,
+			OutWords:        t.N * t.N,
+			OutTransactions: 1,
+		}},
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AGPU returns the asymptotic report.
+func (t Transpose) AGPU() models.AGPUReport {
+	io := "O(n²)" // tiled: n²/b · b... = coalesced
+	if !t.Tiled {
+		io = "O(n²)" // same order, but a b× larger constant
+	}
+	return models.AGPUReport{
+		Algorithm:        t.Name(),
+		TimeComplexity:   "O(b) per tile row",
+		IOComplexity:     io,
+		GlobalComplexity: "O(n²)",
+		SharedComplexity: map[bool]string{true: "O(b²)", false: "O(1)"}[t.Tiled],
+	}
+}
+
+// Kernel builds the selected variant for matrices at baseA (input) and
+// baseB (output).
+func (t Transpose) Kernel(b, baseA, baseB int) (*kernel.Program, error) {
+	if t.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, t.N)
+	}
+	if t.N%b != 0 {
+		return nil, fmt.Errorf("%w: n=%d not a multiple of b=%d", ErrBadShape, t.N, b)
+	}
+	if t.Tiled {
+		return t.tiledKernel(b, baseA, baseB)
+	}
+	return t.naiveKernel(b, baseA, baseB)
+}
+
+// naiveKernel: thread idx handles element (row, col) = (idx/n, idx%n),
+// reading A[row][col] (coalesced: consecutive idx share a row) and writing
+// B[col][row] (scattered: consecutive idx write a column).
+func (t Transpose) naiveKernel(b, baseA, baseB int) (*kernel.Program, error) {
+	n := t.N
+	kb := kernel.NewBuilder(fmt.Sprintf("transpose-naive-n%d", n), 1)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	row := kb.Reg("row")
+	col := kb.Reg("col")
+	kb.Div(row, idx, kernel.Imm(int64(n)))
+	kb.Mod(col, idx, kernel.Imm(int64(n)))
+
+	addr := kb.Reg("addr")
+	val := kb.Reg("val")
+	kb.Add(addr, idx, kernel.Imm(int64(baseA)))
+	kb.LdGlobal(val, addr)
+	// B[col][row] = val — the scattered write.
+	kb.Mul(addr, col, kernel.Imm(int64(n)))
+	kb.Add(addr, addr, kernel.R(row))
+	kb.Add(addr, addr, kernel.Imm(int64(baseB)))
+	kb.StGlobal(addr, val)
+	return kb.Build()
+}
+
+// tiledKernel: block (bi, bj) stages tile A[bi][bj] into shared memory,
+// then writes the transposed tile to B[bj][bi] row by row — both global
+// access directions coalesce. The tile is stored transposed with a +1
+// padding stride (the classic trick): lane j stores its element at
+// _tile[j·(b+1) + r], whose bank (j + r) mod b is distinct per lane, so
+// both the staging stores and the row-wise write-back reads are
+// conflict-free, as the model requires.
+func (t Transpose) tiledKernel(b, baseA, baseB int) (*kernel.Program, error) {
+	n := t.N
+	tiles := n / b
+	kb := kernel.NewBuilder(fmt.Sprintf("transpose-tiled-n%d", n), b*(b+1))
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	bi := kb.Reg("tileRow")
+	bj := kb.Reg("tileCol")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Div(bi, blk, kernel.Imm(int64(tiles)))
+	kb.Mod(bj, blk, kernel.Imm(int64(tiles)))
+
+	addr := kb.Reg("addr")
+	val := kb.Reg("val")
+	sAddr := kb.Reg("sAddr")
+
+	// Load: row r of tile (bi,bj) is A[(bi·b+r)·n + bj·b + j]; store it
+	// transposed into shared as _tile[j·b + r].
+	kb.ForDo(kernel.Imm(0), kernel.Imm(int64(b)), 1, func(r kernel.Reg) {
+		kb.Mul(addr, bi, kernel.Imm(int64(b*n)))
+		rowOff := kb.Reg("rowOff")
+		kb.Mul(rowOff, r, kernel.Imm(int64(n)))
+		kb.Add(addr, addr, kernel.R(rowOff))
+		colOff := kb.Reg("colOff")
+		kb.Mul(colOff, bj, kernel.Imm(int64(b)))
+		kb.Add(addr, addr, kernel.R(colOff))
+		kb.Add(addr, addr, kernel.R(j))
+		kb.Add(addr, addr, kernel.Imm(int64(baseA)))
+		kb.LdGlobal(val, addr)
+		kb.Mul(sAddr, j, kernel.Imm(int64(b+1)))
+		kb.Add(sAddr, sAddr, kernel.R(r))
+		kb.StShared(sAddr, val)
+	})
+	kb.Barrier()
+
+	// Write-back: row r of the output tile at B[(bj·b+r)·n + bi·b + j]
+	// comes from _tile[r·(b+1) + j] (padded row read, conflict-free).
+	kb.ForDo(kernel.Imm(0), kernel.Imm(int64(b)), 1, func(r kernel.Reg) {
+		kb.Mul(sAddr, r, kernel.Imm(int64(b+1)))
+		kb.Add(sAddr, sAddr, kernel.R(j))
+		kb.LdShared(val, sAddr)
+		kb.Mul(addr, bj, kernel.Imm(int64(b*n)))
+		rowOff := kb.Reg("rowOff2")
+		kb.Mul(rowOff, r, kernel.Imm(int64(n)))
+		kb.Add(addr, addr, kernel.R(rowOff))
+		colOff := kb.Reg("colOff2")
+		kb.Mul(colOff, bi, kernel.Imm(int64(b)))
+		kb.Add(addr, addr, kernel.R(colOff))
+		kb.Add(addr, addr, kernel.R(j))
+		kb.Add(addr, addr, kernel.Imm(int64(baseB)))
+		kb.StGlobal(addr, val)
+	})
+	return kb.Build()
+}
+
+// Run executes the single-round plan and returns Bᵀ row-major.
+func (t Transpose) Run(h *simgpu.Host, a []Word) ([]Word, error) {
+	nn := t.N * t.N
+	if err := checkLen("a", len(a), nn); err != nil {
+		return nil, err
+	}
+	width := h.Device().Config().WarpWidth
+	if t.N%width != 0 {
+		return nil, fmt.Errorf("%w: n=%d not a multiple of warp width %d", ErrBadShape, t.N, width)
+	}
+	baseA, err := h.Malloc(nn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	baseB, err := h.Malloc(nn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	prog, err := t.Kernel(width, baseA, baseB)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.TransferIn(baseA, a); err != nil {
+		return nil, err
+	}
+	if _, err := h.Launch(prog, t.Blocks(width)); err != nil {
+		return nil, err
+	}
+	out, err := h.TransferOut(baseB, nn)
+	if err != nil {
+		return nil, err
+	}
+	h.EndRound()
+	return out, nil
+}
+
+// TransposeReference computes Aᵀ on the CPU.
+func TransposeReference(a []Word, n int) ([]Word, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("%w: len=%d n=%d", ErrBadShape, len(a), n)
+	}
+	out := make([]Word, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			out[c*n+r] = a[r*n+c]
+		}
+	}
+	return out, nil
+}

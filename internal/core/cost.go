@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CostParams instantiates the model's cost function for a particular GPU,
+// per Section III: operation rate γ, global memory latency λ, fixed
+// synchronisation cost σ, and the Boyer transfer parameters α and β.
+// KPrime and H configure the GPU-cost (Expression 2) simulation of a real
+// machine with k' multiprocessors and a hardware residency limit H.
+//
+// Units: γ is operations per second (it "corresponds to the clock rate of
+// the GPU"); λ is in cycles, so λ·qᵢ/γ is seconds; α, β and σ are seconds.
+// Cost function results are therefore in seconds and directly comparable
+// with simulated running times.
+type CostParams struct {
+	// Gamma is γ, the operation rate (operations/second).
+	Gamma float64
+	// Lambda is λ, cycles to access one global memory block. The paper
+	// cites 400–800 on real GPUs.
+	Lambda float64
+	// Sigma is σ, the fixed synchronisation cost per round (seconds):
+	// device resets, de/re-allocation, queue clearing.
+	Sigma float64
+	// Alpha is α, the fixed overhead per transfer transaction (seconds).
+	Alpha float64
+	// Beta is β, the cost per transferred word (seconds).
+	Beta float64
+	// KPrime is k', the number of multiprocessors of the simulated real
+	// GPU in Expression (2).
+	KPrime int
+	// H is the hardware limit on blocks concurrently resident per
+	// multiprocessor.
+	H int
+}
+
+// ErrBadCostParams reports unusable cost parameters.
+var ErrBadCostParams = errors.New("core: invalid cost parameters")
+
+// Validate checks the cost parameters.
+func (c CostParams) Validate() error {
+	switch {
+	case c.Gamma <= 0 || math.IsNaN(c.Gamma) || math.IsInf(c.Gamma, 0):
+		return fmt.Errorf("%w: gamma=%g", ErrBadCostParams, c.Gamma)
+	case c.Lambda < 0:
+		return fmt.Errorf("%w: lambda=%g", ErrBadCostParams, c.Lambda)
+	case c.Sigma < 0:
+		return fmt.Errorf("%w: sigma=%g", ErrBadCostParams, c.Sigma)
+	case c.Alpha < 0:
+		return fmt.Errorf("%w: alpha=%g", ErrBadCostParams, c.Alpha)
+	case c.Beta < 0:
+		return fmt.Errorf("%w: beta=%g", ErrBadCostParams, c.Beta)
+	case c.KPrime <= 0:
+		return fmt.Errorf("%w: k'=%d", ErrBadCostParams, c.KPrime)
+	case c.H <= 0:
+		return fmt.Errorf("%w: H=%d", ErrBadCostParams, c.H)
+	}
+	return nil
+}
+
+// TI returns the inward transfer cost of a round: TI(i) = Îᵢα + Iᵢβ.
+func (c CostParams) TI(r Round) float64 {
+	return float64(r.InTransactions)*c.Alpha + float64(r.InWords)*c.Beta
+}
+
+// TO returns the outward transfer cost of a round: TO(i) = Ôᵢα + Oᵢβ.
+func (c CostParams) TO(r Round) float64 {
+	return float64(r.OutTransactions)*c.Alpha + float64(r.OutWords)*c.Beta
+}
+
+// Occupancy returns ℓ = min(⌊M/m⌋, H) for a round's shared usage m on
+// machine p. A round that uses no shared memory is limited only by H; a
+// round whose m exceeds M yields 0 (infeasible).
+func (c CostParams) Occupancy(p Params, r Round) int {
+	m := r.SharedWords
+	if m < 0 {
+		return 0
+	}
+	if m == 0 {
+		return c.H
+	}
+	byShared := p.M / m
+	if byShared > c.H {
+		return c.H
+	}
+	return byShared
+}
+
+// occupancyFactor returns ⌈k/(k'·ℓ)⌉ for a round, the serialisation of the
+// round's k blocks over the real machine's k'·ℓ concurrent block slots.
+func (c CostParams) occupancyFactor(p Params, r Round) (float64, error) {
+	l := c.Occupancy(p, r)
+	if l == 0 {
+		return 0, fmt.Errorf("%w: round shared usage %d exceeds M=%d",
+			ErrSharedExceeded, r.SharedWords, p.M)
+	}
+	k := r.Blocks
+	if k <= 0 {
+		k = p.K()
+	}
+	return math.Ceil(float64(k) / float64(c.KPrime*l)), nil
+}
+
+// PerfectCost evaluates Expression (1), the cost on a "perfect GPU" with
+// sufficient multiprocessors to run every thread block concurrently:
+//
+//	Σᵢ ( TI(i) + (tᵢ + λ·qᵢ)/γ + TO(i) + σ )
+func PerfectCost(a *Analysis, c CostParams) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, r := range a.Rounds {
+		total += c.TI(r) + (r.Time+c.Lambda*r.IO)/c.Gamma + c.TO(r) + c.Sigma
+	}
+	return total, nil
+}
+
+// GPUCost evaluates Expression (2), simulating a GPU with k' < k
+// multiprocessors, "which captures the concept of occupancy":
+//
+//	Σᵢ ( TI(i) + (⌈k/(k'ℓ)⌉·tᵢ + λ·qᵢ)/γ + TO(i) + σ )
+func GPUCost(a *Analysis, c CostParams) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, r := range a.Rounds {
+		f, err := c.occupancyFactor(a.Params, r)
+		if err != nil {
+			return 0, err
+		}
+		total += c.TI(r) + (f*r.Time+c.Lambda*r.IO)/c.Gamma + c.TO(r) + c.Sigma
+	}
+	return total, nil
+}
+
+// Breakdown decomposes a cost-function evaluation into its components, for
+// Figure 6's Δ proportions and for diagnostics.
+type Breakdown struct {
+	// TransferIn is Σᵢ TI(i); TransferOut is Σᵢ TO(i).
+	TransferIn, TransferOut float64
+	// Compute is Σᵢ fᵢ·tᵢ/γ with fᵢ the occupancy factor (1 on the
+	// perfect GPU).
+	Compute float64
+	// MemoryIO is Σᵢ λ·qᵢ/γ.
+	MemoryIO float64
+	// Sync is R·σ.
+	Sync float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.TransferIn + b.TransferOut + b.Compute + b.MemoryIO + b.Sync
+}
+
+// Transfer sums the transfer components.
+func (b Breakdown) Transfer() float64 { return b.TransferIn + b.TransferOut }
+
+// TransferFraction is Δ_T, the predicted proportion of cost allocated to
+// data transfer (paper Figure 6).
+func (b Breakdown) TransferFraction() float64 {
+	t := b.Total()
+	if t <= 0 {
+		return 0
+	}
+	return b.Transfer() / t
+}
+
+// GPUCostBreakdown evaluates Expression (2) componentwise.
+func GPUCostBreakdown(a *Analysis, c CostParams) (Breakdown, error) {
+	if err := c.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var b Breakdown
+	for _, r := range a.Rounds {
+		f, err := c.occupancyFactor(a.Params, r)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		b.TransferIn += c.TI(r)
+		b.TransferOut += c.TO(r)
+		b.Compute += f * r.Time / c.Gamma
+		b.MemoryIO += c.Lambda * r.IO / c.Gamma
+		b.Sync += c.Sigma
+	}
+	return b, nil
+}
+
+// PerfectCostBreakdown evaluates Expression (1) componentwise.
+func PerfectCostBreakdown(a *Analysis, c CostParams) (Breakdown, error) {
+	if err := c.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var b Breakdown
+	for _, r := range a.Rounds {
+		b.TransferIn += c.TI(r)
+		b.TransferOut += c.TO(r)
+		b.Compute += r.Time / c.Gamma
+		b.MemoryIO += c.Lambda * r.IO / c.Gamma
+		b.Sync += c.Sigma
+	}
+	return b, nil
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// testCost is a simple parameter set with hand-friendly numbers.
+func testCost() CostParams {
+	return CostParams{
+		Gamma:  1000, // 1000 ops/s
+		Lambda: 4,    // 4 cycles per block transaction
+		Sigma:  0.5,
+		Alpha:  0.01,
+		Beta:   0.001,
+		KPrime: 2,
+		H:      4,
+	}
+}
+
+func TestCostParamsValidate(t *testing.T) {
+	if err := testCost().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	muts := []func(*CostParams){
+		func(c *CostParams) { c.Gamma = 0 },
+		func(c *CostParams) { c.Gamma = math.NaN() },
+		func(c *CostParams) { c.Gamma = math.Inf(1) },
+		func(c *CostParams) { c.Lambda = -1 },
+		func(c *CostParams) { c.Sigma = -1 },
+		func(c *CostParams) { c.Alpha = -1 },
+		func(c *CostParams) { c.Beta = -1 },
+		func(c *CostParams) { c.KPrime = 0 },
+		func(c *CostParams) { c.H = 0 },
+	}
+	for i, mut := range muts {
+		c := testCost()
+		mut(&c)
+		if err := c.Validate(); !errors.Is(err, ErrBadCostParams) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestTransferCostFunctions(t *testing.T) {
+	c := testCost()
+	r := Round{InWords: 100, InTransactions: 2, OutWords: 50, OutTransactions: 1}
+	// TI(i) = Îᵢα + Iᵢβ = 2·0.01 + 100·0.001 = 0.12
+	if got := c.TI(r); math.Abs(got-0.12) > 1e-12 {
+		t.Fatalf("TI = %g, want 0.12", got)
+	}
+	// TO(i) = Ôᵢα + Oᵢβ = 0.01 + 0.05 = 0.06
+	if got := c.TO(r); math.Abs(got-0.06) > 1e-12 {
+		t.Fatalf("TO = %g, want 0.06", got)
+	}
+}
+
+func TestOccupancyRule(t *testing.T) {
+	c := testCost()
+	p := Params{P: 64, B: 32, M: 100, G: 1000}
+	// ℓ = min(⌊M/m⌋, H)
+	cases := []struct {
+		m, want int
+	}{
+		{0, 4},   // no shared usage → H
+		{10, 4},  // ⌊100/10⌋=10 capped at H=4
+		{30, 3},  // ⌊100/30⌋=3
+		{100, 1}, // exact fit
+		{101, 0}, // infeasible
+	}
+	for _, cse := range cases {
+		if got := c.Occupancy(p, Round{SharedWords: cse.m}); got != cse.want {
+			t.Errorf("Occupancy(m=%d) = %d, want %d", cse.m, got, cse.want)
+		}
+	}
+}
+
+// TestPerfectCostByHand checks Expression (1) against a hand computation.
+func TestPerfectCostByHand(t *testing.T) {
+	c := testCost()
+	a := &Analysis{
+		Params: Params{P: 128, B: 32, M: 100, G: 10000},
+		Rounds: []Round{{
+			Time: 10, IO: 5, Blocks: 4,
+			InWords: 100, InTransactions: 2, OutWords: 50, OutTransactions: 1,
+		}},
+	}
+	// TI + (t + λq)/γ + TO + σ = 0.12 + (10+20)/1000 + 0.06 + 0.5 = 0.71
+	got, err := PerfectCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.71) > 1e-12 {
+		t.Fatalf("PerfectCost = %g, want 0.71", got)
+	}
+}
+
+// TestGPUCostByHand checks Expression (2): the occupancy factor ⌈k/(k'ℓ)⌉
+// multiplies only the time term.
+func TestGPUCostByHand(t *testing.T) {
+	c := testCost()
+	a := &Analysis{
+		Params: Params{P: 128, B: 32, M: 100, G: 10000},
+		Rounds: []Round{{
+			Time: 10, IO: 5, Blocks: 40, SharedWords: 30,
+			InWords: 100, InTransactions: 2, OutWords: 50, OutTransactions: 1,
+		}},
+	}
+	// ℓ = min(⌊100/30⌋, 4) = 3; factor = ⌈40/(2·3)⌉ = 7
+	// cost = 0.12 + (7·10 + 4·5)/1000 + 0.06 + 0.5 = 0.77
+	got, err := GPUCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.77) > 1e-12 {
+		t.Fatalf("GPUCost = %g, want 0.77", got)
+	}
+}
+
+func TestGPUCostUsesParamsKWhenBlocksUnset(t *testing.T) {
+	c := testCost()
+	a := &Analysis{
+		Params: Params{P: 320, B: 32, M: 100, G: 10000}, // k = 10
+		Rounds: []Round{{Time: 10, IO: 0, SharedWords: 0}},
+	}
+	// ℓ = H = 4; factor = ⌈10/8⌉ = 2 → cost = 2·10/1000 + σ
+	got, err := GPUCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.02 + c.Sigma
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GPUCost = %g, want %g", got, want)
+	}
+}
+
+func TestGPUCostInfeasibleShared(t *testing.T) {
+	c := testCost()
+	a := &Analysis{
+		Params: Params{P: 64, B: 32, M: 100, G: 1000},
+		Rounds: []Round{{Time: 1, SharedWords: 101, Blocks: 1}},
+	}
+	if _, err := GPUCost(a, c); !errors.Is(err, ErrSharedExceeded) {
+		t.Fatalf("GPUCost = %v, want ErrSharedExceeded", err)
+	}
+	if _, err := GPUCostBreakdown(a, c); !errors.Is(err, ErrSharedExceeded) {
+		t.Fatalf("GPUCostBreakdown = %v, want ErrSharedExceeded", err)
+	}
+}
+
+func TestCostRejectsBadParams(t *testing.T) {
+	a := testAnalysis()
+	bad := testCost()
+	bad.Gamma = 0
+	if _, err := PerfectCost(a, bad); err == nil {
+		t.Error("PerfectCost accepted bad params")
+	}
+	if _, err := GPUCost(a, bad); err == nil {
+		t.Error("GPUCost accepted bad params")
+	}
+	if _, err := PerfectCostBreakdown(a, bad); err == nil {
+		t.Error("PerfectCostBreakdown accepted bad params")
+	}
+	if _, err := GPUCostBreakdown(a, bad); err == nil {
+		t.Error("GPUCostBreakdown accepted bad params")
+	}
+}
+
+// TestBreakdownConsistency: the componentwise decomposition must sum to the
+// scalar cost for both expressions.
+func TestBreakdownConsistency(t *testing.T) {
+	c := testCost()
+	a := testAnalysis()
+	g, err := GPUCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := GPUCostBreakdown(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-gb.Total()) > 1e-12 {
+		t.Fatalf("GPUCost %g ≠ breakdown total %g", g, gb.Total())
+	}
+	p, err := PerfectCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := PerfectCostBreakdown(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-pb.Total()) > 1e-12 {
+		t.Fatalf("PerfectCost %g ≠ breakdown total %g", p, pb.Total())
+	}
+	if gb.Transfer() != gb.TransferIn+gb.TransferOut {
+		t.Fatal("Transfer() inconsistent")
+	}
+	frac := gb.TransferFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("transfer fraction = %g, want in (0,1)", frac)
+	}
+}
+
+func TestBreakdownZeroTotal(t *testing.T) {
+	if (Breakdown{}).TransferFraction() != 0 {
+		t.Fatal("zero breakdown fraction should be 0")
+	}
+}
+
+// Properties: the perfect cost never exceeds the GPU-cost (the occupancy
+// factor is ≥ 1), and both are monotone in every round metric.
+func TestCostProperties(t *testing.T) {
+	c := testCost()
+	mk := func(time, io, blocks, in, out uint8) *Analysis {
+		return &Analysis{
+			Params: Params{P: 64, B: 32, M: 100, G: 100000},
+			Rounds: []Round{{
+				Time:            float64(time),
+				IO:              float64(io),
+				Blocks:          int(blocks)%50 + 1,
+				SharedWords:     25,
+				InWords:         int(in),
+				InTransactions:  1,
+				OutWords:        int(out),
+				OutTransactions: 1,
+			}},
+		}
+	}
+	f := func(time, io, blocks, in, out uint8) bool {
+		a := mk(time, io, blocks, in, out)
+		perfect, err := PerfectCost(a, c)
+		if err != nil {
+			return false
+		}
+		gpu, err := GPUCost(a, c)
+		if err != nil {
+			return false
+		}
+		if perfect > gpu+1e-12 {
+			return false
+		}
+		// Monotonicity: adding work can only increase both costs.
+		b := mk(time, io, blocks, in, out)
+		b.Rounds[0].Time++
+		b.Rounds[0].IO++
+		b.Rounds[0].InWords++
+		p2, err := PerfectCost(b, c)
+		if err != nil {
+			return false
+		}
+		g2, err := GPUCost(b, c)
+		if err != nil {
+			return false
+		}
+		return p2 >= perfect && g2 >= gpu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package core implements the ATGPU (Abstract Transferring GPU) model of
+// Carroll & Wong: the machine ATGPU(p, b, M, G), the per-round analysis
+// metrics of Section III, and the two cost functions — Expression (1), the
+// "perfect GPU" cost, and Expression (2), the GPU-cost that simulates a
+// machine with k' < k multiprocessors by folding in occupancy.
+//
+// The model is the paper's contribution; every other package in this module
+// is either a substrate it is validated against (simgpu, transfer) or a
+// consumer of its analyses (algorithms, experiments).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params is an instance ATGPU(p, b, M, G): p cores in total, b cores and
+// M words of shared memory per multiprocessor, and G words of global
+// memory. The derived quantity k = p/b is the number of multiprocessors.
+type Params struct {
+	// P is the total number of cores.
+	P int
+	// B is the number of cores per multiprocessor; also the shared-memory
+	// bank count, the global memory block size in words, and the warp
+	// width.
+	B int
+	// M is the shared memory per multiprocessor, in words.
+	M int
+	// G is the global memory size in words — the capacity constraint
+	// ATGPU introduces over SWGPU and AGPU.
+	G int
+}
+
+// Validation errors.
+var (
+	ErrBadParams    = errors.New("core: invalid model parameters")
+	ErrNotDivisible = errors.New("core: p must be a multiple of b")
+)
+
+// Validate checks the machine description.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0:
+		return fmt.Errorf("%w: p=%d", ErrBadParams, p.P)
+	case p.B <= 0:
+		return fmt.Errorf("%w: b=%d", ErrBadParams, p.B)
+	case p.M < 0:
+		return fmt.Errorf("%w: M=%d", ErrBadParams, p.M)
+	case p.G < 0:
+		return fmt.Errorf("%w: G=%d", ErrBadParams, p.G)
+	}
+	if p.P%p.B != 0 {
+		return fmt.Errorf("%w: p=%d, b=%d", ErrNotDivisible, p.P, p.B)
+	}
+	return nil
+}
+
+// K returns k = p/b, the number of multiprocessors.
+func (p Params) K() int { return p.P / p.B }
+
+// String renders the instance in the paper's notation.
+func (p Params) String() string {
+	return fmt.Sprintf("ATGPU(p=%d, b=%d, M=%d, G=%d)", p.P, p.B, p.M, p.G)
+}
+
+// ForProblem returns a "perfect GPU" instance sized so that every one of
+// the given thread blocks has its own multiprocessor — the impossible
+// machine Expression (1) prices, with k = blocks.
+func ForProblem(blocks, b, m, g int) Params {
+	if blocks < 1 {
+		blocks = 1
+	}
+	return Params{P: blocks * b, B: b, M: m, G: g}
+}
+
+// Round holds the Section III metrics for one round i of an algorithm.
+// All counts are exact (not asymptotic) so cost functions evaluate to
+// numbers comparable against simulated executions.
+type Round struct {
+	// Time is tᵢ: "the maximum number of operations across all MPs
+	// executed in round i".
+	Time float64
+	// IO is qᵢ: "the total number of global memory blocks accessed in the
+	// round, by all MP".
+	IO float64
+	// GlobalWords is the global memory space used in round i.
+	GlobalWords int
+	// SharedWords is the maximum shared memory used per MP in round i —
+	// the m of the occupancy bound ℓ = min(⌊M/m⌋, H).
+	SharedWords int
+	// Blocks is the number of thread blocks the round launches; on the
+	// perfect GPU this is the k of the ⌈k/(k'ℓ)⌉ occupancy factor.
+	Blocks int
+
+	// InWords is Iᵢ, words transferred host→device at the round start.
+	InWords int
+	// InTransactions is Îᵢ, the number of inward transfer transactions.
+	InTransactions int
+	// OutWords is Oᵢ, words transferred device→host at the round end.
+	OutWords int
+	// OutTransactions is Ôᵢ.
+	OutTransactions int
+}
+
+// Analysis is a complete per-round account of an algorithm on the model.
+type Analysis struct {
+	// Name labels the analysed algorithm.
+	Name string
+	// Params is the machine instance analysed against.
+	Params Params
+	// Rounds holds one entry per round, in execution order.
+	Rounds []Round
+}
+
+// R returns the number of rounds.
+func (a *Analysis) R() int { return len(a.Rounds) }
+
+// TotalTransferWords returns Σᵢ(Iᵢ+Oᵢ), the paper's data-transfer metric.
+func (a *Analysis) TotalTransferWords() int {
+	total := 0
+	for _, r := range a.Rounds {
+		total += r.InWords + r.OutWords
+	}
+	return total
+}
+
+// TotalIO returns Σᵢqᵢ.
+func (a *Analysis) TotalIO() float64 {
+	total := 0.0
+	for _, r := range a.Rounds {
+		total += r.IO
+	}
+	return total
+}
+
+// TotalTime returns Σᵢtᵢ.
+func (a *Analysis) TotalTime() float64 {
+	total := 0.0
+	for _, r := range a.Rounds {
+		total += r.Time
+	}
+	return total
+}
+
+// MaxGlobalWords returns the peak global-space metric: "If there is
+// difference between rounds, then the largest value is taken."
+func (a *Analysis) MaxGlobalWords() int {
+	max := 0
+	for _, r := range a.Rounds {
+		if r.GlobalWords > max {
+			max = r.GlobalWords
+		}
+	}
+	return max
+}
+
+// MaxSharedWords returns the peak per-MP shared-space metric.
+func (a *Analysis) MaxSharedWords() int {
+	max := 0
+	for _, r := range a.Rounds {
+		if r.SharedWords > max {
+			max = r.SharedWords
+		}
+	}
+	return max
+}
+
+// Feasibility errors.
+var (
+	// ErrGlobalExceeded signals that global space used exceeds G: "If this
+	// is greater than G, the algorithm cannot be run on our model."
+	ErrGlobalExceeded = errors.New("core: global memory space used exceeds G")
+	// ErrSharedExceeded signals that shared space used exceeds M.
+	ErrSharedExceeded = errors.New("core: shared memory space used exceeds M")
+)
+
+// CheckFeasible verifies the algorithm fits the machine: peak global usage
+// within G and peak shared usage within M.
+func (a *Analysis) CheckFeasible() error {
+	if g := a.MaxGlobalWords(); g > a.Params.G {
+		return fmt.Errorf("%w: need %d, G=%d", ErrGlobalExceeded, g, a.Params.G)
+	}
+	if s := a.MaxSharedWords(); s > a.Params.M {
+		return fmt.Errorf("%w: need %d, M=%d", ErrSharedExceeded, s, a.Params.M)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{P: 64, B: 32, M: 1024, G: 4096}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []Params{
+		{P: 0, B: 32, M: 1, G: 1},
+		{P: 64, B: 0, M: 1, G: 1},
+		{P: 64, B: 32, M: -1, G: 1},
+		{P: 64, B: 32, M: 1, G: -1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	if err := (Params{P: 65, B: 32, M: 1, G: 1}).Validate(); !errors.Is(err, ErrNotDivisible) {
+		t.Error("p not multiple of b accepted")
+	}
+}
+
+func TestParamsK(t *testing.T) {
+	p := Params{P: 96, B: 32, M: 1, G: 1}
+	if p.K() != 3 {
+		t.Fatalf("K = %d, want 3", p.K())
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := Params{P: 64, B: 32, M: 10, G: 20}.String()
+	if !strings.Contains(s, "p=64") || !strings.Contains(s, "G=20") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestForProblem(t *testing.T) {
+	p := ForProblem(10, 32, 100, 1000)
+	if p.K() != 10 || p.B != 32 || p.M != 100 || p.G != 1000 {
+		t.Fatalf("ForProblem = %+v", p)
+	}
+	if ForProblem(0, 32, 1, 1).K() != 1 {
+		t.Fatal("ForProblem should clamp blocks to 1")
+	}
+}
+
+func testAnalysis() *Analysis {
+	return &Analysis{
+		Name:   "t",
+		Params: Params{P: 128, B: 32, M: 100, G: 1000},
+		Rounds: []Round{
+			{Time: 10, IO: 5, GlobalWords: 500, SharedWords: 50, Blocks: 4,
+				InWords: 100, InTransactions: 2},
+			{Time: 20, IO: 7, GlobalWords: 700, SharedWords: 30, Blocks: 2,
+				OutWords: 10, OutTransactions: 1},
+		},
+	}
+}
+
+func TestAnalysisTotals(t *testing.T) {
+	a := testAnalysis()
+	if a.R() != 2 {
+		t.Fatalf("R = %d", a.R())
+	}
+	if got := a.TotalTransferWords(); got != 110 {
+		t.Fatalf("TotalTransferWords = %d, want 110 (Σ Iᵢ+Oᵢ)", got)
+	}
+	if got := a.TotalIO(); got != 12 {
+		t.Fatalf("TotalIO = %g, want 12", got)
+	}
+	if got := a.TotalTime(); got != 30 {
+		t.Fatalf("TotalTime = %g, want 30", got)
+	}
+	if got := a.MaxGlobalWords(); got != 700 {
+		t.Fatalf("MaxGlobalWords = %d, want 700 (largest round)", got)
+	}
+	if got := a.MaxSharedWords(); got != 50 {
+		t.Fatalf("MaxSharedWords = %d, want 50", got)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	a := testAnalysis()
+	if err := a.CheckFeasible(); err != nil {
+		t.Fatalf("feasible analysis rejected: %v", err)
+	}
+	// "If this is greater than G, the algorithm cannot be run on our
+	// model."
+	a.Rounds[1].GlobalWords = 1001
+	if err := a.CheckFeasible(); !errors.Is(err, ErrGlobalExceeded) {
+		t.Fatalf("global overflow: %v", err)
+	}
+	a = testAnalysis()
+	a.Rounds[0].SharedWords = 101
+	if err := a.CheckFeasible(); !errors.Is(err, ErrSharedExceeded) {
+		t.Fatalf("shared overflow: %v", err)
+	}
+}

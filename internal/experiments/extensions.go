@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/calibrate"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// This file implements the paper's future-work experiments (§V):
+//
+//   - RunScan: "further experiments on other computational problems to
+//     verify our model" — the prefix-sum sweep, same predicted-vs-observed
+//     methodology as §IV.
+//   - RunTransposeContrast: the coalescing study; the model's qᵢ metric
+//     must order the naive and tiled variants the way the device does.
+//   - RunOutOfCore: "approaches where the data does not fit on the global
+//     memory" — serial vs overlapped chunked reduction.
+//   - RunDeviceSweep: "verify the model using other GPUs" — the same
+//     workload calibrated and checked on several device presets.
+
+// ScanSizes returns the scan sweep sizes.
+func (r *Runner) ScanSizes() []int {
+	if r.cfg.SizesReduce != nil {
+		return r.cfg.SizesReduce
+	}
+	hi := 20
+	if r.cfg.Full {
+		hi = 24
+	}
+	var sizes []int
+	for e := 14; e <= hi; e += 2 {
+		sizes = append(sizes, 1<<e)
+	}
+	return sizes
+}
+
+// RunScan sweeps the prefix-sum workload with the §IV methodology.
+func (r *Runner) RunScan() (*WorkloadData, error) {
+	data := &WorkloadData{Workload: "scan"}
+	b := r.cfg.Device.WarpWidth
+	for _, n := range r.ScanSizes() {
+		alg := algorithms.Scan{N: n}
+
+		analysis, err := alg.Analyze(r.modelParams((n + b - 1) / b))
+		if err != nil {
+			return nil, fmt.Errorf("scan n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return nil, fmt.Errorf("scan n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		h, err := r.newHost(alg.GlobalWords(b))
+		if err != nil {
+			return nil, err
+		}
+		in := make([]algorithms.Word, n)
+		for i := range in {
+			in[i] = algorithms.Word(i%3 - 1)
+		}
+		got, err := alg.Run(h, in)
+		if err != nil {
+			return nil, fmt.Errorf("scan n=%d: run: %w", n, err)
+		}
+		// Spot-check the tail against the reference reduction.
+		if got[n-1] != algorithms.ReduceReference(in) {
+			return nil, fmt.Errorf("scan n=%d: %w", n, algorithms.ErrVerifyFail)
+		}
+		pt.observe(h.Report())
+		data.Points = append(data.Points, pt)
+	}
+	return data, nil
+}
+
+// TransposeContrast reports the coalescing study at one size.
+type TransposeContrast struct {
+	N int
+	// Predicted q (block transactions) per variant, from the analyses.
+	NaiveQ, TiledQ float64
+	// Observed device cycles and kernel seconds per variant.
+	NaiveCycles, TiledCycles int64
+	NaiveKernel, TiledKernel float64
+	// ModelOrdersCorrectly is true when the variant the model says is
+	// cheaper is the variant the device runs faster.
+	ModelOrdersCorrectly bool
+}
+
+// RunTransposeContrast runs both transpose variants at size n.
+func (r *Runner) RunTransposeContrast(n int) (*TransposeContrast, error) {
+	out := &TransposeContrast{N: n}
+	b := r.cfg.Device.WarpWidth
+
+	for _, tiled := range []bool{false, true} {
+		alg := algorithms.Transpose{N: n, Tiled: tiled}
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(b)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: analyze: %w", alg.Name(), err)
+		}
+		h, err := r.newHost(alg.GlobalWords())
+		if err != nil {
+			return nil, err
+		}
+		in := make([]algorithms.Word, n*n)
+		for i := range in {
+			in[i] = algorithms.Word(i)
+		}
+		got, err := alg.Run(h, in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: run: %w", alg.Name(), err)
+		}
+		want, err := algorithms.TransposeReference(in, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return nil, fmt.Errorf("%s: %w at %d", alg.Name(), algorithms.ErrVerifyFail, i)
+			}
+		}
+		ks := h.KernelStats()
+		if tiled {
+			out.TiledQ = analysis.TotalIO()
+			out.TiledCycles = ks.Cycles
+			out.TiledKernel = h.KernelTime().Seconds()
+		} else {
+			out.NaiveQ = analysis.TotalIO()
+			out.NaiveCycles = ks.Cycles
+			out.NaiveKernel = h.KernelTime().Seconds()
+		}
+	}
+	out.ModelOrdersCorrectly = (out.NaiveQ > out.TiledQ) == (out.NaiveCycles > out.TiledCycles)
+	return out, nil
+}
+
+// OutOfCorePoint is one chunk-size configuration of the out-of-core study.
+type OutOfCorePoint struct {
+	ChunkWords int
+	Chunks     int
+	Serial     float64 // seconds
+	Overlapped float64 // seconds
+	Speedup    float64
+}
+
+// RunOutOfCore runs the partitioned reduction over several chunk sizes on
+// a deliberately small-G device.
+func (r *Runner) RunOutOfCore(n int, chunks []int) ([]OutOfCorePoint, error) {
+	var out []OutOfCorePoint
+	in := make([]algorithms.Word, n)
+	for i := range in {
+		in[i] = algorithms.Word(i & 1)
+	}
+	want := algorithms.ReduceReference(in)
+	for _, chunk := range chunks {
+		b := r.cfg.Device.WarpWidth
+		h, err := r.newHost(2*chunk + (chunk+b-1)/b + 4*b)
+		if err != nil {
+			return nil, err
+		}
+		alg := algorithms.OutOfCoreReduce{N: n, ChunkWords: chunk}
+		res, err := alg.Run(h, in)
+		if err != nil {
+			return nil, fmt.Errorf("ooc chunk=%d: %w", chunk, err)
+		}
+		if res.Sum != want {
+			return nil, fmt.Errorf("ooc chunk=%d: %w", chunk, algorithms.ErrVerifyFail)
+		}
+		out = append(out, OutOfCorePoint{
+			ChunkWords: chunk,
+			Chunks:     res.Chunks,
+			Serial:     res.SerialTime.Seconds(),
+			Overlapped: res.OverlappedTime.Seconds(),
+			Speedup:    res.Speedup(),
+		})
+	}
+	return out, nil
+}
+
+// DevicePoint is one preset's verification outcome.
+type DevicePoint struct {
+	Device string
+	// DeltaPredicted/DeltaObserved are ΔT/ΔE for the probe workload.
+	DeltaPredicted, DeltaObserved float64
+	// CostCoverage is predicted GPU-cost over observed total.
+	CostCoverage float64
+}
+
+// RunDeviceSweep calibrates each preset and verifies the model against a
+// vecadd probe on it — the cross-GPU validation of the paper's future
+// work. Each device gets its own calibration, exactly as a practitioner
+// would instantiate γ, λ, α, β per machine.
+func RunDeviceSweep(n int, scheme transfer.Scheme, syncCost int64) ([]DevicePoint, error) {
+	var out []DevicePoint
+	link := transfer.PCIeGen3x8Link()
+	for _, preset := range simgpu.Presets() {
+		calCfg := preset
+		calCfg.GlobalWords = 1 << 22
+		dev, err := simgpu.New(calCfg)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := transfer.NewEngine(link, scheme)
+		if err != nil {
+			return nil, err
+		}
+		cal, err := calibrate.Run(dev, eng, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s: calibrate: %w", preset.Name, err)
+		}
+
+		cfg := Config{Device: preset, Scheme: scheme, Seed: 1}
+		r := &Runner{cfg: cfg, link: link, params: cal.Params, calib: cal}
+
+		alg := algorithms.VecAdd{N: n}
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(preset.WarpWidth)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: analyze: %w", preset.Name, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return nil, err
+		}
+		h, err := r.newHost(alg.GlobalWords())
+		if err != nil {
+			return nil, err
+		}
+		a := make([]algorithms.Word, n)
+		bv := make([]algorithms.Word, n)
+		if _, err := alg.Run(h, a, bv); err != nil {
+			return nil, fmt.Errorf("%s: run: %w", preset.Name, err)
+		}
+		rep := h.Report()
+		out = append(out, DevicePoint{
+			Device:         preset.Name,
+			DeltaPredicted: pt.DeltaPredicted,
+			DeltaObserved:  rep.TransferFraction(),
+			CostCoverage:   pt.ATGPUCost / rep.Total.Seconds(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atgpu/internal/stats"
+)
+
+// Figure is the data behind one paper figure panel: shared x, one or more
+// named y series.
+type Figure struct {
+	// ID is the paper's label, e.g. "fig3a".
+	ID string
+	// Title describes the panel.
+	Title string
+	// XLabel names the x axis.
+	XLabel string
+	// Series holds the panel's curves.
+	Series []stats.Series
+}
+
+func mustSeries(name string, x, y []float64) stats.Series {
+	s, err := stats.NewSeries(name, x, y)
+	if err != nil {
+		// Series built from a WorkloadData sweep always have matched
+		// lengths; reaching here is a programming error.
+		panic(err)
+	}
+	return s
+}
+
+// PredictedFigure builds the "(a) Predicted results" panel: ATGPU vs SWGPU
+// cost against input size (Figures 3a, 4a, 5a).
+func PredictedFigure(id string, d *WorkloadData) Figure {
+	x := d.Sizes()
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: predicted cost (s)", d.Workload),
+		XLabel: "n",
+		Series: []stats.Series{
+			mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost })),
+			mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost })),
+		},
+	}
+}
+
+// ObservedFigure builds the "(b) Observed results" panel: total vs kernel
+// simulated time (Figures 3b, 4b, 5b).
+func ObservedFigure(id string, d *WorkloadData) Figure {
+	x := d.Sizes()
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: observed time (s)", d.Workload),
+		XLabel: "n",
+		Series: []stats.Series{
+			mustSeries("Total", x, d.column(func(p WorkloadPoint) float64 { return p.TotalTime })),
+			mustSeries("Kernel", x, d.column(func(p WorkloadPoint) float64 { return p.KernelTime })),
+		},
+	}
+}
+
+// NormalisedFigure builds the "(c) Normalised results" panel: all four
+// series rescaled to [0,1] (Figures 3c, 4c).
+func NormalisedFigure(id string, d *WorkloadData) Figure {
+	x := d.Sizes()
+	raw := []stats.Series{
+		mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost })),
+		mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost })),
+		mustSeries("Total", x, d.column(func(p WorkloadPoint) float64 { return p.TotalTime })),
+		mustSeries("Kernel", x, d.column(func(p WorkloadPoint) float64 { return p.KernelTime })),
+	}
+	norm := make([]stats.Series, len(raw))
+	for i, s := range raw {
+		norm[i] = s.Normalise()
+	}
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: normalised cost/time (0→1)", d.Workload),
+		XLabel: "n",
+		Series: norm,
+	}
+}
+
+// DeltaFigure builds one Figure 6 panel: the predicted (Δ_T) and observed
+// (Δ_E) proportions of time/cost allocated to data transfer.
+func DeltaFigure(id string, d *WorkloadData) Figure {
+	x := d.Sizes()
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: transfer proportion Δ", d.Workload),
+		XLabel: "n",
+		Series: []stats.Series{
+			mustSeries("ΔE (Observed)", x, d.column(func(p WorkloadPoint) float64 { return p.DeltaObserved })),
+			mustSeries("ΔT (Predicted)", x, d.column(func(p WorkloadPoint) float64 { return p.DeltaPredicted })),
+		},
+	}
+}
+
+// Figures expands a workload sweep into its paper panels. VecAdd yields
+// 3a/3b/3c and 6a; reduce 4a/4b/4c and 6b; matmul 5a/5b and 6c (the paper
+// has no normalised matmul panel).
+func Figures(d *WorkloadData) []Figure {
+	switch d.Workload {
+	case "vecadd":
+		return []Figure{
+			PredictedFigure("fig3a", d),
+			ObservedFigure("fig3b", d),
+			NormalisedFigure("fig3c", d),
+			DeltaFigure("fig6a", d),
+		}
+	case "reduce":
+		return []Figure{
+			PredictedFigure("fig4a", d),
+			ObservedFigure("fig4b", d),
+			NormalisedFigure("fig4c", d),
+			DeltaFigure("fig6b", d),
+		}
+	case "matmul":
+		return []Figure{
+			PredictedFigure("fig5a", d),
+			ObservedFigure("fig5b", d),
+			DeltaFigure("fig6c", d),
+		}
+	}
+	return nil
+}

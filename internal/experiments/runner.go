@@ -1,0 +1,380 @@
+// Package experiments reproduces the paper's evaluation (Section IV): the
+// predicted-versus-observed study of vector addition, reduction and matrix
+// multiplication on the ATGPU model, regenerating the data behind
+// Figures 3–6, Table I and the Section IV-D summary statistics.
+//
+// Methodology, following the paper: for each workload and input size we
+// compute the ATGPU GPU-cost (Expression 2) and the SWGPU cost ("the GPU
+// cost function of our model minus the data transfer"), then execute the
+// same workload on the simulated GTX 650 observing kernel time and total
+// time. Cost parameters are calibrated once per device by the calibrate
+// package. Figures compare growth trends; Figure 6 compares the predicted
+// transfer proportion Δ_T against the observed Δ_E.
+//
+// Input sizes default to a scaled-down sweep so the full suite runs in
+// seconds; Full mode uses the paper's exact sizes (n up to 10⁷ elements,
+// 2²⁶ reduction inputs, 1024² matrices), which take minutes under the
+// cycle-level simulator.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/calibrate"
+	"atgpu/internal/core"
+	"atgpu/internal/mem"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// Config selects the device, transfer scheme and sweep scale.
+type Config struct {
+	// Device is the simulated GPU preset.
+	Device simgpu.Config
+	// Scheme selects the host↔device transfer technique.
+	Scheme transfer.Scheme
+	// SyncCost is σ, the fixed per-round synchronisation charge.
+	SyncCost time.Duration
+	// Full switches to the paper's exact input sizes.
+	Full bool
+	// Seed drives the random input generators.
+	Seed int64
+	// SizesVecAdd, SizesReduce and SizesMatMul override the sweep sizes
+	// when non-nil (used by tests and custom studies); Full is then
+	// ignored for that workload.
+	SizesVecAdd []int
+	SizesReduce []int
+	SizesMatMul []int
+}
+
+// DefaultConfig returns the GTX650-like setup used throughout
+// EXPERIMENTS.md: pageable transfers (the cudaMemcpy default, which
+// reproduces the paper's ~84% vecadd transfer share), σ = 50 µs,
+// scaled-down sweeps.
+func DefaultConfig() Config {
+	return Config{
+		Device:   simgpu.GTX650(),
+		Scheme:   transfer.Pageable,
+		SyncCost: 50 * time.Microsecond,
+		Seed:     1,
+	}
+}
+
+// Runner executes workload sweeps with calibrated cost parameters.
+type Runner struct {
+	cfg    Config
+	link   *transfer.Link
+	params core.CostParams
+	calib  calibrate.Result
+}
+
+// NewRunner calibrates cost parameters on a throwaway device and returns a
+// ready runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	link := transfer.PCIeGen3x8Link()
+
+	calCfg := cfg.Device
+	// A modest global memory suffices for the calibration microkernels
+	// and keeps allocation cheap.
+	if calCfg.GlobalWords > 1<<22 {
+		calCfg.GlobalWords = 1 << 22
+	}
+	dev, err := simgpu.New(calCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := transfer.NewEngine(link, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := calibrate.Run(dev, eng, cfg.SyncCost)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, link: link, params: cal.Params, calib: cal}, nil
+}
+
+// CostParams exposes the calibrated parameters.
+func (r *Runner) CostParams() core.CostParams { return r.params }
+
+// Calibration exposes the full calibration result.
+func (r *Runner) Calibration() calibrate.Result { return r.calib }
+
+// Config returns the runner configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// modelParams builds the abstract machine instance for a launch of k
+// blocks: the perfect GPU has one multiprocessor per block; M and G follow
+// the concrete device so feasibility checks bind.
+func (r *Runner) modelParams(blocks int) core.Params {
+	return core.ForProblem(blocks, r.cfg.Device.WarpWidth,
+		r.cfg.Device.SharedWords, r.cfg.Device.GlobalWords)
+}
+
+// newHost builds a device+host pair whose global memory holds footprint
+// words (plus alignment slack), so sweeps over large n do not allocate the
+// preset's full G per point.
+func (r *Runner) newHost(footprint int) (*simgpu.Host, error) {
+	devCfg := r.cfg.Device
+	need := footprint + 4*devCfg.WarpWidth
+	if need < devCfg.GlobalWords {
+		devCfg.GlobalWords = need
+	}
+	dev, err := simgpu.New(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := transfer.NewEngine(r.link, r.cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return simgpu.NewHost(dev, eng, r.cfg.SyncCost)
+}
+
+// WorkloadPoint is one input size's predicted and observed outcome.
+type WorkloadPoint struct {
+	// N is the input size (vector length or matrix side).
+	N int
+	// ATGPUCost and SWGPUCost are the predicted costs in seconds.
+	ATGPUCost, SWGPUCost float64
+	// TotalTime and KernelTime are the observed simulated times in
+	// seconds; TransferTime and SyncTime complete the decomposition.
+	TotalTime, KernelTime, TransferTime, SyncTime float64
+	// DeltaPredicted is Δ_T, the predicted transfer share of cost.
+	DeltaPredicted float64
+	// DeltaObserved is Δ_E, the observed transfer share of total time.
+	DeltaObserved float64
+}
+
+// WorkloadData is one workload's full sweep.
+type WorkloadData struct {
+	// Workload names the algorithm ("vecadd", "reduce", "matmul").
+	Workload string
+	// Points holds one entry per input size, ascending.
+	Points []WorkloadPoint
+}
+
+// Sizes returns the x vector.
+func (w *WorkloadData) Sizes() []float64 {
+	xs := make([]float64, len(w.Points))
+	for i, p := range w.Points {
+		xs[i] = float64(p.N)
+	}
+	return xs
+}
+
+// column extracts one metric across points.
+func (w *WorkloadData) column(f func(WorkloadPoint) float64) []float64 {
+	ys := make([]float64, len(w.Points))
+	for i, p := range w.Points {
+		ys[i] = f(p)
+	}
+	return ys
+}
+
+// randWords draws n words uniformly from [-1000, 1000].
+func randWords(rng *rand.Rand, n int) []mem.Word {
+	w := make([]mem.Word, n)
+	for i := range w {
+		w[i] = mem.Word(rng.Intn(2001) - 1000)
+	}
+	return w
+}
+
+// randBits draws n words from {0,1}, the paper's reduction inputs
+// ("randomly generated vectors of 0/1 values").
+func randBits(rng *rand.Rand, n int) []mem.Word {
+	w := make([]mem.Word, n)
+	for i := range w {
+		w[i] = mem.Word(rng.Intn(2))
+	}
+	return w
+}
+
+// VecAddSizes returns the sweep sizes: the paper's n = 1e6 … 1e7 in Full
+// mode ("from n = 1,000,000 → 10,000,000"), a 10× scaled version
+// otherwise.
+func (r *Runner) VecAddSizes() []int {
+	if r.cfg.SizesVecAdd != nil {
+		return r.cfg.SizesVecAdd
+	}
+	step := 100_000
+	if r.cfg.Full {
+		step = 1_000_000
+	}
+	sizes := make([]int, 10)
+	for i := range sizes {
+		sizes[i] = (i + 1) * step
+	}
+	return sizes
+}
+
+// ReduceSizes returns the sweep sizes: the paper's n = 2^16 … 2^26 in Full
+// mode, 2^16 … 2^22 otherwise.
+func (r *Runner) ReduceSizes() []int {
+	if r.cfg.SizesReduce != nil {
+		return r.cfg.SizesReduce
+	}
+	hi := 22
+	if r.cfg.Full {
+		hi = 26
+	}
+	var sizes []int
+	for e := 16; e <= hi; e++ {
+		sizes = append(sizes, 1<<e)
+	}
+	return sizes
+}
+
+// MatMulSizes returns the sweep sizes: the paper's n = 32, 64, …, 1024
+// doublings in Full mode, up to 256 otherwise.
+func (r *Runner) MatMulSizes() []int {
+	if r.cfg.SizesMatMul != nil {
+		return r.cfg.SizesMatMul
+	}
+	hi := 256
+	if r.cfg.Full {
+		hi = 1024
+	}
+	var sizes []int
+	for n := 32; n <= hi; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// RunVecAdd sweeps vector addition (paper §IV-A).
+func (r *Runner) RunVecAdd() (*WorkloadData, error) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	data := &WorkloadData{Workload: "vecadd"}
+	for _, n := range r.VecAddSizes() {
+		alg := algorithms.VecAdd{N: n}
+
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
+		if err != nil {
+			return nil, fmt.Errorf("vecadd n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return nil, fmt.Errorf("vecadd n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		h, err := r.newHost(alg.GlobalWords())
+		if err != nil {
+			return nil, err
+		}
+		a := randWords(rng, n)
+		b := randWords(rng, n)
+		if _, err := alg.Run(h, a, b); err != nil {
+			return nil, fmt.Errorf("vecadd n=%d: run: %w", n, err)
+		}
+		pt.observe(h.Report())
+		data.Points = append(data.Points, pt)
+	}
+	return data, nil
+}
+
+// RunReduce sweeps reduction (paper §IV-B).
+func (r *Runner) RunReduce() (*WorkloadData, error) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 1))
+	data := &WorkloadData{Workload: "reduce"}
+	b := r.cfg.Device.WarpWidth
+	for _, n := range r.ReduceSizes() {
+		alg := algorithms.Reduce{N: n}
+
+		// The perfect-GPU instance needs a multiprocessor per block of
+		// the largest round.
+		analysis, err := alg.Analyze(r.modelParams((n + b - 1) / b))
+		if err != nil {
+			return nil, fmt.Errorf("reduce n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return nil, fmt.Errorf("reduce n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		h, err := r.newHost(alg.GlobalWords(b))
+		if err != nil {
+			return nil, err
+		}
+		in := randBits(rng, n)
+		got, err := alg.Run(h, in)
+		if err != nil {
+			return nil, fmt.Errorf("reduce n=%d: run: %w", n, err)
+		}
+		if want := algorithms.ReduceReference(in); got != want {
+			return nil, fmt.Errorf("reduce n=%d: %w: got %d want %d",
+				n, algorithms.ErrVerifyFail, got, want)
+		}
+		pt.observe(h.Report())
+		data.Points = append(data.Points, pt)
+	}
+	return data, nil
+}
+
+// RunMatMul sweeps matrix multiplication (paper §IV-C).
+func (r *Runner) RunMatMul() (*WorkloadData, error) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 2))
+	data := &WorkloadData{Workload: "matmul"}
+	for _, n := range r.MatMulSizes() {
+		alg := algorithms.MatMul{N: n}
+
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
+		if err != nil {
+			return nil, fmt.Errorf("matmul n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return nil, fmt.Errorf("matmul n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		h, err := r.newHost(alg.GlobalWords())
+		if err != nil {
+			return nil, err
+		}
+		a := randWords(rng, n*n)
+		b := randWords(rng, n*n)
+		if _, err := alg.Run(h, a, b); err != nil {
+			return nil, fmt.Errorf("matmul n=%d: run: %w", n, err)
+		}
+		pt.observe(h.Report())
+		data.Points = append(data.Points, pt)
+	}
+	return data, nil
+}
+
+// predict fills the model-side fields of a point from an analysis.
+func (r *Runner) predict(a *core.Analysis) (WorkloadPoint, error) {
+	var pt WorkloadPoint
+	bd, err := core.GPUCostBreakdown(a, r.params)
+	if err != nil {
+		return pt, err
+	}
+	pt.ATGPUCost = bd.Total()
+	pt.DeltaPredicted = bd.TransferFraction()
+	sw, err := models.SWGPUCost(a, r.params)
+	if err != nil {
+		return pt, err
+	}
+	pt.SWGPUCost = sw
+	return pt, nil
+}
+
+// observe fills the simulator-side fields from a host report.
+func (pt *WorkloadPoint) observe(rep simgpu.RunReport) {
+	pt.TotalTime = rep.Total.Seconds()
+	pt.KernelTime = rep.Kernel.Seconds()
+	pt.TransferTime = rep.Transfer.Seconds()
+	pt.SyncTime = rep.Sync.Seconds()
+	pt.DeltaObserved = rep.TransferFraction()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"atgpu/internal/stats"
+)
+
+// Summary condenses one workload's sweep into the Section IV-D statistics:
+// the average observed transfer share, the average gap between predicted
+// and observed transfer proportions, the share of total running time the
+// SWGPU baseline accounts for, and the growth-shape gaps of both models
+// against the observed total.
+type Summary struct {
+	// Workload names the algorithm.
+	Workload string
+	// MeanDeltaObserved is the average Δ_E — the paper reports 84% for
+	// vector addition, 35% for reduction, and a small value for matmul.
+	MeanDeltaObserved float64
+	// MeanDeltaPredicted is the average Δ_T.
+	MeanDeltaPredicted float64
+	// MeanDeltaGap is mean |Δ_T − Δ_E| — the paper reports ≤1.5%
+	// (vecadd), 5.49% (reduction), 0.76% (matmul).
+	MeanDeltaGap float64
+	// SWGPUCaptured is the average share of observed total running time
+	// that the kernel-side (SWGPU-visible) portion represents — 16%, 58%
+	// and 89% in the paper for the three workloads.
+	SWGPUCaptured float64
+	// ATGPUGrowthGap and SWGPUGrowthGap compare each model's normalised
+	// growth against the observed total's (smaller = closer shape); the
+	// paper's headline claim is ATGPUGrowthGap < SWGPUGrowthGap for the
+	// transfer-affected workloads.
+	ATGPUGrowthGap float64
+	SWGPUGrowthGap float64
+	// ATGPUSlopeRatio and SWGPUSlopeRatio are fitted-slope ratios of each
+	// predicted cost against the observed total time: a ratio near 1
+	// means the model's cost grows at the observed rate.
+	ATGPUSlopeRatio float64
+	SWGPUSlopeRatio float64
+}
+
+// Summarise computes the Section IV-D statistics for one sweep.
+func Summarise(d *WorkloadData) (Summary, error) {
+	if len(d.Points) == 0 {
+		return Summary{}, fmt.Errorf("experiments: empty sweep for %s", d.Workload)
+	}
+	s := Summary{Workload: d.Workload}
+
+	dObs := d.column(func(p WorkloadPoint) float64 { return p.DeltaObserved })
+	dPred := d.column(func(p WorkloadPoint) float64 { return p.DeltaPredicted })
+	s.MeanDeltaObserved = stats.Mean(dObs)
+	s.MeanDeltaPredicted = stats.Mean(dPred)
+	gap, err := stats.MeanAbsDiff(dPred, dObs)
+	if err != nil {
+		return Summary{}, err
+	}
+	s.MeanDeltaGap = gap
+
+	// Captured share: kernel-side time over total, averaged over sizes.
+	captured := make([]float64, len(d.Points))
+	for i, p := range d.Points {
+		if p.TotalTime > 0 {
+			captured[i] = (p.KernelTime + p.SyncTime) / p.TotalTime
+		}
+	}
+	s.SWGPUCaptured = stats.Mean(captured)
+
+	x := d.Sizes()
+	total := mustSeries("Total", x, d.column(func(p WorkloadPoint) float64 { return p.TotalTime }))
+	at := mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost }))
+	sw := mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost }))
+
+	if len(d.Points) >= 2 {
+		if s.ATGPUGrowthGap, err = stats.GrowthGap(at, total); err != nil {
+			return Summary{}, err
+		}
+		if s.SWGPUGrowthGap, err = stats.GrowthGap(sw, total); err != nil {
+			return Summary{}, err
+		}
+		ft, err := stats.FitLine(x, total.Y)
+		if err != nil {
+			return Summary{}, err
+		}
+		fa, err := stats.FitLine(x, at.Y)
+		if err != nil {
+			return Summary{}, err
+		}
+		fs, err := stats.FitLine(x, sw.Y)
+		if err != nil {
+			return Summary{}, err
+		}
+		if ft.Slope != 0 {
+			s.ATGPUSlopeRatio = fa.Slope / ft.Slope
+			s.SWGPUSlopeRatio = fs.Slope / ft.Slope
+		}
+	}
+	return s, nil
+}
+
+// String renders the summary as a short report block.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", s.Workload)
+	fmt.Fprintf(&sb, "  mean ΔE (observed transfer share) = %.1f%%\n", 100*s.MeanDeltaObserved)
+	fmt.Fprintf(&sb, "  mean ΔT (predicted transfer share) = %.1f%%\n", 100*s.MeanDeltaPredicted)
+	fmt.Fprintf(&sb, "  mean |ΔT-ΔE| = %.2f%%\n", 100*s.MeanDeltaGap)
+	fmt.Fprintf(&sb, "  SWGPU-visible share of total time = %.1f%%\n", 100*s.SWGPUCaptured)
+	fmt.Fprintf(&sb, "  growth gap vs Total: ATGPU %.4f, SWGPU %.4f\n", s.ATGPUGrowthGap, s.SWGPUGrowthGap)
+	fmt.Fprintf(&sb, "  slope ratio vs Total: ATGPU %.3f, SWGPU %.3f\n", s.ATGPUSlopeRatio, s.SWGPUSlopeRatio)
+	return sb.String()
+}

@@ -1,0 +1,334 @@
+package kernel
+
+import "fmt"
+
+// Operand is either a register or an immediate word; builder helpers accept
+// operands so callers can mix registers and constants without pre-loading
+// every constant into a register themselves.
+type Operand struct {
+	isReg bool
+	reg   Reg
+	imm   Word
+}
+
+// R wraps a register as an operand.
+func R(r Reg) Operand { return Operand{isReg: true, reg: r} }
+
+// Imm wraps an immediate word as an operand.
+func Imm(v Word) Operand { return Operand{imm: v} }
+
+// Builder assembles a Program through structured constructs, guaranteeing
+// the nesting invariants Validate checks. The zero Builder is not usable;
+// call NewBuilder.
+//
+// Builder methods panic on misuse (register exhaustion, mismatched
+// EndIf/EndFor); kernel construction happens at program set-up time, where
+// a panic is the conventional Go response to a programming error, and
+// Build converts any recorded problem into an error for callers that
+// prefer one.
+type Builder struct {
+	name        string
+	sharedWords int
+	instrs      []Instr
+	nextReg     int
+
+	ifStack  []int          // indices of open OpIfBegin
+	forStack []forFrame     // open loops
+	errs     []error        // deferred construction errors
+	names    map[Reg]string // optional register names for disassembly aids
+}
+
+type forFrame struct {
+	head    int // index of the loop-condition check (OpSle/OpSlt result test)
+	brIndex int // index of the conditional-exit placeholder
+	counter Reg
+	step    Word
+}
+
+// NewBuilder starts a kernel with the given name and per-block shared
+// memory allocation in words.
+func NewBuilder(name string, sharedWords int) *Builder {
+	return &Builder{
+		name:        name,
+		sharedWords: sharedWords,
+		names:       make(map[Reg]string),
+	}
+}
+
+// Reg allocates a fresh register, optionally recording a debugging name.
+func (b *Builder) Reg(name ...string) Reg {
+	if b.nextReg >= 256 {
+		panic("kernel.Builder: out of registers")
+	}
+	r := Reg(b.nextReg)
+	b.nextReg++
+	if len(name) > 0 {
+		b.names[r] = name[0]
+	}
+	return r
+}
+
+// Release marks registers as dead. It is deliberately a no-op: reusing a
+// register that an enclosing loop's head or a later materialised immediate
+// also writes would silently clobber loop-carried values, so the builder
+// trades register economy for safety — the 256-register file comfortably
+// fits every kernel in this module. The method remains so call sites can
+// document lifetimes.
+func (b *Builder) Release(rs ...Reg) {}
+
+func (b *Builder) emit(in Instr) int {
+	b.instrs = append(b.instrs, in)
+	return len(b.instrs) - 1
+}
+
+// materialise returns a register holding the operand's value, emitting an
+// OpConst for immediates. The returned bool reports whether the register is
+// a fresh scratch register the caller may release.
+func (b *Builder) materialise(o Operand) (Reg, bool) {
+	if o.isReg {
+		return o.reg, false
+	}
+	r := b.Reg()
+	b.emit(Instr{Op: OpConst, Rd: r, Imm: o.imm})
+	return r, true
+}
+
+// --- Value producers -------------------------------------------------------
+
+// Const sets rd to the immediate v.
+func (b *Builder) Const(rd Reg, v Word) { b.emit(Instr{Op: OpConst, Rd: rd, Imm: v}) }
+
+// Mov copies ra into rd.
+func (b *Builder) Mov(rd, ra Reg) { b.emit(Instr{Op: OpMov, Rd: rd, Ra: ra}) }
+
+// LaneID sets rd to the core index j within the multiprocessor.
+func (b *Builder) LaneID(rd Reg) { b.emit(Instr{Op: OpLaneID, Rd: rd}) }
+
+// BlockID sets rd to the thread block index.
+func (b *Builder) BlockID(rd Reg) { b.emit(Instr{Op: OpBlockID, Rd: rd}) }
+
+// NumBlocks sets rd to the number of thread blocks in the launch.
+func (b *Builder) NumBlocks(rd Reg) { b.emit(Instr{Op: OpNumBlocks, Rd: rd}) }
+
+// BlockDim sets rd to b, the warp width.
+func (b *Builder) BlockDim(rd Reg) { b.emit(Instr{Op: OpBlockDim, Rd: rd}) }
+
+// --- Arithmetic ------------------------------------------------------------
+
+func (b *Builder) binary(op, opImm Op, rd, ra Reg, o Operand) {
+	if o.isReg {
+		b.emit(Instr{Op: op, Rd: rd, Ra: ra, Rb: o.reg})
+		return
+	}
+	if opImm != OpNop {
+		b.emit(Instr{Op: opImm, Rd: rd, Ra: ra, Imm: o.imm})
+		return
+	}
+	rb, tmp := b.materialise(o)
+	b.emit(Instr{Op: op, Rd: rd, Ra: ra, Rb: rb})
+	if tmp {
+		b.Release(rb)
+	}
+}
+
+// Add emits rd <- ra + o.
+func (b *Builder) Add(rd, ra Reg, o Operand) { b.binary(OpAdd, OpAddI, rd, ra, o) }
+
+// Sub emits rd <- ra - o.
+func (b *Builder) Sub(rd, ra Reg, o Operand) {
+	if !o.isReg {
+		b.emit(Instr{Op: OpAddI, Rd: rd, Ra: ra, Imm: -o.imm})
+		return
+	}
+	b.binary(OpSub, OpNop, rd, ra, o)
+}
+
+// Mul emits rd <- ra * o.
+func (b *Builder) Mul(rd, ra Reg, o Operand) { b.binary(OpMul, OpMulI, rd, ra, o) }
+
+// Div emits rd <- ra / o.
+func (b *Builder) Div(rd, ra Reg, o Operand) { b.binary(OpDiv, OpDivI, rd, ra, o) }
+
+// Mod emits rd <- ra % o.
+func (b *Builder) Mod(rd, ra Reg, o Operand) { b.binary(OpMod, OpModI, rd, ra, o) }
+
+// Min emits rd <- min(ra, o).
+func (b *Builder) Min(rd, ra Reg, o Operand) { b.binary(OpMin, OpNop, rd, ra, o) }
+
+// Max emits rd <- max(ra, o).
+func (b *Builder) Max(rd, ra Reg, o Operand) { b.binary(OpMax, OpNop, rd, ra, o) }
+
+// And emits rd <- ra & o.
+func (b *Builder) And(rd, ra Reg, o Operand) { b.binary(OpAnd, OpAndI, rd, ra, o) }
+
+// Or emits rd <- ra | o.
+func (b *Builder) Or(rd, ra Reg, o Operand) { b.binary(OpOr, OpNop, rd, ra, o) }
+
+// Xor emits rd <- ra ^ o.
+func (b *Builder) Xor(rd, ra Reg, o Operand) { b.binary(OpXor, OpNop, rd, ra, o) }
+
+// Shl emits rd <- ra << o.
+func (b *Builder) Shl(rd, ra Reg, o Operand) { b.binary(OpShl, OpShlI, rd, ra, o) }
+
+// Shr emits rd <- ra >> o (arithmetic).
+func (b *Builder) Shr(rd, ra Reg, o Operand) { b.binary(OpShr, OpShrI, rd, ra, o) }
+
+// --- Comparisons -----------------------------------------------------------
+
+// Slt emits rd <- (ra < o).
+func (b *Builder) Slt(rd, ra Reg, o Operand) { b.binary(OpSlt, OpSltI, rd, ra, o) }
+
+// Sle emits rd <- (ra <= o).
+func (b *Builder) Sle(rd, ra Reg, o Operand) { b.binary(OpSle, OpSleI, rd, ra, o) }
+
+// Seq emits rd <- (ra == o).
+func (b *Builder) Seq(rd, ra Reg, o Operand) { b.binary(OpSeq, OpSeqI, rd, ra, o) }
+
+// Sne emits rd <- (ra != o).
+func (b *Builder) Sne(rd, ra Reg, o Operand) { b.binary(OpSne, OpSneI, rd, ra, o) }
+
+// --- Memory ----------------------------------------------------------------
+
+// LdGlobal emits rd <- global[addr]. This is the "⇐" data movement of the
+// paper's pseudocode; the device resolves it as block transactions.
+func (b *Builder) LdGlobal(rd, addr Reg) { b.emit(Instr{Op: OpLdGlobal, Rd: rd, Ra: addr}) }
+
+// StGlobal emits global[addr] <- rs.
+func (b *Builder) StGlobal(addr, rs Reg) { b.emit(Instr{Op: OpStGlobal, Ra: addr, Rb: rs}) }
+
+// LdShared emits rd <- shared[addr], the paper's "←" operator.
+func (b *Builder) LdShared(rd, addr Reg) { b.emit(Instr{Op: OpLdShared, Rd: rd, Ra: addr}) }
+
+// StShared emits shared[addr] <- rs.
+func (b *Builder) StShared(addr, rs Reg) { b.emit(Instr{Op: OpStShared, Ra: addr, Rb: rs}) }
+
+// Barrier emits a block-wide barrier.
+func (b *Builder) Barrier() { b.emit(Instr{Op: OpBarrier}) }
+
+// Nop emits a no-op, useful for padding in scheduling tests.
+func (b *Builder) Nop() { b.emit(Instr{Op: OpNop}) }
+
+// --- Structured control flow ------------------------------------------------
+
+// If begins a single-block conditional executed by lanes whose cond register
+// is non-zero. Lanes that fail the test are masked until the matching EndIf.
+// Per the paper, there is deliberately no Else: "The if-statement allows
+// only a single conditional block, in order to reduce diverging execution
+// paths."
+func (b *Builder) If(cond Reg) {
+	idx := b.emit(Instr{Op: OpIfBegin, Ra: cond})
+	b.ifStack = append(b.ifStack, idx)
+}
+
+// EndIf closes the innermost If.
+func (b *Builder) EndIf() {
+	if len(b.ifStack) == 0 {
+		panic("kernel.Builder: EndIf without If")
+	}
+	begin := b.ifStack[len(b.ifStack)-1]
+	b.ifStack = b.ifStack[:len(b.ifStack)-1]
+	end := b.emit(Instr{Op: OpIfEnd})
+	b.instrs[begin].Target = int32(end + 1)
+}
+
+// IfDo is a convenience wrapper running body inside If(cond)/EndIf.
+func (b *Builder) IfDo(cond Reg, body func()) {
+	b.If(cond)
+	body()
+	b.EndIf()
+}
+
+// For begins a uniform counted loop: counter starts at start and the body
+// runs while counter < limit, incrementing by step after each iteration.
+// The loop condition must be warp-uniform; the device traps divergent
+// back-edges. Close with EndFor.
+func (b *Builder) For(counter Reg, start, limit Operand, step Word) {
+	if step == 0 {
+		b.errs = append(b.errs, fmt.Errorf("kernel %s: For with zero step", b.name))
+		step = 1
+	}
+	if start.isReg {
+		b.Mov(counter, start.reg)
+	} else {
+		b.Const(counter, start.imm)
+	}
+	head := len(b.instrs)
+	// The condition registers live in the loop head, which re-executes on
+	// every back-edge; they must not return to the scratch pool, or body
+	// code could claim them for a loop-carried value the head would then
+	// clobber each iteration.
+	condReg := b.Reg()
+	if step > 0 {
+		b.Slt(condReg, counter, limit)
+	} else {
+		// counting down: run while counter > limit
+		lim, _ := b.materialise(limit)
+		b.emit(Instr{Op: OpSlt, Rd: condReg, Ra: lim, Rb: counter})
+	}
+	// Exit if the condition is false: invert and branch-if-nonzero to the
+	// (yet unknown) loop end.
+	inv := b.Reg()
+	b.Seq(inv, condReg, Imm(0))
+	brIndex := b.emit(Instr{Op: OpBrNZ, Ra: inv})
+	b.forStack = append(b.forStack, forFrame{
+		head: head, brIndex: brIndex, counter: counter, step: step,
+	})
+}
+
+// EndFor closes the innermost For, emitting the counter increment and the
+// uniform back-edge.
+func (b *Builder) EndFor() {
+	if len(b.forStack) == 0 {
+		panic("kernel.Builder: EndFor without For")
+	}
+	f := b.forStack[len(b.forStack)-1]
+	b.forStack = b.forStack[:len(b.forStack)-1]
+	b.Add(f.counter, f.counter, Imm(f.step))
+	b.emit(Instr{Op: OpJump, Target: int32(f.head)})
+	b.instrs[f.brIndex].Target = int32(len(b.instrs))
+}
+
+// ForDo is a convenience wrapper running body inside For/EndFor. The body
+// receives the counter register.
+func (b *Builder) ForDo(start, limit Operand, step Word, body func(counter Reg)) {
+	counter := b.Reg()
+	b.For(counter, start, limit, step)
+	body(counter)
+	b.EndFor()
+	b.Release(counter)
+}
+
+// --- Finalisation ------------------------------------------------------------
+
+// Build appends the final halt, validates the program, and returns it.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.ifStack) != 0 {
+		return nil, fmt.Errorf("kernel %s: %d unclosed If", b.name, len(b.ifStack))
+	}
+	if len(b.forStack) != 0 {
+		return nil, fmt.Errorf("kernel %s: %d unclosed For", b.name, len(b.forStack))
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	b.emit(Instr{Op: OpHalt})
+	p := &Program{
+		Name:        b.name,
+		Instrs:      b.instrs,
+		NumRegs:     b.nextReg,
+		SharedWords: b.sharedWords,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

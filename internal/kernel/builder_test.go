@@ -1,0 +1,250 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderStraightLine(t *testing.T) {
+	b := NewBuilder("sl", 4)
+	r0 := b.Reg("a")
+	r1 := b.Reg("b")
+	b.Const(r0, 5)
+	b.Const(r1, 7)
+	b.Add(r0, r0, R(r1))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sl" || p.SharedWords != 4 || p.NumRegs != 2 {
+		t.Fatalf("program metadata wrong: %+v", p)
+	}
+	if p.Instrs[len(p.Instrs)-1].Op != OpHalt {
+		t.Fatal("Build must append halt")
+	}
+}
+
+func TestBuilderImmediateForms(t *testing.T) {
+	b := NewBuilder("imm", 0)
+	r := b.Reg()
+	b.Const(r, 1)
+	b.Add(r, r, Imm(2)) // addi
+	b.Sub(r, r, Imm(3)) // addi -3
+	b.Mul(r, r, Imm(4)) // muli
+	b.Min(r, r, Imm(5)) // materialised const + min
+	b.Slt(r, r, Imm(6)) // slti
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.CountStatic()
+	if counts[OpAddI] != 2 {
+		t.Errorf("AddI count = %d, want 2 (Add imm + Sub imm)", counts[OpAddI])
+	}
+	if counts[OpMulI] != 1 || counts[OpSltI] != 1 {
+		t.Errorf("immediate forms not used: %v", counts)
+	}
+	if counts[OpMin] != 1 || counts[OpConst] != 2 {
+		t.Errorf("Min should materialise a const: %v", counts)
+	}
+	// Sub by immediate must encode as addi with negated imm.
+	found := false
+	for _, in := range p.Instrs {
+		if in.Op == OpAddI && in.Imm == -3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Sub(r, r, Imm(3)) should emit addi -3")
+	}
+}
+
+func TestBuilderIfNesting(t *testing.T) {
+	b := NewBuilder("ifs", 0)
+	c := b.Reg()
+	b.Const(c, 1)
+	b.IfDo(c, func() {
+		b.IfDo(c, func() {
+			b.Nop()
+		})
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nested IfDo produced invalid program: %v", err)
+	}
+}
+
+func TestBuilderUnclosedIf(t *testing.T) {
+	b := NewBuilder("bad", 0)
+	c := b.Reg()
+	b.Const(c, 1)
+	b.If(c)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should reject unclosed If")
+	}
+}
+
+func TestBuilderUnclosedFor(t *testing.T) {
+	b := NewBuilder("bad", 0)
+	i := b.Reg()
+	b.For(i, Imm(0), Imm(4), 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should reject unclosed For")
+	}
+}
+
+func TestBuilderEndIfPanicsWithoutIf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndIf without If should panic")
+		}
+	}()
+	NewBuilder("p", 0).EndIf()
+}
+
+func TestBuilderEndForPanicsWithoutFor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndFor without For should panic")
+		}
+	}()
+	NewBuilder("p", 0).EndFor()
+}
+
+func TestBuilderZeroStepFor(t *testing.T) {
+	b := NewBuilder("zs", 0)
+	i := b.Reg()
+	b.For(i, Imm(0), Imm(4), 0)
+	b.EndFor()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should surface the zero-step error")
+	}
+}
+
+func TestBuilderRegisterExhaustion(t *testing.T) {
+	b := NewBuilder("rx", 0)
+	for i := 0; i < 256; i++ {
+		b.Reg()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("257th Reg should panic")
+		}
+	}()
+	b.Reg()
+}
+
+func TestBuilderForStructure(t *testing.T) {
+	b := NewBuilder("loop", 0)
+	sum := b.Reg("sum")
+	b.Const(sum, 0)
+	b.ForDo(Imm(0), Imm(10), 1, func(i Reg) {
+		b.Add(sum, sum, R(i))
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.CountStatic()
+	if counts[OpJump] != 1 {
+		t.Errorf("loop needs one back-edge jump, got %d", counts[OpJump])
+	}
+	if counts[OpBrNZ] != 1 {
+		t.Errorf("loop needs one conditional exit, got %d", counts[OpBrNZ])
+	}
+	// The exit branch must target the instruction right after the jump.
+	var brTarget, jumpIdx int32 = -1, -1
+	for idx, in := range p.Instrs {
+		if in.Op == OpBrNZ {
+			brTarget = in.Target
+		}
+		if in.Op == OpJump {
+			jumpIdx = int32(idx)
+		}
+	}
+	if brTarget != jumpIdx+1 {
+		t.Errorf("exit branch targets @%d, want @%d", brTarget, jumpIdx+1)
+	}
+}
+
+func TestBuilderDowncountFor(t *testing.T) {
+	b := NewBuilder("down", 0)
+	i := b.Reg()
+	b.For(i, Imm(10), Imm(0), -2)
+	b.Nop()
+	b.EndFor()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("down-counting loop invalid: %v", err)
+	}
+}
+
+func TestBuilderMustBuildPanics(t *testing.T) {
+	b := NewBuilder("mb", 0)
+	c := b.Reg()
+	b.If(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on invalid program")
+		}
+	}()
+	b.MustBuild()
+}
+
+// TestBuilderAlwaysValid is the structural property: any program assembled
+// purely through the builder's structured API validates.
+func TestBuilderAlwaysValid(t *testing.T) {
+	// Build pseudo-random but structurally legal programs from a byte
+	// recipe and check Validate accepts them all.
+	f := func(recipe []byte) bool {
+		b := NewBuilder("q", 16)
+		r := b.Reg()
+		b.Const(r, 1)
+		depth := 0
+		loops := 0
+		for _, op := range recipe {
+			switch op % 6 {
+			case 0:
+				b.Add(r, r, Imm(int64(op)))
+			case 1:
+				b.If(r)
+				depth++
+			case 2:
+				if depth > 0 {
+					b.EndIf()
+					depth--
+				}
+			case 3:
+				if loops < 3 {
+					i := b.Reg()
+					b.For(i, Imm(0), Imm(int64(op%5)), 1)
+					b.Nop()
+					b.EndFor()
+					loops++
+				}
+			case 4:
+				b.Barrier()
+			case 5:
+				b.Slt(r, r, Imm(int64(op)))
+			}
+		}
+		for depth > 0 {
+			b.EndIf()
+			depth--
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop:       "nop",
+		OpConst:     "const",
+		OpAdd:       "add",
+		OpAddI:      "addi",
+		OpSlt:       "slt",
+		OpLdGlobal:  "ld.global",
+		OpStShared:  "st.shared",
+		OpBarrier:   "barrier",
+		OpIfBegin:   "if.begin",
+		OpHalt:      "halt",
+		OpNumBlocks: "numblocks",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q, want to contain the code", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for op := OpNop; op < opCount; op++ {
+		if !op.Valid() {
+			t.Errorf("op %v should be valid", op)
+		}
+		if op.String() == "" {
+			t.Errorf("op %d has empty mnemonic", op)
+		}
+	}
+	if Op(opCount).Valid() {
+		t.Error("opCount should be invalid")
+	}
+	if Op(255).Valid() {
+		t.Error("op 255 should be invalid")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	memOps := []Op{OpLdGlobal, OpStGlobal, OpLdShared, OpStShared}
+	for _, op := range memOps {
+		if !op.IsMemory() {
+			t.Errorf("%v should be memory", op)
+		}
+	}
+	globalOps := []Op{OpLdGlobal, OpStGlobal}
+	for _, op := range globalOps {
+		if !op.IsGlobalMemory() {
+			t.Errorf("%v should be global memory", op)
+		}
+	}
+	if OpLdShared.IsGlobalMemory() {
+		t.Error("ld.shared is not global memory")
+	}
+	if OpAdd.IsMemory() {
+		t.Error("add is not memory")
+	}
+	ctlOps := []Op{OpJump, OpBrNZ, OpIfBegin, OpIfEnd, OpHalt}
+	for _, op := range ctlOps {
+		if !op.IsControl() {
+			t.Errorf("%v should be control", op)
+		}
+	}
+	if OpBarrier.IsControl() {
+		t.Error("barrier does not alter control flow")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Rd: 3, Imm: -7}, "const r3, -7"},
+		{Instr{Op: OpMov, Rd: 1, Ra: 2}, "mov r1, r2"},
+		{Instr{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddI, Rd: 1, Ra: 2, Imm: 9}, "addi r1, r2, 9"},
+		{Instr{Op: OpLdGlobal, Rd: 4, Ra: 5}, "ld.global r4, [r5]"},
+		{Instr{Op: OpStGlobal, Ra: 5, Rb: 6}, "st.global [r5], r6"},
+		{Instr{Op: OpLdShared, Rd: 4, Ra: 5}, "ld.shared r4, [r5]"},
+		{Instr{Op: OpStShared, Ra: 5, Rb: 6}, "st.shared [r5], r6"},
+		{Instr{Op: OpJump, Target: 12}, "jump @12"},
+		{Instr{Op: OpBrNZ, Ra: 2, Target: 3}, "brnz r2, @3"},
+		{Instr{Op: OpIfBegin, Ra: 2, Target: 8}, "if.begin r2, @8"},
+		{Instr{Op: OpIfEnd}, "if.end"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpBarrier}, "barrier"},
+		{Instr{Op: OpLaneID, Rd: 7}, "laneid r7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Instr.String() = %q, want %q", got, c.want)
+		}
+	}
+}

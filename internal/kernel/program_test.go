@@ -1,0 +1,128 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Name: "t",
+		Instrs: []Instr{
+			{Op: OpConst, Rd: 0, Imm: 1},
+			{Op: OpHalt},
+		},
+		NumRegs: 1,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Program)
+		want error
+	}{
+		{"empty", func(p *Program) { p.Instrs = nil }, ErrEmptyProgram},
+		{"no halt", func(p *Program) { p.Instrs = p.Instrs[:1] }, ErrNoHalt},
+		{"bad opcode", func(p *Program) { p.Instrs[0].Op = Op(250) }, ErrBadOpcode},
+		{"bad register", func(p *Program) { p.Instrs[0].Rd = 9 }, ErrBadRegister},
+		{"too many regs", func(p *Program) { p.NumRegs = 257 }, ErrTooManyRegs},
+		{"negative regs", func(p *Program) { p.NumRegs = -1 }, ErrTooManyRegs},
+		{"negative shared", func(p *Program) { p.SharedWords = -1 }, ErrNegativeShared},
+		{"jump out of range", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpJump, Target: 99}
+		}, ErrBadTarget},
+		{"negative target", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpBrNZ, Ra: 0, Target: -1}
+		}, ErrBadTarget},
+		{"stray if.end", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpIfEnd}
+		}, ErrUnbalancedIf},
+		{"unclosed if.begin", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpIfBegin, Ra: 0, Target: 2}
+		}, ErrUnbalancedIf},
+	}
+	for _, c := range cases {
+		p := validProgram()
+		c.mut(p)
+		if err := p.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: Validate() = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateIfTargetMustFollowEnd(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Instrs: []Instr{
+			{Op: OpIfBegin, Ra: 0, Target: 1}, // wrong: must be 3 (after if.end)
+			{Op: OpNop},
+			{Op: OpIfEnd},
+			{Op: OpHalt},
+		},
+		NumRegs: 1,
+	}
+	if err := p.Validate(); !errors.Is(err, ErrBadIfTarget) {
+		t.Fatalf("Validate() = %v, want ErrBadIfTarget", err)
+	}
+	p.Instrs[0].Target = 3
+	if err := p.Validate(); err != nil {
+		t.Fatalf("corrected program rejected: %v", err)
+	}
+}
+
+func TestValidateNestedIf(t *testing.T) {
+	p := &Program{
+		Name: "nested",
+		Instrs: []Instr{
+			{Op: OpIfBegin, Ra: 0, Target: 5},
+			{Op: OpIfBegin, Ra: 0, Target: 4},
+			{Op: OpNop},
+			{Op: OpIfEnd},
+			{Op: OpIfEnd},
+			{Op: OpHalt},
+		},
+		NumRegs: 1,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nested ifs rejected: %v", err)
+	}
+}
+
+func TestCountStatic(t *testing.T) {
+	p := &Program{
+		Name: "c",
+		Instrs: []Instr{
+			{Op: OpConst}, {Op: OpConst}, {Op: OpAdd}, {Op: OpHalt},
+		},
+		NumRegs: 1,
+	}
+	counts := p.CountStatic()
+	if counts[OpConst] != 2 || counts[OpAdd] != 1 || counts[OpHalt] != 1 {
+		t.Fatalf("CountStatic = %v", counts)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := validProgram()
+	p.SharedWords = 8
+	out := p.Disassemble()
+	for _, want := range []string{"kernel t", "regs=1", "shared=8", "0: const r0, 1", "1: halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	if got := validProgram().Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}

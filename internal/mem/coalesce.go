@@ -1,0 +1,77 @@
+package mem
+
+// Coalescing analysis. "In a global memory access instruction, if Ci
+// requests words within the same memory block, instructions coalesce and
+// complete as a single transaction. If requested words are in l separate
+// memory blocks, l separate transactions occur."
+//
+// The warp-wide address vector plus active mask therefore maps to a set of
+// distinct block indices; the cardinality of that set is the transaction
+// count l, which the model's I/O metric qᵢ accumulates.
+
+// Transactions returns the number of distinct memory blocks touched by the
+// active lanes' addresses, i.e. the l separate transactions of a warp-wide
+// global access. Inactive lanes (mask bit clear) issue no request. addrs
+// and the mask are indexed by lane.
+//
+// blockSize must be positive; addrs for active lanes must be non-negative
+// (validity against G is the caller's concern — the simulator checks range
+// before counting).
+func Transactions(addrs []int, active []bool, blockSize int) int {
+	return len(DistinctBlocks(addrs, active, blockSize))
+}
+
+// DistinctBlocks returns the sorted-by-first-appearance list of distinct
+// block indices requested by active lanes.
+func DistinctBlocks(addrs []int, active []bool, blockSize int) []int {
+	// Warps are small (b lanes, typically 32); a linear scan over the
+	// already-collected blocks beats map allocation on this size.
+	blocks := make([]int, 0, 4)
+	for lane, a := range addrs {
+		if lane < len(active) && !active[lane] {
+			continue
+		}
+		blk := a / blockSize
+		found := false
+		for _, bq := range blocks {
+			if bq == blk {
+				found = true
+				break
+			}
+		}
+		if !found {
+			blocks = append(blocks, blk)
+		}
+	}
+	return blocks
+}
+
+// IsCoalesced reports whether the active lanes' addresses fall within a
+// single memory block — the access pattern the paper calls coalesced.
+// A fully inactive access is trivially coalesced (zero transactions).
+func IsCoalesced(addrs []int, active []bool, blockSize int) bool {
+	return Transactions(addrs, active, blockSize) <= 1
+}
+
+// AccessSummary describes one warp-wide global memory access for tracing
+// and ablation studies.
+type AccessSummary struct {
+	// Lanes is the number of active lanes that issued a request.
+	Lanes int
+	// Transactions is l, the distinct blocks fetched.
+	Transactions int
+	// Coalesced is Transactions <= 1.
+	Coalesced bool
+}
+
+// Summarise computes the AccessSummary for a warp access.
+func Summarise(addrs []int, active []bool, blockSize int) AccessSummary {
+	lanes := 0
+	for i := range addrs {
+		if i >= len(active) || active[i] {
+			lanes++
+		}
+	}
+	t := Transactions(addrs, active, blockSize)
+	return AccessSummary{Lanes: lanes, Transactions: t, Coalesced: t <= 1}
+}

@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestTransactionsCoalesced(t *testing.T) {
+	// A warp reading consecutive addresses within one block coalesces.
+	addrs := []int{0, 1, 2, 3}
+	if got := Transactions(addrs, allActive(4), 4); got != 1 {
+		t.Fatalf("coalesced access = %d transactions, want 1", got)
+	}
+	if !IsCoalesced(addrs, allActive(4), 4) {
+		t.Fatal("IsCoalesced = false for same-block access")
+	}
+}
+
+func TestTransactionsStrided(t *testing.T) {
+	// Stride-b access touches one block per lane: worst case l = lanes.
+	addrs := []int{0, 4, 8, 12}
+	if got := Transactions(addrs, allActive(4), 4); got != 4 {
+		t.Fatalf("strided access = %d transactions, want 4", got)
+	}
+	if IsCoalesced(addrs, allActive(4), 4) {
+		t.Fatal("IsCoalesced = true for strided access")
+	}
+}
+
+func TestTransactionsStraddle(t *testing.T) {
+	// Consecutive addresses straddling a block boundary take 2.
+	addrs := []int{2, 3, 4, 5}
+	if got := Transactions(addrs, allActive(4), 4); got != 2 {
+		t.Fatalf("straddling access = %d transactions, want 2", got)
+	}
+}
+
+func TestTransactionsMasked(t *testing.T) {
+	addrs := []int{0, 100, 200, 300}
+	active := []bool{true, false, false, false}
+	if got := Transactions(addrs, active, 4); got != 1 {
+		t.Fatalf("masked access = %d transactions, want 1", got)
+	}
+	if got := Transactions(addrs, make([]bool, 4), 4); got != 0 {
+		t.Fatalf("fully masked access = %d transactions, want 0", got)
+	}
+}
+
+func TestDistinctBlocksOrder(t *testing.T) {
+	addrs := []int{9, 1, 9, 2}
+	blocks := DistinctBlocks(addrs, allActive(4), 4)
+	if len(blocks) != 2 || blocks[0] != 2 || blocks[1] != 0 {
+		t.Fatalf("DistinctBlocks = %v, want [2 0] (first-appearance order)", blocks)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	addrs := []int{0, 1, 8, 9}
+	s := Summarise(addrs, allActive(4), 4)
+	if s.Lanes != 4 || s.Transactions != 2 || s.Coalesced {
+		t.Fatalf("Summarise = %+v", s)
+	}
+	s = Summarise([]int{3, 3, 3, 3}, allActive(4), 4)
+	if !s.Coalesced || s.Transactions != 1 {
+		t.Fatalf("uniform access Summarise = %+v", s)
+	}
+}
+
+// Property: 0 ≤ transactions ≤ active lanes, and transactions == 0 iff no
+// lane is active. Also: transactions is invariant under permuting lanes.
+func TestTransactionsProperties(t *testing.T) {
+	type input struct {
+		Addrs [8]uint16
+		Mask  uint8
+	}
+	f := func(in input) bool {
+		addrs := make([]int, 8)
+		active := make([]bool, 8)
+		nActive := 0
+		for i := range addrs {
+			addrs[i] = int(in.Addrs[i])
+			active[i] = in.Mask&(1<<i) != 0
+			if active[i] {
+				nActive++
+			}
+		}
+		tx := Transactions(addrs, active, 4)
+		if tx < 0 || tx > nActive {
+			return false
+		}
+		if (tx == 0) != (nActive == 0) {
+			return false
+		}
+		// Permutation invariance: reverse the lanes.
+		rAddrs := make([]int, 8)
+		rActive := make([]bool, 8)
+		for i := range addrs {
+			rAddrs[i] = addrs[7-i]
+			rActive[i] = active[7-i]
+		}
+		return Transactions(rAddrs, rActive, 4) == tx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all addresses within a single block are always coalesced.
+func TestCoalescedWithinBlockProperty(t *testing.T) {
+	f := func(block uint16, offsets [8]uint8) bool {
+		addrs := make([]int, 8)
+		for i := range addrs {
+			addrs[i] = int(block)*32 + int(offsets[i]%32)
+		}
+		return Transactions(addrs, allActive(8), 32) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package mem implements the two memory spaces of the ATGPU model: global
+// memory divided into blocks of b words (accessed by whole-block
+// transactions, coalesced when a warp's addresses fall in one block), and
+// per-multiprocessor shared memory divided into b banks (serialised on bank
+// conflicts).
+//
+// Both structures separate state (the word arrays) from access-pattern
+// analysis (transaction and conflict counting), so the simulator can charge
+// latencies and the analyser can audit the model's qᵢ metric from the same
+// primitives.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Word matches kernel.Word; duplicated here to keep mem dependency-free.
+type Word = int64
+
+// Global memory: "The GPU has off-chip global memory split into equal sized
+// memory blocks. Global memory is accessible by all cores on the GPU and by
+// the CPU." Its size G is a hard constraint the ATGPU model adds over
+// SWGPU/AGPU: an algorithm whose footprint exceeds G cannot run.
+type Global struct {
+	words     []Word
+	blockSize int
+}
+
+// Errors returned by memory operations.
+var (
+	ErrOutOfRange    = errors.New("mem: address out of range")
+	ErrBadBlockSize  = errors.New("mem: block size must be positive")
+	ErrBadSize       = errors.New("mem: size must be non-negative")
+	ErrSizeExceeded  = errors.New("mem: allocation exceeds capacity")
+	ErrMisalignedLen = errors.New("mem: length not a multiple of block size")
+)
+
+// NewGlobal creates a global memory of size words split into blocks of
+// blockSize words (the model's b).
+func NewGlobal(size, blockSize int) (*Global, error) {
+	if blockSize <= 0 {
+		return nil, ErrBadBlockSize
+	}
+	if size < 0 {
+		return nil, ErrBadSize
+	}
+	return &Global{words: make([]Word, size), blockSize: blockSize}, nil
+}
+
+// Size returns G, the capacity in words.
+func (g *Global) Size() int { return len(g.words) }
+
+// BlockSize returns the words per memory block.
+func (g *Global) BlockSize() int { return g.blockSize }
+
+// NumBlocks returns the number of whole blocks (the tail partial block, if
+// any, counts as one more addressable block).
+func (g *Global) NumBlocks() int {
+	return (len(g.words) + g.blockSize - 1) / g.blockSize
+}
+
+// Block returns the block index containing address a.
+func (g *Global) Block(a int) int { return a / g.blockSize }
+
+// InRange reports whether address a is valid.
+func (g *Global) InRange(a int) bool { return a >= 0 && a < len(g.words) }
+
+// Load returns the word at address a.
+func (g *Global) Load(a int) (Word, error) {
+	if !g.InRange(a) {
+		return 0, fmt.Errorf("%w: global load at %d (G=%d)", ErrOutOfRange, a, len(g.words))
+	}
+	return g.words[a], nil
+}
+
+// Store writes v at address a.
+func (g *Global) Store(a int, v Word) error {
+	if !g.InRange(a) {
+		return fmt.Errorf("%w: global store at %d (G=%d)", ErrOutOfRange, a, len(g.words))
+	}
+	g.words[a] = v
+	return nil
+}
+
+// WriteSlice copies src into global memory starting at offset. It is the
+// device-side landing of an inward host transfer.
+func (g *Global) WriteSlice(offset int, src []Word) error {
+	if offset < 0 || offset+len(src) > len(g.words) {
+		return fmt.Errorf("%w: write [%d,%d) into G=%d", ErrOutOfRange, offset, offset+len(src), len(g.words))
+	}
+	copy(g.words[offset:], src)
+	return nil
+}
+
+// ReadSlice copies length words starting at offset into a fresh slice. It is
+// the device-side source of an outward host transfer.
+func (g *Global) ReadSlice(offset, length int) ([]Word, error) {
+	if length < 0 || offset < 0 || offset+length > len(g.words) {
+		return nil, fmt.Errorf("%w: read [%d,%d) from G=%d", ErrOutOfRange, offset, offset+length, len(g.words))
+	}
+	out := make([]Word, length)
+	copy(out, g.words[offset:offset+length])
+	return out, nil
+}
+
+// Fill sets length words starting at offset to v.
+func (g *Global) Fill(offset, length int, v Word) error {
+	if length < 0 || offset < 0 || offset+length > len(g.words) {
+		return fmt.Errorf("%w: fill [%d,%d) in G=%d", ErrOutOfRange, offset, offset+length, len(g.words))
+	}
+	for i := offset; i < offset+length; i++ {
+		g.words[i] = v
+	}
+	return nil
+}
+
+// Raw exposes the backing array for zero-copy inspection by tests and the
+// functional emulator. Callers must not resize it.
+func (g *Global) Raw() []Word { return g.words }
+
+// Arena is a bump allocator over a Global memory, standing in for
+// cudaMalloc: algorithms allocate named regions and the G constraint is
+// enforced at allocation time, which is precisely where the ATGPU model
+// rejects algorithms that exceed global capacity.
+type Arena struct {
+	g    *Global
+	next int
+}
+
+// NewArena creates an allocator over g starting at offset 0.
+func NewArena(g *Global) *Arena { return &Arena{g: g} }
+
+// Alloc reserves size words and returns the base address.
+func (a *Arena) Alloc(size int) (int, error) {
+	if size < 0 {
+		return 0, ErrBadSize
+	}
+	if a.next+size > a.g.Size() {
+		return 0, fmt.Errorf("%w: want %d words, %d free of G=%d",
+			ErrSizeExceeded, size, a.g.Size()-a.next, a.g.Size())
+	}
+	base := a.next
+	a.next += size
+	return base, nil
+}
+
+// AllocAligned reserves size words aligned to a block boundary, the natural
+// layout for coalesced kernels.
+func (a *Arena) AllocAligned(size int) (int, error) {
+	bs := a.g.BlockSize()
+	if rem := a.next % bs; rem != 0 {
+		pad := bs - rem
+		if _, err := a.Alloc(pad); err != nil {
+			return 0, err
+		}
+	}
+	return a.Alloc(size)
+}
+
+// Used returns the words allocated so far — the model's "global memory
+// space used" metric for the current round structure.
+func (a *Arena) Used() int { return a.next }
+
+// Free returns the remaining capacity in words.
+func (a *Arena) Free() int { return a.g.Size() - a.next }
+
+// Reset releases all allocations (the σ-cost "de-allocating and
+// reallocating of data structures" between rounds).
+func (a *Arena) Reset() { a.next = 0 }

@@ -1,0 +1,119 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Executable cost calculators for the classical parallel models the paper
+// surveys in Section I-B. They exist to make the comparison concrete: each
+// model prices the same abstract workload with the machinery it has, and
+// the gaps Table I tabulates (no memory hierarchy, no shared memory, no
+// warp, no transfer) show up as terms the model simply cannot charge.
+
+// ErrBadModelParams reports unusable classical-model parameters.
+var ErrBadModelParams = errors.New("models: invalid model parameters")
+
+// PRAMCost prices a PRAM computation: with p processors and work
+// (total operations) w on a critical path of depth d, time is
+// max(d, w/p) — Brent's bound. The PRAM has no memory hierarchy, so
+// memory traffic is free; that freeness is exactly why the paper rules it
+// out for GPUs.
+func PRAMCost(work, depth float64, p int) (float64, error) {
+	if p <= 0 || work < 0 || depth < 0 {
+		return 0, fmt.Errorf("%w: work=%g depth=%g p=%d", ErrBadModelParams, work, depth, p)
+	}
+	return math.Max(depth, work/float64(p)), nil
+}
+
+// BSPSuperstep describes one BSP superstep: the longest local computation
+// w, the maximum messages sent or received by any processor h (the
+// h-relation), priced against machine parameters g (gap, time per word of
+// communication) and l (barrier latency).
+type BSPSuperstep struct {
+	W float64 // max local computation
+	H float64 // h-relation size
+}
+
+// BSPCost prices a BSP program: Σᵢ (wᵢ + g·hᵢ + l). Valiant's bridging
+// model has communication and synchronisation — the two SWGPU inherits —
+// but no shared memory, which is why it cannot capture a GPU directly.
+func BSPCost(steps []BSPSuperstep, g, l float64) (float64, error) {
+	if g < 0 || l < 0 {
+		return 0, fmt.Errorf("%w: g=%g l=%g", ErrBadModelParams, g, l)
+	}
+	total := 0.0
+	for i, s := range steps {
+		if s.W < 0 || s.H < 0 {
+			return 0, fmt.Errorf("%w: step %d: w=%g h=%g", ErrBadModelParams, i, s.W, s.H)
+		}
+		total += s.W + g*s.H + l
+	}
+	return total, nil
+}
+
+// BSPRAMSuperstep adds shared-memory traffic to a BSP superstep, following
+// Tiskin: processors compute locally (w), then read/write the shared
+// memory (m words each at gap g'), then synchronise.
+type BSPRAMSuperstep struct {
+	W float64 // max local computation
+	M float64 // max shared-memory words accessed by any processor
+}
+
+// BSPRAMCost prices a BSPRAM program: Σᵢ (wᵢ + g·mᵢ + l). Closer to a GPU
+// than BSP — shared memory exists — but with no warp notion, per the
+// paper.
+func BSPRAMCost(steps []BSPRAMSuperstep, g, l float64) (float64, error) {
+	if g < 0 || l < 0 {
+		return 0, fmt.Errorf("%w: g=%g l=%g", ErrBadModelParams, g, l)
+	}
+	total := 0.0
+	for i, s := range steps {
+		if s.W < 0 || s.M < 0 {
+			return 0, fmt.Errorf("%w: step %d", ErrBadModelParams, i)
+		}
+		total += s.W + g*s.M + l
+	}
+	return total, nil
+}
+
+// PEMCost prices a PEM computation by its dominant metric, parallel block
+// I/Os: with N items, P processors, block size B and per-processor cache
+// of M words, the PEM sorting/scanning bounds are expressed in
+// ⌈N/(P·B)⌉-style terms. PEMCost returns the time for a computation that
+// performs ios parallel block transactions and comp internal operations,
+// with a block transaction costing blockCost operations-equivalents: comp
+// + blockCost·ios. Block transfer is the one GPU-relevant feature PEM
+// has; it lacks per-group shared memory and the warp.
+func PEMCost(comp, ios, blockCost float64) (float64, error) {
+	if comp < 0 || ios < 0 || blockCost < 0 {
+		return 0, fmt.Errorf("%w: comp=%g ios=%g blockCost=%g", ErrBadModelParams, comp, ios, blockCost)
+	}
+	return comp + blockCost*ios, nil
+}
+
+// PEMScanIOs returns the parallel I/O count of a PEM scan over n items
+// with p processors and block size b: ⌈n/(p·b)⌉ — the textbook bound.
+func PEMScanIOs(n, p, b int) (float64, error) {
+	if n < 0 || p <= 0 || b <= 0 {
+		return 0, fmt.Errorf("%w: n=%d p=%d b=%d", ErrBadModelParams, n, p, b)
+	}
+	return math.Ceil(float64(n) / float64(p*b)), nil
+}
+
+// WhyNotGPU returns, for each classical model, the paper's §I-B reason it
+// cannot model a GPU — machine-readable companion to Description.
+func WhyNotGPU(m Model) string {
+	switch m {
+	case PRAM:
+		return "no memory hierarchy"
+	case BSP:
+		return "no shared memory between processors"
+	case BSPRAM:
+		return "no notion of a warp"
+	case PEM:
+		return "no per-group shared memory and no warp"
+	}
+	return ""
+}

@@ -1,0 +1,141 @@
+package models
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRAMCost(t *testing.T) {
+	// Brent: max(depth, work/p).
+	got, err := PRAMCost(1000, 10, 100)
+	if err != nil || got != 10 {
+		t.Fatalf("PRAMCost = %g, %v; want 10 (work-bound side: 1000/100)", got, err)
+	}
+	got, err = PRAMCost(1000, 50, 100)
+	if err != nil || got != 50 {
+		t.Fatalf("PRAMCost = %g, %v; want 50 (depth-bound)", got, err)
+	}
+	if _, err := PRAMCost(1, 1, 0); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("p=0: %v", err)
+	}
+	if _, err := PRAMCost(-1, 1, 1); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("negative work: %v", err)
+	}
+}
+
+// PRAM property: more processors never slow the computation, and time is
+// always at least the critical path.
+func TestPRAMCostProperties(t *testing.T) {
+	f := func(work, depth uint16, p uint8) bool {
+		pp := int(p%64) + 1
+		c1, err := PRAMCost(float64(work), float64(depth), pp)
+		if err != nil {
+			return false
+		}
+		c2, err := PRAMCost(float64(work), float64(depth), pp+1)
+		if err != nil {
+			return false
+		}
+		return c2 <= c1 && c1 >= float64(depth)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPCost(t *testing.T) {
+	steps := []BSPSuperstep{{W: 100, H: 10}, {W: 50, H: 5}}
+	got, err := BSPCost(steps, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (100.0 + 20 + 7) + (50 + 10 + 7)
+	if got != want {
+		t.Fatalf("BSPCost = %g, want %g", got, want)
+	}
+	if _, err := BSPCost(steps, -1, 0); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("negative g: %v", err)
+	}
+	if _, err := BSPCost([]BSPSuperstep{{W: -1}}, 1, 1); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("negative w: %v", err)
+	}
+	if got, _ := BSPCost(nil, 1, 1); got != 0 {
+		t.Errorf("empty program cost = %g", got)
+	}
+}
+
+func TestBSPRAMCost(t *testing.T) {
+	steps := []BSPRAMSuperstep{{W: 10, M: 4}}
+	got, err := BSPRAMCost(steps, 3, 2)
+	if err != nil || got != 10+12+2 {
+		t.Fatalf("BSPRAMCost = %g, %v", got, err)
+	}
+	if _, err := BSPRAMCost(steps, 1, -1); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("negative l: %v", err)
+	}
+	if _, err := BSPRAMCost([]BSPRAMSuperstep{{M: -1}}, 1, 1); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("negative m: %v", err)
+	}
+}
+
+func TestPEMCost(t *testing.T) {
+	got, err := PEMCost(100, 10, 40)
+	if err != nil || got != 500 {
+		t.Fatalf("PEMCost = %g, %v; want 500", got, err)
+	}
+	if _, err := PEMCost(-1, 0, 0); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("negative comp: %v", err)
+	}
+}
+
+func TestPEMScanIOs(t *testing.T) {
+	got, err := PEMScanIOs(1000, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != math.Ceil(1000.0/128) {
+		t.Fatalf("PEMScanIOs = %g", got)
+	}
+	if _, err := PEMScanIOs(1, 0, 1); !errors.Is(err, ErrBadModelParams) {
+		t.Errorf("p=0: %v", err)
+	}
+}
+
+// BSP property: cost is additive over supersteps and monotone in g and l.
+func TestBSPCostProperties(t *testing.T) {
+	f := func(ws, hs [4]uint8, g, l uint8) bool {
+		steps := make([]BSPSuperstep, 4)
+		for i := range steps {
+			steps[i] = BSPSuperstep{W: float64(ws[i]), H: float64(hs[i])}
+		}
+		c, err := BSPCost(steps, float64(g), float64(l))
+		if err != nil {
+			return false
+		}
+		// Additivity.
+		c1, _ := BSPCost(steps[:2], float64(g), float64(l))
+		c2, _ := BSPCost(steps[2:], float64(g), float64(l))
+		if math.Abs(c-(c1+c2)) > 1e-9 {
+			return false
+		}
+		// Monotone in g.
+		cg, _ := BSPCost(steps, float64(g)+1, float64(l))
+		return cg >= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhyNotGPU(t *testing.T) {
+	for _, m := range []Model{PRAM, BSP, BSPRAM, PEM} {
+		if WhyNotGPU(m) == "" {
+			t.Errorf("%v: missing reason", m)
+		}
+	}
+	if WhyNotGPU(ATGPU) != "" {
+		t.Error("ATGPU should have no disqualifier")
+	}
+}

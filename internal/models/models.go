@@ -1,0 +1,249 @@
+// Package models implements the baseline abstract GPU models that ATGPU is
+// compared against — SWGPU (Sitchinava & Weichert) and AGPU (Koike &
+// Sadakane) — plus descriptors of the classical parallel models the paper
+// surveys (PRAM, BSP, BSPRAM, PEM), and the Table I feature-comparison
+// matrix.
+//
+// Per the paper's evaluation methodology (§IV): "We use the GPU cost
+// function of our model as the ATGPU cost, and the GPU cost function of
+// our model minus the data transfer as the SWGPU cost." SWGPUCost
+// implements exactly that subtraction. AGPU analyses algorithms only
+// asymptotically (time, I/O, space) and has no cost function, so the AGPU
+// baseline is an asymptotic report type.
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"atgpu/internal/core"
+)
+
+// SWGPUCost evaluates the SWGPU baseline cost of an analysed algorithm:
+// the occupancy-aware GPU-cost (Expression 2) with the host↔device data
+// transfer terms TI and TO removed — SWGPU models rounds, computation,
+// memory requests and synchronisation but not transfer.
+func SWGPUCost(a *core.Analysis, c core.CostParams) (float64, error) {
+	b, err := core.GPUCostBreakdown(a, c)
+	if err != nil {
+		return 0, err
+	}
+	return b.Compute + b.MemoryIO + b.Sync, nil
+}
+
+// SWGPUCostBreakdown returns the SWGPU components (transfer zeroed).
+func SWGPUCostBreakdown(a *core.Analysis, c core.CostParams) (core.Breakdown, error) {
+	b, err := core.GPUCostBreakdown(a, c)
+	if err != nil {
+		return core.Breakdown{}, err
+	}
+	b.TransferIn, b.TransferOut = 0, 0
+	return b, nil
+}
+
+// CapturedFraction returns the share of an observed total running time that
+// a predicted cost accounts for, scaled via the observed kernel time: the
+// paper reports e.g. "the SWGPU captures on average only 16% of the actual
+// running time for the vector addition example". Both arguments are in
+// seconds.
+func CapturedFraction(predictedOrObservedPart, observedTotal float64) float64 {
+	if observedTotal <= 0 {
+		return 0
+	}
+	f := predictedOrObservedPart / observedTotal
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// AGPUReport is the AGPU-style asymptotic account of an algorithm: time,
+// I/O and space complexity plus the occupancy expression, with no cost
+// function and no synchronisation or transfer modelling.
+type AGPUReport struct {
+	Algorithm        string
+	TimeComplexity   string // e.g. "O(1)", "O(log b · log n)"
+	IOComplexity     string
+	GlobalComplexity string
+	SharedComplexity string
+}
+
+// String renders the report.
+func (r AGPUReport) String() string {
+	return fmt.Sprintf("AGPU[%s]: time=%s io=%s global=%s shared=%s",
+		r.Algorithm, r.TimeComplexity, r.IOComplexity,
+		r.GlobalComplexity, r.SharedComplexity)
+}
+
+// Model identifies an abstract parallel model discussed in the paper.
+type Model int
+
+// The models of the paper's Sections I-B, I-C and Table I.
+const (
+	PRAM Model = iota
+	BSP
+	BSPRAM
+	PEM
+	AGPU
+	SWGPU
+	ATGPU
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case PRAM:
+		return "PRAM"
+	case BSP:
+		return "BSP"
+	case BSPRAM:
+		return "BSPRAM"
+	case PEM:
+		return "PEM"
+	case AGPU:
+		return "AGPU"
+	case SWGPU:
+		return "SWGPU"
+	case ATGPU:
+		return "ATGPU"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Description summarises why each classical model falls short of the GPU,
+// per the paper's Section I-B.
+func (m Model) Description() string {
+	switch m {
+	case PRAM:
+		return "Shared-memory model with asynchronous processors; no memory hierarchy, so it misses components needed to model GPU computation."
+	case BSP:
+		return "Distributed-memory rounds of compute/communicate/synchronise; no shared memory between processors, so it cannot capture a GPU."
+	case BSPRAM:
+		return "BSP plus shared memory accessible to all processors; closer to a GPU but has no notion of a warp."
+	case PEM:
+		return "Private caches plus block-transfer main memory; block transactions resemble global memory access but there is no per-group shared memory and no warp."
+	case AGPU:
+		return "Abstract GPU model of Koike & Sadakane: asymptotic time/I-O/space analysis, pseudocode, shared memory limit; no synchronisation, cost function, global memory limit or host transfer."
+	case SWGPU:
+		return "Model of Sitchinava & Weichert: rounds delimited by host synchronisation with a cost function over operations, memory requests and synchronisations; no host transfer or memory limits."
+	case ATGPU:
+		return "This paper's model: SWGPU/AGPU architecture plus a global memory size constraint, pseudocode with explicit transfer operators, and cost functions including host/device data transfer."
+	}
+	return ""
+}
+
+// Feature is a capability row of Table I.
+type Feature int
+
+// The rows of Table I, in paper order.
+const (
+	FeatPseudocode Feature = iota
+	FeatTimeComplexity
+	FeatIOComplexity
+	FeatSpaceComplexity
+	FeatSharedMemoryLimit
+	FeatSynchronisation
+	FeatCostFunction
+	FeatGlobalMemoryLimit
+	FeatHostDeviceTransfer
+	numFeatures
+)
+
+// String names the feature as in Table I.
+func (f Feature) String() string {
+	switch f {
+	case FeatPseudocode:
+		return "Pseudocode"
+	case FeatTimeComplexity:
+		return "Time Complexity"
+	case FeatIOComplexity:
+		return "I/O Complexity"
+	case FeatSpaceComplexity:
+		return "Space Complexity"
+	case FeatSharedMemoryLimit:
+		return "Shared Memory Limit"
+	case FeatSynchronisation:
+		return "Synchronisation"
+	case FeatCostFunction:
+		return "Cost Function"
+	case FeatGlobalMemoryLimit:
+		return "Global Memory Limit"
+	case FeatHostDeviceTransfer:
+		return "Host/Device Data Transfer"
+	}
+	return fmt.Sprintf("feature(%d)", int(f))
+}
+
+// Features returns all Table I rows in order.
+func Features() []Feature {
+	fs := make([]Feature, numFeatures)
+	for i := range fs {
+		fs[i] = Feature(i)
+	}
+	return fs
+}
+
+// featureMatrix encodes Table I of the paper.
+var featureMatrix = map[Model]map[Feature]bool{
+	AGPU: {
+		FeatPseudocode:        true,
+		FeatTimeComplexity:    true,
+		FeatIOComplexity:      true,
+		FeatSpaceComplexity:   true,
+		FeatSharedMemoryLimit: true,
+	},
+	SWGPU: {
+		FeatTimeComplexity:  true,
+		FeatIOComplexity:    true,
+		FeatSynchronisation: true,
+		FeatCostFunction:    true,
+	},
+	ATGPU: {
+		FeatPseudocode:         true,
+		FeatTimeComplexity:     true,
+		FeatIOComplexity:       true,
+		FeatSpaceComplexity:    true,
+		FeatSharedMemoryLimit:  true,
+		FeatSynchronisation:    true,
+		FeatCostFunction:       true,
+		FeatGlobalMemoryLimit:  true,
+		FeatHostDeviceTransfer: true,
+	},
+}
+
+// Has reports whether model m provides feature f per Table I. Only the
+// three GPU models appear in the table; classical models report false for
+// every feature.
+func Has(m Model, f Feature) bool {
+	return featureMatrix[m][f]
+}
+
+// ComparedModels returns the Table I columns in paper order.
+func ComparedModels() []Model { return []Model{AGPU, SWGPU, ATGPU} }
+
+// TableI renders the comparison table as aligned text, reproducing the
+// paper's Table I ("3" marks in the paper's typography become "x").
+func TableI() string {
+	models := ComparedModels()
+	var sb strings.Builder
+	row := func(first string, cells func(m Model) string) {
+		var line strings.Builder
+		fmt.Fprintf(&line, "%-28s", first)
+		for _, m := range models {
+			fmt.Fprintf(&line, " %-7s", cells(m))
+		}
+		sb.WriteString(strings.TrimRight(line.String(), " "))
+		sb.WriteByte('\n')
+	}
+	row("Item", func(m Model) string { return m.String() })
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 28+8*len(models)))
+	for _, f := range Features() {
+		row(f.String(), func(m Model) string {
+			if Has(m, f) {
+				return "x"
+			}
+			return ""
+		})
+	}
+	return sb.String()
+}

@@ -1,0 +1,196 @@
+package models
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"atgpu/internal/core"
+)
+
+func testAnalysis() *core.Analysis {
+	return &core.Analysis{
+		Name:   "t",
+		Params: core.Params{P: 128, B: 32, M: 100, G: 10000},
+		Rounds: []core.Round{{
+			Time: 10, IO: 5, Blocks: 4, SharedWords: 25,
+			InWords: 100, InTransactions: 2, OutWords: 50, OutTransactions: 1,
+		}},
+	}
+}
+
+func testCost() core.CostParams {
+	return core.CostParams{
+		Gamma: 1000, Lambda: 4, Sigma: 0.5,
+		Alpha: 0.01, Beta: 0.001, KPrime: 2, H: 4,
+	}
+}
+
+// TestSWGPUCostIsGPUCostMinusTransfer verifies the paper's §IV methodology
+// literally: "the GPU cost function of our model minus the data transfer as
+// the SWGPU cost".
+func TestSWGPUCostIsGPUCostMinusTransfer(t *testing.T) {
+	a := testAnalysis()
+	c := testCost()
+	gpu, err := core.GPUCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := core.GPUCostBreakdown(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := SWGPUCost(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sw-(gpu-bd.Transfer())) > 1e-12 {
+		t.Fatalf("SWGPU = %g, want GPU-cost %g − transfer %g", sw, gpu, bd.Transfer())
+	}
+	if sw >= gpu {
+		t.Fatal("SWGPU cost should be strictly below ATGPU cost when transfer > 0")
+	}
+}
+
+func TestSWGPUCostBreakdown(t *testing.T) {
+	bd, err := SWGPUCostBreakdown(testAnalysis(), testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.TransferIn != 0 || bd.TransferOut != 0 {
+		t.Fatalf("SWGPU breakdown keeps transfer: %+v", bd)
+	}
+	if bd.Compute <= 0 || bd.MemoryIO <= 0 || bd.Sync <= 0 {
+		t.Fatalf("SWGPU breakdown missing kernel terms: %+v", bd)
+	}
+}
+
+func TestSWGPUCostPropagatesErrors(t *testing.T) {
+	bad := testCost()
+	bad.Gamma = 0
+	if _, err := SWGPUCost(testAnalysis(), bad); err == nil {
+		t.Error("SWGPUCost accepted bad params")
+	}
+	if _, err := SWGPUCostBreakdown(testAnalysis(), bad); err == nil {
+		t.Error("SWGPUCostBreakdown accepted bad params")
+	}
+}
+
+func TestCapturedFraction(t *testing.T) {
+	if got := CapturedFraction(16, 100); got != 0.16 {
+		t.Fatalf("CapturedFraction = %g", got)
+	}
+	if CapturedFraction(1, 0) != 0 {
+		t.Fatal("zero total should give 0")
+	}
+	if CapturedFraction(-1, 10) != 0 {
+		t.Fatal("negative part should clamp to 0")
+	}
+}
+
+// TestTableIMatchesPaper pins the feature matrix to the paper's Table I
+// row by row.
+func TestTableIMatchesPaper(t *testing.T) {
+	type row struct {
+		f            Feature
+		agpu, sw, at bool
+	}
+	rows := []row{
+		{FeatPseudocode, true, false, true},
+		{FeatTimeComplexity, true, true, true},
+		{FeatIOComplexity, true, true, true},
+		{FeatSpaceComplexity, true, false, true},
+		{FeatSharedMemoryLimit, true, false, true},
+		{FeatSynchronisation, false, true, true},
+		{FeatCostFunction, false, true, true},
+		{FeatGlobalMemoryLimit, false, false, true},
+		{FeatHostDeviceTransfer, false, false, true},
+	}
+	if len(rows) != len(Features()) {
+		t.Fatalf("test covers %d features, table has %d", len(rows), len(Features()))
+	}
+	for _, r := range rows {
+		if Has(AGPU, r.f) != r.agpu {
+			t.Errorf("AGPU %s = %v, want %v", r.f, Has(AGPU, r.f), r.agpu)
+		}
+		if Has(SWGPU, r.f) != r.sw {
+			t.Errorf("SWGPU %s = %v, want %v", r.f, Has(SWGPU, r.f), r.sw)
+		}
+		if Has(ATGPU, r.f) != r.at {
+			t.Errorf("ATGPU %s = %v, want %v", r.f, Has(ATGPU, r.f), r.at)
+		}
+	}
+}
+
+// TestATGPUDominates: ATGPU has every feature any compared model has —
+// the paper's "first abstract model with this comprehensive array".
+func TestATGPUDominates(t *testing.T) {
+	for _, f := range Features() {
+		for _, m := range ComparedModels() {
+			if Has(m, f) && !Has(ATGPU, f) {
+				t.Errorf("%s has %s but ATGPU does not", m, f)
+			}
+		}
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{"Item", "AGPU", "SWGPU", "ATGPU",
+		"Host/Device Data Transfer", "Global Memory Limit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableI missing %q", want)
+		}
+	}
+	// The transfer row must mark only ATGPU.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Host/Device Data Transfer") {
+			if strings.Count(line, "x") != 1 {
+				t.Errorf("transfer row should have exactly one mark: %q", line)
+			}
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	names := map[Model]string{
+		PRAM: "PRAM", BSP: "BSP", BSPRAM: "BSPRAM", PEM: "PEM",
+		AGPU: "AGPU", SWGPU: "SWGPU", ATGPU: "ATGPU",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q", m, m.String())
+		}
+		if m.Description() == "" {
+			t.Errorf("%v has no description", m)
+		}
+	}
+	if Model(99).String() == "" {
+		t.Error("unknown model should still print")
+	}
+	if Model(99).Description() != "" {
+		t.Error("unknown model should have empty description")
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	for _, f := range Features() {
+		if f.String() == "" || strings.HasPrefix(f.String(), "feature(") {
+			t.Errorf("feature %d has no name", f)
+		}
+	}
+	if !strings.HasPrefix(Feature(99).String(), "feature(") {
+		t.Error("unknown feature should print its code")
+	}
+}
+
+func TestAGPUReportString(t *testing.T) {
+	r := AGPUReport{Algorithm: "x", TimeComplexity: "O(1)", IOComplexity: "O(k)",
+		GlobalComplexity: "O(n)", SharedComplexity: "O(b)"}
+	s := r.String()
+	for _, want := range []string{"x", "O(1)", "O(k)", "O(n)", "O(b)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("AGPUReport missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package plot renders experiment series as CSV (for external plotting)
+// and as ASCII line charts (for terminal inspection), replacing the
+// paper's gnuplot figures with textual equivalents carrying the same data.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"atgpu/internal/stats"
+)
+
+// WriteCSV emits a header row (x, then one column per series) followed by
+// one row per x value. All series must share the same x vector.
+func WriteCSV(w io.Writer, xLabel string, series ...stats.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	n := series[0].Len()
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("plot: series %q has %d points, want %d", s.Name, s.Len(), n)
+		}
+	}
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, csvEscape(xLabel))
+	for _, s := range series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, formatNum(series[0].X[i]))
+		for _, s := range series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// markers cycle per series in ASCII charts.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders the series as a fixed-size character chart with a legend,
+// y axis labels, and per-series markers. Series may have different y
+// scales; all are drawn against the combined range.
+func ASCII(title string, width, height int, series ...stats.Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(series) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-yMin)/(yMax-yMin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	for r := 0; r < height; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%12.4g |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%12s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%12s  %-*.4g%*.4g\n", "", width/2, xMin, width-width/2, xMax)
+	sb.WriteString("legend:")
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"atgpu/internal/stats"
+)
+
+func mkSeries(t *testing.T, name string, x, y []float64) stats.Series {
+	t.Helper()
+	s, err := stats.NewSeries(name, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteCSV(t *testing.T) {
+	x := []float64{1, 2, 3}
+	a := mkSeries(t, "alpha", x, []float64{10, 20, 30})
+	b := mkSeries(t, "beta", x, []float64{1.5, 2.5, 3.5})
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "n", a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "n,alpha,beta\n1,10,1.5\n2,20,2.5\n3,30,3.5\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	x := []float64{1}
+	s := mkSeries(t, `with,comma "q"`, x, []float64{2})
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "x", s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"with,comma ""q"""`) {
+		t.Fatalf("CSV escaping wrong: %q", sb.String())
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "x"); err == nil {
+		t.Fatal("no series accepted")
+	}
+	a := mkSeries(t, "a", []float64{1, 2}, []float64{1, 2})
+	b := mkSeries(t, "b", []float64{1}, []float64{1})
+	if err := WriteCSV(&sb, "x", a, b); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	a := mkSeries(t, "up", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	b := mkSeries(t, "down", []float64{0, 1, 2, 3}, []float64{3, 2, 1, 0})
+	out := ASCII("test chart", 40, 10, a, b)
+	for _, want := range []string{"test chart", "legend:", "up", "down", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x labels + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("ASCII output has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	out := ASCII("empty", 20, 5)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	s := mkSeries(t, "flat", []float64{1, 2}, []float64{5, 5})
+	out := ASCII("flat", 20, 5, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestASCIIClampsTinyDimensions(t *testing.T) {
+	s := mkSeries(t, "s", []float64{0, 1}, []float64{0, 1})
+	out := ASCII("tiny", 1, 1, s)
+	if out == "" {
+		t.Fatal("tiny chart empty")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if got := formatNum(3); got != "3" {
+		t.Fatalf("formatNum(3) = %q", got)
+	}
+	if got := formatNum(0.25); got != "0.25" {
+		t.Fatalf("formatNum(0.25) = %q", got)
+	}
+	if got := formatNum(1e20); got == "" {
+		t.Fatal("huge number should format")
+	}
+}

@@ -1,0 +1,132 @@
+package pseudocode
+
+// The AST mirrors the little language's surface: a kernel is a parameter
+// list, shared declarations, and a statement block.
+
+// Kernel is a parsed pseudocode kernel.
+type Kernel struct {
+	Name   string
+	Params []string
+	Shared []SharedDecl
+	Body   []Stmt
+}
+
+// SharedDecl declares a shared array of constant size (the size expression
+// is evaluated at compile time against the bound parameters).
+type SharedDecl struct {
+	Name string
+	Size Expr
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is `name = expr` (register variable assignment; declares the
+// variable on first use when preceded by `var`).
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// VarStmt is `var name [= expr]`.
+type VarStmt struct {
+	Name string
+	Expr Expr // optional; nil means zero
+	Line int
+}
+
+// SharedStoreStmt is `_s[idx] = expr` (the paper's ← into shared memory).
+type SharedStoreStmt struct {
+	Name  string
+	Index Expr
+	Expr  Expr
+	Line  int
+}
+
+// GlobalStoreStmt is `global[idx] = expr` or `global[idx] <== _s[j]` (the
+// paper's ⇐ toward global memory).
+type GlobalStoreStmt struct {
+	Index Expr
+	Expr  Expr
+	Line  int
+}
+
+// IfStmt is the single-block conditional.
+type IfStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is the uniform counted loop `for i = start to limit [step k]`,
+// iterating while i < limit (or i > limit for negative step).
+type ForStmt struct {
+	Var   string
+	Start Expr
+	Limit Expr
+	Step  int64
+	Body  []Stmt
+	Line  int
+}
+
+// BarrierStmt is `barrier`.
+type BarrierStmt struct{ Line int }
+
+func (*AssignStmt) stmtNode()      {}
+func (*VarStmt) stmtNode()         {}
+func (*SharedStoreStmt) stmtNode() {}
+func (*GlobalStoreStmt) stmtNode() {}
+func (*IfStmt) stmtNode()          {}
+func (*ForStmt) stmtNode()         {}
+func (*BarrierStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  int64
+	Line int
+}
+
+// IdentExpr is a parameter, variable, or builtin (mp, core, b, nblocks).
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// SharedIndexExpr is `_s[expr]` (shared load in an expression).
+type SharedIndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// GlobalIndexExpr is `global[expr]` (global load in an expression).
+type GlobalIndexExpr struct {
+	Index Expr
+	Line  int
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   tokKind
+	L, R Expr
+	Line int
+}
+
+// CallExpr is min(a,b) or max(a,b).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()         {}
+func (*IdentExpr) exprNode()       {}
+func (*SharedIndexExpr) exprNode() {}
+func (*GlobalIndexExpr) exprNode() {}
+func (*BinExpr) exprNode()         {}
+func (*CallExpr) exprNode()        {}

@@ -1,0 +1,31 @@
+package pseudocode
+
+import "testing"
+
+// BenchmarkParse measures front-end speed on the vecadd kernel source.
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(vecAddKernelSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures parse+compile end to end.
+func BenchmarkCompile(b *testing.B) {
+	params := map[string]int64{"n": 1 << 20, "baseA": 0, "baseB": 1 << 20, "baseC": 1 << 21}
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileSource(vecAddKernelSrc, 32, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParsePlan measures the plan front end.
+func BenchmarkParsePlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePlan(vecAddPlanSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package pseudocode
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the kernel parser: it must never panic and, when it
+// accepts an input, compilation with generic bindings must either succeed
+// (producing a valid program) or fail with a typed error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"kernel k()\nbarrier\n",
+		vecAddKernelSrc,
+		"kernel k(n)\nshared _s[b]\nif core < n\n_s[core] <== global[core]\nend\n",
+		"kernel k()\nfor i = 0 to 4\nx = i * 2\nend\nglobal[core] = x\n",
+		"kernel k()\nx = min(core, 3) + max(mp, 1)\n",
+		"kernel bad(\n",
+		"kernel k()\nx = (1 + \n",
+		"kernel k()\nfor i = 10 downto 0 step 2\nend\n",
+		"plan p()\n", // wrong entry point
+		"# only a comment\n",
+		"kernel k()\nx = 1 << 3 >> 1 & 7 | 2 ^ 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Parse(src)
+		if err != nil {
+			return
+		}
+		params := map[string]int64{}
+		for _, p := range k.Params {
+			params[p] = 4
+		}
+		prog, err := Compile(k, 4, params)
+		if err != nil {
+			return
+		}
+		if vErr := prog.Validate(); vErr != nil {
+			t.Fatalf("compiled program invalid: %v\nsource:\n%s", vErr, src)
+		}
+	})
+}
+
+// FuzzParsePlan exercises the plan parser.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		vecAddPlanSrc,
+		"plan p()\nsync\n",
+		"plan p(n)\ndev a[n]\na W A\nA W a\n",
+		"plan p()\nlaunch k(x = 1) blocks 2\n",
+		"plan p()\ndev a[4\n",
+		"plan p()\nA W B\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pl, err := ParsePlan(src)
+		if err != nil {
+			return
+		}
+		// Accepted plans must round-trip basic invariants.
+		if pl.Name == "" {
+			t.Fatalf("accepted plan with empty name: %q", src)
+		}
+		for _, st := range pl.Stmts {
+			if tr, ok := st.(*TransferStmt); ok {
+				if isHostName(tr.Device) || !isHostName(tr.Host) {
+					t.Fatalf("transfer scopes inverted: %+v", tr)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLexer feeds arbitrary bytes to the lexer, which must terminate and
+// never produce a token stream missing its EOF.
+func FuzzLexer(f *testing.F) {
+	f.Add("x <== <= << < y")
+	f.Add("== = != ! # comment")
+	f.Add("0x10 099 9e9")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := newLexer(src).lex()
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream not EOF-terminated")
+		}
+		if strings.Contains(src, "\n") && len(toks) < 2 {
+			t.Fatal("newline input produced too few tokens")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package pseudocode
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Error categories for callers to match with errors.Is.
+var (
+	ErrLex     = errors.New("pseudocode: lexical error")
+	ErrParse   = errors.New("pseudocode: parse error")
+	ErrCompile = errors.New("pseudocode: compile error")
+)
+
+// lexer scans source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d col %d: %s", ErrLex, l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lex tokenises the whole source. Consecutive newlines collapse to one;
+// a trailing newline token is always present before EOF.
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	emit := func(k tokKind, text string, val int64, line, col int) {
+		if k == tokNewline && len(toks) > 0 && toks[len(toks)-1].kind == tokNewline {
+			return // collapse blank lines
+		}
+		toks = append(toks, token{kind: k, text: text, val: val, line: line, col: col})
+	}
+
+	for l.pos < len(l.src) {
+		line, col := l.line, l.col
+		c := l.peek()
+		switch {
+		case c == '\n':
+			l.advance()
+			emit(tokNewline, "", 0, line, col)
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentCont(l.peek()) {
+				l.advance()
+			}
+			emit(tokIdent, l.src[start:l.pos], 0, line, col)
+		case isDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentCont(l.peek()) {
+				l.advance()
+			}
+			text := l.src[start:l.pos]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, l.errorf("bad number %q", text)
+			}
+			emit(tokNumber, text, v, line, col)
+		default:
+			l.advance()
+			switch c {
+			case '(':
+				emit(tokLParen, "(", 0, line, col)
+			case ')':
+				emit(tokRParen, ")", 0, line, col)
+			case '[':
+				emit(tokLBracket, "[", 0, line, col)
+			case ']':
+				emit(tokRBracket, "]", 0, line, col)
+			case ',':
+				emit(tokComma, ",", 0, line, col)
+			case '+':
+				emit(tokPlus, "+", 0, line, col)
+			case '-':
+				emit(tokMinus, "-", 0, line, col)
+			case '*':
+				emit(tokStar, "*", 0, line, col)
+			case '/':
+				emit(tokSlash, "/", 0, line, col)
+			case '%':
+				emit(tokPercent, "%", 0, line, col)
+			case '&':
+				emit(tokAmp, "&", 0, line, col)
+			case '|':
+				emit(tokPipe, "|", 0, line, col)
+			case '^':
+				emit(tokCaret, "^", 0, line, col)
+			case '=':
+				if l.peek() == '=' {
+					l.advance()
+					emit(tokEq, "==", 0, line, col)
+				} else {
+					emit(tokAssign, "=", 0, line, col)
+				}
+			case '!':
+				if l.peek() == '=' {
+					l.advance()
+					emit(tokNe, "!=", 0, line, col)
+				} else {
+					return nil, l.errorf("unexpected '!'")
+				}
+			case '<':
+				switch l.peek() {
+				case '=':
+					l.advance()
+					if l.peek() == '=' {
+						l.advance()
+						emit(tokMove, "<==", 0, line, col)
+					} else {
+						emit(tokLe, "<=", 0, line, col)
+					}
+				case '<':
+					l.advance()
+					emit(tokShl, "<<", 0, line, col)
+				default:
+					emit(tokLt, "<", 0, line, col)
+				}
+			case '>':
+				switch l.peek() {
+				case '=':
+					l.advance()
+					emit(tokGe, ">=", 0, line, col)
+				case '>':
+					l.advance()
+					emit(tokShr, ">>", 0, line, col)
+				default:
+					emit(tokGt, ">", 0, line, col)
+				}
+			default:
+				return nil, l.errorf("unexpected character %q", string(c))
+			}
+		}
+	}
+	// Normalise termination: newline then EOF.
+	if len(toks) == 0 || toks[len(toks)-1].kind != tokNewline {
+		toks = append(toks, token{kind: tokNewline, line: l.line, col: l.col})
+	}
+	toks = append(toks, token{kind: tokEOF, line: l.line, col: l.col})
+	return toks, nil
+}

@@ -1,0 +1,497 @@
+package pseudocode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one kernel definition from source text.
+func Parse(src string) (*Kernel, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseKernel()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d col %d: %s", ErrParse, t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, p.errorf(t, "expected %s, got %s", k, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().kind == tokNewline {
+		p.next()
+	}
+}
+
+// isKeyword names words with reserved statement meaning.
+func isKeyword(s string) bool {
+	switch s {
+	case "kernel", "shared", "var", "if", "for", "to", "downto", "step",
+		"end", "barrier", "global", "min", "max", "mp", "core", "b", "nblocks":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseKernel() (*Kernel, error) {
+	p.skipNewlines()
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "kernel" {
+		return nil, p.errorf(kw, "expected 'kernel', got %q", kw.text)
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: name.text}
+
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokRParen {
+		for {
+			pn, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if isKeyword(pn.text) {
+				return nil, p.errorf(pn, "parameter name %q is reserved", pn.text)
+			}
+			k.Params = append(k.Params, pn.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokNewline); err != nil {
+		return nil, err
+	}
+
+	// Shared declarations come first.
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind != tokIdent || t.text != "shared" {
+			break
+		}
+		p.next()
+		sn, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(sn.text, "_") {
+			return nil, p.errorf(sn, "shared variable %q must begin with '_' (paper naming convention)", sn.text)
+		}
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, err
+		}
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		k.Shared = append(k.Shared, SharedDecl{Name: sn.text, Size: size, Line: sn.line})
+	}
+
+	body, err := p.parseBlock("kernel")
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+
+	p.skipNewlines()
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf(p.cur(), "unexpected trailing input %s", p.cur())
+	}
+	return k, nil
+}
+
+// parseBlock parses statements until 'end' (consumed) or EOF for the
+// top-level kernel body.
+func (p *parser) parseBlock(ctx string) ([]Stmt, error) {
+	var stmts []Stmt
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind == tokEOF {
+			if ctx != "kernel" {
+				return nil, p.errorf(t, "missing 'end' for %s", ctx)
+			}
+			return stmts, nil
+		}
+		if t.kind == tokIdent && t.text == "end" {
+			if ctx == "kernel" {
+				return nil, p.errorf(t, "stray 'end'")
+			}
+			p.next()
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errorf(t, "expected statement, got %s", t)
+	}
+	switch t.text {
+	case "barrier":
+		p.next()
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		return &BarrierStmt{Line: t.line}, nil
+
+	case "var":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if isKeyword(name.text) || strings.HasPrefix(name.text, "_") {
+			return nil, p.errorf(name, "invalid variable name %q", name.text)
+		}
+		st := &VarStmt{Name: name.text, Line: t.line}
+		if p.cur().kind == tokAssign {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Expr = e
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case "if":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock("if")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		return &IfStmt{Cond: cond, Body: body, Line: t.line}, nil
+
+	case "for":
+		return p.parseFor()
+
+	case "global":
+		// global[idx] = expr  |  global[idx] <== expr
+		p.next()
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		op := p.cur()
+		if op.kind != tokAssign && op.kind != tokMove {
+			return nil, p.errorf(op, "expected '=' or '<==' after global[...]")
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		return &GlobalStoreStmt{Index: idx, Expr: e, Line: t.line}, nil
+	}
+
+	// Shared store or register assignment.
+	name := p.next()
+	if isKeyword(name.text) {
+		return nil, p.errorf(name, "unexpected keyword %q", name.text)
+	}
+	if strings.HasPrefix(name.text, "_") {
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		op := p.cur()
+		if op.kind != tokAssign && op.kind != tokMove {
+			return nil, p.errorf(op, "expected '=' or '<==' after %s[...]", name.text)
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		return &SharedStoreStmt{Name: name.text, Index: idx, Expr: e, Line: t.line}, nil
+	}
+
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokNewline); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name.text, Expr: e, Line: t.line}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // 'for'
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if isKeyword(name.text) || strings.HasPrefix(name.text, "_") {
+		return nil, p.errorf(name, "invalid loop variable %q", name.text)
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	start, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	down := false
+	switch dir.text {
+	case "to":
+	case "downto":
+		down = true
+	default:
+		return nil, p.errorf(dir, "expected 'to' or 'downto', got %q", dir.text)
+	}
+	limit, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	step := int64(1)
+	if p.cur().kind == tokIdent && p.cur().text == "step" {
+		p.next()
+		neg := false
+		if p.cur().kind == tokMinus {
+			p.next()
+			neg = true
+		}
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		step = n.val
+		if neg {
+			step = -step
+		}
+	}
+	if down {
+		if step > 0 {
+			step = -step
+		}
+	}
+	if step == 0 {
+		return nil, p.errorf(t, "for loop step cannot be 0")
+	}
+	if _, err := p.expect(tokNewline); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock("for")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokNewline); err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: name.text, Start: start, Limit: limit, Step: step, Body: body, Line: t.line}, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	1: | ^
+//	2: &
+//	3: == != < <= > >=
+//	4: << >>
+//	5: + -
+//	6: * / %
+func binPrec(k tokKind) int {
+	switch k {
+	case tokPipe, tokCaret:
+		return 1
+	case tokAmp:
+		return 2
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+		return 3
+	case tokShl, tokShr:
+		return 4
+	case tokPlus, tokMinus:
+		return 5
+	case tokStar, tokSlash, tokPercent:
+		return 6
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec := binPrec(op.kind)
+		if prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op.kind, L: left, R: right, Line: op.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokMinus {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: tokMinus, L: &NumExpr{Val: 0, Line: t.line}, R: e, Line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return &NumExpr{Val: t.val, Line: t.line}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		p.next()
+		switch t.text {
+		case "min", "max":
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			bArg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fn: t.text, Args: []Expr{a, bArg}, Line: t.line}, nil
+		case "global":
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &GlobalIndexExpr{Index: idx, Line: t.line}, nil
+		}
+		if strings.HasPrefix(t.text, "_") {
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &SharedIndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		}
+		if isKeyword(t.text) && t.text != "mp" && t.text != "core" && t.text != "b" && t.text != "nblocks" {
+			return nil, p.errorf(t, "unexpected keyword %q in expression", t.text)
+		}
+		return &IdentExpr{Name: t.text, Line: t.line}, nil
+	}
+	return nil, p.errorf(t, "expected expression, got %s", t)
+}

@@ -1,0 +1,266 @@
+package pseudocode
+
+import (
+	"errors"
+	"testing"
+
+	"atgpu/internal/mem"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+const vecAddKernelSrc = `
+kernel vecadd(n, baseA, baseB, baseC)
+  shared _s[3 * b]
+  idx = mp * b + core
+  if idx < n
+    _s[core] <== global[baseA + idx]
+    _s[core + b] <== global[baseB + idx]
+    _s[core + 2 * b] = _s[core] + _s[core + b]
+    global[baseC + idx] <== _s[core + 2 * b]
+  end
+`
+
+// The paper's full vector-addition pseudocode: transfers in, kernel,
+// transfer out — written entirely in the notation.
+const vecAddPlanSrc = `
+# Pseudocode Vector Addition (paper §IV-A)
+plan vecadd(n)
+  dev a[n]
+  dev bv[n]
+  dev c[n]
+  a W A          # Transfer data to Device
+  bv W B
+  launch vecadd(n = n, baseA = a, baseB = bv, baseC = c) blocks (n + b - 1) / b
+  C W c          # Transfer output to Host
+  sync
+`
+
+func planHost(t *testing.T, globalWords int) *simgpu.Host {
+	t.Helper()
+	cfg := simgpu.Tiny()
+	if globalWords > cfg.GlobalWords {
+		cfg.GlobalWords = globalWords
+	}
+	dev, err := simgpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := simgpu.NewHost(dev, eng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPlanVecAddEndToEnd(t *testing.T) {
+	kern, err := Parse(vecAddKernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParsePlan(vecAddPlanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Name != "vecadd" || len(plan.Params) != 1 || len(plan.Stmts) != 8 {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	n := 37
+	A := make([]mem.Word, n)
+	B := make([]mem.Word, n)
+	for i := range A {
+		A[i] = mem.Word(i * 2)
+		B[i] = mem.Word(100 - i)
+	}
+	h := planHost(t, 3*n+64)
+	res, err := plan.Run(PlanEnv{
+		Host:    h,
+		Kernels: map[string]*Kernel{"vecadd": kern},
+		Params:  map[string]int64{"n": int64(n)},
+		In:      map[string][]mem.Word{"A": A, "B": B},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	C, ok := res.Out["C"]
+	if !ok {
+		t.Fatal("plan produced no C buffer")
+	}
+	for i := 0; i < n; i++ {
+		if C[i] != A[i]+B[i] {
+			t.Fatalf("C[%d] = %d, want %d", i, C[i], A[i]+B[i])
+		}
+	}
+	// Timeline must show the model's round structure.
+	if h.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", h.Rounds())
+	}
+	if h.TransferTime() <= 0 || h.KernelTime() <= 0 {
+		t.Fatal("plan did not advance the clocks")
+	}
+	ts := h.TransferStats()
+	if ts.InWords != 2*n || ts.OutWords != n {
+		t.Fatalf("transfer stats = %+v, want I=%d O=%d", ts, 2*n, n)
+	}
+	if ts.InTransactions != 2 || ts.OutTransactions != 1 {
+		t.Fatalf("transactions = %d/%d, want 2/1 (the paper's Î and Ô)",
+			ts.InTransactions, ts.OutTransactions)
+	}
+}
+
+func TestPlanParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not a plan", "kernel k()\n"},
+		{"missing paren", "plan p(\n"},
+		{"dev capitalised", "plan p()\ndev Abc[4]\n"},
+		{"dev underscore", "plan p()\ndev _x[4]\n"},
+		{"W both host", "plan p()\nA W B\n"},
+		{"W both device", "plan p()\ndev a[4]\ndev c[4]\na W c\n"},
+		{"launch missing blocks", "plan p()\nlaunch k(n = 1)\n"},
+		{"bad statement", "plan p()\n42\n"},
+		{"missing W", "plan p()\ndev a[4]\na X B\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan(c.src); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.src)
+		}
+	}
+}
+
+func TestPlanRunErrors(t *testing.T) {
+	kern, err := Parse(vecAddKernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodEnv := func(h *simgpu.Host) PlanEnv {
+		return PlanEnv{
+			Host:    h,
+			Kernels: map[string]*Kernel{"vecadd": kern},
+			Params:  map[string]int64{"n": 8},
+			In:      map[string][]mem.Word{"A": make([]mem.Word, 8), "B": make([]mem.Word, 8)},
+		}
+	}
+
+	plan, err := ParsePlan(vecAddPlanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nil host.
+	env := goodEnv(nil)
+	if _, err := plan.Run(env); !errors.Is(err, ErrCompile) {
+		t.Errorf("nil host: %v", err)
+	}
+	// Unbound parameter.
+	env = goodEnv(planHost(t, 1024))
+	env.Params = nil
+	if _, err := plan.Run(env); !errors.Is(err, ErrCompile) {
+		t.Errorf("unbound param: %v", err)
+	}
+	// Missing host buffer.
+	env = goodEnv(planHost(t, 1024))
+	delete(env.In, "B")
+	if _, err := plan.Run(env); !errors.Is(err, ErrCompile) {
+		t.Errorf("missing buffer: %v", err)
+	}
+	// Missing kernel.
+	env = goodEnv(planHost(t, 1024))
+	env.Kernels = nil
+	if _, err := plan.Run(env); !errors.Is(err, ErrCompile) {
+		t.Errorf("missing kernel: %v", err)
+	}
+	// Oversized host buffer.
+	env = goodEnv(planHost(t, 1024))
+	env.In["A"] = make([]mem.Word, 99)
+	if _, err := plan.Run(env); !errors.Is(err, ErrCompile) {
+		t.Errorf("oversized buffer: %v", err)
+	}
+
+	// Device array redeclared.
+	dup, err := ParsePlan("plan p()\ndev a[4]\ndev a[4]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dup.Run(PlanEnv{Host: planHost(t, 1024)}); !errors.Is(err, ErrCompile) {
+		t.Errorf("redeclared array: %v", err)
+	}
+	// Non-positive size.
+	zero, err := ParsePlan("plan p(n)\ndev a[n]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zero.Run(PlanEnv{Host: planHost(t, 1024), Params: map[string]int64{"n": 0}}); !errors.Is(err, ErrCompile) {
+		t.Errorf("zero-size array: %v", err)
+	}
+	// Unknown device array in a transfer.
+	unk, err := ParsePlan("plan p()\nX W a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unk.Run(PlanEnv{Host: planHost(t, 1024)}); !errors.Is(err, ErrCompile) {
+		t.Errorf("unknown array: %v", err)
+	}
+}
+
+// TestPlanMultiRound drives a two-round plan (two launches with a sync
+// between), checking σ accounting.
+func TestPlanMultiRound(t *testing.T) {
+	kern, err := Parse(`
+kernel addone(n, base)
+  idx = mp * b + core
+  if idx < n
+    v = global[base + idx]
+    global[base + idx] = v + 1
+  end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParsePlan(`
+plan twice(n)
+  dev x[n]
+  x W X
+  launch addone(n = n, base = x) blocks (n + b - 1) / b
+  sync
+  launch addone(n = n, base = x) blocks (n + b - 1) / b
+  Y W x
+  sync
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10
+	X := make([]mem.Word, n)
+	for i := range X {
+		X[i] = mem.Word(i)
+	}
+	h := planHost(t, n+64)
+	res, err := plan.Run(PlanEnv{
+		Host:    h,
+		Kernels: map[string]*Kernel{"addone": kern},
+		Params:  map[string]int64{"n": int64(n)},
+		In:      map[string][]mem.Word{"X": X},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Out["Y"] {
+		if v != mem.Word(i)+2 {
+			t.Fatalf("Y[%d] = %d, want %d", i, v, i+2)
+		}
+	}
+	if h.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", h.Rounds())
+	}
+	if h.Launches() != 2 {
+		t.Fatalf("launches = %d, want 2", h.Launches())
+	}
+}

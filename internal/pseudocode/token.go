@@ -1,0 +1,124 @@
+// Package pseudocode implements the ATGPU pseudocode notation of the
+// paper's Section II as a small textual language that compiles to
+// kernel.Program for the simulated device.
+//
+// The paper's conventions are kept: a kernel body executes on every core
+// of every multiprocessor in lockstep ("for all mpρ ∈ MP … for all cρ,ε ∈
+// Cρ in parallel do"); variable scope is encoded in the name — shared
+// variables begin with an underscore, global arrays are lower-case, and
+// the host side (capitalised variables, the W transfer operator) lives
+// outside the kernel in the host round plan; if-statements have a single
+// conditional block; loops must be warp-uniform.
+//
+// Grammar (line-oriented; '#' starts a comment; blocks close with 'end'):
+//
+//	kernel NAME(param, ...)          header; params bind to constants
+//	shared _name[constexpr]          shared array declaration
+//	var    x                         register variable declaration
+//	x = expr                         register assignment
+//	_s[expr] = expr                  shared store      (the paper's ←)
+//	_s[expr] <== global[expr]        global→shared load (the paper's ⇐)
+//	global[expr] <== _s[expr]        shared→global store (the paper's ⇐)
+//	global[expr] = expr              direct global store
+//	x = global[expr]                 direct global load
+//	if expr ... end                  single-block conditional
+//	for i = expr to expr [step k]    uniform counted loop (i < limit)
+//	barrier                          block-wide barrier
+//
+// Expressions: integer literals, parameters, variables, _shared[expr],
+// global[expr], the builtins mp (multiprocessor/block index), core (lane
+// index), b (warp width), nblocks, min(a,b), max(a,b), and the operators
+// + - * / % << >> & | ^ < <= > >= == != with conventional precedence.
+package pseudocode
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent  // names, keywords resolved by the parser
+	tokNumber // integer literal
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokAssign // =
+	tokMove   // <== (the paper's ⇐ block transfer)
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokShl // <<
+	tokShr // >>
+	tokAmp
+	tokPipe
+	tokCaret
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokEq // ==
+	tokNe // !=
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF:      "end of input",
+	tokNewline:  "newline",
+	tokIdent:    "identifier",
+	tokNumber:   "number",
+	tokLParen:   "(",
+	tokRParen:   ")",
+	tokLBracket: "[",
+	tokRBracket: "]",
+	tokComma:    ",",
+	tokAssign:   "=",
+	tokMove:     "<==",
+	tokPlus:     "+",
+	tokMinus:    "-",
+	tokStar:     "*",
+	tokSlash:    "/",
+	tokPercent:  "%",
+	tokShl:      "<<",
+	tokShr:      ">>",
+	tokAmp:      "&",
+	tokPipe:     "|",
+	tokCaret:    "^",
+	tokLt:       "<",
+	tokLe:       "<=",
+	tokGt:       ">",
+	tokGe:       ">=",
+	tokEq:       "==",
+	tokNe:       "!=",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tokNumber
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return t.kind.String()
+	}
+}

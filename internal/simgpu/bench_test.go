@@ -1,0 +1,113 @@
+package simgpu
+
+import (
+	"testing"
+
+	"atgpu/internal/kernel"
+)
+
+// BenchmarkInterpreterALU measures raw warp-instruction throughput on a
+// compute-only kernel (the simulator's hot loop).
+func BenchmarkInterpreterALU(b *testing.B) {
+	kb := kernel.NewBuilder("alu", 0)
+	r := kb.Reg()
+	kb.Const(r, 1)
+	for i := 0; i < 512; i++ {
+		kb.Add(r, r, kernel.Imm(1))
+	}
+	prog := kb.MustBuild()
+	cfg := GTX650()
+	cfg.GlobalWords = 1 << 12
+	d, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blocks = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(prog, blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.Len()*blocks), "warp-instrs/op")
+}
+
+// BenchmarkInterpreterMemory measures throughput on a memory-heavy kernel
+// (coalesced loads with latency hiding and bandwidth accounting).
+func BenchmarkInterpreterMemory(b *testing.B) {
+	kb := kernel.NewBuilder("membench", 0)
+	j := kb.Reg()
+	addr := kb.Reg()
+	v := kb.Reg()
+	kb.LaneID(j)
+	kb.Mov(addr, j)
+	for i := 0; i < 64; i++ {
+		kb.LdGlobal(v, addr)
+	}
+	prog := kb.MustBuild()
+	cfg := GTX650()
+	cfg.GlobalWords = 1 << 12
+	d, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(prog, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaunchOverhead measures the fixed cost of an (almost) empty
+// launch: validation, occupancy, scheduling scaffolding.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	kb := kernel.NewBuilder("empty", 0)
+	kb.Nop()
+	prog := kb.MustBuild()
+	d, err := New(Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(prog, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracedLaunch quantifies tracing overhead against the untraced
+// path on the same kernel.
+func BenchmarkTracedLaunch(b *testing.B) {
+	kb := kernel.NewBuilder("traced", 0)
+	j := kb.Reg()
+	v := kb.Reg()
+	kb.LaneID(j)
+	kb.LdGlobal(v, j)
+	prog := kb.MustBuild()
+
+	b.Run("untraced", func(b *testing.B) {
+		d, err := New(Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Launch(prog, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		d, err := New(Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			tr := &Tracer{CaptureMemory: true}
+			if _, err := d.LaunchTraced(prog, 8, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

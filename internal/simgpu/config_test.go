@@ -1,0 +1,91 @@
+package simgpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Tiny()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Tiny invalid: %v", err)
+	}
+	if err := GTX650().Validate(); err != nil {
+		t.Fatalf("GTX650 invalid: %v", err)
+	}
+
+	cases := []func(*Config){
+		func(c *Config) { c.NumSMs = 0 },
+		func(c *Config) { c.WarpWidth = 0 },
+		func(c *Config) { c.WarpWidth = 65 },
+		func(c *Config) { c.SharedWords = -1 },
+		func(c *Config) { c.GlobalWords = -1 },
+		func(c *Config) { c.MaxBlocksPerSM = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.GlobalLatencyCycles = -1 },
+		func(c *Config) { c.ExtraTransactionCycles = -1 },
+		func(c *Config) { c.SharedLatencyCycles = -1 },
+	}
+	for i, mut := range cases {
+		c := Tiny()
+		mut(&c)
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: Validate() = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := Tiny() // M=64, H=2
+	cases := []struct {
+		shared int
+		want   int
+	}{
+		{0, 2},  // no shared usage: H-limited
+		{16, 2}, // 64/16 = 4, capped at H = 2
+		{32, 2}, // 64/32 = 2
+		{33, 1}, // 64/33 = 1
+		{64, 1}, // exact fit
+		{65, 0}, // does not fit
+		{-1, 0}, // invalid
+	}
+	for _, cse := range cases {
+		if got := c.Occupancy(cse.shared); got != cse.want {
+			t.Errorf("Occupancy(%d) = %d, want %d", cse.shared, got, cse.want)
+		}
+	}
+}
+
+// Occupancy must implement ℓ = min(⌊M/m⌋, H) exactly.
+func TestOccupancyFormula(t *testing.T) {
+	c := GTX650()
+	for m := 1; m <= c.SharedWords+10; m += 7 {
+		want := c.SharedWords / m
+		if want > c.MaxBlocksPerSM {
+			want = c.MaxBlocksPerSM
+		}
+		if got := c.Occupancy(m); got != want {
+			t.Fatalf("Occupancy(%d) = %d, want min(⌊M/m⌋,H) = %d", m, got, want)
+		}
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	c := Tiny() // 1 MHz
+	if got := c.CyclesToSeconds(1_000_000); got != 1.0 {
+		t.Fatalf("1e6 cycles at 1MHz = %g s, want 1", got)
+	}
+}
+
+func TestPerfectGPU(t *testing.T) {
+	c := PerfectGPU(100)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSMs != 100 || c.MaxBlocksPerSM != 1 {
+		t.Fatalf("PerfectGPU(100) = %d SMs, H=%d", c.NumSMs, c.MaxBlocksPerSM)
+	}
+	if PerfectGPU(0).NumSMs != 1 {
+		t.Fatal("PerfectGPU(0) should clamp to 1 SM")
+	}
+}

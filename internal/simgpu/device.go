@@ -1,0 +1,307 @@
+package simgpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"atgpu/internal/kernel"
+	"atgpu/internal/mem"
+)
+
+// Device is the simulated GPU: k' multiprocessors over one global memory.
+type Device struct {
+	cfg    Config
+	global *mem.Global
+	arena  *mem.Arena
+}
+
+// Launch errors.
+var (
+	ErrSharedExceeded = errors.New("simgpu: block shared memory exceeds M")
+	ErrDivergentLoop  = errors.New("simgpu: divergent uniform branch (loop condition differs across active lanes)")
+	ErrKernelTrap     = errors.New("simgpu: kernel trap")
+	ErrDeadlock       = errors.New("simgpu: scheduler deadlock (no warp ready or waiting)")
+)
+
+// New creates a device with cfg's global memory allocated.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := mem.NewGlobal(cfg.GlobalWords, cfg.WarpWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg, global: g, arena: mem.NewArena(g)}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Global returns the device global memory.
+func (d *Device) Global() *mem.Global { return d.global }
+
+// Arena returns the device's global-memory allocator.
+func (d *Device) Arena() *mem.Arena { return d.arena }
+
+// Reset clears global memory contents and the allocator, modelling the
+// device reset portion of the model's σ synchronisation cost.
+func (d *Device) Reset() {
+	d.arena.Reset()
+	raw := d.global.Raw()
+	for i := range raw {
+		raw[i] = 0
+	}
+}
+
+// smState is one streaming multiprocessor's runtime state during a launch.
+type smState struct {
+	resident []*warp
+	rr       int // round-robin issue pointer
+}
+
+// launchState carries the per-launch machinery.
+type launchState struct {
+	d         *Device
+	prog      *kernel.Program
+	width     int
+	numBlocks int
+	nextBlock int
+	sms       []*smState
+	freeWarps []*warp
+	cycle     int64
+	stats     KernelStats
+
+	// memFree is the cycle at which the device-wide memory controller can
+	// accept the next transaction (bandwidth modelling; see
+	// Config.MemServiceCycles).
+	memFree int64
+
+	// tracer records scheduling events when non-nil.
+	tracer *Tracer
+
+	// bankCounts is scratch for shared-memory conflict analysis.
+	bankCounts []int
+}
+
+// Launch runs numBlocks thread blocks of prog to completion and returns the
+// simulated time and statistics. Global memory contents are mutated in
+// place. The launch fails if the program is invalid, if a block's shared
+// allocation exceeds M (the model forbids such algorithms), or if the
+// kernel traps (bad address, division by zero, divergent uniform branch).
+func (d *Device) Launch(prog *kernel.Program, numBlocks int) (KernelResult, error) {
+	return d.LaunchTraced(prog, numBlocks, nil)
+}
+
+// LaunchTraced is Launch with scheduling events recorded into tr (may be
+// nil for no tracing). Results are identical; only observability differs.
+func (d *Device) LaunchTraced(prog *kernel.Program, numBlocks int, tr *Tracer) (KernelResult, error) {
+	if err := prog.Validate(); err != nil {
+		return KernelResult{}, err
+	}
+	if numBlocks < 0 {
+		return KernelResult{}, fmt.Errorf("simgpu: negative block count %d", numBlocks)
+	}
+	occ := d.cfg.Occupancy(prog.SharedWords)
+	if occ == 0 {
+		return KernelResult{}, fmt.Errorf("%w: kernel %s wants %d words, M=%d",
+			ErrSharedExceeded, prog.Name, prog.SharedWords, d.cfg.SharedWords)
+	}
+	ls := &launchState{
+		d:          d,
+		prog:       prog,
+		width:      d.cfg.WarpWidth,
+		numBlocks:  numBlocks,
+		sms:        make([]*smState, d.cfg.NumSMs),
+		bankCounts: make([]int, d.cfg.WarpWidth),
+		tracer:     tr,
+	}
+	for i := range ls.sms {
+		ls.sms[i] = &smState{}
+	}
+	ls.stats.OccupancyLimit = occ
+
+	if numBlocks == 0 {
+		return KernelResult{Time: 0, Stats: ls.stats}, nil
+	}
+	if err := ls.run(occ); err != nil {
+		return KernelResult{}, err
+	}
+	ls.stats.Cycles = ls.cycle
+	secs := d.cfg.CyclesToSeconds(ls.cycle)
+	return KernelResult{
+		Time:  time.Duration(secs * float64(time.Second)),
+		Stats: ls.stats,
+	}, nil
+}
+
+// run drives the cycle loop until all blocks retire.
+func (ls *launchState) run(occ int) error {
+	for {
+		ls.refill(occ)
+		done := true
+		for _, sm := range ls.sms {
+			if len(sm.resident) > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			if ls.nextBlock >= ls.numBlocks {
+				return nil
+			}
+			continue // refill will place more blocks next iteration
+		}
+
+		issuedAny := false
+		for _, sm := range ls.sms {
+			if len(sm.resident) == 0 {
+				if ls.nextBlock >= ls.numBlocks {
+					ls.stats.IdleCycles++
+				}
+				continue
+			}
+			w := sm.pickReady(ls.cycle)
+			if w == nil {
+				ls.stats.StallCycles++
+				continue
+			}
+			issuedAny = true
+			if err := ls.exec(w); err != nil {
+				return fmt.Errorf("%w: kernel %s block %d pc %d: %w",
+					ErrKernelTrap, ls.prog.Name, w.blockID, w.pc, err)
+			}
+			if w.state == wDone {
+				sm.retire(w)
+				ls.recycle(w)
+			}
+		}
+
+		if issuedAny {
+			ls.cycle++
+			continue
+		}
+		// No SM could issue: event-driven skip to the earliest memory
+		// completion instead of spinning cycle by cycle.
+		next := int64(math.MaxInt64)
+		for _, sm := range ls.sms {
+			for _, w := range sm.resident {
+				if w.state == wWaiting && w.readyAt < next {
+					next = w.readyAt
+				}
+			}
+		}
+		if next == math.MaxInt64 {
+			return ErrDeadlock
+		}
+		if ls.d.cfg.DisableEventSkip {
+			// Ablation mode: naive per-cycle stepping.
+			next = ls.cycle + 1
+		}
+		if next <= ls.cycle {
+			next = ls.cycle + 1
+		}
+		for _, sm := range ls.sms {
+			if len(sm.resident) > 0 {
+				ls.stats.StallCycles += next - ls.cycle - 1
+			}
+		}
+		ls.cycle = next
+	}
+}
+
+// refill tops every SM up to the occupancy limit from the pending block
+// queue, assigning blocks round-robin across SMs the way a grid scheduler
+// balances load.
+func (ls *launchState) refill(occ int) {
+	for {
+		placed := false
+		for smIdx, sm := range ls.sms {
+			if ls.nextBlock >= ls.numBlocks {
+				return
+			}
+			if len(sm.resident) >= occ {
+				continue
+			}
+			w, err := ls.acquire()
+			if err != nil {
+				// Allocation of warp scaffolding cannot fail for a
+				// validated config; treat defensively as full.
+				return
+			}
+			w.reset(ls.nextBlock)
+			w.smIdx = smIdx
+			w.traceIdx = -1
+			if ls.tracer != nil {
+				w.traceIdx = ls.tracer.onSchedule(ls.nextBlock, smIdx, ls.cycle)
+			}
+			ls.nextBlock++
+			sm.resident = append(sm.resident, w)
+			if len(sm.resident) > ls.stats.MaxResidentBlocks {
+				ls.stats.MaxResidentBlocks = len(sm.resident)
+			}
+			placed = true
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+func (ls *launchState) acquire() (*warp, error) {
+	if n := len(ls.freeWarps); n > 0 {
+		w := ls.freeWarps[n-1]
+		ls.freeWarps = ls.freeWarps[:n-1]
+		return w, nil
+	}
+	return newWarp(ls.width, ls.prog.NumRegs, ls.prog.SharedWords)
+}
+
+func (ls *launchState) recycle(w *warp) {
+	ls.stats.BlocksExecuted++
+	if w.instrs > ls.stats.MaxWarpInstrs {
+		ls.stats.MaxWarpInstrs = w.instrs
+	}
+	if ls.tracer != nil {
+		ls.tracer.onRetire(w.traceIdx, ls.cycle, w.instrs)
+	}
+	ls.freeWarps = append(ls.freeWarps, w)
+}
+
+// pickReady returns the next issuable warp after waking any whose memory
+// request has completed, scanning round-robin from the last issue point.
+func (sm *smState) pickReady(cycle int64) *warp {
+	n := len(sm.resident)
+	for i := 0; i < n; i++ {
+		idx := (sm.rr + i) % n
+		w := sm.resident[idx]
+		if w.state == wWaiting && w.readyAt <= cycle {
+			w.state = wReady
+		}
+		if w.state == wReady {
+			sm.rr = (idx + 1) % n
+			return w
+		}
+	}
+	return nil
+}
+
+// retire removes w from the SM.
+func (sm *smState) retire(w *warp) {
+	for i, r := range sm.resident {
+		if r == w {
+			sm.resident = append(sm.resident[:i], sm.resident[i+1:]...)
+			if sm.rr > i {
+				sm.rr--
+			}
+			if len(sm.resident) > 0 {
+				sm.rr %= len(sm.resident)
+			} else {
+				sm.rr = 0
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package simgpu
+
+import (
+	"fmt"
+	"time"
+
+	"atgpu/internal/kernel"
+	"atgpu/internal/mem"
+	"atgpu/internal/transfer"
+)
+
+// Host drives the device through the ATGPU round structure on a simulated
+// timeline: "A round begins by the host transferring data to the device
+// global memory. The kernel is then ran ... The round ends with output data
+// being transferred from global memory to the host. Synchronisation
+// operations occur, and the subsequent round commences."
+//
+// The Host splits elapsed simulated time into kernel time, transfer time
+// and synchronisation time so experiments can report both the "Kernel" and
+// "Total" series of the paper's observed-results figures.
+type Host struct {
+	dev    *Device
+	engine *transfer.Engine
+
+	// SyncCost is the fixed per-synchronisation charge, the model's σ.
+	SyncCost time.Duration
+
+	kernelTime   time.Duration
+	transferTime time.Duration
+	syncTime     time.Duration
+	rounds       int
+	kernelStats  KernelStats
+	launches     int
+	tracer       *Tracer
+}
+
+// NewHost pairs a device with a transfer engine. syncCost instantiates σ.
+func NewHost(dev *Device, engine *transfer.Engine, syncCost time.Duration) (*Host, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("simgpu: nil device")
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("simgpu: nil transfer engine")
+	}
+	if syncCost < 0 {
+		return nil, fmt.Errorf("simgpu: negative sync cost %v", syncCost)
+	}
+	return &Host{dev: dev, engine: engine, SyncCost: syncCost}, nil
+}
+
+// Device returns the underlying device.
+func (h *Host) Device() *Device { return h.dev }
+
+// Engine returns the transfer engine.
+func (h *Host) Engine() *transfer.Engine { return h.engine }
+
+// Malloc allocates size words of device global memory aligned to a block
+// boundary and returns the base address, enforcing the G constraint.
+func (h *Host) Malloc(size int) (int, error) {
+	return h.dev.Arena().AllocAligned(size)
+}
+
+// TransferIn moves data from the host to device global memory at offset,
+// advancing the transfer clock (the W operator, host-to-device direction).
+func (h *Host) TransferIn(offset int, data []mem.Word) error {
+	d, err := h.engine.In(h.dev.Global(), offset, data)
+	if err != nil {
+		return err
+	}
+	h.transferTime += d
+	return nil
+}
+
+// TransferInChunked moves data in fixed-size chunks, paying the Boyer α per
+// chunk — the partitioned transfer of the paper's future-work discussion.
+func (h *Host) TransferInChunked(offset int, data []mem.Word, chunk int) error {
+	d, err := h.engine.InChunked(h.dev.Global(), offset, data, chunk)
+	if err != nil {
+		return err
+	}
+	h.transferTime += d
+	return nil
+}
+
+// TransferOut moves length words at offset from device global memory back
+// to the host (the W operator, device-to-host direction).
+func (h *Host) TransferOut(offset, length int) ([]mem.Word, error) {
+	data, d, err := h.engine.Out(h.dev.Global(), offset, length)
+	if err != nil {
+		return nil, err
+	}
+	h.transferTime += d
+	return data, nil
+}
+
+// SetTracer attaches a scheduling tracer recording every subsequent
+// launch (nil detaches).
+func (h *Host) SetTracer(tr *Tracer) { h.tracer = tr }
+
+// Launch runs the kernel, advancing the kernel clock and folding the
+// launch's statistics into the host totals.
+func (h *Host) Launch(prog *kernel.Program, numBlocks int) (KernelResult, error) {
+	res, err := h.dev.LaunchTraced(prog, numBlocks, h.tracer)
+	if err != nil {
+		return res, err
+	}
+	h.kernelTime += res.Time
+	h.kernelStats.Merge(res.Stats)
+	h.launches++
+	return res, nil
+}
+
+// EndRound charges σ and increments the round counter.
+func (h *Host) EndRound() {
+	h.syncTime += h.SyncCost
+	h.rounds++
+}
+
+// KernelTime returns accumulated kernel execution time.
+func (h *Host) KernelTime() time.Duration { return h.kernelTime }
+
+// TransferTime returns accumulated host↔device transfer time.
+func (h *Host) TransferTime() time.Duration { return h.transferTime }
+
+// SyncTime returns accumulated synchronisation (σ) time.
+func (h *Host) SyncTime() time.Duration { return h.syncTime }
+
+// TotalTime returns the full simulated wall time: kernel + transfer + sync.
+// This is the "Total" series of the paper's observed figures.
+func (h *Host) TotalTime() time.Duration {
+	return h.kernelTime + h.transferTime + h.syncTime
+}
+
+// Rounds returns the number of completed rounds R.
+func (h *Host) Rounds() int { return h.rounds }
+
+// Launches returns the number of kernel launches.
+func (h *Host) Launches() int { return h.launches }
+
+// KernelStats returns merged statistics across all launches.
+func (h *Host) KernelStats() KernelStats { return h.kernelStats }
+
+// TransferStats returns the engine's transfer totals.
+func (h *Host) TransferStats() transfer.Stats { return h.engine.Stats() }
+
+// ResetClocks zeroes the timeline and counters while keeping device memory
+// contents, for back-to-back measurements on one device.
+func (h *Host) ResetClocks() {
+	h.kernelTime, h.transferTime, h.syncTime = 0, 0, 0
+	h.rounds, h.launches = 0, 0
+	h.kernelStats = KernelStats{}
+	h.engine.Reset()
+}
+
+// RunReport summarises a finished run.
+type RunReport struct {
+	Kernel    time.Duration
+	Transfer  time.Duration
+	Sync      time.Duration
+	Total     time.Duration
+	Rounds    int
+	Stats     KernelStats
+	Transfers transfer.Stats
+}
+
+// Report snapshots the host's accumulated timing.
+func (h *Host) Report() RunReport {
+	return RunReport{
+		Kernel:    h.kernelTime,
+		Transfer:  h.transferTime,
+		Sync:      h.syncTime,
+		Total:     h.TotalTime(),
+		Rounds:    h.rounds,
+		Stats:     h.kernelStats,
+		Transfers: h.engine.Stats(),
+	}
+}
+
+// TransferFraction returns the share of total time spent in transfers —
+// the observed Δ_E of the paper's Figure 6.
+func (r RunReport) TransferFraction() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Transfer) / float64(r.Total)
+}

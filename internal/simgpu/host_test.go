@@ -1,0 +1,187 @@
+package simgpu
+
+import (
+	"testing"
+	"time"
+
+	"atgpu/internal/kernel"
+	"atgpu/internal/mem"
+	"atgpu/internal/transfer"
+)
+
+func newHostPair(t *testing.T, sync time.Duration) *Host {
+	t.Helper()
+	d, err := New(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(d, eng, sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHostValidation(t *testing.T) {
+	d, err := New(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHost(nil, eng, 0); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := NewHost(d, nil, 0); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewHost(d, eng, -time.Second); err == nil {
+		t.Error("negative sync cost accepted")
+	}
+}
+
+func TestHostRoundTimeline(t *testing.T) {
+	const sigma = 100 * time.Microsecond
+	h := newHostPair(t, sigma)
+
+	base, err := h.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]mem.Word, 16)
+	for i := range data {
+		data[i] = mem.Word(i)
+	}
+	if err := h.TransferIn(base, data); err != nil {
+		t.Fatal(err)
+	}
+	if h.TransferTime() <= 0 {
+		t.Fatal("inward transfer did not advance the transfer clock")
+	}
+
+	kb := kernel.NewBuilder("noop", 0)
+	kb.Nop()
+	if _, err := h.Launch(kb.MustBuild(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if h.KernelTime() <= 0 {
+		t.Fatal("launch did not advance the kernel clock")
+	}
+
+	out, err := h.TransferOut(base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("round-trip [%d] = %d, want %d", i, out[i], data[i])
+		}
+	}
+
+	h.EndRound()
+	if h.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", h.Rounds())
+	}
+	if h.SyncTime() != sigma {
+		t.Fatalf("sync time = %v, want %v", h.SyncTime(), sigma)
+	}
+	if total := h.TotalTime(); total != h.KernelTime()+h.TransferTime()+h.SyncTime() {
+		t.Fatalf("total %v ≠ kernel %v + transfer %v + sync %v",
+			total, h.KernelTime(), h.TransferTime(), h.SyncTime())
+	}
+	if h.Launches() != 1 {
+		t.Fatalf("launches = %d, want 1", h.Launches())
+	}
+
+	rep := h.Report()
+	if rep.Total != h.TotalTime() || rep.Rounds != 1 {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	if rep.Transfers.InWords != 16 || rep.Transfers.OutWords != 16 {
+		t.Fatalf("transfer stats wrong: %+v", rep.Transfers)
+	}
+	if f := rep.TransferFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("transfer fraction = %g, want in (0,1)", f)
+	}
+
+	h.ResetClocks()
+	if h.TotalTime() != 0 || h.Rounds() != 0 || h.Launches() != 0 {
+		t.Fatal("ResetClocks left residue")
+	}
+	if h.TransferStats().InWords != 0 {
+		t.Fatal("ResetClocks should reset engine stats")
+	}
+}
+
+func TestHostChunkedTransfer(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]mem.Word, 64)
+	for i := range data {
+		data[i] = mem.Word(i * i)
+	}
+	if err := h.TransferInChunked(base, data, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TransferStats().InTransactions; got != 4 {
+		t.Fatalf("chunked transfer transactions = %d, want 4", got)
+	}
+	out, err := h.TransferOut(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("chunked round-trip [%d] = %d, want %d", i, out[i], data[i])
+		}
+	}
+}
+
+func TestHostChunkedCostsMoreAlpha(t *testing.T) {
+	// Same words, more transactions → more time (α per transaction).
+	h1 := newHostPair(t, 0)
+	h2 := newHostPair(t, 0)
+	data := make([]mem.Word, 256)
+	b1, err := h1.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := h2.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.TransferIn(b1, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.TransferInChunked(b2, data, 16); err != nil {
+		t.Fatal(err)
+	}
+	if h2.TransferTime() <= h1.TransferTime() {
+		t.Fatalf("chunked (%v) should cost more than single (%v)",
+			h2.TransferTime(), h1.TransferTime())
+	}
+}
+
+func TestHostMallocRespectsG(t *testing.T) {
+	h := newHostPair(t, 0) // G = 4096
+	if _, err := h.Malloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Malloc(1); err == nil {
+		t.Fatal("allocation beyond G accepted")
+	}
+}
+
+// newTestEngine builds a pinned-scheme engine for host tests.
+func newTestEngine() (*transfer.Engine, error) {
+	return transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+}

@@ -1,0 +1,517 @@
+package simgpu
+
+import (
+	"errors"
+	"fmt"
+
+	"atgpu/internal/kernel"
+)
+
+// Interpreter errors.
+var (
+	errDivByZero  = errors.New("division by zero")
+	errAddrRange  = errors.New("address out of range")
+	errMaskPop    = errors.New("if.end without saved mask")
+	errBadOpcode  = errors.New("undefined opcode")
+	errPCRange    = errors.New("program counter out of range")
+	errNoActiveBr = errors.New("uniform branch with no active lanes")
+)
+
+// exec issues exactly one warp-instruction for w, updating registers,
+// memories, statistics and the warp's scheduling state. All active lanes
+// execute the instruction in lockstep; control flow manipulates the mask
+// per the SIMT rules described in the package comment.
+func (ls *launchState) exec(w *warp) error {
+	if w.pc < 0 || w.pc >= len(ls.prog.Instrs) {
+		return errPCRange
+	}
+	in := ls.prog.Instrs[w.pc]
+	width := ls.width
+	w.instrs++
+	ls.stats.InstructionsIssued++
+	ls.stats.LaneOps += int64(w.activeCount())
+
+	regs := w.regs
+	base := func(r kernel.Reg) int { return int(r) * width }
+
+	switch in.Op {
+	case kernel.OpNop:
+		// nothing
+
+	case kernel.OpConst:
+		d := base(in.Rd)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = in.Imm
+			}
+		}
+
+	case kernel.OpMov:
+		d, a := base(in.Rd), base(in.Ra)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = regs[a+l]
+			}
+		}
+
+	case kernel.OpAdd, kernel.OpSub, kernel.OpMul, kernel.OpMin, kernel.OpMax,
+		kernel.OpAnd, kernel.OpOr, kernel.OpXor, kernel.OpShl, kernel.OpShr,
+		kernel.OpSlt, kernel.OpSle, kernel.OpSeq, kernel.OpSne:
+		d, a, b := base(in.Rd), base(in.Ra), base(in.Rb)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = alu(in.Op, regs[a+l], regs[b+l])
+			}
+		}
+
+	case kernel.OpDiv, kernel.OpMod:
+		d, a, b := base(in.Rd), base(in.Ra), base(in.Rb)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				if regs[b+l] == 0 {
+					return fmt.Errorf("%w: lane %d", errDivByZero, l)
+				}
+				if in.Op == kernel.OpDiv {
+					regs[d+l] = regs[a+l] / regs[b+l]
+				} else {
+					regs[d+l] = regs[a+l] % regs[b+l]
+				}
+			}
+		}
+
+	case kernel.OpAddI, kernel.OpMulI, kernel.OpShlI, kernel.OpShrI, kernel.OpAndI,
+		kernel.OpSltI, kernel.OpSleI, kernel.OpSeqI, kernel.OpSneI:
+		d, a := base(in.Rd), base(in.Ra)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = aluImm(in.Op, regs[a+l], in.Imm)
+			}
+		}
+
+	case kernel.OpDivI, kernel.OpModI:
+		if in.Imm == 0 {
+			return errDivByZero
+		}
+		d, a := base(in.Rd), base(in.Ra)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				if in.Op == kernel.OpDivI {
+					regs[d+l] = regs[a+l] / in.Imm
+				} else {
+					regs[d+l] = regs[a+l] % in.Imm
+				}
+			}
+		}
+
+	case kernel.OpLaneID:
+		d := base(in.Rd)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = kernel.Word(l)
+			}
+		}
+
+	case kernel.OpBlockID:
+		d := base(in.Rd)
+		v := kernel.Word(w.blockID)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = v
+			}
+		}
+
+	case kernel.OpNumBlocks:
+		d := base(in.Rd)
+		v := kernel.Word(ls.numBlocks)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = v
+			}
+		}
+
+	case kernel.OpBlockDim:
+		d := base(in.Rd)
+		v := kernel.Word(width)
+		for l := 0; l < width; l++ {
+			if w.active[l] {
+				regs[d+l] = v
+			}
+		}
+
+	case kernel.OpLdGlobal, kernel.OpStGlobal:
+		// execGlobal advances pc itself on every path.
+		return ls.execGlobal(w, in)
+
+	case kernel.OpLdShared, kernel.OpStShared:
+		// execShared advances pc itself on every path.
+		return ls.execShared(w, in)
+
+	case kernel.OpBarrier:
+		// One warp per block: the barrier is trivially satisfied but
+		// still consumes an issue slot, as on hardware.
+		ls.stats.Barriers++
+
+	case kernel.OpJump:
+		w.pc = int(in.Target)
+		return nil
+
+	case kernel.OpBrNZ:
+		// Uniform branch: all active lanes must agree, per the model's
+		// uniform wrapper loops.
+		taken, uniform, any := w.uniformCond(base(in.Ra))
+		if !any {
+			return errNoActiveBr
+		}
+		if !uniform {
+			return ErrDivergentLoop
+		}
+		if taken {
+			w.pc = int(in.Target)
+			return nil
+		}
+
+	case kernel.OpIfBegin:
+		a := base(in.Ra)
+		divergent := false
+		anyTrue := false
+		// First pass: classify without mutating, to detect divergence.
+		for l := 0; l < width; l++ {
+			if !w.active[l] {
+				continue
+			}
+			if regs[a+l] != 0 {
+				anyTrue = true
+			} else {
+				divergent = true
+			}
+		}
+		if anyTrue && divergent {
+			ls.stats.DivergentBranches++
+		}
+		if !anyTrue {
+			// Whole warp skips the body; mask unchanged.
+			w.pc = int(in.Target)
+			return nil
+		}
+		w.pushMask()
+		for l := 0; l < width; l++ {
+			if w.active[l] && regs[a+l] == 0 {
+				w.active[l] = false
+			}
+		}
+
+	case kernel.OpIfEnd:
+		if !w.popMask() {
+			return errMaskPop
+		}
+
+	case kernel.OpHalt:
+		w.state = wDone
+		return nil
+
+	default:
+		return fmt.Errorf("%w: %v", errBadOpcode, in.Op)
+	}
+
+	w.pc++
+	return nil
+}
+
+// uniformCond inspects register column a across active lanes, returning the
+// common truth value, whether the lanes agree, and whether any lane was
+// active.
+func (w *warp) uniformCond(a int) (taken, uniform, any bool) {
+	uniform = true
+	for l := 0; l < len(w.active); l++ {
+		if !w.active[l] {
+			continue
+		}
+		v := w.regs[a+l] != 0
+		if !any {
+			taken = v
+			any = true
+		} else if v != taken {
+			uniform = false
+		}
+	}
+	return taken, uniform, any
+}
+
+// execGlobal performs a warp-wide global memory access: gathers active
+// lanes' addresses, counts coalesced transactions, moves the data, and puts
+// the warp to sleep for the transaction latency.
+func (ls *launchState) execGlobal(w *warp, in kernel.Instr) error {
+	width := ls.width
+	regs := w.regs
+	aBase := int(in.Ra) * width
+	g := ls.d.global
+	gsize := g.Size()
+
+	// Gather and range-check addresses.
+	for l := 0; l < width; l++ {
+		if !w.active[l] {
+			w.addrs[l] = -1
+			continue
+		}
+		addr := regs[aBase+l]
+		if addr < 0 || addr >= kernel.Word(gsize) {
+			return fmt.Errorf("%w: global %s lane %d addr %d (G=%d)",
+				errAddrRange, in.Op, l, addr, gsize)
+		}
+		w.addrs[l] = int(addr)
+	}
+
+	// Count distinct memory blocks (l transactions). Warps are small;
+	// linear scan over collected blocks avoids allocation.
+	bs := ls.width // block size equals warp width in the model
+	var blocks [64]int
+	nblocks := 0
+	for l := 0; l < width; l++ {
+		if w.addrs[l] < 0 {
+			continue
+		}
+		blk := w.addrs[l] / bs
+		seen := false
+		for i := 0; i < nblocks; i++ {
+			if blocks[i] == blk {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			blocks[nblocks] = blk
+			nblocks++
+		}
+	}
+	if nblocks == 0 {
+		// Fully masked access: costs the issue slot only.
+		w.pc++
+		return nil
+	}
+
+	ls.stats.GlobalAccesses++
+	ls.stats.GlobalTransactions += int64(nblocks)
+	if nblocks > 1 {
+		ls.stats.UncoalescedAccesses++
+	}
+	if ls.tracer != nil {
+		ls.tracer.onMem(w.blockID, w.smIdx, ls.cycle, nblocks, in.Op == kernel.OpStGlobal)
+	}
+
+	raw := g.Raw()
+	if in.Op == kernel.OpLdGlobal {
+		dBase := int(in.Rd) * width
+		for l := 0; l < width; l++ {
+			if w.addrs[l] >= 0 {
+				regs[dBase+l] = raw[w.addrs[l]]
+			}
+		}
+	} else {
+		sBase := int(in.Rb) * width
+		for l := 0; l < width; l++ {
+			if w.addrs[l] >= 0 {
+				raw[w.addrs[l]] = regs[sBase+l]
+			}
+		}
+	}
+
+	lat := int64(ls.d.cfg.GlobalLatencyCycles) +
+		int64(nblocks-1)*int64(ls.d.cfg.ExtraTransactionCycles)
+	w.state = wWaiting
+	w.readyAt = ls.cycle + lat
+	// Bandwidth: the device-wide controller serialises transactions at
+	// MemServiceCycles apiece; a warp's request completes no earlier than
+	// the controller drains it, so saturated DRAM backs up into warp
+	// stalls that concurrency cannot hide.
+	if svc := int64(ls.d.cfg.MemServiceCycles); svc > 0 {
+		start := ls.memFree
+		if ls.cycle > start {
+			start = ls.cycle
+		}
+		ls.memFree = start + int64(nblocks)*svc
+		if ls.memFree > w.readyAt {
+			w.readyAt = ls.memFree
+		}
+	}
+	w.pc++
+	return nil
+}
+
+// execShared performs a warp-wide shared memory access with bank-conflict
+// analysis and optional serialisation.
+func (ls *launchState) execShared(w *warp, in kernel.Instr) error {
+	width := ls.width
+	regs := w.regs
+	aBase := int(in.Ra) * width
+	sh := w.shared
+	ssize := sh.Size()
+
+	anyActive := false
+	for l := 0; l < width; l++ {
+		if !w.active[l] {
+			w.addrs[l] = -1
+			continue
+		}
+		anyActive = true
+		addr := regs[aBase+l]
+		if addr < 0 || addr >= kernel.Word(ssize) {
+			return fmt.Errorf("%w: shared %s lane %d addr %d (M-alloc=%d)",
+				errAddrRange, in.Op, l, addr, ssize)
+		}
+		w.addrs[l] = int(addr)
+	}
+	if !anyActive {
+		w.pc++
+		return nil
+	}
+
+	degree := ls.conflictDegree(w)
+	ls.stats.SharedAccesses++
+	if degree > 1 {
+		ls.stats.BankConflicts++
+		if degree > ls.stats.MaxConflictDegree {
+			ls.stats.MaxConflictDegree = degree
+		}
+	}
+
+	raw := sh.Raw()
+	if in.Op == kernel.OpLdShared {
+		dBase := int(in.Rd) * width
+		for l := 0; l < width; l++ {
+			if w.addrs[l] >= 0 {
+				regs[dBase+l] = raw[w.addrs[l]]
+			}
+		}
+	} else {
+		sBase := int(in.Rb) * width
+		for l := 0; l < width; l++ {
+			if w.addrs[l] >= 0 {
+				raw[w.addrs[l]] = regs[sBase+l]
+			}
+		}
+	}
+
+	lat := int64(ls.d.cfg.SharedLatencyCycles)
+	if ls.d.cfg.SerialiseBankConflicts && degree > 1 {
+		lat *= int64(degree)
+	}
+	w.state = wWaiting
+	w.readyAt = ls.cycle + lat
+	w.pc++
+	return nil
+}
+
+// conflictDegree computes the serialisation factor of the gathered shared
+// access in w.addrs. With BroadcastSharedReads, the common case of all
+// active lanes hitting one identical word is recognised as degree 1;
+// otherwise the degree is the maximum per-bank request count.
+func (ls *launchState) conflictDegree(w *warp) int {
+	width := ls.width
+	if ls.d.cfg.BroadcastSharedReads {
+		same := true
+		first := -1
+		for l := 0; l < width; l++ {
+			if w.addrs[l] < 0 {
+				continue
+			}
+			if first < 0 {
+				first = w.addrs[l]
+			} else if w.addrs[l] != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 1
+		}
+	}
+	counts := ls.bankCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	max := 0
+	for l := 0; l < width; l++ {
+		if w.addrs[l] < 0 {
+			continue
+		}
+		bk := w.addrs[l] % width
+		counts[bk]++
+		if counts[bk] > max {
+			max = counts[bk]
+		}
+	}
+	return max
+}
+
+// alu evaluates a three-register arithmetic or comparison op.
+func alu(op kernel.Op, a, b kernel.Word) kernel.Word {
+	switch op {
+	case kernel.OpAdd:
+		return a + b
+	case kernel.OpSub:
+		return a - b
+	case kernel.OpMul:
+		return a * b
+	case kernel.OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case kernel.OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case kernel.OpAnd:
+		return a & b
+	case kernel.OpOr:
+		return a | b
+	case kernel.OpXor:
+		return a ^ b
+	case kernel.OpShl:
+		return a << uint(b&63)
+	case kernel.OpShr:
+		return a >> uint(b&63)
+	case kernel.OpSlt:
+		return b2w(a < b)
+	case kernel.OpSle:
+		return b2w(a <= b)
+	case kernel.OpSeq:
+		return b2w(a == b)
+	case kernel.OpSne:
+		return b2w(a != b)
+	}
+	return 0
+}
+
+// aluImm evaluates a register-immediate arithmetic or comparison op.
+func aluImm(op kernel.Op, a, imm kernel.Word) kernel.Word {
+	switch op {
+	case kernel.OpAddI:
+		return a + imm
+	case kernel.OpMulI:
+		return a * imm
+	case kernel.OpShlI:
+		return a << uint(imm&63)
+	case kernel.OpShrI:
+		return a >> uint(imm&63)
+	case kernel.OpAndI:
+		return a & imm
+	case kernel.OpSltI:
+		return b2w(a < imm)
+	case kernel.OpSleI:
+		return b2w(a <= imm)
+	case kernel.OpSeqI:
+		return b2w(a == imm)
+	case kernel.OpSneI:
+		return b2w(a != imm)
+	}
+	return 0
+}
+
+func b2w(b bool) kernel.Word {
+	if b {
+		return 1
+	}
+	return 0
+}

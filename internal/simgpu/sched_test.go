@@ -1,0 +1,451 @@
+package simgpu
+
+import (
+	"testing"
+
+	"atgpu/internal/kernel"
+)
+
+// loadKernel builds a kernel where each lane loads from base + lane*stride,
+// exposing coalesced (stride 1) vs scattered (stride ≥ b) global accesses.
+func loadKernel(name string, loads int, stride int64) *kernel.Program {
+	kb := kernel.NewBuilder(name, 0)
+	j := kb.Reg()
+	addr := kb.Reg()
+	v := kb.Reg()
+	kb.LaneID(j)
+	kb.Mul(addr, j, kernel.Imm(stride))
+	for i := 0; i < loads; i++ {
+		kb.LdGlobal(v, addr)
+	}
+	return kb.MustBuild()
+}
+
+func TestCoalescedTransactionCount(t *testing.T) {
+	d := newTiny(t) // width 4, block size 4
+	res, err := d.Launch(loadKernel("coal", 10, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.GlobalAccesses != 10 {
+		t.Fatalf("accesses = %d, want 10", res.Stats.GlobalAccesses)
+	}
+	if res.Stats.GlobalTransactions != 10 {
+		t.Fatalf("coalesced transactions = %d, want 10 (1 per access)", res.Stats.GlobalTransactions)
+	}
+	if res.Stats.UncoalescedAccesses != 0 {
+		t.Fatalf("uncoalesced = %d, want 0", res.Stats.UncoalescedAccesses)
+	}
+}
+
+func TestScatteredTransactionCount(t *testing.T) {
+	d := newTiny(t)
+	res, err := d.Launch(loadKernel("scat", 10, 4), 1) // stride = block size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.GlobalTransactions != 40 {
+		t.Fatalf("scattered transactions = %d, want 40 (4 per access)", res.Stats.GlobalTransactions)
+	}
+	if res.Stats.UncoalescedAccesses != 10 {
+		t.Fatalf("uncoalesced = %d, want 10", res.Stats.UncoalescedAccesses)
+	}
+}
+
+func TestScatteredCostsMoreCycles(t *testing.T) {
+	d1 := newTiny(t)
+	r1, err := d1.Launch(loadKernel("coal", 20, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newTiny(t)
+	r2, err := d2.Launch(loadKernel("scat", 20, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Cycles <= r1.Stats.Cycles {
+		t.Fatalf("scattered (%d cycles) should cost more than coalesced (%d cycles)",
+			r2.Stats.Cycles, r1.Stats.Cycles)
+	}
+	// With ExtraTransactionCycles=5 and 3 extra transactions per access,
+	// the difference should be about 20 accesses × 15 cycles.
+	wantDelta := int64(20 * 3 * Tiny().ExtraTransactionCycles)
+	delta := r2.Stats.Cycles - r1.Stats.Cycles
+	if delta != wantDelta {
+		t.Fatalf("cycle delta = %d, want %d", delta, wantDelta)
+	}
+}
+
+// sharedKernel builds a kernel with one shared store per lane at
+// lane*stride, then a load, exposing bank conflicts (stride = banks).
+func sharedKernel(name string, accesses int, stride int64, shared int) *kernel.Program {
+	kb := kernel.NewBuilder(name, shared)
+	j := kb.Reg()
+	addr := kb.Reg()
+	v := kb.Reg()
+	kb.LaneID(j)
+	kb.Mul(addr, j, kernel.Imm(stride))
+	kb.Const(v, 7)
+	for i := 0; i < accesses; i++ {
+		kb.StShared(addr, v)
+	}
+	return kb.MustBuild()
+}
+
+func TestBankConflictDetection(t *testing.T) {
+	d := newTiny(t) // 4 banks
+	res, err := d.Launch(sharedKernel("conflict", 5, 4, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BankConflicts != 5 {
+		t.Fatalf("bank conflicts = %d, want 5", res.Stats.BankConflicts)
+	}
+	if res.Stats.MaxConflictDegree != 4 {
+		t.Fatalf("max degree = %d, want 4", res.Stats.MaxConflictDegree)
+	}
+}
+
+func TestBankConflictFree(t *testing.T) {
+	d := newTiny(t)
+	res, err := d.Launch(sharedKernel("clean", 5, 1, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BankConflicts != 0 {
+		t.Fatalf("bank conflicts = %d, want 0", res.Stats.BankConflicts)
+	}
+}
+
+func TestBankConflictSerialisationCost(t *testing.T) {
+	cfgOn := Tiny()
+	cfgOn.SerialiseBankConflicts = true
+	cfgOff := Tiny()
+	cfgOff.SerialiseBankConflicts = false
+
+	dOn, err := New(cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOff, err := New(cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := sharedKernel("conflict", 10, 4, 16)
+	rOn, err := dOn.Launch(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOff, err := dOff.Launch(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOn.Stats.Cycles <= rOff.Stats.Cycles {
+		t.Fatalf("serialised conflicts (%d cycles) should cost more than ignored (%d)",
+			rOn.Stats.Cycles, rOff.Stats.Cycles)
+	}
+}
+
+func TestBroadcastSharedRead(t *testing.T) {
+	// All lanes reading one address: degree 1 with broadcast, degree b
+	// without.
+	build := func() *kernel.Program {
+		kb := kernel.NewBuilder("bcast", 8)
+		addr := kb.Reg()
+		v := kb.Reg()
+		kb.Const(addr, 3)
+		kb.LdShared(v, addr)
+		return kb.MustBuild()
+	}
+	cfg := Tiny()
+	cfg.BroadcastSharedReads = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Launch(build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BankConflicts != 0 {
+		t.Fatalf("broadcast read flagged as conflict: %d", res.Stats.BankConflicts)
+	}
+
+	cfg.BroadcastSharedReads = false
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := d2.Launch(build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.BankConflicts != 1 {
+		t.Fatalf("same-word access without broadcast should conflict: %d", res2.Stats.BankConflicts)
+	}
+}
+
+// TestLatencyHiding is the paper's §I-A mechanism: "Whilst a warp waits for
+// a memory request, other warps execute on the cores of the streaming
+// multiprocessor". Running W memory-bound blocks on one SM must take far
+// less than W times one block's latency once W > 1.
+func TestLatencyHiding(t *testing.T) {
+	cfg := Tiny()
+	cfg.NumSMs = 1
+	cfg.MaxBlocksPerSM = 8
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := loadKernel("lat", 8, 1)
+	r1, err := d1.Launch(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := d8.Launch(prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Stats.Cycles >= 8*r1.Stats.Cycles {
+		t.Fatalf("no latency hiding: 8 blocks took %d cycles vs %d for one",
+			r8.Stats.Cycles, r1.Stats.Cycles)
+	}
+	// With 8 resident warps hiding each other's 20-cycle latency, the
+	// 8-block run should cost well under 4× the single block.
+	if r8.Stats.Cycles > 4*r1.Stats.Cycles {
+		t.Fatalf("weak latency hiding: 8 blocks took %d cycles vs %d for one",
+			r8.Stats.Cycles, r1.Stats.Cycles)
+	}
+}
+
+// TestOccupancyLimitsResidency: a kernel whose shared usage allows only one
+// block per SM must never have two resident.
+func TestOccupancyLimitsResidency(t *testing.T) {
+	d := newTiny(t) // M = 64
+	kb := kernel.NewBuilder("fat", 64)
+	j := kb.Reg()
+	v := kb.Reg()
+	kb.LaneID(j)
+	kb.LdShared(v, j)
+	prog := kb.MustBuild()
+	res, err := d.Launch(prog, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OccupancyLimit != 1 {
+		t.Fatalf("occupancy limit = %d, want 1", res.Stats.OccupancyLimit)
+	}
+	if res.Stats.MaxResidentBlocks != 1 {
+		t.Fatalf("max resident = %d, want 1", res.Stats.MaxResidentBlocks)
+	}
+	if res.Stats.BlocksExecuted != 6 {
+		t.Fatalf("blocks executed = %d, want 6", res.Stats.BlocksExecuted)
+	}
+}
+
+// TestOccupancySpeedsUpMemoryBoundKernels: the same grid of memory-bound
+// blocks finishes sooner when more blocks may be resident.
+func TestOccupancySpeedsUpMemoryBoundKernels(t *testing.T) {
+	lowCfg := Tiny()
+	lowCfg.NumSMs = 1
+	lowCfg.MaxBlocksPerSM = 1
+	highCfg := lowCfg
+	highCfg.MaxBlocksPerSM = 8
+
+	prog := loadKernel("occ", 8, 1)
+	dl, err := New(lowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := dl.Launch(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := New(highCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := dh.Launch(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Stats.Cycles >= rl.Stats.Cycles {
+		t.Fatalf("higher occupancy (%d cycles) not faster than lower (%d)",
+			rh.Stats.Cycles, rl.Stats.Cycles)
+	}
+}
+
+// TestMultipleSMsSplitWork: doubling SMs roughly halves a compute-bound
+// launch.
+func TestMultipleSMsSplitWork(t *testing.T) {
+	build := func() *kernel.Program {
+		kb := kernel.NewBuilder("cpu", 0)
+		r := kb.Reg()
+		kb.Const(r, 0)
+		for i := 0; i < 64; i++ {
+			kb.Add(r, r, kernel.Imm(1))
+		}
+		return kb.MustBuild()
+	}
+	one := Tiny()
+	one.NumSMs = 1
+	two := Tiny()
+	two.NumSMs = 2
+
+	d1, err := New(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := d1.Launch(build(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.Launch(build(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r1.Stats.Cycles) / float64(r2.Stats.Cycles)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("2 SMs speedup = %.2fx, want ≈2x (%d vs %d cycles)",
+			ratio, r1.Stats.Cycles, r2.Stats.Cycles)
+	}
+}
+
+// TestDeterminism: identical launches produce identical cycle counts and
+// stats — required for reproducible experiments.
+func TestDeterminism(t *testing.T) {
+	prog := loadKernel("det", 6, 4)
+	var first KernelResult
+	for i := 0; i < 3; i++ {
+		d := newTiny(t)
+		res, err := d.Launch(prog, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Stats != first.Stats || res.Time != first.Time {
+			t.Fatalf("run %d differs:\n%+v\nvs\n%+v", i, res.Stats, first.Stats)
+		}
+	}
+}
+
+// TestMaxWarpInstrs tracks the longest per-block instruction stream, the
+// empirical analogue of the model's tᵢ.
+func TestMaxWarpInstrs(t *testing.T) {
+	d := newTiny(t)
+	kb := kernel.NewBuilder("count", 0)
+	r := kb.Reg()
+	kb.Const(r, 0)
+	kb.Add(r, r, kernel.Imm(1))
+	kb.Add(r, r, kernel.Imm(1))
+	prog := kb.MustBuild() // 4 instructions including halt
+	res, err := d.Launch(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxWarpInstrs != int64(prog.Len()) {
+		t.Fatalf("MaxWarpInstrs = %d, want %d", res.Stats.MaxWarpInstrs, prog.Len())
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := KernelStats{Cycles: 10, GlobalTransactions: 5, MaxConflictDegree: 2, MaxWarpInstrs: 7, OccupancyLimit: 4}
+	b := KernelStats{Cycles: 20, GlobalTransactions: 3, MaxConflictDegree: 3, MaxWarpInstrs: 5, OccupancyLimit: 2}
+	a.Merge(b)
+	if a.Cycles != 30 || a.GlobalTransactions != 8 {
+		t.Fatalf("additive fields wrong: %+v", a)
+	}
+	if a.MaxConflictDegree != 3 || a.MaxWarpInstrs != 7 || a.OccupancyLimit != 4 {
+		t.Fatalf("max fields wrong: %+v", a)
+	}
+}
+
+// TestEventSkipEquivalence: the event-driven clock jump is purely an
+// implementation speedup — per-cycle stepping must produce identical
+// cycle counts and statistics.
+func TestEventSkipEquivalence(t *testing.T) {
+	progs := []*kernel.Program{
+		loadKernel("eq-mem", 10, 4),
+		sharedKernel("eq-shared", 6, 4, 16),
+	}
+	for _, prog := range progs {
+		fast := Tiny()
+		slow := Tiny()
+		slow.DisableEventSkip = true
+		df, err := New(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := New(slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := df.Launch(prog, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ds.Launch(prog, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.Stats.Cycles != rs.Stats.Cycles {
+			t.Fatalf("%s: cycles differ: skip=%d step=%d", prog.Name, rf.Stats.Cycles, rs.Stats.Cycles)
+		}
+		if rf.Stats.GlobalTransactions != rs.Stats.GlobalTransactions ||
+			rf.Stats.InstructionsIssued != rs.Stats.InstructionsIssued {
+			t.Fatalf("%s: stats differ:\n%+v\nvs\n%+v", prog.Name, rf.Stats, rs.Stats)
+		}
+	}
+}
+
+// TestMemoryBandwidthWall: with a device-wide service rate, doubling the
+// per-warp transaction count of a saturating launch roughly doubles the
+// cycle count, regardless of concurrency.
+func TestMemoryBandwidthWall(t *testing.T) {
+	cfg := Tiny()
+	cfg.MemServiceCycles = 4
+	cfg.MaxBlocksPerSM = 2 // plenty of warps to hide latency
+	run := func(loads int) int64 {
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Launch(loadKernel("bw", loads, 4), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	c1 := run(8)
+	c2 := run(16)
+	ratio := float64(c2) / float64(c1)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("bandwidth wall missing: 2x transactions → %.2fx cycles (%d vs %d)", ratio, c2, c1)
+	}
+	// Disabling bandwidth modelling must let concurrency hide the cost:
+	// same workloads complete in fewer cycles.
+	cfgFree := cfg
+	cfgFree.MemServiceCycles = 0
+	d, err := New(cfgFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Launch(loadKernel("bw", 16, 4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles >= c2 {
+		t.Fatalf("infinite bandwidth (%d cycles) not faster than limited (%d)", res.Stats.Cycles, c2)
+	}
+}

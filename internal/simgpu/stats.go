@@ -1,0 +1,113 @@
+package simgpu
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// KernelStats aggregates everything the device observed during one launch.
+// Several fields correspond one-to-one with ATGPU metrics, noted below, so
+// analyses can be audited against executions.
+type KernelStats struct {
+	// Cycles is the total device cycles from launch to last warp
+	// retirement.
+	Cycles int64
+	// InstructionsIssued counts warp-instructions issued (each counts
+	// once regardless of active lane count).
+	InstructionsIssued int64
+	// LaneOps counts lane-instructions executed (instructions × active
+	// lanes); the model's per-round operation count tᵢ corresponds to the
+	// longest per-MP instruction stream, reported separately.
+	LaneOps int64
+
+	// GlobalAccesses counts warp-wide global memory instructions.
+	GlobalAccesses int64
+	// GlobalTransactions is Σl over those accesses — the model's I/O
+	// metric qᵢ for the round this launch implements.
+	GlobalTransactions int64
+	// UncoalescedAccesses counts warp accesses with l > 1.
+	UncoalescedAccesses int64
+
+	// SharedAccesses counts warp-wide shared memory instructions.
+	SharedAccesses int64
+	// BankConflicts counts warp accesses with conflict degree > 1.
+	BankConflicts int64
+	// MaxConflictDegree is the worst serialisation factor seen.
+	MaxConflictDegree int
+
+	// Barriers counts barrier instructions executed.
+	Barriers int64
+	// DivergentBranches counts if.begin executions where the warp split
+	// (some active lanes took the body, some did not).
+	DivergentBranches int64
+
+	// StallCycles counts cycles where an SM had resident warps but none
+	// ready (memory latency not hidden).
+	StallCycles int64
+	// IdleCycles counts SM-cycles with no resident block.
+	IdleCycles int64
+
+	// BlocksExecuted is the number of thread blocks retired.
+	BlocksExecuted int64
+	// MaxResidentBlocks is the peak per-SM residency achieved (≤ ℓ).
+	MaxResidentBlocks int
+	// OccupancyLimit is ℓ = min(⌊M/m⌋, H) for the launched program.
+	OccupancyLimit int
+	// MaxWarpInstrs is the longest single-warp instruction stream — the
+	// empirical analogue of the model's tᵢ ("maximum number of operations
+	// across all MPs").
+	MaxWarpInstrs int64
+}
+
+// Merge folds other into s, used when a logical round spans several
+// launches.
+func (s *KernelStats) Merge(other KernelStats) {
+	s.Cycles += other.Cycles
+	s.InstructionsIssued += other.InstructionsIssued
+	s.LaneOps += other.LaneOps
+	s.GlobalAccesses += other.GlobalAccesses
+	s.GlobalTransactions += other.GlobalTransactions
+	s.UncoalescedAccesses += other.UncoalescedAccesses
+	s.SharedAccesses += other.SharedAccesses
+	s.BankConflicts += other.BankConflicts
+	if other.MaxConflictDegree > s.MaxConflictDegree {
+		s.MaxConflictDegree = other.MaxConflictDegree
+	}
+	s.Barriers += other.Barriers
+	s.DivergentBranches += other.DivergentBranches
+	s.StallCycles += other.StallCycles
+	s.IdleCycles += other.IdleCycles
+	s.BlocksExecuted += other.BlocksExecuted
+	if other.MaxResidentBlocks > s.MaxResidentBlocks {
+		s.MaxResidentBlocks = other.MaxResidentBlocks
+	}
+	if other.OccupancyLimit > s.OccupancyLimit {
+		s.OccupancyLimit = other.OccupancyLimit
+	}
+	if other.MaxWarpInstrs > s.MaxWarpInstrs {
+		s.MaxWarpInstrs = other.MaxWarpInstrs
+	}
+}
+
+// String renders a compact multi-line report.
+func (s KernelStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles=%d instrs=%d laneOps=%d\n", s.Cycles, s.InstructionsIssued, s.LaneOps)
+	fmt.Fprintf(&sb, "global: accesses=%d transactions=%d uncoalesced=%d\n",
+		s.GlobalAccesses, s.GlobalTransactions, s.UncoalescedAccesses)
+	fmt.Fprintf(&sb, "shared: accesses=%d conflicts=%d maxDegree=%d\n",
+		s.SharedAccesses, s.BankConflicts, s.MaxConflictDegree)
+	fmt.Fprintf(&sb, "control: barriers=%d divergent=%d\n", s.Barriers, s.DivergentBranches)
+	fmt.Fprintf(&sb, "sched: stall=%d idle=%d blocks=%d maxResident=%d occLimit=%d maxWarpInstrs=%d",
+		s.StallCycles, s.IdleCycles, s.BlocksExecuted, s.MaxResidentBlocks, s.OccupancyLimit, s.MaxWarpInstrs)
+	return sb.String()
+}
+
+// KernelResult is the outcome of one launch.
+type KernelResult struct {
+	// Time is the simulated wall time of the kernel (cycles / clock).
+	Time time.Duration
+	// Stats holds the detailed counters.
+	Stats KernelStats
+}

@@ -1,0 +1,174 @@
+package simgpu
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atgpu/internal/kernel"
+)
+
+func traceKernel() *kernel.Program {
+	kb := kernel.NewBuilder("traceme", 0)
+	j := kb.Reg()
+	v := kb.Reg()
+	kb.LaneID(j)
+	kb.LdGlobal(v, j)
+	kb.StGlobal(j, v)
+	return kb.MustBuild()
+}
+
+func TestLaunchTracedRecordsBlocks(t *testing.T) {
+	d := newTiny(t)
+	tr := &Tracer{CaptureMemory: true}
+	res, err := d.LaunchTraced(traceKernel(), 5, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks()) != 5 {
+		t.Fatalf("traced %d blocks, want 5", len(tr.Blocks()))
+	}
+	for _, b := range tr.Blocks() {
+		if b.Retired < b.Scheduled {
+			t.Fatalf("block %d retired %d before scheduled %d", b.Block, b.Retired, b.Scheduled)
+		}
+		if b.Instrs != int64(traceKernel().Len()) {
+			t.Fatalf("block %d instrs = %d, want %d", b.Block, b.Instrs, traceKernel().Len())
+		}
+		if b.SM < 0 || b.SM >= 2 {
+			t.Fatalf("block %d on SM %d", b.Block, b.SM)
+		}
+	}
+	// 2 global accesses per block.
+	if got := len(tr.MemEvents()); got != 10 {
+		t.Fatalf("traced %d memory events, want 10", got)
+	}
+	if tr.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	// Tracing must not change results.
+	d2 := newTiny(t)
+	res2, err := d2.Launch(traceKernel(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != res2.Stats {
+		t.Fatalf("tracing changed stats:\n%+v\nvs\n%+v", res.Stats, res2.Stats)
+	}
+}
+
+func TestTracerMemoryOffByDefault(t *testing.T) {
+	d := newTiny(t)
+	tr := &Tracer{}
+	if _, err := d.LaunchTraced(traceKernel(), 3, tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.MemEvents()) != 0 {
+		t.Fatalf("memory events recorded without CaptureMemory: %d", len(tr.MemEvents()))
+	}
+}
+
+func TestTracerTruncation(t *testing.T) {
+	d := newTiny(t)
+	tr := &Tracer{MaxEvents: 3}
+	if _, err := d.LaunchTraced(traceKernel(), 10, tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks()) != 3 {
+		t.Fatalf("cap ignored: %d blocks", len(tr.Blocks()))
+	}
+	if !tr.Truncated {
+		t.Fatal("Truncated not set")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	d := newTiny(t)
+	tr := &Tracer{CaptureMemory: true}
+	if _, err := d.LaunchTraced(traceKernel(), 4, tr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4+8 {
+		t.Fatalf("exported %d events, want 12 (4 spans + 8 instants)", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	if phases["X"] != 4 || phases["i"] != 8 {
+		t.Fatalf("phases = %v", phases)
+	}
+}
+
+func TestOccupancyTimeline(t *testing.T) {
+	d := newTiny(t)
+	tr := &Tracer{}
+	if _, err := d.LaunchTraced(traceKernel(), 8, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.OccupancyTimeline(20)
+	if !strings.Contains(out, "SM0") || !strings.Contains(out, "SM1") {
+		t.Fatalf("timeline missing SMs:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles") {
+		t.Fatalf("timeline missing axis:\n%s", out)
+	}
+	if (&Tracer{}).OccupancyTimeline(10) != "(empty trace)\n" {
+		t.Fatal("empty tracer timeline wrong")
+	}
+}
+
+func TestTracerSummary(t *testing.T) {
+	d := newTiny(t)
+	tr := &Tracer{}
+	if _, err := d.LaunchTraced(traceKernel(), 6, tr); err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"6 blocks", "mean residency", "SM0", "SM1"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	if (&Tracer{}).Summary() != "trace: empty" {
+		t.Fatal("empty tracer summary wrong")
+	}
+}
+
+func TestHostSetTracer(t *testing.T) {
+	d := newTiny(t)
+	eng, err := newTestEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(d, eng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Tracer{}
+	h.SetTracer(tr)
+	if _, err := h.Launch(traceKernel(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks()) != 4 {
+		t.Fatalf("host-attached tracer saw %d blocks, want 4", len(tr.Blocks()))
+	}
+	// Detach: subsequent launches must not grow the trace.
+	h.SetTracer(nil)
+	if _, err := h.Launch(traceKernel(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks()) != 4 {
+		t.Fatalf("detached tracer still recording: %d blocks", len(tr.Blocks()))
+	}
+}

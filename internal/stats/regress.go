@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is the least-squares line y = Intercept + Slope·x, used by the
+// calibration package to recover Boyer's α (intercept) and β (slope) from
+// measured transfer times, the same fitting procedure Boyer et al. apply
+// to real hardware.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLine computes the least-squares fit of y on x.
+func FitLine(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrMismatch, len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need at least 2 points", ErrDegener)
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("%w: all x identical", ErrDegener)
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range x {
+			res := y[i] - (intercept + slope*x[i])
+			ssRes += res * res
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// RelativeError returns |predicted-observed|/|observed|, the error metric
+// the paper quotes for prior predictive tools (5.14%, 25.8%). Observed must
+// be non-zero.
+func RelativeError(predicted, observed float64) float64 {
+	if observed == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-observed) / math.Abs(observed)
+}

@@ -1,0 +1,128 @@
+// Package stats provides the numeric utilities the experiments need:
+// series containers, the 0→1 normalisation of the paper's Figures 3c/4c,
+// growth-rate comparison between predicted and observed series, simple
+// least-squares fitting for calibration, and summary means.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a named sequence of (x, y) points with shared x across the
+// figure it belongs to.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Errors.
+var (
+	ErrEmpty    = errors.New("stats: empty series")
+	ErrMismatch = errors.New("stats: length mismatch")
+	ErrDegener  = errors.New("stats: degenerate input")
+)
+
+// NewSeries builds a series after validating lengths.
+func NewSeries(name string, x, y []float64) (Series, error) {
+	if len(x) != len(y) {
+		return Series{}, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrMismatch, len(x), len(y))
+	}
+	if len(x) == 0 {
+		return Series{}, ErrEmpty
+	}
+	return Series{Name: name, X: append([]float64(nil), x...), Y: append([]float64(nil), y...)}, nil
+}
+
+// Len returns the point count.
+func (s Series) Len() int { return len(s.X) }
+
+// MinMaxY returns the y range.
+func (s Series) MinMaxY() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range s.Y {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Normalise rescales y onto [0,1] (min→0, max→1), the transformation the
+// paper applies in Figures 3c and 4c so that cost (dimensionless) and time
+// (ms) trends can be compared directly: "we have normalised all data on a
+// 0→1 scale". A constant series maps to all zeros.
+func (s Series) Normalise() Series {
+	min, max := s.MinMaxY()
+	out := Series{Name: s.Name, X: append([]float64(nil), s.X...), Y: make([]float64, len(s.Y))}
+	span := max - min
+	if span == 0 {
+		return out
+	}
+	for i, v := range s.Y {
+		out.Y[i] = (v - min) / span
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of y.
+func (s Series) Mean() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += v
+	}
+	return sum / float64(len(s.Y))
+}
+
+// Mean averages a plain slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// MeanAbsDiff returns the mean |a-b| over paired slices — the paper's
+// "predicted proportions ... are on average to within 1.5% of observed
+// proportions" metric for Figure 6.
+func MeanAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrMismatch, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a)), nil
+}
+
+// GrowthGap measures how closely the shape of predicted tracks the shape
+// of observed: both series are normalised to [0,1] and the mean absolute
+// difference of the normalised values is returned. Smaller is better. The
+// paper's claim "the ATGPU function has a rate of growth which is much
+// closer to the actual total running time [than SWGPU]" corresponds to
+// GrowthGap(atgpu, total) < GrowthGap(swgpu, total).
+func GrowthGap(predicted, observed Series) (float64, error) {
+	if predicted.Len() != observed.Len() {
+		return 0, fmt.Errorf("%w: predicted %d points, observed %d",
+			ErrMismatch, predicted.Len(), observed.Len())
+	}
+	p := predicted.Normalise()
+	o := observed.Normalise()
+	return MeanAbsDiff(p.Y, o.Y)
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSeries(t *testing.T) {
+	s, err := NewSeries("a", []float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Name != "a" {
+		t.Fatalf("series = %+v", s)
+	}
+	if _, err := NewSeries("b", []float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+	if _, err := NewSeries("c", nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	// NewSeries must copy its inputs.
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	s, _ = NewSeries("d", x, y)
+	x[0], y[0] = 99, 99
+	if s.X[0] != 1 || s.Y[0] != 3 {
+		t.Fatal("NewSeries aliases caller slices")
+	}
+}
+
+func TestMinMaxY(t *testing.T) {
+	s, _ := NewSeries("a", []float64{0, 1, 2}, []float64{5, -3, 7})
+	min, max := s.MinMaxY()
+	if min != -3 || max != 7 {
+		t.Fatalf("MinMaxY = %g, %g", min, max)
+	}
+}
+
+func TestNormalise(t *testing.T) {
+	s, _ := NewSeries("a", []float64{0, 1, 2}, []float64{10, 20, 30})
+	n := s.Normalise()
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(n.Y[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalise Y = %v, want %v", n.Y, want)
+		}
+	}
+	// Constant series maps to zeros, not NaN.
+	c, _ := NewSeries("c", []float64{0, 1}, []float64{5, 5})
+	for _, v := range c.Normalise().Y {
+		if v != 0 {
+			t.Fatalf("constant series normalised to %v", c.Normalise().Y)
+		}
+	}
+}
+
+// Property: normalised values lie in [0,1], with 0 and 1 attained, and
+// normalisation is idempotent.
+func TestNormaliseProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		x := make([]float64, len(raw))
+		for i := range x {
+			x[i] = float64(i)
+		}
+		s, err := NewSeries("p", x, raw)
+		if err != nil {
+			return false
+		}
+		n := s.Normalise()
+		min, max := n.MinMaxY()
+		if min < 0 || max > 1 {
+			return false
+		}
+		// Idempotence.
+		n2 := n.Normalise()
+		for i := range n.Y {
+			if math.Abs(n.Y[i]-n2.Y[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g", got)
+	}
+	s, _ := NewSeries("a", []float64{0, 1}, []float64{4, 6})
+	if s.Mean() != 5 {
+		t.Fatalf("Series.Mean = %g", s.Mean())
+	}
+	if (Series{}).Mean() != 0 {
+		t.Fatal("empty series mean should be 0")
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	got, err := MeanAbsDiff([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("MeanAbsDiff = %g, want 1", got)
+	}
+	if _, err := MeanAbsDiff([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+	if _, err := MeanAbsDiff(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestGrowthGap(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	obs, _ := NewSeries("obs", x, []float64{0, 10, 20, 30})
+	lin, _ := NewSeries("lin", x, []float64{5, 15, 25, 35}) // same shape
+	gap, err := GrowthGap(lin, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 1e-12 {
+		t.Fatalf("identical-shape gap = %g, want 0", gap)
+	}
+	flat, _ := NewSeries("flat", x, []float64{10, 11, 11.5, 40}) // different shape
+	gap2, err := GrowthGap(flat, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap2 <= gap {
+		t.Fatal("different shape should have larger gap")
+	}
+	short, _ := NewSeries("s", []float64{0}, []float64{1})
+	if _, err := GrowthGap(short, obs); !errors.Is(err, ErrMismatch) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %g, want 1 for exact line", fit.R2)
+	}
+	if got := fit.Predict(10); math.Abs(got-21) > 1e-12 {
+		t.Fatalf("Predict(10) = %g, want 21", got)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{2}); !errors.Is(err, ErrDegener) {
+		t.Errorf("single point: %v", err)
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{2, 3}); !errors.Is(err, ErrDegener) {
+		t.Errorf("identical x: %v", err)
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+}
+
+// Property: FitLine recovers any exact affine relationship.
+func TestFitLineRecoversAffineProperty(t *testing.T) {
+	f := func(slope, intercept int8) bool {
+		a, b := float64(slope), float64(intercept)
+		x := []float64{0, 1, 2, 5, 9}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = b + a*x[i]
+		}
+		fit, err := FitLine(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-a) < 1e-9 && math.Abs(fit.Intercept-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %g", got)
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+}

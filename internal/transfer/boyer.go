@@ -1,0 +1,138 @@
+// Package transfer models host↔device data movement, the component the
+// ATGPU paper adds over prior abstract GPU models.
+//
+// The cost side follows Boyer, Meng and Kumaran ("Improving GPU performance
+// prediction with data transfer modeling", IPDPSW'13), which the paper
+// adopts: a transfer transaction costs a fixed overhead α plus β per word,
+// so round i's inward transfers cost TI(i) = Îᵢ·α + Iᵢ·β and outward
+// transfers cost TO(i) = Ôᵢ·α + Oᵢ·β.
+//
+// The mechanism side is an Engine that moves words between a simulated
+// host and the device's global memory on a simulated timeline, with
+// selectable schemes (pageable, pinned, unified/zero-copy-like) whose α and
+// β differ — mirroring the data-transfer-technique studies (Fujii et al.,
+// van Werkhoven et al.) discussed in the paper's related work.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// CostModel holds the Boyer parameters of one link direction. Alpha is the
+// per-transaction overhead; Beta the per-word cost. Both are expressed in
+// seconds so costs compose directly with the kernel-side times.
+type CostModel struct {
+	Alpha float64 // seconds per transaction
+	Beta  float64 // seconds per word
+}
+
+// Cost returns the predicted time for moving words words in transactions
+// transactions: transactions·α + words·β.
+func (c CostModel) Cost(transactions, words int) float64 {
+	return float64(transactions)*c.Alpha + float64(words)*c.Beta
+}
+
+// CostDuration is Cost converted to a time.Duration for timeline use.
+func (c CostModel) CostDuration(transactions, words int) time.Duration {
+	return time.Duration(c.Cost(transactions, words) * float64(time.Second))
+}
+
+// Bandwidth returns the asymptotic bandwidth in words/second implied by β.
+func (c CostModel) Bandwidth() float64 {
+	if c.Beta <= 0 {
+		return 0
+	}
+	return 1 / c.Beta
+}
+
+// Validate reports whether the parameters are usable.
+func (c CostModel) Validate() error {
+	if c.Alpha < 0 {
+		return fmt.Errorf("transfer: negative alpha %g", c.Alpha)
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("transfer: negative beta %g", c.Beta)
+	}
+	return nil
+}
+
+// Scheme identifies a host↔device transfer technique. Different schemes
+// instantiate different (α, β) pairs.
+type Scheme int
+
+const (
+	// Pageable is the default cudaMemcpy from pageable host memory: an
+	// extra staging copy inflates both α and β.
+	Pageable Scheme = iota
+	// Pinned is cudaMemcpy from page-locked memory: full DMA bandwidth,
+	// lower α.
+	Pinned
+	// Mapped is zero-copy / unified addressing: negligible per-transaction
+	// setup but per-word cost paid at access time; modelled here as a
+	// transfer with α≈0 and a higher β. Fujii et al. find this wins for
+	// large transfers on integrated parts.
+	Mapped
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Pageable:
+		return "pageable"
+	case Pinned:
+		return "pinned"
+	case Mapped:
+		return "mapped"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// ErrUnknownScheme is returned for undefined Scheme values.
+var ErrUnknownScheme = errors.New("transfer: unknown scheme")
+
+// Link is a full-duplex host↔device interconnect description: a cost model
+// per direction per scheme. Real links are near-symmetric; constructors
+// allow asymmetry for experiments.
+type Link struct {
+	models map[Scheme]CostModel
+}
+
+// NewLink builds a link from per-scheme cost models.
+func NewLink(models map[Scheme]CostModel) (*Link, error) {
+	cp := make(map[Scheme]CostModel, len(models))
+	for s, m := range models {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", s, err)
+		}
+		cp[s] = m
+	}
+	return &Link{models: cp}, nil
+}
+
+// Model returns the cost model for scheme s.
+func (l *Link) Model(s Scheme) (CostModel, error) {
+	m, ok := l.models[s]
+	if !ok {
+		return CostModel{}, fmt.Errorf("%w: %s", ErrUnknownScheme, s)
+	}
+	return m, nil
+}
+
+// PCIeGen3x8Link approximates the PCIe link of the paper's GTX 650 testbed
+// for 8-byte words: pinned bandwidth ~6 GB/s (β = 8/6e9 s per word,
+// α = 10 µs), pageable ~3 GB/s with α = 25 µs, mapped β ~ 1.5× pinned with
+// α = 1 µs. These are plausible mid-2010s consumer numbers; EXPERIMENTS.md
+// records that only trends, not absolute times, are compared to the paper.
+func PCIeGen3x8Link() *Link {
+	l, err := NewLink(map[Scheme]CostModel{
+		Pageable: {Alpha: 25e-6, Beta: 8.0 / 3e9},
+		Pinned:   {Alpha: 10e-6, Beta: 8.0 / 6e9},
+		Mapped:   {Alpha: 1e-6, Beta: 8.0 / 4e9},
+	})
+	if err != nil {
+		panic(err) // static parameters; unreachable
+	}
+	return l
+}

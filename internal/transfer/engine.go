@@ -1,0 +1,170 @@
+package transfer
+
+import (
+	"fmt"
+	"time"
+
+	"atgpu/internal/mem"
+)
+
+// Direction of a transfer relative to the device.
+type Direction int
+
+const (
+	// HostToDevice is inward transfer (the paper's Iᵢ words, Îᵢ
+	// transactions, W operator from a host variable to a global one).
+	HostToDevice Direction = iota
+	// DeviceToHost is outward transfer (Oᵢ, Ôᵢ).
+	DeviceToHost
+)
+
+// String names the direction in CUDA-like terms.
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Record describes one completed transfer transaction for tracing and for
+// auditing the model's Î/Ô counts.
+type Record struct {
+	Direction Direction
+	Scheme    Scheme
+	Words     int
+	Offset    int // device global-memory offset
+	Cost      time.Duration
+}
+
+// Stats accumulates per-direction transfer totals; these are exactly the
+// quantities the ATGPU data-transfer metric sums: ΣᵢIᵢ, ΣᵢOᵢ and the
+// transaction counts behind TI/TO.
+type Stats struct {
+	InTransactions  int
+	InWords         int
+	InTime          time.Duration
+	OutTransactions int
+	OutWords        int
+	OutTime         time.Duration
+}
+
+// TotalWords returns Σ(Iᵢ+Oᵢ), the paper's total transfer metric.
+func (s Stats) TotalWords() int { return s.InWords + s.OutWords }
+
+// TotalTime returns the wall time spent in transfers.
+func (s Stats) TotalTime() time.Duration { return s.InTime + s.OutTime }
+
+// Add folds r into the totals.
+func (s *Stats) Add(r Record) {
+	if r.Direction == HostToDevice {
+		s.InTransactions++
+		s.InWords += r.Words
+		s.InTime += r.Cost
+	} else {
+		s.OutTransactions++
+		s.OutWords += r.Words
+		s.OutTime += r.Cost
+	}
+}
+
+// Engine moves words between host slices and a device global memory,
+// charging Boyer costs on a simulated timeline. It is the substrate
+// standing in for cudaMemcpy plus the PCIe DMA engines.
+type Engine struct {
+	link   *Link
+	scheme Scheme
+	stats  Stats
+	trace  []Record
+	keep   bool // whether to retain per-record trace
+}
+
+// NewEngine creates an engine over link using scheme for all transfers.
+func NewEngine(link *Link, scheme Scheme) (*Engine, error) {
+	if link == nil {
+		return nil, fmt.Errorf("transfer: nil link")
+	}
+	if _, err := link.Model(scheme); err != nil {
+		return nil, err
+	}
+	return &Engine{link: link, scheme: scheme}, nil
+}
+
+// SetTrace toggles retention of per-transaction records.
+func (e *Engine) SetTrace(keep bool) { e.keep = keep }
+
+// Scheme returns the engine's transfer scheme.
+func (e *Engine) Scheme() Scheme { return e.scheme }
+
+// Model returns the engine's active cost model.
+func (e *Engine) Model() CostModel {
+	m, err := e.link.Model(e.scheme)
+	if err != nil {
+		panic(err) // checked in NewEngine; unreachable
+	}
+	return m
+}
+
+// In copies src into device global memory at offset as a single
+// transaction, returning the simulated cost.
+func (e *Engine) In(g *mem.Global, offset int, src []mem.Word) (time.Duration, error) {
+	if err := g.WriteSlice(offset, src); err != nil {
+		return 0, err
+	}
+	cost := e.Model().CostDuration(1, len(src))
+	e.record(Record{Direction: HostToDevice, Scheme: e.scheme, Words: len(src), Offset: offset, Cost: cost})
+	return cost, nil
+}
+
+// Out copies length words from device global memory at offset back to the
+// host as a single transaction.
+func (e *Engine) Out(g *mem.Global, offset, length int) ([]mem.Word, time.Duration, error) {
+	dst, err := g.ReadSlice(offset, length)
+	if err != nil {
+		return nil, 0, err
+	}
+	cost := e.Model().CostDuration(1, length)
+	e.record(Record{Direction: DeviceToHost, Scheme: e.scheme, Words: length, Offset: offset, Cost: cost})
+	return dst, cost, nil
+}
+
+// InChunked copies src in ⌈len/chunk⌉ transactions, each paying α. This is
+// the partitioned transfer style the paper's future work (§V) raises for
+// data that exceeds global memory; the extra α per chunk is what an
+// overlap-capable scheme tries to hide.
+func (e *Engine) InChunked(g *mem.Global, offset int, src []mem.Word, chunk int) (time.Duration, error) {
+	if chunk <= 0 {
+		return 0, fmt.Errorf("transfer: chunk must be positive, got %d", chunk)
+	}
+	var total time.Duration
+	for base := 0; base < len(src); base += chunk {
+		end := base + chunk
+		if end > len(src) {
+			end = len(src)
+		}
+		d, err := e.In(g, offset+base, src[base:end])
+		if err != nil {
+			return total, err
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// Stats returns the accumulated totals.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Trace returns retained records (nil unless SetTrace(true)).
+func (e *Engine) Trace() []Record { return e.trace }
+
+// Reset clears stats and trace.
+func (e *Engine) Reset() {
+	e.stats = Stats{}
+	e.trace = nil
+}
+
+func (e *Engine) record(r Record) {
+	e.stats.Add(r)
+	if e.keep {
+		e.trace = append(e.trace, r)
+	}
+}

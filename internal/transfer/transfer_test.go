@@ -1,0 +1,233 @@
+package transfer
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"atgpu/internal/mem"
+)
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{Alpha: 1e-5, Beta: 1e-9}
+	// TI(i) = Îα + Iβ exactly.
+	if got, want := m.Cost(2, 1000), 2e-5+1000e-9; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Cost(2,1000) = %g, want %g", got, want)
+	}
+	if got := m.Cost(0, 0); got != 0 {
+		t.Fatalf("Cost(0,0) = %g, want 0", got)
+	}
+	if d := m.CostDuration(1, 0); d != 10*time.Microsecond {
+		t.Fatalf("CostDuration = %v, want 10µs", d)
+	}
+	if bw := m.Bandwidth(); math.Abs(bw-1e9) > 1 {
+		t.Fatalf("Bandwidth = %g, want 1e9", bw)
+	}
+	if (CostModel{}).Bandwidth() != 0 {
+		t.Fatal("zero beta bandwidth should be 0")
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := (CostModel{Alpha: -1}).Validate(); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if err := (CostModel{Beta: -1}).Validate(); err == nil {
+		t.Error("negative beta accepted")
+	}
+	if err := (CostModel{Alpha: 1, Beta: 1}).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+// Cost is monotone in both transactions and words.
+func TestCostMonotoneProperty(t *testing.T) {
+	m := CostModel{Alpha: 2e-5, Beta: 3e-9}
+	f := func(tx, words uint16, dtx, dw uint8) bool {
+		base := m.Cost(int(tx), int(words))
+		more := m.Cost(int(tx)+int(dtx), int(words)+int(dw))
+		return more >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Pageable.String() != "pageable" || Pinned.String() != "pinned" || Mapped.String() != "mapped" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme should still print")
+	}
+}
+
+func TestLink(t *testing.T) {
+	l := PCIeGen3x8Link()
+	pinned, err := l.Model(Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageable, err := l.Model(Pageable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Beta >= pageable.Beta {
+		t.Fatal("pinned should be faster per word than pageable")
+	}
+	if _, err := l.Model(Scheme(42)); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("unknown scheme: %v", err)
+	}
+}
+
+func TestNewLinkRejectsBadModel(t *testing.T) {
+	if _, err := NewLink(map[Scheme]CostModel{Pinned: {Alpha: -1}}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func newTestEngine(t *testing.T) (*Engine, *mem.Global) {
+	t.Helper()
+	eng, err := NewEngine(PCIeGen3x8Link(), Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mem.NewGlobal(1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+func TestEngineInOut(t *testing.T) {
+	eng, g := newTestEngine(t)
+	src := []mem.Word{1, 2, 3, 4, 5}
+	d, err := eng.In(g, 10, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("transfer cost not positive")
+	}
+	got, d2, err := eng.Out(g, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= 0 {
+		t.Fatal("outward cost not positive")
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("round trip [%d] = %d, want %d", i, got[i], src[i])
+		}
+	}
+	st := eng.Stats()
+	if st.InTransactions != 1 || st.InWords != 5 || st.OutTransactions != 1 || st.OutWords != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalWords() != 10 {
+		t.Fatalf("TotalWords = %d, want 10", st.TotalWords())
+	}
+	if st.TotalTime() != d+d2 {
+		t.Fatalf("TotalTime = %v, want %v", st.TotalTime(), d+d2)
+	}
+}
+
+func TestEngineCostMatchesModel(t *testing.T) {
+	eng, g := newTestEngine(t)
+	src := make([]mem.Word, 100)
+	d, err := eng.In(g, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Model().CostDuration(1, 100)
+	if d != want {
+		t.Fatalf("In cost = %v, want %v (Boyer α+100β)", d, want)
+	}
+}
+
+func TestEngineErrorsPropagate(t *testing.T) {
+	eng, g := newTestEngine(t)
+	if _, err := eng.In(g, 1020, make([]mem.Word, 10)); err == nil {
+		t.Fatal("overflow In accepted")
+	}
+	if _, _, err := eng.Out(g, 1020, 10); err == nil {
+		t.Fatal("overflow Out accepted")
+	}
+	// Failed transfers must not pollute stats.
+	if st := eng.Stats(); st.InTransactions != 0 || st.OutTransactions != 0 {
+		t.Fatalf("failed transfers recorded: %+v", st)
+	}
+}
+
+func TestEngineChunked(t *testing.T) {
+	eng, g := newTestEngine(t)
+	src := make([]mem.Word, 100)
+	for i := range src {
+		src[i] = mem.Word(i)
+	}
+	d, err := eng.InChunked(g, 0, src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.InTransactions != 4 { // 32+32+32+4
+		t.Fatalf("chunked transactions = %d, want 4", st.InTransactions)
+	}
+	if st.InWords != 100 {
+		t.Fatalf("chunked words = %d, want 100", st.InWords)
+	}
+	// Cost equals 4 transactions of the Boyer model.
+	want := eng.Model().CostDuration(1, 32)*3 + eng.Model().CostDuration(1, 4)
+	if d != want {
+		t.Fatalf("chunked cost = %v, want %v", d, want)
+	}
+	got, _, err := eng.Out(g, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("chunked round trip [%d] = %d", i, got[i])
+		}
+	}
+	if _, err := eng.InChunked(g, 0, src, 0); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestEngineTrace(t *testing.T) {
+	eng, g := newTestEngine(t)
+	eng.SetTrace(true)
+	if _, err := eng.In(g, 0, make([]mem.Word, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Out(g, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	tr := eng.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d, want 2", len(tr))
+	}
+	if tr[0].Direction != HostToDevice || tr[1].Direction != DeviceToHost {
+		t.Fatalf("trace directions wrong: %+v", tr)
+	}
+	if tr[0].Direction.String() != "H2D" || tr[1].Direction.String() != "D2H" {
+		t.Fatal("direction names wrong")
+	}
+	eng.Reset()
+	if len(eng.Trace()) != 0 || eng.Stats().TotalWords() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, Pinned); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	if _, err := NewEngine(PCIeGen3x8Link(), Scheme(9)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
