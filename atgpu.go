@@ -7,6 +7,7 @@ import (
 	"atgpu/internal/algorithms"
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
+	"atgpu/internal/faults"
 	"atgpu/internal/models"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
@@ -24,6 +25,19 @@ type Options struct {
 	Scheme transfer.Scheme
 	// SyncCost is σ, the fixed synchronisation cost per round.
 	SyncCost time.Duration
+
+	// FaultRate enables deterministic fault injection when > 0: the
+	// probability, in [0,1], of each transfer or launch drawing a fault.
+	// At 0 no injector is attached and behaviour is identical to a build
+	// without the fault machinery.
+	FaultRate float64
+	// FaultSeed drives the injector; the same seed replays the same
+	// faults, retries and simulated timeline.
+	FaultSeed int64
+	// MaxRetries overrides the transfer retry budget when > 0.
+	MaxRetries int
+	// Watchdog overrides the kernel watchdog timeout when > 0.
+	Watchdog time.Duration
 }
 
 // DefaultOptions matches the paper's evaluation setup: GTX650-like device,
@@ -44,16 +58,29 @@ type System struct {
 	opts   Options
 	link   *transfer.Link
 	params core.CostParams
+	// hostSeq numbers the hosts built, giving each run a fresh
+	// deterministically seeded fault injector.
+	hostSeq int64
 }
 
 // NewSystem validates the options and calibrates cost parameters for the
-// device, which takes a few milliseconds of simulation.
+// device, which takes a few milliseconds of simulation. Calibration always
+// runs fault-free: cost parameters describe the healthy machine.
 func NewSystem(opts Options) (*System, error) {
 	if err := opts.Device.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.SyncCost < 0 {
 		return nil, fmt.Errorf("atgpu: negative sync cost %v", opts.SyncCost)
+	}
+	if opts.FaultRate < 0 || opts.FaultRate > 1 {
+		return nil, fmt.Errorf("atgpu: fault rate %v outside [0,1]", opts.FaultRate)
+	}
+	if opts.MaxRetries < 0 {
+		return nil, fmt.Errorf("atgpu: negative max retries %d", opts.MaxRetries)
+	}
+	if opts.Watchdog < 0 {
+		return nil, fmt.Errorf("atgpu: negative watchdog %v", opts.Watchdog)
 	}
 	link := transfer.PCIeGen3x8Link()
 
@@ -170,10 +197,19 @@ type Observation struct {
 	Stats simgpu.KernelStats
 	// TransferFraction is Δ_E, the observed transfer share.
 	TransferFraction float64
+	// Transfers carries the engine totals, including retry and corruption
+	// counters under fault injection.
+	Transfers transfer.Stats
+	// Resilience counts the host's fault-recovery work (all zero without
+	// an injector).
+	Resilience simgpu.ResilienceStats
+	// FaultLog is the injector's event log (nil without an injector).
+	FaultLog []string
 }
 
-func observation(rep simgpu.RunReport) Observation {
-	return Observation{
+func observation(h *simgpu.Host) Observation {
+	rep := h.Report()
+	obs := Observation{
 		Total:            rep.Total,
 		Kernel:           rep.Kernel,
 		Transfer:         rep.Transfer,
@@ -181,10 +217,18 @@ func observation(rep simgpu.RunReport) Observation {
 		Rounds:           rep.Rounds,
 		Stats:            rep.Stats,
 		TransferFraction: rep.TransferFraction(),
+		Transfers:        rep.Transfers,
+		Resilience:       rep.Resilience,
 	}
+	for _, ev := range h.FaultEvents() {
+		obs.FaultLog = append(obs.FaultLog, ev.String())
+	}
+	return obs
 }
 
-// newHost builds a fresh device+host pair sized for footprint words.
+// newHost builds a fresh device+host pair sized for footprint words. With
+// FaultRate > 0 it is armed with a per-run seeded injector shared between
+// the transfer engine and the host.
 func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 	devCfg := s.opts.Device
 	need := footprint + 4*devCfg.WarpWidth
@@ -199,7 +243,34 @@ func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 	if err != nil {
 		return nil, err
 	}
-	return simgpu.NewHost(dev, eng, s.opts.SyncCost)
+	h, err := simgpu.NewHost(dev, eng, s.opts.SyncCost)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.FaultRate > 0 {
+		seq := s.hostSeq
+		s.hostSeq++
+		inj, err := faults.NewRate(faults.RateConfig{
+			Seed:         s.opts.FaultSeed + 1_000_003*seq,
+			TransferRate: s.opts.FaultRate,
+			KernelRate:   s.opts.FaultRate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		policy := transfer.DefaultRetryPolicy()
+		if s.opts.MaxRetries > 0 {
+			policy.MaxRetries = s.opts.MaxRetries
+		}
+		policy.Seed = s.opts.FaultSeed + 1_000_003*seq + 1
+		if err := eng.SetFaults(inj, policy); err != nil {
+			return nil, err
+		}
+		if err := h.SetFaults(inj, s.opts.Watchdog, 0); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // RunVecAdd executes A+B on the simulated device and returns the result
@@ -214,7 +285,7 @@ func (s *System) RunVecAdd(a, b []Word) ([]Word, Observation, error) {
 	if err != nil {
 		return nil, Observation{}, err
 	}
-	return c, observation(h.Report()), nil
+	return c, observation(h), nil
 }
 
 // RunReduce executes the sum reduction on the simulated device.
@@ -228,7 +299,7 @@ func (s *System) RunReduce(input []Word) (Word, Observation, error) {
 	if err != nil {
 		return 0, Observation{}, err
 	}
-	return sum, observation(h.Report()), nil
+	return sum, observation(h), nil
 }
 
 // RunMatMul executes C = A×B (row-major n×n) on the simulated device.
@@ -242,7 +313,7 @@ func (s *System) RunMatMul(a, b []Word, n int) ([]Word, Observation, error) {
 	if err != nil {
 		return nil, Observation{}, err
 	}
-	return c, observation(h.Report()), nil
+	return c, observation(h), nil
 }
 
 // RunOutOfCoreReduce executes the partitioned reduction (future work §V),

@@ -7,11 +7,14 @@
 //	atgpu table1
 //	atgpu calibrate
 //	atgpu analyze -alg vecadd|reduce|matmul -n N
-//	atgpu run     -alg vecadd|reduce|matmul -n N
+//	atgpu run     -alg vecadd|reduce|matmul -n N [--fault-rate R --fault-seed S --max-retries K]
 //	atgpu ooc     -n N -chunk C
 //
 // analyze prices the algorithm on the abstract model; run additionally
 // executes it on the simulated GTX 650 and reports predicted-vs-observed.
+// With --fault-rate > 0, run injects deterministic seeded faults into
+// transfers and launches and reports the recovery work (retries, watchdog
+// fires, degraded launches) alongside the timing.
 package main
 
 import (
@@ -34,11 +37,19 @@ func main() {
 	alg := fs.String("alg", "vecadd", "algorithm: vecadd, reduce, matmul")
 	n := fs.Int("n", 1_000_000, "input size (vector length / matrix side)")
 	chunk := fs.Int("chunk", 1<<18, "out-of-core chunk size in words")
+	faultRate := fs.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
+	faultSeed := fs.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
+	maxRetries := fs.Int("max-retries", 0, "transfer retry budget override (0 = default)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	if err := dispatch(cmd, *alg, *n, *chunk); err != nil {
+	opts := atgpu.DefaultOptions()
+	opts.FaultRate = *faultRate
+	opts.FaultSeed = *faultSeed
+	opts.MaxRetries = *maxRetries
+
+	if err := dispatch(cmd, *alg, *n, *chunk, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
 	}
@@ -52,17 +63,19 @@ commands:
   calibrate   print the calibrated cost parameters for the default device
   analyze     price an algorithm on the abstract model   (-alg, -n)
   run         predicted-vs-observed on the simulated GPU (-alg, -n)
-  ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)`)
+  ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)
+
+fault injection (run): --fault-rate R --fault-seed S --max-retries K`)
 }
 
-func dispatch(cmd, alg string, n, chunk int) error {
+func dispatch(cmd, alg string, n, chunk int, opts atgpu.Options) error {
 	switch cmd {
 	case "table1":
 		fmt.Println("Table I — comparison of GPU abstract models")
 		fmt.Print(atgpu.TableI())
 		return nil
 	case "calibrate":
-		sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+		sys, err := atgpu.NewSystem(opts)
 		if err != nil {
 			return err
 		}
@@ -76,11 +89,11 @@ func dispatch(cmd, alg string, n, chunk int) error {
 		fmt.Printf("H      (blocks per SM)   %d\n", cp.H)
 		return nil
 	case "analyze":
-		return analyze(alg, n)
+		return analyze(alg, n, opts)
 	case "run":
-		return run(alg, n)
+		return run(alg, n, opts)
 	case "ooc":
-		return ooc(n, chunk)
+		return ooc(n, chunk, opts)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -99,8 +112,8 @@ func predictionFor(sys *atgpu.System, alg string, n int) (*atgpu.Prediction, err
 	return nil, fmt.Errorf("unknown algorithm %q", alg)
 }
 
-func analyze(alg string, n int) error {
-	sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+func analyze(alg string, n int, opts atgpu.Options) error {
+	sys, err := atgpu.NewSystem(opts)
 	if err != nil {
 		return err
 	}
@@ -128,8 +141,8 @@ func analyze(alg string, n int) error {
 	return nil
 }
 
-func run(alg string, n int) error {
-	sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+func run(alg string, n int, opts atgpu.Options) error {
+	sys, err := atgpu.NewSystem(opts)
 	if err != nil {
 		return err
 	}
@@ -193,11 +206,22 @@ func run(alg string, n int) error {
 	fmt.Printf("ΔE (observed transfer share)  = %.1f%%\n", 100*obs.TransferFraction)
 	fmt.Printf("ΔT (predicted transfer share) = %.1f%%\n", 100*pred.TransferFraction)
 	fmt.Printf("kernel stats:\n%s\n", obs.Stats)
+	if obs.Transfers.Faulted() || obs.Resilience.Degraded() {
+		fmt.Printf("resilience: %d retries (%d words re-sent, backoff %v), %d corruptions, %d drops, %d stalls\n",
+			obs.Transfers.Retries, obs.Transfers.RetransferredWords, obs.Transfers.BackoffTime,
+			obs.Transfers.CorruptionsDetected, obs.Transfers.DroppedTransactions, obs.Transfers.StallEvents)
+		fmt.Printf("            %d watchdog fires (%v lost), %d relaunches, %d degraded launches, %d failed SMs\n",
+			obs.Resilience.WatchdogFires, obs.Resilience.WatchdogTime, obs.Resilience.Relaunches,
+			obs.Resilience.DegradedLaunches, obs.Resilience.FailedSMs)
+		for _, ev := range obs.FaultLog {
+			fmt.Printf("  fault %s\n", ev)
+		}
+	}
 	return nil
 }
 
-func ooc(n, chunk int) error {
-	sys, err := atgpu.NewSystem(atgpu.DefaultOptions())
+func ooc(n, chunk int, opts atgpu.Options) error {
+	sys, err := atgpu.NewSystem(opts)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	simgpu [-kernel vecadd|reduce|matmul] [-n N] [-device gtx650|tiny] [-disasm]
+//	       [--fault-rate R --fault-seed S --max-retries K]
+//
+// With --fault-rate > 0, deterministic seeded faults are injected into
+// transfers and launches; the run recovers via checksum-verified retries,
+// watchdog relaunches and SM degradation, and the recovery work is printed.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"atgpu/internal/algorithms"
+	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
 	"atgpu/internal/simgpu"
@@ -28,15 +34,24 @@ func main() {
 	device := flag.String("device", "gtx650", "device preset: gtx650, gtx1080, k40, tiny")
 	disasm := flag.Bool("disasm", false, "print kernel disassembly")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the first launch to this file")
+	faultRate := flag.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
+	maxRetries := flag.Int("max-retries", 0, "transfer retry budget override (0 = default)")
 	flag.Parse()
 
-	if err := run(*kname, *n, *device, *disasm, *traceOut); err != nil {
+	if err := run(*kname, *n, *device, *disasm, *traceOut, *faultRate, *faultSeed, *maxRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kname string, n int, device string, disasm bool, traceOut string) error {
+func run(kname string, n int, device string, disasm bool, traceOut string, faultRate float64, faultSeed int64, maxRetries int) error {
+	if faultRate < 0 || faultRate > 1 {
+		return fmt.Errorf("fault rate %v outside [0,1]", faultRate)
+	}
+	if maxRetries < 0 {
+		return fmt.Errorf("negative max retries %d", maxRetries)
+	}
 	var cfg simgpu.Config
 	switch device {
 	case "gtx650":
@@ -71,6 +86,27 @@ func run(kname string, n int, device string, disasm bool, traceOut string) error
 	h, err := simgpu.NewHost(dev, eng, 0)
 	if err != nil {
 		return err
+	}
+	if faultRate > 0 {
+		inj, err := faults.NewRate(faults.RateConfig{
+			Seed:         faultSeed,
+			TransferRate: faultRate,
+			KernelRate:   faultRate,
+		})
+		if err != nil {
+			return err
+		}
+		policy := transfer.DefaultRetryPolicy()
+		if maxRetries > 0 {
+			policy.MaxRetries = maxRetries
+		}
+		policy.Seed = faultSeed + 1
+		if err := eng.SetFaults(inj, policy); err != nil {
+			return err
+		}
+		if err := h.SetFaults(inj, 0, 0); err != nil {
+			return err
+		}
 	}
 	var tracer *simgpu.Tracer
 	if traceOut != "" {
@@ -137,6 +173,17 @@ func run(kname string, n int, device string, disasm bool, traceOut string) error
 		rep.Transfers.OutWords, rep.Transfers.OutTransactions)
 	fmt.Printf("total time    %v\n", rep.Total)
 	fmt.Println(rep.Stats)
+	if rep.Transfers.Faulted() || rep.Resilience.Degraded() {
+		fmt.Printf("resilience: %d retries (%d words re-sent, backoff %v), %d corruptions, %d drops, %d stalls\n",
+			rep.Transfers.Retries, rep.Transfers.RetransferredWords, rep.Transfers.BackoffTime,
+			rep.Transfers.CorruptionsDetected, rep.Transfers.DroppedTransactions, rep.Transfers.StallEvents)
+		fmt.Printf("            %d watchdog fires (%v lost), %d relaunches, %d degraded launches, %d failed SMs\n",
+			rep.Resilience.WatchdogFires, rep.Resilience.WatchdogTime, rep.Resilience.Relaunches,
+			rep.Resilience.DegradedLaunches, rep.Resilience.FailedSMs)
+		for _, ev := range h.FaultEvents() {
+			fmt.Printf("  fault %s\n", ev)
+		}
+	}
 
 	if tracer != nil {
 		fh, err := os.Create(traceOut)

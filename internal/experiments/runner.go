@@ -25,6 +25,7 @@ import (
 	"atgpu/internal/algorithms"
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
+	"atgpu/internal/faults"
 	"atgpu/internal/mem"
 	"atgpu/internal/models"
 	"atgpu/internal/simgpu"
@@ -49,6 +50,57 @@ type Config struct {
 	SizesVecAdd []int
 	SizesReduce []int
 	SizesMatMul []int
+
+	// FaultRate enables fault injection when > 0: the per-decision
+	// probability, in [0,1], of a transfer or launch fault. At 0 (the
+	// default) no injector is attached and every output is identical to a
+	// build without the fault machinery.
+	FaultRate float64
+	// FaultSeed drives the injector and retry jitter; the same seed and
+	// rate replay the same faults, retries and timeline.
+	FaultSeed int64
+	// MaxRetries overrides the transfer retry budget when > 0.
+	MaxRetries int
+	// Watchdog overrides the kernel watchdog timeout when > 0.
+	Watchdog time.Duration
+}
+
+// Validate rejects configurations that would otherwise surface as opaque
+// failures deep inside a sweep.
+func (c Config) Validate() error {
+	if c.Device == (simgpu.Config{}) {
+		return fmt.Errorf("experiments: zero-value Device config; use a preset such as simgpu.GTX650()")
+	}
+	if err := c.Device.Validate(); err != nil {
+		return fmt.Errorf("experiments: device: %w", err)
+	}
+	if c.SyncCost < 0 {
+		return fmt.Errorf("experiments: negative SyncCost %v", c.SyncCost)
+	}
+	for _, s := range []struct {
+		name  string
+		sizes []int
+	}{
+		{"SizesVecAdd", c.SizesVecAdd},
+		{"SizesReduce", c.SizesReduce},
+		{"SizesMatMul", c.SizesMatMul},
+	} {
+		for _, n := range s.sizes {
+			if n <= 0 {
+				return fmt.Errorf("experiments: %s contains non-positive size %d", s.name, n)
+			}
+		}
+	}
+	if c.FaultRate < 0 || c.FaultRate > 1 {
+		return fmt.Errorf("experiments: FaultRate %v outside [0,1]", c.FaultRate)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("experiments: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.Watchdog < 0 {
+		return fmt.Errorf("experiments: negative Watchdog %v", c.Watchdog)
+	}
+	return nil
 }
 
 // DefaultConfig returns the GTX650-like setup used throughout
@@ -70,12 +122,16 @@ type Runner struct {
 	link   *transfer.Link
 	params core.CostParams
 	calib  calibrate.Result
+	// hostSeq numbers the hosts built so far, so each sweep point gets a
+	// fresh, deterministically seeded fault injector.
+	hostSeq int64
 }
 
 // NewRunner calibrates cost parameters on a throwaway device and returns a
-// ready runner.
+// ready runner. Calibration always runs fault-free: cost parameters
+// describe the healthy machine.
 func NewRunner(cfg Config) (*Runner, error) {
-	if err := cfg.Device.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	link := transfer.PCIeGen3x8Link()
@@ -121,6 +177,11 @@ func (r *Runner) modelParams(blocks int) core.Params {
 // newHost builds a device+host pair whose global memory holds footprint
 // words (plus alignment slack), so sweeps over large n do not allocate the
 // preset's full G per point.
+//
+// With FaultRate > 0, the pair is armed with a fresh seeded injector
+// shared between the transfer engine and the host, so one fault log covers
+// the whole point; each host draws a distinct per-point seed from
+// FaultSeed so sweeps replay exactly.
 func (r *Runner) newHost(footprint int) (*simgpu.Host, error) {
 	devCfg := r.cfg.Device
 	need := footprint + 4*devCfg.WarpWidth
@@ -135,7 +196,34 @@ func (r *Runner) newHost(footprint int) (*simgpu.Host, error) {
 	if err != nil {
 		return nil, err
 	}
-	return simgpu.NewHost(dev, eng, r.cfg.SyncCost)
+	h, err := simgpu.NewHost(dev, eng, r.cfg.SyncCost)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.FaultRate > 0 {
+		seq := r.hostSeq
+		r.hostSeq++
+		inj, err := faults.NewRate(faults.RateConfig{
+			Seed:         r.cfg.FaultSeed + 1_000_003*seq,
+			TransferRate: r.cfg.FaultRate,
+			KernelRate:   r.cfg.FaultRate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		policy := transfer.DefaultRetryPolicy()
+		if r.cfg.MaxRetries > 0 {
+			policy.MaxRetries = r.cfg.MaxRetries
+		}
+		policy.Seed = r.cfg.FaultSeed + 1_000_003*seq + 1
+		if err := eng.SetFaults(inj, policy); err != nil {
+			return nil, err
+		}
+		if err := h.SetFaults(inj, r.cfg.Watchdog, 0); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // WorkloadPoint is one input size's predicted and observed outcome.
@@ -151,29 +239,82 @@ type WorkloadPoint struct {
 	DeltaPredicted float64
 	// DeltaObserved is Δ_E, the observed transfer share of total time.
 	DeltaObserved float64
+
+	// Failed marks a point whose observed run died despite the recovery
+	// machinery (retry or relaunch budget exhausted). The sweep records
+	// it — timings partial, Err and FaultLog filled — and continues.
+	Failed bool
+	// Err is the failure message when Failed.
+	Err string
+	// Retries, RetransferredWords, CorruptionsDetected, DroppedTransactions
+	// and StallEvents mirror the point's transfer.Stats resilience counters.
+	Retries             int
+	RetransferredWords  int
+	CorruptionsDetected int
+	DroppedTransactions int
+	StallEvents         int
+	// WatchdogFires, Relaunches, DegradedLaunches and FailedSMs mirror the
+	// host's ResilienceStats.
+	WatchdogFires    int
+	Relaunches       int
+	DegradedLaunches int
+	FailedSMs        int
+	// FaultLog holds the injector's event log for the point.
+	FaultLog []string
+}
+
+// Degraded reports whether the point needed any fault recovery.
+func (p WorkloadPoint) Degraded() bool {
+	return p.Failed || p.Retries > 0 || p.WatchdogFires > 0 ||
+		p.DegradedLaunches > 0 || p.StallEvents > 0 || p.DroppedTransactions > 0
 }
 
 // WorkloadData is one workload's full sweep.
 type WorkloadData struct {
 	// Workload names the algorithm ("vecadd", "reduce", "matmul").
 	Workload string
-	// Points holds one entry per input size, ascending.
+	// Points holds one entry per input size, ascending; under fault
+	// injection some may be Failed. Figures and summaries use Successful.
 	Points []WorkloadPoint
 }
 
-// Sizes returns the x vector.
+// Successful returns the non-failed points, preserving order.
+func (w *WorkloadData) Successful() []WorkloadPoint {
+	ok := make([]WorkloadPoint, 0, len(w.Points))
+	for _, p := range w.Points {
+		if !p.Failed {
+			ok = append(ok, p)
+		}
+	}
+	return ok
+}
+
+// FailedPoints counts the points that exhausted recovery.
+func (w *WorkloadData) FailedPoints() int {
+	n := 0
+	for _, p := range w.Points {
+		if p.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Sizes returns the x vector over successful points.
 func (w *WorkloadData) Sizes() []float64 {
-	xs := make([]float64, len(w.Points))
-	for i, p := range w.Points {
+	pts := w.Successful()
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
 		xs[i] = float64(p.N)
 	}
 	return xs
 }
 
-// column extracts one metric across points.
+// column extracts one metric across successful points.
 func (w *WorkloadData) column(f func(WorkloadPoint) float64) []float64 {
-	ys := make([]float64, len(w.Points))
-	for i, p := range w.Points {
+	pts := w.Successful()
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
 		ys[i] = f(p)
 	}
 	return ys
@@ -267,16 +408,20 @@ func (r *Runner) RunVecAdd() (*WorkloadData, error) {
 		}
 		pt.N = n
 
-		h, err := r.newHost(alg.GlobalWords())
-		if err != nil {
+		if err := r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords())
+			if err != nil {
+				return nil, err
+			}
+			a := randWords(rng, n)
+			b := randWords(rng, n)
+			if _, err := alg.Run(h, a, b); err != nil {
+				return h, fmt.Errorf("vecadd n=%d: run: %w", n, err)
+			}
+			return h, nil
+		}); err != nil {
 			return nil, err
 		}
-		a := randWords(rng, n)
-		b := randWords(rng, n)
-		if _, err := alg.Run(h, a, b); err != nil {
-			return nil, fmt.Errorf("vecadd n=%d: run: %w", n, err)
-		}
-		pt.observe(h.Report())
 		data.Points = append(data.Points, pt)
 	}
 	return data, nil
@@ -302,20 +447,24 @@ func (r *Runner) RunReduce() (*WorkloadData, error) {
 		}
 		pt.N = n
 
-		h, err := r.newHost(alg.GlobalWords(b))
-		if err != nil {
+		if err := r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(b))
+			if err != nil {
+				return nil, err
+			}
+			in := randBits(rng, n)
+			got, err := alg.Run(h, in)
+			if err != nil {
+				return h, fmt.Errorf("reduce n=%d: run: %w", n, err)
+			}
+			if want := algorithms.ReduceReference(in); got != want {
+				return h, fmt.Errorf("reduce n=%d: %w: got %d want %d",
+					n, algorithms.ErrVerifyFail, got, want)
+			}
+			return h, nil
+		}); err != nil {
 			return nil, err
 		}
-		in := randBits(rng, n)
-		got, err := alg.Run(h, in)
-		if err != nil {
-			return nil, fmt.Errorf("reduce n=%d: run: %w", n, err)
-		}
-		if want := algorithms.ReduceReference(in); got != want {
-			return nil, fmt.Errorf("reduce n=%d: %w: got %d want %d",
-				n, algorithms.ErrVerifyFail, got, want)
-		}
-		pt.observe(h.Report())
 		data.Points = append(data.Points, pt)
 	}
 	return data, nil
@@ -338,16 +487,20 @@ func (r *Runner) RunMatMul() (*WorkloadData, error) {
 		}
 		pt.N = n
 
-		h, err := r.newHost(alg.GlobalWords())
-		if err != nil {
+		if err := r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords())
+			if err != nil {
+				return nil, err
+			}
+			a := randWords(rng, n*n)
+			b := randWords(rng, n*n)
+			if _, err := alg.Run(h, a, b); err != nil {
+				return h, fmt.Errorf("matmul n=%d: run: %w", n, err)
+			}
+			return h, nil
+		}); err != nil {
 			return nil, err
 		}
-		a := randWords(rng, n*n)
-		b := randWords(rng, n*n)
-		if _, err := alg.Run(h, a, b); err != nil {
-			return nil, fmt.Errorf("matmul n=%d: run: %w", n, err)
-		}
-		pt.observe(h.Report())
 		data.Points = append(data.Points, pt)
 	}
 	return data, nil
@@ -370,6 +523,32 @@ func (r *Runner) predict(a *core.Analysis) (WorkloadPoint, error) {
 	return pt, nil
 }
 
+// observePoint runs one sweep point's observed simulation with per-point
+// fault isolation: under injection (FaultRate > 0) a failure is recorded
+// on the point — partial timings, Err, retry counts and the fault log —
+// and the sweep continues. Fault-free failures propagate unchanged, so a
+// rate-0 run behaves exactly as before the fault machinery existed. body
+// returns the host it ran on (possibly non-nil alongside an error, for
+// post-mortem accounting).
+func (r *Runner) observePoint(pt *WorkloadPoint, body func() (*simgpu.Host, error)) error {
+	h, err := body()
+	if err != nil {
+		if r.cfg.FaultRate > 0 {
+			pt.Failed = true
+			pt.Err = err.Error()
+			if h != nil {
+				pt.observe(h.Report())
+				pt.recordFaults(h)
+			}
+			return nil
+		}
+		return err
+	}
+	pt.observe(h.Report())
+	pt.recordFaults(h)
+	return nil
+}
+
 // observe fills the simulator-side fields from a host report.
 func (pt *WorkloadPoint) observe(rep simgpu.RunReport) {
 	pt.TotalTime = rep.Total.Seconds()
@@ -377,4 +556,22 @@ func (pt *WorkloadPoint) observe(rep simgpu.RunReport) {
 	pt.TransferTime = rep.Transfer.Seconds()
 	pt.SyncTime = rep.Sync.Seconds()
 	pt.DeltaObserved = rep.TransferFraction()
+
+	pt.Retries = rep.Transfers.Retries
+	pt.RetransferredWords = rep.Transfers.RetransferredWords
+	pt.CorruptionsDetected = rep.Transfers.CorruptionsDetected
+	pt.DroppedTransactions = rep.Transfers.DroppedTransactions
+	pt.StallEvents = rep.Transfers.StallEvents
+	pt.WatchdogFires = rep.Resilience.WatchdogFires
+	pt.Relaunches = rep.Resilience.Relaunches
+	pt.DegradedLaunches = rep.Resilience.DegradedLaunches
+	pt.FailedSMs = rep.Resilience.FailedSMs
+}
+
+// recordFaults copies the host's fault log onto the point (no-op without
+// an injector).
+func (pt *WorkloadPoint) recordFaults(h *simgpu.Host) {
+	for _, ev := range h.FaultEvents() {
+		pt.FaultLog = append(pt.FaultLog, ev.String())
+	}
 }

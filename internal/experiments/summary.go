@@ -38,14 +38,30 @@ type Summary struct {
 	// means the model's cost grows at the observed rate.
 	ATGPUSlopeRatio float64
 	SWGPUSlopeRatio float64
+	// FailedPoints, Retries, WatchdogFires and DegradedLaunches aggregate
+	// the sweep's fault-recovery work across all points (failed included).
+	// All zero in fault-free runs.
+	FailedPoints     int
+	Retries          int
+	WatchdogFires    int
+	DegradedLaunches int
 }
 
-// Summarise computes the Section IV-D statistics for one sweep.
+// Summarise computes the Section IV-D statistics for one sweep. Statistics
+// cover the successful points; failed points contribute only to the
+// resilience aggregates.
 func Summarise(d *WorkloadData) (Summary, error) {
-	if len(d.Points) == 0 {
-		return Summary{}, fmt.Errorf("experiments: empty sweep for %s", d.Workload)
+	s := Summary{Workload: d.Workload, FailedPoints: d.FailedPoints()}
+	for _, p := range d.Points {
+		s.Retries += p.Retries
+		s.WatchdogFires += p.WatchdogFires
+		s.DegradedLaunches += p.DegradedLaunches
 	}
-	s := Summary{Workload: d.Workload}
+	pts := d.Successful()
+	if len(pts) == 0 {
+		return Summary{}, fmt.Errorf("experiments: no successful points for %s (%d failed)",
+			d.Workload, s.FailedPoints)
+	}
 
 	dObs := d.column(func(p WorkloadPoint) float64 { return p.DeltaObserved })
 	dPred := d.column(func(p WorkloadPoint) float64 { return p.DeltaPredicted })
@@ -58,8 +74,8 @@ func Summarise(d *WorkloadData) (Summary, error) {
 	s.MeanDeltaGap = gap
 
 	// Captured share: kernel-side time over total, averaged over sizes.
-	captured := make([]float64, len(d.Points))
-	for i, p := range d.Points {
+	captured := make([]float64, len(pts))
+	for i, p := range pts {
 		if p.TotalTime > 0 {
 			captured[i] = (p.KernelTime + p.SyncTime) / p.TotalTime
 		}
@@ -71,7 +87,7 @@ func Summarise(d *WorkloadData) (Summary, error) {
 	at := mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost }))
 	sw := mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost }))
 
-	if len(d.Points) >= 2 {
+	if len(pts) >= 2 {
 		if s.ATGPUGrowthGap, err = stats.GrowthGap(at, total); err != nil {
 			return Summary{}, err
 		}
@@ -108,5 +124,11 @@ func (s Summary) String() string {
 	fmt.Fprintf(&sb, "  SWGPU-visible share of total time = %.1f%%\n", 100*s.SWGPUCaptured)
 	fmt.Fprintf(&sb, "  growth gap vs Total: ATGPU %.4f, SWGPU %.4f\n", s.ATGPUGrowthGap, s.SWGPUGrowthGap)
 	fmt.Fprintf(&sb, "  slope ratio vs Total: ATGPU %.3f, SWGPU %.3f\n", s.ATGPUSlopeRatio, s.SWGPUSlopeRatio)
+	// The resilience line appears only for faulted sweeps, keeping
+	// fault-free reports byte-identical to a rate-0 run.
+	if s.FailedPoints > 0 || s.Retries > 0 || s.WatchdogFires > 0 || s.DegradedLaunches > 0 {
+		fmt.Fprintf(&sb, "  resilience: %d failed points, %d retries, %d watchdog fires, %d degraded launches\n",
+			s.FailedPoints, s.Retries, s.WatchdogFires, s.DegradedLaunches)
+	}
 	return sb.String()
 }

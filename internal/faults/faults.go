@@ -1,0 +1,321 @@
+// Package faults provides deterministic, seed-driven fault injection for
+// the simulated GPU stack. Real measurement campaigns on GPU hardware must
+// tolerate noisy, partially-failing runs (transfer glitches, hung kernels,
+// disabled multiprocessors); this package lets the simulator reproduce
+// those failure modes on demand so the resilience machinery in
+// internal/transfer and internal/simgpu can be exercised and regression
+// tested.
+//
+// Two implementations are provided: Rate draws faults from a seeded PRNG
+// at configurable per-site rates (the chaos-testing mode of the
+// experiment runner), and Plan replays a scripted decision sequence
+// (the unit-testing mode). Both log every injected fault so a failed run
+// can report exactly what was done to it. The same seed always yields the
+// same decision sequence for the same operation sequence, which is what
+// makes faulted timelines replayable.
+//
+// Injector implementations are safe for use from multiple goroutines, but
+// determinism is only guaranteed when the operation sequence itself is
+// deterministic (a single simulation goroutine, as the Host contract
+// requires).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Site identifies where a fault decision applies.
+type Site int
+
+const (
+	// SiteH2D is an inward (host-to-device) transfer transaction.
+	SiteH2D Site = iota
+	// SiteD2H is an outward (device-to-host) transfer transaction.
+	SiteD2H
+	// SiteKernel is a kernel launch.
+	SiteKernel
+)
+
+// String names the site in CUDA-like terms.
+func (s Site) String() string {
+	switch s {
+	case SiteH2D:
+		return "H2D"
+	case SiteD2H:
+		return "D2H"
+	case SiteKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("site(%d)", int(s))
+}
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None means the operation proceeds unfaulted.
+	None Kind = iota
+	// Corrupt flips bits in transferred data; the engine's checksum
+	// verification detects it and retries.
+	Corrupt
+	// Stall multiplies a transaction's cost without failing it (a
+	// congested or renegotiating link).
+	Stall
+	// Drop fails a transaction outright; the link time is consumed but no
+	// data moves, and the engine retries.
+	Drop
+	// Hang makes a kernel launch never complete; the host watchdog fires
+	// and relaunches.
+	Hang
+	// SMFail permanently disables one streaming multiprocessor; the
+	// device degrades to fewer SMs with exact results.
+	SMFail
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	case Drop:
+		return "drop"
+	case Hang:
+		return "hang"
+	case SMFail:
+		return "sm-fail"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Decision is one injector verdict. The zero value means "no fault".
+type Decision struct {
+	// Kind selects the fault class (None for a clean operation).
+	Kind Kind
+	// Victim is the SM index to disable (SMFail only; consumers reduce it
+	// modulo the SM count).
+	Victim int
+	// WordIndex selects the word to perturb within a transaction (Corrupt
+	// only; consumers reduce it modulo the transaction length).
+	WordIndex int
+	// Mask is the XOR corruption mask (Corrupt only; consumers substitute
+	// 1 if zero, so corruption is never a no-op).
+	Mask int64
+	// StallFactor multiplies the transaction cost (Stall only; consumers
+	// substitute 2 if < 1).
+	StallFactor float64
+}
+
+// Event records one injected fault for the fault log.
+type Event struct {
+	// Seq is the injector-wide decision sequence number.
+	Seq int
+	// Site is where the fault was injected.
+	Site Site
+	// Attempt is the consumer's retry attempt number (0 = first try).
+	Attempt int
+	// Kind is the injected fault class.
+	Kind Kind
+	// Detail describes the operation (words moved, victim SM, …).
+	Detail string
+}
+
+// String renders the event as one fault-log line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s attempt=%d %s %s", e.Seq, e.Site, e.Attempt, e.Kind, e.Detail)
+}
+
+// Injector decides, deterministically from its construction, whether each
+// operation is faulted. Consumers call Transfer once per transfer
+// transaction attempt and Launch once per kernel launch attempt.
+type Injector interface {
+	// Transfer decides the fate of one transfer transaction attempt of
+	// the given word count.
+	Transfer(site Site, attempt, words int) Decision
+	// Launch decides the fate of one kernel launch attempt on a device
+	// with numSMs multiprocessors.
+	Launch(attempt, numSMs int) Decision
+	// Events returns a copy of the fault log accumulated so far.
+	Events() []Event
+}
+
+// recorder is the shared fault log.
+type recorder struct {
+	mu     sync.Mutex
+	seq    int
+	events []Event
+}
+
+// log appends a non-None decision to the fault log.
+func (r *recorder) log(site Site, attempt int, d Decision, detail string) {
+	if d.Kind == None {
+		r.seq++
+		return
+	}
+	r.events = append(r.events, Event{Seq: r.seq, Site: site, Attempt: attempt, Kind: d.Kind, Detail: detail})
+	r.seq++
+}
+
+// Events returns a copy of the fault log.
+func (r *recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Nop is an injector that never faults. It exists so callers can thread a
+// non-nil Injector unconditionally; nil is also accepted everywhere.
+type Nop struct{}
+
+// Transfer never faults.
+func (Nop) Transfer(Site, int, int) Decision { return Decision{} }
+
+// Launch never faults.
+func (Nop) Launch(int, int) Decision { return Decision{} }
+
+// Events returns an empty log.
+func (Nop) Events() []Event { return nil }
+
+// RateConfig parameterises a Rate injector.
+type RateConfig struct {
+	// Seed drives the PRNG; the same seed yields the same decision
+	// sequence for the same operation sequence.
+	Seed int64
+	// TransferRate is the probability in [0,1] that a transfer
+	// transaction attempt is faulted (corrupt, stall or drop, equally
+	// likely).
+	TransferRate float64
+	// KernelRate is the probability in [0,1] that a kernel launch attempt
+	// is faulted (hang or SM failure, equally likely).
+	KernelRate float64
+}
+
+// Validate checks the rates are probabilities.
+func (c RateConfig) Validate() error {
+	if c.TransferRate < 0 || c.TransferRate > 1 {
+		return fmt.Errorf("faults: TransferRate=%g not in [0,1]", c.TransferRate)
+	}
+	if c.KernelRate < 0 || c.KernelRate > 1 {
+		return fmt.Errorf("faults: KernelRate=%g not in [0,1]", c.KernelRate)
+	}
+	return nil
+}
+
+// Rate injects faults drawn from a seeded PRNG at the configured rates.
+type Rate struct {
+	recorder
+	cfg RateConfig
+	rng *rand.Rand
+}
+
+// NewRate builds a rate-based injector.
+func NewRate(cfg RateConfig) (*Rate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Rate{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Transfer faults the attempt with probability TransferRate.
+func (r *Rate) Transfer(site Site, attempt, words int) Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d Decision
+	if r.rng.Float64() < r.cfg.TransferRate {
+		switch r.rng.Intn(3) {
+		case 0:
+			d = Decision{
+				Kind:      Corrupt,
+				WordIndex: r.rng.Intn(1 << 20),
+				Mask:      int64(r.rng.Uint64() | 1),
+			}
+		case 1:
+			d = Decision{Kind: Stall, StallFactor: 1.5 + 2*r.rng.Float64()}
+		case 2:
+			d = Decision{Kind: Drop}
+		}
+	}
+	r.log(site, attempt, d, fmt.Sprintf("(%d words)", words))
+	return d
+}
+
+// Launch faults the attempt with probability KernelRate.
+func (r *Rate) Launch(attempt, numSMs int) Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d Decision
+	if r.rng.Float64() < r.cfg.KernelRate {
+		if r.rng.Intn(2) == 0 {
+			d = Decision{Kind: Hang}
+		} else {
+			n := numSMs
+			if n < 1 {
+				n = 1
+			}
+			d = Decision{Kind: SMFail, Victim: r.rng.Intn(n)}
+		}
+	}
+	r.log(SiteKernel, attempt, d, fmt.Sprintf("(SM %d of %d)", d.Victim, numSMs))
+	return d
+}
+
+// Plan replays a scripted decision sequence: each site consumes its queued
+// decisions in order, then reports None forever. Used by tests that need
+// exact fault placement.
+type Plan struct {
+	recorder
+	transfers map[Site][]Decision
+	launches  []Decision
+}
+
+// NewPlan builds an empty plan (never faults until queued).
+func NewPlan() *Plan {
+	return &Plan{transfers: make(map[Site][]Decision)}
+}
+
+// QueueTransfer appends decisions for transfer attempts at site.
+func (p *Plan) QueueTransfer(site Site, ds ...Decision) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.transfers[site] = append(p.transfers[site], ds...)
+	return p
+}
+
+// QueueLaunch appends decisions for kernel launch attempts.
+func (p *Plan) QueueLaunch(ds ...Decision) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.launches = append(p.launches, ds...)
+	return p
+}
+
+// Transfer pops the next queued decision for site.
+func (p *Plan) Transfer(site Site, attempt, words int) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d Decision
+	if q := p.transfers[site]; len(q) > 0 {
+		d, p.transfers[site] = q[0], q[1:]
+	}
+	p.log(site, attempt, d, fmt.Sprintf("(%d words)", words))
+	return d
+}
+
+// Launch pops the next queued launch decision.
+func (p *Plan) Launch(attempt, numSMs int) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d Decision
+	if len(p.launches) > 0 {
+		d, p.launches = p.launches[0], p.launches[1:]
+	}
+	p.log(SiteKernel, attempt, d, fmt.Sprintf("(SM %d of %d)", d.Victim, numSMs))
+	return d
+}

@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRateDeterministicReplay(t *testing.T) {
+	cfg := RateConfig{Seed: 42, TransferRate: 0.5, KernelRate: 0.5}
+	a, err := NewRate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		da := a.Transfer(SiteH2D, 0, 64)
+		db := b.Transfer(SiteH2D, 0, 64)
+		if da != db {
+			t.Fatalf("transfer decision %d diverged: %+v vs %+v", i, da, db)
+		}
+		la := a.Launch(0, 4)
+		lb := b.Launch(0, 4)
+		if la != lb {
+			t.Fatalf("launch decision %d diverged: %+v vs %+v", i, la, lb)
+		}
+	}
+	ea, eb := a.Events(), b.Events()
+	if len(ea) != len(eb) {
+		t.Fatalf("event logs diverged: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	if len(ea) == 0 {
+		t.Fatal("rate 0.5 injected no faults in 400 decisions")
+	}
+}
+
+func TestRateZeroNeverFaults(t *testing.T) {
+	r, err := NewRate(RateConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if d := r.Transfer(SiteD2H, 0, 8); d.Kind != None {
+			t.Fatalf("zero-rate injector faulted: %+v", d)
+		}
+		if d := r.Launch(0, 2); d.Kind != None {
+			t.Fatalf("zero-rate injector faulted launch: %+v", d)
+		}
+	}
+	if len(r.Events()) != 0 {
+		t.Fatal("zero-rate injector logged events")
+	}
+}
+
+func TestRateOneAlwaysFaults(t *testing.T) {
+	r, err := NewRate(RateConfig{Seed: 7, TransferRate: 1, KernelRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]bool{}
+	for i := 0; i < 100; i++ {
+		d := r.Transfer(SiteH2D, i, 16)
+		if d.Kind == None {
+			t.Fatal("rate-1 injector passed a transfer")
+		}
+		kinds[d.Kind] = true
+		if d.Kind == Corrupt && d.Mask == 0 {
+			t.Fatal("corrupt decision with zero mask")
+		}
+		l := r.Launch(i, 4)
+		if l.Kind == None {
+			t.Fatal("rate-1 injector passed a launch")
+		}
+		kinds[l.Kind] = true
+		if l.Kind == SMFail && (l.Victim < 0 || l.Victim >= 4) {
+			t.Fatalf("victim %d out of range", l.Victim)
+		}
+	}
+	for _, k := range []Kind{Corrupt, Stall, Drop, Hang, SMFail} {
+		if !kinds[k] {
+			t.Errorf("fault kind %s never drawn in 200 decisions", k)
+		}
+	}
+}
+
+func TestRateConfigValidate(t *testing.T) {
+	if _, err := NewRate(RateConfig{TransferRate: -0.1}); err == nil {
+		t.Error("negative transfer rate accepted")
+	}
+	if _, err := NewRate(RateConfig{TransferRate: 1.1}); err == nil {
+		t.Error("transfer rate > 1 accepted")
+	}
+	if _, err := NewRate(RateConfig{KernelRate: 2}); err == nil {
+		t.Error("kernel rate > 1 accepted")
+	}
+}
+
+func TestPlanConsumesInOrder(t *testing.T) {
+	p := NewPlan().
+		QueueTransfer(SiteH2D, Decision{Kind: Corrupt, Mask: 0xff}, Decision{Kind: Drop}).
+		QueueLaunch(Decision{Kind: Hang})
+	if d := p.Transfer(SiteH2D, 0, 4); d.Kind != Corrupt {
+		t.Fatalf("first H2D decision = %s, want corrupt", d.Kind)
+	}
+	// Other sites are unaffected by the H2D queue.
+	if d := p.Transfer(SiteD2H, 0, 4); d.Kind != None {
+		t.Fatalf("D2H decision = %s, want none", d.Kind)
+	}
+	if d := p.Transfer(SiteH2D, 1, 4); d.Kind != Drop {
+		t.Fatalf("second H2D decision = %s, want drop", d.Kind)
+	}
+	// Exhausted queues report None forever.
+	if d := p.Transfer(SiteH2D, 2, 4); d.Kind != None {
+		t.Fatalf("exhausted H2D decision = %s, want none", d.Kind)
+	}
+	if d := p.Launch(0, 2); d.Kind != Hang {
+		t.Fatalf("launch decision = %s, want hang", d.Kind)
+	}
+	if d := p.Launch(1, 2); d.Kind != None {
+		t.Fatalf("exhausted launch decision = %s, want none", d.Kind)
+	}
+	// Only the three injected faults appear in the log.
+	ev := p.Events()
+	if len(ev) != 3 {
+		t.Fatalf("event log = %d entries, want 3: %v", len(ev), ev)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 3, Site: SiteH2D, Attempt: 1, Kind: Corrupt, Detail: "(64 words)"}
+	s := e.String()
+	for _, want := range []string{"#3", "H2D", "attempt=1", "corrupt", "64 words"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNopAndNames(t *testing.T) {
+	var n Nop
+	if n.Transfer(SiteH2D, 0, 1).Kind != None || n.Launch(0, 1).Kind != None || n.Events() != nil {
+		t.Fatal("Nop injected something")
+	}
+	if SiteH2D.String() != "H2D" || SiteD2H.String() != "D2H" || SiteKernel.String() != "kernel" {
+		t.Fatal("site names wrong")
+	}
+	if Site(9).String() == "" || Kind(9).String() == "" {
+		t.Fatal("unknown site/kind should still print")
+	}
+	for k, want := range map[Kind]string{None: "none", Corrupt: "corrupt", Stall: "stall", Drop: "drop", Hang: "hang", SMFail: "sm-fail"} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChecksumBasics(t *testing.T) {
+	// Deterministic and sensitive to every word and to ordering.
+	a := []Word{1, 2, 3, 4}
+	if Checksum(a) != Checksum([]Word{1, 2, 3, 4}) {
+		t.Fatal("checksum not deterministic")
+	}
+	if Checksum(a) == Checksum([]Word{1, 2, 3, 5}) {
+		t.Fatal("single-word change not detected")
+	}
+	if Checksum(a) == Checksum([]Word{4, 3, 2, 1}) {
+		t.Fatal("reordering not detected")
+	}
+	if Checksum(nil) != Checksum([]Word{}) {
+		t.Fatal("empty checksums differ")
+	}
+	// A single-bit flip — the corruption the fault injector applies —
+	// must change the hash.
+	b := []Word{1 << 40, -7, 0}
+	c := []Word{1 << 40, -7 ^ 1, 0}
+	if Checksum(b) == Checksum(c) {
+		t.Fatal("bit flip not detected")
+	}
+}
+
+func TestChecksumRange(t *testing.T) {
+	g, err := NewGlobal(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []Word{9, 8, 7, 6}
+	if err := g.WriteSlice(16, src); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := g.ChecksumRange(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != Checksum(src) {
+		t.Fatalf("device checksum %x != host checksum %x", sum, Checksum(src))
+	}
+	if _, err := g.ChecksumRange(62, 4); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overflow range: %v", err)
+	}
+	if _, err := g.ChecksumRange(0, -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative length: %v", err)
+	}
+}
+
+func TestCheckReadWrite(t *testing.T) {
+	g, err := NewGlobal(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckWrite(0, 32); err != nil {
+		t.Errorf("full-capacity write rejected: %v", err)
+	}
+	if err := g.CheckWrite(1, 32); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("overflow write accepted: %v", err)
+	}
+	if err := g.CheckWrite(-1, 4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative offset write accepted: %v", err)
+	}
+	if err := g.CheckRead(28, 4); err != nil {
+		t.Errorf("tail read rejected: %v", err)
+	}
+	if err := g.CheckRead(28, 5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("overflow read accepted: %v", err)
+	}
+}

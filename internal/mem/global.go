@@ -83,11 +83,30 @@ func (g *Global) Store(a int, v Word) error {
 	return nil
 }
 
+// CheckWrite validates that a length-word write at offset stays in range,
+// without performing it. The transfer engine pre-flights transactions with
+// this so range errors surface before any fault/retry machinery engages.
+func (g *Global) CheckWrite(offset, length int) error {
+	if length < 0 || offset < 0 || offset+length > len(g.words) {
+		return fmt.Errorf("%w: write [%d,%d) into G=%d", ErrOutOfRange, offset, offset+length, len(g.words))
+	}
+	return nil
+}
+
+// CheckRead validates that a length-word read at offset stays in range,
+// without performing it.
+func (g *Global) CheckRead(offset, length int) error {
+	if length < 0 || offset < 0 || offset+length > len(g.words) {
+		return fmt.Errorf("%w: read [%d,%d) from G=%d", ErrOutOfRange, offset, offset+length, len(g.words))
+	}
+	return nil
+}
+
 // WriteSlice copies src into global memory starting at offset. It is the
 // device-side landing of an inward host transfer.
 func (g *Global) WriteSlice(offset int, src []Word) error {
-	if offset < 0 || offset+len(src) > len(g.words) {
-		return fmt.Errorf("%w: write [%d,%d) into G=%d", ErrOutOfRange, offset, offset+len(src), len(g.words))
+	if err := g.CheckWrite(offset, len(src)); err != nil {
+		return err
 	}
 	copy(g.words[offset:], src)
 	return nil
@@ -96,8 +115,8 @@ func (g *Global) WriteSlice(offset int, src []Word) error {
 // ReadSlice copies length words starting at offset into a fresh slice. It is
 // the device-side source of an outward host transfer.
 func (g *Global) ReadSlice(offset, length int) ([]Word, error) {
-	if length < 0 || offset < 0 || offset+length > len(g.words) {
-		return nil, fmt.Errorf("%w: read [%d,%d) from G=%d", ErrOutOfRange, offset, offset+length, len(g.words))
+	if err := g.CheckRead(offset, length); err != nil {
+		return nil, err
 	}
 	out := make([]Word, length)
 	copy(out, g.words[offset:offset+length])

@@ -11,10 +11,15 @@ import (
 )
 
 // Device is the simulated GPU: k' multiprocessors over one global memory.
+// Multiprocessors can be marked failed (FailSM), after which launches
+// degrade gracefully to the surviving SMs with exact results — blocks
+// simply schedule over fewer multiprocessors.
 type Device struct {
-	cfg    Config
-	global *mem.Global
-	arena  *mem.Arena
+	cfg       Config
+	global    *mem.Global
+	arena     *mem.Arena
+	failedSMs []bool
+	numFailed int
 }
 
 // Launch errors.
@@ -23,6 +28,9 @@ var (
 	ErrDivergentLoop  = errors.New("simgpu: divergent uniform branch (loop condition differs across active lanes)")
 	ErrKernelTrap     = errors.New("simgpu: kernel trap")
 	ErrDeadlock       = errors.New("simgpu: scheduler deadlock (no warp ready or waiting)")
+	// ErrLastActiveSM guards the degradation floor: the device refuses to
+	// fail its last working multiprocessor.
+	ErrLastActiveSM = errors.New("simgpu: cannot fail the last active SM")
 )
 
 // New creates a device with cfg's global memory allocated.
@@ -34,7 +42,53 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{cfg: cfg, global: g, arena: mem.NewArena(g)}, nil
+	return &Device{cfg: cfg, global: g, arena: mem.NewArena(g), failedSMs: make([]bool, cfg.NumSMs)}, nil
+}
+
+// FailSM marks multiprocessor i as failed; subsequent launches run
+// degraded on the remaining SMs. Failing an already-failed SM is a no-op;
+// failing the last active SM is refused with ErrLastActiveSM so the device
+// always retains a degradation floor of one multiprocessor.
+func (d *Device) FailSM(i int) error {
+	if i < 0 || i >= d.cfg.NumSMs {
+		return fmt.Errorf("simgpu: SM index %d out of range [0,%d)", i, d.cfg.NumSMs)
+	}
+	if d.failedSMs[i] {
+		return nil
+	}
+	if d.ActiveSMs() <= 1 {
+		return ErrLastActiveSM
+	}
+	d.failedSMs[i] = true
+	d.numFailed++
+	return nil
+}
+
+// RestoreSMs returns all failed multiprocessors to service (a device
+// reset/replacement between studies). Reset deliberately does NOT do this:
+// SM health is hardware state, not round state.
+func (d *Device) RestoreSMs() {
+	for i := range d.failedSMs {
+		d.failedSMs[i] = false
+	}
+	d.numFailed = 0
+}
+
+// ActiveSMs returns the number of working multiprocessors (≥ 1).
+func (d *Device) ActiveSMs() int { return d.cfg.NumSMs - d.numFailed }
+
+// FailedSMs lists the failed multiprocessor indices, ascending.
+func (d *Device) FailedSMs() []int {
+	if d.numFailed == 0 {
+		return nil
+	}
+	out := make([]int, 0, d.numFailed)
+	for i, f := range d.failedSMs {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Config returns the device configuration.
@@ -70,6 +124,10 @@ type launchState struct {
 	numBlocks int
 	nextBlock int
 	sms       []*smState
+	// smIDs maps launch-state SM slots to physical SM indices; with
+	// failed SMs the slots cover only the active multiprocessors, so
+	// trace and warp bookkeeping still report hardware indices.
+	smIDs     []int
 	freeWarps []*warp
 	cycle     int64
 	stats     KernelStats
@@ -114,12 +172,17 @@ func (d *Device) LaunchTraced(prog *kernel.Program, numBlocks int, tr *Tracer) (
 		prog:       prog,
 		width:      d.cfg.WarpWidth,
 		numBlocks:  numBlocks,
-		sms:        make([]*smState, d.cfg.NumSMs),
+		sms:        make([]*smState, 0, d.ActiveSMs()),
+		smIDs:      make([]int, 0, d.ActiveSMs()),
 		bankCounts: make([]int, d.cfg.WarpWidth),
 		tracer:     tr,
 	}
-	for i := range ls.sms {
-		ls.sms[i] = &smState{}
+	for i := 0; i < d.cfg.NumSMs; i++ {
+		if d.failedSMs[i] {
+			continue
+		}
+		ls.sms = append(ls.sms, &smState{})
+		ls.smIDs = append(ls.smIDs, i)
 	}
 	ls.stats.OccupancyLimit = occ
 
@@ -232,10 +295,10 @@ func (ls *launchState) refill(occ int) {
 				return
 			}
 			w.reset(ls.nextBlock)
-			w.smIdx = smIdx
+			w.smIdx = ls.smIDs[smIdx]
 			w.traceIdx = -1
 			if ls.tracer != nil {
-				w.traceIdx = ls.tracer.onSchedule(ls.nextBlock, smIdx, ls.cycle)
+				w.traceIdx = ls.tracer.onSchedule(ls.nextBlock, w.smIdx, ls.cycle)
 			}
 			ls.nextBlock++
 			sm.resident = append(sm.resident, w)

@@ -1,13 +1,56 @@
 package simgpu
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
 	"atgpu/internal/transfer"
 )
+
+// DefaultWatchdog is the kernel watchdog timeout used when SetFaults is
+// given zero: generous against every simulated kernel in the suite while
+// keeping a hung sweep point cheap.
+const DefaultWatchdog = 10 * time.Millisecond
+
+// DefaultMaxRelaunches bounds watchdog-triggered kernel relaunches.
+const DefaultMaxRelaunches = 3
+
+// ErrWatchdogExhausted is returned when a kernel still hangs after the
+// host's full relaunch budget.
+var ErrWatchdogExhausted = errors.New("simgpu: watchdog relaunch budget exhausted")
+
+// ResilienceStats counts the host's fault-recovery work. All fields stay
+// zero without an injector attached.
+type ResilienceStats struct {
+	// Relaunches counts watchdog-triggered kernel relaunches.
+	Relaunches int
+	// WatchdogFires counts hung launches detected.
+	WatchdogFires int
+	// WatchdogTime is the simulated time lost to hung launches.
+	WatchdogTime time.Duration
+	// DegradedLaunches counts launches run with at least one failed SM.
+	DegradedLaunches int
+	// FailedSMs counts multiprocessors taken out of service.
+	FailedSMs int
+}
+
+// Degraded reports whether any fault-recovery work happened.
+func (r ResilienceStats) Degraded() bool {
+	return r.Relaunches > 0 || r.WatchdogFires > 0 || r.DegradedLaunches > 0 || r.FailedSMs > 0
+}
+
+// Merge folds other into r, for aggregating hosts across sweeps.
+func (r *ResilienceStats) Merge(other ResilienceStats) {
+	r.Relaunches += other.Relaunches
+	r.WatchdogFires += other.WatchdogFires
+	r.WatchdogTime += other.WatchdogTime
+	r.DegradedLaunches += other.DegradedLaunches
+	r.FailedSMs += other.FailedSMs
+}
 
 // Host drives the device through the ATGPU round structure on a simulated
 // timeline: "A round begins by the host transferring data to the device
@@ -18,6 +61,12 @@ import (
 // The Host splits elapsed simulated time into kernel time, transfer time
 // and synchronisation time so experiments can report both the "Kernel" and
 // "Total" series of the paper's observed-results figures.
+//
+// Concurrency contract: a Host (and its Device) is single-goroutine — the
+// simulated timeline is one sequential program. Run concurrent sweeps on
+// separate Host/Device pairs; the transfer.Engine and fault injector are
+// internally locked, and Stats/ResilienceStats values can be folded across
+// hosts with their Merge methods afterwards.
 type Host struct {
 	dev    *Device
 	engine *transfer.Engine
@@ -32,6 +81,11 @@ type Host struct {
 	kernelStats  KernelStats
 	launches     int
 	tracer       *Tracer
+
+	inj           faults.Injector
+	watchdog      time.Duration
+	maxRelaunches int
+	resil         ResilienceStats
 }
 
 // NewHost pairs a device with a transfer engine. syncCost instantiates σ.
@@ -97,17 +151,75 @@ func (h *Host) TransferOut(offset, length int) ([]mem.Word, error) {
 // launch (nil detaches).
 func (h *Host) SetTracer(tr *Tracer) { h.tracer = tr }
 
+// SetFaults attaches a kernel-fault injector plus the watchdog timeout and
+// relaunch budget governing recovery. Zero watchdog/maxRelaunches select
+// DefaultWatchdog/DefaultMaxRelaunches; a nil injector restores fault-free
+// launches. Attach the same injector to the transfer engine (its SetFaults)
+// for whole-stack injection with one shared fault log.
+func (h *Host) SetFaults(inj faults.Injector, watchdog time.Duration, maxRelaunches int) error {
+	if watchdog < 0 {
+		return fmt.Errorf("simgpu: negative watchdog timeout %v", watchdog)
+	}
+	if maxRelaunches < 0 {
+		return fmt.Errorf("simgpu: negative relaunch budget %d", maxRelaunches)
+	}
+	if watchdog == 0 {
+		watchdog = DefaultWatchdog
+	}
+	if maxRelaunches == 0 {
+		maxRelaunches = DefaultMaxRelaunches
+	}
+	h.inj = inj
+	h.watchdog = watchdog
+	h.maxRelaunches = maxRelaunches
+	return nil
+}
+
 // Launch runs the kernel, advancing the kernel clock and folding the
 // launch's statistics into the host totals.
+//
+// With a fault injector attached, a hung launch burns the watchdog timeout
+// on the kernel clock and is relaunched (up to the relaunch budget, then
+// ErrWatchdogExhausted), and an SM failure takes the victim out of service
+// before the launch proceeds degraded on the surviving multiprocessors —
+// occupancy is recomputed by the device and results stay exact.
 func (h *Host) Launch(prog *kernel.Program, numBlocks int) (KernelResult, error) {
-	res, err := h.dev.LaunchTraced(prog, numBlocks, h.tracer)
-	if err != nil {
-		return res, err
+	for attempt := 0; ; attempt++ {
+		if h.inj != nil {
+			d := h.inj.Launch(attempt, h.dev.Config().NumSMs)
+			switch d.Kind {
+			case faults.Hang:
+				h.kernelTime += h.watchdog
+				h.resil.WatchdogFires++
+				h.resil.WatchdogTime += h.watchdog
+				if attempt >= h.maxRelaunches {
+					return KernelResult{}, fmt.Errorf("%w: kernel %s hung %d times",
+						ErrWatchdogExhausted, prog.Name, attempt+1)
+				}
+				h.resil.Relaunches++
+				continue
+			case faults.SMFail:
+				n := h.dev.Config().NumSMs
+				victim := ((d.Victim % n) + n) % n
+				// Graceful floor: failing the last active SM is refused
+				// and the launch proceeds at current capacity.
+				if err := h.dev.FailSM(victim); err == nil {
+					h.resil.FailedSMs++
+				}
+			}
+		}
+		res, err := h.dev.LaunchTraced(prog, numBlocks, h.tracer)
+		if err != nil {
+			return res, err
+		}
+		if h.dev.ActiveSMs() < h.dev.Config().NumSMs {
+			h.resil.DegradedLaunches++
+		}
+		h.kernelTime += res.Time
+		h.kernelStats.Merge(res.Stats)
+		h.launches++
+		return res, nil
 	}
-	h.kernelTime += res.Time
-	h.kernelStats.Merge(res.Stats)
-	h.launches++
-	return res, nil
 }
 
 // EndRound charges σ and increments the round counter.
@@ -143,12 +255,26 @@ func (h *Host) KernelStats() KernelStats { return h.kernelStats }
 // TransferStats returns the engine's transfer totals.
 func (h *Host) TransferStats() transfer.Stats { return h.engine.Stats() }
 
+// Resilience returns the host's fault-recovery counters.
+func (h *Host) Resilience() ResilienceStats { return h.resil }
+
+// FaultEvents returns the attached injector's fault log (nil without one).
+func (h *Host) FaultEvents() []faults.Event {
+	if h.inj == nil {
+		return nil
+	}
+	return h.inj.Events()
+}
+
 // ResetClocks zeroes the timeline and counters while keeping device memory
-// contents, for back-to-back measurements on one device.
+// contents, for back-to-back measurements on one device. Resilience
+// counters reset too; SM health does not (use Device.RestoreSMs), since a
+// failed multiprocessor stays failed across measurements.
 func (h *Host) ResetClocks() {
 	h.kernelTime, h.transferTime, h.syncTime = 0, 0, 0
 	h.rounds, h.launches = 0, 0
 	h.kernelStats = KernelStats{}
+	h.resil = ResilienceStats{}
 	h.engine.Reset()
 }
 
@@ -161,18 +287,21 @@ type RunReport struct {
 	Rounds    int
 	Stats     KernelStats
 	Transfers transfer.Stats
+	// Resilience counts fault-recovery work (all zero in fault-free runs).
+	Resilience ResilienceStats
 }
 
 // Report snapshots the host's accumulated timing.
 func (h *Host) Report() RunReport {
 	return RunReport{
-		Kernel:    h.kernelTime,
-		Transfer:  h.transferTime,
-		Sync:      h.syncTime,
-		Total:     h.TotalTime(),
-		Rounds:    h.rounds,
-		Stats:     h.kernelStats,
-		Transfers: h.engine.Stats(),
+		Kernel:     h.kernelTime,
+		Transfer:   h.transferTime,
+		Sync:       h.syncTime,
+		Total:      h.TotalTime(),
+		Rounds:     h.rounds,
+		Stats:      h.kernelStats,
+		Transfers:  h.engine.Stats(),
+		Resilience: h.resil,
 	}
 }
 

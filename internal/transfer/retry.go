@@ -1,0 +1,86 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrRetriesExhausted is returned when a transaction still fails after the
+// policy's full retry budget. The engine records the attempts in its stats
+// before returning it, so a failed point's retry counts survive into
+// reports.
+var ErrRetriesExhausted = errors.New("transfer: retries exhausted")
+
+// RetryPolicy bounds and paces the engine's fault recovery. Retries are a
+// simulated-timeline phenomenon: every re-attempt pays the Boyer α + βn
+// transaction cost again, and every wait pays an exponential backoff with
+// deterministic jitter, so resilience shows up in the reported transfer
+// time exactly as it would on hardware.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure
+	// before ErrRetriesExhausted.
+	MaxRetries int
+	// Backoff is the delay before the first retry.
+	Backoff time.Duration
+	// BackoffFactor multiplies the delay per subsequent retry (≥ 1).
+	BackoffFactor float64
+	// MaxBackoff caps the grown delay (0 = uncapped).
+	MaxBackoff time.Duration
+	// Jitter spreads each delay by ±Jitter fraction (in [0,1]) so retry
+	// storms decorrelate; drawn from a PRNG seeded by Seed, keeping the
+	// simulated timeline replayable.
+	Jitter float64
+	// Seed drives the jitter PRNG.
+	Seed int64
+}
+
+// DefaultRetryPolicy matches common DMA-driver behaviour: 3 retries,
+// 5 µs initial backoff doubling to a 200 µs cap, 10% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries:    3,
+		Backoff:       5 * time.Microsecond,
+		BackoffFactor: 2,
+		MaxBackoff:    200 * time.Microsecond,
+		Jitter:        0.1,
+		Seed:          1,
+	}
+}
+
+// Validate checks the policy is usable.
+func (p RetryPolicy) Validate() error {
+	switch {
+	case p.MaxRetries < 0:
+		return fmt.Errorf("transfer: negative MaxRetries %d", p.MaxRetries)
+	case p.Backoff < 0:
+		return fmt.Errorf("transfer: negative Backoff %v", p.Backoff)
+	case p.BackoffFactor < 1:
+		return fmt.Errorf("transfer: BackoffFactor %g < 1", p.BackoffFactor)
+	case p.MaxBackoff < 0:
+		return fmt.Errorf("transfer: negative MaxBackoff %v", p.MaxBackoff)
+	case p.Jitter < 0 || p.Jitter > 1:
+		return fmt.Errorf("transfer: Jitter %g not in [0,1]", p.Jitter)
+	}
+	return nil
+}
+
+// backoff returns the simulated delay before retry number retry (0-based):
+// Backoff·BackoffFactor^retry, capped at MaxBackoff, then jittered.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.Backoff)
+	for i := 0; i < retry; i++ {
+		d *= p.BackoffFactor
+	}
+	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
