@@ -2,11 +2,13 @@ package atgpu
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"atgpu/internal/algorithms"
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
+	"atgpu/internal/experiments"
 	"atgpu/internal/faults"
 	"atgpu/internal/models"
 	"atgpu/internal/simgpu"
@@ -25,6 +27,12 @@ type Options struct {
 	Scheme transfer.Scheme
 	// SyncCost is σ, the fixed synchronisation cost per round.
 	SyncCost time.Duration
+
+	// Workers is the goroutine count experiment sweeps built from these
+	// options dispatch their points to (see ExperimentConfig). 0 uses
+	// runtime.GOMAXPROCS(0); 1 is sequential. Sweep output is identical
+	// for any worker count.
+	Workers int
 
 	// FaultRate enables deterministic fault injection when > 0: the
 	// probability, in [0,1], of each transfer or launch drawing a fault.
@@ -51,6 +59,23 @@ func DefaultOptions() Options {
 	}
 }
 
+// ExperimentConfig translates the options into a sweep configuration for
+// the experiments runner (cmd/atgpu `sweep`, cmd/atgpu-figures), threading
+// through the device, transfer scheme, σ, worker count and fault wiring.
+func (o Options) ExperimentConfig() experiments.Config {
+	return experiments.Config{
+		Device:     o.Device,
+		Scheme:     o.Scheme,
+		SyncCost:   o.SyncCost,
+		Seed:       1,
+		Workers:    o.Workers,
+		FaultRate:  o.FaultRate,
+		FaultSeed:  o.FaultSeed,
+		MaxRetries: o.MaxRetries,
+		Watchdog:   o.Watchdog,
+	}
+}
+
 // System bundles a simulated device, a transfer link and calibrated cost
 // parameters — everything needed to both predict (on the abstract model)
 // and observe (on the simulator) an algorithm's running time.
@@ -59,8 +84,11 @@ type System struct {
 	link   *transfer.Link
 	params core.CostParams
 	// hostSeq numbers the hosts built, giving each run a fresh
-	// deterministically seeded fault injector.
-	hostSeq int64
+	// deterministically seeded fault injector. Atomic so a System shared
+	// across goroutines stays race-free (though the sequence each run
+	// draws then depends on scheduling; single-goroutine use replays
+	// exactly).
+	hostSeq atomic.Int64
 }
 
 // NewSystem validates the options and calibrates cost parameters for the
@@ -72,6 +100,9 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if opts.SyncCost < 0 {
 		return nil, fmt.Errorf("atgpu: negative sync cost %v", opts.SyncCost)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("atgpu: negative workers %d", opts.Workers)
 	}
 	if opts.FaultRate < 0 || opts.FaultRate > 1 {
 		return nil, fmt.Errorf("atgpu: fault rate %v outside [0,1]", opts.FaultRate)
@@ -226,15 +257,20 @@ func observation(h *simgpu.Host) Observation {
 	return obs
 }
 
-// newHost builds a fresh device+host pair sized for footprint words. With
-// FaultRate > 0 it is armed with a per-run seeded injector shared between
-// the transfer engine and the host.
+// newHost builds a fresh device+host pair sized for footprint words. A
+// footprint the device preset cannot hold fails here, naming the sizes,
+// rather than as an opaque Malloc error mid-run. With FaultRate > 0 the
+// pair is armed with a per-run seeded injector shared between the transfer
+// engine and the host.
 func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 	devCfg := s.opts.Device
-	need := footprint + 4*devCfg.WarpWidth
-	if need < devCfg.GlobalWords {
-		devCfg.GlobalWords = need
+	slack := 4 * devCfg.WarpWidth
+	need := footprint + slack
+	if need > devCfg.GlobalWords {
+		return nil, fmt.Errorf("atgpu: footprint %d words (+%d alignment slack) exceeds device %s global memory G=%d",
+			footprint, slack, devCfg.Name, devCfg.GlobalWords)
 	}
+	devCfg.GlobalWords = need
 	dev, err := simgpu.New(devCfg)
 	if err != nil {
 		return nil, err
@@ -248,8 +284,7 @@ func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 		return nil, err
 	}
 	if s.opts.FaultRate > 0 {
-		seq := s.hostSeq
-		s.hostSeq++
+		seq := s.hostSeq.Add(1) - 1
 		inj, err := faults.NewRate(faults.RateConfig{
 			Seed:         s.opts.FaultSeed + 1_000_003*seq,
 			TransferRate: s.opts.FaultRate,

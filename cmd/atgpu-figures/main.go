@@ -9,11 +9,13 @@
 //
 // Usage:
 //
-//	atgpu-figures [-fig 3|4|5|6|all] [-full] [-out DIR] [-summary]
+//	atgpu-figures [-fig 3|4|5|6|all] [-full] [-out DIR] [-summary] [-workers W]
 //
 // -full uses the paper's exact input sizes (minutes of simulation); the
 // default is a 10×-scaled sweep that finishes in seconds and preserves
-// every trend the paper reports.
+// every trend the paper reports. -workers spreads each sweep's points
+// over that many goroutines (0 = all cores); figures, CSVs and summaries
+// are byte-identical for any worker count.
 package main
 
 import (
@@ -33,15 +35,20 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full input sizes (slow)")
 	out := flag.String("out", "", "directory for CSV output (default: stdout charts only)")
 	summary := flag.Bool("summary", true, "print the §IV-D summary statistics")
+	workers := flag.Int("workers", 0, "worker goroutines per sweep (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(*fig, *full, *out, *summary); err != nil {
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "atgpu-figures: negative workers %d\n", *workers)
+		os.Exit(2)
+	}
+	if err := run(*fig, *full, *out, *summary, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu-figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, outDir string, summary bool) error {
+func run(fig string, full bool, outDir string, summary bool, workers int) error {
 	if fig == "1" || fig == "table1" {
 		fmt.Println("Table I — comparison of GPU abstract models")
 		fmt.Println(models.TableI())
@@ -50,6 +57,7 @@ func run(fig string, full bool, outDir string, summary bool) error {
 
 	cfg := experiments.DefaultConfig()
 	cfg.Full = full
+	cfg.Workers = workers
 	runner, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return err
@@ -90,8 +98,11 @@ func run(fig string, full bool, outDir string, summary bool) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", sw.name, err)
 		}
-		fmt.Printf("== %s sweep (%d sizes, %.1fs wall) ==\n",
-			sw.name, len(data.Points), time.Since(start).Seconds())
+		// Wall time goes to stderr: stdout (charts, CSVs, summaries) is
+		// deterministic and byte-identical for any -workers value.
+		fmt.Fprintf(os.Stderr, "atgpu-figures: %s sweep: %.1fs wall\n",
+			sw.name, time.Since(start).Seconds())
+		fmt.Printf("== %s sweep (%d sizes) ==\n", sw.name, len(data.Points))
 
 		for _, f := range experiments.Figures(data) {
 			if fig != "all" && !figMatches(f.ID, fig) {

@@ -8,12 +8,16 @@
 //	atgpu calibrate
 //	atgpu analyze -alg vecadd|reduce|matmul -n N
 //	atgpu run     -alg vecadd|reduce|matmul -n N [--fault-rate R --fault-seed S --max-retries K]
+//	atgpu sweep   -alg vecadd|reduce|matmul [-full] [--workers W] [fault flags]
 //	atgpu ooc     -n N -chunk C
 //
 // analyze prices the algorithm on the abstract model; run additionally
 // executes it on the simulated GTX 650 and reports predicted-vs-observed.
-// With --fault-rate > 0, run injects deterministic seeded faults into
-// transfers and launches and reports the recovery work (retries, watchdog
+// sweep runs the paper's full predicted-vs-observed size sweep for one
+// workload, dispatching points to --workers goroutines (0 = all cores);
+// its stdout is byte-identical for any worker count. With
+// --fault-rate > 0, run and sweep inject deterministic seeded faults into
+// transfers and launches and report the recovery work (retries, watchdog
 // fires, degraded launches) alongside the timing.
 package main
 
@@ -22,9 +26,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"atgpu"
 	"atgpu/internal/algorithms"
+	"atgpu/internal/experiments"
 )
 
 func main() {
@@ -37,19 +43,26 @@ func main() {
 	alg := fs.String("alg", "vecadd", "algorithm: vecadd, reduce, matmul")
 	n := fs.Int("n", 1_000_000, "input size (vector length / matrix side)")
 	chunk := fs.Int("chunk", 1<<18, "out-of-core chunk size in words")
+	full := fs.Bool("full", false, "sweep: use the paper's exact input sizes (minutes)")
+	workers := fs.Int("workers", 0, "sweep: worker goroutines per sweep (0 = GOMAXPROCS, 1 = sequential)")
 	faultRate := fs.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
 	maxRetries := fs.Int("max-retries", 0, "transfer retry budget override (0 = default)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "atgpu: negative workers %d\n", *workers)
+		os.Exit(2)
+	}
 
 	opts := atgpu.DefaultOptions()
+	opts.Workers = *workers
 	opts.FaultRate = *faultRate
 	opts.FaultSeed = *faultSeed
 	opts.MaxRetries = *maxRetries
 
-	if err := dispatch(cmd, *alg, *n, *chunk, opts); err != nil {
+	if err := dispatch(cmd, *alg, *n, *chunk, *full, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
 	}
@@ -63,12 +76,13 @@ commands:
   calibrate   print the calibrated cost parameters for the default device
   analyze     price an algorithm on the abstract model   (-alg, -n)
   run         predicted-vs-observed on the simulated GPU (-alg, -n)
+  sweep       predicted-vs-observed size sweep           (-alg, -full, -workers)
   ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)
 
-fault injection (run): --fault-rate R --fault-seed S --max-retries K`)
+fault injection (run, sweep): --fault-rate R --fault-seed S --max-retries K`)
 }
 
-func dispatch(cmd, alg string, n, chunk int, opts atgpu.Options) error {
+func dispatch(cmd, alg string, n, chunk int, full bool, opts atgpu.Options) error {
 	switch cmd {
 	case "table1":
 		fmt.Println("Table I — comparison of GPU abstract models")
@@ -92,6 +106,8 @@ func dispatch(cmd, alg string, n, chunk int, opts atgpu.Options) error {
 		return analyze(alg, n, opts)
 	case "run":
 		return run(alg, n, opts)
+	case "sweep":
+		return sweep(alg, full, opts)
 	case "ooc":
 		return ooc(n, chunk, opts)
 	default:
@@ -217,6 +233,57 @@ func run(alg string, n int, opts atgpu.Options) error {
 			fmt.Printf("  fault %s\n", ev)
 		}
 	}
+	return nil
+}
+
+// sweep runs one workload's full predicted-vs-observed size sweep through
+// the experiments runner. The points table and summary go to stdout, which
+// is byte-identical for any --workers value; the wall-clock line goes to
+// stderr so the deterministic output can be diffed or checksummed.
+func sweep(alg string, full bool, opts atgpu.Options) error {
+	cfg := opts.ExperimentConfig()
+	cfg.Full = full
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var data *experiments.WorkloadData
+	switch alg {
+	case "vecadd":
+		data, err = r.RunVecAdd()
+	case "reduce":
+		data, err = r.RunReduce()
+	case "matmul":
+		data, err = r.RunMatMul()
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "atgpu: %s sweep: %d sizes in %.1fs (workers=%d)\n",
+		alg, len(data.Points), time.Since(start).Seconds(), opts.Workers)
+
+	fmt.Printf("%s sweep (%d sizes)\n", alg, len(data.Points))
+	fmt.Printf("%12s %14s %14s %14s %8s %8s %s\n",
+		"n", "total(s)", "kernel(s)", "ATGPU(s)", "ΔE", "ΔT", "status")
+	for _, p := range data.Points {
+		status := "ok"
+		if p.Failed {
+			status = "FAILED: " + p.Err
+		} else if p.Degraded() {
+			status = "degraded"
+		}
+		fmt.Printf("%12d %14.6g %14.6g %14.6g %7.1f%% %7.1f%% %s\n",
+			p.N, p.TotalTime, p.KernelTime, p.ATGPUCost,
+			100*p.DeltaObserved, 100*p.DeltaPredicted, status)
+	}
+	s, err := experiments.Summarise(data)
+	if err != nil {
+		return err
+	}
+	fmt.Print(s.String())
 	return nil
 }
 

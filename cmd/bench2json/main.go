@@ -1,0 +1,83 @@
+// Command bench2json converts `go test -bench` text output on stdin into
+// a JSON array on stdout, one object per benchmark result line:
+//
+//	go test -bench BenchmarkSweepWorkers ./internal/experiments | bench2json > BENCH_sweep.json
+//
+// Each object carries the benchmark name (procs suffix stripped into its
+// own field), iteration count and ns/op, so CI artifacts can be diffed and
+// plotted without re-parsing the bench text format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line, e.g.
+// "BenchmarkSweepWorkers/workers=4-8   5   238217412 ns/op".
+type result struct {
+	Name  string  `json:"name"`
+	Procs int     `json:"procs,omitempty"`
+	Runs  int64   `json:"runs"`
+	NsOp  float64 `json:"ns_per_op"`
+}
+
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	// ns/op is always the pair "<float> ns/op"; later pairs (B/op,
+	// allocs/op) are ignored.
+	idx := -1
+	for i, f := range fields {
+		if f == "ns/op" {
+			idx = i
+			break
+		}
+	}
+	if idx < 2 {
+		return result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[idx-1], 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Runs: runs, NsOp: ns}
+	// Split the trailing -P GOMAXPROCS suffix go test appends.
+	if cut := strings.LastIndex(r.Name, "-"); cut > 0 {
+		if p, err := strconv.Atoi(r.Name[cut+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:cut], p
+		}
+	}
+	return r, true
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

@@ -7,11 +7,19 @@
 // Usage:
 //
 //	simgpu [-kernel vecadd|reduce|matmul] [-n N] [-device gtx650|tiny] [-disasm]
-//	       [--fault-rate R --fault-seed S --max-retries K]
+//	       [--workers W] [--fault-rate R --fault-seed S --max-retries K]
 //
 // With --fault-rate > 0, deterministic seeded faults are injected into
 // transfers and launches; the run recovers via checksum-verified retries,
 // watchdog relaunches and SM degradation, and the recovery work is printed.
+//
+// With --workers > 1, that many identical replicas of the run execute
+// concurrently, each on its own device/engine/host (the per-goroutine
+// isolation the experiment sweeps use); the first replica's report prints
+// exactly as a single run would, followed by the replica totals folded
+// with the stats Merge methods. Every replica uses the same seeds, so all
+// reports are identical — a quick determinism check for the concurrent
+// machinery.
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 
 	"atgpu/internal/algorithms"
 	"atgpu/internal/faults"
@@ -34,23 +44,33 @@ func main() {
 	device := flag.String("device", "gtx650", "device preset: gtx650, gtx1080, k40, tiny")
 	disasm := flag.Bool("disasm", false, "print kernel disassembly")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the first launch to this file")
+	workers := flag.Int("workers", 1, "concurrent identical replicas, each on its own device (0 = GOMAXPROCS)")
 	faultRate := flag.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
 	maxRetries := flag.Int("max-retries", 0, "transfer retry budget override (0 = default)")
 	flag.Parse()
 
-	if err := run(*kname, *n, *device, *disasm, *traceOut, *faultRate, *faultSeed, *maxRetries); err != nil {
+	if err := run(*kname, *n, *device, *disasm, *traceOut, *workers, *faultRate, *faultSeed, *maxRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kname string, n int, device string, disasm bool, traceOut string, faultRate float64, faultSeed int64, maxRetries int) error {
+func run(kname string, n int, device string, disasm bool, traceOut string, workers int, faultRate float64, faultSeed int64, maxRetries int) error {
+	if workers < 0 {
+		return fmt.Errorf("negative workers %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if faultRate < 0 || faultRate > 1 {
 		return fmt.Errorf("fault rate %v outside [0,1]", faultRate)
 	}
 	if maxRetries < 0 {
 		return fmt.Errorf("negative max retries %d", maxRetries)
+	}
+	if traceOut != "" && workers > 1 {
+		return fmt.Errorf("-trace requires -workers 1 (tracing instruments a single run)")
 	}
 	var cfg simgpu.Config
 	switch device {
@@ -75,96 +95,121 @@ func run(kname string, n int, device string, disasm bool, traceOut string, fault
 		cfg.GlobalWords = need
 	}
 
-	dev, err := simgpu.New(cfg)
-	if err != nil {
-		return err
-	}
-	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
-	if err != nil {
-		return err
-	}
-	h, err := simgpu.NewHost(dev, eng, 0)
-	if err != nil {
-		return err
-	}
-	if faultRate > 0 {
-		inj, err := faults.NewRate(faults.RateConfig{
-			Seed:         faultSeed,
-			TransferRate: faultRate,
-			KernelRate:   faultRate,
-		})
-		if err != nil {
-			return err
-		}
-		policy := transfer.DefaultRetryPolicy()
-		if maxRetries > 0 {
-			policy.MaxRetries = maxRetries
-		}
-		policy.Seed = faultSeed + 1
-		if err := eng.SetFaults(inj, policy); err != nil {
-			return err
-		}
-		if err := h.SetFaults(inj, 0, 0); err != nil {
-			return err
-		}
-	}
 	var tracer *simgpu.Tracer
 	if traceOut != "" {
 		tracer = &simgpu.Tracer{CaptureMemory: true}
-		h.SetTracer(tracer)
 	}
 
-	rng := rand.New(rand.NewSource(1))
-	randWords := func(n int) []mem.Word {
-		w := make([]mem.Word, n)
-		for i := range w {
-			w[i] = mem.Word(rng.Intn(100))
+	// Every replica builds its own device/engine/host and draws inputs
+	// from the same seed, so all replicas simulate the identical run.
+	replica := func(tr *simgpu.Tracer) (*simgpu.Host, *kernel.Program, error) {
+		dev, err := simgpu.New(cfg)
+		if err != nil {
+			return nil, nil, err
 		}
-		return w
+		eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := simgpu.NewHost(dev, eng, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if faultRate > 0 {
+			inj, err := faults.NewRate(faults.RateConfig{
+				Seed:         faultSeed,
+				TransferRate: faultRate,
+				KernelRate:   faultRate,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			policy := transfer.DefaultRetryPolicy()
+			if maxRetries > 0 {
+				policy.MaxRetries = maxRetries
+			}
+			policy.Seed = faultSeed + 1
+			if err := eng.SetFaults(inj, policy); err != nil {
+				return nil, nil, err
+			}
+			if err := h.SetFaults(inj, 0, 0); err != nil {
+				return nil, nil, err
+			}
+		}
+		if tr != nil {
+			h.SetTracer(tr)
+		}
+
+		rng := rand.New(rand.NewSource(1))
+		randWords := func(n int) []mem.Word {
+			w := make([]mem.Word, n)
+			for i := range w {
+				w[i] = mem.Word(rng.Intn(100))
+			}
+			return w
+		}
+
+		var prog *kernel.Program
+		switch kname {
+		case "vecadd":
+			alg := algorithms.VecAdd{N: n}
+			if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, 2*n); err != nil {
+				return nil, nil, err
+			}
+			if _, err := alg.Run(h, randWords(n), randWords(n)); err != nil {
+				return nil, nil, err
+			}
+		case "reduce":
+			alg := algorithms.Reduce{N: n}
+			if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, n); err != nil {
+				return nil, nil, err
+			}
+			if _, err := alg.Run(h, randWords(n)); err != nil {
+				return nil, nil, err
+			}
+		case "matmul":
+			if n%cfg.WarpWidth != 0 {
+				return nil, nil, fmt.Errorf("matmul n=%d must be a multiple of warp width %d", n, cfg.WarpWidth)
+			}
+			alg := algorithms.MatMul{N: n}
+			if prog, err = alg.Kernel(cfg.WarpWidth, 0, n*n, 2*n*n); err != nil {
+				return nil, nil, err
+			}
+			if _, err := alg.Run(h, randWords(n*n), randWords(n*n)); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, fmt.Errorf("unknown kernel %q", kname)
+		}
+		return h, prog, nil
 	}
 
-	var prog *kernel.Program
-	switch kname {
-	case "vecadd":
-		alg := algorithms.VecAdd{N: n}
-		if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, 2*n); err != nil {
+	hosts := make([]*simgpu.Host, workers)
+	progs := make([]*kernel.Program, workers)
+	errs := make([]error, workers)
+	if workers == 1 {
+		hosts[0], progs[0], errs[0] = replica(tracer)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				hosts[w], progs[w], errs[w] = replica(nil)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
-		if disasm {
-			fmt.Println(prog.Disassemble())
-		}
-		if _, err := alg.Run(h, randWords(n), randWords(n)); err != nil {
-			return err
-		}
-	case "reduce":
-		alg := algorithms.Reduce{N: n}
-		if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, n); err != nil {
-			return err
-		}
-		if disasm {
-			fmt.Println(prog.Disassemble())
-		}
-		if _, err := alg.Run(h, randWords(n)); err != nil {
-			return err
-		}
-	case "matmul":
-		if n%cfg.WarpWidth != 0 {
-			return fmt.Errorf("matmul n=%d must be a multiple of warp width %d", n, cfg.WarpWidth)
-		}
-		alg := algorithms.MatMul{N: n}
-		if prog, err = alg.Kernel(cfg.WarpWidth, 0, n*n, 2*n*n); err != nil {
-			return err
-		}
-		if disasm {
-			fmt.Println(prog.Disassemble())
-		}
-		if _, err := alg.Run(h, randWords(n*n), randWords(n*n)); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown kernel %q", kname)
 	}
 
+	h, prog := hosts[0], progs[0]
+	if disasm {
+		fmt.Println(prog.Disassemble())
+	}
 	rep := h.Report()
 	fmt.Printf("device %s  kernel %s  n=%d\n", cfg.Name, prog.Name, n)
 	fmt.Printf("kernel time   %v\n", rep.Kernel)
@@ -183,6 +228,23 @@ func run(kname string, n int, device string, disasm bool, traceOut string, fault
 		for _, ev := range h.FaultEvents() {
 			fmt.Printf("  fault %s\n", ev)
 		}
+	}
+
+	if workers > 1 {
+		var tf transfer.Stats
+		var rs simgpu.ResilienceStats
+		identical := true
+		for _, hh := range hosts {
+			r := hh.Report()
+			tf.Merge(r.Transfers)
+			rs.Merge(r.Resilience)
+			if r.Total != rep.Total || r.Transfers != rep.Transfers || r.Resilience != rep.Resilience {
+				identical = false
+			}
+		}
+		fmt.Printf("replicas: %d concurrent, identical reports: %v\n", workers, identical)
+		fmt.Printf("merged:   %d words in / %d out across replicas, %d retries, %d watchdog fires\n",
+			tf.InWords, tf.OutWords, tf.Retries, rs.WatchdogFires)
 	}
 
 	if tracer != nil {

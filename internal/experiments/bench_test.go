@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkSweepWorkers measures the wall time of the default scaled
+// vecadd sweep (10 sizes, n = 10⁵ … 10⁶) at increasing worker counts —
+// the tentpole's speedup evidence. Points are embarrassingly parallel
+// (each builds its own device/engine/host), so on a multi-core machine
+// wall time should fall near-linearly until workers exceed cores; CI
+// uploads the numbers as BENCH_sweep.json.
+//
+// Calibration runs once per worker count, outside the timed loop.
+func BenchmarkSweepWorkers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			r, err := NewRunner(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunVecAdd(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -37,26 +37,27 @@ func (r *Runner) ScanSizes() []int {
 	return sizes
 }
 
-// RunScan sweeps the prefix-sum workload with the §IV methodology.
+// RunScan sweeps the prefix-sum workload with the §IV methodology. Its
+// inputs are deterministic (no RNG), so it parallelises through runSweep
+// like the §IV workloads.
 func (r *Runner) RunScan() (*WorkloadData, error) {
-	data := &WorkloadData{Workload: "scan"}
 	b := r.cfg.Device.WarpWidth
-	for _, n := range r.ScanSizes() {
+	return r.runSweep("scan", r.ScanSizes(), func(idx, n int) (WorkloadPoint, error) {
 		alg := algorithms.Scan{N: n}
 
 		analysis, err := alg.Analyze(r.modelParams((n + b - 1) / b))
 		if err != nil {
-			return nil, fmt.Errorf("scan n=%d: analyze: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("scan n=%d: analyze: %w", n, err)
 		}
 		pt, err := r.predict(analysis)
 		if err != nil {
-			return nil, fmt.Errorf("scan n=%d: predict: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("scan n=%d: predict: %w", n, err)
 		}
 		pt.N = n
 
-		h, err := r.newHost(alg.GlobalWords(b))
+		h, err := r.newHost(alg.GlobalWords(b), "scan", n, idx)
 		if err != nil {
-			return nil, err
+			return WorkloadPoint{}, err
 		}
 		in := make([]algorithms.Word, n)
 		for i := range in {
@@ -64,16 +65,15 @@ func (r *Runner) RunScan() (*WorkloadData, error) {
 		}
 		got, err := alg.Run(h, in)
 		if err != nil {
-			return nil, fmt.Errorf("scan n=%d: run: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("scan n=%d: run: %w", n, err)
 		}
 		// Spot-check the tail against the reference reduction.
 		if got[n-1] != algorithms.ReduceReference(in) {
-			return nil, fmt.Errorf("scan n=%d: %w", n, algorithms.ErrVerifyFail)
+			return WorkloadPoint{}, fmt.Errorf("scan n=%d: %w", n, algorithms.ErrVerifyFail)
 		}
 		pt.observe(h.Report())
-		data.Points = append(data.Points, pt)
-	}
-	return data, nil
+		return pt, nil
+	})
 }
 
 // TransposeContrast reports the coalescing study at one size.
@@ -100,7 +100,7 @@ func (r *Runner) RunTransposeContrast(n int) (*TransposeContrast, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: analyze: %w", alg.Name(), err)
 		}
-		h, err := r.newHost(alg.GlobalWords())
+		h, err := r.newHost(alg.GlobalWords(), alg.Name(), n, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func (r *Runner) RunOutOfCore(n int, chunks []int) ([]OutOfCorePoint, error) {
 	want := algorithms.ReduceReference(in)
 	for _, chunk := range chunks {
 		b := r.cfg.Device.WarpWidth
-		h, err := r.newHost(2*chunk + (chunk+b-1)/b + 4*b)
+		h, err := r.newHost(2*chunk+(chunk+b-1)/b+4*b, "ooc", n, chunk)
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +223,7 @@ func RunDeviceSweep(n int, scheme transfer.Scheme, syncCost int64) ([]DevicePoin
 		if err != nil {
 			return nil, err
 		}
-		h, err := r.newHost(alg.GlobalWords())
+		h, err := r.newHost(alg.GlobalWords(), "device-sweep", n, 0)
 		if err != nil {
 			return nil, err
 		}

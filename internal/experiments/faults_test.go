@@ -131,7 +131,7 @@ func TestFaultRateZeroIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range data.Points {
-		if p.Degraded() || p.FaultLog != nil || p.Retries != 0 {
+		if p.Degraded() || p.FaultLog != nil || p.Transfers.Retries != 0 {
 			t.Fatalf("fault-free point carries resilience data: %+v", p)
 		}
 	}

@@ -15,11 +15,22 @@
 // seconds; Full mode uses the paper's exact sizes (n up to 10⁷ elements,
 // 2²⁶ reduction inputs, 1024² matrices), which take minutes under the
 // cycle-level simulator.
+//
+// Sweeps execute their points on Config.Workers goroutines. Every point is
+// fully isolated — its own Host/Device/Engine per the simgpu concurrency
+// contract — and draws its inputs and fault seeds from (Seed, workload, N,
+// point index) alone, so sweep output is byte-identical for any worker
+// count.
 package experiments
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"atgpu/internal/algorithms"
@@ -51,6 +62,13 @@ type Config struct {
 	SizesReduce []int
 	SizesMatMul []int
 
+	// Workers is the number of goroutines a sweep dispatches its points
+	// to. 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs the points
+	// sequentially on the calling goroutine. Output is byte-identical for
+	// any worker count: points derive all randomness from (Seed, workload,
+	// N, point index), never from execution order.
+	Workers int
+
 	// FaultRate enables fault injection when > 0: the per-decision
 	// probability, in [0,1], of a transfer or launch fault. At 0 (the
 	// default) no injector is attached and every output is identical to a
@@ -76,6 +94,9 @@ func (c Config) Validate() error {
 	}
 	if c.SyncCost < 0 {
 		return fmt.Errorf("experiments: negative SyncCost %v", c.SyncCost)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: negative Workers %d", c.Workers)
 	}
 	for _, s := range []struct {
 		name  string
@@ -103,6 +124,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // DefaultConfig returns the GTX650-like setup used throughout
 // EXPERIMENTS.md: pageable transfers (the cudaMemcpy default, which
 // reproduces the paper's ~84% vecadd transfer share), σ = 50 µs,
@@ -116,15 +145,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Runner executes workload sweeps with calibrated cost parameters.
+// Runner executes workload sweeps with calibrated cost parameters. A
+// Runner is safe for concurrent use: sweeps spawn their own hosts and all
+// shared state (link, calibrated parameters, config) is read-only after
+// construction.
 type Runner struct {
 	cfg    Config
 	link   *transfer.Link
 	params core.CostParams
 	calib  calibrate.Result
-	// hostSeq numbers the hosts built so far, so each sweep point gets a
-	// fresh, deterministically seeded fault injector.
-	hostSeq int64
 }
 
 // NewRunner calibrates cost parameters on a throwaway device and returns a
@@ -174,20 +203,51 @@ func (r *Runner) modelParams(blocks int) core.Params {
 		r.cfg.Device.SharedWords, r.cfg.Device.GlobalWords)
 }
 
+// derivedSeed hashes (base, domain, workload, n, idx) into a deterministic
+// non-negative rand.Source seed. Points seeded this way are independent of
+// execution order, which is what makes parallel sweeps byte-identical to
+// sequential ones; the domain tag keeps input streams and fault streams
+// apart even when Seed == FaultSeed.
+func derivedSeed(base int64, domain, workload string, n, idx int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	h.Write([]byte(domain))
+	h.Write([]byte{0})
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(idx))
+	h.Write(buf[:])
+	return int64(h.Sum64() & (1<<63 - 1))
+}
+
+// inputRNG returns the input generator for one sweep point.
+func (r *Runner) inputRNG(workload string, n, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(derivedSeed(r.cfg.Seed, "input", workload, n, idx)))
+}
+
 // newHost builds a device+host pair whose global memory holds footprint
 // words (plus alignment slack), so sweeps over large n do not allocate the
-// preset's full G per point.
+// preset's full G per point. A footprint the preset cannot hold fails here,
+// naming the workload and size, rather than as an opaque Malloc error
+// mid-sweep.
 //
 // With FaultRate > 0, the pair is armed with a fresh seeded injector
 // shared between the transfer engine and the host, so one fault log covers
-// the whole point; each host draws a distinct per-point seed from
-// FaultSeed so sweeps replay exactly.
-func (r *Runner) newHost(footprint int) (*simgpu.Host, error) {
+// the whole point; the injector seed derives from (FaultSeed, workload, n,
+// idx) so sweeps replay exactly at any worker count.
+func (r *Runner) newHost(footprint int, workload string, n, idx int) (*simgpu.Host, error) {
 	devCfg := r.cfg.Device
-	need := footprint + 4*devCfg.WarpWidth
-	if need < devCfg.GlobalWords {
-		devCfg.GlobalWords = need
+	slack := 4 * devCfg.WarpWidth
+	need := footprint + slack
+	if need > devCfg.GlobalWords {
+		return nil, fmt.Errorf("experiments: %s n=%d: footprint %d words (+%d alignment slack) exceeds device %s global memory G=%d",
+			workload, n, footprint, slack, devCfg.Name, devCfg.GlobalWords)
 	}
+	devCfg.GlobalWords = need
 	dev, err := simgpu.New(devCfg)
 	if err != nil {
 		return nil, err
@@ -201,10 +261,9 @@ func (r *Runner) newHost(footprint int) (*simgpu.Host, error) {
 		return nil, err
 	}
 	if r.cfg.FaultRate > 0 {
-		seq := r.hostSeq
-		r.hostSeq++
+		seed := derivedSeed(r.cfg.FaultSeed, "fault", workload, n, idx)
 		inj, err := faults.NewRate(faults.RateConfig{
-			Seed:         r.cfg.FaultSeed + 1_000_003*seq,
+			Seed:         seed,
 			TransferRate: r.cfg.FaultRate,
 			KernelRate:   r.cfg.FaultRate,
 		})
@@ -215,7 +274,7 @@ func (r *Runner) newHost(footprint int) (*simgpu.Host, error) {
 		if r.cfg.MaxRetries > 0 {
 			policy.MaxRetries = r.cfg.MaxRetries
 		}
-		policy.Seed = r.cfg.FaultSeed + 1_000_003*seq + 1
+		policy.Seed = seed + 1
 		if err := eng.SetFaults(inj, policy); err != nil {
 			return nil, err
 		}
@@ -246,27 +305,19 @@ type WorkloadPoint struct {
 	Failed bool
 	// Err is the failure message when Failed.
 	Err string
-	// Retries, RetransferredWords, CorruptionsDetected, DroppedTransactions
-	// and StallEvents mirror the point's transfer.Stats resilience counters.
-	Retries             int
-	RetransferredWords  int
-	CorruptionsDetected int
-	DroppedTransactions int
-	StallEvents         int
-	// WatchdogFires, Relaunches, DegradedLaunches and FailedSMs mirror the
-	// host's ResilienceStats.
-	WatchdogFires    int
-	Relaunches       int
-	DegradedLaunches int
-	FailedSMs        int
+	// Transfers carries the point's full transfer-engine totals,
+	// including the retry/corruption/drop/stall resilience counters.
+	Transfers transfer.Stats
+	// Resilience carries the host's fault-recovery counters (watchdog
+	// fires, relaunches, degraded launches, failed SMs).
+	Resilience simgpu.ResilienceStats
 	// FaultLog holds the injector's event log for the point.
 	FaultLog []string
 }
 
 // Degraded reports whether the point needed any fault recovery.
 func (p WorkloadPoint) Degraded() bool {
-	return p.Failed || p.Retries > 0 || p.WatchdogFires > 0 ||
-		p.DegradedLaunches > 0 || p.StallEvents > 0 || p.DroppedTransactions > 0
+	return p.Failed || p.Transfers.Faulted() || p.Resilience.Degraded()
 }
 
 // WorkloadData is one workload's full sweep.
@@ -276,6 +327,11 @@ type WorkloadData struct {
 	// Points holds one entry per input size, ascending; under fault
 	// injection some may be Failed. Figures and summaries use Successful.
 	Points []WorkloadPoint
+	// Transfers and Resilience aggregate every point's engine and host
+	// totals — failed points included — folded in point order with the
+	// stats Merge methods.
+	Transfers  transfer.Stats
+	Resilience simgpu.ResilienceStats
 }
 
 // Successful returns the non-failed points, preserving order.
@@ -318,6 +374,62 @@ func (w *WorkloadData) column(f func(WorkloadPoint) float64) []float64 {
 		ys[i] = f(p)
 	}
 	return ys
+}
+
+// runSweep executes one point per size through point, dispatching to the
+// configured worker count, and assembles the results in size order. Each
+// point call must be self-contained (its own host, its own derived seeds)
+// so the assembly is byte-identical for any worker count. On error the
+// sweep reports the lowest-index failure — the same error a sequential run
+// would have stopped on, since every earlier point succeeded.
+func (r *Runner) runSweep(workload string, sizes []int, point func(idx, n int) (WorkloadPoint, error)) (*WorkloadData, error) {
+	data := &WorkloadData{Workload: workload, Points: make([]WorkloadPoint, len(sizes))}
+	errs := make([]error, len(sizes))
+	workers := r.cfg.workers()
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+	if workers <= 1 {
+		for i, n := range sizes {
+			pt, err := point(i, n)
+			if err != nil {
+				return nil, err
+			}
+			data.Points[i] = pt
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					pt, err := point(i, sizes[i])
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					data.Points[i] = pt
+				}
+			}()
+		}
+		for i := range sizes {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := range data.Points {
+		data.Transfers.Merge(data.Points[i].Transfers)
+		data.Resilience.Merge(data.Points[i].Resilience)
+	}
+	return data, nil
 }
 
 // randWords draws n words uniformly from [-1000, 1000].
@@ -393,66 +505,60 @@ func (r *Runner) MatMulSizes() []int {
 
 // RunVecAdd sweeps vector addition (paper §IV-A).
 func (r *Runner) RunVecAdd() (*WorkloadData, error) {
-	rng := rand.New(rand.NewSource(r.cfg.Seed))
-	data := &WorkloadData{Workload: "vecadd"}
-	for _, n := range r.VecAddSizes() {
+	return r.runSweep("vecadd", r.VecAddSizes(), func(idx, n int) (WorkloadPoint, error) {
 		alg := algorithms.VecAdd{N: n}
 
 		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
 		if err != nil {
-			return nil, fmt.Errorf("vecadd n=%d: analyze: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("vecadd n=%d: analyze: %w", n, err)
 		}
 		pt, err := r.predict(analysis)
 		if err != nil {
-			return nil, fmt.Errorf("vecadd n=%d: predict: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("vecadd n=%d: predict: %w", n, err)
 		}
 		pt.N = n
 
-		if err := r.observePoint(&pt, func() (*simgpu.Host, error) {
-			h, err := r.newHost(alg.GlobalWords())
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(), "vecadd", n, idx)
 			if err != nil {
 				return nil, err
 			}
+			rng := r.inputRNG("vecadd", n, idx)
 			a := randWords(rng, n)
 			b := randWords(rng, n)
 			if _, err := alg.Run(h, a, b); err != nil {
 				return h, fmt.Errorf("vecadd n=%d: run: %w", n, err)
 			}
 			return h, nil
-		}); err != nil {
-			return nil, err
-		}
-		data.Points = append(data.Points, pt)
-	}
-	return data, nil
+		})
+		return pt, err
+	})
 }
 
 // RunReduce sweeps reduction (paper §IV-B).
 func (r *Runner) RunReduce() (*WorkloadData, error) {
-	rng := rand.New(rand.NewSource(r.cfg.Seed + 1))
-	data := &WorkloadData{Workload: "reduce"}
 	b := r.cfg.Device.WarpWidth
-	for _, n := range r.ReduceSizes() {
+	return r.runSweep("reduce", r.ReduceSizes(), func(idx, n int) (WorkloadPoint, error) {
 		alg := algorithms.Reduce{N: n}
 
 		// The perfect-GPU instance needs a multiprocessor per block of
 		// the largest round.
 		analysis, err := alg.Analyze(r.modelParams((n + b - 1) / b))
 		if err != nil {
-			return nil, fmt.Errorf("reduce n=%d: analyze: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("reduce n=%d: analyze: %w", n, err)
 		}
 		pt, err := r.predict(analysis)
 		if err != nil {
-			return nil, fmt.Errorf("reduce n=%d: predict: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("reduce n=%d: predict: %w", n, err)
 		}
 		pt.N = n
 
-		if err := r.observePoint(&pt, func() (*simgpu.Host, error) {
-			h, err := r.newHost(alg.GlobalWords(b))
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(b), "reduce", n, idx)
 			if err != nil {
 				return nil, err
 			}
-			in := randBits(rng, n)
+			in := randBits(r.inputRNG("reduce", n, idx), n)
 			got, err := alg.Run(h, in)
 			if err != nil {
 				return h, fmt.Errorf("reduce n=%d: run: %w", n, err)
@@ -462,48 +568,41 @@ func (r *Runner) RunReduce() (*WorkloadData, error) {
 					n, algorithms.ErrVerifyFail, got, want)
 			}
 			return h, nil
-		}); err != nil {
-			return nil, err
-		}
-		data.Points = append(data.Points, pt)
-	}
-	return data, nil
+		})
+		return pt, err
+	})
 }
 
 // RunMatMul sweeps matrix multiplication (paper §IV-C).
 func (r *Runner) RunMatMul() (*WorkloadData, error) {
-	rng := rand.New(rand.NewSource(r.cfg.Seed + 2))
-	data := &WorkloadData{Workload: "matmul"}
-	for _, n := range r.MatMulSizes() {
+	return r.runSweep("matmul", r.MatMulSizes(), func(idx, n int) (WorkloadPoint, error) {
 		alg := algorithms.MatMul{N: n}
 
 		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
 		if err != nil {
-			return nil, fmt.Errorf("matmul n=%d: analyze: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("matmul n=%d: analyze: %w", n, err)
 		}
 		pt, err := r.predict(analysis)
 		if err != nil {
-			return nil, fmt.Errorf("matmul n=%d: predict: %w", n, err)
+			return WorkloadPoint{}, fmt.Errorf("matmul n=%d: predict: %w", n, err)
 		}
 		pt.N = n
 
-		if err := r.observePoint(&pt, func() (*simgpu.Host, error) {
-			h, err := r.newHost(alg.GlobalWords())
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(), "matmul", n, idx)
 			if err != nil {
 				return nil, err
 			}
+			rng := r.inputRNG("matmul", n, idx)
 			a := randWords(rng, n*n)
 			b := randWords(rng, n*n)
 			if _, err := alg.Run(h, a, b); err != nil {
 				return h, fmt.Errorf("matmul n=%d: run: %w", n, err)
 			}
 			return h, nil
-		}); err != nil {
-			return nil, err
-		}
-		data.Points = append(data.Points, pt)
-	}
-	return data, nil
+		})
+		return pt, err
+	})
 }
 
 // predict fills the model-side fields of a point from an analysis.
@@ -523,17 +622,28 @@ func (r *Runner) predict(a *core.Analysis) (WorkloadPoint, error) {
 	return pt, nil
 }
 
+// faultInduced reports whether err is a genuine recovery-exhaustion
+// outcome of injected faults — the only failures a faulted sweep may
+// absorb into a point. Anything else (allocation failures, invalid
+// launches, programming errors) must surface to the caller.
+func faultInduced(err error) bool {
+	return errors.Is(err, transfer.ErrRetriesExhausted) ||
+		errors.Is(err, simgpu.ErrWatchdogExhausted) ||
+		errors.Is(err, algorithms.ErrVerifyFail)
+}
+
 // observePoint runs one sweep point's observed simulation with per-point
-// fault isolation: under injection (FaultRate > 0) a failure is recorded
-// on the point — partial timings, Err, retry counts and the fault log —
-// and the sweep continues. Fault-free failures propagate unchanged, so a
-// rate-0 run behaves exactly as before the fault machinery existed. body
+// fault isolation: under injection (FaultRate > 0) a recovery-exhaustion
+// failure is recorded on the point — partial timings, Err, retry counts
+// and the fault log — and the sweep continues. Non-fault errors, and every
+// error of a fault-free run, propagate unchanged, so configuration and
+// programming mistakes are never mistaken for fault casualties. body
 // returns the host it ran on (possibly non-nil alongside an error, for
 // post-mortem accounting).
 func (r *Runner) observePoint(pt *WorkloadPoint, body func() (*simgpu.Host, error)) error {
 	h, err := body()
 	if err != nil {
-		if r.cfg.FaultRate > 0 {
+		if r.cfg.FaultRate > 0 && faultInduced(err) {
 			pt.Failed = true
 			pt.Err = err.Error()
 			if h != nil {
@@ -557,15 +667,8 @@ func (pt *WorkloadPoint) observe(rep simgpu.RunReport) {
 	pt.SyncTime = rep.Sync.Seconds()
 	pt.DeltaObserved = rep.TransferFraction()
 
-	pt.Retries = rep.Transfers.Retries
-	pt.RetransferredWords = rep.Transfers.RetransferredWords
-	pt.CorruptionsDetected = rep.Transfers.CorruptionsDetected
-	pt.DroppedTransactions = rep.Transfers.DroppedTransactions
-	pt.StallEvents = rep.Transfers.StallEvents
-	pt.WatchdogFires = rep.Resilience.WatchdogFires
-	pt.Relaunches = rep.Resilience.Relaunches
-	pt.DegradedLaunches = rep.Resilience.DegradedLaunches
-	pt.FailedSMs = rep.Resilience.FailedSMs
+	pt.Transfers = rep.Transfers
+	pt.Resilience = rep.Resilience
 }
 
 // recordFaults copies the host's fault log onto the point (no-op without

@@ -53,9 +53,9 @@ type Summary struct {
 func Summarise(d *WorkloadData) (Summary, error) {
 	s := Summary{Workload: d.Workload, FailedPoints: d.FailedPoints()}
 	for _, p := range d.Points {
-		s.Retries += p.Retries
-		s.WatchdogFires += p.WatchdogFires
-		s.DegradedLaunches += p.DegradedLaunches
+		s.Retries += p.Transfers.Retries
+		s.WatchdogFires += p.Resilience.WatchdogFires
+		s.DegradedLaunches += p.Resilience.DegradedLaunches
 	}
 	pts := d.Successful()
 	if len(pts) == 0 {
@@ -74,10 +74,12 @@ func Summarise(d *WorkloadData) (Summary, error) {
 	s.MeanDeltaGap = gap
 
 	// Captured share: kernel-side time over total, averaged over sizes.
-	captured := make([]float64, len(pts))
-	for i, p := range pts {
+	// Points without an observed total (TotalTime <= 0) carry no share and
+	// are skipped, not averaged in as zeros.
+	captured := make([]float64, 0, len(pts))
+	for _, p := range pts {
 		if p.TotalTime > 0 {
-			captured[i] = (p.KernelTime + p.SyncTime) / p.TotalTime
+			captured = append(captured, (p.KernelTime+p.SyncTime)/p.TotalTime)
 		}
 	}
 	s.SWGPUCaptured = stats.Mean(captured)

@@ -1,0 +1,123 @@
+// External test package: exercising concurrent hosts through a real
+// workload needs internal/algorithms, which itself imports simgpu.
+package simgpu_test
+
+import (
+	"sync"
+	"testing"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/faults"
+	"atgpu/internal/mem"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// TestConcurrentHostsWithFaults runs several independent Host/Device pairs
+// in parallel — the sweep runner's isolation discipline — each with its own
+// seeded injector, then folds their ResilienceStats and transfer.Stats via
+// Merge and compares against the same runs executed sequentially. Run
+// under `go test -race` this also proves the pairs share no mutable state.
+func TestConcurrentHostsWithFaults(t *testing.T) {
+	const pairs = 6
+	const n = 512
+
+	type result struct {
+		tf  transfer.Stats
+		rs  simgpu.ResilienceStats
+		sum mem.Word
+	}
+
+	runOne := func(seed int64) (res result) {
+		cfg := simgpu.Tiny()
+		cfg.GlobalWords = 3*n + 4*cfg.WarpWidth
+		dev, err := simgpu.New(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h, err := simgpu.NewHost(dev, eng, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		inj, err := faults.NewRate(faults.RateConfig{Seed: seed, TransferRate: 0.3, KernelRate: 0.1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		policy := transfer.DefaultRetryPolicy()
+		policy.Seed = seed + 1
+		if err := eng.SetFaults(inj, policy); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := h.SetFaults(inj, 0, 0); err != nil {
+			t.Error(err)
+			return
+		}
+
+		in := make([]mem.Word, n)
+		for i := range in {
+			in[i] = mem.Word(i & 1)
+		}
+		sum, err := (algorithms.Reduce{N: n}).Run(h, in)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return
+		}
+		rep := h.Report()
+		return result{tf: rep.Transfers, rs: rep.Resilience, sum: sum}
+	}
+
+	// Sequential reference.
+	var seq [pairs]result
+	for i := range seq {
+		seq[i] = runOne(int64(100 + i))
+	}
+
+	// Concurrent replay with identical seeds.
+	var conc [pairs]result
+	var wg sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conc[i] = runOne(int64(100 + i))
+		}(i)
+	}
+	wg.Wait()
+
+	in := make([]mem.Word, n)
+	for i := range in {
+		in[i] = mem.Word(i & 1)
+	}
+	want := algorithms.ReduceReference(in)
+
+	var seqTF, concTF transfer.Stats
+	var seqRS, concRS simgpu.ResilienceStats
+	for i := 0; i < pairs; i++ {
+		if conc[i] != seq[i] {
+			t.Fatalf("pair %d diverged between sequential and concurrent runs:\n%+v\nvs\n%+v",
+				i, conc[i], seq[i])
+		}
+		if conc[i].sum != want {
+			t.Fatalf("pair %d: sum %d, want %d (faults corrupted the result)", i, conc[i].sum, want)
+		}
+		seqTF.Merge(seq[i].tf)
+		seqRS.Merge(seq[i].rs)
+		concTF.Merge(conc[i].tf)
+		concRS.Merge(conc[i].rs)
+	}
+	if concTF != seqTF || concRS != seqRS {
+		t.Fatalf("merged aggregates diverged: %+v/%+v vs %+v/%+v", concTF, concRS, seqTF, seqRS)
+	}
+	if concTF.InWords == 0 {
+		t.Fatal("aggregate carries no transfer volume; test is vacuous")
+	}
+}

@@ -1,0 +1,154 @@
+package transfer
+
+import (
+	"sync"
+	"testing"
+
+	"atgpu/internal/mem"
+)
+
+// These tests exercise the engine's locking under real concurrency — the
+// substrate of the parallel sweep runner. They are only meaningful under
+// `go test -race`, which CI runs.
+
+// TestEngineConcurrentUse hammers one engine with parallel In/Out/Stats/
+// Trace calls and checks the totals balance afterwards.
+func TestEngineConcurrentUse(t *testing.T) {
+	eng, err := NewEngine(PCIeGen3x8Link(), Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTrace(true)
+
+	const (
+		goroutines = 8
+		rounds     = 25
+		words      = 64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := make([]mem.Word, words)
+			gm, err := mem.NewGlobal(words, 32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				if _, err := eng.In(gm, 0, src); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := eng.Out(gm, 0, words); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = eng.Stats()
+				_ = eng.Trace()
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	want := goroutines * rounds * words
+	if st.InWords != want || st.OutWords != want {
+		t.Fatalf("in/out words = %d/%d, want %d each", st.InWords, st.OutWords, want)
+	}
+	if got := len(eng.Trace()); got != 2*goroutines*rounds {
+		t.Fatalf("trace records = %d, want %d", got, 2*goroutines*rounds)
+	}
+}
+
+// TestTraceReturnsCopy is the aliasing regression test: mutating the
+// returned slice must not corrupt the engine's retained records, and the
+// engine's later appends must not leak into a previously returned slice.
+func TestTraceReturnsCopy(t *testing.T) {
+	eng, err := NewEngine(PCIeGen3x8Link(), Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTrace(true)
+	gm, err := mem.NewGlobal(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]mem.Word, 64)
+	if _, err := eng.In(gm, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := eng.Trace()
+	if len(tr) != 1 {
+		t.Fatalf("trace = %d records, want 1", len(tr))
+	}
+	orig := tr[0]
+	tr[0].Words = -999
+	tr[0].Direction = DeviceToHost
+
+	re := eng.Trace()
+	if re[0] != orig {
+		t.Fatalf("mutating returned trace corrupted engine state: %+v", re[0])
+	}
+
+	// Appending through the engine must not write into tr's backing array.
+	if _, _, err := eng.Out(gm, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if tr[0].Words != -999 {
+		t.Fatal("engine append reached the caller's copy")
+	}
+	if got := len(eng.Trace()); got != 2 {
+		t.Fatalf("trace records = %d, want 2", got)
+	}
+}
+
+// TestStatsMergeAcrossGoroutines folds per-engine stats from concurrent
+// engines — the sweep aggregation discipline — and checks the totals.
+func TestStatsMergeAcrossGoroutines(t *testing.T) {
+	const engines = 6
+	const words = 128
+	link := PCIeGen3x8Link()
+
+	partial := make([]Stats, engines)
+	var wg sync.WaitGroup
+	for g := 0; g < engines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			eng, err := NewEngine(link, Pageable)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			gm, err := mem.NewGlobal(words, 32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]mem.Word, words)
+			for i := 0; i <= g; i++ { // distinct per-engine volumes
+				if _, err := eng.In(gm, 0, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			partial[g] = eng.Stats()
+		}(g)
+	}
+	wg.Wait()
+
+	var total Stats
+	for _, p := range partial {
+		total.Merge(p)
+	}
+	wantIn := words * (engines * (engines + 1) / 2)
+	if total.InWords != wantIn {
+		t.Fatalf("merged InWords = %d, want %d", total.InWords, wantIn)
+	}
+	if total.OutWords != 0 || total.Retries != 0 {
+		t.Fatalf("merged stats carry unexpected fields: %+v", total)
+	}
+}

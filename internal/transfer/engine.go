@@ -446,11 +446,16 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Trace returns retained records (nil unless SetTrace(true)).
+// Trace returns a copy of the retained records (nil unless SetTrace(true)).
+// Callers own the returned slice: mutating it cannot corrupt the engine's
+// retained trace, and later transfers cannot append into its backing array.
 func (e *Engine) Trace() []Record {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.trace
+	if e.trace == nil {
+		return nil
+	}
+	return append([]Record(nil), e.trace...)
 }
 
 // Reset clears stats and trace; the trace-retention flag, fault injector
