@@ -34,6 +34,10 @@ type Options struct {
 	// for any worker count.
 	Workers int
 
+	// Chunks is the chunk (or matmul band) count the pipelined runs and
+	// sweeps split their inputs into. 0 uses the experiments default (4).
+	Chunks int
+
 	// FaultRate enables deterministic fault injection when > 0: the
 	// probability, in [0,1], of each transfer or launch drawing a fault.
 	// At 0 no injector is attached and behaviour is identical to a build
@@ -69,6 +73,7 @@ func (o Options) ExperimentConfig() experiments.Config {
 		SyncCost:   o.SyncCost,
 		Seed:       1,
 		Workers:    o.Workers,
+		Chunks:     o.Chunks,
 		FaultRate:  o.FaultRate,
 		FaultSeed:  o.FaultSeed,
 		MaxRetries: o.MaxRetries,
@@ -103,6 +108,9 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("atgpu: negative workers %d", opts.Workers)
+	}
+	if opts.Chunks < 0 {
+		return nil, fmt.Errorf("atgpu: negative chunks %d", opts.Chunks)
 	}
 	if opts.FaultRate < 0 || opts.FaultRate > 1 {
 		return nil, fmt.Errorf("atgpu: fault rate %v outside [0,1]", opts.FaultRate)
@@ -362,6 +370,182 @@ func (s *System) RunOutOfCoreReduce(input []Word, chunkWords int) (algorithms.Ou
 		return algorithms.OutOfCoreResult{}, err
 	}
 	return alg.Run(h, input)
+}
+
+// pipelineStreams is the stream count of the facade's overlapped runs:
+// classic double buffering, matching the experiments sweeps.
+const pipelineStreams = 2
+
+// chunks resolves the effective chunk count of the pipelined runs.
+func (o Options) chunks() int {
+	if o.Chunks > 0 {
+		return o.Chunks
+	}
+	return 4
+}
+
+// AnalyzeVecAddPipelined prices chunked vector addition with the
+// overlapped-cost model (Expression 2 with per-round pipelining).
+func (s *System) AnalyzeVecAddPipelined(n int) (core.PipelinedCost, error) {
+	chunks := s.opts.chunks()
+	b := s.opts.Device.WarpWidth
+	alg := algorithms.PipelinedVecAdd{N: n, Chunks: chunks, Streams: pipelineStreams}
+	chunkLen := (n + chunks - 1) / chunks
+	a, err := alg.Analyze(s.ModelParams((chunkLen + b - 1) / b))
+	if err != nil {
+		return core.PipelinedCost{}, err
+	}
+	return core.GPUCostPipelined(a, s.params)
+}
+
+// AnalyzeReducePipelined prices the chunked reduction with the
+// overlapped-cost model.
+func (s *System) AnalyzeReducePipelined(n int) (core.PipelinedCost, error) {
+	chunks := s.opts.chunks()
+	b := s.opts.Device.WarpWidth
+	alg := algorithms.PipelinedReduce{N: n, Chunks: chunks, Streams: pipelineStreams}
+	chunkLen := (n + chunks - 1) / chunks
+	a, err := alg.Analyze(s.ModelParams((chunkLen + b - 1) / b))
+	if err != nil {
+		return core.PipelinedCost{}, err
+	}
+	return core.GPUCostPipelined(a, s.params)
+}
+
+// AnalyzeMatMulPipelined prices row-banded matrix multiplication with the
+// overlapped-cost model.
+func (s *System) AnalyzeMatMulPipelined(n int) (core.PipelinedCost, error) {
+	chunks := s.opts.chunks()
+	b := s.opts.Device.WarpWidth
+	alg := algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: pipelineStreams}
+	tiles := n / b
+	bands := chunks
+	if tiles > 0 && bands > tiles {
+		bands = tiles
+	}
+	bandTiles := tiles
+	if bands > 0 {
+		bandTiles = (tiles + bands - 1) / bands
+	}
+	a, err := alg.Analyze(s.ModelParams(bandTiles * tiles))
+	if err != nil {
+		return core.PipelinedCost{}, err
+	}
+	return core.GPUCostPipelined(a, s.params)
+}
+
+// PipelineRun compares one workload's sequential-chunked schedule against
+// the overlapped multi-stream schedule on identical inputs.
+type PipelineRun struct {
+	// Chunks and Streams describe the overlapped schedule; the sequential
+	// baseline runs the same chunks on a single stream.
+	Chunks, Streams int
+	// Sequential and Pipelined are the two runs' observations.
+	Sequential, Pipelined Observation
+	// Saving is Sequential.Total − Pipelined.Total.
+	Saving time.Duration
+}
+
+// SavingFraction is the saving over the sequential total (0 when
+// degenerate).
+func (p PipelineRun) SavingFraction() float64 {
+	if p.Sequential.Total <= 0 {
+		return 0
+	}
+	return float64(p.Saving) / float64(p.Sequential.Total)
+}
+
+// runPipelined executes both schedules; footprint and run see the stream
+// count (1 for the baseline, Streams for the overlapped schedule).
+func (s *System) runPipelined(chunks int,
+	footprint func(streams int) (int, error),
+	run func(h *simgpu.Host, streams int) error) (PipelineRun, error) {
+	pr := PipelineRun{Chunks: chunks, Streams: pipelineStreams}
+	observe := func(streams int) (Observation, error) {
+		words, err := footprint(streams)
+		if err != nil {
+			return Observation{}, err
+		}
+		h, err := s.newHost(words)
+		if err != nil {
+			return Observation{}, err
+		}
+		if err := run(h, streams); err != nil {
+			return Observation{}, err
+		}
+		return observation(h), nil
+	}
+	var err error
+	if pr.Sequential, err = observe(1); err != nil {
+		return pr, err
+	}
+	if pr.Pipelined, err = observe(pr.Streams); err != nil {
+		return pr, err
+	}
+	pr.Saving = pr.Sequential.Total - pr.Pipelined.Total
+	return pr, nil
+}
+
+// RunVecAddPipelined executes A+B with the chunked pipeline, returning the
+// result of the overlapped run and the schedule comparison.
+func (s *System) RunVecAddPipelined(a, b []Word) ([]Word, PipelineRun, error) {
+	chunks := s.opts.chunks()
+	width := s.opts.Device.WarpWidth
+	var out []Word
+	pr, err := s.runPipelined(chunks,
+		func(streams int) (int, error) {
+			return algorithms.PipelinedVecAdd{N: len(a), Chunks: chunks, Streams: streams}.GlobalWords(width)
+		},
+		func(h *simgpu.Host, streams int) error {
+			c, err := algorithms.PipelinedVecAdd{N: len(a), Chunks: chunks, Streams: streams}.Run(h, a, b)
+			if err != nil {
+				return err
+			}
+			out = c
+			return nil
+		})
+	return out, pr, err
+}
+
+// RunReducePipelined executes the chunked sum reduction with per-chunk
+// partials combined on the host.
+func (s *System) RunReducePipelined(input []Word) (Word, PipelineRun, error) {
+	chunks := s.opts.chunks()
+	width := s.opts.Device.WarpWidth
+	var sum Word
+	pr, err := s.runPipelined(chunks,
+		func(streams int) (int, error) {
+			return algorithms.PipelinedReduce{N: len(input), Chunks: chunks, Streams: streams}.GlobalWords(width)
+		},
+		func(h *simgpu.Host, streams int) error {
+			got, err := algorithms.PipelinedReduce{N: len(input), Chunks: chunks, Streams: streams}.Run(h, input)
+			if err != nil {
+				return err
+			}
+			sum = got
+			return nil
+		})
+	return sum, pr, err
+}
+
+// RunMatMulPipelined executes C = A×B by row bands with B resident.
+func (s *System) RunMatMulPipelined(a, b []Word, n int) ([]Word, PipelineRun, error) {
+	chunks := s.opts.chunks()
+	width := s.opts.Device.WarpWidth
+	var out []Word
+	pr, err := s.runPipelined(chunks,
+		func(streams int) (int, error) {
+			return algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: streams}.GlobalWords(width)
+		},
+		func(h *simgpu.Host, streams int) error {
+			c, err := algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: streams}.Run(h, a, b)
+			if err != nil {
+				return err
+			}
+			out = c
+			return nil
+		})
+	return out, pr, err
 }
 
 // TableI returns the paper's model feature comparison.

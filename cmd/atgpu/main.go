@@ -30,6 +30,7 @@ import (
 
 	"atgpu"
 	"atgpu/internal/algorithms"
+	"atgpu/internal/core"
 	"atgpu/internal/experiments"
 )
 
@@ -45,6 +46,8 @@ func main() {
 	chunk := fs.Int("chunk", 1<<18, "out-of-core chunk size in words")
 	full := fs.Bool("full", false, "sweep: use the paper's exact input sizes (minutes)")
 	workers := fs.Int("workers", 0, "sweep: worker goroutines per sweep (0 = GOMAXPROCS, 1 = sequential)")
+	pipeline := fs.Bool("pipeline", false, "run/sweep: chunked multi-stream pipelined schedule, sequential vs overlapped")
+	chunks := fs.Int("chunks", 0, "pipeline: chunk (matmul band) count (0 = default 4)")
 	faultRate := fs.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
 	maxRetries := fs.Int("max-retries", 0, "transfer retry budget override (0 = default)")
@@ -61,8 +64,9 @@ func main() {
 	opts.FaultRate = *faultRate
 	opts.FaultSeed = *faultSeed
 	opts.MaxRetries = *maxRetries
+	opts.Chunks = *chunks
 
-	if err := dispatch(cmd, *alg, *n, *chunk, *full, opts); err != nil {
+	if err := dispatch(cmd, *alg, *n, *chunk, *full, *pipeline, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
 	}
@@ -79,10 +83,14 @@ commands:
   sweep       predicted-vs-observed size sweep           (-alg, -full, -workers)
   ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)
 
+pipelining (run, sweep): --pipeline [--chunks C] compares the sequential
+chunked schedule against the overlapped multi-stream schedule and reports
+predicted vs simulated overlap savings.
+
 fault injection (run, sweep): --fault-rate R --fault-seed S --max-retries K`)
 }
 
-func dispatch(cmd, alg string, n, chunk int, full bool, opts atgpu.Options) error {
+func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options) error {
 	switch cmd {
 	case "table1":
 		fmt.Println("Table I — comparison of GPU abstract models")
@@ -105,8 +113,14 @@ func dispatch(cmd, alg string, n, chunk int, full bool, opts atgpu.Options) erro
 	case "analyze":
 		return analyze(alg, n, opts)
 	case "run":
+		if pipeline {
+			return runPipelined(alg, n, opts)
+		}
 		return run(alg, n, opts)
 	case "sweep":
+		if pipeline {
+			return sweepPipelined(alg, full, opts)
+		}
 		return sweep(alg, full, opts)
 	case "ooc":
 		return ooc(n, chunk, opts)
@@ -232,6 +246,128 @@ func run(alg string, n int, opts atgpu.Options) error {
 		for _, ev := range obs.FaultLog {
 			fmt.Printf("  fault %s\n", ev)
 		}
+	}
+	return nil
+}
+
+// runPipelined executes one workload's sequential-chunked and overlapped
+// multi-stream schedules on identical inputs and reports the observed
+// saving alongside the overlapped-cost model's prediction.
+func runPipelined(alg string, n int, opts atgpu.Options) error {
+	sys, err := atgpu.NewSystem(opts)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	randWords := func(n int) []atgpu.Word {
+		w := make([]atgpu.Word, n)
+		for i := range w {
+			w[i] = atgpu.Word(rng.Intn(2001) - 1000)
+		}
+		return w
+	}
+
+	var pr atgpu.PipelineRun
+	var pc core.PipelinedCost
+	switch alg {
+	case "vecadd":
+		a, b := randWords(n), randWords(n)
+		var c []atgpu.Word
+		if c, pr, err = sys.RunVecAddPipelined(a, b); err != nil {
+			return err
+		}
+		want, _ := algorithms.VecAddReference(a, b)
+		for i := range want {
+			if c[i] != want[i] {
+				return fmt.Errorf("verification failed at %d", i)
+			}
+		}
+		if pc, err = sys.AnalyzeVecAddPipelined(n); err != nil {
+			return err
+		}
+	case "reduce":
+		in := randWords(n)
+		var sum atgpu.Word
+		if sum, pr, err = sys.RunReducePipelined(in); err != nil {
+			return err
+		}
+		if sum != algorithms.ReduceReference(in) {
+			return fmt.Errorf("verification failed: %d", sum)
+		}
+		if pc, err = sys.AnalyzeReducePipelined(n); err != nil {
+			return err
+		}
+	case "matmul":
+		a, b := randWords(n*n), randWords(n*n)
+		var c []atgpu.Word
+		if c, pr, err = sys.RunMatMulPipelined(a, b, n); err != nil {
+			return err
+		}
+		want, _ := algorithms.MatMulReference(a, b, n)
+		for i := range want {
+			if c[i] != want[i] {
+				return fmt.Errorf("verification failed at %d", i)
+			}
+		}
+		if pc, err = sys.AnalyzeMatMulPipelined(n); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	fmt.Printf("%s n=%d pipelined (chunks=%d, streams=%d, verified against CPU reference)\n",
+		alg, n, pr.Chunks, pr.Streams)
+	fmt.Printf("sequential schedule: total=%v kernel=%v transfer=%v sync=%v\n",
+		pr.Sequential.Total, pr.Sequential.Kernel, pr.Sequential.Transfer, pr.Sequential.Sync)
+	fmt.Printf("pipelined schedule:  total=%v kernel=%v transfer=%v sync=%v\n",
+		pr.Pipelined.Total, pr.Pipelined.Kernel, pr.Pipelined.Transfer, pr.Pipelined.Sync)
+	fmt.Printf("observed saving:  %v (%.1f%%)\n", pr.Saving, 100*pr.SavingFraction())
+	fmt.Printf("predicted: sequential=%.6gs pipelined=%.6gs saving=%.6gs (%.1f%%)\n",
+		pc.Sequential, pc.Pipelined, pc.Saving(), 100*pc.SavingFraction())
+	return nil
+}
+
+// sweepPipelined runs one workload's sequential-versus-pipelined size
+// sweep. Stdout is byte-identical for any --workers value.
+func sweepPipelined(alg string, full bool, opts atgpu.Options) error {
+	cfg := opts.ExperimentConfig()
+	cfg.Full = full
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var data *experiments.PipelineData
+	switch alg {
+	case "vecadd":
+		data, err = r.RunVecAddPipelined()
+	case "reduce":
+		data, err = r.RunReducePipelined()
+	case "matmul":
+		data, err = r.RunMatMulPipelined()
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "atgpu: %s pipelined sweep: %d sizes in %.1fs (workers=%d)\n",
+		alg, len(data.Points), time.Since(start).Seconds(), opts.Workers)
+
+	first := experiments.PipelinePoint{}
+	if len(data.Points) > 0 {
+		first = data.Points[0]
+	}
+	fmt.Printf("%s pipelined sweep (%d sizes, chunks=%d, streams=%d)\n",
+		alg, len(data.Points), first.Chunks, first.Streams)
+	fmt.Printf("%12s %14s %14s %9s %14s %14s %9s\n",
+		"n", "seq(s)", "pipe(s)", "saved", "pred-seq(s)", "pred-pipe(s)", "pred-saved")
+	for _, p := range data.Points {
+		fmt.Printf("%12d %14.6g %14.6g %8.1f%% %14.6g %14.6g %8.1f%%\n",
+			p.N, p.SequentialTime, p.PipelinedTime, 100*p.ObservedSavingFraction(),
+			p.PredictedSequential, p.PredictedPipelined, 100*p.PredictedSavingFraction())
 	}
 	return nil
 }

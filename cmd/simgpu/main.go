@@ -44,21 +44,26 @@ func main() {
 	device := flag.String("device", "gtx650", "device preset: gtx650, gtx1080, k40, tiny")
 	disasm := flag.Bool("disasm", false, "print kernel disassembly")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the first launch to this file")
+	pipeline := flag.Bool("pipeline", false, "run the chunked two-stream pipelined variant (overlaps transfer and compute)")
+	chunks := flag.Int("chunks", 4, "pipeline: chunk (matmul band) count")
 	workers := flag.Int("workers", 1, "concurrent identical replicas, each on its own device (0 = GOMAXPROCS)")
 	faultRate := flag.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
 	maxRetries := flag.Int("max-retries", 0, "transfer retry budget override (0 = default)")
 	flag.Parse()
 
-	if err := run(*kname, *n, *device, *disasm, *traceOut, *workers, *faultRate, *faultSeed, *maxRetries); err != nil {
+	if err := run(*kname, *n, *device, *disasm, *traceOut, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kname string, n int, device string, disasm bool, traceOut string, workers int, faultRate float64, faultSeed int64, maxRetries int) error {
+func run(kname string, n int, device string, disasm bool, traceOut string, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int) error {
 	if workers < 0 {
 		return fmt.Errorf("negative workers %d", workers)
+	}
+	if pipeline && chunks <= 0 {
+		return fmt.Errorf("non-positive chunks %d", chunks)
 	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -86,10 +91,29 @@ func run(kname string, n int, device string, disasm bool, traceOut string, worke
 		return fmt.Errorf("unknown device %q", device)
 	}
 
-	// Size global memory to the problem.
+	// Size global memory to the problem. Pipelined variants allocate
+	// per-stream chunk buffer sets instead of whole-input buffers.
 	need := 4*n + 4*n + 4*cfg.WarpWidth
 	if kname == "matmul" {
 		need = 4*n*n + 4*cfg.WarpWidth
+	}
+	if pipeline {
+		var words int
+		var err error
+		switch kname {
+		case "vecadd":
+			words, err = algorithms.PipelinedVecAdd{N: n, Chunks: chunks, Streams: 2}.GlobalWords(cfg.WarpWidth)
+		case "reduce":
+			words, err = algorithms.PipelinedReduce{N: n, Chunks: chunks, Streams: 2}.GlobalWords(cfg.WarpWidth)
+		case "matmul":
+			words, err = algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: 2}.GlobalWords(cfg.WarpWidth)
+		default:
+			return fmt.Errorf("unknown kernel %q", kname)
+		}
+		if err != nil {
+			return err
+		}
+		need = words + 4*cfg.WarpWidth
 	}
 	if need < cfg.GlobalWords {
 		cfg.GlobalWords = need
@@ -156,7 +180,12 @@ func run(kname string, n int, device string, disasm bool, traceOut string, worke
 			if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, 2*n); err != nil {
 				return nil, nil, err
 			}
-			if _, err := alg.Run(h, randWords(n), randWords(n)); err != nil {
+			if pipeline {
+				p := algorithms.PipelinedVecAdd{N: n, Chunks: chunks, Streams: 2}
+				if _, err := p.Run(h, randWords(n), randWords(n)); err != nil {
+					return nil, nil, err
+				}
+			} else if _, err := alg.Run(h, randWords(n), randWords(n)); err != nil {
 				return nil, nil, err
 			}
 		case "reduce":
@@ -164,7 +193,12 @@ func run(kname string, n int, device string, disasm bool, traceOut string, worke
 			if prog, err = alg.Kernel(cfg.WarpWidth, 0, n, n); err != nil {
 				return nil, nil, err
 			}
-			if _, err := alg.Run(h, randWords(n)); err != nil {
+			if pipeline {
+				p := algorithms.PipelinedReduce{N: n, Chunks: chunks, Streams: 2}
+				if _, err := p.Run(h, randWords(n)); err != nil {
+					return nil, nil, err
+				}
+			} else if _, err := alg.Run(h, randWords(n)); err != nil {
 				return nil, nil, err
 			}
 		case "matmul":
@@ -175,7 +209,12 @@ func run(kname string, n int, device string, disasm bool, traceOut string, worke
 			if prog, err = alg.Kernel(cfg.WarpWidth, 0, n*n, 2*n*n); err != nil {
 				return nil, nil, err
 			}
-			if _, err := alg.Run(h, randWords(n*n), randWords(n*n)); err != nil {
+			if pipeline {
+				p := algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: 2}
+				if _, err := p.Run(h, randWords(n*n), randWords(n*n)); err != nil {
+					return nil, nil, err
+				}
+			} else if _, err := alg.Run(h, randWords(n*n), randWords(n*n)); err != nil {
 				return nil, nil, err
 			}
 		default:
@@ -217,6 +256,11 @@ func run(kname string, n int, device string, disasm bool, traceOut string, worke
 		rep.Transfer, rep.Transfers.InWords, rep.Transfers.InTransactions,
 		rep.Transfers.OutWords, rep.Transfers.OutTransactions)
 	fmt.Printf("total time    %v\n", rep.Total)
+	if pipeline {
+		busy := rep.Kernel + rep.Transfer + rep.Sync
+		fmt.Printf("overlap saved %v of %v busy time (chunks=%d, streams=2)\n",
+			h.OverlapSaved(), busy, chunks)
+	}
 	fmt.Println(rep.Stats)
 	if rep.Transfers.Faulted() || rep.Resilience.Degraded() {
 		fmt.Printf("resilience: %d retries (%d words re-sent, backoff %v), %d corruptions, %d drops, %d stalls\n",

@@ -1,0 +1,484 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/simgpu"
+)
+
+// Pipelined workload variants: each paper workload re-expressed as a
+// chunked pipeline over the host's stream API. The input is split into
+// chunks; chunk c is issued on stream c mod Streams, so while one
+// chunk's kernel runs, the next chunk's inward transfer proceeds on
+// the H2D link and the previous chunk's result drains on the D2H link.
+// Buffer sets are per stream: stream serialization is exactly the
+// double-buffering constraint (a chunk reuses its stream's buffers
+// only after the stream's previous chunk fully drained).
+//
+// Both the pipelined run (Streams ≥ 2) and the sequential-chunked
+// baseline (Streams = 1) synchronise once, at the end, so their time
+// difference isolates the overlap itself — mirroring
+// core.GPUCostPipelined, whose Sequential/Pipelined pair charges a
+// single σ on both sides.
+
+// pipeShape normalises (n, chunks, streams) and returns the chunk
+// length, chunk count and stream count actually used.
+func pipeShape(n, chunks, streams int) (chunkLen, numChunks, numStreams int, err error) {
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: n=%d", ErrBadSize, n)
+	}
+	if chunks <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: chunks=%d", ErrBadSize, chunks)
+	}
+	if streams < 0 {
+		return 0, 0, 0, fmt.Errorf("%w: streams=%d", ErrBadSize, streams)
+	}
+	if chunks > n {
+		chunks = n
+	}
+	chunkLen = ceilDiv(n, chunks)
+	numChunks = ceilDiv(n, chunkLen)
+	numStreams = streams
+	if numStreams == 0 {
+		numStreams = 2
+	}
+	if numStreams > numChunks {
+		numStreams = numChunks
+	}
+	return chunkLen, numChunks, numStreams, nil
+}
+
+// alignWords rounds size up to a multiple of the transaction width b —
+// the padding AllocAligned inserts before each buffer, which the
+// pipelined footprints must budget for since they allocate one buffer
+// set per stream.
+func alignWords(size, b int) int { return ceilDiv(size, b) * b }
+
+// PipelinedVecAdd computes C = A + B in Chunks chunks across Streams
+// concurrent streams (0 selects 2; 1 gives the sequential-chunked
+// baseline on a single stream).
+type PipelinedVecAdd struct {
+	N       int
+	Chunks  int
+	Streams int
+}
+
+// Name identifies the workload.
+func (v PipelinedVecAdd) Name() string { return "vecadd-pipelined" }
+
+// GlobalWords returns the device footprint for transaction width b: one
+// (a, b, c) buffer set of one chunk each per stream, aligned per buffer.
+func (v PipelinedVecAdd) GlobalWords(b int) (int, error) {
+	if b <= 0 {
+		return 0, fmt.Errorf("%w: b=%d", ErrBadSize, b)
+	}
+	chunkLen, _, streams, err := pipeShape(v.N, v.Chunks, v.Streams)
+	if err != nil {
+		return 0, err
+	}
+	return 3 * streams * alignWords(chunkLen, b), nil
+}
+
+// Analyze returns the chunked ATGPU account: one model round per chunk,
+// each a VecAdd round over that chunk's elements. Feed the result to
+// core.GPUCostPipelined for the predicted sequential and overlapped
+// costs.
+func (v PipelinedVecAdd) Analyze(p core.Params) (*core.Analysis, error) {
+	chunkLen, numChunks, _, err := pipeShape(v.N, v.Chunks, v.Streams)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	global, err := v.GlobalWords(p.B)
+	if err != nil {
+		return nil, err
+	}
+	a := &core.Analysis{Name: v.Name(), Params: p}
+	for c := 0; c < numChunks; c++ {
+		cn := chunkLen
+		if last := v.N - c*chunkLen; last < cn {
+			cn = last
+		}
+		k := ceilDiv(cn, p.B)
+		a.Rounds = append(a.Rounds, core.Round{
+			Time:            vecAddOpsPerThread,
+			IO:              float64(3 * k),
+			GlobalWords:     global,
+			SharedWords:     3 * p.B,
+			Blocks:          k,
+			InWords:         2 * cn,
+			InTransactions:  2,
+			OutWords:        cn,
+			OutTransactions: 1,
+		})
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run executes the chunked plan on h and returns the result vector.
+// One σ is charged at the end (chunks are sub-steps of a single round).
+func (v PipelinedVecAdd) Run(h *simgpu.Host, a, b []Word) ([]Word, error) {
+	if err := checkLen("a", len(a), v.N); err != nil {
+		return nil, err
+	}
+	if err := checkLen("b", len(b), v.N); err != nil {
+		return nil, err
+	}
+	chunkLen, numChunks, numStreams, err := pipeShape(v.N, v.Chunks, v.Streams)
+	if err != nil {
+		return nil, err
+	}
+	width := h.Device().Config().WarpWidth
+
+	type bufs struct{ a, b, c int }
+	streams := make([]*simgpu.Stream, numStreams)
+	sets := make([]bufs, numStreams)
+	for s := range streams {
+		streams[s] = h.NewStream(fmt.Sprintf("vecadd-%d", s))
+		if sets[s].a, err = h.Malloc(chunkLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+		if sets[s].b, err = h.Malloc(chunkLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+		if sets[s].c, err = h.Malloc(chunkLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+	}
+
+	out := make([]Word, v.N)
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkLen
+		hi := lo + chunkLen
+		if hi > v.N {
+			hi = v.N
+		}
+		cn := hi - lo
+		s, set := streams[c%numStreams], sets[c%numStreams]
+		alg := VecAdd{N: cn}
+		prog, err := alg.Kernel(width, set.a, set.b, set.c)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.AsyncTransferIn(s, set.a, a[lo:hi]); err != nil {
+			return nil, err
+		}
+		if err := h.AsyncTransferIn(s, set.b, b[lo:hi]); err != nil {
+			return nil, err
+		}
+		if _, err := h.AsyncLaunch(s, prog, alg.Blocks(width)); err != nil {
+			return nil, err
+		}
+		chunkOut, err := h.AsyncTransferOut(s, set.c, cn)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[lo:hi], chunkOut)
+	}
+	h.EndRound()
+	return out, nil
+}
+
+// PipelinedReduce sums an n-vector by reducing Chunks chunks across
+// Streams streams; per-chunk partial sums are combined on the host.
+type PipelinedReduce struct {
+	N       int
+	Chunks  int
+	Streams int
+}
+
+// Name identifies the workload.
+func (r PipelinedReduce) Name() string { return "reduce-pipelined" }
+
+// GlobalWords returns the footprint: per stream, a chunk buffer plus a
+// partials ping-pong buffer, each aligned to the transaction width b.
+func (r PipelinedReduce) GlobalWords(b int) (int, error) {
+	if b <= 0 {
+		return 0, fmt.Errorf("%w: b=%d", ErrBadSize, b)
+	}
+	chunkLen, _, streams, err := pipeShape(r.N, r.Chunks, r.Streams)
+	if err != nil {
+		return 0, err
+	}
+	return streams * (alignWords(chunkLen, b) + alignWords(ceilDiv(chunkLen, b), b)), nil
+}
+
+// Analyze returns the chunked account: each chunk contributes its own
+// ⌈log_b chunk⌉ reduction rounds, transferring the chunk in before its
+// first round and one partial out after its last.
+func (r PipelinedReduce) Analyze(p core.Params) (*core.Analysis, error) {
+	chunkLen, numChunks, _, err := pipeShape(r.N, r.Chunks, r.Streams)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(p.B) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, p.B)
+	}
+	global, err := r.GlobalWords(p.B)
+	if err != nil {
+		return nil, err
+	}
+	a := &core.Analysis{Name: r.Name(), Params: p}
+	for c := 0; c < numChunks; c++ {
+		cn := chunkLen
+		if last := r.N - c*chunkLen; last < cn {
+			cn = last
+		}
+		sizes := (Reduce{N: cn}).RoundSizes(p.B)
+		for i, n := range sizes {
+			k := ceilDiv(n, p.B)
+			round := core.Round{
+				Time:        reduceOps(p.B),
+				IO:          float64(2 * k),
+				GlobalWords: global,
+				SharedWords: p.B,
+				Blocks:      k,
+			}
+			if i == 0 {
+				round.InWords = cn
+				round.InTransactions = 1
+			}
+			if i == len(sizes)-1 {
+				round.OutWords = 1
+				round.OutTransactions = 1
+			}
+			a.Rounds = append(a.Rounds, round)
+		}
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run executes the chunked reduction on h and returns the total.
+func (r PipelinedReduce) Run(h *simgpu.Host, input []Word) (Word, error) {
+	if err := checkLen("input", len(input), r.N); err != nil {
+		return 0, err
+	}
+	chunkLen, numChunks, numStreams, err := pipeShape(r.N, r.Chunks, r.Streams)
+	if err != nil {
+		return 0, err
+	}
+	width := h.Device().Config().WarpWidth
+	if !isPow2(width) {
+		return 0, fmt.Errorf("%w: device warp width %d", ErrNotPow2, width)
+	}
+
+	type bufs struct{ in, part int }
+	streams := make([]*simgpu.Stream, numStreams)
+	sets := make([]bufs, numStreams)
+	for s := range streams {
+		streams[s] = h.NewStream(fmt.Sprintf("reduce-%d", s))
+		if sets[s].in, err = h.Malloc(chunkLen); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+		if sets[s].part, err = h.Malloc(ceilDiv(chunkLen, width)); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+	}
+
+	var total Word
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkLen
+		hi := lo + chunkLen
+		if hi > r.N {
+			hi = r.N
+		}
+		cn := hi - lo
+		s, set := streams[c%numStreams], sets[c%numStreams]
+		if err := h.AsyncTransferIn(s, set.in, input[lo:hi]); err != nil {
+			return 0, err
+		}
+		in, out := set.in, set.part
+		count := cn
+		for count > 1 {
+			prog, err := (Reduce{N: cn}).Kernel(width, in, out, count)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := h.AsyncLaunch(s, prog, ceilDiv(count, width)); err != nil {
+				return 0, err
+			}
+			count = ceilDiv(count, width)
+			in, out = out, in
+		}
+		part, err := h.AsyncTransferOut(s, in, 1)
+		if err != nil {
+			return 0, err
+		}
+		total += part[0]
+	}
+	h.EndRound()
+	return total, nil
+}
+
+// PipelinedMatMul computes C = A×B by row bands: B is transferred once,
+// then each band of A's rows streams in, multiplies against B, and its
+// C band streams out. Chunks selects the band count (clamped to the
+// tile-row count).
+type PipelinedMatMul struct {
+	N       int
+	Chunks  int
+	Streams int
+}
+
+// Name identifies the workload.
+func (m PipelinedMatMul) Name() string { return "matmul-pipelined" }
+
+// bands returns the tile-row banding: tile rows per band and band count.
+func (m PipelinedMatMul) bands(b int) (bandTiles, numBands, numStreams int, err error) {
+	return pipeShape(m.N/b, m.Chunks, m.Streams)
+}
+
+// GlobalWords returns the footprint: full B plus per-stream A and C
+// band buffers.
+func (m PipelinedMatMul) GlobalWords(b int) (int, error) {
+	if m.N <= 0 || b <= 0 || m.N%b != 0 {
+		return 0, fmt.Errorf("%w: n=%d b=%d", ErrBadShape, m.N, b)
+	}
+	bandTiles, _, streams, err := m.bands(b)
+	if err != nil {
+		return 0, err
+	}
+	return m.N*m.N + 2*streams*bandTiles*b*m.N, nil
+}
+
+// Analyze returns the banded account: one round per band. The first
+// round carries B's full inward transfer alongside its A band; each
+// round's blocks are the band's tile rows times the column tiles.
+func (m PipelinedMatMul) Analyze(p core.Params) (*core.Analysis, error) {
+	if m.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, m.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N%p.B != 0 {
+		return nil, fmt.Errorf("%w: n=%d not a multiple of b=%d", ErrBadShape, m.N, p.B)
+	}
+	bandTiles, numBands, _, err := m.bands(p.B)
+	if err != nil {
+		return nil, err
+	}
+	global, err := m.GlobalWords(p.B)
+	if err != nil {
+		return nil, err
+	}
+	tiles := m.N / p.B
+	tileRows := tiles
+	a := &core.Analysis{Name: m.Name(), Params: p}
+	for band := 0; band < numBands; band++ {
+		bt := bandTiles
+		if last := tileRows - band*bandTiles; last < bt {
+			bt = last
+		}
+		rows := bt * p.B
+		k := bt * tiles
+		round := core.Round{
+			Time:            matMulOps(m.N, p.B),
+			IO:              float64(k * (2*m.N + p.B)),
+			GlobalWords:     global,
+			SharedWords:     3 * p.B * p.B,
+			Blocks:          k,
+			InWords:         rows * m.N,
+			InTransactions:  1,
+			OutWords:        rows * m.N,
+			OutTransactions: 1,
+		}
+		if band == 0 {
+			round.InWords += m.N * m.N
+			round.InTransactions++
+		}
+		a.Rounds = append(a.Rounds, round)
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run executes the banded plan on h and returns C (row-major n×n).
+func (m PipelinedMatMul) Run(h *simgpu.Host, a, b []Word) ([]Word, error) {
+	nn := m.N * m.N
+	if err := checkLen("a", len(a), nn); err != nil {
+		return nil, err
+	}
+	if err := checkLen("b", len(b), nn); err != nil {
+		return nil, err
+	}
+	width := h.Device().Config().WarpWidth
+	if m.N%width != 0 {
+		return nil, fmt.Errorf("%w: n=%d not a multiple of warp width %d", ErrBadShape, m.N, width)
+	}
+	bandTiles, numBands, numStreams, err := m.bands(width)
+	if err != nil {
+		return nil, err
+	}
+	bandRows := bandTiles * width
+	tiles := m.N / width
+
+	baseB, err := h.Malloc(nn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	// B moves once, up front; every band stream waits for it.
+	if err := h.TransferIn(baseB, b); err != nil {
+		return nil, err
+	}
+	evB := h.DefaultStream().Record()
+
+	type bufs struct{ a, c int }
+	streams := make([]*simgpu.Stream, numStreams)
+	sets := make([]bufs, numStreams)
+	for s := range streams {
+		streams[s] = h.NewStream(fmt.Sprintf("matmul-%d", s))
+		streams[s].Wait(evB)
+		if sets[s].a, err = h.Malloc(bandRows * m.N); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+		if sets[s].c, err = h.Malloc(bandRows * m.N); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+		}
+	}
+
+	out := make([]Word, nn)
+	for band := 0; band < numBands; band++ {
+		bt := bandTiles
+		if last := tiles - band*bandTiles; last < bt {
+			bt = last
+		}
+		rows := bt * width
+		rowLo := band * bandRows
+		s, set := streams[band%numStreams], sets[band%numStreams]
+		// The kernel's block row index is band-local, so the full-matrix
+		// program computes exactly this band when launched with bt·tiles
+		// blocks over the band buffers.
+		prog, err := (MatMul{N: m.N}).Kernel(width, set.a, baseB, set.c)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.AsyncTransferIn(s, set.a, a[rowLo*m.N:(rowLo+rows)*m.N]); err != nil {
+			return nil, err
+		}
+		if _, err := h.AsyncLaunch(s, prog, bt*tiles); err != nil {
+			return nil, err
+		}
+		bandOut, err := h.AsyncTransferOut(s, set.c, rows*m.N)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[rowLo*m.N:(rowLo+rows)*m.N], bandOut)
+	}
+	h.EndRound()
+	return out, nil
+}

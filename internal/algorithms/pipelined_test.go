@@ -1,0 +1,254 @@
+package algorithms
+
+import (
+	"testing"
+
+	"atgpu/internal/core"
+	"atgpu/internal/simgpu"
+)
+
+// pipeHost builds a host roomy enough for pipelined buffer sets.
+func pipeHost(t testing.TB, globalWords int) *simgpu.Host {
+	t.Helper()
+	return newTestHost(t, globalWords)
+}
+
+func TestPipelinedVecAddCorrectness(t *testing.T) {
+	for _, tc := range []struct{ n, chunks, streams int }{
+		{100, 4, 2},
+		{100, 4, 1},
+		{100, 7, 3}, // uneven chunks, final partial
+		{5, 8, 2},   // more chunks than elements
+		{64, 1, 2},  // single chunk degenerates to one stream
+		{33, 4, 0},  // default stream count
+	} {
+		v := PipelinedVecAdd{N: tc.n, Chunks: tc.chunks, Streams: tc.streams}
+		words, err := v.GlobalWords(4)
+		if err != nil {
+			t.Fatalf("%+v: GlobalWords: %v", tc, err)
+		}
+		h := pipeHost(t, words+64)
+		a, b := randWords(tc.n, 10), randWords(tc.n, 11)
+		got, err := v.Run(h, a, b)
+		if err != nil {
+			t.Fatalf("%+v: Run: %v", tc, err)
+		}
+		want, err := VecAddReference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: c[%d] = %d, want %d", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPipelinedReduceCorrectness(t *testing.T) {
+	for _, tc := range []struct{ n, chunks, streams int }{
+		{256, 4, 2},
+		{100, 4, 2}, // partial final chunk, non-pow2 chunk sizes
+		{100, 3, 1},
+		{7, 16, 2},
+		{1, 4, 2},
+	} {
+		r := PipelinedReduce{N: tc.n, Chunks: tc.chunks, Streams: tc.streams}
+		words, err := r.GlobalWords(4) // Tiny warp width
+		if err != nil {
+			t.Fatalf("%+v: GlobalWords: %v", tc, err)
+		}
+		h := pipeHost(t, words+64)
+		in := randWords(tc.n, 20)
+		got, err := r.Run(h, in)
+		if err != nil {
+			t.Fatalf("%+v: Run: %v", tc, err)
+		}
+		if want := ReduceReference(in); got != want {
+			t.Fatalf("%+v: sum = %d, want %d", tc, got, want)
+		}
+	}
+}
+
+func TestPipelinedMatMulCorrectness(t *testing.T) {
+	for _, tc := range []struct{ n, chunks, streams int }{
+		{16, 4, 2}, // 4 tile rows, one per band
+		{16, 2, 2},
+		{12, 2, 1}, // 3 tile rows in 2 bands: partial final band
+		{8, 5, 2},  // more bands requested than tile rows
+	} {
+		m := PipelinedMatMul{N: tc.n, Chunks: tc.chunks, Streams: tc.streams}
+		words, err := m.GlobalWords(4)
+		if err != nil {
+			t.Fatalf("%+v: GlobalWords: %v", tc, err)
+		}
+		h := pipeHost(t, words+64)
+		a, b := randWords(tc.n*tc.n, 30), randWords(tc.n*tc.n, 31)
+		got, err := m.Run(h, a, b)
+		if err != nil {
+			t.Fatalf("%+v: Run: %v", tc, err)
+		}
+		want, err := MatMulReference(a, b, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: c[%d] = %d, want %d", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPipelinedBeatsSequential is the tentpole's acceptance criterion: with
+// ≥4 chunks, the multi-stream schedule finishes strictly earlier than the
+// single-stream chunked baseline on identical inputs, and the saving equals
+// the makespan gap the timeline reports.
+func TestPipelinedBeatsSequential(t *testing.T) {
+	const n, chunks = 512, 4
+	a, b := randWords(n, 40), randWords(n, 41)
+
+	run := func(streams int) *simgpu.Host {
+		v := PipelinedVecAdd{N: n, Chunks: chunks, Streams: streams}
+		words, err := v.GlobalWords(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := pipeHost(t, words+64)
+		if _, err := v.Run(h, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	seq, pipe := run(1), run(2)
+	if seq.OverlapSaved() != 0 {
+		t.Fatalf("single-stream run reports overlap %v", seq.OverlapSaved())
+	}
+	if pipe.OverlapSaved() <= 0 {
+		t.Fatal("multi-stream run reports no overlap")
+	}
+	if pipe.TotalTime() >= seq.TotalTime() {
+		t.Fatalf("pipelined total %v not less than sequential %v",
+			pipe.TotalTime(), seq.TotalTime())
+	}
+	// Work content is identical; only the schedule differs.
+	if pipe.KernelTime() != seq.KernelTime() {
+		t.Fatalf("kernel busy differs: %v vs %v", pipe.KernelTime(), seq.KernelTime())
+	}
+	if pipe.TransferTime() != seq.TransferTime() {
+		t.Fatalf("link busy differs: %v vs %v", pipe.TransferTime(), seq.TransferTime())
+	}
+}
+
+// TestPipelinedDeterministicReplay: identical inputs replay to identical
+// overlapped schedules and identical makespans.
+func TestPipelinedDeterministicReplay(t *testing.T) {
+	run := func() *simgpu.Host {
+		v := PipelinedVecAdd{N: 256, Chunks: 4, Streams: 2}
+		words, err := v.GlobalWords(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := pipeHost(t, words+64)
+		if _, err := v.Run(h, randWords(256, 50), randWords(256, 51)); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h1, h2 := run(), run()
+	a, b := h1.Timeline().Ops(), h2.Timeline().Ops()
+	if len(a) != len(b) {
+		t.Fatalf("op counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].End != b[i].End || a[i].Resource != b[i].Resource {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if h1.TotalTime() != h2.TotalTime() {
+		t.Fatalf("makespans differ: %v vs %v", h1.TotalTime(), h2.TotalTime())
+	}
+}
+
+// TestPipelinedAnalyzeConservation: the chunked accounts move the same
+// words as the monolithic ones and predict a pipelined cost no worse than
+// sequential via core.GPUCostPipelined.
+func TestPipelinedAnalyzeConservation(t *testing.T) {
+	p := core.Params{P: 64, B: 4, M: 64, G: 100000}
+
+	va := PipelinedVecAdd{N: 100, Chunks: 4, Streams: 2}
+	aa, err := va.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out int
+	for _, r := range aa.Rounds {
+		in += r.InWords
+		out += r.OutWords
+	}
+	if in != 2*va.N || out != va.N {
+		t.Fatalf("vecadd words moved: in=%d out=%d, want %d/%d", in, out, 2*va.N, va.N)
+	}
+	cost := core.CostParams{
+		Gamma: 1e6, Lambda: 4, Sigma: 1e-4,
+		Alpha: 1e-5, Beta: 1e-6, KPrime: 2, H: 2,
+	}
+	pc, err := core.GPUCostPipelined(aa, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Pipelined > pc.Sequential {
+		t.Fatalf("predicted pipelined %g worse than sequential %g", pc.Pipelined, pc.Sequential)
+	}
+	if pc.Saving() <= 0 {
+		t.Fatalf("4-chunk vecadd predicts no overlap saving: %+v", pc)
+	}
+
+	rd := PipelinedReduce{N: 256, Chunks: 4, Streams: 2}
+	ra, err := rd.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out = 0, 0
+	for _, r := range ra.Rounds {
+		in += r.InWords
+		out += r.OutWords
+	}
+	if in != rd.N || out != 4 {
+		t.Fatalf("reduce words moved: in=%d out=%d, want %d/4", in, out, rd.N)
+	}
+
+	mm := PipelinedMatMul{N: 16, Chunks: 4, Streams: 2}
+	ma, err := mm.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out = 0, 0
+	for _, r := range ma.Rounds {
+		in += r.InWords
+		out += r.OutWords
+	}
+	if in != 2*mm.N*mm.N || out != mm.N*mm.N {
+		t.Fatalf("matmul words moved: in=%d out=%d, want %d/%d", in, out, 2*mm.N*mm.N, mm.N*mm.N)
+	}
+}
+
+func TestPipelinedValidationErrors(t *testing.T) {
+	if _, err := (PipelinedVecAdd{N: 0, Chunks: 4}).GlobalWords(4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := (PipelinedVecAdd{N: 8, Chunks: 0}).GlobalWords(4); err == nil {
+		t.Error("chunks=0 accepted")
+	}
+	if _, err := (PipelinedVecAdd{N: 8, Chunks: 2, Streams: -1}).GlobalWords(4); err == nil {
+		t.Error("negative streams accepted")
+	}
+	h := pipeHost(t, 4096)
+	if _, err := (PipelinedVecAdd{N: 8, Chunks: 2}).Run(h, make([]Word, 7), make([]Word, 8)); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := (PipelinedMatMul{N: 6, Chunks: 2}).Run(h, make([]Word, 36), make([]Word, 36)); err == nil {
+		t.Error("n not multiple of warp width accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// pipeRound is an occupancy-neutral round (f = 1 under testCost) with
+// hand-friendly costs: TI = 0.11, C = 0.01, TO = 0.06.
+func pipeRound() Round {
+	return Round{
+		Time:            10,
+		Blocks:          4,
+		InWords:         100,
+		InTransactions:  1,
+		OutWords:        50,
+		OutTransactions: 1,
+	}
+}
+
+func pipeAnalysis(rounds int) *Analysis {
+	a := &Analysis{Params: Params{P: 128, B: 32, M: 100, G: 10000}}
+	for i := 0; i < rounds; i++ {
+		a.Rounds = append(a.Rounds, pipeRound())
+	}
+	return a
+}
+
+func TestPipelinedClosedForm(t *testing.T) {
+	// For R identical rounds the pipeline makespan is
+	// TI + C + TO + (R−1)·max(TI, C, TO).
+	c := testCost()
+	const ti, comp, to = 0.11, 0.01, 0.06
+	for _, rounds := range []int{1, 2, 4, 7} {
+		p, err := GPUCostPipelined(pipeAnalysis(rounds), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSeq := float64(rounds)*(ti+comp+to) + c.Sigma
+		wantPipe := ti + comp + to + float64(rounds-1)*ti + c.Sigma
+		if math.Abs(p.Sequential-wantSeq) > 1e-12 {
+			t.Errorf("R=%d: sequential = %g, want %g", rounds, p.Sequential, wantSeq)
+		}
+		if math.Abs(p.Pipelined-wantPipe) > 1e-12 {
+			t.Errorf("R=%d: pipelined = %g, want %g", rounds, p.Pipelined, wantPipe)
+		}
+		if p.Rounds != rounds {
+			t.Errorf("R=%d: rounds = %d", rounds, p.Rounds)
+		}
+	}
+}
+
+func TestPipelinedNeverWorse(t *testing.T) {
+	c := testCost()
+	a := pipeAnalysis(3)
+	// Heterogeneous rounds: vary every component.
+	a.Rounds[1].Time = 200
+	a.Rounds[1].InWords = 10
+	a.Rounds[2].OutWords = 500
+	a.Rounds[2].IO = 7
+	p, err := GPUCostPipelined(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pipelined > p.Sequential {
+		t.Fatalf("pipelined %g > sequential %g", p.Pipelined, p.Sequential)
+	}
+	if p.Saving() < 0 {
+		t.Fatalf("negative saving %g", p.Saving())
+	}
+	if f := p.SavingFraction(); f < 0 || f >= 1 {
+		t.Fatalf("saving fraction %g outside [0,1)", f)
+	}
+}
+
+func TestPipelinedSingleRoundEqualsSequential(t *testing.T) {
+	p, err := GPUCostPipelined(pipeAnalysis(1), testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Pipelined-p.Sequential) > 1e-12 {
+		t.Fatalf("single round: pipelined %g ≠ sequential %g", p.Pipelined, p.Sequential)
+	}
+	if math.Abs(p.Saving()) > 1e-12 {
+		t.Fatalf("single round saving = %g, want 0", p.Saving())
+	}
+}
+
+func TestPipelinedEmptyAnalysis(t *testing.T) {
+	p, err := GPUCostPipelined(pipeAnalysis(0), testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sequential != 0 || p.Pipelined != 0 || p.Rounds != 0 {
+		t.Fatalf("empty analysis priced: %+v", p)
+	}
+	if p.SavingFraction() != 0 {
+		t.Fatalf("empty analysis saving fraction = %g", p.SavingFraction())
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	bad := testCost()
+	bad.Gamma = 0
+	if _, err := GPUCostPipelined(pipeAnalysis(1), bad); !errors.Is(err, ErrBadCostParams) {
+		t.Fatalf("bad params: %v", err)
+	}
+	a := pipeAnalysis(1)
+	a.Rounds[0].SharedWords = a.Params.M + 1
+	if _, err := GPUCostPipelined(a, testCost()); !errors.Is(err, ErrSharedExceeded) {
+		t.Fatalf("infeasible round: %v", err)
+	}
+}
+
+func TestPipelinedBreakdownConsistency(t *testing.T) {
+	c := testCost()
+	p, err := GPUCostPipelined(pipeAnalysis(5), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Breakdown.Total()-p.Sequential) > 1e-12 {
+		t.Fatalf("breakdown total %g ≠ sequential %g", p.Breakdown.Total(), p.Sequential)
+	}
+	if p.Breakdown.Sync != c.Sigma {
+		t.Fatalf("breakdown sync = %g, want single σ = %g", p.Breakdown.Sync, c.Sigma)
+	}
+	// The pipelined makespan can never beat its slowest resource.
+	floor := max2(p.Breakdown.TransferIn,
+		max2(p.Breakdown.Compute+p.Breakdown.MemoryIO, p.Breakdown.TransferOut)) + c.Sigma
+	if p.Pipelined < floor-1e-12 {
+		t.Fatalf("pipelined %g below resource floor %g", p.Pipelined, floor)
+	}
+}
+
+// TestBreakdownTransferFractionDegenerate pins the guard satellite: a
+// degenerate breakdown must yield 0, never NaN or ±Inf.
+func TestBreakdownTransferFractionDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Breakdown
+		want float64
+	}{
+		{"zero", Breakdown{}, 0},
+		{"negative total", Breakdown{Compute: -1}, 0},
+		{"transfer cancels compute", Breakdown{TransferIn: 1, Compute: -1}, 0},
+		{"healthy", Breakdown{TransferIn: 1, TransferOut: 1, Compute: 2}, 0.5},
+	}
+	for _, tc := range cases {
+		got := tc.b.TransferFraction()
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: non-finite fraction %g", tc.name, got)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: fraction = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSavingFractionDegenerate mirrors the guard for PipelinedCost.
+func TestSavingFractionDegenerate(t *testing.T) {
+	for _, p := range []PipelinedCost{
+		{},
+		{Sequential: -1, Pipelined: -2},
+	} {
+		if f := p.SavingFraction(); f != 0 {
+			t.Errorf("degenerate %+v: saving fraction = %g, want 0", p, f)
+		}
+	}
+}

@@ -14,6 +14,36 @@ import (
 // uploads the numbers as BENCH_sweep.json.
 //
 // Calibration runs once per worker count, outside the timed loop.
+// BenchmarkPipelineOverlap measures the pipelined vecadd sweep — every
+// point simulates both the sequential-chunked and the overlapped
+// two-stream schedule — at increasing chunk counts. CI uploads the numbers
+// as BENCH_pipeline.json.
+func BenchmarkPipelineOverlap(b *testing.B) {
+	for _, chunks := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("chunks=%d", chunks), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = 1
+			cfg.Chunks = chunks
+			r, err := NewRunner(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := r.RunVecAddPipelined()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, pt := range data.Points {
+					if pt.ObservedSaving <= 0 {
+						b.Fatalf("n=%d chunks=%d: no overlap saving", pt.N, chunks)
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSweepWorkers(b *testing.B) {
 	counts := []int{1, 2, 4}
 	if p := runtime.GOMAXPROCS(0); p > 4 {

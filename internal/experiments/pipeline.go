@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/core"
+	"atgpu/internal/simgpu"
+)
+
+// Pipelined sweeps compare the sequential-chunked schedule against the
+// overlapped multi-stream schedule of the same workload on identical
+// inputs, alongside the overlapped-cost model's prediction of both
+// (core.GPUCostPipelined). Every point runs two fresh hosts — one with a
+// single stream, one with pipelineStreams — so the observed gap is purely
+// the schedule, never the inputs or the device.
+
+// pipelineStreams is the stream count of the overlapped schedule: classic
+// double buffering. The sequential baseline always uses one stream.
+const pipelineStreams = 2
+
+// defaultChunks is the chunk count when Config.Chunks is zero. Four chunks
+// is the smallest split where the steady-state of the pipeline dominates
+// its fill and drain.
+const defaultChunks = 4
+
+// chunks resolves the effective chunk count.
+func (c Config) chunks() int {
+	if c.Chunks > 0 {
+		return c.Chunks
+	}
+	return defaultChunks
+}
+
+// PipelinePoint is one input size's sequential-versus-pipelined outcome.
+type PipelinePoint struct {
+	// N is the input size (vector length or matrix side).
+	N int
+	// Chunks and Streams describe the overlapped schedule.
+	Chunks, Streams int
+	// SequentialTime and PipelinedTime are the observed simulated totals
+	// in seconds for the one-stream and multi-stream runs.
+	SequentialTime, PipelinedTime float64
+	// ObservedSaving is SequentialTime − PipelinedTime (seconds).
+	ObservedSaving float64
+	// PredictedSequential and PredictedPipelined are the overlapped-cost
+	// model's totals in seconds; PredictedSaving their difference.
+	PredictedSequential, PredictedPipelined, PredictedSaving float64
+}
+
+// ObservedSavingFraction is the observed saving over the sequential total
+// (0 when degenerate).
+func (p PipelinePoint) ObservedSavingFraction() float64 {
+	if p.SequentialTime <= 0 {
+		return 0
+	}
+	return p.ObservedSaving / p.SequentialTime
+}
+
+// PredictedSavingFraction is the predicted saving over the predicted
+// sequential total (0 when degenerate).
+func (p PipelinePoint) PredictedSavingFraction() float64 {
+	if p.PredictedSequential <= 0 {
+		return 0
+	}
+	return p.PredictedSaving / p.PredictedSequential
+}
+
+// PipelineData is one workload's pipelined sweep.
+type PipelineData struct {
+	// Workload names the pipelined algorithm.
+	Workload string
+	// Points holds one entry per input size, ascending.
+	Points []PipelinePoint
+}
+
+// runPipelineSweep mirrors runSweep for pipeline points: points are
+// self-contained, so the assembly is byte-identical for any worker count.
+func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, n int) (PipelinePoint, error)) (*PipelineData, error) {
+	data := &PipelineData{Workload: workload, Points: make([]PipelinePoint, len(sizes))}
+	errs := make([]error, len(sizes))
+	workers := r.cfg.workers()
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+	if workers <= 1 {
+		for i, n := range sizes {
+			pt, err := point(i, n)
+			if err != nil {
+				return nil, err
+			}
+			data.Points[i] = pt
+		}
+		return data, nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pt, err := point(i, sizes[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				data.Points[i] = pt
+			}
+		}()
+	}
+	for i := range sizes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// observePipeline runs both schedules and fills the observed fields.
+// footprint sizes each host; run drives the workload on a host built with
+// the given stream count.
+func (r *Runner) observePipeline(pt *PipelinePoint, workload string, n, idx int,
+	footprint func(streams int) (int, error),
+	run func(h *simgpu.Host, streams int) error) error {
+	observe := func(streams int) (float64, error) {
+		words, err := footprint(streams)
+		if err != nil {
+			return 0, err
+		}
+		h, err := r.newHost(words, workload, n, idx)
+		if err != nil {
+			return 0, err
+		}
+		if err := run(h, streams); err != nil {
+			return 0, err
+		}
+		return h.Report().Total.Seconds(), nil
+	}
+	seq, err := observe(1)
+	if err != nil {
+		return fmt.Errorf("%s n=%d sequential: %w", workload, n, err)
+	}
+	pipe, err := observe(pt.Streams)
+	if err != nil {
+		return fmt.Errorf("%s n=%d pipelined: %w", workload, n, err)
+	}
+	pt.SequentialTime = seq
+	pt.PipelinedTime = pipe
+	pt.ObservedSaving = seq - pipe
+	return nil
+}
+
+// predictPipeline fills the model-side fields from a chunked analysis.
+func (r *Runner) predictPipeline(pt *PipelinePoint, a *core.Analysis) error {
+	pc, err := core.GPUCostPipelined(a, r.params)
+	if err != nil {
+		return err
+	}
+	pt.PredictedSequential = pc.Sequential
+	pt.PredictedPipelined = pc.Pipelined
+	pt.PredictedSaving = pc.Saving()
+	return nil
+}
+
+// RunVecAddPipelined sweeps chunked vector addition, sequential versus
+// overlapped.
+func (r *Runner) RunVecAddPipelined() (*PipelineData, error) {
+	chunks := r.cfg.chunks()
+	b := r.cfg.Device.WarpWidth
+	return r.runPipelineSweep("vecadd-pipelined", r.VecAddSizes(), func(idx, n int) (PipelinePoint, error) {
+		pt := PipelinePoint{N: n, Chunks: chunks, Streams: pipelineStreams}
+		alg := algorithms.PipelinedVecAdd{N: n, Chunks: chunks, Streams: pipelineStreams}
+
+		chunkLen := (n + chunks - 1) / chunks
+		analysis, err := alg.Analyze(r.modelParams((chunkLen + b - 1) / b))
+		if err != nil {
+			return pt, fmt.Errorf("vecadd-pipelined n=%d: analyze: %w", n, err)
+		}
+		if err := r.predictPipeline(&pt, analysis); err != nil {
+			return pt, fmt.Errorf("vecadd-pipelined n=%d: predict: %w", n, err)
+		}
+
+		rng := r.inputRNG("vecadd-pipelined", n, idx)
+		a := randWords(rng, n)
+		bb := randWords(rng, n)
+		err = r.observePipeline(&pt, "vecadd-pipelined", n, idx,
+			func(streams int) (int, error) {
+				return algorithms.PipelinedVecAdd{N: n, Chunks: chunks, Streams: streams}.GlobalWords(r.cfg.Device.WarpWidth)
+			},
+			func(h *simgpu.Host, streams int) error {
+				_, err := algorithms.PipelinedVecAdd{N: n, Chunks: chunks, Streams: streams}.Run(h, a, bb)
+				return err
+			})
+		return pt, err
+	})
+}
+
+// RunReducePipelined sweeps chunked reduction, sequential versus
+// overlapped.
+func (r *Runner) RunReducePipelined() (*PipelineData, error) {
+	chunks := r.cfg.chunks()
+	b := r.cfg.Device.WarpWidth
+	return r.runPipelineSweep("reduce-pipelined", r.ReduceSizes(), func(idx, n int) (PipelinePoint, error) {
+		pt := PipelinePoint{N: n, Chunks: chunks, Streams: pipelineStreams}
+		alg := algorithms.PipelinedReduce{N: n, Chunks: chunks, Streams: pipelineStreams}
+
+		chunkLen := (n + chunks - 1) / chunks
+		analysis, err := alg.Analyze(r.modelParams((chunkLen + b - 1) / b))
+		if err != nil {
+			return pt, fmt.Errorf("reduce-pipelined n=%d: analyze: %w", n, err)
+		}
+		if err := r.predictPipeline(&pt, analysis); err != nil {
+			return pt, fmt.Errorf("reduce-pipelined n=%d: predict: %w", n, err)
+		}
+
+		in := randBits(r.inputRNG("reduce-pipelined", n, idx), n)
+		want := algorithms.ReduceReference(in)
+		err = r.observePipeline(&pt, "reduce-pipelined", n, idx,
+			func(streams int) (int, error) {
+				return algorithms.PipelinedReduce{N: n, Chunks: chunks, Streams: streams}.GlobalWords(b)
+			},
+			func(h *simgpu.Host, streams int) error {
+				got, err := algorithms.PipelinedReduce{N: n, Chunks: chunks, Streams: streams}.Run(h, in)
+				if err != nil {
+					return err
+				}
+				if got != want {
+					return fmt.Errorf("%w: got %d want %d", algorithms.ErrVerifyFail, got, want)
+				}
+				return nil
+			})
+		return pt, err
+	})
+}
+
+// RunMatMulPipelined sweeps row-banded matrix multiplication, sequential
+// versus overlapped.
+func (r *Runner) RunMatMulPipelined() (*PipelineData, error) {
+	chunks := r.cfg.chunks()
+	b := r.cfg.Device.WarpWidth
+	return r.runPipelineSweep("matmul-pipelined", r.MatMulSizes(), func(idx, n int) (PipelinePoint, error) {
+		pt := PipelinePoint{N: n, Chunks: chunks, Streams: pipelineStreams}
+		alg := algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: pipelineStreams}
+
+		// The widest band launches bandTiles·(n/b) blocks.
+		tiles := n / b
+		bands := chunks
+		if bands > tiles {
+			bands = tiles
+		}
+		bandTiles := (tiles + bands - 1) / bands
+		analysis, err := alg.Analyze(r.modelParams(bandTiles * tiles))
+		if err != nil {
+			return pt, fmt.Errorf("matmul-pipelined n=%d: analyze: %w", n, err)
+		}
+		if err := r.predictPipeline(&pt, analysis); err != nil {
+			return pt, fmt.Errorf("matmul-pipelined n=%d: predict: %w", n, err)
+		}
+
+		rng := r.inputRNG("matmul-pipelined", n, idx)
+		a := randWords(rng, n*n)
+		bm := randWords(rng, n*n)
+		err = r.observePipeline(&pt, "matmul-pipelined", n, idx,
+			func(streams int) (int, error) {
+				return algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: streams}.GlobalWords(b)
+			},
+			func(h *simgpu.Host, streams int) error {
+				_, err := algorithms.PipelinedMatMul{N: n, Chunks: chunks, Streams: streams}.Run(h, a, bm)
+				return err
+			})
+		return pt, err
+	})
+}

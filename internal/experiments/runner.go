@@ -69,6 +69,10 @@ type Config struct {
 	// N, point index), never from execution order.
 	Workers int
 
+	// Chunks is the chunk (or matmul band) count of the pipelined sweeps
+	// (RunVecAddPipelined and friends). 0 uses defaultChunks.
+	Chunks int
+
 	// FaultRate enables fault injection when > 0: the per-decision
 	// probability, in [0,1], of a transfer or launch fault. At 0 (the
 	// default) no injector is attached and every output is identical to a
@@ -97,6 +101,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("experiments: negative Workers %d", c.Workers)
+	}
+	if c.Chunks < 0 {
+		return fmt.Errorf("experiments: negative Chunks %d", c.Chunks)
 	}
 	for _, s := range []struct {
 		name  string

@@ -8,6 +8,7 @@ import (
 	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
+	"atgpu/internal/timeline"
 	"atgpu/internal/transfer"
 )
 
@@ -52,21 +53,25 @@ func (r *ResilienceStats) Merge(other ResilienceStats) {
 	r.FailedSMs += other.FailedSMs
 }
 
-// Host drives the device through the ATGPU round structure on a simulated
-// timeline: "A round begins by the host transferring data to the device
-// global memory. The kernel is then ran ... The round ends with output data
-// being transferred from global memory to the host. Synchronisation
-// operations occur, and the subsequent round commences."
+// Host drives the device through the ATGPU round structure on a shared
+// simulated timeline: "A round begins by the host transferring data to the
+// device global memory. The kernel is then ran ... The round ends with
+// output data being transferred from global memory to the host.
+// Synchronisation operations occur, and the subsequent round commences."
 //
-// The Host splits elapsed simulated time into kernel time, transfer time
-// and synchronisation time so experiments can report both the "Kernel" and
-// "Total" series of the paper's observed-results figures.
+// All costs — transfers, kernels, σ — are charged as occupancies of
+// timeline resources: the H2D and D2H halves of the PCIe link, the SM
+// array, and the host sync path. The synchronous TransferIn / Launch /
+// TransferOut methods issue onto a single default stream, where every
+// operation chains on the previous one and elapsed time degenerates to the
+// plain sum kernel + transfer + sync; the Async* stream API (stream.go)
+// lets operations in different streams overlap on the same resources.
 //
-// Concurrency contract: a Host (and its Device) is single-goroutine — the
-// simulated timeline is one sequential program. Run concurrent sweeps on
-// separate Host/Device pairs; the transfer.Engine and fault injector are
-// internally locked, and Stats/ResilienceStats values can be folded across
-// hosts with their Merge methods afterwards.
+// Concurrency contract: a Host (and its Device and timeline) is
+// single-goroutine — the simulated timeline is one sequential program. Run
+// concurrent sweeps on separate Host/Device pairs; the transfer.Engine and
+// fault injector are internally locked, and Stats/ResilienceStats values
+// can be folded across hosts with their Merge methods afterwards.
 type Host struct {
 	dev    *Device
 	engine *transfer.Engine
@@ -74,13 +79,19 @@ type Host struct {
 	// SyncCost is the fixed per-synchronisation charge, the model's σ.
 	SyncCost time.Duration
 
-	kernelTime   time.Duration
-	transferTime time.Duration
-	syncTime     time.Duration
-	rounds       int
-	kernelStats  KernelStats
-	launches     int
-	tracer       *Tracer
+	tl         *timeline.Timeline
+	resH2D     *timeline.Resource // host-to-device half of the PCIe link
+	resD2H     *timeline.Resource // device-to-host half of the PCIe link
+	resCompute *timeline.Resource // the SM array
+	resSync    *timeline.Resource // host-side synchronisation path
+	def        *Stream
+	streams    []*Stream
+	barrier    timeline.Event // where newly created streams start
+
+	rounds      int
+	kernelStats KernelStats
+	launches    int
+	tracer      *Tracer
 
 	inj           faults.Injector
 	watchdog      time.Duration
@@ -99,7 +110,14 @@ func NewHost(dev *Device, engine *transfer.Engine, syncCost time.Duration) (*Hos
 	if syncCost < 0 {
 		return nil, fmt.Errorf("simgpu: negative sync cost %v", syncCost)
 	}
-	return &Host{dev: dev, engine: engine, SyncCost: syncCost}, nil
+	h := &Host{dev: dev, engine: engine, SyncCost: syncCost}
+	h.tl = timeline.New()
+	h.resH2D = h.tl.NewResource("h2d")
+	h.resD2H = h.tl.NewResource("d2h")
+	h.resCompute = h.tl.NewResource("compute")
+	h.resSync = h.tl.NewResource("sync")
+	h.def = h.NewStream("default")
+	return h, nil
 }
 
 // Device returns the underlying device.
@@ -108,43 +126,34 @@ func (h *Host) Device() *Device { return h.dev }
 // Engine returns the transfer engine.
 func (h *Host) Engine() *transfer.Engine { return h.engine }
 
+// Timeline returns the host's shared simulated timeline, for inspecting
+// the schedule (per-resource busy intervals, op dependency edges).
+func (h *Host) Timeline() *timeline.Timeline { return h.tl }
+
 // Malloc allocates size words of device global memory aligned to a block
 // boundary and returns the base address, enforcing the G constraint.
 func (h *Host) Malloc(size int) (int, error) {
 	return h.dev.Arena().AllocAligned(size)
 }
 
-// TransferIn moves data from the host to device global memory at offset,
-// advancing the transfer clock (the W operator, host-to-device direction).
+// TransferIn moves data from the host to device global memory at offset on
+// the default stream (the W operator, host-to-device direction).
 func (h *Host) TransferIn(offset int, data []mem.Word) error {
-	d, err := h.engine.In(h.dev.Global(), offset, data)
-	if err != nil {
-		return err
-	}
-	h.transferTime += d
-	return nil
+	return h.AsyncTransferIn(h.def, offset, data)
 }
 
-// TransferInChunked moves data in fixed-size chunks, paying the Boyer α per
-// chunk — the partitioned transfer of the paper's future-work discussion.
+// TransferInChunked moves data in fixed-size chunks on the default stream,
+// paying the Boyer α per chunk — the partitioned transfer of the paper's
+// future-work discussion.
 func (h *Host) TransferInChunked(offset int, data []mem.Word, chunk int) error {
-	d, err := h.engine.InChunked(h.dev.Global(), offset, data, chunk)
-	if err != nil {
-		return err
-	}
-	h.transferTime += d
-	return nil
+	return h.AsyncTransferInChunked(h.def, offset, data, chunk)
 }
 
 // TransferOut moves length words at offset from device global memory back
-// to the host (the W operator, device-to-host direction).
+// to the host on the default stream (the W operator, device-to-host
+// direction).
 func (h *Host) TransferOut(offset, length int) ([]mem.Word, error) {
-	data, d, err := h.engine.Out(h.dev.Global(), offset, length)
-	if err != nil {
-		return nil, err
-	}
-	h.transferTime += d
-	return data, nil
+	return h.AsyncTransferOut(h.def, offset, length)
 }
 
 // SetTracer attaches a scheduling tracer recording every subsequent
@@ -175,72 +184,60 @@ func (h *Host) SetFaults(inj faults.Injector, watchdog time.Duration, maxRelaunc
 	return nil
 }
 
-// Launch runs the kernel, advancing the kernel clock and folding the
-// launch's statistics into the host totals.
+// Launch runs the kernel on the default stream, folding the launch's
+// statistics into the host totals.
 //
 // With a fault injector attached, a hung launch burns the watchdog timeout
-// on the kernel clock and is relaunched (up to the relaunch budget, then
-// ErrWatchdogExhausted), and an SM failure takes the victim out of service
-// before the launch proceeds degraded on the surviving multiprocessors —
-// occupancy is recomputed by the device and results stay exact.
+// on the compute resource and is relaunched (up to the relaunch budget,
+// then ErrWatchdogExhausted), and an SM failure takes the victim out of
+// service before the launch proceeds degraded on the surviving
+// multiprocessors — occupancy is recomputed by the device and results stay
+// exact.
 func (h *Host) Launch(prog *kernel.Program, numBlocks int) (KernelResult, error) {
-	for attempt := 0; ; attempt++ {
-		if h.inj != nil {
-			d := h.inj.Launch(attempt, h.dev.Config().NumSMs)
-			switch d.Kind {
-			case faults.Hang:
-				h.kernelTime += h.watchdog
-				h.resil.WatchdogFires++
-				h.resil.WatchdogTime += h.watchdog
-				if attempt >= h.maxRelaunches {
-					return KernelResult{}, fmt.Errorf("%w: kernel %s hung %d times",
-						ErrWatchdogExhausted, prog.Name, attempt+1)
-				}
-				h.resil.Relaunches++
-				continue
-			case faults.SMFail:
-				n := h.dev.Config().NumSMs
-				victim := ((d.Victim % n) + n) % n
-				// Graceful floor: failing the last active SM is refused
-				// and the launch proceeds at current capacity.
-				if err := h.dev.FailSM(victim); err == nil {
-					h.resil.FailedSMs++
-				}
-			}
-		}
-		res, err := h.dev.LaunchTraced(prog, numBlocks, h.tracer)
-		if err != nil {
-			return res, err
-		}
-		if h.dev.ActiveSMs() < h.dev.Config().NumSMs {
-			h.resil.DegradedLaunches++
-		}
-		h.kernelTime += res.Time
-		h.kernelStats.Merge(res.Stats)
-		h.launches++
-		return res, nil
-	}
+	return h.AsyncLaunch(h.def, prog, numBlocks)
 }
 
-// EndRound charges σ and increments the round counter.
+// EndRound closes a round: σ is charged on the sync path after every
+// stream's outstanding work, all streams resume after it (a device-wide
+// barrier), and the round counter advances.
 func (h *Host) EndRound() {
-	h.syncTime += h.SyncCost
+	evs := make([]timeline.Event, 0, len(h.streams))
+	for _, s := range h.streams {
+		evs = append(evs, s.frontier)
+	}
+	sync := h.tl.Schedule(h.resSync, h.SyncCost, "sync", h.tl.AfterAll(evs...))
+	for _, s := range h.streams {
+		s.frontier = sync
+	}
+	h.barrier = sync
 	h.rounds++
 }
 
-// KernelTime returns accumulated kernel execution time.
-func (h *Host) KernelTime() time.Duration { return h.kernelTime }
+// KernelTime returns the total time the SM array was occupied (including
+// watchdog charges from hung launches).
+func (h *Host) KernelTime() time.Duration { return h.resCompute.BusyTime() }
 
-// TransferTime returns accumulated host↔device transfer time.
-func (h *Host) TransferTime() time.Duration { return h.transferTime }
+// TransferTime returns the total time the PCIe link was occupied in
+// either direction.
+func (h *Host) TransferTime() time.Duration {
+	return h.resH2D.BusyTime() + h.resD2H.BusyTime()
+}
 
 // SyncTime returns accumulated synchronisation (σ) time.
-func (h *Host) SyncTime() time.Duration { return h.syncTime }
+func (h *Host) SyncTime() time.Duration { return h.resSync.BusyTime() }
 
-// TotalTime returns the full simulated wall time: kernel + transfer + sync.
-// This is the "Total" series of the paper's observed figures.
-func (h *Host) TotalTime() time.Duration {
-	return h.kernelTime + h.transferTime + h.syncTime
+// TotalTime returns the full simulated wall time — the timeline makespan.
+// On the default stream alone every operation chains on the previous one,
+// so this equals kernel + transfer + sync exactly as in the sequential
+// model; with overlapping streams it is strictly the schedule's critical
+// path. This is the "Total" series of the paper's observed figures.
+func (h *Host) TotalTime() time.Duration { return h.tl.Makespan() }
+
+// OverlapSaved reports how much time stream overlap hid relative to
+// running every charged cost back to back: (kernel + transfer + sync) −
+// makespan. Zero for purely sequential (default-stream) execution.
+func (h *Host) OverlapSaved() time.Duration {
+	return h.KernelTime() + h.TransferTime() + h.SyncTime() - h.TotalTime()
 }
 
 // Rounds returns the number of completed rounds R.
@@ -266,12 +263,19 @@ func (h *Host) FaultEvents() []faults.Event {
 	return h.inj.Events()
 }
 
-// ResetClocks zeroes the timeline and counters while keeping device memory
-// contents, for back-to-back measurements on one device. Resilience
-// counters reset too; SM health does not (use Device.RestoreSMs), since a
-// failed multiprocessor stays failed across measurements.
+// ResetClocks rewinds the timeline and counters while keeping device
+// memory contents, for back-to-back measurements on one device. Every
+// existing stream (default included) rejoins the origin and stays usable;
+// events recorded before the reset must not be waited on afterwards.
+// Resilience counters reset too; SM health does not (use
+// Device.RestoreSMs), since a failed multiprocessor stays failed across
+// measurements.
 func (h *Host) ResetClocks() {
-	h.kernelTime, h.transferTime, h.syncTime = 0, 0, 0
+	h.tl.Reset()
+	for _, s := range h.streams {
+		s.frontier = timeline.Event{}
+	}
+	h.barrier = timeline.Event{}
 	h.rounds, h.launches = 0, 0
 	h.kernelStats = KernelStats{}
 	h.resil = ResilienceStats{}
@@ -294,9 +298,9 @@ type RunReport struct {
 // Report snapshots the host's accumulated timing.
 func (h *Host) Report() RunReport {
 	return RunReport{
-		Kernel:     h.kernelTime,
-		Transfer:   h.transferTime,
-		Sync:       h.syncTime,
+		Kernel:     h.KernelTime(),
+		Transfer:   h.TransferTime(),
+		Sync:       h.SyncTime(),
 		Total:      h.TotalTime(),
 		Rounds:     h.rounds,
 		Stats:      h.kernelStats,
@@ -305,8 +309,15 @@ func (h *Host) Report() RunReport {
 	}
 }
 
+// OverlapSaved reports the time stream overlap hid: component sum minus
+// the scheduled total. Zero for sequential runs; never negative.
+func (r RunReport) OverlapSaved() time.Duration {
+	return r.Kernel + r.Transfer + r.Sync - r.Total
+}
+
 // TransferFraction returns the share of total time spent in transfers —
-// the observed Δ_E of the paper's Figure 6.
+// the observed Δ_E of the paper's Figure 6. Degenerate reports (zero or
+// negative total) yield 0, never NaN or ±Inf.
 func (r RunReport) TransferFraction() float64 {
 	if r.Total <= 0 {
 		return 0

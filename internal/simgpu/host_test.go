@@ -1,6 +1,7 @@
 package simgpu
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -184,4 +185,96 @@ func TestHostMallocRespectsG(t *testing.T) {
 // newTestEngine builds a pinned-scheme engine for host tests.
 func newTestEngine() (*transfer.Engine, error) {
 	return transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+}
+
+// TestHostChunkedValidation: non-positive chunks surface the engine's
+// error and charge nothing.
+func TestHostChunkedValidation(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]mem.Word, 64)
+	for _, chunk := range []int{0, -5} {
+		if err := h.TransferInChunked(base, data, chunk); err == nil {
+			t.Errorf("chunk=%d accepted", chunk)
+		}
+	}
+	if h.TransferTime() != 0 || h.TotalTime() != 0 {
+		t.Fatal("rejected chunked transfer charged time")
+	}
+}
+
+// TestHostChunkedPartialFinalChunk: 64 words in chunks of 24 end with a
+// 16-word transaction.
+func TestHostChunkedPartialFinalChunk(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]mem.Word, 64)
+	for i := range data {
+		data[i] = mem.Word(i + 11)
+	}
+	if err := h.TransferInChunked(base, data, 24); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TransferStats().InTransactions; got != 3 {
+		t.Fatalf("transactions = %d, want 3 (24+24+16)", got)
+	}
+	out, err := h.TransferOut(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("word %d = %d, want %d", i, out[i], data[i])
+		}
+	}
+}
+
+// TestHostChunkedChunkBeyondLen: a chunk larger than the data is one
+// plain transaction.
+func TestHostChunkedChunkBeyondLen(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TransferInChunked(base, make([]mem.Word, 40), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TransferStats().InTransactions; got != 1 {
+		t.Fatalf("transactions = %d, want 1", got)
+	}
+}
+
+// TestRunReportTransferFractionDegenerate pins the guard satellite on
+// the simulated side: degenerate reports yield 0, never NaN/±Inf.
+func TestRunReportTransferFractionDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  RunReport
+		want float64
+	}{
+		{"zero", RunReport{}, 0},
+		{"negative total", RunReport{Total: -time.Second, Transfer: time.Second}, 0},
+		{"transfer only", RunReport{Total: time.Second, Transfer: time.Second}, 1},
+		{"half", RunReport{Total: 2 * time.Second, Transfer: time.Second}, 0.5},
+	}
+	for _, tc := range cases {
+		got := tc.rep.TransferFraction()
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: non-finite fraction %g", tc.name, got)
+		}
+		if got != tc.want {
+			t.Errorf("%s: fraction = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	// OverlapSaved on a degenerate report stays well-defined too.
+	if s := (RunReport{}).OverlapSaved(); s != 0 {
+		t.Errorf("zero report overlap = %v", s)
+	}
 }

@@ -1,0 +1,305 @@
+package simgpu
+
+import (
+	"testing"
+	"time"
+
+	"atgpu/internal/mem"
+)
+
+// seqWords builds n deterministic words.
+func seqWords(n int) []mem.Word {
+	w := make([]mem.Word, n)
+	for i := range w {
+		w[i] = mem.Word(i*7 + 3)
+	}
+	return w
+}
+
+// TestDefaultStreamDifferentialIdentity is the refactor's acceptance
+// differential: driving the Host's synchronous API must produce, round
+// by round, exactly the kernel/transfer/sync times obtained by driving
+// the engine and device directly and summing durations — the
+// pre-timeline accounting.
+func TestDefaultStreamDifferentialIdentity(t *testing.T) {
+	const sigma = 75 * time.Microsecond
+	h := newHostPair(t, sigma)
+
+	// Reference stack: an identical device and engine driven directly.
+	refDev, err := New(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := newTestEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := squareKernel()
+	var kSum, tSum, sSum time.Duration
+	for round := 1; round <= 3; round++ {
+		n := 8 * round // vary the transfer size per round
+		data := seqWords(n)
+
+		base, err := h.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBase, err := refDev.Arena().AllocAligned(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base != refBase {
+			t.Fatalf("allocator divergence: %d vs %d", base, refBase)
+		}
+
+		if err := h.TransferIn(base, data); err != nil {
+			t.Fatal(err)
+		}
+		d, err := refEng.In(refDev.Global(), refBase, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tSum += d
+
+		if _, err := h.Launch(prog, round); err != nil {
+			t.Fatal(err)
+		}
+		res, err := refDev.Launch(prog, round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kSum += res.Time
+
+		if _, err := h.TransferOut(base, n); err != nil {
+			t.Fatal(err)
+		}
+		_, d, err = refEng.Out(refDev.Global(), refBase, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tSum += d
+
+		h.EndRound()
+		sSum += sigma
+
+		if h.KernelTime() != kSum {
+			t.Fatalf("round %d: kernel %v, want %v", round, h.KernelTime(), kSum)
+		}
+		if h.TransferTime() != tSum {
+			t.Fatalf("round %d: transfer %v, want %v", round, h.TransferTime(), tSum)
+		}
+		if h.SyncTime() != sSum {
+			t.Fatalf("round %d: sync %v, want %v", round, h.SyncTime(), sSum)
+		}
+		if h.TotalTime() != kSum+tSum+sSum {
+			t.Fatalf("round %d: total %v ≠ kernel+transfer+sync %v",
+				round, h.TotalTime(), kSum+tSum+sSum)
+		}
+		if h.OverlapSaved() != 0 {
+			t.Fatalf("round %d: sequential run reports overlap %v", round, h.OverlapSaved())
+		}
+	}
+}
+
+// TestStreamsOverlapTransferCompute: a transfer on one stream and a
+// kernel on another occupy distinct resources and overlap fully.
+func TestStreamsOverlapTransferCompute(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIn := h.NewStream("in")
+	sRun := h.NewStream("run")
+
+	if err := h.AsyncTransferIn(sIn, base, seqWords(512)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AsyncLaunch(sRun, squareKernel(), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	xfer, kern := sIn.Sync(), sRun.Sync()
+	if xfer <= 0 || kern <= 0 {
+		t.Fatalf("ops cost nothing: xfer=%v kernel=%v", xfer, kern)
+	}
+	want := xfer
+	if kern > want {
+		want = kern
+	}
+	if h.TotalTime() != want {
+		t.Fatalf("total %v, want max(%v, %v) — transfer must overlap compute",
+			h.TotalTime(), xfer, kern)
+	}
+	if h.OverlapSaved() <= 0 {
+		t.Fatal("no overlap recorded")
+	}
+}
+
+// TestSameDirectionTransfersSerialize: H2D transfers on two different
+// streams share the inward link and execute back to back.
+func TestSameDirectionTransfersSerialize(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := h.NewStream("s1")
+	s2 := h.NewStream("s2")
+	if err := h.AsyncTransferIn(s1, base, seqWords(128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AsyncTransferIn(s2, base+128, seqWords(128)); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalTime() != h.TransferTime() {
+		t.Fatalf("total %v ≠ summed link time %v — same-direction transfers must serialize",
+			h.TotalTime(), h.TransferTime())
+	}
+	if h.OverlapSaved() != 0 {
+		t.Fatalf("same-direction transfers reported overlap %v", h.OverlapSaved())
+	}
+}
+
+// TestOppositeDirectionTransfersOverlap: H2D and D2H are distinct link
+// resources (full duplex) and overlap.
+func TestOppositeDirectionTransfersOverlap(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TransferIn(base, seqWords(256)); err != nil {
+		t.Fatal(err)
+	}
+	h.ResetClocks()
+
+	sIn := h.NewStream("in")
+	sOut := h.NewStream("out")
+	if err := h.AsyncTransferIn(sIn, base, seqWords(128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AsyncTransferOut(sOut, base+128, 128); err != nil {
+		t.Fatal(err)
+	}
+	in, out := sIn.Sync(), sOut.Sync()
+	want := in
+	if out > want {
+		want = out
+	}
+	if h.TotalTime() != want {
+		t.Fatalf("total %v, want max(%v, %v) — opposite directions must overlap",
+			h.TotalTime(), in, out)
+	}
+}
+
+// TestRecordWaitOrdering: a stream waiting on another's event starts
+// its next op no earlier than that event.
+func TestRecordWaitOrdering(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIn := h.NewStream("in")
+	sRun := h.NewStream("run")
+
+	if err := h.AsyncTransferIn(sIn, base, seqWords(512)); err != nil {
+		t.Fatal(err)
+	}
+	ev := sIn.Record()
+	sRun.Wait(ev)
+	if _, err := h.AsyncLaunch(sRun, squareKernel(), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	var found bool
+	for _, op := range h.Timeline().Ops() {
+		if op.Resource == "compute" {
+			found = true
+			if op.Start != ev.Time() {
+				t.Fatalf("kernel starts at %v, want %v (after waited event)", op.Start, ev.Time())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no compute op scheduled")
+	}
+	if h.OverlapSaved() != 0 {
+		t.Fatalf("dependent ops reported overlap %v", h.OverlapSaved())
+	}
+}
+
+// TestHostSyncBarrier: Sync joins all streams; later work starts after
+// everything issued before it, and newly created streams start there.
+func TestHostSyncBarrier(t *testing.T) {
+	h := newHostPair(t, 0)
+	base, err := h.Malloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := h.NewStream("s1")
+	if err := h.AsyncTransferIn(s1, base, seqWords(512)); err != nil {
+		t.Fatal(err)
+	}
+	at := h.Sync()
+	if at != h.TotalTime() {
+		t.Fatalf("Sync returned %v, want makespan %v", at, h.TotalTime())
+	}
+	if got := h.DefaultStream().Sync(); got != at {
+		t.Fatalf("default stream frontier %v, want barrier %v", got, at)
+	}
+	late := h.NewStream("late")
+	if _, err := h.AsyncLaunch(late, squareKernel(), 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range h.Timeline().Ops() {
+		if op.Resource == "compute" && op.Start < at {
+			t.Fatalf("post-barrier kernel starts at %v, before barrier %v", op.Start, at)
+		}
+	}
+}
+
+// TestResetClocksStreams: after a reset every stream (default and
+// explicit) rejoins the origin and stays usable.
+func TestResetClocksStreams(t *testing.T) {
+	h := newHostPair(t, time.Microsecond)
+	base, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.NewStream("s")
+	if err := h.AsyncTransferIn(s, base, seqWords(64)); err != nil {
+		t.Fatal(err)
+	}
+	h.EndRound()
+	h.ResetClocks()
+	if h.TotalTime() != 0 || h.SyncTime() != 0 || len(h.Timeline().Ops()) != 0 {
+		t.Fatal("ResetClocks left timeline residue")
+	}
+	if s.Sync() != 0 || h.DefaultStream().Sync() != 0 {
+		t.Fatal("ResetClocks left stream frontiers")
+	}
+	if err := h.AsyncTransferIn(s, base, seqWords(64)); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalTime() != h.TransferTime() {
+		t.Fatalf("post-reset schedule inconsistent: total %v, transfer %v",
+			h.TotalTime(), h.TransferTime())
+	}
+}
+
+// TestForeignStreamPanics: issuing on another host's stream is a
+// programming error.
+func TestForeignStreamPanics(t *testing.T) {
+	h1 := newHostPair(t, 0)
+	h2 := newHostPair(t, 0)
+	s := h2.NewStream("other")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign stream accepted")
+		}
+	}()
+	_ = h1.AsyncTransferIn(s, 0, seqWords(4))
+}

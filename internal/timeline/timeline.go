@@ -1,0 +1,189 @@
+// Package timeline provides a deterministic discrete-event simulated
+// clock for the ATGPU stack.
+//
+// A Timeline owns a set of named Resources (the PCIe link directions,
+// the SM array, the host sync path). Work is charged onto a resource
+// with Schedule, which places an operation of a given duration at the
+// earliest instant compatible with two rules:
+//
+//   - resource serialization: operations on the same resource execute
+//     in submission order, back to back — an op starts no earlier than
+//     the resource's previous op finished;
+//   - dependency edges: an op starts no earlier than every Event it
+//     was scheduled after has completed.
+//
+// Operations on distinct resources with no dependency edge between
+// them overlap freely. The schedule is greedy (no backfilling) and a
+// pure function of the submission sequence, so identical call
+// sequences produce identical timelines — no goroutines, wall clocks
+// or randomness are involved.
+//
+// The zero Event is the timeline origin (t = 0) and is always safe to
+// wait on.
+package timeline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event marks the completion instant of a scheduled operation (or the
+// origin, for the zero value). Events are immutable values: waiting on
+// one never blocks, it only constrains where later operations may be
+// placed.
+type Event struct {
+	op int           // 1-based op index; 0 = origin
+	at time.Duration // completion instant
+}
+
+// Time reports the simulated instant at which the event completes.
+func (e Event) Time() time.Duration { return e.at }
+
+// Interval is one contiguous occupancy of a resource.
+type Interval struct {
+	Label string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration reports the length of the interval.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Resource is a serially-reusable unit of hardware (one direction of
+// the PCIe link, the SM array, ...). All operations charged to the
+// same resource execute in submission order without overlap.
+type Resource struct {
+	tl        *Timeline
+	name      string
+	free      time.Duration // instant the last op finishes
+	busy      time.Duration // total occupied time
+	intervals []Interval
+}
+
+// Name reports the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// BusyTime reports the total time the resource has been occupied —
+// the sum of all interval durations, regardless of overlap with other
+// resources.
+func (r *Resource) BusyTime() time.Duration { return r.busy }
+
+// FreeAt reports the instant the resource's last operation completes.
+func (r *Resource) FreeAt() time.Duration { return r.free }
+
+// Intervals returns a copy of the resource's busy intervals in
+// schedule order.
+func (r *Resource) Intervals() []Interval {
+	out := make([]Interval, len(r.intervals))
+	copy(out, r.intervals)
+	return out
+}
+
+// Op is one scheduled operation, retained for introspection and
+// tracing.
+type Op struct {
+	ID       int // 1-based, in submission order
+	Label    string
+	Resource string
+	Start    time.Duration
+	End      time.Duration
+	Deps     []int // op IDs of the events this op waited on (0 = origin, omitted)
+}
+
+// Timeline is the shared simulated clock. It is not safe for
+// concurrent use; callers (the simgpu Host) serialize access.
+type Timeline struct {
+	resources []*Resource
+	ops       []Op
+	makespan  time.Duration
+}
+
+// New returns an empty timeline at t = 0 with no resources.
+func New() *Timeline { return &Timeline{} }
+
+// NewResource registers a serially-reusable resource on the timeline.
+func (t *Timeline) NewResource(name string) *Resource {
+	r := &Resource{tl: t, name: name}
+	t.resources = append(t.resources, r)
+	return r
+}
+
+// Schedule charges an operation of duration d onto resource r,
+// starting at the earliest instant that is ≥ the resource's free time
+// and ≥ the completion of every event in after. It returns the event
+// marking the operation's completion.
+//
+// A negative duration is a programming error and panics; a zero
+// duration is legal and yields an instantaneous op (useful for pure
+// ordering points).
+func (t *Timeline) Schedule(r *Resource, d time.Duration, label string, after ...Event) Event {
+	if r == nil || r.tl != t {
+		panic("timeline: Schedule on a resource from a different timeline")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("timeline: negative duration %v for %q", d, label))
+	}
+	start := r.free
+	deps := make([]int, 0, len(after))
+	for _, ev := range after {
+		if ev.at > start {
+			start = ev.at
+		}
+		if ev.op != 0 {
+			deps = append(deps, ev.op)
+		}
+	}
+	end := start + d
+	r.free = end
+	r.busy += d
+	r.intervals = append(r.intervals, Interval{Label: label, Start: start, End: end})
+	t.ops = append(t.ops, Op{
+		ID:       len(t.ops) + 1,
+		Label:    label,
+		Resource: r.name,
+		Start:    start,
+		End:      end,
+		Deps:     deps,
+	})
+	if end > t.makespan {
+		t.makespan = end
+	}
+	return Event{op: len(t.ops), at: end}
+}
+
+// AfterAll joins events: the returned event completes when the latest
+// of them does. Joining no events yields the origin.
+func (t *Timeline) AfterAll(evs ...Event) Event {
+	var join Event
+	for _, ev := range evs {
+		if ev.at > join.at || (ev.at == join.at && join.op == 0) {
+			join = ev
+		}
+	}
+	return join
+}
+
+// Makespan reports the completion instant of the latest scheduled
+// operation — the simulated total elapsed time.
+func (t *Timeline) Makespan() time.Duration { return t.makespan }
+
+// Ops returns a copy of every scheduled operation in submission order.
+func (t *Timeline) Ops() []Op {
+	out := make([]Op, len(t.ops))
+	copy(out, t.ops)
+	return out
+}
+
+// Reset rewinds the timeline to t = 0, clearing all operations and
+// every registered resource's occupancy. Resource handles stay valid;
+// outstanding Events become stale and must not be waited on after a
+// reset (they reference cleared ops).
+func (t *Timeline) Reset() {
+	t.ops = nil
+	t.makespan = 0
+	for _, r := range t.resources {
+		r.free = 0
+		r.busy = 0
+		r.intervals = nil
+	}
+}

@@ -1,0 +1,174 @@
+package timeline
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestSameResourceSerializes(t *testing.T) {
+	tl := New()
+	link := tl.NewResource("h2d")
+	a := tl.Schedule(link, 3*ms, "a")
+	b := tl.Schedule(link, 2*ms, "b")
+	if a.Time() != 3*ms {
+		t.Fatalf("a completes at %v, want 3ms", a.Time())
+	}
+	if b.Time() != 5*ms {
+		t.Fatalf("b completes at %v, want 5ms (serialized after a)", b.Time())
+	}
+	if got := link.BusyTime(); got != 5*ms {
+		t.Fatalf("busy = %v, want 5ms", got)
+	}
+	if got := tl.Makespan(); got != 5*ms {
+		t.Fatalf("makespan = %v, want 5ms", got)
+	}
+}
+
+func TestDistinctResourcesOverlap(t *testing.T) {
+	tl := New()
+	link := tl.NewResource("h2d")
+	sm := tl.NewResource("compute")
+	tl.Schedule(link, 4*ms, "xfer")
+	ev := tl.Schedule(sm, 3*ms, "kernel") // no dep: overlaps the transfer
+	if ev.Time() != 3*ms {
+		t.Fatalf("independent kernel completes at %v, want 3ms", ev.Time())
+	}
+	if got := tl.Makespan(); got != 4*ms {
+		t.Fatalf("makespan = %v, want 4ms (max, not sum)", got)
+	}
+}
+
+func TestDependencyEdges(t *testing.T) {
+	tl := New()
+	link := tl.NewResource("h2d")
+	sm := tl.NewResource("compute")
+	in := tl.Schedule(link, 4*ms, "xfer")
+	k := tl.Schedule(sm, 3*ms, "kernel", in)
+	if k.Time() != 7*ms {
+		t.Fatalf("dependent kernel completes at %v, want 7ms", k.Time())
+	}
+	// Resource order still applies on top of dependencies.
+	k2 := tl.Schedule(sm, 1*ms, "kernel2")
+	if k2.Time() != 8*ms {
+		t.Fatalf("kernel2 completes at %v, want 8ms (after kernel)", k2.Time())
+	}
+}
+
+func TestAfterAllJoins(t *testing.T) {
+	tl := New()
+	a := tl.NewResource("a")
+	b := tl.NewResource("b")
+	e1 := tl.Schedule(a, 2*ms, "x")
+	e2 := tl.Schedule(b, 5*ms, "y")
+	join := tl.AfterAll(e1, e2)
+	if join.Time() != 5*ms {
+		t.Fatalf("join at %v, want 5ms", join.Time())
+	}
+	if empty := tl.AfterAll(); empty.Time() != 0 {
+		t.Fatalf("empty join at %v, want origin", empty.Time())
+	}
+}
+
+func TestZeroDurationOrderingPoint(t *testing.T) {
+	tl := New()
+	r := tl.NewResource("sync")
+	c := tl.NewResource("compute")
+	ev := tl.Schedule(c, 3*ms, "k")
+	bar := tl.Schedule(r, 0, "barrier", ev)
+	if bar.Time() != 3*ms {
+		t.Fatalf("barrier at %v, want 3ms", bar.Time())
+	}
+	if r.BusyTime() != 0 {
+		t.Fatalf("zero-duration op charged busy time %v", r.BusyTime())
+	}
+}
+
+func TestIntervalsAndOps(t *testing.T) {
+	tl := New()
+	link := tl.NewResource("h2d")
+	sm := tl.NewResource("compute")
+	in := tl.Schedule(link, 2*ms, "xfer")
+	tl.Schedule(sm, 1*ms, "kernel", in)
+
+	ivs := link.Intervals()
+	if len(ivs) != 1 || ivs[0].Label != "xfer" || ivs[0].Start != 0 || ivs[0].End != 2*ms {
+		t.Fatalf("link intervals = %+v", ivs)
+	}
+	if d := ivs[0].Duration(); d != 2*ms {
+		t.Fatalf("interval duration = %v, want 2ms", d)
+	}
+
+	ops := tl.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(ops))
+	}
+	if ops[1].Resource != "compute" || len(ops[1].Deps) != 1 || ops[1].Deps[0] != ops[0].ID {
+		t.Fatalf("kernel op = %+v, want dep on op %d", ops[1], ops[0].ID)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *Timeline {
+		tl := New()
+		a := tl.NewResource("a")
+		b := tl.NewResource("b")
+		var last Event
+		for i := 0; i < 20; i++ {
+			r := a
+			if i%3 == 0 {
+				r = b
+			}
+			last = tl.Schedule(r, time.Duration(i+1)*ms, "op", last)
+		}
+		return tl
+	}
+	t1, t2 := build(), build()
+	if t1.Makespan() != t2.Makespan() {
+		t.Fatalf("makespans differ: %v vs %v", t1.Makespan(), t2.Makespan())
+	}
+	o1, o2 := t1.Ops(), t2.Ops()
+	for i := range o1 {
+		if o1[i].Start != o2[i].Start || o1[i].End != o2[i].End {
+			t.Fatalf("op %d differs: %+v vs %+v", i, o1[i], o2[i])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tl := New()
+	r := tl.NewResource("r")
+	tl.Schedule(r, 5*ms, "op")
+	tl.Reset()
+	if tl.Makespan() != 0 || r.BusyTime() != 0 || r.FreeAt() != 0 || len(tl.Ops()) != 0 {
+		t.Fatal("reset left residue")
+	}
+	// The resource handle stays usable after a reset.
+	ev := tl.Schedule(r, 2*ms, "op2")
+	if ev.Time() != 2*ms {
+		t.Fatalf("post-reset op completes at %v, want 2ms", ev.Time())
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	tl := New()
+	r := tl.NewResource("r")
+	tl.Schedule(r, -ms, "bad")
+}
+
+func TestForeignResourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign resource did not panic")
+		}
+	}()
+	t1, t2 := New(), New()
+	r := t2.NewResource("r")
+	t1.Schedule(r, ms, "bad")
+}

@@ -1,0 +1,77 @@
+package transfer
+
+import (
+	"fmt"
+
+	"atgpu/internal/mem"
+	"atgpu/internal/timeline"
+)
+
+// Async transfer entry points: the same verified, retried transactions
+// as In/Out/InChunked, but instead of handing the simulated cost back
+// to the caller to accumulate, the engine charges it onto a shared
+// timeline as an occupancy of the given link resource. The memory
+// movement itself happens immediately (simulation state advances in
+// program order); only the cost is deferred onto the timeline, where
+// same-resource transfers serialize and transfers on other resources
+// overlap.
+//
+// Faulted attempts keep their sync-path semantics: retries and backoff
+// waits extend the single scheduled occupancy, so a fault on one
+// stream widens that stream's link interval without ever touching
+// operations already placed on other resources.
+//
+// The timeline is not locked by the engine; callers (the simgpu Host)
+// must serialize all scheduling onto one timeline from a single
+// goroutine, as the timeline package requires.
+
+// InAsync copies src into device global memory at offset and schedules
+// the transfer's full cost (retries and backoff included) on res,
+// starting no earlier than the events in after. It returns the event
+// marking transfer completion.
+func (e *Engine) InAsync(tl *timeline.Timeline, res *timeline.Resource, g *mem.Global, offset int, src []mem.Word, after ...timeline.Event) (timeline.Event, error) {
+	e.mu.Lock()
+	d, err := e.in(g, offset, src)
+	e.mu.Unlock()
+	if err != nil {
+		return timeline.Event{}, err
+	}
+	return tl.Schedule(res, d, fmt.Sprintf("H2D %d words", len(src)), after...), nil
+}
+
+// OutAsync copies length words at offset from device global memory
+// back to the host and schedules the transfer's cost on res.
+func (e *Engine) OutAsync(tl *timeline.Timeline, res *timeline.Resource, g *mem.Global, offset, length int, after ...timeline.Event) ([]mem.Word, timeline.Event, error) {
+	e.mu.Lock()
+	dst, d, err := e.out(g, offset, length)
+	e.mu.Unlock()
+	if err != nil {
+		return nil, timeline.Event{}, err
+	}
+	return dst, tl.Schedule(res, d, fmt.Sprintf("D2H %d words", length), after...), nil
+}
+
+// InChunkedAsync is InChunked on the timeline: each chunk is its own
+// transaction (paying α) and its own scheduled occupancy, chained so
+// chunk i+1 starts no earlier than chunk i completes. The returned
+// event marks the last chunk's completion.
+func (e *Engine) InChunkedAsync(tl *timeline.Timeline, res *timeline.Resource, g *mem.Global, offset int, src []mem.Word, chunk int, after ...timeline.Event) (timeline.Event, error) {
+	if chunk <= 0 {
+		return timeline.Event{}, fmt.Errorf("transfer: chunk must be positive, got %d", chunk)
+	}
+	prev := tl.AfterAll(after...)
+	for base := 0; base < len(src); base += chunk {
+		end := base + chunk
+		if end > len(src) {
+			end = len(src)
+		}
+		e.mu.Lock()
+		d, err := e.in(g, offset+base, src[base:end])
+		e.mu.Unlock()
+		if err != nil {
+			return timeline.Event{}, err
+		}
+		prev = tl.Schedule(res, d, fmt.Sprintf("H2D %d words", end-base), prev)
+	}
+	return prev, nil
+}

@@ -1,0 +1,95 @@
+package transfer
+
+import (
+	"testing"
+
+	"atgpu/internal/mem"
+)
+
+// TestInChunkedRejectsBadChunk: zero and negative chunk sizes are
+// programming errors with a clear message, charged nothing.
+func TestInChunkedRejectsBadChunk(t *testing.T) {
+	eng, g := newTestEngine(t)
+	src := make([]mem.Word, 16)
+	for _, chunk := range []int{0, -1, -64} {
+		if _, err := eng.InChunked(g, 0, src, chunk); err == nil {
+			t.Errorf("chunk=%d accepted", chunk)
+		}
+	}
+	if st := eng.Stats(); st.InTransactions != 0 || st.InTime != 0 {
+		t.Fatalf("rejected chunked transfer charged stats: %+v", st)
+	}
+}
+
+// TestInChunkedFinalPartialChunk: a length that does not divide evenly
+// ends with a short final transaction; words land intact and the cost
+// is the per-chunk sum.
+func TestInChunkedFinalPartialChunk(t *testing.T) {
+	eng, g := newTestEngine(t)
+	src := make([]mem.Word, 100) // 32+32+32+4
+	for i := range src {
+		src[i] = mem.Word(i + 1)
+	}
+	cost, err := eng.InChunked(g, 0, src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Model()
+	want := 3*m.CostDuration(1, 32) + m.CostDuration(1, 4)
+	if cost != want {
+		t.Fatalf("cost = %v, want 3 full + 1 partial = %v", cost, want)
+	}
+	st := eng.Stats()
+	if st.InTransactions != 4 || st.InWords != 100 {
+		t.Fatalf("stats = %+v, want 4 transactions / 100 words", st)
+	}
+	got, _, err := eng.Out(g, 0, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("word %d = %d, want %d", i, got[i], src[i])
+		}
+	}
+}
+
+// TestInChunkedChunkLargerThanSrc: a chunk exceeding len(src) degrades
+// to a single transaction, identical to a plain In.
+func TestInChunkedChunkLargerThanSrc(t *testing.T) {
+	engA, gA := newTestEngine(t)
+	engB, gB := newTestEngine(t)
+	src := make([]mem.Word, 24)
+	for i := range src {
+		src[i] = mem.Word(i * 3)
+	}
+	chunked, err := engA.InChunked(gA, 0, src, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := engB.In(gB, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked != plain {
+		t.Fatalf("oversized chunk cost %v ≠ plain transfer %v", chunked, plain)
+	}
+	if st := engA.Stats(); st.InTransactions != 1 || st.InWords != len(src) {
+		t.Fatalf("stats = %+v, want single transaction", st)
+	}
+}
+
+// TestInChunkedEmptySrc: nothing to move, nothing charged, no error.
+func TestInChunkedEmptySrc(t *testing.T) {
+	eng, g := newTestEngine(t)
+	cost, err := eng.InChunked(g, 0, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("empty chunked transfer cost %v", cost)
+	}
+	if st := eng.Stats(); st.InTransactions != 0 {
+		t.Fatalf("empty chunked transfer recorded %+v", st)
+	}
+}

@@ -277,6 +277,11 @@ func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, e
 func (e *Engine) Out(g *mem.Global, offset, length int) ([]mem.Word, time.Duration, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.out(g, offset, length)
+}
+
+// out is Out without locking, for use by OutAsync.
+func (e *Engine) out(g *mem.Global, offset, length int) ([]mem.Word, time.Duration, error) {
 	if err := g.CheckRead(offset, length); err != nil {
 		return nil, 0, err
 	}
