@@ -11,6 +11,7 @@ import (
 	"atgpu/internal/experiments"
 	"atgpu/internal/faults"
 	"atgpu/internal/models"
+	"atgpu/internal/obs"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
@@ -50,6 +51,22 @@ type Options struct {
 	MaxRetries int
 	// Watchdog overrides the kernel watchdog timeout when > 0.
 	Watchdog time.Duration
+
+	// Trace records every run onto a unified Perfetto timeline: host
+	// resource occupancy, per-stream spans, embedded device block spans
+	// and transfer/retry/fault events, all in simulated time. Off by
+	// default; the uninstrumented path stays allocation-free.
+	Trace bool
+	// Metrics collects deterministic counters/gauges/histograms across
+	// all layers, exposable as JSON or Prometheus text.
+	Metrics bool
+	// TraceMaxEvents caps the trace recorder (0 = obs.DefaultMaxEvents).
+	TraceMaxEvents int
+}
+
+// ObsOptions translates the observability selection for internal layers.
+func (o Options) ObsOptions() obs.Options {
+	return obs.Options{Trace: o.Trace, Metrics: o.Metrics, TraceMaxEvents: o.TraceMaxEvents}
 }
 
 // DefaultOptions matches the paper's evaluation setup: GTX650-like device,
@@ -78,6 +95,7 @@ func (o Options) ExperimentConfig() experiments.Config {
 		FaultSeed:  o.FaultSeed,
 		MaxRetries: o.MaxRetries,
 		Watchdog:   o.Watchdog,
+		Obs:        o.ObsOptions(),
 	}
 }
 
@@ -244,11 +262,14 @@ type Observation struct {
 	Resilience simgpu.ResilienceStats
 	// FaultLog is the injector's event log (nil without an injector).
 	FaultLog []string
+	// Report carries the run's unified trace and metrics snapshot (nil
+	// unless Options.Trace or Options.Metrics is set).
+	Report *obs.Report
 }
 
 func observation(h *simgpu.Host) Observation {
 	rep := h.Report()
-	obs := Observation{
+	o := Observation{
 		Total:            rep.Total,
 		Kernel:           rep.Kernel,
 		Transfer:         rep.Transfer,
@@ -258,11 +279,12 @@ func observation(h *simgpu.Host) Observation {
 		TransferFraction: rep.TransferFraction(),
 		Transfers:        rep.Transfers,
 		Resilience:       rep.Resilience,
+		Report:           h.SnapshotObs(),
 	}
 	for _, ev := range h.FaultEvents() {
-		obs.FaultLog = append(obs.FaultLog, ev.String())
+		o.FaultLog = append(o.FaultLog, ev.String())
 	}
-	return obs
+	return o
 }
 
 // newHost builds a fresh device+host pair sized for footprint words. A
@@ -311,6 +333,13 @@ func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 		}
 		if err := h.SetFaults(inj, s.opts.Watchdog, 0); err != nil {
 			return nil, err
+		}
+	}
+	if o := s.opts.ObsOptions(); o.Enabled() {
+		h.SetObs(o.New())
+		if o.Trace {
+			// A device tracer embeds per-block spans in the trace.
+			h.SetTracer(&simgpu.Tracer{MaxEvents: o.TraceMaxEvents})
 		}
 	}
 	return h, nil
@@ -444,6 +473,12 @@ type PipelineRun struct {
 	Sequential, Pipelined Observation
 	// Saving is Sequential.Total − Pipelined.Total.
 	Saving time.Duration
+	// Report folds both runs' observability reports onto one timeline —
+	// the sequential schedule's spans tagged "seq/...", the overlapped
+	// schedule's "pipe/..." — so the H2D/compute/D2H overlap is visible
+	// next to the baseline in one Perfetto view (nil unless
+	// Options.Trace or Options.Metrics is set).
+	Report *obs.Report
 }
 
 // SavingFraction is the saving over the sequential total (0 when
@@ -483,6 +518,14 @@ func (s *System) runPipelined(chunks int,
 		return pr, err
 	}
 	pr.Saving = pr.Sequential.Total - pr.Pipelined.Total
+	if o := s.opts.ObsOptions(); o.Enabled() {
+		pr.Report = &obs.Report{}
+		if o.Trace {
+			pr.Report.Trace = obs.NewRecorder(o.TraceMaxEvents)
+		}
+		pr.Report.Merge(pr.Sequential.Report, "seq")
+		pr.Report.Merge(pr.Pipelined.Report, "pipe")
+	}
 	return pr, nil
 }
 

@@ -543,3 +543,46 @@ func buildStrideKernel(name string, count int, stride int64, shared bool) *kerne
 	}
 	return kb.MustBuild()
 }
+
+// --- Observability overhead -------------------------------------------------
+
+// benchObsRun drives one full pipelined vecadd per iteration with the
+// given options; BenchmarkObsOff versus BenchmarkObsOn is the measured
+// cost of the unified tracing and metrics layer. The Off variant is the
+// instrumented build with nil sinks — the acceptance requirement is
+// that this disabled path stays within noise (≤2%) of the pre-obs
+// hot path, which it meets by paying only nil checks (and zero
+// allocations, see obs.TestDisabledPathAllocatesNothing).
+func benchObsRun(b *testing.B, opts Options) {
+	b.Helper()
+	opts.Device = simgpu.Tiny()
+	sys, err := NewSystem(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1024
+	x := benchWords(n, 1)
+	y := benchWords(n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.RunVecAddPipelined(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsOff measures the instrumented build with observability
+// disabled (the default): the baseline for the overhead comparison.
+func BenchmarkObsOff(b *testing.B) {
+	benchObsRun(b, DefaultOptions())
+}
+
+// BenchmarkObsOn measures the same run with tracing and metrics fully
+// enabled, bounding the cost of turning observability on.
+func BenchmarkObsOn(b *testing.B) {
+	opts := DefaultOptions()
+	opts.Trace = true
+	opts.Metrics = true
+	benchObsRun(b, opts)
+}

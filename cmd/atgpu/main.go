@@ -32,6 +32,7 @@ import (
 	"atgpu/internal/algorithms"
 	"atgpu/internal/core"
 	"atgpu/internal/experiments"
+	"atgpu/internal/obs"
 )
 
 func main() {
@@ -51,11 +52,18 @@ func main() {
 	faultRate := fs.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
 	maxRetries := fs.Int("max-retries", 0, "transfer retry budget override (0 = default)")
+	traceOut := fs.String("trace", "", "run/sweep: write a Perfetto trace-event JSON of the simulated timeline to this file")
+	metricsOut := fs.String("metrics", "", "run/sweep: write a Prometheus-text metrics snapshot to this file")
+	traceMaxEvents := fs.Int("trace-max-events", 0, "cap on recorded trace events (0 = default 1048576)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "atgpu: negative workers %d\n", *workers)
+		os.Exit(2)
+	}
+	if *traceMaxEvents < 0 {
+		fmt.Fprintf(os.Stderr, "atgpu: negative trace-max-events %d\n", *traceMaxEvents)
 		os.Exit(2)
 	}
 
@@ -65,11 +73,43 @@ func main() {
 	opts.FaultSeed = *faultSeed
 	opts.MaxRetries = *maxRetries
 	opts.Chunks = *chunks
+	opts.Trace = *traceOut != ""
+	opts.Metrics = *metricsOut != ""
+	opts.TraceMaxEvents = *traceMaxEvents
 
-	if err := dispatch(cmd, *alg, *n, *chunk, *full, *pipeline, opts); err != nil {
+	if err := dispatch(cmd, *alg, *n, *chunk, *full, *pipeline, opts, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
 	}
+}
+
+// writeObs writes the run's unified trace and metrics to the requested
+// paths, surfacing truncation — a truncated trace would otherwise be
+// silently incomplete. No-op when neither path was requested.
+func writeObs(rep *obs.Report, traceOut, metricsOut string) error {
+	if traceOut == "" && metricsOut == "" {
+		return nil
+	}
+	if rep == nil {
+		return fmt.Errorf("no observability report collected (trace/metrics unsupported by this subcommand)")
+	}
+	if traceOut != "" {
+		if err := rep.WriteTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "atgpu: trace: %d events -> %s\n", rep.Trace.Len(), traceOut)
+		if rep.Trace.WasTruncated() {
+			fmt.Fprintf(os.Stderr, "atgpu: warning: trace truncated at max-events=%d; raise --trace-max-events\n",
+				rep.Trace.Cap())
+		}
+	}
+	if metricsOut != "" {
+		if err := rep.WriteMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "atgpu: metrics -> %s\n", metricsOut)
+	}
+	return nil
 }
 
 func usage() {
@@ -87,10 +127,15 @@ pipelining (run, sweep): --pipeline [--chunks C] compares the sequential
 chunked schedule against the overlapped multi-stream schedule and reports
 predicted vs simulated overlap savings.
 
-fault injection (run, sweep): --fault-rate R --fault-seed S --max-retries K`)
+fault injection (run, sweep): --fault-rate R --fault-seed S --max-retries K
+
+observability (run, sweep): --trace out.json writes one Perfetto trace of
+the whole run (host, streams, device blocks, transfers, faults on a single
+simulated-time axis); --metrics out.prom writes a deterministic Prometheus
+text snapshot; --trace-max-events caps trace growth.`)
 }
 
-func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options) error {
+func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options, traceOut, metricsOut string) error {
 	switch cmd {
 	case "table1":
 		fmt.Println("Table I — comparison of GPU abstract models")
@@ -114,14 +159,14 @@ func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Opt
 		return analyze(alg, n, opts)
 	case "run":
 		if pipeline {
-			return runPipelined(alg, n, opts)
+			return runPipelined(alg, n, opts, traceOut, metricsOut)
 		}
-		return run(alg, n, opts)
+		return run(alg, n, opts, traceOut, metricsOut)
 	case "sweep":
 		if pipeline {
-			return sweepPipelined(alg, full, opts)
+			return sweepPipelined(alg, full, opts, traceOut, metricsOut)
 		}
-		return sweep(alg, full, opts)
+		return sweep(alg, full, opts, traceOut, metricsOut)
 	case "ooc":
 		return ooc(n, chunk, opts)
 	default:
@@ -171,7 +216,7 @@ func analyze(alg string, n int, opts atgpu.Options) error {
 	return nil
 }
 
-func run(alg string, n int, opts atgpu.Options) error {
+func run(alg string, n int, opts atgpu.Options, traceOut, metricsOut string) error {
 	sys, err := atgpu.NewSystem(opts)
 	if err != nil {
 		return err
@@ -190,12 +235,12 @@ func run(alg string, n int, opts atgpu.Options) error {
 		return w
 	}
 
-	var obs atgpu.Observation
+	var ob atgpu.Observation
 	switch alg {
 	case "vecadd":
 		a, b := randWords(n), randWords(n)
 		var c []atgpu.Word
-		if c, obs, err = sys.RunVecAdd(a, b); err != nil {
+		if c, ob, err = sys.RunVecAdd(a, b); err != nil {
 			return err
 		}
 		want, _ := algorithms.VecAddReference(a, b)
@@ -207,7 +252,7 @@ func run(alg string, n int, opts atgpu.Options) error {
 	case "reduce":
 		in := randWords(n)
 		var sum atgpu.Word
-		if sum, obs, err = sys.RunReduce(in); err != nil {
+		if sum, ob, err = sys.RunReduce(in); err != nil {
 			return err
 		}
 		if sum != algorithms.ReduceReference(in) {
@@ -216,7 +261,7 @@ func run(alg string, n int, opts atgpu.Options) error {
 	case "matmul":
 		a, b := randWords(n*n), randWords(n*n)
 		var c []atgpu.Word
-		if c, obs, err = sys.RunMatMul(a, b, n); err != nil {
+		if c, ob, err = sys.RunMatMul(a, b, n); err != nil {
 			return err
 		}
 		want, _ := algorithms.MatMulReference(a, b, n)
@@ -231,29 +276,29 @@ func run(alg string, n int, opts atgpu.Options) error {
 
 	fmt.Printf("%s n=%d (verified against CPU reference)\n", alg, n)
 	fmt.Printf("observed:  total=%v kernel=%v transfer=%v sync=%v rounds=%d\n",
-		obs.Total, obs.Kernel, obs.Transfer, obs.Sync, obs.Rounds)
+		ob.Total, ob.Kernel, ob.Transfer, ob.Sync, ob.Rounds)
 	fmt.Printf("predicted: GPU-cost=%.6gs SWGPU=%.6gs\n", pred.GPUCost, pred.SWGPUCost)
-	fmt.Printf("ΔE (observed transfer share)  = %.1f%%\n", 100*obs.TransferFraction)
+	fmt.Printf("ΔE (observed transfer share)  = %.1f%%\n", 100*ob.TransferFraction)
 	fmt.Printf("ΔT (predicted transfer share) = %.1f%%\n", 100*pred.TransferFraction)
-	fmt.Printf("kernel stats:\n%s\n", obs.Stats)
-	if obs.Transfers.Faulted() || obs.Resilience.Degraded() {
+	fmt.Printf("kernel stats:\n%s\n", ob.Stats)
+	if ob.Transfers.Faulted() || ob.Resilience.Degraded() {
 		fmt.Printf("resilience: %d retries (%d words re-sent, backoff %v), %d corruptions, %d drops, %d stalls\n",
-			obs.Transfers.Retries, obs.Transfers.RetransferredWords, obs.Transfers.BackoffTime,
-			obs.Transfers.CorruptionsDetected, obs.Transfers.DroppedTransactions, obs.Transfers.StallEvents)
+			ob.Transfers.Retries, ob.Transfers.RetransferredWords, ob.Transfers.BackoffTime,
+			ob.Transfers.CorruptionsDetected, ob.Transfers.DroppedTransactions, ob.Transfers.StallEvents)
 		fmt.Printf("            %d watchdog fires (%v lost), %d relaunches, %d degraded launches, %d failed SMs\n",
-			obs.Resilience.WatchdogFires, obs.Resilience.WatchdogTime, obs.Resilience.Relaunches,
-			obs.Resilience.DegradedLaunches, obs.Resilience.FailedSMs)
-		for _, ev := range obs.FaultLog {
+			ob.Resilience.WatchdogFires, ob.Resilience.WatchdogTime, ob.Resilience.Relaunches,
+			ob.Resilience.DegradedLaunches, ob.Resilience.FailedSMs)
+		for _, ev := range ob.FaultLog {
 			fmt.Printf("  fault %s\n", ev)
 		}
 	}
-	return nil
+	return writeObs(ob.Report, traceOut, metricsOut)
 }
 
 // runPipelined executes one workload's sequential-chunked and overlapped
 // multi-stream schedules on identical inputs and reports the observed
 // saving alongside the overlapped-cost model's prediction.
-func runPipelined(alg string, n int, opts atgpu.Options) error {
+func runPipelined(alg string, n int, opts atgpu.Options, traceOut, metricsOut string) error {
 	sys, err := atgpu.NewSystem(opts)
 	if err != nil {
 		return err
@@ -326,12 +371,12 @@ func runPipelined(alg string, n int, opts atgpu.Options) error {
 	fmt.Printf("observed saving:  %v (%.1f%%)\n", pr.Saving, 100*pr.SavingFraction())
 	fmt.Printf("predicted: sequential=%.6gs pipelined=%.6gs saving=%.6gs (%.1f%%)\n",
 		pc.Sequential, pc.Pipelined, pc.Saving(), 100*pc.SavingFraction())
-	return nil
+	return writeObs(pr.Report, traceOut, metricsOut)
 }
 
 // sweepPipelined runs one workload's sequential-versus-pipelined size
 // sweep. Stdout is byte-identical for any --workers value.
-func sweepPipelined(alg string, full bool, opts atgpu.Options) error {
+func sweepPipelined(alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
 	cfg := opts.ExperimentConfig()
 	cfg.Full = full
 	r, err := experiments.NewRunner(cfg)
@@ -369,14 +414,14 @@ func sweepPipelined(alg string, full bool, opts atgpu.Options) error {
 			p.N, p.SequentialTime, p.PipelinedTime, 100*p.ObservedSavingFraction(),
 			p.PredictedSequential, p.PredictedPipelined, 100*p.PredictedSavingFraction())
 	}
-	return nil
+	return writeObs(data.Obs, traceOut, metricsOut)
 }
 
 // sweep runs one workload's full predicted-vs-observed size sweep through
 // the experiments runner. The points table and summary go to stdout, which
 // is byte-identical for any --workers value; the wall-clock line goes to
 // stderr so the deterministic output can be diffed or checksummed.
-func sweep(alg string, full bool, opts atgpu.Options) error {
+func sweep(alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
 	cfg := opts.ExperimentConfig()
 	cfg.Full = full
 	r, err := experiments.NewRunner(cfg)
@@ -420,7 +465,7 @@ func sweep(alg string, full bool, opts atgpu.Options) error {
 		return err
 	}
 	fmt.Print(s.String())
-	return nil
+	return writeObs(data.Obs, traceOut, metricsOut)
 }
 
 func ooc(n, chunk int, opts atgpu.Options) error {

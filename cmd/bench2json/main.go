@@ -4,7 +4,10 @@
 //	go test -bench BenchmarkSweepWorkers ./internal/experiments | bench2json > BENCH_sweep.json
 //
 // Each object carries the benchmark name (procs suffix stripped into its
-// own field), iteration count and ns/op, so CI artifacts can be diffed and
+// own field), iteration count and ns/op — plus bytes_per_op and
+// allocs_per_op when the benchmark ran with -benchmem or b.ReportAllocs
+// (the observability overhead benches rely on these to prove the
+// disabled path allocates nothing) — so CI artifacts can be diffed and
 // plotted without re-parsing the bench text format.
 package main
 
@@ -24,6 +27,11 @@ type result struct {
 	Procs int     `json:"procs,omitempty"`
 	Runs  int64   `json:"runs"`
 	NsOp  float64 `json:"ns_per_op"`
+	// BytesOp and AllocsOp are pointers so a reported zero (the
+	// allocation-free disabled observability path) survives in the
+	// JSON while benches without -benchmem omit the fields entirely.
+	BytesOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp *int64   `json:"allocs_per_op,omitempty"`
 }
 
 func parseLine(line string) (result, bool) {
@@ -31,8 +39,8 @@ func parseLine(line string) (result, bool) {
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return result{}, false
 	}
-	// ns/op is always the pair "<float> ns/op"; later pairs (B/op,
-	// allocs/op) are ignored.
+	// Values always precede their unit: "<float> ns/op", and with
+	// -benchmem also "<float> B/op" and "<int> allocs/op".
 	idx := -1
 	for i, f := range fields {
 		if f == "ns/op" {
@@ -52,6 +60,18 @@ func parseLine(line string) (result, bool) {
 		return result{}, false
 	}
 	r := result{Name: fields[0], Runs: runs, NsOp: ns}
+	for i, f := range fields {
+		switch f {
+		case "B/op":
+			if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+				r.BytesOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(fields[i-1], 10, 64); err == nil {
+				r.AllocsOp = &v
+			}
+		}
+	}
 	// Split the trailing -P GOMAXPROCS suffix go test appends.
 	if cut := strings.LastIndex(r.Name, "-"); cut > 0 {
 		if p, err := strconv.Atoi(r.Name[cut+1:]); err == nil {

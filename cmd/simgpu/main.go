@@ -7,7 +7,14 @@
 // Usage:
 //
 //	simgpu [-kernel vecadd|reduce|matmul] [-n N] [-device gtx650|tiny] [-disasm]
+//	       [--trace out.json --trace-max-events N]
 //	       [--workers W] [--fault-rate R --fault-seed S --max-retries K]
+//
+// With --trace, the run writes one Perfetto trace of the full host
+// timeline — transfer occupancy, per-stream activity, kernel spans with
+// the device tracer's per-block slices embedded — all on the simulated
+// clock. With --workers > 1 only the first replica is traced (replicas
+// are identical by construction).
 //
 // With --fault-rate > 0, deterministic seeded faults are injected into
 // transfers and launches; the run recovers via checksum-verified retries,
@@ -34,6 +41,7 @@ import (
 	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
+	"atgpu/internal/obs"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
@@ -43,7 +51,8 @@ func main() {
 	n := flag.Int("n", 4096, "input size")
 	device := flag.String("device", "gtx650", "device preset: gtx650, gtx1080, k40, tiny")
 	disasm := flag.Bool("disasm", false, "print kernel disassembly")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the first launch to this file")
+	traceOut := flag.String("trace", "", "write a Perfetto trace of the full host timeline (transfers, streams, kernels, per-block device slices) to this file")
+	traceMaxEvents := flag.Int("trace-max-events", 0, "cap on recorded trace events, host and device each (0 = default 1048576)")
 	pipeline := flag.Bool("pipeline", false, "run the chunked two-stream pipelined variant (overlaps transfer and compute)")
 	chunks := flag.Int("chunks", 4, "pipeline: chunk (matmul band) count")
 	workers := flag.Int("workers", 1, "concurrent identical replicas, each on its own device (0 = GOMAXPROCS)")
@@ -52,13 +61,13 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "transfer retry budget override (0 = default)")
 	flag.Parse()
 
-	if err := run(*kname, *n, *device, *disasm, *traceOut, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries); err != nil {
+	if err := run(*kname, *n, *device, *disasm, *traceOut, *traceMaxEvents, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kname string, n int, device string, disasm bool, traceOut string, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int) error {
+func run(kname string, n int, device string, disasm bool, traceOut string, traceMaxEvents int, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int) error {
 	if workers < 0 {
 		return fmt.Errorf("negative workers %d", workers)
 	}
@@ -74,8 +83,8 @@ func run(kname string, n int, device string, disasm bool, traceOut string, pipel
 	if maxRetries < 0 {
 		return fmt.Errorf("negative max retries %d", maxRetries)
 	}
-	if traceOut != "" && workers > 1 {
-		return fmt.Errorf("-trace requires -workers 1 (tracing instruments a single run)")
+	if traceMaxEvents < 0 {
+		return fmt.Errorf("negative trace-max-events %d", traceMaxEvents)
 	}
 	var cfg simgpu.Config
 	switch device {
@@ -121,7 +130,7 @@ func run(kname string, n int, device string, disasm bool, traceOut string, pipel
 
 	var tracer *simgpu.Tracer
 	if traceOut != "" {
-		tracer = &simgpu.Tracer{CaptureMemory: true}
+		tracer = &simgpu.Tracer{CaptureMemory: true, MaxEvents: traceMaxEvents}
 	}
 
 	// Every replica builds its own device/engine/host and draws inputs
@@ -162,6 +171,7 @@ func run(kname string, n int, device string, disasm bool, traceOut string, pipel
 		}
 		if tr != nil {
 			h.SetTracer(tr)
+			h.SetObs(obs.NewRecorder(traceMaxEvents), nil)
 		}
 
 		rng := rand.New(rand.NewSource(1))
@@ -234,7 +244,14 @@ func run(kname string, n int, device string, disasm bool, traceOut string, pipel
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				hosts[w], progs[w], errs[w] = replica(nil)
+				// Only the first replica is traced: replicas are
+				// identical, so one timeline is the timeline, and the
+				// others stay uninstrumented while running concurrently.
+				var tr *simgpu.Tracer
+				if w == 0 {
+					tr = tracer
+				}
+				hosts[w], progs[w], errs[w] = replica(tr)
 			}(w)
 		}
 		wg.Wait()
@@ -292,18 +309,18 @@ func run(kname string, n int, device string, disasm bool, traceOut string, pipel
 	}
 
 	if tracer != nil {
-		fh, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		defer fh.Close()
-		if err := tracer.WriteChromeTrace(fh); err != nil {
+		rep0 := h.SnapshotObs()
+		if err := rep0.WriteTraceFile(traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("\n%s", tracer.Summary())
 		fmt.Print(tracer.OccupancyTimeline(60))
-		fmt.Printf("chrome trace written to %s\n", traceOut)
-		return fh.Close()
+		fmt.Printf("trace: %d events (host timeline with device block slices) written to %s\n",
+			rep0.Trace.Len(), traceOut)
+		if rep0.Trace.WasTruncated() {
+			fmt.Printf("warning: trace truncated at max-events=%d; raise -trace-max-events\n",
+				rep0.Trace.Cap())
+		}
 	}
 	return nil
 }

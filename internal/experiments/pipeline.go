@@ -6,6 +6,7 @@ import (
 
 	"atgpu/internal/algorithms"
 	"atgpu/internal/core"
+	"atgpu/internal/obs"
 	"atgpu/internal/simgpu"
 )
 
@@ -47,6 +48,11 @@ type PipelinePoint struct {
 	// PredictedSequential and PredictedPipelined are the overlapped-cost
 	// model's totals in seconds; PredictedSaving their difference.
 	PredictedSequential, PredictedPipelined, PredictedSaving float64
+	// Obs is the point's observability report: the sequential run's
+	// spans tagged "seq/...", the overlapped run's "pipe/...", so the
+	// two schedules sit side by side in one trace (nil unless
+	// Config.Obs enables collection).
+	Obs *obs.Report
 }
 
 // ObservedSavingFraction is the observed saving over the sequential total
@@ -73,6 +79,9 @@ type PipelineData struct {
 	Workload string
 	// Points holds one entry per input size, ascending.
 	Points []PipelinePoint
+	// Obs folds every point's report in point order, each tagged
+	// "<workload> n=<N>" (nil unless Config.Obs enables collection).
+	Obs *obs.Report
 }
 
 // runPipelineSweep mirrors runSweep for pipeline points: points are
@@ -92,7 +101,7 @@ func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, 
 			}
 			data.Points[i] = pt
 		}
-		return data, nil
+		return data, r.foldPipelineObs(workload, data)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -120,7 +129,21 @@ func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, 
 			return nil, err
 		}
 	}
-	return data, nil
+	return data, r.foldPipelineObs(workload, data)
+}
+
+// foldPipelineObs merges per-point reports in point order (no-op with
+// observability off). Always returns nil; the error slot keeps the
+// call sites single-line.
+func (r *Runner) foldPipelineObs(workload string, data *PipelineData) error {
+	if !r.cfg.Obs.Enabled() {
+		return nil
+	}
+	data.Obs = r.newSweepReport()
+	for i := range data.Points {
+		data.Obs.Merge(data.Points[i].Obs, fmt.Sprintf("%s n=%d", workload, data.Points[i].N))
+	}
+	return nil
 }
 
 // observePipeline runs both schedules and fills the observed fields.
@@ -129,7 +152,7 @@ func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, 
 func (r *Runner) observePipeline(pt *PipelinePoint, workload string, n, idx int,
 	footprint func(streams int) (int, error),
 	run func(h *simgpu.Host, streams int) error) error {
-	observe := func(streams int) (float64, error) {
+	observe := func(streams int, tag string) (float64, error) {
 		words, err := footprint(streams)
 		if err != nil {
 			return 0, err
@@ -141,13 +164,19 @@ func (r *Runner) observePipeline(pt *PipelinePoint, workload string, n, idx int,
 		if err := run(h, streams); err != nil {
 			return 0, err
 		}
+		if rep := h.SnapshotObs(); rep != nil {
+			if pt.Obs == nil {
+				pt.Obs = r.newSweepReport()
+			}
+			pt.Obs.Merge(rep, tag)
+		}
 		return h.Report().Total.Seconds(), nil
 	}
-	seq, err := observe(1)
+	seq, err := observe(1, "seq")
 	if err != nil {
 		return fmt.Errorf("%s n=%d sequential: %w", workload, n, err)
 	}
-	pipe, err := observe(pt.Streams)
+	pipe, err := observe(pt.Streams, "pipe")
 	if err != nil {
 		return fmt.Errorf("%s n=%d pipelined: %w", workload, n, err)
 	}

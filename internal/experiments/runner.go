@@ -39,6 +39,7 @@ import (
 	"atgpu/internal/faults"
 	"atgpu/internal/mem"
 	"atgpu/internal/models"
+	"atgpu/internal/obs"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
@@ -85,6 +86,14 @@ type Config struct {
 	MaxRetries int
 	// Watchdog overrides the kernel watchdog timeout when > 0.
 	Watchdog time.Duration
+
+	// Obs selects unified tracing/metrics collection for sweep points.
+	// Each point records into its own sinks (the per-point hosts are
+	// concurrent); the sweep folds them in point order — tagged
+	// "<workload> n=<N>" — so the merged report is byte-identical for
+	// any worker count. With Obs.Trace set, points also run with a
+	// device Tracer attached, embedding per-block spans in the trace.
+	Obs obs.Options
 }
 
 // Validate rejects configurations that would otherwise surface as opaque
@@ -289,6 +298,12 @@ func (r *Runner) newHost(footprint int, workload string, n, idx int) (*simgpu.Ho
 			return nil, err
 		}
 	}
+	if r.cfg.Obs.Enabled() {
+		h.SetObs(r.cfg.Obs.New())
+		if r.cfg.Obs.Trace {
+			h.SetTracer(&simgpu.Tracer{MaxEvents: r.cfg.Obs.TraceMaxEvents})
+		}
+	}
 	return h, nil
 }
 
@@ -320,6 +335,9 @@ type WorkloadPoint struct {
 	Resilience simgpu.ResilienceStats
 	// FaultLog holds the injector's event log for the point.
 	FaultLog []string
+	// Obs is the point's observability report (nil unless Config.Obs
+	// enables collection).
+	Obs *obs.Report
 }
 
 // Degraded reports whether the point needed any fault recovery.
@@ -339,6 +357,9 @@ type WorkloadData struct {
 	// stats Merge methods.
 	Transfers  transfer.Stats
 	Resilience simgpu.ResilienceStats
+	// Obs folds every point's report in point order, each tagged
+	// "<workload> n=<N>" (nil unless Config.Obs enables collection).
+	Obs *obs.Report
 }
 
 // Successful returns the non-failed points, preserving order.
@@ -436,7 +457,24 @@ func (r *Runner) runSweep(workload string, sizes []int, point func(idx, n int) (
 		data.Transfers.Merge(data.Points[i].Transfers)
 		data.Resilience.Merge(data.Points[i].Resilience)
 	}
+	if r.cfg.Obs.Enabled() {
+		data.Obs = r.newSweepReport()
+		for i := range data.Points {
+			data.Obs.Merge(data.Points[i].Obs, fmt.Sprintf("%s n=%d", workload, data.Points[i].N))
+		}
+	}
 	return data, nil
+}
+
+// newSweepReport builds the empty fold target for per-point reports,
+// with a recorder attached when tracing is on so MergeTagged has a
+// destination.
+func (r *Runner) newSweepReport() *obs.Report {
+	rep := &obs.Report{}
+	if r.cfg.Obs.Trace {
+		rep.Trace = obs.NewRecorder(r.cfg.Obs.TraceMaxEvents)
+	}
+	return rep
 }
 
 // randWords draws n words uniformly from [-1000, 1000].
@@ -656,6 +694,7 @@ func (r *Runner) observePoint(pt *WorkloadPoint, body func() (*simgpu.Host, erro
 			if h != nil {
 				pt.observe(h.Report())
 				pt.recordFaults(h)
+				pt.Obs = h.SnapshotObs()
 			}
 			return nil
 		}
@@ -663,6 +702,7 @@ func (r *Runner) observePoint(pt *WorkloadPoint, body func() (*simgpu.Host, erro
 	}
 	pt.observe(h.Report())
 	pt.recordFaults(h)
+	pt.Obs = h.SnapshotObs()
 	return nil
 }
 

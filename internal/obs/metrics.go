@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Metric naming scheme (see DESIGN.md "Observability"): every metric is
+// atgpu_<layer>_<quantity>[_<unit>][_total]. Counters are int64 and end
+// in _total; duration counters carry the _ns unit and count simulated
+// nanoseconds exactly (no float folding, so merges are associative and
+// snapshots byte-identical across worker counts). Gauges are float64
+// set-once summaries. Histograms bucket simulated durations by powers
+// of two of a nanosecond.
+
+// histBuckets is the bucket count of duration histograms: bucket i
+// counts observations v with 2^(i-1) ns < v ≤ 2^i − 1 ns (bucket 0
+// counts v ≤ 0), which spans up to ~9.3 simulated seconds per
+// transaction before the overflow bucket.
+const histBuckets = 34
+
+// Histogram is a power-of-two simulated-duration histogram.
+type Histogram struct {
+	// Count and Sum aggregate all observations (Sum in nanoseconds).
+	Count, Sum int64
+	// Buckets[i] counts observations with bits.Len64(ns) == i, i.e.
+	// ns < 2^i; Overflow counts the rest.
+	Buckets [histBuckets]int64
+	// Overflow counts observations past the last bucket.
+	Overflow int64
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.Count++
+	h.Sum += ns
+	idx := 0
+	if ns > 0 {
+		idx = bits.Len64(uint64(ns))
+	}
+	if idx >= histBuckets {
+		h.Overflow++
+		return
+	}
+	h.Buckets[idx]++
+}
+
+// merge folds other into h.
+func (h *Histogram) merge(other Histogram) {
+	h.Count += other.Count
+	h.Sum += other.Sum
+	h.Overflow += other.Overflow
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Registry accumulates named metrics. All methods are safe for
+// concurrent use (the transfer engine records from under its own lock
+// while the host records from the simulation goroutine) and nil-safe: a
+// nil *Registry is the disabled state and every method is a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the registry is collecting (non-nil).
+func (m *Registry) Enabled() bool { return m != nil }
+
+// Add increments the named counter by delta. No-op on a nil registry.
+func (m *Registry) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// AddDuration increments a duration counter by d's simulated
+// nanoseconds. No-op on a nil registry.
+func (m *Registry) AddDuration(name string, d time.Duration) {
+	m.Add(name, d.Nanoseconds())
+}
+
+// Set records the named gauge. No-op on a nil registry.
+func (m *Registry) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Observe records one duration observation into the named histogram.
+// No-op on a nil registry.
+func (m *Registry) Observe(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.observe(d)
+	m.mu.Unlock()
+}
+
+// Snapshot copies the current state into an immutable value. A nil
+// registry snapshots to the zero Snapshot.
+func (m *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for k, v := range m.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(m.gauges))
+		for k, v := range m.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Histograms = make(map[string]Histogram, len(m.hists))
+		for k, v := range m.hists {
+			s.Histograms[k] = *v
+		}
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry, mergeable and
+// serialisable. The zero value is an empty snapshot.
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]float64   `json:"gauges,omitempty"`
+	Histograms map[string]Histogram `json:"histograms,omitempty"`
+}
+
+// Empty reports whether the snapshot holds no metrics.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Merge folds other into s: counters and histograms add (associative
+// and commutative, so any fold order of per-point snapshots yields
+// identical totals); gauges overwrite, last writer wins, so merge in a
+// deterministic order.
+func (s *Snapshot) Merge(other Snapshot) {
+	for k, v := range other.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64, len(other.Counters))
+		}
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]float64, len(other.Gauges))
+		}
+		s.Gauges[k] = v
+	}
+	for k, v := range other.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]Histogram, len(other.Histograms))
+		}
+		h := s.Histograms[k]
+		h.merge(v)
+		s.Histograms[k] = h
+	}
+}
+
+// WriteJSON emits the snapshot as indented JSON with sorted keys
+// (encoding/json sorts map keys), so equal snapshots serialise to equal
+// bytes.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format, names sorted, histograms as cumulative _bucket/_sum/_count
+// series with le bounds in nanoseconds.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, k := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			k, k, strconv.FormatFloat(s.Gauges[k], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", k); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, c := range h.Buckets {
+			cum += c
+			// Bound 2^i − 1 ns: the largest value bucket i admits.
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", k, (int64(1)<<i)-1, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			k, h.Count, k, h.Sum, k, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderAndRegistryAreNoOps(t *testing.T) {
+	var r *Recorder
+	var m *Registry
+	r.Span("p", "t", "s", 0, time.Second)
+	r.Instant("p", "t", "i", 0)
+	r.Merge(NewRecorder(0))
+	if r.Enabled() || r.Len() != 0 || r.Spans() != nil || r.Instants() != nil {
+		t.Fatal("nil recorder should be inert")
+	}
+	m.Add("c", 1)
+	m.AddDuration("d", time.Second)
+	m.Set("g", 1)
+	m.Observe("h", time.Second)
+	if m.Enabled() || !m.Snapshot().Empty() {
+		t.Fatal("nil registry should be inert")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil trace write: %v", err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil trace has %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	var m *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Span("host", "h2d", "copy", 0, time.Microsecond)
+		r.Instant("faults", "engine", "corrupt", 0)
+		m.Add("atgpu_transfer_in_words_total", 64)
+		m.Observe("atgpu_transfer_in_ns", time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %v times per run", allocs)
+	}
+}
+
+func TestRecorderTruncation(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Span("p", "t", "s", 0, time.Second)
+	}
+	if !r.Truncated {
+		t.Fatal("expected Truncated after exceeding MaxEvents")
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// Truncation is sticky across merges in both directions.
+	dst := NewRecorder(0)
+	dst.Merge(r)
+	if !dst.Truncated {
+		t.Fatal("merge should propagate truncation")
+	}
+}
+
+func TestMergeTaggedPrefixesProc(t *testing.T) {
+	point := NewRecorder(0)
+	point.Span("host", "h2d", "copy", 0, time.Second)
+	point.Instant("faults", "engine", "corrupt", time.Second)
+	all := NewRecorder(0)
+	all.MergeTagged(point, "vecadd n=1024")
+	if got := all.Spans()[0].Proc; got != "vecadd n=1024/host" {
+		t.Fatalf("span proc = %q", got)
+	}
+	if got := all.Instants()[0].Proc; got != "vecadd n=1024/faults" {
+		t.Fatalf("instant proc = %q", got)
+	}
+}
+
+func TestSnapshotMergeIsOrderIndependent(t *testing.T) {
+	mk := func(c int64, d time.Duration) Snapshot {
+		m := NewRegistry()
+		m.Add("atgpu_sweep_points_total", c)
+		m.AddDuration("atgpu_host_kernel_busy_ns_total", d)
+		m.Observe("atgpu_transfer_in_ns", d)
+		return m.Snapshot()
+	}
+	a, b, c := mk(1, time.Microsecond), mk(2, 3*time.Microsecond), mk(5, 40*time.Nanosecond)
+
+	var fwd Snapshot
+	fwd.Merge(a)
+	fwd.Merge(b)
+	fwd.Merge(c)
+	var rev Snapshot
+	rev.Merge(c)
+	rev.Merge(b)
+	rev.Merge(a)
+
+	var bufF, bufR bytes.Buffer
+	if err := fwd.WriteJSON(&bufF); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.WriteJSON(&bufR); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufF.Bytes(), bufR.Bytes()) {
+		t.Fatalf("merge order changed serialised snapshot:\n%s\nvs\n%s", bufF.String(), bufR.String())
+	}
+	if got := fwd.Counters["atgpu_sweep_points_total"]; got != 8 {
+		t.Fatalf("counter = %d, want 8", got)
+	}
+	h := fwd.Histograms["atgpu_transfer_in_ns"]
+	if h.Count != 3 || h.Sum != (time.Microsecond + 3*time.Microsecond + 40*time.Nanosecond).Nanoseconds() {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	m := NewRegistry()
+	m.Add("atgpu_faults_corrupt_total", 3)
+	m.Set("atgpu_pipeline_saving_ratio", 0.296)
+	m.Observe("atgpu_transfer_in_ns", 100*time.Nanosecond)
+	m.Observe("atgpu_transfer_in_ns", 100*time.Nanosecond)
+	var buf bytes.Buffer
+	if err := m.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE atgpu_faults_corrupt_total counter",
+		"atgpu_faults_corrupt_total 3",
+		"# TYPE atgpu_pipeline_saving_ratio gauge",
+		"atgpu_pipeline_saving_ratio 0.296",
+		"# TYPE atgpu_transfer_in_ns histogram",
+		"atgpu_transfer_in_ns_bucket{le=\"127\"} 2",
+		"atgpu_transfer_in_ns_bucket{le=\"+Inf\"} 2",
+		"atgpu_transfer_in_ns_sum 200",
+		"atgpu_transfer_in_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// 100ns has bit length 7, so the le="63" cumulative count is 0.
+	if !strings.Contains(out, "atgpu_transfer_in_ns_bucket{le=\"63\"} 0") {
+		t.Fatalf("bucket below observation should be empty:\n%s", out)
+	}
+}
+
+func TestWriteTraceDeterministicAndWellFormed(t *testing.T) {
+	record := func() *Recorder {
+		r := NewRecorder(0)
+		r.Span("streams", "stream 1", "kernel vecadd", 2*time.Microsecond, 5*time.Microsecond,
+			Arg{"blocks", "4"})
+		r.Span("host", "h2d", "in vecadd.x", 0, 2*time.Microsecond)
+		r.Instant("transfer", "engine", "retry", time.Microsecond, Arg{"attempt", "2"})
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := record().WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recordings serialised differently")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	// 3 procs × (name+sort) + 3 tracks × (name+sort) + 2 spans + 1 instant.
+	if len(doc.TraceEvents) != 15 {
+		t.Fatalf("got %d events, want 15", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		switch ev.Ph {
+		case "M", "X", "i":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Pid == 0 {
+			t.Fatalf("event %q missing pid", ev.Name)
+		}
+	}
+	if byName["kernel vecadd"] != 1 || byName["retry"] != 1 {
+		t.Fatalf("span/instant events missing: %v", byName)
+	}
+	// Procs sorted: host=1, streams=2, transfer=3.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "process_name" && ev.Args["name"] == "host" && ev.Pid != 1 {
+			t.Fatalf("host pid = %d, want 1 (sorted first)", ev.Pid)
+		}
+		if ev.Name == "kernel vecadd" {
+			if ev.Ts != 2 || ev.Dur != 3 {
+				t.Fatalf("kernel span ts=%v dur=%v, want 2/3 µs", ev.Ts, ev.Dur)
+			}
+		}
+	}
+}
+
+func TestOptionsNew(t *testing.T) {
+	rec, met := (Options{}).New()
+	if rec != nil || met != nil {
+		t.Fatal("zero Options should build nil sinks")
+	}
+	if (Options{}).Enabled() {
+		t.Fatal("zero Options should be disabled")
+	}
+	rec, met = (Options{Trace: true, Metrics: true, TraceMaxEvents: 7}).New()
+	if rec == nil || met == nil {
+		t.Fatal("enabled Options should build sinks")
+	}
+	if rec.MaxEvents != 7 {
+		t.Fatalf("MaxEvents = %d, want 7", rec.MaxEvents)
+	}
+}
+
+// BenchmarkDisabledHotPath prices the per-event cost of the disabled
+// instrumentation: one nil check per call, no allocations. This is the
+// number that keeps the un-instrumented simulation within noise of a
+// build without the obs layer.
+func BenchmarkDisabledHotPath(b *testing.B) {
+	var r *Recorder
+	var m *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span("host", "h2d", "transfer", 0, time.Microsecond)
+		r.Instant("faults", "kernel", "watchdog", 0)
+		m.Add("atgpu_host_launches_total", 1)
+		m.Observe("atgpu_transfer_in_ns", time.Microsecond)
+	}
+}
+
+// BenchmarkEnabledSpan prices the live recording path for comparison.
+func BenchmarkEnabledSpan(b *testing.B) {
+	r := NewRecorder(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span("host", "h2d", "transfer", 0, time.Microsecond)
+		if r.Len() >= DefaultMaxEvents-1 {
+			b.StopTimer()
+			*r = Recorder{}
+			b.StartTimer()
+		}
+	}
+}

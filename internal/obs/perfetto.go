@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Perfetto export: the recorder serialises to the Chrome trace-event
+// JSON format (loadable at https://ui.perfetto.dev or chrome://tracing).
+// Procs become processes, tracks become threads; spans are complete
+// ("X") events and instants are thread-scoped instant ("i") events.
+// Timestamps are simulated time expressed in the format's microsecond
+// unit, fractional to nanosecond precision.
+//
+// Output is byte-deterministic for a given recording: processes and
+// tracks are numbered by sorted name, events keep recording order, and
+// args serialise in recorded key order.
+
+// traceEvent is the trace-event JSON schema subset we emit. Field order
+// here fixes the serialised field order.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// micros converts a simulated instant to the trace format's fractional
+// microseconds.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// argMap converts ordered args to the schema's map form. encoding/json
+// serialises map keys sorted, so the output stays deterministic.
+func argMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// trackIDs assigns stable process and thread ids: pids by sorted proc
+// name, tids by sorted track name within each proc.
+func (r *Recorder) trackIDs() (pids map[string]int, tids map[[2]string]int, procs []string, tracks map[string][]string) {
+	pids = make(map[string]int)
+	tids = make(map[[2]string]int)
+	tracks = make(map[string][]string)
+	seen := make(map[[2]string]bool)
+	note := func(proc, track string) {
+		if _, ok := pids[proc]; !ok {
+			pids[proc] = 0 // numbered after the sort
+			procs = append(procs, proc)
+		}
+		k := [2]string{proc, track}
+		if !seen[k] {
+			seen[k] = true
+			tracks[proc] = append(tracks[proc], track)
+		}
+	}
+	for _, s := range r.spans {
+		note(s.Proc, s.Track)
+	}
+	for _, in := range r.instants {
+		note(in.Proc, in.Track)
+	}
+	sort.Strings(procs)
+	for i, p := range procs {
+		pids[p] = i + 1
+		sort.Strings(tracks[p])
+		for j, t := range tracks[p] {
+			tids[[2]string{p, t}] = j + 1
+		}
+	}
+	return pids, tids, procs, tracks
+}
+
+// WriteTrace emits the recording as one Chrome/Perfetto trace-event
+// JSON document. A nil recorder writes an empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	events := []traceEvent{}
+	if r != nil {
+		pids, tids, procs, tracks := r.trackIDs()
+		for _, p := range procs {
+			events = append(events, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pids[p],
+				Args: map[string]any{"name": p},
+			})
+			events = append(events, traceEvent{
+				Name: "process_sort_index", Ph: "M", Pid: pids[p],
+				Args: map[string]any{"sort_index": pids[p]},
+			})
+			for _, t := range tracks[p] {
+				tid := tids[[2]string{p, t}]
+				events = append(events, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: pids[p], Tid: tid,
+					Args: map[string]any{"name": t},
+				})
+				events = append(events, traceEvent{
+					Name: "thread_sort_index", Ph: "M", Pid: pids[p], Tid: tid,
+					Args: map[string]any{"sort_index": tid},
+				})
+			}
+		}
+		for _, s := range r.spans {
+			dur := micros(s.End - s.Start)
+			events = append(events, traceEvent{
+				Name: s.Name, Ph: "X", Ts: micros(s.Start), Dur: &dur,
+				Pid: pids[s.Proc], Tid: tids[[2]string{s.Proc, s.Track}],
+				Args: argMap(s.Args),
+			})
+		}
+		for _, in := range r.instants {
+			events = append(events, traceEvent{
+				Name: in.Name, Ph: "i", Ts: micros(in.At), Scope: "t",
+				Pid: pids[in.Proc], Tid: tids[[2]string{in.Proc, in.Track}],
+				Args: argMap(in.Args),
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,199 @@
+// Package obs is the unified observability layer of the ATGPU stack:
+// one span/event recorder and one metrics registry that every layer —
+// the discrete-event timeline, the simulated host and its streams, the
+// device block scheduler, the transfer engine, the fault injector and
+// the experiment sweeps — feeds, so a single run exports one Perfetto
+// trace and one metrics snapshot instead of four disconnected logs.
+//
+// Everything is stamped with *simulated* time: timeline instants for
+// host-side work, device cycles (converted at the device clock) for
+// kernel-internal block spans. No wall clocks, goroutine identities or
+// map iteration orders leak into the output, so recordings are
+// byte-reproducible across worker counts and machines.
+//
+// Instrumentation is opt-in and nil-safe: a nil *Recorder or nil
+// *Registry is the disabled state, every method on it is a no-op, and
+// the instrumented hot paths pay exactly one nil check and zero
+// allocations.
+package obs
+
+import "time"
+
+// DefaultMaxEvents bounds recorder growth unless overridden: beyond the
+// cap the recorder sets Truncated and drops further spans and instants,
+// so tracing a huge sweep degrades gracefully instead of exhausting
+// memory.
+const DefaultMaxEvents = 1 << 20
+
+// Arg is one key/value annotation on a span or instant. Args are kept
+// as an ordered slice, not a map, so recordings have no iteration-order
+// nondeterminism and the common no-args case allocates nothing.
+type Arg struct {
+	Key, Value string
+}
+
+// Span is one contiguous occupancy on a track: a transfer holding a
+// PCIe link direction, a kernel holding the SM array, a thread block
+// resident on a multiprocessor, σ on the sync path.
+type Span struct {
+	// Proc groups tracks into a Perfetto process ("host", "streams",
+	// "device", "transfer"; experiment sweeps prefix a per-point tag).
+	Proc string
+	// Track is the thread-like lane within the process ("h2d",
+	// "stream default", "SM0 slot1", ...).
+	Track string
+	// Name labels the slice.
+	Name string
+	// Start and End are simulated instants.
+	Start, End time.Duration
+	// Args carries optional annotations (retry counts, instruction
+	// counts, ...), in recording order.
+	Args []Arg
+}
+
+// Instant is one zero-duration event on a track: an injected fault, a
+// detected checksum mismatch, a watchdog fire.
+type Instant struct {
+	Proc  string
+	Track string
+	Name  string
+	At    time.Duration
+	Args  []Arg
+}
+
+// Recorder accumulates spans and instants in recording order. It is the
+// trace half of a Report; the Registry is the metrics half.
+//
+// A Recorder is single-goroutine, like the simulated Host that feeds
+// it: concurrent sweeps record into per-point recorders and merge them
+// afterwards in point order, which is what keeps multi-worker traces
+// deterministic.
+//
+// The zero value is ready to use. A nil *Recorder is the disabled
+// state: every method is a no-op and Enabled reports false.
+type Recorder struct {
+	// MaxEvents caps recorded spans+instants (0 means DefaultMaxEvents);
+	// beyond the cap the recorder sets Truncated and drops events.
+	MaxEvents int
+	// Truncated reports whether the cap was hit.
+	Truncated bool
+
+	spans    []Span
+	instants []Instant
+}
+
+// NewRecorder returns a recorder capped at maxEvents (0 selects
+// DefaultMaxEvents).
+func NewRecorder(maxEvents int) *Recorder {
+	return &Recorder{MaxEvents: maxEvents}
+}
+
+// Enabled reports whether the recorder is collecting (non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) cap() int {
+	if r.MaxEvents > 0 {
+		return r.MaxEvents
+	}
+	return DefaultMaxEvents
+}
+
+// Cap reports the effective event cap (DefaultMaxEvents unless
+// MaxEvents overrides it), for surfacing truncation to users.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return DefaultMaxEvents
+	}
+	return r.cap()
+}
+
+// WasTruncated reports whether the cap was hit (false for nil).
+func (r *Recorder) WasTruncated() bool { return r != nil && r.Truncated }
+
+func (r *Recorder) full() bool {
+	if len(r.spans)+len(r.instants) >= r.cap() {
+		r.Truncated = true
+		return true
+	}
+	return false
+}
+
+// Span records one occupancy slice. No-op on a nil recorder or beyond
+// the event cap.
+func (r *Recorder) Span(proc, track, name string, start, end time.Duration, args ...Arg) {
+	if r == nil || r.full() {
+		return
+	}
+	r.spans = append(r.spans, Span{Proc: proc, Track: track, Name: name, Start: start, End: end, Args: args})
+}
+
+// Instant records one zero-duration event. No-op on a nil recorder or
+// beyond the event cap.
+func (r *Recorder) Instant(proc, track, name string, at time.Duration, args ...Arg) {
+	if r == nil || r.full() {
+		return
+	}
+	r.instants = append(r.instants, Instant{Proc: proc, Track: track, Name: name, At: at, Args: args})
+}
+
+// Spans returns the recorded spans in recording order (the live slice;
+// callers must not mutate).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Instants returns the recorded instants in recording order (the live
+// slice; callers must not mutate).
+func (r *Recorder) Instants() []Instant {
+	if r == nil {
+		return nil
+	}
+	return r.instants
+}
+
+// Len reports the number of recorded events (spans plus instants).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans) + len(r.instants)
+}
+
+// Merge appends other's events onto r in other's recording order.
+// Merging nil, or into nil, is a no-op. Truncation state is sticky: if
+// either side truncated, the merge is marked truncated.
+func (r *Recorder) Merge(other *Recorder) { r.MergeTagged(other, "") }
+
+// MergeTagged is Merge with every incoming event's Proc prefixed by
+// "tag/" — how an experiment sweep folds per-point recorders into one
+// trace with one Perfetto process group per sweep point. An empty tag
+// leaves Procs untouched.
+func (r *Recorder) MergeTagged(other *Recorder, tag string) {
+	if r == nil || other == nil {
+		return
+	}
+	if other.Truncated {
+		r.Truncated = true
+	}
+	prefix := ""
+	if tag != "" {
+		prefix = tag + "/"
+	}
+	for _, s := range other.spans {
+		if r.full() {
+			return
+		}
+		s.Proc = prefix + s.Proc
+		r.spans = append(r.spans, s)
+	}
+	for _, in := range other.instants {
+		if r.full() {
+			return
+		}
+		in.Proc = prefix + in.Proc
+		r.instants = append(r.instants, in)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// Options selects which observability surfaces a run collects. The zero
+// value disables everything; disabled surfaces cost one nil check on
+// the instrumented paths and allocate nothing.
+type Options struct {
+	// Trace enables the span/event recorder.
+	Trace bool
+	// Metrics enables the metrics registry.
+	Metrics bool
+	// TraceMaxEvents caps the recorder (0 means DefaultMaxEvents).
+	TraceMaxEvents int
+}
+
+// Enabled reports whether any surface is selected.
+func (o Options) Enabled() bool { return o.Trace || o.Metrics }
+
+// New builds the recorder and registry the options select (nil for
+// disabled surfaces — the nil values are valid no-op sinks).
+func (o Options) New() (*Recorder, *Registry) {
+	var rec *Recorder
+	var met *Registry
+	if o.Trace {
+		rec = NewRecorder(o.TraceMaxEvents)
+	}
+	if o.Metrics {
+		met = NewRegistry()
+	}
+	return rec, met
+}
+
+// Report bundles what one run observed: the trace (nil when tracing was
+// off) and the metrics snapshot (empty when metrics were off).
+type Report struct {
+	Trace   *Recorder
+	Metrics Snapshot
+}
+
+// Merge folds other into r: traces append in other's recording order
+// under the given proc tag (empty tag = untagged), metrics add. Used by
+// sweeps to fold per-point reports in point order.
+func (r *Report) Merge(other *Report, tag string) {
+	if other == nil {
+		return
+	}
+	if r.Trace != nil {
+		r.Trace.MergeTagged(other.Trace, tag)
+	}
+	r.Metrics.Merge(other.Metrics)
+}
+
+// WriteTraceFile writes the trace as Perfetto JSON to path. Writing a
+// report with tracing disabled emits an empty trace.
+func (r *Report) WriteTraceFile(path string) error {
+	return writeFile(path, func(w io.Writer) error { return r.Trace.WriteTrace(w) })
+}
+
+// WriteMetricsFile writes the metrics snapshot to path in the
+// Prometheus text exposition format.
+func (r *Report) WriteMetricsFile(path string) error {
+	return writeFile(path, func(w io.Writer) error { return r.Metrics.WritePrometheus(w) })
+}
+
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

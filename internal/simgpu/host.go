@@ -8,6 +8,7 @@ import (
 	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
+	"atgpu/internal/obs"
 	"atgpu/internal/timeline"
 	"atgpu/internal/transfer"
 )
@@ -97,6 +98,10 @@ type Host struct {
 	watchdog      time.Duration
 	maxRelaunches int
 	resil         ResilienceStats
+
+	orec      *obs.Recorder // trace sink (nil = disabled)
+	omet      *obs.Registry // metrics sink (nil = disabled)
+	obsStream string        // stream currently issuing, for span tagging
 }
 
 // NewHost pairs a device with a transfer engine. syncCost instantiates σ.
@@ -211,6 +216,7 @@ func (h *Host) EndRound() {
 	}
 	h.barrier = sync
 	h.rounds++
+	h.omet.Add("atgpu_host_rounds_total", 1)
 }
 
 // KernelTime returns the total time the SM array was occupied (including

@@ -1,0 +1,141 @@
+package simgpu
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"atgpu/internal/obs"
+	"atgpu/internal/timeline"
+)
+
+// Host-side observability wiring: one recorder and one registry are
+// attached with SetObs and every layer below feeds them on the shared
+// simulated clock. The timeline observer mirrors each scheduled op as a
+// "host" resource-occupancy span (tracks h2d/d2h/compute/sync) and,
+// when the op was issued by a stream, as a "streams" per-stream span;
+// the transfer engine adds "transfer" transaction spans with retry
+// detail (its SetObs is forwarded to); kernel launches embed the device
+// Tracer's block spans as "device" SM-slot slices, with device cycles
+// converted onto the simulated-time axis at the device clock.
+
+// SetObs attaches the unified observability sinks to the host and
+// forwards them to its transfer engine. Nil sinks disable the
+// respective surface (and cost the hot paths exactly one nil check);
+// attaching mid-run starts recording from that point.
+//
+// Device block spans additionally require a Tracer (SetTracer): without
+// one, kernel launches still emit compute-occupancy and stream spans
+// but no per-block slices.
+func (h *Host) SetObs(rec *obs.Recorder, met *obs.Registry) {
+	h.orec = rec
+	h.omet = met
+	h.engine.SetObs(rec, met)
+	if rec == nil && met == nil {
+		h.tl.SetObserver(nil)
+		return
+	}
+	h.tl.SetObserver(h.observeOp)
+}
+
+// observeOp mirrors one scheduled timeline op into the trace and
+// metrics. Runs synchronously inside Schedule, on the host goroutine.
+func (h *Host) observeOp(op timeline.Op) {
+	h.orec.Span("host", op.Resource, op.Label, op.Start, op.End)
+	if h.obsStream != "" {
+		h.orec.Span("streams", "stream "+h.obsStream, op.Label, op.Start, op.End)
+	}
+	if h.omet == nil {
+		return
+	}
+	d := op.End - op.Start
+	switch op.Resource {
+	case "h2d":
+		h.omet.AddDuration("atgpu_host_h2d_busy_ns_total", d)
+	case "d2h":
+		h.omet.AddDuration("atgpu_host_d2h_busy_ns_total", d)
+	case "compute":
+		h.omet.AddDuration("atgpu_host_compute_busy_ns_total", d)
+	case "sync":
+		h.omet.AddDuration("atgpu_host_sync_busy_ns_total", d)
+	}
+}
+
+// enterStream / leaveStream bracket an async issue so the observer can
+// tag the scheduled ops with the issuing stream. Split into two plain
+// methods (rather than a returned closure) to keep the disabled path
+// free of allocations.
+func (h *Host) enterStream(s *Stream) {
+	if h.orec != nil {
+		h.obsStream = s.name
+	}
+}
+
+func (h *Host) leaveStream() { h.obsStream = "" }
+
+// cyclesToDuration maps device cycles onto the simulated-time axis at
+// the device clock, mirroring the Time conversion of KernelResult.
+func (h *Host) cyclesToDuration(c int64) time.Duration {
+	return time.Duration(h.dev.Config().CyclesToSeconds(c) * float64(time.Second))
+}
+
+// emitBlockSpans embeds the block spans the Tracer captured for one
+// launch (those recorded at index ≥ first) into the trace as "device"
+// process slices, shifted so cycle 0 lands at the kernel op's start on
+// the compute resource. Blocks overlap on an SM (occupancy > 1), and
+// the trace format forbids overlapping slices on one track, so blocks
+// are packed into per-SM residency slots by a greedy interval
+// partition: a block takes the first slot of its SM that is free at its
+// schedule cycle. Slot count therefore equals the launch's peak
+// residency per SM.
+func (h *Host) emitBlockSpans(prog string, first int, kernelStart time.Duration) {
+	blocks := h.tracer.blocks[first:]
+	// slotFree[sm] holds the retire cycle of the last block packed into
+	// each of sm's slots; blocks arrive in schedule-cycle order.
+	slotFree := map[int][]int64{}
+	for _, b := range blocks {
+		end := b.Retired
+		if end < 0 {
+			end = b.Scheduled
+		}
+		slot := -1
+		for i, free := range slotFree[b.SM] {
+			if free <= b.Scheduled {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			slot = len(slotFree[b.SM])
+			slotFree[b.SM] = append(slotFree[b.SM], 0)
+		}
+		slotFree[b.SM][slot] = end
+		h.orec.Span("device",
+			fmt.Sprintf("SM%02d.%d", b.SM, slot),
+			fmt.Sprintf("%s block %d", prog, b.Block),
+			kernelStart+h.cyclesToDuration(b.Scheduled),
+			kernelStart+h.cyclesToDuration(end),
+			obs.Arg{Key: "instrs", Value: strconv.FormatInt(b.Instrs, 10)},
+		)
+	}
+}
+
+// SnapshotObs finalises run-level gauges (totals the per-op counters
+// cannot express, like the overlapped makespan) and bundles the trace
+// with a metrics snapshot. Returns nil when no sink is attached.
+func (h *Host) SnapshotObs() *obs.Report {
+	if h.orec == nil && h.omet == nil {
+		return nil
+	}
+	// A truncated device Tracer means embedded block spans are missing,
+	// so the trace as a whole is incomplete.
+	if h.orec != nil && h.tracer != nil && h.tracer.Truncated {
+		h.orec.Truncated = true
+	}
+	if h.omet != nil {
+		h.omet.Set("atgpu_host_total_ns", float64(h.TotalTime().Nanoseconds()))
+		h.omet.Set("atgpu_host_overlap_saved_ns", float64(h.OverlapSaved().Nanoseconds()))
+		h.omet.Set("atgpu_host_transfer_fraction", h.Report().TransferFraction())
+	}
+	return &obs.Report{Trace: h.orec, Metrics: h.omet.Snapshot()}
+}

@@ -2,11 +2,13 @@ package simgpu
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
+	"atgpu/internal/obs"
 	"atgpu/internal/timeline"
 )
 
@@ -78,6 +80,8 @@ func (h *Host) stream(s *Stream) *Stream {
 // after the stream's prior work.
 func (h *Host) AsyncTransferIn(s *Stream, offset int, data []mem.Word) error {
 	s = h.stream(s)
+	h.enterStream(s)
+	defer h.leaveStream()
 	ev, err := h.engine.InAsync(h.tl, h.resH2D, h.dev.Global(), offset, data, s.frontier)
 	if err != nil {
 		return err
@@ -90,6 +94,8 @@ func (h *Host) AsyncTransferIn(s *Stream, offset int, data []mem.Word) error {
 // s: one α-paying transaction per chunk, chained in stream order.
 func (h *Host) AsyncTransferInChunked(s *Stream, offset int, data []mem.Word, chunk int) error {
 	s = h.stream(s)
+	h.enterStream(s)
+	defer h.leaveStream()
 	ev, err := h.engine.InChunkedAsync(h.tl, h.resH2D, h.dev.Global(), offset, data, chunk, s.frontier)
 	if err != nil {
 		return err
@@ -103,6 +109,8 @@ func (h *Host) AsyncTransferInChunked(s *Stream, offset int, data []mem.Word, ch
 // time (program order).
 func (h *Host) AsyncTransferOut(s *Stream, offset, length int) ([]mem.Word, error) {
 	s = h.stream(s)
+	h.enterStream(s)
+	defer h.leaveStream()
 	data, ev, err := h.engine.OutAsync(h.tl, h.resD2H, h.dev.Global(), offset, length, s.frontier)
 	if err != nil {
 		return nil, err
@@ -117,6 +125,8 @@ func (h *Host) AsyncTransferOut(s *Stream, offset, length int) ([]mem.Word, erro
 // compute resource in stream order before relaunching.
 func (h *Host) AsyncLaunch(s *Stream, prog *kernel.Program, numBlocks int) (KernelResult, error) {
 	s = h.stream(s)
+	h.enterStream(s)
+	defer h.leaveStream()
 	for attempt := 0; ; attempt++ {
 		if h.inj != nil {
 			d := h.inj.Launch(attempt, h.dev.Config().NumSMs)
@@ -125,11 +135,15 @@ func (h *Host) AsyncLaunch(s *Stream, prog *kernel.Program, numBlocks int) (Kern
 				s.frontier = h.tl.Schedule(h.resCompute, h.watchdog, "watchdog "+prog.Name, s.frontier)
 				h.resil.WatchdogFires++
 				h.resil.WatchdogTime += h.watchdog
+				h.orec.Instant("faults", "kernel", "watchdog "+prog.Name, s.frontier.Time(),
+					obs.Arg{Key: "attempt", Value: strconv.Itoa(attempt + 1)})
+				h.omet.Add("atgpu_faults_hang_total", 1)
 				if attempt >= h.maxRelaunches {
 					return KernelResult{}, fmt.Errorf("%w: kernel %s hung %d times",
 						ErrWatchdogExhausted, prog.Name, attempt+1)
 				}
 				h.resil.Relaunches++
+				h.omet.Add("atgpu_host_relaunches_total", 1)
 				continue
 			case faults.SMFail:
 				n := h.dev.Config().NumSMs
@@ -138,8 +152,15 @@ func (h *Host) AsyncLaunch(s *Stream, prog *kernel.Program, numBlocks int) (Kern
 				// and the launch proceeds at current capacity.
 				if err := h.dev.FailSM(victim); err == nil {
 					h.resil.FailedSMs++
+					h.orec.Instant("faults", "kernel", "SM failure", s.frontier.Time(),
+						obs.Arg{Key: "sm", Value: strconv.Itoa(victim)})
+					h.omet.Add("atgpu_faults_smfail_total", 1)
 				}
 			}
+		}
+		blocksBefore := 0
+		if h.tracer != nil {
+			blocksBefore = len(h.tracer.blocks)
 		}
 		res, err := h.dev.LaunchTraced(prog, numBlocks, h.tracer)
 		if err != nil {
@@ -149,6 +170,10 @@ func (h *Host) AsyncLaunch(s *Stream, prog *kernel.Program, numBlocks int) (Kern
 			h.resil.DegradedLaunches++
 		}
 		s.frontier = h.tl.Schedule(h.resCompute, res.Time, "kernel "+prog.Name, s.frontier)
+		if h.orec != nil && h.tracer != nil {
+			h.emitBlockSpans(prog.Name, blocksBefore, s.frontier.Time()-res.Time)
+		}
+		h.omet.Add("atgpu_host_launches_total", 1)
 		h.kernelStats.Merge(res.Stats)
 		h.launches++
 		return res, nil

@@ -96,6 +96,7 @@ type Timeline struct {
 	resources []*Resource
 	ops       []Op
 	makespan  time.Duration
+	observer  func(Op)
 }
 
 // New returns an empty timeline at t = 0 with no resources.
@@ -148,8 +149,17 @@ func (t *Timeline) Schedule(r *Resource, d time.Duration, label string, after ..
 	if end > t.makespan {
 		t.makespan = end
 	}
+	if t.observer != nil {
+		t.observer(t.ops[len(t.ops)-1])
+	}
 	return Event{op: len(t.ops), at: end}
 }
+
+// SetObserver registers fn to be called synchronously with every Op as
+// it is scheduled, in submission order. It exists so an observability
+// layer can mirror the timeline without the timeline importing it; a
+// nil fn removes the observer. The observer survives Reset.
+func (t *Timeline) SetObserver(fn func(Op)) { t.observer = fn }
 
 // AfterAll joins events: the returned event completes when the latest
 // of them does. Joining no events yields the origin.

@@ -2,8 +2,11 @@ package transfer
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"atgpu/internal/mem"
+	"atgpu/internal/obs"
 	"atgpu/internal/timeline"
 )
 
@@ -31,24 +34,28 @@ import (
 // marking transfer completion.
 func (e *Engine) InAsync(tl *timeline.Timeline, res *timeline.Resource, g *mem.Global, offset int, src []mem.Word, after ...timeline.Event) (timeline.Event, error) {
 	e.mu.Lock()
-	d, err := e.in(g, offset, src)
+	d, rec, err := e.in(g, offset, src)
 	e.mu.Unlock()
 	if err != nil {
 		return timeline.Event{}, err
 	}
-	return tl.Schedule(res, d, fmt.Sprintf("H2D %d words", len(src)), after...), nil
+	ev := tl.Schedule(res, d, fmt.Sprintf("H2D %d words", len(src)), after...)
+	e.span(ev, d, rec)
+	return ev, nil
 }
 
 // OutAsync copies length words at offset from device global memory
 // back to the host and schedules the transfer's cost on res.
 func (e *Engine) OutAsync(tl *timeline.Timeline, res *timeline.Resource, g *mem.Global, offset, length int, after ...timeline.Event) ([]mem.Word, timeline.Event, error) {
 	e.mu.Lock()
-	dst, d, err := e.out(g, offset, length)
+	dst, d, rec, err := e.out(g, offset, length)
 	e.mu.Unlock()
 	if err != nil {
 		return nil, timeline.Event{}, err
 	}
-	return dst, tl.Schedule(res, d, fmt.Sprintf("D2H %d words", length), after...), nil
+	ev := tl.Schedule(res, d, fmt.Sprintf("D2H %d words", length), after...)
+	e.span(ev, d, rec)
+	return dst, ev, nil
 }
 
 // InChunkedAsync is InChunked on the timeline: each chunk is its own
@@ -66,12 +73,48 @@ func (e *Engine) InChunkedAsync(tl *timeline.Timeline, res *timeline.Resource, g
 			end = len(src)
 		}
 		e.mu.Lock()
-		d, err := e.in(g, offset+base, src[base:end])
+		d, rec, err := e.in(g, offset+base, src[base:end])
 		e.mu.Unlock()
 		if err != nil {
 			return timeline.Event{}, err
 		}
 		prev = tl.Schedule(res, d, fmt.Sprintf("H2D %d words", end-base), prev)
+		e.span(prev, d, rec)
 	}
 	return prev, nil
+}
+
+// span emits one completed transaction onto the trace as an occupancy
+// of the link ending at ev, annotated with retry detail, plus an
+// instant per fault class hit during the transaction. No-op without a
+// recorder attached. Reads e.orec without the engine lock: SetObs
+// happens during host setup and async issue is single-goroutine per
+// the timeline contract.
+func (e *Engine) span(ev timeline.Event, d time.Duration, r Record) {
+	if e.orec == nil {
+		return
+	}
+	track := r.Direction.String()
+	start := ev.Time() - d
+	args := []obs.Arg{{Key: "words", Value: strconv.Itoa(r.Words)}}
+	if r.Attempts > 1 {
+		args = append(args, obs.Arg{Key: "attempts", Value: strconv.Itoa(r.Attempts)})
+	}
+	if r.Backoff > 0 {
+		args = append(args, obs.Arg{Key: "backoff", Value: r.Backoff.String()})
+	}
+	e.orec.Span("transfer", track, fmt.Sprintf("%s %d words", track, r.Words), start, ev.Time(), args...)
+	for _, f := range []struct {
+		name  string
+		count int
+	}{
+		{"fault: corrupt", r.Corruptions},
+		{"fault: drop", r.Drops},
+		{"fault: stall", r.Stalls},
+	} {
+		if f.count > 0 {
+			e.orec.Instant("transfer", track, f.name, start,
+				obs.Arg{Key: "count", Value: strconv.Itoa(f.count)})
+		}
+	}
 }

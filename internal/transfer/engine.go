@@ -8,6 +8,7 @@ import (
 
 	"atgpu/internal/faults"
 	"atgpu/internal/mem"
+	"atgpu/internal/obs"
 )
 
 // Direction of a transfer relative to the device.
@@ -158,6 +159,9 @@ type Engine struct {
 	inj    faults.Injector
 	policy RetryPolicy
 	jrng   *rand.Rand // backoff jitter source
+
+	orec *obs.Recorder // trace sink (nil = disabled)
+	omet *obs.Registry // metrics sink (nil = disabled)
 }
 
 // NewEngine creates an engine over link using scheme for all transfers.
@@ -186,6 +190,18 @@ func (e *Engine) SetFaults(inj faults.Injector, policy RetryPolicy) error {
 	return nil
 }
 
+// SetObs attaches the unified observability sinks: every completed
+// transaction mirrors into the registry's atgpu_transfer_* series, and
+// the async entry points emit per-transaction spans (with retry and
+// fault instants) onto the recorder. Nil sinks disable the respective
+// surface; the uninstrumented path stays allocation-free.
+func (e *Engine) SetObs(rec *obs.Recorder, met *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.orec = rec
+	e.omet = met
+}
+
 // SetTrace toggles retention of per-transaction records.
 func (e *Engine) SetTrace(keep bool) {
 	e.mu.Lock()
@@ -212,15 +228,18 @@ func (e *Engine) Model() CostModel {
 func (e *Engine) In(g *mem.Global, offset int, src []mem.Word) (time.Duration, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.in(g, offset, src)
+	d, _, err := e.in(g, offset, src)
+	return d, err
 }
 
-// in is In without locking, for use by InChunked.
-func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, error) {
+// in is In without locking, for use by InChunked and the async entry
+// points; it additionally returns the transaction's Record so callers
+// can annotate trace spans with retry detail.
+func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, Record, error) {
 	// Pre-flight the range so programming errors surface immediately and
 	// are never charged, faulted or retried.
 	if err := g.CheckWrite(offset, len(src)); err != nil {
-		return 0, err
+		return 0, Record{}, err
 	}
 	clean := e.Model().CostDuration(1, len(src))
 	rec := Record{Direction: HostToDevice, Scheme: e.scheme, Words: len(src), Offset: offset}
@@ -236,20 +255,20 @@ func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, e
 			ok = false
 		case faults.Corrupt:
 			if err := g.WriteSlice(offset, src); err != nil {
-				return 0, err
+				return 0, Record{}, err
 			}
 			corruptGlobal(g, offset, len(src), d)
 			rec.Corruptions++
 			ok = false
 		case faults.Stall:
 			if err := g.WriteSlice(offset, src); err != nil {
-				return 0, err
+				return 0, Record{}, err
 			}
 			cost = stalledCost(clean, d)
 			rec.Stalls++
 		default:
 			if err := g.WriteSlice(offset, src); err != nil {
-				return 0, err
+				return 0, Record{}, err
 			}
 		}
 		total += cost
@@ -258,7 +277,7 @@ func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, e
 			// the host-side checksum.
 			sum, err := g.ChecksumRange(offset, len(src))
 			if err != nil {
-				return 0, err
+				return 0, Record{}, err
 			}
 			if sum != mem.Checksum(src) {
 				rec.Corruptions++
@@ -266,7 +285,7 @@ func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, e
 			}
 		}
 		if done, err := e.finish(&rec, &total, ok, attempt); done {
-			return total, err
+			return total, rec, err
 		}
 	}
 }
@@ -277,13 +296,15 @@ func (e *Engine) in(g *mem.Global, offset int, src []mem.Word) (time.Duration, e
 func (e *Engine) Out(g *mem.Global, offset, length int) ([]mem.Word, time.Duration, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.out(g, offset, length)
+	dst, d, _, err := e.out(g, offset, length)
+	return dst, d, err
 }
 
-// out is Out without locking, for use by OutAsync.
-func (e *Engine) out(g *mem.Global, offset, length int) ([]mem.Word, time.Duration, error) {
+// out is Out without locking, for use by OutAsync; it additionally
+// returns the transaction's Record for trace annotation.
+func (e *Engine) out(g *mem.Global, offset, length int) ([]mem.Word, time.Duration, Record, error) {
 	if err := g.CheckRead(offset, length); err != nil {
-		return nil, 0, err
+		return nil, 0, Record{}, err
 	}
 	clean := e.Model().CostDuration(1, length)
 	rec := Record{Direction: DeviceToHost, Scheme: e.scheme, Words: length, Offset: offset}
@@ -300,7 +321,7 @@ func (e *Engine) out(g *mem.Global, offset, length int) ([]mem.Word, time.Durati
 		case faults.Corrupt:
 			var err error
 			if dst, err = g.ReadSlice(offset, length); err != nil {
-				return nil, 0, err
+				return nil, 0, Record{}, err
 			}
 			corruptHost(dst, d)
 			rec.Corruptions++
@@ -308,21 +329,21 @@ func (e *Engine) out(g *mem.Global, offset, length int) ([]mem.Word, time.Durati
 		case faults.Stall:
 			var err error
 			if dst, err = g.ReadSlice(offset, length); err != nil {
-				return nil, 0, err
+				return nil, 0, Record{}, err
 			}
 			cost = stalledCost(clean, d)
 			rec.Stalls++
 		default:
 			var err error
 			if dst, err = g.ReadSlice(offset, length); err != nil {
-				return nil, 0, err
+				return nil, 0, Record{}, err
 			}
 		}
 		total += cost
 		if ok && e.inj != nil {
 			sum, err := g.ChecksumRange(offset, length)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, Record{}, err
 			}
 			if mem.Checksum(dst) != sum {
 				rec.Corruptions++
@@ -330,7 +351,7 @@ func (e *Engine) out(g *mem.Global, offset, length int) ([]mem.Word, time.Durati
 			}
 		}
 		if done, err := e.finish(&rec, &total, ok, attempt); done {
-			return dst, total, err
+			return dst, total, rec, err
 		}
 	}
 }
@@ -435,7 +456,7 @@ func (e *Engine) InChunked(g *mem.Global, offset int, src []mem.Word, chunk int)
 		if end > len(src) {
 			end = len(src)
 		}
-		d, err := e.in(g, offset+base, src[base:end])
+		d, _, err := e.in(g, offset+base, src[base:end])
 		if err != nil {
 			return total, err
 		}
@@ -477,5 +498,40 @@ func (e *Engine) record(r Record) {
 	e.stats.Add(r)
 	if e.keep {
 		e.trace = append(e.trace, r)
+	}
+	e.mirror(r)
+}
+
+// mirror feeds one completed transaction into the metrics registry.
+// Called under e.mu like record; a nil registry makes this free.
+func (e *Engine) mirror(r Record) {
+	if e.omet == nil {
+		return
+	}
+	if r.Direction == HostToDevice {
+		e.omet.Add("atgpu_transfer_in_transactions_total", 1)
+		e.omet.Add("atgpu_transfer_in_words_total", int64(r.Words))
+		e.omet.AddDuration("atgpu_transfer_in_ns_total", r.Cost)
+		e.omet.Observe("atgpu_transfer_in_ns", r.Cost)
+	} else {
+		e.omet.Add("atgpu_transfer_out_transactions_total", 1)
+		e.omet.Add("atgpu_transfer_out_words_total", int64(r.Words))
+		e.omet.AddDuration("atgpu_transfer_out_ns_total", r.Cost)
+		e.omet.Observe("atgpu_transfer_out_ns", r.Cost)
+	}
+	if r.Attempts > 1 {
+		e.omet.Add("atgpu_transfer_retries_total", int64(r.Attempts-1))
+	}
+	if r.Corruptions > 0 {
+		e.omet.Add("atgpu_faults_corrupt_total", int64(r.Corruptions))
+	}
+	if r.Drops > 0 {
+		e.omet.Add("atgpu_faults_drop_total", int64(r.Drops))
+	}
+	if r.Stalls > 0 {
+		e.omet.Add("atgpu_faults_stall_total", int64(r.Stalls))
+	}
+	if r.Backoff > 0 {
+		e.omet.AddDuration("atgpu_transfer_backoff_ns_total", r.Backoff)
 	}
 }
