@@ -2,14 +2,17 @@ package atgpu
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
 	"atgpu/internal/algorithms"
+	"atgpu/internal/analyze"
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
 	"atgpu/internal/experiments"
 	"atgpu/internal/faults"
+	"atgpu/internal/kernel"
 	"atgpu/internal/models"
 	"atgpu/internal/obs"
 	"atgpu/internal/simgpu"
@@ -18,6 +21,30 @@ import (
 
 // Word is the model's machine word (64-bit signed integer).
 type Word = int64
+
+// LintMode selects the static-analysis pre-flight applied to every kernel
+// launch (see internal/analyze).
+type LintMode = analyze.Mode
+
+const (
+	// LintOff disables the pre-flight; launches are untouched.
+	LintOff = analyze.ModeOff
+	// LintWarn analyses every launched kernel and reports findings to
+	// LintWriter, but never refuses a launch.
+	LintWarn = analyze.ModeWarn
+	// LintError additionally refuses launches whose kernels carry
+	// error-severity findings (races, divergent barriers, definite traps),
+	// wrapping ErrLintRefused.
+	LintError = analyze.ModeError
+)
+
+// ErrLintRefused is wrapped by launch errors when LintError pre-flight finds
+// an error-severity problem in a kernel about to launch.
+var ErrLintRefused = analyze.ErrRefused
+
+// ParseLintMode reads a LintMode from its flag spelling ("off"/"", "warn",
+// "error").
+func ParseLintMode(s string) (LintMode, error) { return analyze.ParseMode(s) }
 
 // Options configures a System.
 type Options struct {
@@ -62,6 +89,16 @@ type Options struct {
 	Metrics bool
 	// TraceMaxEvents caps the trace recorder (0 = obs.DefaultMaxEvents).
 	TraceMaxEvents int
+
+	// Lint arms a static-analysis pre-flight on every kernel launch:
+	// LintWarn reports findings, LintError also refuses launches with
+	// error-severity findings. Off by default; the unlinted path is
+	// untouched.
+	Lint LintMode
+	// LintWriter receives the textual lint report for kernels with
+	// findings (nil discards it; refusal errors carry the worst finding
+	// regardless).
+	LintWriter io.Writer
 }
 
 // ObsOptions translates the observability selection for internal layers.
@@ -96,6 +133,8 @@ func (o Options) ExperimentConfig() experiments.Config {
 		MaxRetries: o.MaxRetries,
 		Watchdog:   o.Watchdog,
 		Obs:        o.ObsOptions(),
+		Lint:       o.Lint,
+		LintWriter: o.LintWriter,
 	}
 }
 
@@ -342,7 +381,27 @@ func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 			h.SetTracer(&simgpu.Tracer{MaxEvents: o.TraceMaxEvents})
 		}
 	}
+	if s.opts.Lint != LintOff {
+		// Analyse against the machine the launch actually targets (the
+		// footprint-sized device), so bounds findings match its traps.
+		cp := s.params
+		h.SetPreLaunch(analyze.Gate(analyze.FromConfig(devCfg), &cp,
+			s.opts.Lint, s.opts.LintWriter))
+	}
 	return h, nil
+}
+
+// Lint statically analyses a kernel for a launch of the given block count on
+// this system's device, without running anything: shared-memory races,
+// barrier divergence, out-of-bounds accesses, memory-performance hazards and
+// an Expression (1)/(2) cost estimate using the calibrated parameters.
+func (s *System) Lint(prog *kernel.Program, blocks int) (*analyze.Report, error) {
+	cp := s.params
+	return analyze.Program(prog, analyze.Options{
+		Machine: analyze.FromConfig(s.opts.Device),
+		Blocks:  blocks,
+		Cost:    &cp,
+	})
 }
 
 // RunVecAdd executes A+B on the simulated device and returns the result

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"atgpu"
+	"atgpu/internal/algorithms"
+	"atgpu/internal/analyze"
+	"atgpu/internal/kernel"
+	"atgpu/internal/pseudocode"
+)
+
+// lintCmd statically analyses kernels without running them: either one
+// built-in workload (via -alg/-n) or a list of pseudocode files, whose
+// `#! lint:` directives supply block count and parameter bindings. Reports
+// go to stdout (or -o) as text or, with -json, as a JSON array. Returns an
+// error — exiting non-zero — when any kernel carries error-severity
+// findings.
+func lintCmd(files []string, alg string, n, blocksFlag int, jsonOut bool, outPath string, opts atgpu.Options) error {
+	// Calibrate once so every report carries the Expression (1)/(2) cost
+	// estimate alongside the findings.
+	sys, err := atgpu.NewSystem(opts)
+	if err != nil {
+		return err
+	}
+	cp := sys.CostParams()
+
+	var names []string
+	var reports []*analyze.Report
+	if len(files) == 0 {
+		prog, blocks, err := builtinKernel(alg, n, opts.Device.WarpWidth)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Lint(prog, blocks)
+		if err != nil {
+			return err
+		}
+		names = append(names, fmt.Sprintf("%s n=%d", alg, n))
+		reports = append(reports, rep)
+	}
+	for _, path := range files {
+		m := analyze.FromConfig(opts.Device)
+		rep, err := lintFile(path, blocksFlag, m, cp)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		names = append(names, path)
+		reports = append(reports, rep)
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if jsonOut {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		for i, rep := range reports {
+			fmt.Fprintf(out, "== %s ==\n%s", names[i], rep.Text())
+		}
+	}
+
+	errors := 0
+	for _, rep := range reports {
+		errors += rep.ErrorCount()
+	}
+	if errors > 0 {
+		return fmt.Errorf("lint: %d error finding(s) across %d kernel(s)", errors, len(reports))
+	}
+	return nil
+}
+
+// builtinKernel builds the named workload's kernel and launch block count
+// for warp width b, mirroring how run would launch it.
+func builtinKernel(alg string, n, b int) (*kernel.Program, int, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("non-positive n %d", n)
+	}
+	switch alg {
+	case "vecadd":
+		a := algorithms.VecAdd{N: n}
+		prog, err := a.Kernel(b, 0, n, 2*n)
+		return prog, a.Blocks(b), err
+	case "reduce":
+		// The first (largest) round: later rounds are the same kernel on
+		// fewer blocks.
+		a := algorithms.Reduce{N: n}
+		prog, err := a.Kernel(b, 0, n, n)
+		return prog, (n + b - 1) / b, err
+	case "scan":
+		// First (largest) level; data at 0, block sums after it.
+		a := algorithms.Scan{N: n}
+		prog, err := a.Kernel(b, 0, n, n)
+		return prog, a.Blocks(b), err
+	case "matmul":
+		if n%b != 0 {
+			return nil, 0, fmt.Errorf("matmul n=%d must be a multiple of warp width %d", n, b)
+		}
+		a := algorithms.MatMul{N: n}
+		prog, err := a.Kernel(b, 0, n*n, 2*n*n)
+		return prog, a.Blocks(b), err
+	}
+	return nil, 0, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+// lintFile compiles one pseudocode file per its `#! lint:` directives and
+// analyses it. The width directive overrides the device's warp width (the
+// machine is narrowed to match); blocksFlag, when positive, overrides the
+// blocks directive.
+func lintFile(path string, blocksFlag int, m analyze.Machine, cp analyze.CostParams) (*analyze.Report, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := pseudocode.Directives(string(src))
+	if err != nil {
+		return nil, err
+	}
+	width := m.Width
+	blocks := 1
+	params := make(map[string]int64)
+	for k, v := range dir {
+		switch k {
+		case "blocks":
+			blocks = int(v)
+		case "width":
+			width = int(v)
+		default:
+			params[k] = v
+		}
+	}
+	if blocksFlag > 0 {
+		blocks = blocksFlag
+	}
+	prog, err := pseudocode.CompileSource(string(src), width, params)
+	if err != nil {
+		return nil, err
+	}
+	m.Width = width
+	return analyze.Program(prog, analyze.Options{Machine: m, Blocks: blocks, Cost: &cp})
+}

@@ -7,9 +7,19 @@
 //	atgpu table1
 //	atgpu calibrate
 //	atgpu analyze -alg vecadd|reduce|matmul -n N
-//	atgpu run     -alg vecadd|reduce|matmul -n N [--fault-rate R --fault-seed S --max-retries K]
-//	atgpu sweep   -alg vecadd|reduce|matmul [-full] [--workers W] [fault flags]
+//	atgpu lint    [-alg vecadd|reduce|matmul -n N] [-blocks B] [-json] [-o out] [file.pseudo ...]
+//	atgpu run     -alg vecadd|reduce|matmul -n N [--lint warn|error] [--fault-rate R --fault-seed S --max-retries K]
+//	atgpu sweep   -alg vecadd|reduce|matmul [-full] [--workers W] [--lint warn|error] [fault flags]
 //	atgpu ooc     -n N -chunk C
+//
+// lint statically analyses kernels — shared-memory races, barrier
+// divergence, out-of-bounds accesses, bank-conflict/coalescing prediction
+// and an Expression (1)/(2) cost estimate — without running them, and exits
+// non-zero on error-severity findings. It takes either a built-in workload
+// (-alg/-n) or pseudocode files, whose `#! lint:` directives supply the
+// block count and parameter bindings. With --lint warn|error, run and sweep
+// additionally pre-flight every kernel launch: warn reports findings to
+// stderr, error also refuses launches with error-severity findings.
 //
 // analyze prices the algorithm on the abstract model; run additionally
 // executes it on the simulated GTX 650 and reports predicted-vs-observed.
@@ -55,6 +65,10 @@ func main() {
 	traceOut := fs.String("trace", "", "run/sweep: write a Perfetto trace-event JSON of the simulated timeline to this file")
 	metricsOut := fs.String("metrics", "", "run/sweep: write a Prometheus-text metrics snapshot to this file")
 	traceMaxEvents := fs.Int("trace-max-events", 0, "cap on recorded trace events (0 = default 1048576)")
+	lintMode := fs.String("lint", "", "run/sweep: static-analysis pre-flight: off, warn, or error (error refuses launches with error-severity findings)")
+	lintBlocks := fs.Int("blocks", 0, "lint: override the launch block count for .pseudo files (0 = the file's #! lint: blocks directive, or 1)")
+	jsonOut := fs.Bool("json", false, "lint: emit JSON reports instead of text")
+	outPath := fs.String("o", "", "lint: write the report to this file instead of stdout")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -76,7 +90,23 @@ func main() {
 	opts.Trace = *traceOut != ""
 	opts.Metrics = *metricsOut != ""
 	opts.TraceMaxEvents = *traceMaxEvents
+	mode, err := atgpu.ParseLintMode(*lintMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atgpu:", err)
+		os.Exit(2)
+	}
+	opts.Lint = mode
+	if mode != atgpu.LintOff {
+		opts.LintWriter = os.Stderr
+	}
 
+	if cmd == "lint" {
+		if err := lintCmd(fs.Args(), *alg, *n, *lintBlocks, *jsonOut, *outPath, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "atgpu:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := dispatch(cmd, *alg, *n, *chunk, *full, *pipeline, opts, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
@@ -119,9 +149,15 @@ commands:
   table1      print the paper's Table I model comparison
   calibrate   print the calibrated cost parameters for the default device
   analyze     price an algorithm on the abstract model   (-alg, -n)
+  lint        static analysis: races, barrier divergence, bounds,
+              memory-performance and cost prediction      (-alg -n | file.pseudo ..., -blocks, -json, -o)
   run         predicted-vs-observed on the simulated GPU (-alg, -n)
   sweep       predicted-vs-observed size sweep           (-alg, -full, -workers)
   ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)
+
+static pre-flight (run, sweep): --lint warn reports findings for every
+launched kernel to stderr; --lint error also refuses launches with
+error-severity findings (races, divergent barriers, definite traps).
 
 pipelining (run, sweep): --pipeline [--chunks C] compares the sequential
 chunked schedule against the overlapped multi-stream schedule and reports
@@ -156,7 +192,7 @@ func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Opt
 		fmt.Printf("H      (blocks per SM)   %d\n", cp.H)
 		return nil
 	case "analyze":
-		return analyze(alg, n, opts)
+		return analyzeCmd(alg, n, opts)
 	case "run":
 		if pipeline {
 			return runPipelined(alg, n, opts, traceOut, metricsOut)
@@ -187,7 +223,7 @@ func predictionFor(sys *atgpu.System, alg string, n int) (*atgpu.Prediction, err
 	return nil, fmt.Errorf("unknown algorithm %q", alg)
 }
 
-func analyze(alg string, n int, opts atgpu.Options) error {
+func analyzeCmd(alg string, n int, opts atgpu.Options) error {
 	sys, err := atgpu.NewSystem(opts)
 	if err != nil {
 		return err

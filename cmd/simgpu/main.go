@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"atgpu/internal/algorithms"
+	"atgpu/internal/analyze"
 	"atgpu/internal/faults"
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
@@ -59,15 +60,21 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "fault injection probability in [0,1]; 0 disables")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (same seed replays the same faults)")
 	maxRetries := flag.Int("max-retries", 0, "transfer retry budget override (0 = default)")
+	lintFlag := flag.String("lint", "", "static-analysis pre-flight on every launch: off, warn, or error (error refuses launches with error-severity findings)")
 	flag.Parse()
 
-	if err := run(*kname, *n, *device, *disasm, *traceOut, *traceMaxEvents, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries); err != nil {
+	lint, err := analyze.ParseMode(*lintFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simgpu:", err)
+		os.Exit(2)
+	}
+	if err := run(*kname, *n, *device, *disasm, *traceOut, *traceMaxEvents, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries, lint); err != nil {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kname string, n int, device string, disasm bool, traceOut string, traceMaxEvents int, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int) error {
+func run(kname string, n int, device string, disasm bool, traceOut string, traceMaxEvents int, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int, lint analyze.Mode) error {
 	if workers < 0 {
 		return fmt.Errorf("negative workers %d", workers)
 	}
@@ -172,6 +179,9 @@ func run(kname string, n int, device string, disasm bool, traceOut string, trace
 		if tr != nil {
 			h.SetTracer(tr)
 			h.SetObs(obs.NewRecorder(traceMaxEvents), nil)
+		}
+		if lint != analyze.ModeOff {
+			h.SetPreLaunch(analyze.Gate(analyze.FromConfig(cfg), nil, lint, os.Stderr))
 		}
 
 		rng := rand.New(rand.NewSource(1))

@@ -136,6 +136,16 @@ func (s Scan) AGPU() models.AGPUReport {
 // Hillis–Steele steps are warp-synchronous: within a lockstep warp the
 // loads of step d complete for every lane before the stores, so no double
 // buffer is needed.
+// Kernel exposes the first-level scan kernel for external analysis (the
+// later levels are the same program on smaller counts). dataBase and
+// sumsBase follow the Run layout: data at 0, sums pyramid after it.
+func (s Scan) Kernel(b, dataBase, sumsBase, count int) (*kernel.Program, error) {
+	return s.scanKernel(b, dataBase, sumsBase, count)
+}
+
+// Blocks returns the first-level launch width: one block per b elements.
+func (s Scan) Blocks(b int) int { return ceilDiv(s.N, b) }
+
 func (s Scan) scanKernel(b, dataBase, sumsBase, count int) (*kernel.Program, error) {
 	if !isPow2(b) {
 		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, b)

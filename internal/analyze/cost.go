@@ -1,0 +1,50 @@
+package analyze
+
+import (
+	"math"
+
+	"atgpu/internal/core"
+)
+
+// CostParams re-exports the calibrated parameter set Options.Cost takes, so
+// analyzer clients need not import core directly.
+type CostParams = core.CostParams
+
+// CostEstimate prices one launch in the paper's Expression (1)/(2) terms
+// from the statically predicted counters: t is the maximum per-warp
+// operation count (the model's tᵢ), q the total global transactions (qᵢ).
+//
+// PerfectSeconds is the round's kernel term on the perfect GPU,
+// (t + λ·q)/γ, and GPUSeconds the occupancy-adjusted Expression (2) term,
+// (⌈k/(k'ℓ)⌉·t + λ·q)/γ. Transfer terms TI/TO and the synchronisation cost
+// σ belong to the round plan, not the kernel, and are priced by the
+// facade's Prediction; the estimate carries the parameters so callers can
+// assemble full rounds.
+type CostEstimate struct {
+	T               int64   `json:"t"`
+	Q               int64   `json:"q"`
+	Blocks          int     `json:"blocks"`
+	Occupancy       int     `json:"occupancy"`
+	OccupancyFactor float64 `json:"occupancy_factor"`
+	PerfectSeconds  float64 `json:"perfect_seconds"`
+	GPUSeconds      float64 `json:"gpu_seconds"`
+}
+
+// costEstimate evaluates the kernel terms of Expressions (1) and (2) from
+// static counters.
+func costEstimate(cp core.CostParams, m Machine, sharedWords, blocks int, stats StaticStats) *CostEstimate {
+	est := &CostEstimate{
+		T:         stats.MaxWarpInstrs,
+		Q:         stats.GlobalTransactions,
+		Blocks:    blocks,
+		Occupancy: m.Occupancy(sharedWords),
+	}
+	if blocks <= 0 || est.Occupancy <= 0 || cp.Validate() != nil {
+		return est
+	}
+	est.OccupancyFactor = math.Ceil(float64(blocks) / float64(cp.KPrime*est.Occupancy))
+	t, q := float64(est.T), float64(est.Q)
+	est.PerfectSeconds = (t + cp.Lambda*q) / cp.Gamma
+	est.GPUSeconds = (est.OccupancyFactor*t + cp.Lambda*q) / cp.Gamma
+	return est
+}

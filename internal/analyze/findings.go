@@ -1,0 +1,262 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"atgpu/internal/kernel"
+)
+
+// Severity ranks findings. Error-level findings describe programs the
+// simulator would trap on or that deadlock real hardware; warnings describe
+// performance hazards and possible (unproven) bugs; info notes analysis
+// limitations.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String renders the conventional lowercase name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON encodes the severity by name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("analyze: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Analyzer names, used as Finding.Analyzer.
+const (
+	AnalyzerRace       = "race"       // shared-memory races between lanes
+	AnalyzerDivergence = "divergence" // barriers or uniform branches under divergent control
+	AnalyzerBounds     = "bounds"     // out-of-range addresses and traps
+	AnalyzerMemory     = "memory"     // bank conflicts and uncoalesced access
+	AnalyzerCost       = "cost"       // Expression (1)/(2) feasibility
+	AnalyzerExec       = "exec"       // abstract-interpretation limitations
+)
+
+// Finding is one diagnostic: which analyzer produced it, where in the
+// kernel, which warp-relative threads witness it, and how bad it is.
+type Finding struct {
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	// Line is the pseudocode source line, 0 when the program carries no
+	// line table (hand-built IR kernels).
+	Line int `json:"line,omitempty"`
+	// PC is the IR instruction index the finding anchors to.
+	PC int `json:"pc"`
+	// Block is the witness thread block.
+	Block int `json:"block"`
+	// Lanes are witness warp-relative thread ids (e.g. the two racing
+	// threads), ascending.
+	Lanes   []int  `json:"lanes,omitempty"`
+	Message string `json:"message"`
+}
+
+// String renders one finding as "severity: kernel.pseudo:12: message
+// (analyzer, pc 7, block 0, lanes 1,3)".
+func (f Finding) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: ", f.Severity)
+	if f.Line > 0 {
+		fmt.Fprintf(&sb, "line %d: ", f.Line)
+	}
+	sb.WriteString(f.Message)
+	fmt.Fprintf(&sb, " [%s pc=%d block=%d", f.Analyzer, f.PC, f.Block)
+	if len(f.Lanes) > 0 {
+		sb.WriteString(" lanes=")
+		for i, l := range f.Lanes {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", l)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// StaticStats is the analyzer's prediction of the simulator's
+// scheduling-independent counters for one launch. Field meanings mirror
+// simgpu.KernelStats; when Report.Precise is true they are exact, otherwise
+// they are conservative estimates.
+type StaticStats struct {
+	InstructionsIssued  int64 `json:"instructions_issued"`
+	LaneOps             int64 `json:"lane_ops"`
+	GlobalAccesses      int64 `json:"global_accesses"`
+	GlobalTransactions  int64 `json:"global_transactions"`
+	UncoalescedAccesses int64 `json:"uncoalesced_accesses"`
+	SharedAccesses      int64 `json:"shared_accesses"`
+	BankConflicts       int64 `json:"bank_conflicts"`
+	MaxConflictDegree   int   `json:"max_conflict_degree"`
+	Barriers            int64 `json:"barriers"`
+	DivergentBranches   int64 `json:"divergent_branches"`
+	BlocksExecuted      int64 `json:"blocks_executed"`
+	MaxWarpInstrs       int64 `json:"max_warp_instrs"`
+	OccupancyLimit      int   `json:"occupancy_limit"`
+}
+
+// Merge folds other into s the way simgpu.KernelStats.Merge does, for
+// multi-launch rounds.
+func (s *StaticStats) Merge(other StaticStats) {
+	s.InstructionsIssued += other.InstructionsIssued
+	s.LaneOps += other.LaneOps
+	s.GlobalAccesses += other.GlobalAccesses
+	s.GlobalTransactions += other.GlobalTransactions
+	s.UncoalescedAccesses += other.UncoalescedAccesses
+	s.SharedAccesses += other.SharedAccesses
+	s.BankConflicts += other.BankConflicts
+	if other.MaxConflictDegree > s.MaxConflictDegree {
+		s.MaxConflictDegree = other.MaxConflictDegree
+	}
+	s.Barriers += other.Barriers
+	s.DivergentBranches += other.DivergentBranches
+	s.BlocksExecuted += other.BlocksExecuted
+	if other.MaxWarpInstrs > s.MaxWarpInstrs {
+		s.MaxWarpInstrs = other.MaxWarpInstrs
+	}
+	if other.OccupancyLimit > s.OccupancyLimit {
+		s.OccupancyLimit = other.OccupancyLimit
+	}
+}
+
+// Site is the per-access-site memory behaviour prediction: how a single
+// load/store instruction performs across the whole launch.
+type Site struct {
+	PC   int       `json:"pc"`
+	Line int       `json:"line,omitempty"`
+	Op   kernel.Op `json:"-"`
+	// OpName names the opcode in JSON output.
+	OpName string `json:"op"`
+	// Accesses counts warp-wide executions of this instruction that
+	// touched memory (fully-masked executions are skipped, as on the
+	// device).
+	Accesses int64 `json:"accesses"`
+	// Transactions is Σl for global sites (coalescing: l per access).
+	Transactions int64 `json:"transactions,omitempty"`
+	// Uncoalesced counts global accesses here with l > 1.
+	Uncoalesced int64 `json:"uncoalesced,omitempty"`
+	// Conflicted counts shared accesses here with bank-conflict degree > 1.
+	Conflicted int64 `json:"conflicted,omitempty"`
+	// MaxDegree is the worst serialisation seen at this site: the maximum
+	// conflict degree for shared sites, the maximum transaction count for
+	// global sites.
+	MaxDegree int `json:"max_degree,omitempty"`
+}
+
+// Report is the full outcome of analysing one kernel launch.
+type Report struct {
+	Kernel string `json:"kernel"`
+	Width  int    `json:"width"`
+	Blocks int    `json:"blocks"`
+	// Precise reports that every branch decision and memory address was
+	// statically known, making Stats/Sites/Cost exact predictions of the
+	// simulator rather than estimates.
+	Precise  bool        `json:"precise"`
+	Findings []Finding   `json:"findings"`
+	Stats    StaticStats `json:"stats"`
+	Sites    []Site      `json:"sites,omitempty"`
+	Cost     *CostEstimate `json:"cost,omitempty"`
+}
+
+// MaxSeverity returns the worst severity present, or -1 with no findings.
+func (r *Report) MaxSeverity() Severity {
+	max := Severity(-1)
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// ErrorCount counts error-severity findings.
+func (r *Report) ErrorCount() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// sortFindings orders findings worst-first, then by source position.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].PC < fs[j].PC
+	})
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Text renders a human-readable multi-line report.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	mode := "precise"
+	if !r.Precise {
+		mode = "approximate"
+	}
+	fmt.Fprintf(&sb, "kernel %s: width=%d blocks=%d (%s analysis)\n",
+		r.Kernel, r.Width, r.Blocks, mode)
+	if len(r.Findings) == 0 {
+		sb.WriteString("no findings\n")
+	}
+	for _, f := range r.Findings {
+		sb.WriteString("  ")
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	s := r.Stats
+	fmt.Fprintf(&sb, "static: instrs=%d laneOps=%d maxWarpInstrs=%d blocks=%d occLimit=%d\n",
+		s.InstructionsIssued, s.LaneOps, s.MaxWarpInstrs, s.BlocksExecuted, s.OccupancyLimit)
+	fmt.Fprintf(&sb, "static global: accesses=%d transactions=%d uncoalesced=%d\n",
+		s.GlobalAccesses, s.GlobalTransactions, s.UncoalescedAccesses)
+	fmt.Fprintf(&sb, "static shared: accesses=%d conflicts=%d maxDegree=%d\n",
+		s.SharedAccesses, s.BankConflicts, s.MaxConflictDegree)
+	fmt.Fprintf(&sb, "static control: barriers=%d divergent=%d\n",
+		s.Barriers, s.DivergentBranches)
+	if r.Cost != nil {
+		fmt.Fprintf(&sb, "static cost: t=%d q=%d occFactor=%g perfect=%.6gs gpu=%.6gs\n",
+			r.Cost.T, r.Cost.Q, r.Cost.OccupancyFactor,
+			r.Cost.PerfectSeconds, r.Cost.GPUSeconds)
+	}
+	return sb.String()
+}

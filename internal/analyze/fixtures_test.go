@@ -1,0 +1,150 @@
+package analyze_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atgpu/internal/analyze"
+	"atgpu/internal/pseudocode"
+)
+
+// fixtureMachine is the machine the seeded-bug fixtures are analysed
+// against: width 8 (matching their #! lint: width directives).
+func fixtureMachine() analyze.Machine {
+	return analyze.Machine{
+		Width:                8,
+		SharedWords:          1024,
+		GlobalWords:          4096,
+		NumSMs:               2,
+		MaxBlocksPerSM:       16,
+		BroadcastSharedReads: true,
+	}
+}
+
+// analyzeFixture compiles a testdata kernel per its #! lint: directives and
+// analyses it.
+func analyzeFixture(t *testing.T, name string) *analyze.Report {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := pseudocode.Directives(string(src))
+	if err != nil {
+		t.Fatalf("%s: directives: %v", name, err)
+	}
+	m := fixtureMachine()
+	blocks := 1
+	params := make(map[string]int64)
+	for k, v := range dir {
+		switch k {
+		case "blocks":
+			blocks = int(v)
+		case "width":
+			if int(v) != m.Width {
+				t.Fatalf("%s: fixture wants width %d, machine has %d", name, v, m.Width)
+			}
+		default:
+			params[k] = v
+		}
+	}
+	prog, err := pseudocode.CompileSource(string(src), m.Width, params)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	rep, err := analyze.Program(prog, analyze.Options{Machine: m, Blocks: blocks})
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", name, err)
+	}
+	return rep
+}
+
+// requireFinding asserts exactly one error finding from the given analyzer,
+// anchored at the given source line.
+func requireFinding(t *testing.T, rep *analyze.Report, analyzer string, line int) analyze.Finding {
+	t.Helper()
+	var hits []analyze.Finding
+	for _, f := range rep.Findings {
+		if f.Analyzer == analyzer && f.Severity == analyze.SevError {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly one %s error, got %d: %v", analyzer, len(hits), rep.Findings)
+	}
+	if hits[0].Line != line {
+		t.Fatalf("%s error at line %d, want line %d: %s", analyzer, hits[0].Line, line, hits[0])
+	}
+	return hits[0]
+}
+
+func TestRacyReduceFlagged(t *testing.T) {
+	rep := analyzeFixture(t, "racy_reduce.pseudo")
+	f := requireFinding(t, rep, analyze.AnalyzerRace, 16)
+	if len(f.Lanes) != 2 {
+		t.Errorf("race finding carries %d witness lanes, want 2: %s", len(f.Lanes), f)
+	}
+}
+
+func TestDivergentBarrierFlagged(t *testing.T) {
+	rep := analyzeFixture(t, "divergent_barrier.pseudo")
+	requireFinding(t, rep, analyze.AnalyzerDivergence, 11)
+}
+
+func TestOOBStoreFlagged(t *testing.T) {
+	rep := analyzeFixture(t, "oob_store.pseudo")
+	f := requireFinding(t, rep, analyze.AnalyzerBounds, 7)
+	// The last lane is the one stepping past the allocation.
+	if len(f.Lanes) != 1 || f.Lanes[0] != 7 {
+		t.Errorf("bounds finding witnesses lanes %v, want [7]: %s", f.Lanes, f)
+	}
+	if rep.Precise {
+		t.Error("a trapping launch must not be reported precise")
+	}
+}
+
+func TestCleanFixturesPass(t *testing.T) {
+	for _, name := range []string{"clean_vecadd.pseudo", "clean_reduce.pseudo"} {
+		rep := analyzeFixture(t, name)
+		if len(rep.Findings) != 0 {
+			t.Errorf("%s: want zero findings, got %d:", name, len(rep.Findings))
+			for _, f := range rep.Findings {
+				t.Errorf("  %s", f)
+			}
+		}
+		if !rep.Precise {
+			t.Errorf("%s: clean parameterised kernel should analyse precisely", name)
+		}
+	}
+}
+
+// TestFixtureDeterminism analyses every fixture twice and demands
+// byte-identical reports — verdicts must not depend on map order or any
+// other incidental state.
+func TestFixtureDeterminism(t *testing.T) {
+	names, err := filepath.Glob(filepath.Join("testdata", "*.pseudo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 fixtures, found %d", len(names))
+	}
+	for _, path := range names {
+		name := filepath.Base(path)
+		a := analyzeFixture(t, name)
+		b := analyzeFixture(t, name)
+		aj, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("%s: two analyses differ:\n%s\n---\n%s", name, aj, bj)
+		}
+	}
+}

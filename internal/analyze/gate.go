@@ -1,0 +1,81 @@
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+)
+
+// Mode selects the pre-flight behaviour of a launch Gate.
+type Mode int
+
+const (
+	// ModeOff disables the pre-flight entirely.
+	ModeOff Mode = iota
+	// ModeWarn analyses every kernel and reports findings, but never
+	// refuses a launch.
+	ModeWarn
+	// ModeError additionally refuses launches whose kernels carry
+	// error-severity findings, wrapping ErrRefused.
+	ModeError
+)
+
+// String renders the conventional flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModeWarn:
+		return "warn"
+	case ModeError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseMode reads a Mode from its flag spelling ("off", "warn", "error";
+// "" means off).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "off":
+		return ModeOff, nil
+	case "warn":
+		return ModeWarn, nil
+	case "error":
+		return ModeError, nil
+	}
+	return ModeOff, fmt.Errorf("analyze: unknown lint mode %q (want off, warn or error)", s)
+}
+
+// ErrRefused is wrapped by Gate errors when ModeError finds an
+// error-severity problem in a kernel about to launch.
+var ErrRefused = errors.New("launch refused by static analysis")
+
+// Gate builds a pre-launch hook for simgpu.Host.SetPreLaunch: it analyses
+// every kernel against the machine before it runs, writes the textual report
+// for kernels with findings to w (nil discards it), and under ModeError
+// refuses launches with error-severity findings. cost may be nil to skip
+// the static cost estimate. Returns nil for ModeOff, so callers can install
+// the result unconditionally.
+func Gate(m Machine, cost *core.CostParams, mode Mode, w io.Writer) func(*kernel.Program, int) error {
+	if mode == ModeOff {
+		return nil
+	}
+	return func(prog *kernel.Program, blocks int) error {
+		rep, err := Program(prog, Options{Machine: m, Blocks: blocks, Cost: cost})
+		if err != nil {
+			return fmt.Errorf("analyze: %s: %w", prog.Name, err)
+		}
+		if w != nil && len(rep.Findings) > 0 {
+			fmt.Fprint(w, rep.Text())
+		}
+		if mode == ModeError && rep.ErrorCount() > 0 {
+			// Findings are sorted worst-first, so [0] names the problem.
+			return fmt.Errorf("%w: kernel %s: %d error finding(s), first: %s",
+				ErrRefused, prog.Name, rep.ErrorCount(), rep.Findings[0])
+		}
+		return nil
+	}
+}

@@ -1,0 +1,496 @@
+package analyze
+
+import (
+	"atgpu/internal/kernel"
+)
+
+// blockRun interprets one thread block abstractly, in lockstep over the
+// warp's lanes, mirroring the simulator's issue-by-issue semantics. Lane
+// values are intervals (value.go); the SIMT mask is split into a may-active
+// and a must-active vector so unknown branch conditions stay sound: a lane
+// is counted and checked if it may run, and updates are weakened to joins
+// unless it must run. On kernels whose control flow and addresses never
+// depend on loaded data the two masks coincide, every value at a decision
+// point is known, and the abstract execution reproduces the device's
+// counters exactly.
+type blockRun struct {
+	a       *analysis
+	prog    *kernel.Program
+	width   int
+	blockID int
+
+	regs      []V
+	may, must []bool
+	mayStack  [][]bool
+	mustStack [][]bool
+	depth     int
+
+	shared []V
+	// Race log since the last barrier: which lanes wrote/read each cell,
+	// and the pc of the last write (for witness reporting).
+	wmask, rmask []uint64
+	wpc          []int32
+
+	// addrs is the gathered per-lane address vector of a memory access:
+	// the concrete address, or laneMasked / laneUnknown.
+	addrs []int64
+
+	pc       int
+	instrs   int64
+	fuel     int64
+	brVisits map[int]int
+}
+
+const (
+	laneMasked  = int64(-1)
+	laneUnknown = int64(-2)
+)
+
+func newBlockRun(a *analysis, blockID int) *blockRun {
+	width := a.opt.Machine.Width
+	b := &blockRun{
+		a:        a,
+		prog:     a.prog,
+		width:    width,
+		blockID:  blockID,
+		regs:     make([]V, a.prog.NumRegs*width),
+		may:      make([]bool, width),
+		must:     make([]bool, width),
+		shared:   make([]V, a.prog.SharedWords),
+		wmask:    make([]uint64, a.prog.SharedWords),
+		rmask:    make([]uint64, a.prog.SharedWords),
+		wpc:      make([]int32, a.prog.SharedWords),
+		addrs:    make([]int64, width),
+		fuel:     a.opt.fuel(),
+		brVisits: make(map[int]int),
+	}
+	for l := 0; l < width; l++ {
+		b.may[l] = true
+		b.must[l] = true
+	}
+	return b
+}
+
+// reset prepares the run for another block, reusing storage.
+func (b *blockRun) reset(blockID int) {
+	b.blockID = blockID
+	b.pc = 0
+	b.instrs = 0
+	b.depth = 0
+	b.fuel = b.a.opt.fuel()
+	for i := range b.regs {
+		b.regs[i] = known(0)
+	}
+	for l := 0; l < b.width; l++ {
+		b.may[l] = true
+		b.must[l] = true
+	}
+	for i := range b.shared {
+		b.shared[i] = known(0)
+		b.wmask[i] = 0
+		b.rmask[i] = 0
+	}
+	if len(b.brVisits) > 0 {
+		b.brVisits = make(map[int]int)
+	}
+}
+
+func (b *blockRun) base(r kernel.Reg) int { return int(r) * b.width }
+
+func (b *blockRun) mayCount() int {
+	n := 0
+	for _, m := range b.may {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// setLane writes v to a lane's register slot, weakening to a join when the
+// lane only may be active (the old value survives if it is not).
+func (b *blockRun) setLane(idx, lane int, v V) {
+	if b.must[lane] {
+		b.regs[idx] = v
+	} else {
+		b.regs[idx] = join(b.regs[idx], v)
+	}
+}
+
+func (b *blockRun) pushMask() {
+	if b.depth == len(b.mayStack) {
+		b.mayStack = append(b.mayStack, make([]bool, b.width))
+		b.mustStack = append(b.mustStack, make([]bool, b.width))
+	}
+	copy(b.mayStack[b.depth], b.may)
+	copy(b.mustStack[b.depth], b.must)
+	b.depth++
+}
+
+func (b *blockRun) popMask() bool {
+	if b.depth == 0 {
+		return false
+	}
+	b.depth--
+	copy(b.may, b.mayStack[b.depth])
+	copy(b.must, b.mustStack[b.depth])
+	return true
+}
+
+// run interprets the block to completion. It returns false when the whole
+// launch analysis must stop (the simulator would trap and fail the launch,
+// or the analysis budget ran out).
+func (b *blockRun) run() bool {
+	a := b.a
+	for {
+		if b.fuel <= 0 {
+			a.reportf(Finding{Analyzer: AnalyzerExec, Severity: SevInfo, PC: b.pc, Block: b.blockID},
+				"analysis budget exhausted after %d instructions; results are partial", b.instrs)
+			a.precise = false
+			return false
+		}
+		b.fuel--
+		if b.pc < 0 || b.pc >= len(b.prog.Instrs) {
+			a.reportf(Finding{Analyzer: AnalyzerExec, Severity: SevError, PC: b.pc, Block: b.blockID},
+				"program counter out of range")
+			return false
+		}
+		in := b.prog.Instrs[b.pc]
+		b.instrs++
+		a.stats.InstructionsIssued++
+		a.stats.LaneOps += int64(b.mayCount())
+
+		switch in.Op {
+		case kernel.OpNop:
+
+		case kernel.OpConst:
+			d := b.base(in.Rd)
+			for l := 0; l < b.width; l++ {
+				if b.may[l] {
+					b.setLane(d+l, l, known(in.Imm))
+				}
+			}
+
+		case kernel.OpMov:
+			d, ra := b.base(in.Rd), b.base(in.Ra)
+			for l := 0; l < b.width; l++ {
+				if b.may[l] {
+					b.setLane(d+l, l, b.regs[ra+l])
+				}
+			}
+
+		case kernel.OpAdd, kernel.OpSub, kernel.OpMul, kernel.OpMin, kernel.OpMax,
+			kernel.OpAnd, kernel.OpOr, kernel.OpXor, kernel.OpShl, kernel.OpShr,
+			kernel.OpSlt, kernel.OpSle, kernel.OpSeq, kernel.OpSne:
+			d, ra, rb := b.base(in.Rd), b.base(in.Ra), b.base(in.Rb)
+			for l := 0; l < b.width; l++ {
+				if b.may[l] {
+					b.setLane(d+l, l, vALU(in.Op, b.regs[ra+l], b.regs[rb+l]))
+				}
+			}
+
+		case kernel.OpDiv, kernel.OpMod:
+			if !b.execDivMod(in) {
+				return false
+			}
+
+		case kernel.OpAddI, kernel.OpMulI, kernel.OpShlI, kernel.OpShrI, kernel.OpAndI,
+			kernel.OpSltI, kernel.OpSleI, kernel.OpSeqI, kernel.OpSneI:
+			d, ra := b.base(in.Rd), b.base(in.Ra)
+			for l := 0; l < b.width; l++ {
+				if b.may[l] {
+					b.setLane(d+l, l, vALUImm(in.Op, b.regs[ra+l], in.Imm))
+				}
+			}
+
+		case kernel.OpDivI, kernel.OpModI:
+			if in.Imm == 0 {
+				// The device traps immediate zero divisors unconditionally.
+				a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevError, PC: b.pc, Block: b.blockID},
+					"division by constant zero traps the kernel")
+				return false
+			}
+			d, ra := b.base(in.Rd), b.base(in.Ra)
+			for l := 0; l < b.width; l++ {
+				if b.may[l] {
+					if in.Op == kernel.OpDivI {
+						b.setLane(d+l, l, vDiv(b.regs[ra+l], known(in.Imm)))
+					} else {
+						b.setLane(d+l, l, vMod(b.regs[ra+l], known(in.Imm)))
+					}
+				}
+			}
+
+		case kernel.OpLaneID:
+			d := b.base(in.Rd)
+			for l := 0; l < b.width; l++ {
+				if b.may[l] {
+					b.setLane(d+l, l, known(int64(l)))
+				}
+			}
+
+		case kernel.OpBlockID:
+			b.broadcast(in.Rd, known(int64(b.blockID)))
+
+		case kernel.OpNumBlocks:
+			b.broadcast(in.Rd, known(int64(b.a.opt.Blocks)))
+
+		case kernel.OpBlockDim:
+			b.broadcast(in.Rd, known(int64(b.width)))
+
+		case kernel.OpLdGlobal, kernel.OpStGlobal:
+			if !b.execGlobal(in) {
+				return false
+			}
+			continue // pc advanced inside
+
+		case kernel.OpLdShared, kernel.OpStShared:
+			if !b.execShared(in) {
+				return false
+			}
+			continue // pc advanced inside
+
+		case kernel.OpBarrier:
+			a.stats.Barriers++
+			b.checkBarrier()
+			// A barrier orders every lane's shared accesses: the race log
+			// restarts empty.
+			for i := range b.wmask {
+				b.wmask[i] = 0
+				b.rmask[i] = 0
+			}
+
+		case kernel.OpJump:
+			b.pc = int(in.Target)
+			continue
+
+		case kernel.OpBrNZ:
+			cont, ok := b.execBrNZ(in)
+			if !ok {
+				return false
+			}
+			if cont {
+				continue
+			}
+
+		case kernel.OpIfBegin:
+			if b.execIfBegin(in) {
+				continue
+			}
+
+		case kernel.OpIfEnd:
+			if !b.popMask() {
+				a.reportf(Finding{Analyzer: AnalyzerExec, Severity: SevError, PC: b.pc, Block: b.blockID},
+					"if.end without saved mask")
+				return false
+			}
+
+		case kernel.OpHalt:
+			a.stats.BlocksExecuted++
+			if b.instrs > a.stats.MaxWarpInstrs {
+				a.stats.MaxWarpInstrs = b.instrs
+			}
+			return true
+
+		default:
+			a.reportf(Finding{Analyzer: AnalyzerExec, Severity: SevError, PC: b.pc, Block: b.blockID},
+				"undefined opcode %v", in.Op)
+			return false
+		}
+		b.pc++
+	}
+}
+
+func (b *blockRun) broadcast(rd kernel.Reg, v V) {
+	d := b.base(rd)
+	for l := 0; l < b.width; l++ {
+		if b.may[l] {
+			b.setLane(d+l, l, v)
+		}
+	}
+}
+
+// execDivMod handles three-register division, reporting definite and
+// possible zero divisors.
+func (b *blockRun) execDivMod(in kernel.Instr) bool {
+	a := b.a
+	d, ra, rb := b.base(in.Rd), b.base(in.Ra), b.base(in.Rb)
+	for l := 0; l < b.width; l++ {
+		if !b.may[l] {
+			continue
+		}
+		dv := b.regs[rb+l]
+		if dv.contains(0) {
+			if dv.IsKnown() && b.must[l] {
+				a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+					"division by zero in lane %d traps the kernel", l)
+				return false
+			}
+			a.precise = false
+			a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevWarning, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+				"possible division by zero (lane %d divisor in [%d, %d])", l, dv.Lo, dv.Hi)
+			b.setLane(d+l, l, top)
+			continue
+		}
+		if in.Op == kernel.OpDiv {
+			b.setLane(d+l, l, vDiv(b.regs[ra+l], dv))
+		} else {
+			b.setLane(d+l, l, vMod(b.regs[ra+l], dv))
+		}
+	}
+	return true
+}
+
+// checkBarrier is the barrier-divergence analyzer: a barrier that executes
+// while any lane of the block is masked off deadlocks lockstep hardware
+// (the masked lanes can never arrive). The simulator's one-warp blocks
+// trivially satisfy barriers, so this is a purely static verdict.
+func (b *blockRun) checkBarrier() {
+	active := b.mayCount()
+	if active != b.width {
+		inactive, act := -1, -1
+		for l := 0; l < b.width; l++ {
+			if b.may[l] && act < 0 {
+				act = l
+			}
+			if !b.may[l] && inactive < 0 {
+				inactive = l
+			}
+		}
+		b.a.reportf(Finding{Analyzer: AnalyzerDivergence, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(act, inactive)},
+			"barrier under divergent control: %d of %d lanes active (lane %d can never arrive — deadlock on lockstep hardware)",
+			active, b.width, inactive)
+		return
+	}
+	mustAll := true
+	for l := 0; l < b.width; l++ {
+		if !b.must[l] {
+			mustAll = false
+			break
+		}
+	}
+	if !mustAll {
+		b.a.reportf(Finding{Analyzer: AnalyzerDivergence, Severity: SevWarning, PC: b.pc, Block: b.blockID},
+			"barrier may execute under divergent control (branch condition not statically known)")
+	}
+}
+
+func witness(lanes ...int) []int {
+	out := make([]int, 0, len(lanes))
+	for _, l := range lanes {
+		if l >= 0 {
+			out = append(out, l)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// execIfBegin mirrors the device's two-pass divergence handling. Returns
+// true when pc was redirected (whole-warp skip).
+func (b *blockRun) execIfBegin(in kernel.Instr) bool {
+	a := b.a
+	ra := b.base(in.Ra)
+	anyMay := false
+	anyKnownTrue, anyKnownFalse, anyUnknown := false, false, false
+	for l := 0; l < b.width; l++ {
+		if !b.may[l] {
+			continue
+		}
+		anyMay = true
+		switch b.regs[ra+l].truth() {
+		case truthTrue:
+			anyKnownTrue = true
+		case truthFalse:
+			anyKnownFalse = true
+		default:
+			anyUnknown = true
+		}
+	}
+	if !anyMay || (!anyKnownTrue && !anyUnknown) {
+		// No lane takes the body: jump past it without pushing a mask.
+		b.pc = int(in.Target)
+		return true
+	}
+	if anyUnknown {
+		a.precise = false
+	}
+	if anyKnownTrue && anyKnownFalse {
+		a.stats.DivergentBranches++
+	}
+	b.pushMask()
+	for l := 0; l < b.width; l++ {
+		if !b.may[l] {
+			continue
+		}
+		switch b.regs[ra+l].truth() {
+		case truthFalse:
+			b.may[l] = false
+			b.must[l] = false
+		case truthUnknown:
+			b.must[l] = false
+		}
+	}
+	return false
+}
+
+// execBrNZ mirrors the device's uniform branch. Returns (pcRedirected,
+// keepGoing): the divergent and no-active-lane cases trap the launch.
+func (b *blockRun) execBrNZ(in kernel.Instr) (bool, bool) {
+	a := b.a
+	ra := b.base(in.Ra)
+	anyLane := false
+	anyKnownTrue, anyKnownFalse, anyUnknown := false, false, false
+	trueLane, falseLane := -1, -1
+	for l := 0; l < b.width; l++ {
+		if !b.may[l] {
+			continue
+		}
+		anyLane = true
+		switch b.regs[ra+l].truth() {
+		case truthTrue:
+			anyKnownTrue = true
+			if trueLane < 0 {
+				trueLane = l
+			}
+		case truthFalse:
+			anyKnownFalse = true
+			if falseLane < 0 {
+				falseLane = l
+			}
+		default:
+			anyUnknown = true
+		}
+	}
+	if !anyLane {
+		a.reportf(Finding{Analyzer: AnalyzerExec, Severity: SevError, PC: b.pc, Block: b.blockID},
+			"uniform branch with no active lanes traps the kernel")
+		return false, false
+	}
+	if anyKnownTrue && anyKnownFalse {
+		a.reportf(Finding{Analyzer: AnalyzerDivergence, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(trueLane, falseLane)},
+			"divergent uniform branch: loop condition differs across lanes (%d vs %d) — the device traps this launch",
+			trueLane, falseLane)
+		return false, false
+	}
+	if anyUnknown {
+		// Data-dependent trip count: keep looping up to the budget, then
+		// force the exit edge so the analysis terminates.
+		a.precise = false
+		b.brVisits[b.pc]++
+		if b.brVisits[b.pc] > a.opt.loopBudget() {
+			b.pc = int(in.Target)
+			return true, true
+		}
+		return false, true
+	}
+	if anyKnownTrue {
+		b.pc = int(in.Target)
+		return true, true
+	}
+	return false, true
+}

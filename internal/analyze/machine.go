@@ -1,0 +1,98 @@
+package analyze
+
+import (
+	"atgpu/internal/core"
+	"atgpu/internal/simgpu"
+)
+
+// Machine is the abstract machine ATGPU(p, b, M, G) the kernel is analysed
+// against: the lane width, per-SM shared capacity, global capacity, and the
+// hardware parameters Expression (2) needs.
+type Machine struct {
+	// Width is b: lanes per warp, words per global block, shared banks.
+	Width int
+	// SharedWords is M, the per-multiprocessor shared memory in words.
+	SharedWords int
+	// GlobalWords is G, the global memory size in words.
+	GlobalWords int
+	// NumSMs is k', the multiprocessor count.
+	NumSMs int
+	// MaxBlocksPerSM is H, the hardware residency limit.
+	MaxBlocksPerSM int
+	// BroadcastSharedReads recognises all-lanes-same-word shared reads as
+	// conflict-free, matching the device configuration bit.
+	BroadcastSharedReads bool
+}
+
+// FromConfig derives the abstract machine from a simulator configuration,
+// so static predictions target exactly the device a launch would run on.
+func FromConfig(cfg simgpu.Config) Machine {
+	return Machine{
+		Width:                cfg.WarpWidth,
+		SharedWords:          cfg.SharedWords,
+		GlobalWords:          cfg.GlobalWords,
+		NumSMs:               cfg.NumSMs,
+		MaxBlocksPerSM:       cfg.MaxBlocksPerSM,
+		BroadcastSharedReads: cfg.BroadcastSharedReads,
+	}
+}
+
+// Occupancy returns ℓ = min(⌊M/m⌋, H) for a block using m shared words,
+// mirroring simgpu.Config.Occupancy.
+func (m Machine) Occupancy(sharedWordsPerBlock int) int {
+	if sharedWordsPerBlock < 0 {
+		return 0
+	}
+	if sharedWordsPerBlock == 0 {
+		return m.MaxBlocksPerSM
+	}
+	byShared := m.SharedWords / sharedWordsPerBlock
+	if byShared > m.MaxBlocksPerSM {
+		return m.MaxBlocksPerSM
+	}
+	return byShared
+}
+
+// Options configures one analysis.
+type Options struct {
+	// Machine is the target machine; Width must be in 1..64.
+	Machine Machine
+	// Blocks is k, the number of thread blocks of the launch being
+	// analysed.
+	Blocks int
+	// Cost, when non-nil, enables the static Expression (1)/(2) cost
+	// estimate using these calibrated parameters.
+	Cost *core.CostParams
+	// Fuel caps the abstract instructions interpreted per block; on
+	// exhaustion the block's analysis aborts with an info finding and the
+	// report is marked approximate. 0 means the default (1<<22).
+	Fuel int64
+	// LoopBudget caps how many times an unknown-condition uniform branch
+	// falls through (continues looping) before the analysis forces the
+	// exit edge. 0 means the default (4096).
+	LoopBudget int
+	// MaxFindings caps recorded findings (deduplicated by analyzer and
+	// pc first). 0 means the default (64).
+	MaxFindings int
+}
+
+func (o Options) fuel() int64 {
+	if o.Fuel > 0 {
+		return o.Fuel
+	}
+	return 1 << 22
+}
+
+func (o Options) loopBudget() int {
+	if o.LoopBudget > 0 {
+		return o.LoopBudget
+	}
+	return 4096
+}
+
+func (o Options) maxFindings() int {
+	if o.MaxFindings > 0 {
+		return o.MaxFindings
+	}
+	return 64
+}

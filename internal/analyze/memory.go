@@ -1,0 +1,345 @@
+package analyze
+
+import (
+	"atgpu/internal/kernel"
+)
+
+// gather collects the per-lane abstract addresses of a memory access into
+// b.addrs: the concrete address for may-active lanes with a known in-range
+// value, laneMasked for inactive lanes, laneUnknown when the interval is not
+// a single point. Bounds violations are reported against size (G or the
+// kernel's shared allocation); a violation that must happen aborts the
+// analysis like the device trap it mirrors. Returns false on abort.
+func (b *blockRun) gather(in kernel.Instr, size int, space string) bool {
+	a := b.a
+	for l := 0; l < b.width; l++ {
+		if !b.may[l] {
+			b.addrs[l] = laneMasked
+			continue
+		}
+		av := b.regs[b.base(in.Ra)+l]
+		if av.IsKnown() {
+			x := av.Lo
+			if x < 0 || x >= int64(size) {
+				if b.must[l] {
+					a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+						"%s %s out of bounds: lane %d address %d not in [0, %d) — the device traps this launch",
+						space, opKind(in.Op), l, x, size)
+					return false
+				}
+				a.precise = false
+				a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevWarning, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+					"possible %s %s out of bounds: lane %d address %d not in [0, %d)",
+					space, opKind(in.Op), l, x, size)
+				b.addrs[l] = laneUnknown
+				continue
+			}
+			b.addrs[l] = x
+			continue
+		}
+		a.precise = false
+		b.addrs[l] = laneUnknown
+		if av.Lo >= int64(size) || av.Hi < 0 {
+			// The whole interval is out of range: the access faults whenever
+			// the lane is live.
+			if b.must[l] {
+				a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+					"%s %s out of bounds: lane %d address in [%d, %d], valid range [0, %d) — the device traps this launch",
+					space, opKind(in.Op), l, av.Lo, av.Hi, size)
+				return false
+			}
+			a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevWarning, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+				"possible %s %s out of bounds: lane %d address in [%d, %d], valid range [0, %d)",
+				space, opKind(in.Op), l, av.Lo, av.Hi, size)
+		} else if av.Lo < 0 || av.Hi >= int64(size) {
+			a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevWarning, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+				"possible %s %s out of bounds: lane %d address in [%d, %d], valid range [0, %d)",
+				space, opKind(in.Op), l, av.Lo, av.Hi, size)
+		}
+	}
+	return true
+}
+
+func opKind(op kernel.Op) string {
+	switch op {
+	case kernel.OpLdGlobal, kernel.OpLdShared:
+		return "load"
+	default:
+		return "store"
+	}
+}
+
+// execGlobal mirrors the simulator's coalescing count for a warp-wide global
+// access and is the static side of the coalescing-degree prediction.
+// Returns false on abort; advances pc itself.
+func (b *blockRun) execGlobal(in kernel.Instr) bool {
+	a := b.a
+	if !b.gather(in, a.opt.Machine.GlobalWords, "global") {
+		return false
+	}
+
+	// Distinct memory blocks over known addresses, exactly as the device
+	// counts them; unknown lanes pessimistically add one transaction each.
+	bs := int64(b.width)
+	var blocks [64]int64
+	nblocks := 0
+	unknown := 0
+	active := 0
+	for l := 0; l < b.width; l++ {
+		switch b.addrs[l] {
+		case laneMasked:
+			continue
+		case laneUnknown:
+			unknown++
+			active++
+			continue
+		}
+		active++
+		blk := b.addrs[l] / bs
+		seen := false
+		for i := 0; i < nblocks; i++ {
+			if blocks[i] == blk {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			blocks[nblocks] = blk
+			nblocks++
+		}
+	}
+	if active == 0 {
+		// Fully masked access: costs the issue slot only.
+		b.pc++
+		return true
+	}
+	txn := nblocks + unknown
+	if txn > active {
+		txn = active
+	}
+
+	a.stats.GlobalAccesses++
+	a.stats.GlobalTransactions += int64(txn)
+	site := a.site(b.pc, in.Op)
+	site.Accesses++
+	site.Transactions += int64(txn)
+	if txn > site.MaxDegree {
+		site.MaxDegree = txn
+	}
+	if txn > 1 {
+		a.stats.UncoalescedAccesses++
+		site.Uncoalesced++
+		a.reportf(Finding{Analyzer: AnalyzerMemory, Severity: SevWarning, PC: b.pc, Block: b.blockID},
+			"uncoalesced global %s: %d transactions for one warp access (perfect coalescing is 1)",
+			opKind(in.Op), txn)
+	}
+
+	if in.Op == kernel.OpLdGlobal {
+		// Global contents are unknown data: loads produce top.
+		d := b.base(in.Rd)
+		for l := 0; l < b.width; l++ {
+			if b.addrs[l] != laneMasked {
+				b.regs[d+l] = top
+			}
+		}
+	}
+	b.pc++
+	return true
+}
+
+// execShared mirrors the simulator's bank-conflict analysis and runs the
+// race detector over the access. Returns false on abort; advances pc itself.
+func (b *blockRun) execShared(in kernel.Instr) bool {
+	a := b.a
+	anyActive := false
+	for l := 0; l < b.width; l++ {
+		if b.may[l] {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		b.pc++
+		return true
+	}
+	if !b.gather(in, b.prog.SharedWords, "shared") {
+		return false
+	}
+
+	degree, conflictLanes := b.conflictDegree()
+	a.stats.SharedAccesses++
+	site := a.site(b.pc, in.Op)
+	site.Accesses++
+	if degree > 1 {
+		a.stats.BankConflicts++
+		if degree > a.stats.MaxConflictDegree {
+			a.stats.MaxConflictDegree = degree
+		}
+		site.Conflicted++
+		a.reportf(Finding{Analyzer: AnalyzerMemory, Severity: SevWarning, PC: b.pc, Block: b.blockID, Lanes: conflictLanes},
+			"shared %s bank conflict: degree %d serialisation (lanes hit the same bank)",
+			opKind(in.Op), degree)
+	}
+	if degree > site.MaxDegree {
+		site.MaxDegree = degree
+	}
+
+	if in.Op == kernel.OpLdShared {
+		b.sharedLoad(in)
+	} else {
+		b.sharedStore(in)
+	}
+	b.pc++
+	return true
+}
+
+// conflictDegree mirrors the device's bank serialisation count over the
+// known gathered addresses, and returns two witness lanes when conflicted.
+// Unknown-address lanes are excluded (the report is already approximate).
+func (b *blockRun) conflictDegree() (int, []int) {
+	if b.a.opt.Machine.BroadcastSharedReads {
+		same := true
+		first := int64(-1)
+		for l := 0; l < b.width; l++ {
+			if b.addrs[l] < 0 {
+				continue
+			}
+			if first < 0 {
+				first = b.addrs[l]
+			} else if b.addrs[l] != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 1, nil
+		}
+	}
+	var counts [64]int
+	var firstLane [64]int
+	for i := 0; i < b.width; i++ {
+		firstLane[i] = -1
+	}
+	max := 0
+	var lanes []int
+	for l := 0; l < b.width; l++ {
+		if b.addrs[l] < 0 {
+			continue
+		}
+		bk := b.addrs[l] % int64(b.width)
+		if firstLane[bk] < 0 {
+			firstLane[bk] = l
+		}
+		counts[bk]++
+		if counts[bk] > max {
+			max = counts[bk]
+			if counts[bk] == 2 {
+				lanes = witness(firstLane[bk], l)
+			}
+		}
+	}
+	return max, lanes
+}
+
+// sharedLoad reads each lane's cell value and checks the read against
+// un-barriered writes by other lanes (read-after-write race).
+func (b *blockRun) sharedLoad(in kernel.Instr) {
+	a := b.a
+	d := b.base(in.Rd)
+	for l := 0; l < b.width; l++ {
+		if b.addrs[l] == laneMasked {
+			continue
+		}
+		if b.addrs[l] == laneUnknown {
+			b.regs[d+l] = top
+			continue
+		}
+		c := b.addrs[l]
+		if w := b.wmask[c] &^ laneBit(l); w != 0 {
+			wl := lowestLane(w)
+			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(wl, l)},
+				"shared memory race: lane %d reads _shared[%d] written by lane %d (pc %d, line %d) with no barrier between",
+				l, c, wl, b.wpc[c], b.prog.Line(int(b.wpc[c])))
+		}
+		b.rmask[c] |= laneBit(l)
+		b.setLane(d+l, l, b.shared[c])
+	}
+}
+
+// sharedStore writes each lane's value and checks the write against
+// un-barriered reads and writes by other lanes (write-after-read and
+// write-after-write races), including two lanes storing to the same cell in
+// this very instruction.
+func (b *blockRun) sharedStore(in kernel.Instr) {
+	a := b.a
+	s := b.base(in.Rb)
+	for l := 0; l < b.width; l++ {
+		if b.addrs[l] == laneMasked {
+			continue
+		}
+		if b.addrs[l] == laneUnknown {
+			// Address not pinned down: havoc the possible range.
+			av := b.regs[b.base(in.Ra)+l]
+			lo, hi := av.Lo, av.Hi
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= int64(b.prog.SharedWords) {
+				hi = int64(b.prog.SharedWords) - 1
+			}
+			for c := lo; c <= hi; c++ {
+				b.shared[c] = join(b.shared[c], b.regs[s+l])
+			}
+			continue
+		}
+		c := b.addrs[l]
+		others := laneBit(l) - 1 // lanes below l already stored this issue
+		if w := (b.wmask[c] &^ laneBit(l)) | (b.instrWrites(c, l) & others); w != 0 {
+			wl := lowestLane(w)
+			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(wl, l)},
+				"shared memory race: lanes %d and %d both write _shared[%d] with no barrier between",
+				wl, l, c)
+		} else if r := b.rmask[c] &^ laneBit(l); r != 0 {
+			rl := lowestLane(r)
+			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(rl, l)},
+				"shared memory race: lane %d writes _shared[%d] read by lane %d with no barrier between",
+				l, c, rl)
+		}
+		b.wmask[c] |= laneBit(l)
+		b.wpc[c] = int32(b.pc)
+		b.setSharedLane(c, l, b.regs[s+l])
+	}
+}
+
+// instrWrites returns the mask of lanes below limit that store to cell c in
+// the access currently being executed (intra-instruction conflict check).
+func (b *blockRun) instrWrites(c int64, limit int) uint64 {
+	var m uint64
+	for l := 0; l < limit; l++ {
+		if b.addrs[l] == c {
+			m |= laneBit(l)
+		}
+	}
+	return m
+}
+
+// setSharedLane writes v to a shared cell, weakening to a join when the
+// writing lane only may be active.
+func (b *blockRun) setSharedLane(c int64, lane int, v V) {
+	if b.must[lane] {
+		b.shared[c] = v
+	} else {
+		b.shared[c] = join(b.shared[c], v)
+	}
+}
+
+func laneBit(l int) uint64 { return uint64(1) << uint(l) }
+
+func lowestLane(m uint64) int {
+	for l := 0; l < 64; l++ {
+		if m&(1<<uint(l)) != 0 {
+			return l
+		}
+	}
+	return -1
+}

@@ -1,0 +1,381 @@
+package analyze
+
+import (
+	"math"
+
+	"atgpu/internal/kernel"
+)
+
+// V is the abstract value of one lane's register: a closed interval
+// [Lo, Hi] over kernel.Word. A value is known when Lo == Hi; top (nothing
+// known) is the full int64 range. The interpreter runs mostly concretely —
+// lane ids, block ids, parameters and loop counters all stay known — and
+// intervals only widen where genuinely unknown data (global memory
+// contents) flows into a computation.
+//
+// Known/known operations use the exact wrapping semantics of the
+// simulator's ALU so that, on kernels whose control flow and addresses
+// never depend on loaded data, the abstract execution is bit-identical to
+// the simulated one. Interval/interval operations are conservative: any
+// possible overflow collapses to top.
+type V struct {
+	Lo, Hi int64
+}
+
+var top = V{math.MinInt64, math.MaxInt64}
+
+func known(x int64) V { return V{x, x} }
+
+// IsKnown reports whether exactly one concrete value is possible.
+func (v V) IsKnown() bool { return v.Lo == v.Hi }
+
+func (v V) isTop() bool { return v.Lo == math.MinInt64 && v.Hi == math.MaxInt64 }
+
+// join returns the smallest interval covering both values.
+func join(a, b V) V {
+	if b.Lo < a.Lo {
+		a.Lo = b.Lo
+	}
+	if b.Hi > a.Hi {
+		a.Hi = b.Hi
+	}
+	return a
+}
+
+// contains reports whether x is a possible value of v.
+func (v V) contains(x int64) bool { return v.Lo <= x && x <= v.Hi }
+
+// truth classifies v as a branch condition: known-true, known-false, or
+// undecidable.
+type truth uint8
+
+const (
+	truthUnknown truth = iota
+	truthFalse
+	truthTrue
+)
+
+func (v V) truth() truth {
+	if v.IsKnown() {
+		if v.Lo != 0 {
+			return truthTrue
+		}
+		return truthFalse
+	}
+	if !v.contains(0) {
+		return truthTrue
+	}
+	return truthUnknown
+}
+
+// --- checked interval arithmetic ---------------------------------------------
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, true
+	}
+	return s, false
+}
+
+func subOv(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, true
+	}
+	return d, false
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, true
+	}
+	return p, false
+}
+
+func vAdd(a, b V) V {
+	if a.IsKnown() && b.IsKnown() {
+		return known(a.Lo + b.Lo) // wrapping, exactly like the ALU
+	}
+	lo, of1 := addOv(a.Lo, b.Lo)
+	hi, of2 := addOv(a.Hi, b.Hi)
+	if of1 || of2 {
+		return top
+	}
+	return V{lo, hi}
+}
+
+func vSub(a, b V) V {
+	if a.IsKnown() && b.IsKnown() {
+		return known(a.Lo - b.Lo)
+	}
+	lo, of1 := subOv(a.Lo, b.Hi)
+	hi, of2 := subOv(a.Hi, b.Lo)
+	if of1 || of2 {
+		return top
+	}
+	return V{lo, hi}
+}
+
+func vMul(a, b V) V {
+	if a.IsKnown() && b.IsKnown() {
+		return known(a.Lo * b.Lo)
+	}
+	lo := int64(math.MaxInt64)
+	hi := int64(math.MinInt64)
+	for _, x := range [2]int64{a.Lo, a.Hi} {
+		for _, y := range [2]int64{b.Lo, b.Hi} {
+			p, of := mulOv(x, y)
+			if of {
+				return top
+			}
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+	}
+	return V{lo, hi}
+}
+
+// vDiv assumes the divisor cannot be zero (the interpreter reports possible
+// division by zero before calling it and substitutes top on that path).
+func vDiv(a, b V) V {
+	if a.IsKnown() && b.IsKnown() && b.Lo != 0 {
+		return known(a.Lo / b.Lo)
+	}
+	if b.IsKnown() && b.Lo != 0 {
+		// x/d truncates toward zero and is monotone in x for fixed d.
+		if b.Lo > 0 {
+			return V{a.Lo / b.Lo, a.Hi / b.Lo}
+		}
+		return V{a.Hi / b.Lo, a.Lo / b.Lo}
+	}
+	return top
+}
+
+func vMod(a, b V) V {
+	if a.IsKnown() && b.IsKnown() && b.Lo != 0 {
+		return known(a.Lo % b.Lo)
+	}
+	if b.IsKnown() && b.Lo > 0 {
+		m := b.Lo
+		if a.Lo >= 0 {
+			hi := m - 1
+			if a.Hi < hi {
+				hi = a.Hi
+			}
+			return V{0, hi}
+		}
+		return V{-(m - 1), m - 1}
+	}
+	return top
+}
+
+func vMin(a, b V) V {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	return V{lo, hi}
+}
+
+func vMax(a, b V) V {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	return V{lo, hi}
+}
+
+// bitCeil returns the all-ones mask covering every bit of h (h ≥ 0).
+func bitCeil(h int64) int64 {
+	m := int64(0)
+	for m < h {
+		m = m<<1 | 1
+	}
+	return m
+}
+
+func vAnd(a, b V) V {
+	if a.IsKnown() && b.IsKnown() {
+		return known(a.Lo & b.Lo)
+	}
+	// x & m with 0 ≤ m bounds the result to [0, m] when x ≥ 0 is not even
+	// needed: AND with a non-negative value cannot exceed it, and cannot go
+	// negative unless both operands are negative.
+	if b.IsKnown() && b.Lo >= 0 {
+		return V{0, b.Lo}
+	}
+	if a.IsKnown() && a.Lo >= 0 {
+		return V{0, a.Lo}
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		hi := a.Hi
+		if b.Hi < hi {
+			hi = b.Hi
+		}
+		return V{0, hi}
+	}
+	return top
+}
+
+func vOrXor(a, b V) V {
+	if a.Lo >= 0 && b.Lo >= 0 {
+		h := a.Hi
+		if b.Hi > h {
+			h = b.Hi
+		}
+		return V{0, bitCeil(h)}
+	}
+	return top
+}
+
+func vShl(a, b V) V {
+	if b.IsKnown() {
+		s := uint(b.Lo & 63)
+		if a.IsKnown() {
+			return known(a.Lo << s)
+		}
+		lo := a.Lo << s
+		hi := a.Hi << s
+		if lo>>s == a.Lo && hi>>s == a.Hi && lo <= hi {
+			return V{lo, hi}
+		}
+	}
+	return top
+}
+
+func vShr(a, b V) V {
+	if b.IsKnown() {
+		s := uint(b.Lo & 63)
+		// Arithmetic right shift is monotone in the shifted value.
+		return V{a.Lo >> s, a.Hi >> s}
+	}
+	return top
+}
+
+func b2v(b bool) V {
+	if b {
+		return known(1)
+	}
+	return known(0)
+}
+
+var vBool = V{0, 1}
+
+func vSlt(a, b V) V {
+	if a.Hi < b.Lo {
+		return known(1)
+	}
+	if a.Lo >= b.Hi {
+		// every a ≥ every b ⇒ a < b is false
+		return known(0)
+	}
+	return vBool
+}
+
+func vSle(a, b V) V {
+	if a.Hi <= b.Lo {
+		return known(1)
+	}
+	if a.Lo > b.Hi {
+		return known(0)
+	}
+	return vBool
+}
+
+func vSeq(a, b V) V {
+	if a.IsKnown() && b.IsKnown() {
+		return b2v(a.Lo == b.Lo)
+	}
+	if a.Hi < b.Lo || b.Hi < a.Lo {
+		return known(0)
+	}
+	return vBool
+}
+
+func vSne(a, b V) V {
+	s := vSeq(a, b)
+	if s.IsKnown() {
+		return b2v(s.Lo == 0)
+	}
+	return vBool
+}
+
+// vALU mirrors the simulator's three-register ALU over abstract values.
+func vALU(op kernel.Op, a, b V) V {
+	switch op {
+	case kernel.OpAdd:
+		return vAdd(a, b)
+	case kernel.OpSub:
+		return vSub(a, b)
+	case kernel.OpMul:
+		return vMul(a, b)
+	case kernel.OpMin:
+		return vMin(a, b)
+	case kernel.OpMax:
+		return vMax(a, b)
+	case kernel.OpAnd:
+		return vAnd(a, b)
+	case kernel.OpOr, kernel.OpXor:
+		if a.IsKnown() && b.IsKnown() {
+			if op == kernel.OpOr {
+				return known(a.Lo | b.Lo)
+			}
+			return known(a.Lo ^ b.Lo)
+		}
+		return vOrXor(a, b)
+	case kernel.OpShl:
+		return vShl(a, b)
+	case kernel.OpShr:
+		return vShr(a, b)
+	case kernel.OpSlt:
+		return vSlt(a, b)
+	case kernel.OpSle:
+		return vSle(a, b)
+	case kernel.OpSeq:
+		return vSeq(a, b)
+	case kernel.OpSne:
+		return vSne(a, b)
+	}
+	return top
+}
+
+// vALUImm mirrors the simulator's register-immediate ALU.
+func vALUImm(op kernel.Op, a V, imm int64) V {
+	k := known(imm)
+	switch op {
+	case kernel.OpAddI:
+		return vAdd(a, k)
+	case kernel.OpMulI:
+		return vMul(a, k)
+	case kernel.OpShlI:
+		return vShl(a, k)
+	case kernel.OpShrI:
+		return vShr(a, k)
+	case kernel.OpAndI:
+		return vAnd(a, k)
+	case kernel.OpSltI:
+		return vSlt(a, k)
+	case kernel.OpSleI:
+		return vSle(a, k)
+	case kernel.OpSeqI:
+		return vSeq(a, k)
+	case kernel.OpSneI:
+		return vSne(a, k)
+	}
+	return top
+}

@@ -28,12 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
 	"atgpu/internal/algorithms"
+	"atgpu/internal/analyze"
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
 	"atgpu/internal/faults"
@@ -94,6 +96,15 @@ type Config struct {
 	// any worker count. With Obs.Trace set, points also run with a
 	// device Tracer attached, embedding per-block spans in the trace.
 	Obs obs.Options
+
+	// Lint arms a static-analysis pre-flight on every point's kernel
+	// launches: ModeWarn reports findings to LintWriter, ModeError also
+	// refuses launches with error-severity findings. Off by default.
+	Lint analyze.Mode
+	// LintWriter receives textual lint reports for kernels with findings
+	// (nil discards them). Under Workers > 1, reports from different
+	// points may interleave, so keep this off stdout when diffing sweeps.
+	LintWriter io.Writer
 }
 
 // Validate rejects configurations that would otherwise surface as opaque
@@ -303,6 +314,13 @@ func (r *Runner) newHost(footprint int, workload string, n, idx int) (*simgpu.Ho
 		if r.cfg.Obs.Trace {
 			h.SetTracer(&simgpu.Tracer{MaxEvents: r.cfg.Obs.TraceMaxEvents})
 		}
+	}
+	if r.cfg.Lint != analyze.ModeOff {
+		// Analyse against the footprint-sized device the point actually
+		// launches on, so bounds findings match its traps.
+		cp := r.params
+		h.SetPreLaunch(analyze.Gate(analyze.FromConfig(devCfg), &cp,
+			r.cfg.Lint, r.cfg.LintWriter))
 	}
 	return h, nil
 }

@@ -36,6 +36,10 @@ type Builder struct {
 	forStack []forFrame     // open loops
 	errs     []error        // deferred construction errors
 	names    map[Reg]string // optional register names for disassembly aids
+
+	curLine  int32   // source line stamped on subsequently emitted instructions
+	lines    []int32 // per-instruction source lines, parallel to instrs
+	anyLines bool    // whether SetLine was ever called with a non-zero line
 }
 
 type forFrame struct {
@@ -76,8 +80,20 @@ func (b *Builder) Reg(name ...string) Reg {
 // document lifetimes.
 func (b *Builder) Release(rs ...Reg) {}
 
+// SetLine records the source line subsequent instructions lower from, so
+// diagnostics can report pseudocode lines instead of raw pcs. Zero (the
+// default) marks instructions with no source position; if SetLine is never
+// called with a non-zero line, Build omits the line table entirely.
+func (b *Builder) SetLine(line int) {
+	b.curLine = int32(line)
+	if line != 0 {
+		b.anyLines = true
+	}
+}
+
 func (b *Builder) emit(in Instr) int {
 	b.instrs = append(b.instrs, in)
+	b.lines = append(b.lines, b.curLine)
 	return len(b.instrs) - 1
 }
 
@@ -317,6 +333,9 @@ func (b *Builder) Build() (*Program, error) {
 		Instrs:      b.instrs,
 		NumRegs:     b.nextReg,
 		SharedWords: b.sharedWords,
+	}
+	if b.anyLines {
+		p.Lines = b.lines
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

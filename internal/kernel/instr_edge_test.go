@@ -1,0 +1,169 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"atgpu/internal/analyze"
+	"atgpu/internal/kernel"
+	"atgpu/internal/simgpu"
+)
+
+// Operand edge cases: programs that are statically well-formed (Validate
+// passes — addresses are dynamic) but trap at runtime, and the register-file
+// extremes. Each trapping program is run both ways: the simulator must trap
+// and the static analyzer must flag the same site, which is what lets the
+// lint pre-flight refuse these launches before any simulation happens.
+
+// edgeDevice returns a small device and the matching abstract machine.
+func edgeDevice(t *testing.T) (*simgpu.Device, analyze.Machine) {
+	t.Helper()
+	cfg := simgpu.Tiny()
+	dev, err := simgpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, analyze.FromConfig(cfg)
+}
+
+// wantBoundsError asserts the analyzer produced an error-severity bounds
+// finding at the given pc and marked the analysis approximate (a trapping
+// launch can't be priced).
+func wantBoundsError(t *testing.T, rep *analyze.Report, pc int) {
+	t.Helper()
+	if rep.Precise {
+		t.Error("trapping program reported as precise")
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer == analyze.AnalyzerBounds && f.Severity == analyze.SevError && f.PC == pc {
+			return
+		}
+	}
+	t.Fatalf("no bounds error at pc %d; findings: %v", pc, rep.Findings)
+}
+
+func TestNegativeSharedIndexTrapsAndFlagged(t *testing.T) {
+	prog := &kernel.Program{
+		Name: "neg-shared", NumRegs: 2, SharedWords: 4,
+		Instrs: []kernel.Instr{
+			{Op: kernel.OpConst, Rd: 0, Imm: -1},
+			{Op: kernel.OpLdShared, Rd: 1, Ra: 0},
+			{Op: kernel.OpHalt},
+		},
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("negative indices are dynamic; Validate should pass: %v", err)
+	}
+	dev, m := edgeDevice(t)
+	if _, err := dev.Launch(prog, 1); !errors.Is(err, simgpu.ErrKernelTrap) {
+		t.Fatalf("launch error = %v, want kernel trap", err)
+	}
+	rep, err := analyze.Program(prog, analyze.Options{Machine: m, Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBoundsError(t, rep, 1)
+}
+
+func TestNegativeGlobalIndexTrapsAndFlagged(t *testing.T) {
+	prog := &kernel.Program{
+		Name: "neg-global", NumRegs: 2,
+		Instrs: []kernel.Instr{
+			{Op: kernel.OpConst, Rd: 0, Imm: -5},
+			{Op: kernel.OpLdGlobal, Rd: 1, Ra: 0},
+			{Op: kernel.OpHalt},
+		},
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dev, m := edgeDevice(t)
+	if _, err := dev.Launch(prog, 1); !errors.Is(err, simgpu.ErrKernelTrap) {
+		t.Fatalf("launch error = %v, want kernel trap", err)
+	}
+	rep, err := analyze.Program(prog, analyze.Options{Machine: m, Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBoundsError(t, rep, 1)
+}
+
+func TestZeroSizeSharedDeclTrapsAndFlagged(t *testing.T) {
+	// SharedWords: 0 is legal (a kernel need not use shared memory), but
+	// then any shared access — even cell 0 — is out of bounds.
+	prog := &kernel.Program{
+		Name: "zero-shared", NumRegs: 1, SharedWords: 0,
+		Instrs: []kernel.Instr{
+			{Op: kernel.OpStShared, Ra: 0, Rb: 0},
+			{Op: kernel.OpHalt},
+		},
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("zero-size shared decl should validate: %v", err)
+	}
+	dev, m := edgeDevice(t)
+	if _, err := dev.Launch(prog, 1); !errors.Is(err, simgpu.ErrKernelTrap) {
+		t.Fatalf("launch error = %v, want kernel trap", err)
+	}
+	rep, err := analyze.Program(prog, analyze.Options{Machine: m, Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBoundsError(t, rep, 0)
+}
+
+// TestMaxRegisterProgram exercises the top of the register file: NumRegs at
+// the 256 cap with r255 live. The simulator and the analyzer must both
+// handle it, and agree on the counters.
+func TestMaxRegisterProgram(t *testing.T) {
+	prog := &kernel.Program{
+		Name: "max-regs", NumRegs: 256,
+		Instrs: []kernel.Instr{
+			{Op: kernel.OpConst, Rd: 255, Imm: 7},
+			{Op: kernel.OpAddI, Rd: 254, Ra: 255, Imm: 1},
+			{Op: kernel.OpLaneID, Rd: 0},
+			{Op: kernel.OpStGlobal, Ra: 0, Rb: 254},
+			{Op: kernel.OpHalt},
+		},
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dev, m := edgeDevice(t)
+	res, err := dev.Launch(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analyze.Program(prog, analyze.Options{Machine: m, Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Precise || len(rep.Findings) != 0 {
+		t.Fatalf("clean max-register program: precise=%v findings=%v", rep.Precise, rep.Findings)
+	}
+	if got, want := rep.Stats.InstructionsIssued, res.Stats.InstructionsIssued; got != want {
+		t.Errorf("static instructions %d != observed %d", got, want)
+	}
+	if got, want := rep.Stats.GlobalTransactions, res.Stats.GlobalTransactions; got != want {
+		t.Errorf("static transactions %d != observed %d", got, want)
+	}
+}
+
+func TestRegisterFileLimits(t *testing.T) {
+	halt := []kernel.Instr{{Op: kernel.OpHalt}}
+	over := &kernel.Program{Name: "over", NumRegs: 257, Instrs: halt}
+	if err := over.Validate(); !errors.Is(err, kernel.ErrTooManyRegs) {
+		t.Errorf("NumRegs=257: %v, want ErrTooManyRegs", err)
+	}
+	out := &kernel.Program{
+		Name: "out", NumRegs: 10,
+		Instrs: []kernel.Instr{{Op: kernel.OpConst, Rd: 10}, {Op: kernel.OpHalt}},
+	}
+	if err := out.Validate(); !errors.Is(err, kernel.ErrBadRegister) {
+		t.Errorf("r10 with 10 regs: %v, want ErrBadRegister", err)
+	}
+	neg := &kernel.Program{Name: "neg", NumRegs: 1, SharedWords: -1, Instrs: halt}
+	if err := neg.Validate(); !errors.Is(err, kernel.ErrNegativeShared) {
+		t.Errorf("SharedWords=-1: %v, want ErrNegativeShared", err)
+	}
+}

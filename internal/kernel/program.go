@@ -23,10 +23,25 @@ type Program struct {
 	NumRegs int
 	// SharedWords is the per-block shared memory allocation in words.
 	SharedWords int
+	// Lines is an optional side table mapping each instruction index to the
+	// source line it was lowered from (0 = unknown). When present it must be
+	// the same length as Instrs; front ends that lower from a textual source
+	// (the pseudocode compiler) populate it so diagnostics can point at the
+	// offending source line rather than a raw pc.
+	Lines []int32
 }
 
 // Len returns the number of instructions.
 func (p *Program) Len() int { return len(p.Instrs) }
+
+// Line returns the source line instruction pc was lowered from, or 0 when
+// the program carries no line information (or pc is out of range).
+func (p *Program) Line(pc int) int {
+	if pc < 0 || pc >= len(p.Lines) {
+		return 0
+	}
+	return int(p.Lines[pc])
+}
 
 // Disassemble renders the whole program with instruction indices, in the
 // style of the paper's pseudocode listings but at the IR level.
@@ -51,6 +66,7 @@ var (
 	ErrBadIfTarget    = errors.New("kernel: if.begin target must follow its if.end")
 	ErrTooManyRegs    = errors.New("kernel: register file exceeds 256 registers")
 	ErrNegativeShared = errors.New("kernel: negative shared memory size")
+	ErrBadLineTable   = errors.New("kernel: line table length does not match instruction count")
 )
 
 // Validate checks the static well-formedness of the program: every opcode
@@ -67,6 +83,9 @@ func (p *Program) Validate() error {
 	}
 	if p.SharedWords < 0 {
 		return ErrNegativeShared
+	}
+	if len(p.Lines) != 0 && len(p.Lines) != len(p.Instrs) {
+		return fmt.Errorf("%w: %d lines for %d instructions", ErrBadLineTable, len(p.Lines), len(p.Instrs))
 	}
 	if p.Instrs[len(p.Instrs)-1].Op != OpHalt {
 		return ErrNoHalt

@@ -9,6 +9,30 @@ type Kernel struct {
 	Params []string
 	Shared []SharedDecl
 	Body   []Stmt
+	// Line is the source line of the `kernel` header, used for diagnostics
+	// that concern the kernel as a whole (e.g. parameter-binding errors).
+	Line int
+}
+
+// StmtLine returns a statement's source line.
+func StmtLine(s Stmt) int {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return s.Line
+	case *VarStmt:
+		return s.Line
+	case *SharedStoreStmt:
+		return s.Line
+	case *GlobalStoreStmt:
+		return s.Line
+	case *IfStmt:
+		return s.Line
+	case *ForStmt:
+		return s.Line
+	case *BarrierStmt:
+		return s.Line
+	}
+	return 0
 }
 
 // SharedDecl declares a shared array of constant size (the size expression
@@ -81,6 +105,25 @@ func (*GlobalStoreStmt) stmtNode() {}
 func (*IfStmt) stmtNode()          {}
 func (*ForStmt) stmtNode()         {}
 func (*BarrierStmt) stmtNode()     {}
+
+// ExprLine returns an expression's source line.
+func ExprLine(e Expr) int {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Line
+	case *IdentExpr:
+		return e.Line
+	case *SharedIndexExpr:
+		return e.Line
+	case *GlobalIndexExpr:
+		return e.Line
+	case *BinExpr:
+		return e.Line
+	case *CallExpr:
+		return e.Line
+	}
+	return 0
+}
 
 // Expr is an expression node.
 type Expr interface{ exprNode() }

@@ -73,10 +73,11 @@ func (c *compiler) errorf(line int, format string, args ...any) error {
 
 // compile drives the lowering.
 func (c *compiler) compile() (*kernel.Program, error) {
-	// Check parameter bindings.
+	// Check parameter bindings. These errors concern the kernel header, so
+	// they carry its line rather than a meaningless 0.
 	for _, p := range c.k.Params {
 		if _, ok := c.params[p]; !ok {
-			return nil, c.errorf(0, "parameter %q not bound", p)
+			return nil, c.errorf(c.k.Line, "parameter %q not bound", p)
 		}
 	}
 	for name := range c.params {
@@ -88,7 +89,7 @@ func (c *compiler) compile() (*kernel.Program, error) {
 			}
 		}
 		if !found {
-			return nil, c.errorf(0, "binding for unknown parameter %q", name)
+			return nil, c.errorf(c.k.Line, "binding for unknown parameter %q", name)
 		}
 	}
 
@@ -291,6 +292,7 @@ func b2i(b bool) int64 {
 func (c *compiler) compileBlock(stmts []Stmt) error {
 	for _, s := range stmts {
 		c.resetTemps()
+		c.b.SetLine(StmtLine(s))
 		if err := c.compileStmt(s); err != nil {
 			return err
 		}
@@ -372,6 +374,9 @@ func (c *compiler) compileStmt(s Stmt) error {
 		if err := c.compileBlock(s.Body); err != nil {
 			return err
 		}
+		// The reconvergence point belongs to the if itself, not to
+		// whatever the last body statement happened to be.
+		c.b.SetLine(s.Line)
 		c.b.EndIf()
 		return nil
 
@@ -408,11 +413,12 @@ func (c *compiler) compileStmt(s Stmt) error {
 		if err := c.compileBlock(s.Body); err != nil {
 			return err
 		}
+		c.b.SetLine(s.Line)
 		c.b.EndFor()
 		delete(c.vars, s.Var)
 		return nil
 	}
-	return c.errorf(0, "unhandled statement %T", s)
+	return c.errorf(StmtLine(s), "unhandled statement %T", s)
 }
 
 // compileSharedAddr produces base+index, folding constant indices.
@@ -553,7 +559,7 @@ func (c *compiler) compileExprInto(rd kernel.Reg, e Expr) error {
 		}
 		return nil
 	}
-	return c.errorf(0, "unhandled expression %T", e)
+	return c.errorf(ExprLine(e), "unhandled expression %T", e)
 }
 
 func (c *compiler) emitBin(rd, l kernel.Reg, op tokKind, r kernel.Reg, line int) error {

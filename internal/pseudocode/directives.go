@@ -1,0 +1,47 @@
+package pseudocode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Directives extracts `#! lint:` launch directives from a pseudocode
+// source. A directive line looks like
+//
+//	#! lint: blocks=4 width=8 n=32 inBase=0
+//
+// and binds integer keys; to the lexer it is an ordinary comment, so
+// annotated sources parse and compile unchanged. The conventional keys
+// "blocks" and "width" describe the launch shape; every other key is a
+// kernel parameter binding. Later directives override earlier ones key by
+// key. Returns nil when the source carries no directive lines.
+func Directives(src string) (map[string]int64, error) {
+	var out map[string]int64
+	for i, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "#!") {
+			continue
+		}
+		t = strings.TrimSpace(strings.TrimPrefix(t, "#!"))
+		if !strings.HasPrefix(t, "lint:") {
+			continue
+		}
+		t = strings.TrimSpace(strings.TrimPrefix(t, "lint:"))
+		for _, field := range strings.Fields(t) {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok || k == "" {
+				return nil, fmt.Errorf("pseudocode: line %d: bad directive field %q (want key=value)", i+1, field)
+			}
+			n, err := strconv.ParseInt(v, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pseudocode: line %d: bad directive value %q: %v", i+1, field, err)
+			}
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[k] = n
+		}
+	}
+	return out, nil
+}

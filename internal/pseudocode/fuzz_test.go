@@ -1,13 +1,39 @@
 package pseudocode
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"atgpu/internal/analyze"
 )
+
+// fuzzMachine is the abstract machine every compiling fuzz input is
+// analysed against: width matches the Compile width, memories are small so
+// bounds findings trigger easily, and the fuel/loop budgets are tight so
+// adversarial loops abort quickly instead of stalling the fuzzer.
+func fuzzMachine() analyze.Options {
+	return analyze.Options{
+		Machine: analyze.Machine{
+			Width:                4,
+			SharedWords:          64,
+			GlobalWords:          256,
+			NumSMs:               2,
+			MaxBlocksPerSM:       4,
+			BroadcastSharedReads: true,
+		},
+		Blocks:     2,
+		Fuel:       1 << 16,
+		LoopBudget: 64,
+	}
+}
 
 // FuzzParse exercises the kernel parser: it must never panic and, when it
 // accepts an input, compilation with generic bindings must either succeed
-// (producing a valid program) or fail with a typed error.
+// (producing a valid program) or fail with a typed error. Every program
+// that compiles is then statically analysed — the analyzer must not panic
+// and must return the identical report when run again (verdicts are pure
+// functions of the program).
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"kernel k()\nbarrier\n",
@@ -40,6 +66,23 @@ func FuzzParse(f *testing.F) {
 		}
 		if vErr := prog.Validate(); vErr != nil {
 			t.Fatalf("compiled program invalid: %v\nsource:\n%s", vErr, src)
+		}
+		rep, aErr := analyze.Program(prog, fuzzMachine())
+		if aErr != nil {
+			// Only option validation can fail, and ours are fixed.
+			t.Fatalf("analyze rejected options: %v\nsource:\n%s", aErr, src)
+		}
+		again, _ := analyze.Program(prog, fuzzMachine())
+		rj, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := again.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rj, aj) {
+			t.Fatalf("analysis verdict not deterministic:\n%s\n---\n%s\nsource:\n%s", rj, aj, src)
 		}
 	})
 }

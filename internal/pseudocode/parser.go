@@ -35,6 +35,16 @@ func (p *parser) expect(k tokKind) (token, error) {
 	return p.next(), nil
 }
 
+// declErr re-attributes an error that hit end-of-input back to the
+// declaration token that was being parsed: "unterminated shared
+// declaration at line 3" beats an error pointing at the EOF line.
+func (p *parser) declErr(decl token, err error) error {
+	if p.cur().kind != tokEOF {
+		return err
+	}
+	return p.errorf(decl, "unterminated shared declaration")
+}
+
 func (p *parser) skipNewlines() {
 	for p.cur().kind == tokNewline {
 		p.next()
@@ -64,7 +74,7 @@ func (p *parser) parseKernel() (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
-	k := &Kernel{Name: name.text}
+	k := &Kernel{Name: name.text, Line: kw.line}
 
 	if _, err := p.expect(tokLParen); err != nil {
 		return nil, err
@@ -92,7 +102,10 @@ func (p *parser) parseKernel() (*Kernel, error) {
 		return nil, err
 	}
 
-	// Shared declarations come first.
+	// Shared declarations come first. Errors inside one declaration are
+	// attributed to the declaration's own line: when the input simply stops
+	// (unterminated declaration), the current token is EOF and its line
+	// points past the end of the source — useless for finding the bug.
 	for {
 		p.skipNewlines()
 		t := p.cur()
@@ -102,28 +115,28 @@ func (p *parser) parseKernel() (*Kernel, error) {
 		p.next()
 		sn, err := p.expect(tokIdent)
 		if err != nil {
-			return nil, err
+			return nil, p.declErr(t, err)
 		}
 		if !strings.HasPrefix(sn.text, "_") {
 			return nil, p.errorf(sn, "shared variable %q must begin with '_' (paper naming convention)", sn.text)
 		}
 		if _, err := p.expect(tokLBracket); err != nil {
-			return nil, err
+			return nil, p.declErr(t, err)
 		}
 		size, err := p.parseExpr()
 		if err != nil {
-			return nil, err
+			return nil, p.declErr(t, err)
 		}
 		if _, err := p.expect(tokRBracket); err != nil {
-			return nil, err
+			return nil, p.declErr(t, err)
 		}
 		if _, err := p.expect(tokNewline); err != nil {
-			return nil, err
+			return nil, p.declErr(t, err)
 		}
 		k.Shared = append(k.Shared, SharedDecl{Name: sn.text, Size: size, Line: sn.line})
 	}
 
-	body, err := p.parseBlock("kernel")
+	body, err := p.parseBlock("kernel", kw)
 	if err != nil {
 		return nil, err
 	}
@@ -137,15 +150,16 @@ func (p *parser) parseKernel() (*Kernel, error) {
 }
 
 // parseBlock parses statements until 'end' (consumed) or EOF for the
-// top-level kernel body.
-func (p *parser) parseBlock(ctx string) ([]Stmt, error) {
+// top-level kernel body. open is the construct's opening token, so a
+// missing 'end' is reported at the construct's line rather than at EOF.
+func (p *parser) parseBlock(ctx string, open token) ([]Stmt, error) {
 	var stmts []Stmt
 	for {
 		p.skipNewlines()
 		t := p.cur()
 		if t.kind == tokEOF {
 			if ctx != "kernel" {
-				return nil, p.errorf(t, "missing 'end' for %s", ctx)
+				return nil, p.errorf(open, "missing 'end' for %s", ctx)
 			}
 			return stmts, nil
 		}
@@ -209,7 +223,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(tokNewline); err != nil {
 			return nil, err
 		}
-		body, err := p.parseBlock("if")
+		body, err := p.parseBlock("if", t)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +367,7 @@ func (p *parser) parseFor() (Stmt, error) {
 	if _, err := p.expect(tokNewline); err != nil {
 		return nil, err
 	}
-	body, err := p.parseBlock("for")
+	body, err := p.parseBlock("for", t)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,15 @@ type Device struct {
 	arena     *mem.Arena
 	failedSMs []bool
 	numFailed int
+	// collectSites enables per-access-site counters on launches
+	// (KernelResult.Sites); off by default.
+	collectSites bool
 }
+
+// SetCollectSites toggles per-access-site memory counters on subsequent
+// launches. Enabled, each KernelResult carries a SiteStat per load/store
+// instruction that executed, for auditing static predictions site by site.
+func (d *Device) SetCollectSites(on bool) { d.collectSites = on }
 
 // Launch errors.
 var (
@@ -142,6 +150,10 @@ type launchState struct {
 
 	// bankCounts is scratch for shared-memory conflict analysis.
 	bankCounts []int
+
+	// sites holds per-instruction memory counters when site collection is
+	// enabled (indexed by pc; nil otherwise).
+	sites []SiteStat
 }
 
 // Launch runs numBlocks thread blocks of prog to completion and returns the
@@ -185,6 +197,9 @@ func (d *Device) LaunchTraced(prog *kernel.Program, numBlocks int, tr *Tracer) (
 		ls.smIDs = append(ls.smIDs, i)
 	}
 	ls.stats.OccupancyLimit = occ
+	if d.collectSites {
+		ls.sites = make([]SiteStat, len(prog.Instrs))
+	}
 
 	if numBlocks == 0 {
 		return KernelResult{Time: 0, Stats: ls.stats}, nil
@@ -197,7 +212,28 @@ func (d *Device) LaunchTraced(prog *kernel.Program, numBlocks int, tr *Tracer) (
 	return KernelResult{
 		Time:  time.Duration(secs * float64(time.Second)),
 		Stats: ls.stats,
+		Sites: ls.collectedSites(),
 	}, nil
+}
+
+// collectedSites compacts the per-pc site table into the touched sites,
+// ascending by pc, filling in opcode and source line.
+func (ls *launchState) collectedSites() []SiteStat {
+	if ls.sites == nil {
+		return nil
+	}
+	var out []SiteStat
+	for pc := range ls.sites {
+		if ls.sites[pc].Accesses == 0 {
+			continue
+		}
+		s := ls.sites[pc]
+		s.PC = pc
+		s.Line = ls.prog.Line(pc)
+		s.Op = ls.prog.Instrs[pc].Op
+		out = append(out, s)
+	}
+	return out
 }
 
 // run drives the cycle loop until all blocks retire.

@@ -102,6 +102,9 @@ type Host struct {
 	orec      *obs.Recorder // trace sink (nil = disabled)
 	omet      *obs.Registry // metrics sink (nil = disabled)
 	obsStream string        // stream currently issuing, for span tagging
+
+	preLaunch func(*kernel.Program, int) error
+	launchObs func(*kernel.Program, int, KernelResult)
 }
 
 // NewHost pairs a device with a transfer engine. syncCost instantiates σ.
@@ -188,6 +191,26 @@ func (h *Host) SetFaults(inj faults.Injector, watchdog time.Duration, maxRelaunc
 	h.maxRelaunches = maxRelaunches
 	return nil
 }
+
+// SetPreLaunch installs a gate run before every launch (sync or async) with
+// the program and block count about to execute. A non-nil error refuses the
+// launch without touching the device — the hook point for static-analysis
+// pre-flight. Nil removes the gate.
+func (h *Host) SetPreLaunch(gate func(prog *kernel.Program, numBlocks int) error) {
+	h.preLaunch = gate
+}
+
+// SetLaunchObserver installs a callback invoked after every successful
+// launch with the program, block count, and the launch's KernelResult —
+// the hook point for differential checking of predictions against observed
+// counters. Nil removes the observer.
+func (h *Host) SetLaunchObserver(obs func(prog *kernel.Program, numBlocks int, res KernelResult)) {
+	h.launchObs = obs
+}
+
+// SetCollectSites toggles the device's per-access-site counters for
+// subsequent launches (see Device.SetCollectSites).
+func (h *Host) SetCollectSites(on bool) { h.dev.SetCollectSites(on) }
 
 // Launch runs the kernel on the default stream, folding the launch's
 // statistics into the host totals.

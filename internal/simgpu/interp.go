@@ -294,6 +294,17 @@ func (ls *launchState) execGlobal(w *warp, in kernel.Instr) error {
 	if nblocks > 1 {
 		ls.stats.UncoalescedAccesses++
 	}
+	if ls.sites != nil {
+		s := &ls.sites[w.pc]
+		s.Accesses++
+		s.Transactions += int64(nblocks)
+		if nblocks > 1 {
+			s.Uncoalesced++
+		}
+		if nblocks > s.MaxDegree {
+			s.MaxDegree = nblocks
+		}
+	}
 	if ls.tracer != nil {
 		ls.tracer.onMem(w.blockID, w.smIdx, ls.cycle, nblocks, in.Op == kernel.OpStGlobal)
 	}
@@ -371,6 +382,16 @@ func (ls *launchState) execShared(w *warp, in kernel.Instr) error {
 		ls.stats.BankConflicts++
 		if degree > ls.stats.MaxConflictDegree {
 			ls.stats.MaxConflictDegree = degree
+		}
+	}
+	if ls.sites != nil {
+		s := &ls.sites[w.pc]
+		s.Accesses++
+		if degree > 1 {
+			s.Conflicted++
+		}
+		if degree > s.MaxDegree {
+			s.MaxDegree = degree
 		}
 	}
 

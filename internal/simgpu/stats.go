@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"atgpu/internal/kernel"
 )
 
 // KernelStats aggregates everything the device observed during one launch.
@@ -104,10 +106,38 @@ func (s KernelStats) String() string {
 	return sb.String()
 }
 
+// SiteStat is the observed memory behaviour of one load/store instruction
+// over a whole launch: how often the site executed (fully-masked executions
+// are skipped) and how well it coalesced or banked. Collected only when the
+// device's site collection is enabled (Device.SetCollectSites), since the
+// per-instruction table costs a little on every access.
+type SiteStat struct {
+	// PC is the instruction index within the program.
+	PC int
+	// Line is the pseudocode source line (0 without a line table).
+	Line int
+	// Op is the memory opcode at the site.
+	Op kernel.Op
+	// Accesses counts warp-wide executions that touched memory.
+	Accesses int64
+	// Transactions is Σl over the site's global accesses.
+	Transactions int64
+	// Uncoalesced counts global accesses here with l > 1.
+	Uncoalesced int64
+	// Conflicted counts shared accesses here with conflict degree > 1.
+	Conflicted int64
+	// MaxDegree is the worst serialisation at the site: max transaction
+	// count for global sites, max conflict degree for shared sites.
+	MaxDegree int
+}
+
 // KernelResult is the outcome of one launch.
 type KernelResult struct {
 	// Time is the simulated wall time of the kernel (cycles / clock).
 	Time time.Duration
 	// Stats holds the detailed counters.
 	Stats KernelStats
+	// Sites holds per-access-site counters, ascending by PC, when site
+	// collection is enabled; nil otherwise.
+	Sites []SiteStat
 }

@@ -127,6 +127,11 @@ func (h *Host) AsyncLaunch(s *Stream, prog *kernel.Program, numBlocks int) (Kern
 	s = h.stream(s)
 	h.enterStream(s)
 	defer h.leaveStream()
+	if h.preLaunch != nil {
+		if err := h.preLaunch(prog, numBlocks); err != nil {
+			return KernelResult{}, err
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		if h.inj != nil {
 			d := h.inj.Launch(attempt, h.dev.Config().NumSMs)
@@ -176,6 +181,9 @@ func (h *Host) AsyncLaunch(s *Stream, prog *kernel.Program, numBlocks int) (Kern
 		h.omet.Add("atgpu_host_launches_total", 1)
 		h.kernelStats.Merge(res.Stats)
 		h.launches++
+		if h.launchObs != nil {
+			h.launchObs(prog, numBlocks, res)
+		}
 		return res, nil
 	}
 }
