@@ -1,6 +1,8 @@
-// Command atgpu-vet runs the repo's custom determinism checks (see
+// Command atgpu-vet runs the repo's custom static checks (see
 // internal/vet): no wall-clock or global-randomness reads in deterministic
-// packages, and no map iteration feeding ordered output anywhere.
+// packages, no map iteration feeding ordered output anywhere, and no
+// unguarded goroutine launches (missing recover/sched.Protect) in the
+// daemon's long-running packages.
 //
 // Usage:
 //

@@ -8,7 +8,6 @@ import (
 	"atgpu"
 	"atgpu/internal/algorithms"
 	"atgpu/internal/analyze"
-	"atgpu/internal/kernel"
 	"atgpu/internal/pseudocode"
 )
 
@@ -30,7 +29,7 @@ func lintCmd(files []string, alg string, n, blocksFlag int, jsonOut bool, outPat
 	var names []string
 	var reports []*analyze.Report
 	if len(files) == 0 {
-		prog, blocks, err := builtinKernel(alg, n, opts.Device.WarpWidth)
+		prog, blocks, err := algorithms.BuiltinKernel(alg, n, opts.Device.WarpWidth)
 		if err != nil {
 			return err
 		}
@@ -83,39 +82,6 @@ func lintCmd(files []string, alg string, n, blocksFlag int, jsonOut bool, outPat
 		return fmt.Errorf("lint: %d error finding(s) across %d kernel(s)", errors, len(reports))
 	}
 	return nil
-}
-
-// builtinKernel builds the named workload's kernel and launch block count
-// for warp width b, mirroring how run would launch it.
-func builtinKernel(alg string, n, b int) (*kernel.Program, int, error) {
-	if n <= 0 {
-		return nil, 0, fmt.Errorf("non-positive n %d", n)
-	}
-	switch alg {
-	case "vecadd":
-		a := algorithms.VecAdd{N: n}
-		prog, err := a.Kernel(b, 0, n, 2*n)
-		return prog, a.Blocks(b), err
-	case "reduce":
-		// The first (largest) round: later rounds are the same kernel on
-		// fewer blocks.
-		a := algorithms.Reduce{N: n}
-		prog, err := a.Kernel(b, 0, n, n)
-		return prog, (n + b - 1) / b, err
-	case "scan":
-		// First (largest) level; data at 0, block sums after it.
-		a := algorithms.Scan{N: n}
-		prog, err := a.Kernel(b, 0, n, n)
-		return prog, a.Blocks(b), err
-	case "matmul":
-		if n%b != 0 {
-			return nil, 0, fmt.Errorf("matmul n=%d must be a multiple of warp width %d", n, b)
-		}
-		a := algorithms.MatMul{N: n}
-		prog, err := a.Kernel(b, 0, n*n, 2*n*n)
-		return prog, a.Blocks(b), err
-	}
-	return nil, 0, fmt.Errorf("unknown algorithm %q", alg)
 }
 
 // lintFile compiles one pseudocode file per its `#! lint:` directives and

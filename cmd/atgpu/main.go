@@ -32,10 +32,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"atgpu"
@@ -107,7 +111,11 @@ func main() {
 		}
 		return
 	}
-	if err := dispatch(cmd, *alg, *n, *chunk, *full, *pipeline, opts, *traceOut, *metricsOut); err != nil {
+	// SIGINT/SIGTERM cancels long sweeps between points; the sweep then
+	// flushes the partial table, trace and metrics before exiting nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := dispatch(ctx, cmd, *alg, *n, *chunk, *full, *pipeline, opts, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
 	}
@@ -171,7 +179,7 @@ simulated-time axis); --metrics out.prom writes a deterministic Prometheus
 text snapshot; --trace-max-events caps trace growth.`)
 }
 
-func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options, traceOut, metricsOut string) error {
+func dispatch(ctx context.Context, cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options, traceOut, metricsOut string) error {
 	switch cmd {
 	case "table1":
 		fmt.Println("Table I — comparison of GPU abstract models")
@@ -200,9 +208,9 @@ func dispatch(cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Opt
 		return run(alg, n, opts, traceOut, metricsOut)
 	case "sweep":
 		if pipeline {
-			return sweepPipelined(alg, full, opts, traceOut, metricsOut)
+			return sweepPipelined(ctx, alg, full, opts, traceOut, metricsOut)
 		}
-		return sweep(alg, full, opts, traceOut, metricsOut)
+		return sweep(ctx, alg, full, opts, traceOut, metricsOut)
 	case "ooc":
 		return ooc(n, chunk, opts)
 	default:
@@ -411,10 +419,13 @@ func runPipelined(alg string, n int, opts atgpu.Options, traceOut, metricsOut st
 }
 
 // sweepPipelined runs one workload's sequential-versus-pipelined size
-// sweep. Stdout is byte-identical for any --workers value.
-func sweepPipelined(alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
+// sweep. Stdout is byte-identical for any --workers value. On SIGINT the
+// completed points, trace and metrics are still flushed before the
+// cancellation error propagates.
+func sweepPipelined(ctx context.Context, alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
 	cfg := opts.ExperimentConfig()
 	cfg.Full = full
+	cfg.Context = ctx
 	r, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return err
@@ -431,7 +442,8 @@ func sweepPipelined(alg string, full bool, opts atgpu.Options, traceOut, metrics
 	default:
 		return fmt.Errorf("unknown algorithm %q", alg)
 	}
-	if err != nil {
+	cancelled := errors.Is(err, experiments.ErrCancelled)
+	if err != nil && !cancelled {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "atgpu: %s pipelined sweep: %d sizes in %.1fs (workers=%d)\n",
@@ -446,20 +458,34 @@ func sweepPipelined(alg string, full bool, opts atgpu.Options, traceOut, metrics
 	fmt.Printf("%12s %14s %14s %9s %14s %14s %9s\n",
 		"n", "seq(s)", "pipe(s)", "saved", "pred-seq(s)", "pred-pipe(s)", "pred-saved")
 	for _, p := range data.Points {
+		if p.Failed {
+			fmt.Printf("%12d FAILED: %s\n", p.N, p.Err)
+			continue
+		}
 		fmt.Printf("%12d %14.6g %14.6g %8.1f%% %14.6g %14.6g %8.1f%%\n",
 			p.N, p.SequentialTime, p.PipelinedTime, 100*p.ObservedSavingFraction(),
 			p.PredictedSequential, p.PredictedPipelined, 100*p.PredictedSavingFraction())
 	}
-	return writeObs(data.Obs, traceOut, metricsOut)
+	if werr := writeObs(data.Obs, traceOut, metricsOut); werr != nil {
+		return werr
+	}
+	if cancelled {
+		return sweepInterrupted(data.Points, func(i int) bool { return data.Points[i].Failed })
+	}
+	return nil
 }
 
 // sweep runs one workload's full predicted-vs-observed size sweep through
 // the experiments runner. The points table and summary go to stdout, which
 // is byte-identical for any --workers value; the wall-clock line goes to
-// stderr so the deterministic output can be diffed or checksummed.
-func sweep(alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
+// stderr so the deterministic output can be diffed or checksummed. On
+// SIGINT the completed points, trace and metrics are still flushed (the
+// summary is skipped — it would describe a truncated sweep) before the
+// cancellation error propagates.
+func sweep(ctx context.Context, alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
 	cfg := opts.ExperimentConfig()
 	cfg.Full = full
+	cfg.Context = ctx
 	r, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return err
@@ -476,7 +502,8 @@ func sweep(alg string, full bool, opts atgpu.Options, traceOut, metricsOut strin
 	default:
 		return fmt.Errorf("unknown algorithm %q", alg)
 	}
-	if err != nil {
+	cancelled := errors.Is(err, experiments.ErrCancelled)
+	if err != nil && !cancelled {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "atgpu: %s sweep: %d sizes in %.1fs (workers=%d)\n",
@@ -496,12 +523,33 @@ func sweep(alg string, full bool, opts atgpu.Options, traceOut, metricsOut strin
 			p.N, p.TotalTime, p.KernelTime, p.ATGPUCost,
 			100*p.DeltaObserved, 100*p.DeltaPredicted, status)
 	}
-	s, err := experiments.Summarise(data)
-	if err != nil {
-		return err
+	if !cancelled {
+		s, err := experiments.Summarise(data)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s.String())
 	}
-	fmt.Print(s.String())
-	return writeObs(data.Obs, traceOut, metricsOut)
+	if werr := writeObs(data.Obs, traceOut, metricsOut); werr != nil {
+		return werr
+	}
+	if cancelled {
+		return sweepInterrupted(data.Points, func(i int) bool { return data.Points[i].Failed })
+	}
+	return nil
+}
+
+// sweepInterrupted builds the nonzero-exit error for a cancelled sweep,
+// after the partial table and observability files have been flushed.
+func sweepInterrupted[T any](points []T, failed func(i int) bool) error {
+	done := 0
+	for i := range points {
+		if !failed(i) {
+			done++
+		}
+	}
+	return fmt.Errorf("interrupted: %d of %d points completed (partial results flushed): %w",
+		done, len(points), experiments.ErrCancelled)
 }
 
 func ooc(n, chunk int, opts atgpu.Options) error {

@@ -26,16 +26,22 @@
 // exactly as a single run would, followed by the replica totals folded
 // with the stats Merge methods. Every replica uses the same seeds, so all
 // reports are identical — a quick determinism check for the concurrent
-// machinery.
+// machinery. Replicas dispatch to a panic-isolated scheduler pool capped
+// at the core count; SIGINT/SIGTERM skips replicas that have not started
+// yet, still prints the first completed replica's report and the merged
+// stats over the completed ones, and exits nonzero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
-	"sync"
+	"syscall"
 
 	"atgpu/internal/algorithms"
 	"atgpu/internal/analyze"
@@ -43,6 +49,7 @@ import (
 	"atgpu/internal/kernel"
 	"atgpu/internal/mem"
 	"atgpu/internal/obs"
+	"atgpu/internal/sched"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
@@ -68,13 +75,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(2)
 	}
-	if err := run(*kname, *n, *device, *disasm, *traceOut, *traceMaxEvents, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries, lint); err != nil {
+	// SIGINT/SIGTERM cancels a multi-replica run between replicas; the
+	// completed replicas' report and merged stats still print before the
+	// nonzero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *kname, *n, *device, *disasm, *traceOut, *traceMaxEvents, *pipeline, *chunks, *workers, *faultRate, *faultSeed, *maxRetries, lint); err != nil {
 		fmt.Fprintln(os.Stderr, "simgpu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kname string, n int, device string, disasm bool, traceOut string, traceMaxEvents int, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int, lint analyze.Mode) error {
+func run(ctx context.Context, kname string, n int, device string, disasm bool, traceOut string, traceMaxEvents int, pipeline bool, chunks, workers int, faultRate float64, faultSeed int64, maxRetries int, lint analyze.Mode) error {
 	if workers < 0 {
 		return fmt.Errorf("negative workers %d", workers)
 	}
@@ -249,27 +261,40 @@ func run(kname string, n int, device string, disasm bool, traceOut string, trace
 	if workers == 1 {
 		hosts[0], progs[0], errs[0] = replica(tracer)
 	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				// Only the first replica is traced: replicas are
-				// identical, so one timeline is the timeline, and the
-				// others stay uninstrumented while running concurrently.
-				var tr *simgpu.Tracer
-				if w == 0 {
-					tr = tracer
-				}
-				hosts[w], progs[w], errs[w] = replica(tr)
-			}(w)
+		// The shared scheduler gives each replica panic isolation and
+		// checks ctx between dispatches, so an interrupt skips replicas
+		// that have not started yet. The pool is capped at the core
+		// count: beyond it replicas only queue, which is what lets an
+		// interrupt skip them.
+		pool := workers
+		if cores := runtime.GOMAXPROCS(0); pool > cores {
+			pool = cores
 		}
-		wg.Wait()
+		errs = sched.Run(ctx, workers, pool, func(w int) error {
+			// Only the first replica is traced: replicas are
+			// identical, so one timeline is the timeline, and the
+			// others stay uninstrumented while running concurrently.
+			var tr *simgpu.Tracer
+			if w == 0 {
+				tr = tracer
+			}
+			var err error
+			hosts[w], progs[w], err = replica(tr)
+			return err
+		})
 	}
+	cancelled := false
 	for _, err := range errs {
+		if errors.Is(err, sched.ErrCancelled) {
+			cancelled = true
+			continue
+		}
 		if err != nil {
 			return err
 		}
+	}
+	if hosts[0] == nil {
+		return fmt.Errorf("interrupted before the first replica completed")
 	}
 
 	h, prog := hosts[0], progs[0]
@@ -305,7 +330,12 @@ func run(kname string, n int, device string, disasm bool, traceOut string, trace
 		var tf transfer.Stats
 		var rs simgpu.ResilienceStats
 		identical := true
+		completed := 0
 		for _, hh := range hosts {
+			if hh == nil { // skipped by an interrupt before it started
+				continue
+			}
+			completed++
 			r := hh.Report()
 			tf.Merge(r.Transfers)
 			rs.Merge(r.Resilience)
@@ -313,7 +343,12 @@ func run(kname string, n int, device string, disasm bool, traceOut string, trace
 				identical = false
 			}
 		}
-		fmt.Printf("replicas: %d concurrent, identical reports: %v\n", workers, identical)
+		if cancelled {
+			fmt.Printf("replicas: %d of %d completed (interrupted), identical reports: %v\n",
+				completed, workers, identical)
+		} else {
+			fmt.Printf("replicas: %d concurrent, identical reports: %v\n", workers, identical)
+		}
 		fmt.Printf("merged:   %d words in / %d out across replicas, %d retries, %d watchdog fires\n",
 			tf.InWords, tf.OutWords, tf.Retries, rs.WatchdogFires)
 	}
@@ -331,6 +366,9 @@ func run(kname string, n int, device string, disasm bool, traceOut string, trace
 			fmt.Printf("warning: trace truncated at max-events=%d; raise -trace-max-events\n",
 				rep0.Trace.Cap())
 		}
+	}
+	if cancelled {
+		return fmt.Errorf("interrupted: partial replica stats flushed: %w", sched.ErrCancelled)
 	}
 	return nil
 }

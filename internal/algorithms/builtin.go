@@ -1,0 +1,43 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/kernel"
+)
+
+// BuiltinKernel builds the named workload's kernel and launch block count
+// for warp width b, mirroring how the runners launch it: the buffer
+// layout matches the sweep runs, and for multi-round workloads (reduce,
+// scan) the first — largest — round is used, since later rounds run the
+// same kernel on fewer blocks. It is shared by `atgpu lint`'s builtin
+// mode and by atgpud's lint jobs, and its disassembly is the kernel
+// component of the service's content-addressed cache key.
+func BuiltinKernel(alg string, n, b int) (*kernel.Program, int, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("non-positive n %d", n)
+	}
+	switch alg {
+	case "vecadd":
+		a := VecAdd{N: n}
+		prog, err := a.Kernel(b, 0, n, 2*n)
+		return prog, a.Blocks(b), err
+	case "reduce":
+		a := Reduce{N: n}
+		prog, err := a.Kernel(b, 0, n, n)
+		return prog, (n + b - 1) / b, err
+	case "scan":
+		// First (largest) level; data at 0, block sums after it.
+		a := Scan{N: n}
+		prog, err := a.Kernel(b, 0, n, n)
+		return prog, a.Blocks(b), err
+	case "matmul":
+		if n%b != 0 {
+			return nil, 0, fmt.Errorf("matmul n=%d must be a multiple of warp width %d", n, b)
+		}
+		a := MatMul{N: n}
+		prog, err := a.Kernel(b, 0, n*n, 2*n*n)
+		return prog, a.Blocks(b), err
+	}
+	return nil, 0, fmt.Errorf("unknown algorithm %q", alg)
+}

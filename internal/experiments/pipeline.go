@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"atgpu/internal/algorithms"
 	"atgpu/internal/core"
 	"atgpu/internal/obs"
+	"atgpu/internal/sched"
 	"atgpu/internal/simgpu"
 )
 
@@ -53,6 +53,12 @@ type PipelinePoint struct {
 	// two schedules sit side by side in one trace (nil unless
 	// Config.Obs enables collection).
 	Obs *obs.Report
+
+	// Failed marks a point that panicked or was cancelled before it
+	// started (Config.Context); its timings are zero and Err explains.
+	Failed bool
+	// Err is the failure message when Failed.
+	Err string
 }
 
 // ObservedSavingFraction is the observed saving over the sequential total
@@ -86,50 +92,31 @@ type PipelineData struct {
 
 // runPipelineSweep mirrors runSweep for pipeline points: points are
 // self-contained, so the assembly is byte-identical for any worker count.
+// Panicking points are recorded as Failed with the stack in Err;
+// cancellation returns the partial data with ErrCancelled.
 func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, n int) (PipelinePoint, error)) (*PipelineData, error) {
 	data := &PipelineData{Workload: workload, Points: make([]PipelinePoint, len(sizes))}
-	errs := make([]error, len(sizes))
-	workers := r.cfg.workers()
-	if workers > len(sizes) {
-		workers = len(sizes)
-	}
-	if workers <= 1 {
-		for i, n := range sizes {
-			pt, err := point(i, n)
-			if err != nil {
-				return nil, err
-			}
-			data.Points[i] = pt
-		}
-		return data, r.foldPipelineObs(workload, data)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				pt, err := point(i, sizes[i])
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				data.Points[i] = pt
-			}
-		}()
-	}
-	for i := range sizes {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
+	errs := sched.Run(r.cfg.ctx(), len(sizes), r.cfg.workers(), func(i int) error {
+		pt, err := point(i, sizes[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		data.Points[i] = pt
+		return nil
+	})
+	cancelled, err := absorbSweepErrs(errs, func(i int, failed WorkloadPoint) {
+		data.Points[i] = PipelinePoint{N: sizes[i], Failed: true, Err: failed.Err}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return data, r.foldPipelineObs(workload, data)
+	if err := r.foldPipelineObs(workload, data); err != nil {
+		return nil, err
+	}
+	if cancelled {
+		return data, ErrCancelled
+	}
+	return data, nil
 }
 
 // foldPipelineObs merges per-point reports in point order (no-op with

@@ -24,6 +24,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -31,7 +32,6 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
-	"sync"
 	"time"
 
 	"atgpu/internal/algorithms"
@@ -42,9 +42,17 @@ import (
 	"atgpu/internal/mem"
 	"atgpu/internal/models"
 	"atgpu/internal/obs"
+	"atgpu/internal/sched"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
+
+// ErrCancelled is returned (alongside the partial data) when a sweep's
+// Config.Context is cancelled mid-run: every point that completed before
+// the cancellation is present, the rest are recorded as Failed with a
+// cancellation message, and the caller decides whether to flush the
+// partial results (the CLIs do, before exiting nonzero).
+var ErrCancelled = errors.New("experiments: sweep cancelled")
 
 // Config selects the device, transfer scheme and sweep scale.
 type Config struct {
@@ -71,6 +79,12 @@ type Config struct {
 	// any worker count: points derive all randomness from (Seed, workload,
 	// N, point index), never from execution order.
 	Workers int
+
+	// Context, when non-nil, cancels the sweep between points: points
+	// already dispatched run to completion, the rest are recorded as
+	// Failed ("cancelled before start") and the sweep returns the partial
+	// data with ErrCancelled. Nil means never cancelled.
+	Context context.Context
 
 	// Chunks is the chunk (or matmul band) count of the pipelined sweeps
 	// (RunVecAddPipelined and friends). 0 uses defaultChunks.
@@ -159,6 +173,14 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ctx resolves the cancellation context (nil = never cancelled).
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 // DefaultConfig returns the GTX650-like setup used throughout
 // EXPERIMENTS.md: pageable transfers (the cudaMemcpy default, which
 // reproduces the paper's ~84% vecadd transfer share), σ = 50 µs,
@@ -190,6 +212,20 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	link, cal, err := Calibrate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, link: link, params: cal.Params, calib: cal}, nil
+}
+
+// Calibrate runs the fault-free cost-parameter calibration for a config's
+// device, scheme and σ, returning the link the runner should transfer
+// over and the calibration result. Calibration depends only on (Device,
+// Scheme, SyncCost), so callers serving many configurations — the atgpud
+// service — cache the result by that key and build runners with
+// NewRunnerCalibrated instead of paying a calibration per request.
+func Calibrate(cfg Config) (*transfer.Link, calibrate.Result, error) {
 	link := transfer.PCIeGen3x8Link()
 
 	calCfg := cfg.Device
@@ -200,15 +236,29 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	dev, err := simgpu.New(calCfg)
 	if err != nil {
-		return nil, err
+		return nil, calibrate.Result{}, err
 	}
 	eng, err := transfer.NewEngine(link, cfg.Scheme)
 	if err != nil {
-		return nil, err
+		return nil, calibrate.Result{}, err
 	}
 	cal, err := calibrate.Run(dev, eng, cfg.SyncCost)
 	if err != nil {
+		return nil, calibrate.Result{}, err
+	}
+	return link, cal, nil
+}
+
+// NewRunnerCalibrated builds a runner from an existing calibration —
+// obtained from Calibrate (or another runner's Calibration) for the same
+// Device, Scheme and SyncCost. It validates the config but runs no
+// simulation, so it is cheap enough to build per request.
+func NewRunnerCalibrated(cfg Config, link *transfer.Link, cal calibrate.Result) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if link == nil {
+		return nil, fmt.Errorf("experiments: nil link")
 	}
 	return &Runner{cfg: cfg, link: link, params: cal.Params, calib: cal}, nil
 }
@@ -423,53 +473,31 @@ func (w *WorkloadData) column(f func(WorkloadPoint) float64) []float64 {
 }
 
 // runSweep executes one point per size through point, dispatching to the
-// configured worker count, and assembles the results in size order. Each
-// point call must be self-contained (its own host, its own derived seeds)
-// so the assembly is byte-identical for any worker count. On error the
-// sweep reports the lowest-index failure — the same error a sequential run
-// would have stopped on, since every earlier point succeeded.
+// configured worker count via the shared scheduler, and assembles the
+// results in size order. Each point call must be self-contained (its own
+// host, its own derived seeds) so the assembly is byte-identical for any
+// worker count. On error the sweep reports the lowest-index failure — the
+// same error a sequential run would have stopped on, since every earlier
+// point succeeded. A panicking point does not crash the sweep (or the
+// process hosting it): it is recorded as a Failed point with the stack in
+// its fault log. Cancellation via Config.Context records undispatched
+// points as Failed and returns the partial data with ErrCancelled.
 func (r *Runner) runSweep(workload string, sizes []int, point func(idx, n int) (WorkloadPoint, error)) (*WorkloadData, error) {
 	data := &WorkloadData{Workload: workload, Points: make([]WorkloadPoint, len(sizes))}
-	errs := make([]error, len(sizes))
-	workers := r.cfg.workers()
-	if workers > len(sizes) {
-		workers = len(sizes)
-	}
-	if workers <= 1 {
-		for i, n := range sizes {
-			pt, err := point(i, n)
-			if err != nil {
-				return nil, err
-			}
-			data.Points[i] = pt
+	errs := sched.Run(r.cfg.ctx(), len(sizes), r.cfg.workers(), func(i int) error {
+		pt, err := point(i, sizes[i])
+		if err != nil {
+			return err
 		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					pt, err := point(i, sizes[i])
-					if err != nil {
-						errs[i] = err
-						continue
-					}
-					data.Points[i] = pt
-				}
-			}()
-		}
-		for i := range sizes {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+		data.Points[i] = pt
+		return nil
+	})
+	cancelled, err := absorbSweepErrs(errs, func(i int, failed WorkloadPoint) {
+		failed.N = sizes[i]
+		data.Points[i] = failed
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i := range data.Points {
 		data.Transfers.Merge(data.Points[i].Transfers)
@@ -481,7 +509,37 @@ func (r *Runner) runSweep(workload string, sizes []int, point func(idx, n int) (
 			data.Obs.Merge(data.Points[i].Obs, fmt.Sprintf("%s n=%d", workload, data.Points[i].N))
 		}
 	}
+	if cancelled {
+		return data, ErrCancelled
+	}
 	return data, nil
+}
+
+// absorbSweepErrs folds a scheduler error slice into per-point outcomes:
+// panics and cancellations become Failed points (delivered through
+// record), any other error — a genuine configuration or programming
+// failure — aborts the sweep with the lowest-index occurrence, exactly as
+// before the scheduler extraction. The returned flag reports whether any
+// point was cancelled.
+func absorbSweepErrs(errs []error, record func(i int, failed WorkloadPoint)) (cancelled bool, err error) {
+	for i, e := range errs {
+		var pe *sched.PanicError
+		switch {
+		case e == nil:
+		case errors.As(e, &pe):
+			record(i, WorkloadPoint{
+				Failed:   true,
+				Err:      pe.Error(),
+				FaultLog: []string{"panic stack:\n" + string(pe.Stack)},
+			})
+		case errors.Is(e, sched.ErrCancelled):
+			record(i, WorkloadPoint{Failed: true, Err: e.Error()})
+			cancelled = true
+		default:
+			return false, e
+		}
+	}
+	return cancelled, nil
 }
 
 // newSweepReport builds the empty fold target for per-point reports,
@@ -514,57 +572,77 @@ func randBits(rng *rand.Rand, n int) []mem.Word {
 	return w
 }
 
-// VecAddSizes returns the sweep sizes: the paper's n = 1e6 … 1e7 in Full
-// mode ("from n = 1,000,000 → 10,000,000"), a 10× scaled version
-// otherwise.
-func (r *Runner) VecAddSizes() []int {
-	if r.cfg.SizesVecAdd != nil {
-		return r.cfg.SizesVecAdd
+// SweepSizes returns the effective sweep sizes for a workload under this
+// config: the explicit override when set, otherwise the paper's exact
+// sizes in Full mode or the scaled-down defaults. The atgpud service uses
+// this to pin a request's sizes before computing its cache key.
+func (c Config) SweepSizes(workload string) ([]int, error) {
+	switch workload {
+	case "vecadd":
+		// Paper: n = 1e6 … 1e7 ("from n = 1,000,000 → 10,000,000");
+		// scaled 10× down otherwise.
+		if c.SizesVecAdd != nil {
+			return c.SizesVecAdd, nil
+		}
+		step := 100_000
+		if c.Full {
+			step = 1_000_000
+		}
+		sizes := make([]int, 10)
+		for i := range sizes {
+			sizes[i] = (i + 1) * step
+		}
+		return sizes, nil
+	case "reduce":
+		// Paper: n = 2^16 … 2^26 in Full mode, 2^16 … 2^22 otherwise.
+		if c.SizesReduce != nil {
+			return c.SizesReduce, nil
+		}
+		hi := 22
+		if c.Full {
+			hi = 26
+		}
+		var sizes []int
+		for e := 16; e <= hi; e++ {
+			sizes = append(sizes, 1<<e)
+		}
+		return sizes, nil
+	case "matmul":
+		// Paper: n = 32, 64, …, 1024 doublings in Full mode, up to 256
+		// otherwise.
+		if c.SizesMatMul != nil {
+			return c.SizesMatMul, nil
+		}
+		hi := 256
+		if c.Full {
+			hi = 1024
+		}
+		var sizes []int
+		for n := 32; n <= hi; n *= 2 {
+			sizes = append(sizes, n)
+		}
+		return sizes, nil
 	}
-	step := 100_000
-	if r.cfg.Full {
-		step = 1_000_000
-	}
-	sizes := make([]int, 10)
-	for i := range sizes {
-		sizes[i] = (i + 1) * step
+	return nil, fmt.Errorf("experiments: unknown workload %q", workload)
+}
+
+// mustSweepSizes resolves sizes for a workload known to be valid.
+func (c Config) mustSweepSizes(workload string) []int {
+	sizes, err := c.SweepSizes(workload)
+	if err != nil {
+		panic(err)
 	}
 	return sizes
 }
 
-// ReduceSizes returns the sweep sizes: the paper's n = 2^16 … 2^26 in Full
-// mode, 2^16 … 2^22 otherwise.
-func (r *Runner) ReduceSizes() []int {
-	if r.cfg.SizesReduce != nil {
-		return r.cfg.SizesReduce
-	}
-	hi := 22
-	if r.cfg.Full {
-		hi = 26
-	}
-	var sizes []int
-	for e := 16; e <= hi; e++ {
-		sizes = append(sizes, 1<<e)
-	}
-	return sizes
-}
+// VecAddSizes returns the effective vecadd sweep sizes.
+func (r *Runner) VecAddSizes() []int { return r.cfg.mustSweepSizes("vecadd") }
 
-// MatMulSizes returns the sweep sizes: the paper's n = 32, 64, …, 1024
-// doublings in Full mode, up to 256 otherwise.
-func (r *Runner) MatMulSizes() []int {
-	if r.cfg.SizesMatMul != nil {
-		return r.cfg.SizesMatMul
-	}
-	hi := 256
-	if r.cfg.Full {
-		hi = 1024
-	}
-	var sizes []int
-	for n := 32; n <= hi; n *= 2 {
-		sizes = append(sizes, n)
-	}
-	return sizes
-}
+// ReduceSizes returns the effective reduce sweep sizes.
+func (r *Runner) ReduceSizes() []int { return r.cfg.mustSweepSizes("reduce") }
+
+// MatMulSizes returns the effective matmul sweep sizes.
+func (r *Runner) MatMulSizes() []int { return r.cfg.mustSweepSizes("matmul") }
 
 // RunVecAdd sweeps vector addition (paper §IV-A).
 func (r *Runner) RunVecAdd() (*WorkloadData, error) {
@@ -666,6 +744,43 @@ func (r *Runner) RunMatMul() (*WorkloadData, error) {
 		})
 		return pt, err
 	})
+}
+
+// analysisFor builds one workload size's per-round model analysis, with
+// the same launch geometry the observed runs use.
+func (r *Runner) analysisFor(workload string, n int) (*core.Analysis, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: %s: non-positive size %d", workload, n)
+	}
+	b := r.cfg.Device.WarpWidth
+	switch workload {
+	case "vecadd":
+		alg := algorithms.VecAdd{N: n}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	case "reduce":
+		return algorithms.Reduce{N: n}.Analyze(r.modelParams((n + b - 1) / b))
+	case "matmul":
+		alg := algorithms.MatMul{N: n}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	}
+	return nil, fmt.Errorf("experiments: unknown workload %q", workload)
+}
+
+// PredictPoint prices one workload size on the abstract model without
+// running the simulator: a WorkloadPoint with only the model-side fields
+// (ATGPUCost, SWGPUCost, DeltaPredicted) and N filled — the "analyze"
+// half of a sweep point. atgpud serves its analyze jobs through this.
+func (r *Runner) PredictPoint(workload string, n int) (WorkloadPoint, error) {
+	a, err := r.analysisFor(workload, n)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	pt, err := r.predict(a)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	pt.N = n
+	return pt, nil
 }
 
 // predict fills the model-side fields of a point from an analysis.

@@ -1,0 +1,121 @@
+// Package sched is the repo's shared work scheduler: a bounded pool that
+// runs independent, indexed jobs with panic isolation and cooperative
+// cancellation. It is the common core extracted from the experiments
+// worker pool (PR 2) and reused by the atgpud service workers — one
+// place where the "a crashing job must not crash the process" and "a
+// cancelled batch must report exactly which indices never ran" contracts
+// live.
+//
+// Determinism contract: Run dispatches indices 0..n-1 in order and the
+// caller assembles results by index, so batch output is independent of
+// the worker count and of goroutine scheduling (provided each job is
+// self-contained, as the experiments points are). Cancellation is the
+// only scheduling-dependent outcome: which indices were already
+// dispatched when the context fired depends on timing, which is exactly
+// what the caller wants to know when flushing partial results.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// ErrCancelled marks an index whose job was never started because the
+// batch context was done before it could be dispatched. Jobs already
+// running when the context fires run to completion (jobs that want
+// finer-grained cancellation watch the context themselves).
+var ErrCancelled = errors.New("sched: cancelled before start")
+
+// PanicError is a panic recovered from a job, converted into an ordinary
+// error so one crashing job cannot take down the batch (or the daemon
+// running it). Value is the recovered value; Stack is the panicking
+// goroutine's stack captured at recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is available separately so
+// callers can attach it to logs or manifests without megabyte errors.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Protect runs fn, converting a panic into a *PanicError. Every goroutine
+// this package (and internal/service) launches runs its work through
+// Protect or an equivalent inline recover — enforced by the atgpu-vet
+// gorecover pass.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Run executes fn(0) … fn(n-1) on up to workers goroutines and returns
+// one error slot per index: nil on success, the job's own error, a
+// *PanicError if the job panicked, or ErrCancelled if the context was
+// done before the index was dispatched.
+//
+// workers <= 1 runs the jobs sequentially on the calling goroutine
+// (still panic-isolated and cancellable between jobs), so a sequential
+// batch behaves identically to a parallel one — the property the sweep
+// determinism tests pin.
+func Run(ctx context.Context, n, workers int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrCancelled, err)
+				continue
+			}
+			i := i
+			errs[i] = Protect(func() error { return fn(i) })
+		}
+		return errs
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				i := i
+				// Protect recovers job panics into errs[i]; the worker
+				// goroutine itself therefore cannot die mid-batch.
+				errs[i] = Protect(func() error { return fn(i) })
+			}
+		}()
+	}
+	i := 0
+dispatch:
+	for ; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	for ; i < n; i++ {
+		errs[i] = fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+	}
+	wg.Wait()
+	return errs
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: completed job results
+// keyed by the FNV-1a request key (see Request.CacheKey), with
+// single-flight deduplication — concurrent jobs with the same key share
+// one computation — and bounded FIFO eviction.
+//
+// Only completed computations are cached. A computation that aborts
+// (timeout, cancellation, executor error) removes its entry, and any
+// coalesced waiters retry: the first retrier computes, so an aborted
+// leader never poisons followers. Since everything inside a job is
+// deterministic, a cached entry's bytes are exactly what a fresh run
+// would produce — the property the identity tests pin down.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[uint64]*cacheEntry
+	// order holds completed keys oldest-first for FIFO eviction;
+	// in-flight entries are not evictable and stay out of it.
+	order []uint64
+
+	hits, misses, coalesced, evicted int64
+}
+
+// cacheEntry is one key's slot: in-flight (done open) or completed
+// (done closed, result set).
+type cacheEntry struct {
+	done   chan struct{}
+	result []byte
+}
+
+// NewCache returns a cache holding at most max completed results
+// (max <= 0 means unbounded).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, entries: make(map[uint64]*cacheEntry)}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	// Entries is the number of completed results held.
+	Entries int `json:"entries"`
+	// Hits counts lookups served from a completed entry.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to compute.
+	Misses int64 `json:"misses"`
+	// Coalesced counts lookups that waited on another caller's
+	// in-flight computation instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+	// Evicted counts completed entries dropped by the FIFO bound.
+	Evicted int64 `json:"evicted"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.order),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evicted:   c.evicted,
+	}
+}
+
+// Do returns the cached result for key, computing it via compute on a
+// miss. Concurrent callers with the same key coalesce onto one
+// computation; if that computation aborts (compute returns an error),
+// waiters retry from the top rather than inheriting the failure — an
+// error from Do is always the caller's own. hit reports whether the
+// result came from the cache (including a coalesced wait), which the
+// manifest records as CacheHit.
+func (c *Cache) Do(ctx context.Context, key uint64, compute func() ([]byte, error)) (result []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.done:
+				// Completed entry: a hit.
+				c.hits++
+				c.mu.Unlock()
+				return e.result, true, nil
+			default:
+			}
+			// In flight: wait for the leader, then re-check — the
+			// entry is gone if the leader aborted.
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+				c.mu.Lock()
+				if cur, ok := c.entries[key]; ok && cur == e {
+					c.mu.Unlock()
+					return e.result, true, nil
+				}
+				// Leader aborted; loop and try to become the leader.
+				c.mu.Unlock()
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		// Miss: become the leader.
+		e := &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		result, err = compute()
+		c.mu.Lock()
+		if err != nil {
+			// Aborted: remove the entry so waiters retry; nothing
+			// non-deterministic (timeouts, cancels) is ever cached.
+			delete(c.entries, key)
+			close(e.done)
+			c.mu.Unlock()
+			return nil, false, err
+		}
+		e.result = result
+		close(e.done)
+		c.order = append(c.order, key)
+		for c.max > 0 && len(c.order) > c.max {
+			old := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, old)
+			c.evicted++
+		}
+		c.mu.Unlock()
+		return result, false, nil
+	}
+}

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2)
+	ctx := context.Background()
+	compute := func(v string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(v), nil }
+	}
+
+	got, hit, err := c.Do(ctx, 1, compute("one"))
+	if err != nil || hit || string(got) != "one" {
+		t.Fatalf("first Do = %q hit=%v err=%v", got, hit, err)
+	}
+	got, hit, err = c.Do(ctx, 1, compute("IGNORED"))
+	if err != nil || !hit || string(got) != "one" {
+		t.Fatalf("second Do = %q hit=%v err=%v", got, hit, err)
+	}
+
+	c.Do(ctx, 2, compute("two"))
+	c.Do(ctx, 3, compute("three")) // evicts key 1 (FIFO)
+	if _, hit, _ := c.Do(ctx, 1, compute("one again")); hit {
+		t.Fatal("evicted key still hit")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Hits != 1 || st.Evicted != 2 || st.Misses != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheSingleFlightCoalesces(t *testing.T) {
+	c := NewCache(0)
+	ctx := context.Background()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var computes int
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(ctx, 7, func() ([]byte, error) {
+			computes++
+			close(leaderIn)
+			<-release
+			return []byte("shared"), nil
+		})
+	}()
+	<-leaderIn
+
+	// Followers arrive while the leader computes; they must coalesce.
+	results := make([][]byte, 3)
+	hits := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], hits[i], _ = c.Do(ctx, 7, func() ([]byte, error) {
+				t.Error("follower computed despite in-flight leader")
+				return nil, nil
+			})
+		}(i)
+	}
+	// Give the followers a moment to block on the in-flight entry, then
+	// release the leader. (Timing only affects whether they coalesce or
+	// hit the completed entry — both acceptable, both computed once.)
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	for i := range results {
+		if string(results[i]) != "shared" || !hits[i] {
+			t.Fatalf("follower %d got %q hit=%v", i, results[i], hits[i])
+		}
+	}
+}
+
+func TestCacheAbortedLeaderDoesNotPoisonWaiters(t *testing.T) {
+	c := NewCache(0)
+	ctx := context.Background()
+	leaderIn := make(chan struct{})
+	abort := make(chan struct{})
+	boom := errors.New("leader timed out")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.Do(ctx, 9, func() ([]byte, error) {
+			close(leaderIn)
+			<-abort
+			return nil, boom
+		})
+	}()
+	<-leaderIn
+
+	waiterDone := make(chan struct{})
+	var got []byte
+	var hit bool
+	var err error
+	go func() {
+		defer close(waiterDone)
+		got, hit, err = c.Do(ctx, 9, func() ([]byte, error) {
+			// The waiter becomes the new leader after the abort and
+			// computes its own (successful) result.
+			return []byte("recovered"), nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(abort)
+	wg.Wait()
+	<-waiterDone
+
+	if !errors.Is(leaderErr, boom) {
+		t.Fatalf("leader error = %v, want its own abort", leaderErr)
+	}
+	if err != nil || string(got) != "recovered" {
+		t.Fatalf("waiter got %q hit=%v err=%v — poisoned by the leader's abort", got, hit, err)
+	}
+	// Nothing non-deterministic was cached before the recovery.
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly the recovered entry", st)
+	}
+}
+
+func TestCacheWaiterHonoursContext(t *testing.T) {
+	c := NewCache(0)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), 5, func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, 5, func() ([]byte, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(64)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := []byte(fmt.Sprintf("v%d", i%8))
+			got, _, err := c.Do(ctx, uint64(i%8), func() ([]byte, error) {
+				return want, nil
+			})
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("key %d: got %q err=%v", i%8, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 8 || st.Misses != 8 {
+		t.Fatalf("stats = %+v, want 8 entries from 8 computes", st)
+	}
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestChaosStorm is the robustness acceptance gate: a 1000-job storm of
+// mixed traffic — healthy runs, fault-injected runs, instant-deadline
+// jobs, client cancellations, duplicate submissions hammering the
+// single-flight cache — driven through a small worker pool under the
+// race detector. Afterwards: every job is in a terminal state (nothing
+// stuck in running), the daemon still serves, cached results are
+// byte-identical to fresh ones, and shutdown drains cleanly.
+func TestChaosStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm takes a while; skipped in -short")
+	}
+	const storm = 1000
+
+	dir := t.TempDir()
+	s := newTestServer(t, ServerConfig{
+		Workers:        8,
+		QueueSize:      32,
+		PerClient:      -1, // the storm is one logical client; the cap has its own test
+		DefaultTimeout: 30 * time.Second,
+		ManifestPath:   filepath.Join(dir, "manifest.json"),
+		DrainTimeout:   60 * time.Second,
+	})
+
+	// Deterministic mixed traffic. Seeds cycle so the cache sees heavy
+	// duplication (the single-flight path) while fault plans and sizes
+	// keep real simulation in the mix.
+	makeReq := func(i int) Request {
+		req := Request{Kind: "run", Workload: "vecadd", N: 64 + 32*(i%4),
+			Device: "tiny", Seed: int64(i % 11)}
+		switch i % 5 {
+		case 1: // fault-injected: deterministic retries/failures
+			req.Workload = "reduce"
+			req.N = 256
+			req.FaultRate = 0.05
+			req.FaultSeed = int64(i % 7)
+		case 2: // sweep with duplication across jobs
+			req = Request{Kind: "sweep", Workload: "vecadd", Device: "tiny",
+				Sizes: []int{32, 64, 128}, Seed: int64(i % 3)}
+		case 3: // model-only, cheap, heavily duplicated
+			req = Request{Kind: "analyze", Workload: "matmul", N: 32, Device: "tiny",
+				Seed: int64(i % 2)}
+		case 4: // instant deadline: timeout/success race, either is legal
+			req.TimeoutMs = 1
+			req.Seed = int64(i) // distinct, so timeouts don't poison the cache
+		}
+		return req
+	}
+
+	ids := make([]string, 0, storm)
+	var faultedID string
+	var faultedReq Request
+	for i := 0; i < storm; i++ {
+		req := makeReq(i)
+		var job Job
+		for {
+			var err error
+			job, err = s.Submit("storm", req)
+			if err == nil {
+				break
+			}
+			var adm *AdmissionError
+			if errors.As(err, &adm) && adm.Status == http.StatusTooManyRequests {
+				// Backpressure working; yield and retry.
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, job.ID)
+		if faultedID == "" && i%5 == 1 {
+			faultedID, faultedReq = job.ID, req
+		}
+		// Cancel a deterministic slice of the storm at submit time:
+		// some are still pending, some already running, some done.
+		if i%13 == 6 {
+			s.manifest.RequestCancel(job.ID, "chaos cancel")
+		}
+	}
+
+	deadline := time.After(4 * time.Minute)
+	for _, id := range ids {
+		select {
+		case <-s.manifest.Done(id):
+		case <-deadline:
+			j, _ := s.manifest.Get(id)
+			t.Fatalf("job %s stuck in %s after the storm", id, j.State)
+		}
+	}
+	if leaked := s.manifest.NonTerminal(); len(leaked) != 0 {
+		t.Fatalf("non-terminal jobs after the storm: %v", leaked)
+	}
+
+	counts := s.manifest.CountByState()
+	for state := range counts {
+		if !state.Terminal() {
+			t.Fatalf("state census has non-terminal %s: %v", state, counts)
+		}
+	}
+	if counts[StateSuccess] == 0 {
+		t.Fatalf("storm produced no successes: %v", counts)
+	}
+	// Errors must only be the injected kinds: anything failed that is
+	// not a chaos-cancelled job means the machinery broke.
+	for _, id := range ids {
+		j, _ := s.manifest.Get(id)
+		if j.State == StateFailed {
+			t.Errorf("job %s failed: %s", id, j.Error)
+		}
+	}
+
+	// The daemon still serves after the storm.
+	after, err := s.Submit("storm", Request{Kind: "run", Workload: "vecadd",
+		N: 64, Device: "tiny", Seed: 999})
+	if err != nil {
+		t.Fatalf("post-storm submit: %v", err)
+	}
+	if final := waitTerminal(t, s, after.ID); final.State != StateSuccess {
+		t.Fatalf("post-storm job = %s err=%q", final.State, final.Error)
+	}
+
+	// Cache identity under faults, end to end through the storm's own
+	// traffic: rerun the first faulted request with the cache bypassed
+	// and compare bytes against what the storm recorded.
+	faulted, _ := s.manifest.Get(faultedID)
+	if faulted.State == StateSuccess {
+		bypass := faultedReq
+		bypass.NoCache = true
+		fresh, err := s.Submit("storm", bypass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitTerminal(t, s, fresh.ID)
+		if final.State != StateSuccess {
+			t.Fatalf("bypass rerun = %s err=%q", final.State, final.Error)
+		}
+		if !bytes.Equal(faulted.Result, final.Result) {
+			t.Errorf("cached faulted result differs from fresh simulation:\n%s\nvs\n%s",
+				faulted.Result, final.Result)
+		}
+	}
+
+	st := s.cache.Stats()
+	if st.Hits+st.Coalesced == 0 {
+		t.Errorf("storm of duplicated requests produced no cache reuse: %+v", st)
+	}
+
+	// Graceful end: drain, persist, verify nothing non-terminal in the
+	// persisted audit trail either.
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after storm: %v", err)
+	}
+	snap, err := LoadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) < storm {
+		t.Fatalf("persisted %d jobs, want >= %d", len(snap.Jobs), storm)
+	}
+	for _, j := range snap.Jobs {
+		if !j.State.Terminal() {
+			t.Errorf("persisted job %s non-terminal: %s", j.ID, j.State)
+		}
+	}
+}

@@ -1,0 +1,562 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"atgpu/internal/experiments"
+	"atgpu/internal/sched"
+)
+
+// ServerConfig sizes the daemon's robustness envelope.
+type ServerConfig struct {
+	// Workers is the job worker pool size (default 4).
+	Workers int
+	// QueueSize bounds the admission queue; a full queue answers 429
+	// (default 64).
+	QueueSize int
+	// PerClient caps one client's non-terminal jobs (default 16;
+	// negative disables the cap).
+	PerClient int
+	// DefaultTimeout bounds jobs that do not set timeout_ms
+	// (default 2 minutes).
+	DefaultTimeout time.Duration
+	// DrainTimeout is how long graceful shutdown waits for running jobs
+	// before cancelling them (default 10 seconds).
+	DrainTimeout time.Duration
+	// ManifestPath, when set, receives the persisted manifest on
+	// shutdown.
+	ManifestPath string
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+	// Warm lists device presets to pre-calibrate at boot.
+	Warm []string
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.PerClient == 0 {
+		c.PerClient = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server is the atgpud daemon core: manifest, cache, executor, worker
+// pool and the HTTP API over them. Create with NewServer, serve
+// Handler(), stop with Shutdown.
+type Server struct {
+	cfg      ServerConfig
+	manifest *Manifest
+	cache    *Cache
+	exec     *Executor
+
+	// mu guards draining and serialises queue sends, so the
+	// length-check-then-send admission is race-free (workers only ever
+	// receive).
+	mu       sync.Mutex
+	draining bool
+	rejected int64
+
+	queue   chan string
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewServer builds the daemon core: it pre-calibrates the Warm presets
+// and starts the worker pool. The caller owns serving Handler() and
+// calling Shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		manifest: NewManifest(),
+		cache:    NewCache(cfg.CacheEntries),
+		exec:     NewExecutor(),
+		queue:    make(chan string, cfg.QueueSize),
+	}
+	if err := s.exec.Warm(cfg.Warm...); err != nil {
+		return nil, err
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func(id int) {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.baseCtx.Done():
+					return
+				case jobID, ok := <-s.queue:
+					if !ok {
+						return
+					}
+					// Protect keeps the worker alive across service
+					// bugs; job panics are recovered deeper (on the
+					// exec goroutine) and recorded on the job itself.
+					// A panic that does land here still must not leak
+					// the job in a non-terminal state.
+					if err := sched.Protect(func() error {
+						s.runJob(id, jobID)
+						return nil
+					}); err != nil {
+						var pe *sched.PanicError
+						if errors.As(err, &pe) {
+							s.failNonTerminal(jobID, "worker panic: "+pe.Error(), string(pe.Stack))
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	return s, nil
+}
+
+// Manifest exposes the job table (for tests and the daemon binary).
+func (s *Server) Manifest() *Manifest { return s.manifest }
+
+// failNonTerminal forces a job to failed unless it already finished —
+// the backstop that keeps even a buggy worker from leaking a running
+// job.
+func (s *Server) failNonTerminal(id, msg, stack string) {
+	if j, ok := s.manifest.Get(id); ok && !j.State.Terminal() {
+		s.manifest.finish(id, StateFailed, msg, stack, nil, false)
+	}
+}
+
+// testExecHook, when non-nil, runs on the exec goroutine before a job
+// executes — tests use it to inject panics into the execution path and
+// prove they surface as failed manifest entries, not dead workers. Set
+// before the server starts, reset after it stops.
+var testExecHook func(Request)
+
+// jobOutcome is what the exec goroutine hands back to its worker.
+type jobOutcome struct {
+	data []byte
+	hit  bool
+	err  error
+}
+
+// runJob executes one queued job end to end: transition to running,
+// execute under the job deadline with panic recovery, record the
+// terminal state. The execution runs on a child goroutine so an expired
+// deadline releases the worker immediately; the detached child stops at
+// the next point boundary (the runner watches the same context) and its
+// result is discarded.
+func (s *Server) runJob(worker int, id string) {
+	job, ok := s.manifest.Get(id)
+	if !ok {
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if job.Request.TimeoutMs > 0 {
+		timeout = time.Duration(job.Request.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if !s.manifest.start(id, worker, cancel) {
+		// Cancelled while queued; already terminal.
+		return
+	}
+
+	ch := make(chan jobOutcome, 1)
+	go func() {
+		var out jobOutcome
+		out.err = sched.Protect(func() error {
+			if testExecHook != nil {
+				testExecHook(job.Request)
+			}
+			var err error
+			out.data, out.hit, err = s.execute(ctx, job.Request)
+			return err
+		})
+		ch <- out
+	}()
+
+	select {
+	case out := <-ch:
+		s.record(id, ctx, out)
+	case <-ctx.Done():
+		s.record(id, ctx, jobOutcome{err: ctx.Err()})
+	}
+}
+
+// execute resolves a job through the cache (unless bypassed).
+func (s *Server) execute(ctx context.Context, req Request) ([]byte, bool, error) {
+	if req.NoCache {
+		data, err := s.exec.Execute(ctx, req)
+		return data, false, err
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.cache.Do(ctx, key, func() ([]byte, error) {
+		return s.exec.Execute(ctx, req)
+	})
+}
+
+// record maps an execution outcome onto the job's terminal state:
+// success, failed (with stack for panics), or — for interrupted work —
+// cancelled when the stop was asked for (client cancel or shutdown) and
+// timeout when the deadline expired on its own. First transition wins,
+// so a job whose natural completion races its cancellation stays
+// consistent.
+func (s *Server) record(id string, ctx context.Context, out jobOutcome) {
+	var pe *sched.PanicError
+	switch {
+	case out.err == nil:
+		s.manifest.finish(id, StateSuccess, "", "", out.data, out.hit)
+	case errors.As(out.err, &pe):
+		s.manifest.finish(id, StateFailed, pe.Error(), string(pe.Stack), nil, false)
+	case errors.Is(out.err, experiments.ErrCancelled),
+		errors.Is(out.err, context.Canceled),
+		errors.Is(out.err, context.DeadlineExceeded):
+		switch {
+		case s.manifest.cancelRequestedFor(id):
+			s.manifest.finish(id, StateCancelled, "cancelled by client", "", nil, false)
+		case s.baseCtx.Err() != nil:
+			s.manifest.finish(id, StateCancelled, "daemon shutting down", "", nil, false)
+		default:
+			s.manifest.finish(id, StateTimeout,
+				fmt.Sprintf("deadline exceeded: %v", out.err), "", nil, false)
+		}
+	default:
+		s.manifest.finish(id, StateFailed, out.err.Error(), "", nil, false)
+	}
+}
+
+// Submit admits one job: validation, overload and per-client checks,
+// manifest entry, queue. It returns the pending job view, or an
+// AdmissionError telling the transport layer which status to answer.
+func (s *Server) Submit(client string, req Request) (Job, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return Job{}, &AdmissionError{Status: http.StatusBadRequest, Msg: err.Error()}
+	}
+	// Key computation doubles as deep validation (e.g. matmul sizes not
+	// divisible by the warp width fail here, before queueing).
+	if _, err := norm.CacheKey(); err != nil {
+		return Job{}, &AdmissionError{Status: http.StatusBadRequest, Msg: err.Error()}
+	}
+	if s.cfg.PerClient > 0 && s.manifest.InFlight(client) >= s.cfg.PerClient {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return Job{}, &AdmissionError{
+			Status: http.StatusTooManyRequests,
+			Msg:    fmt.Sprintf("client %q has %d jobs in flight (cap %d)", client, s.cfg.PerClient, s.cfg.PerClient),
+			Retry:  true,
+		}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Job{}, &AdmissionError{Status: http.StatusServiceUnavailable, Msg: "daemon draining", Retry: true}
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.rejected++
+		s.mu.Unlock()
+		return Job{}, &AdmissionError{Status: http.StatusTooManyRequests, Msg: "admission queue full", Retry: true}
+	}
+	job := s.manifest.Add(client, norm)
+	// Cannot block: length < capacity above, and every sender holds mu.
+	s.queue <- job.ID
+	s.mu.Unlock()
+	return job, nil
+}
+
+// AdmissionError is a rejected submission: an HTTP status, a message,
+// and whether the client should retry later (429/503 carry Retry-After).
+type AdmissionError struct {
+	Status int
+	Msg    string
+	Retry  bool
+}
+
+func (e *AdmissionError) Error() string { return e.Msg }
+
+// Shutdown drains the daemon: admission stops, queued jobs are
+// cancelled, running jobs get up to DrainTimeout (bounded further by
+// ctx) to finish, stragglers are cancelled, and the manifest is
+// persisted when configured. After Shutdown no job is left in a
+// non-terminal state.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: already shut down")
+	}
+	s.draining = true
+	close(s.queue) // safe: senders hold mu and check draining first
+	s.mu.Unlock()
+
+	// Queued-but-unstarted jobs are cancelled, racing the workers for
+	// the channel; jobs a worker wins are already running and covered by
+	// the drain deadline below.
+	for id := range s.queue {
+		s.manifest.RequestCancel(id, "daemon shutting down")
+	}
+
+	deadline := time.NewTimer(s.cfg.DrainTimeout)
+	defer deadline.Stop()
+	done := waitDone(&s.wg)
+	drained := true
+	select {
+	case <-done:
+	case <-deadline.C:
+		drained = false
+	case <-ctx.Done():
+		drained = false
+	}
+	// Cancel stragglers (no-op when drained: workers already exited).
+	s.stop()
+	<-done
+	// Workers are gone; nothing can transition jobs anymore. Sweep any
+	// job the cancel raced past into a terminal state.
+	for _, id := range s.manifest.NonTerminal() {
+		s.manifest.RequestCancel(id, "daemon shutting down")
+		s.failNonTerminal(id, "daemon shutting down", "")
+	}
+
+	var err error
+	if s.cfg.ManifestPath != "" {
+		err = s.manifest.Save(s.cfg.ManifestPath)
+	}
+	if !drained && err == nil {
+		err = fmt.Errorf("service: drain deadline expired; running jobs were cancelled")
+	}
+	return err
+}
+
+// waitDone adapts a WaitGroup to a channel for use in select.
+func waitDone(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		defer func() {
+			// Satisfies the gorecover contract; Wait only panics on
+			// WaitGroup misuse, which close(ch) must still survive.
+			_ = recover()
+		}()
+		wg.Wait()
+	}()
+	return ch
+}
+
+// ServerStats is the /v1/stats document.
+type ServerStats struct {
+	States       map[State]int `json:"states"`
+	QueueDepth   int           `json:"queue_depth"`
+	QueueCap     int           `json:"queue_cap"`
+	Draining     bool          `json:"draining"`
+	Rejected     int64         `json:"rejected"`
+	NonTerminal  int           `json:"non_terminal"`
+	Cache        CacheStats    `json:"cache"`
+	Calibrations int           `json:"calibrations"`
+}
+
+// Stats snapshots the daemon.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	draining, rejected, depth := s.draining, s.rejected, len(s.queue)
+	s.mu.Unlock()
+	return ServerStats{
+		States:       s.manifest.CountByState(),
+		QueueDepth:   depth,
+		QueueCap:     s.cfg.QueueSize,
+		Draining:     draining,
+		Rejected:     rejected,
+		NonTerminal:  len(s.manifest.NonTerminal()),
+		Cache:        s.cache.Stats(),
+		Calibrations: s.exec.CalibrationsWarmed(),
+	}
+}
+
+// Ready reports whether the daemon should accept new work: not
+// draining, and the queue under 80% occupancy (load balancers back off
+// on /readyz before hard 429s start).
+func (s *Server) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, "draining"
+	}
+	if 5*len(s.queue) >= 4*cap(s.queue) {
+		return false, fmt.Sprintf("queue at %d/%d", len(s.queue), cap(s.queue))
+	}
+	return true, "ok"
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs              submit (202; ?wait via request field)
+//	GET    /v1/jobs              list all jobs
+//	GET    /v1/jobs/{id}         one job view
+//	DELETE /v1/jobs/{id}         request cancellation
+//	GET    /v1/jobs/{id}/result  the raw result document (success only)
+//	GET    /v1/jobs/{id}/events  the append-only event log
+//	GET    /v1/stats             counters
+//	GET    /healthz              process liveness (always 200)
+//	GET    /readyz               load acceptance (503 when overloaded)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.manifest.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := s.manifest.Get(r.PathValue("id")); ok {
+			writeJSON(w, http.StatusOK, job)
+			return
+		}
+		httpError(w, http.StatusNotFound, "no such job")
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := s.manifest.RequestCancel(id, "cancelled by client"); !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		job, _ := s.manifest.Get(id)
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := s.manifest.Get(r.PathValue("id")); ok {
+			writeJSON(w, http.StatusOK, job.Events)
+			return
+		}
+		httpError(w, http.StatusNotFound, "no such job")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, why := s.Ready()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, why)
+	})
+	return mux
+}
+
+// handleSubmit decodes, admits and (optionally) waits for one job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := s.Submit(clientID(r), req)
+	if err != nil {
+		var adm *AdmissionError
+		if errors.As(err, &adm) {
+			if adm.Retry {
+				w.Header().Set("Retry-After", "1")
+			}
+			httpError(w, adm.Status, adm.Msg)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	select {
+	case <-s.manifest.Done(job.ID):
+		final, _ := s.manifest.Get(job.ID)
+		writeJSON(w, http.StatusOK, final)
+	case <-r.Context().Done():
+		// Client gave up waiting; the job keeps running.
+		httpError(w, http.StatusRequestTimeout, "client disconnected while waiting; job "+job.ID+" continues")
+	}
+}
+
+// handleResult serves a finished job's raw result bytes: exactly what
+// the executor produced (or the cache stored — byte-identical by
+// contract), with X-Cache reporting which.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manifest.Get(r.PathValue("id"))
+	switch {
+	case !ok:
+		httpError(w, http.StatusNotFound, "no such job")
+	case !job.State.Terminal():
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusAccepted, "job still "+string(job.State))
+	case job.State != StateSuccess:
+		httpError(w, http.StatusConflict,
+			fmt.Sprintf("job %s: %s", job.State, job.Error))
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if job.CacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write(job.Result)
+	}
+}
+
+// clientID identifies the caller for per-client caps: the X-Client-ID
+// header when present, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeJSON writes v as an indented JSON document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// httpError writes a JSON error envelope.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\n  \"error\": %s\n}\n", strconv.Quote(msg))
+}

@@ -1,8 +1,11 @@
 // Package vet implements the repo's custom static checks, run by
-// cmd/atgpu-vet next to the standard toolchain linters. Two invariants are
-// enforced, both guarding the determinism contract the simulator, sweeps
-// and goldens rely on (sweep output must be byte-identical for any worker
-// count, and simulated time must never observe the wall clock):
+// cmd/atgpu-vet next to the standard toolchain linters. Three invariants
+// are enforced. The first two guard the determinism contract the
+// simulator, sweeps and goldens rely on (sweep output must be
+// byte-identical for any worker count, and simulated time must never
+// observe the wall clock); the third guards the daemon's survival
+// contract (a panic in a worker must become a failed job, never a dead
+// process):
 //
 //   - notime: deterministic packages (timeline, simgpu, transfer,
 //     experiments) must not read the wall clock (time.Now, time.Since,
@@ -12,6 +15,11 @@
 //   - maporder: no package may feed output directly from a map iteration
 //     (printing, writer or hash calls inside a range over a map); keys
 //     must be collected and sorted first, since Go randomises map order.
+//
+//   - gorecover: in the long-running packages (sched, service) every go
+//     statement must launch a function literal whose body visibly
+//     contains a recover() call or routes through sched.Protect; naked
+//     goroutines would take the whole daemon down on a panic.
 //
 // The checks are syntactic: they parse with go/parser only, so they run
 // without build metadata and never depend on non-stdlib analysis
@@ -38,6 +46,14 @@ var DeterministicPackages = []string{
 	"atgpu/internal/experiments",
 }
 
+// RecoverGuardedPackages lists the import paths whose goroutines must be
+// panic-guarded: these packages host the daemon's long-lived workers,
+// where an unrecovered panic kills the process instead of one job.
+var RecoverGuardedPackages = []string{
+	"atgpu/internal/sched",
+	"atgpu/internal/service",
+}
+
 // Diagnostic is one finding: where, which pass, and what.
 type Diagnostic struct {
 	Pos  token.Position
@@ -60,6 +76,17 @@ func IsDeterministic(importPath string) bool {
 	return false
 }
 
+// IsRecoverGuarded reports whether importPath is under the gorecover
+// contract.
+func IsRecoverGuarded(importPath string) bool {
+	for _, p := range RecoverGuardedPackages {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckFile runs every applicable pass over one parsed file. Test files are
 // the caller's concern (cmd/atgpu-vet skips them: tests may use the clock
 // for timeouts and scratch randomness).
@@ -67,6 +94,9 @@ func CheckFile(fset *token.FileSet, f *ast.File, importPath string) []Diagnostic
 	var ds []Diagnostic
 	if IsDeterministic(importPath) {
 		ds = append(ds, checkNoTime(fset, f)...)
+	}
+	if IsRecoverGuarded(importPath) {
+		ds = append(ds, checkGoRecover(fset, f)...)
 	}
 	ds = append(ds, checkMapOrder(fset, f)...)
 	return ds
@@ -142,6 +172,64 @@ func checkNoTime(fset *token.FileSet, f *ast.File) []Diagnostic {
 		return true
 	})
 	return ds
+}
+
+// checkGoRecover flags unguarded goroutine launches. The guard must be
+// lexically visible inside the launched function literal: either a
+// recover() call (typically in a deferred closure) or a call to Protect /
+// sched.Protect, which recovers internally. A go statement on a named
+// function is flagged outright — the checker is syntactic and cannot see
+// into the callee, so the guard must sit in a literal at the launch site.
+func checkGoRecover(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var ds []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			ds = append(ds, Diagnostic{
+				Pos:  fset.Position(gs.Pos()),
+				Pass: "gorecover",
+				Msg:  "go statement launches a named function; launch a function literal that defers recover() or wraps the work in sched.Protect",
+			})
+			return true
+		}
+		if !guardsPanics(lit.Body) {
+			ds = append(ds, Diagnostic{
+				Pos:  fset.Position(gs.Pos()),
+				Pass: "gorecover",
+				Msg:  "goroutine body has no recover() and no sched.Protect call; a panic here kills the daemon instead of failing one job",
+			})
+		}
+		return true
+	})
+	return ds
+}
+
+// guardsPanics reports whether the block lexically contains a recover()
+// call or a Protect / sched.Protect call.
+func guardsPanics(body *ast.BlockStmt) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "recover" || fun.Name == "Protect" {
+				guarded = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Protect" {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded
 }
 
 // outputCalls are callee names that commit bytes in call order: printing,

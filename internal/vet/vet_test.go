@@ -165,7 +165,7 @@ func fine(counts map[string]int) int {
 	}
 }
 
-// TestRepoInvariantsHold runs both passes over this repository's own
+// TestRepoInvariantsHold runs every pass over this repository's own
 // non-test sources — the same sweep CI performs with atgpu-vet — so a
 // violation fails here first, with the diagnostic text in the log.
 func TestRepoInvariantsHold(t *testing.T) {
@@ -205,4 +205,106 @@ func TestRepoInvariantsHold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestGoRecoverFlagsNakedGoroutine(t *testing.T) {
+	src := `package service
+
+func bad() {
+	go func() {
+		work()
+	}()
+}
+
+func work() {}
+`
+	ds := checkSrc(t, "atgpu/internal/service", src)
+	wantDiags(t, ds, [2]interface{}{"gorecover", 4})
+}
+
+func TestGoRecoverFlagsNamedFunction(t *testing.T) {
+	src := `package sched
+
+func bad() {
+	go work()
+}
+
+func work() {}
+`
+	ds := checkSrc(t, "atgpu/internal/sched", src)
+	wantDiags(t, ds, [2]interface{}{"gorecover", 4})
+}
+
+func TestGoRecoverAcceptsInlineRecover(t *testing.T) {
+	src := `package service
+
+func fine() {
+	go func() {
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+func work() {}
+`
+	if ds := checkSrc(t, "atgpu/internal/service", src); len(ds) != 0 {
+		t.Fatalf("recover-guarded goroutine flagged: %v", ds)
+	}
+}
+
+func TestGoRecoverAcceptsProtect(t *testing.T) {
+	src := `package service
+
+import "atgpu/internal/sched"
+
+func fine() {
+	go func() {
+		_ = sched.Protect(func() error { work(); return nil })
+	}()
+}
+
+func alsoFine() {
+	go func() {
+		_ = Protect(func() error { work(); return nil })
+	}()
+}
+
+func work() {}
+func Protect(fn func() error) error { return fn() }
+`
+	if ds := checkSrc(t, "atgpu/internal/service", src); len(ds) != 0 {
+		t.Fatalf("Protect-guarded goroutine flagged: %v", ds)
+	}
+}
+
+func TestGoRecoverScopedToGuardedPackages(t *testing.T) {
+	src := `package figures
+
+func allowedHere() {
+	go work()
+}
+
+func work() {}
+`
+	if ds := checkSrc(t, "atgpu/cmd/atgpu-figures", src); len(ds) != 0 {
+		t.Fatalf("unguarded package flagged: %v", ds)
+	}
+}
+
+func TestGoRecoverFlagsNestedUnguardedLaunch(t *testing.T) {
+	src := `package service
+
+func bad() {
+	go func() {
+		defer func() { _ = recover() }()
+		go func() {
+			work()
+		}()
+	}()
+}
+
+func work() {}
+`
+	ds := checkSrc(t, "atgpu/internal/service", src)
+	wantDiags(t, ds, [2]interface{}{"gorecover", 6})
 }
