@@ -188,6 +188,7 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	dev.SetUniformProver(analyze.UniformProver)
 	eng, err := transfer.NewEngine(link, opts.Scheme)
 	if err != nil {
 		return nil, err
@@ -344,6 +345,7 @@ func (s *System) newHost(footprint int) (*simgpu.Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	dev.SetUniformProver(analyze.UniformProver)
 	eng, err := transfer.NewEngine(s.link, s.opts.Scheme)
 	if err != nil {
 		return nil, err

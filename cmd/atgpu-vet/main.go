@@ -1,8 +1,9 @@
 // Command atgpu-vet runs the repo's custom static checks (see
 // internal/vet): no wall-clock or global-randomness reads in deterministic
-// packages, no map iteration feeding ordered output anywhere, and no
+// packages, no map iteration feeding ordered output anywhere, no
 // unguarded goroutine launches (missing recover/sched.Protect) in the
-// daemon's long-running packages.
+// daemon's long-running packages, and no append/make allocation in the
+// simulator's per-step hot path (exec*/replay* functions).
 //
 // Usage:
 //

@@ -9,11 +9,18 @@
 // (the observability overhead benches rely on these to prove the
 // disabled path allocates nothing) — so CI artifacts can be diffed and
 // plotted without re-parsing the bench text format.
+//
+// With -baseline FILE the freshly parsed results are additionally compared
+// against a committed bench2json artifact: any benchmark present in both
+// whose ns/op regressed by more than -max-regress (a fraction, default
+// 0.15) fails the run with exit status 1. CI uses this as the simulator
+// perf-regression gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -81,7 +88,43 @@ func parseLine(line string) (result, bool) {
 	return r, true
 }
 
+// checkBaseline compares results against the committed baseline artifact
+// and returns one message per benchmark whose ns/op regressed beyond
+// maxRegress. Benchmarks present on only one side are ignored (new benches
+// land before their baseline does).
+func checkBaseline(results []result, baselinePath string, maxRegress float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base []result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]result, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var regressions []string
+	for _, r := range results {
+		b, ok := byName[r.Name]
+		if !ok || b.NsOp <= 0 {
+			continue
+		}
+		if ratio := r.NsOp/b.NsOp - 1; ratio > maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit +%.0f%%)",
+					r.Name, r.NsOp, b.NsOp, 100*ratio, 100*maxRegress))
+		}
+	}
+	return regressions, nil
+}
+
 func main() {
+	baseline := flag.String("baseline", "", "bench2json artifact to compare ns/op against")
+	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression vs -baseline")
+	flag.Parse()
+
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -99,5 +142,18 @@ func main() {
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		regressions, err := checkBaseline(results, *baseline, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		for _, msg := range regressions {
+			fmt.Fprintln(os.Stderr, "bench2json: perf regression:", msg)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
 	}
 }

@@ -159,6 +159,7 @@ func run(ctx context.Context, kname string, n int, device string, disasm bool, t
 		if err != nil {
 			return nil, nil, err
 		}
+		dev.SetUniformProver(analyze.UniformProver)
 		eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
 		if err != nil {
 			return nil, nil, err

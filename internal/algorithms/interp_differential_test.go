@@ -1,0 +1,241 @@
+package algorithms
+
+import (
+	"reflect"
+	"testing"
+
+	"atgpu/internal/analyze"
+	"atgpu/internal/faults"
+	"atgpu/internal/kernel"
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// The decoded-IR interpreter and the analyzer-gated block memoization must
+// be invisible: byte-identical results, statistics, per-site counters,
+// simulated times, and traces versus the legacy switch interpreter, across
+// workloads, presets and fault seeds. These tests pin that equivalence.
+
+// armConfig selects one interpreter arm.
+type armConfig struct {
+	legacy    bool
+	sites     bool
+	prover    bool
+	faultSeed int64 // 0 = no injector
+}
+
+// armOutcome is everything observable from one arm's run.
+type armOutcome struct {
+	out       []Word
+	results   []simgpu.KernelResult
+	kernelT   int64
+	totalT    int64
+	faults    int
+	memoSkips int64
+}
+
+func runArm(t *testing.T, base simgpu.Config, globalWords int, arm armConfig,
+	workload func(h *simgpu.Host) ([]Word, error)) armOutcome {
+	t.Helper()
+	cfg := base
+	cfg.LegacyInterp = arm.legacy
+	if globalWords > cfg.GlobalWords {
+		cfg.GlobalWords = globalWords
+	}
+	dev, err := simgpu.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if arm.prover {
+		dev.SetUniformProver(analyze.UniformProver)
+	}
+	eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	h, err := simgpu.NewHost(dev, eng, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	if arm.sites {
+		h.SetCollectSites(true)
+	}
+	if arm.faultSeed != 0 {
+		inj, err := faults.NewRate(faults.RateConfig{Seed: arm.faultSeed, TransferRate: 0.02, KernelRate: 0.05})
+		if err != nil {
+			t.Fatalf("NewRate: %v", err)
+		}
+		if err := h.SetFaults(inj, 0, 0); err != nil {
+			t.Fatalf("SetFaults: %v", err)
+		}
+	}
+	var results []simgpu.KernelResult
+	h.SetLaunchObserver(func(_ *kernel.Program, _ int, res simgpu.KernelResult) {
+		results = append(results, res)
+	})
+	out, err := workload(h)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	return armOutcome{
+		out:       out,
+		results:   results,
+		kernelT:   int64(h.KernelTime()),
+		totalT:    int64(h.TotalTime()),
+		faults:    len(h.FaultEvents()),
+		memoSkips: dev.MemoSkips(),
+	}
+}
+
+func compareArms(t *testing.T, label string, want, got armOutcome) {
+	t.Helper()
+	if !reflect.DeepEqual(want.out, got.out) {
+		t.Errorf("%s: outputs diverge", label)
+	}
+	if len(want.results) != len(got.results) {
+		t.Fatalf("%s: %d vs %d launches", label, len(want.results), len(got.results))
+	}
+	for i := range want.results {
+		if !reflect.DeepEqual(want.results[i], got.results[i]) {
+			t.Errorf("%s: launch %d result diverges:\nwant %+v\ngot  %+v",
+				label, i, want.results[i], got.results[i])
+		}
+	}
+	if want.kernelT != got.kernelT || want.totalT != got.totalT {
+		t.Errorf("%s: times diverge: kernel %d vs %d, total %d vs %d",
+			label, want.kernelT, got.kernelT, want.totalT, got.totalT)
+	}
+	if want.faults != got.faults {
+		t.Errorf("%s: fault event counts diverge: %d vs %d", label, want.faults, got.faults)
+	}
+}
+
+func TestDecodedMatchesLegacyAcrossWorkloads(t *testing.T) {
+	presets := []simgpu.Config{simgpu.Tiny(), simgpu.GTX650()}
+	type wl struct {
+		name  string
+		words int
+		run   func(h *simgpu.Host) ([]Word, error)
+	}
+	mkWorkloads := func(n int) []wl {
+		a, b := randWords(n, 11), randWords(n, 13)
+		return []wl{
+			{"vecadd", 3*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				return VecAdd{N: n}.Run(h, a, b)
+			}},
+			{"reduce", 2*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				s, err := Reduce{N: n}.Run(h, a)
+				return []Word{s}, err
+			}},
+			{"dot", 3*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				s, err := Dot{N: n}.Run(h, a, b)
+				return []Word{s}, err
+			}},
+		}
+	}
+	for _, preset := range presets {
+		for _, n := range []int{64, 100, 1 << 12} {
+			for _, w := range mkWorkloads(n) {
+				for _, sites := range []bool{false, true} {
+					for _, seed := range []int64{0, 7} {
+						if seed != 0 && (sites || n > 100) {
+							// Faulted relaunches are slow; one fault arm per
+							// workload/preset covers the injector path.
+							continue
+						}
+						arm := armConfig{sites: sites, faultSeed: seed}
+						legacyArm := arm
+						legacyArm.legacy = true
+						want := runArm(t, preset, w.words, legacyArm, w.run)
+						got := runArm(t, preset, w.words, arm, w.run)
+						label := preset.Name + "/" + w.name
+						compareArms(t, label, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMemoizedVecAddMatchesFullSimulation drives a certified launch big
+// enough for steady-state memoization to engage and requires exact
+// equality with the legacy interpreter (the pristine reference arm).
+func TestMemoizedVecAddMatchesFullSimulation(t *testing.T) {
+	const n = 1 << 16 // H = 2048 blocks on GTX650's b=32
+	a, b := randWords(n, 3), randWords(n, 5)
+	run := func(h *simgpu.Host) ([]Word, error) { return VecAdd{N: n}.Run(h, a, b) }
+
+	full := runArm(t, simgpu.GTX650(), 3*n+256, armConfig{legacy: true}, run)
+	memo := runArm(t, simgpu.GTX650(), 3*n+256, armConfig{prover: true}, run)
+
+	if memo.memoSkips == 0 {
+		t.Fatalf("memoization did not engage on a certified %d-block launch", n/32)
+	}
+	compareArms(t, "vecadd-memo", full, memo)
+
+	want, err := VecAddReference(a, b)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if !reflect.DeepEqual(memo.out, want) {
+		t.Errorf("memoized output wrong")
+	}
+}
+
+// TestMemoDisabledUnderFaultInjection proves the armed injector turns
+// memoization off even for certified kernels.
+func TestMemoDisabledUnderFaultInjection(t *testing.T) {
+	const n = 1 << 16
+	a, b := randWords(n, 3), randWords(n, 5)
+	run := func(h *simgpu.Host) ([]Word, error) { return VecAdd{N: n}.Run(h, a, b) }
+	got := runArm(t, simgpu.GTX650(), 3*n+256, armConfig{prover: true, faultSeed: 17}, run)
+	if got.memoSkips != 0 {
+		t.Fatalf("memoization engaged %d times under fault injection", got.memoSkips)
+	}
+}
+
+// TestTracedLaunchDisablesMemoExactly: with a tracer attached memoization
+// must switch itself off, and the trace must equal the prover-less trace.
+func TestTracedLaunchDisablesMemoExactly(t *testing.T) {
+	const n = 1 << 16
+	a, b := randWords(n, 3), randWords(n, 5)
+
+	runTraced := func(prover bool) (*simgpu.Tracer, int64, []Word) {
+		cfg := simgpu.GTX650()
+		cfg.GlobalWords = 3*n + 256
+		dev, err := simgpu.New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if prover {
+			dev.SetUniformProver(analyze.UniformProver)
+		}
+		eng, err := transfer.NewEngine(transfer.PCIeGen3x8Link(), transfer.Pinned)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		h, err := simgpu.NewHost(dev, eng, 0)
+		if err != nil {
+			t.Fatalf("NewHost: %v", err)
+		}
+		tr := &simgpu.Tracer{CaptureMemory: true}
+		h.SetTracer(tr)
+		out, err := VecAdd{N: n}.Run(h, a, b)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return tr, dev.MemoSkips(), out
+	}
+
+	trFull, _, outFull := runTraced(false)
+	trMemo, skips, outMemo := runTraced(true)
+	if skips != 0 {
+		t.Fatalf("memoization engaged %d times on a traced launch", skips)
+	}
+	if !reflect.DeepEqual(trFull, trMemo) {
+		t.Errorf("traces diverge between prover-less and prover-armed traced runs")
+	}
+	if !reflect.DeepEqual(outFull, outMemo) {
+		t.Errorf("outputs diverge on traced runs")
+	}
+}

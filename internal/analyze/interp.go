@@ -204,20 +204,30 @@ func (b *blockRun) run() bool {
 			}
 
 		case kernel.OpDivI, kernel.OpModI:
-			if in.Imm == 0 {
-				// The device traps immediate zero divisors unconditionally.
-				a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevError, PC: b.pc, Block: b.blockID},
-					"division by constant zero traps the kernel")
-				return false
-			}
+			// The device traps a zero immediate divisor only on an active
+			// lane — masked lanes are exempt, exactly like the
+			// register-divisor form handled by execDivMod.
 			d, ra := b.base(in.Rd), b.base(in.Ra)
 			for l := 0; l < b.width; l++ {
-				if b.may[l] {
-					if in.Op == kernel.OpDivI {
-						b.setLane(d+l, l, vDiv(b.regs[ra+l], known(in.Imm)))
-					} else {
-						b.setLane(d+l, l, vMod(b.regs[ra+l], known(in.Imm)))
+				if !b.may[l] {
+					continue
+				}
+				if in.Imm == 0 {
+					if b.must[l] {
+						a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+							"division by constant zero in lane %d traps the kernel", l)
+						return false
 					}
+					a.precise = false
+					a.reportf(Finding{Analyzer: AnalyzerBounds, Severity: SevWarning, PC: b.pc, Block: b.blockID, Lanes: []int{l}},
+						"possible division by constant zero (lane %d may be active)", l)
+					b.setLane(d+l, l, top)
+					continue
+				}
+				if in.Op == kernel.OpDivI {
+					b.setLane(d+l, l, vDiv(b.regs[ra+l], known(in.Imm)))
+				} else {
+					b.setLane(d+l, l, vMod(b.regs[ra+l], known(in.Imm)))
 				}
 			}
 

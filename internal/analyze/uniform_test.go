@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"errors"
+	"testing"
+
+	"atgpu/internal/kernel"
+)
+
+// buildVecAddLike is the canonical certifiable kernel: idx = blk·b + lane,
+// guarded by idx < n, staging through shared, disjoint per-block output
+// tiles.
+func buildVecAddLike(t *testing.T, b, n int) *kernel.Program {
+	t.Helper()
+	kb := kernel.NewBuilder("uni-vecadd", 3*b)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(n)))
+	addr := kb.Reg("addr")
+	val := kb.Reg("val")
+	kb.IfDo(inRange, func() {
+		kb.LdGlobal(val, idx)
+		kb.StShared(j, val)
+		kb.LdShared(val, j)
+		kb.Add(addr, idx, kernel.Imm(int64(n)))
+		kb.StGlobal(addr, val)
+	})
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+func TestBlockUniformCertifiesVecAdd(t *testing.T) {
+	const b, n = 32, 1 << 14
+	prog := buildVecAddLike(t, b, n)
+	cert, err := BlockUniform(prog, b, 2*n, n/b)
+	if err != nil {
+		t.Fatalf("BlockUniform refused a uniform kernel: %v", err)
+	}
+	if cert.Blocks != n/b || cert.Width != b || cert.Instrs == 0 {
+		t.Fatalf("bad certificate: %+v", cert)
+	}
+}
+
+func TestBlockUniformRefusesRaggedTail(t *testing.T) {
+	// n not divisible by b: the tail block's guard masks some lanes, so the
+	// trace is NOT identical across blocks and the prover must refuse.
+	const b = 32
+	n := 1<<14 - 7
+	prog := buildVecAddLike(t, b, n)
+	blocks := (n + b - 1) / b
+	if _, err := BlockUniform(prog, b, 1<<16, blocks); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("BlockUniform = %v, want ErrNotUniform", err)
+	}
+}
+
+func TestBlockUniformRefusesCrossBlockReads(t *testing.T) {
+	// Each block reads its right neighbour's output slot: load stride b,
+	// constant offset shifted by exactly b → quotient 1 ∈ [1, H-1].
+	const b, blocks = 8, 16
+	kb := kernel.NewBuilder("uni-neighbour", 0)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	val := kb.Reg("val")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(b))
+	kb.Add(idx, idx, kernel.R(j))
+	kb.StGlobal(idx, j)
+	addr := kb.Reg("addr")
+	kb.Add(addr, idx, kernel.Imm(b)) // neighbour block's slot
+	kb.LdGlobal(val, addr)
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := BlockUniform(prog, b, (blocks+1)*b, blocks); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("BlockUniform = %v, want ErrNotUniform for cross-block read", err)
+	}
+	// The same kernel IS uniform for a single block.
+	if _, err := BlockUniform(prog, b, 2*b, 1); err != nil {
+		t.Fatalf("single block should certify: %v", err)
+	}
+}
+
+func TestBlockUniformRefusesSharedStoreToAllBlocks(t *testing.T) {
+	// A fixed global address written by every block: order-dependent.
+	kb := kernel.NewBuilder("uni-fixedstore", 0)
+	blk := kb.Reg("block")
+	kb.BlockID(blk)
+	kb.StGlobal(blk, blk) // address = k: stride 1, not a width multiple — also refused
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := BlockUniform(prog, 4, 1024, 8); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("BlockUniform = %v, want ErrNotUniform", err)
+	}
+
+	kb2 := kernel.NewBuilder("uni-fixedstore2", 0)
+	z := kb2.Reg("zero")
+	kb2.Const(z, 0)
+	kb2.StGlobal(z, z) // every block writes word 0
+	prog2, err := kb2.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := BlockUniform(prog2, 4, 1024, 8); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("BlockUniform = %v, want ErrNotUniform for fixed-address store", err)
+	}
+	// But it is certifiable for one block.
+	if _, err := BlockUniform(prog2, 4, 1024, 1); err != nil {
+		t.Fatalf("single-block fixed store should certify: %v", err)
+	}
+}
+
+func TestBlockUniformRefusesDataDependentControl(t *testing.T) {
+	// Branching on loaded data can diverge across blocks.
+	kb := kernel.NewBuilder("uni-datadep", 0)
+	j := kb.Reg("lane")
+	v := kb.Reg("v")
+	kb.LaneID(j)
+	kb.LdGlobal(v, j)
+	kb.IfDo(v, func() {
+		kb.Add(j, j, kernel.Imm(1))
+	})
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := BlockUniform(prog, 4, 1024, 64); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("BlockUniform = %v, want ErrNotUniform for data-dependent branch", err)
+	}
+}
+
+func TestBlockUniformMaskedConstDivide(t *testing.T) {
+	// divi #0 under an always-false mask must not refuse certification for
+	// the wrong reason (it never executes on an active lane) — the whole
+	// if-body is skipped, mirroring the device.
+	kb := kernel.NewBuilder("uni-maskeddiv", 0)
+	z := kb.Reg("zero")
+	v := kb.Reg("v")
+	kb.Const(z, 0)
+	kb.IfDo(z, func() {
+		kb.Div(v, v, kernel.Imm(0))
+	})
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := BlockUniform(prog, 4, 1024, 64); err != nil {
+		t.Fatalf("masked divi #0 should certify: %v", err)
+	}
+}

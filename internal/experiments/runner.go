@@ -238,6 +238,7 @@ func Calibrate(cfg Config) (*transfer.Link, calibrate.Result, error) {
 	if err != nil {
 		return nil, calibrate.Result{}, err
 	}
+	dev.SetUniformProver(analyze.UniformProver)
 	eng, err := transfer.NewEngine(link, cfg.Scheme)
 	if err != nil {
 		return nil, calibrate.Result{}, err
@@ -329,6 +330,7 @@ func (r *Runner) newHost(footprint int, workload string, n, idx int) (*simgpu.Ho
 	if err != nil {
 		return nil, err
 	}
+	dev.SetUniformProver(analyze.UniformProver)
 	eng, err := transfer.NewEngine(r.link, r.cfg.Scheme)
 	if err != nil {
 		return nil, err

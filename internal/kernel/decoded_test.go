@@ -1,0 +1,47 @@
+package kernel
+
+import "testing"
+
+func TestDecodeColumnBases(t *testing.T) {
+	b := NewBuilder("dec", 0)
+	x := b.Reg()
+	y := b.Reg()
+	b.LaneID(x)
+	b.Add(y, x, R(x))
+	p := b.MustBuild()
+
+	const width = 32
+	d, err := Decode(p, width)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if d.Width != width || d.Prog != p {
+		t.Fatalf("decoded header = (%d, %p), want (%d, %p)", d.Width, d.Prog, width, p)
+	}
+	if len(d.Ins) != len(p.Instrs) {
+		t.Fatalf("decoded %d instrs, want %d", len(d.Ins), len(p.Instrs))
+	}
+	for i, in := range p.Instrs {
+		di := d.Ins[i]
+		if di.Op != in.Op || di.Imm != in.Imm || di.Target != in.Target {
+			t.Errorf("instr %d: decoded (%v imm=%d tgt=%d) != source (%v imm=%d tgt=%d)",
+				i, di.Op, di.Imm, di.Target, in.Op, in.Imm, in.Target)
+		}
+		if int(di.D) != int(in.Rd)*width || int(di.A) != int(in.Ra)*width || int(di.B) != int(in.Rb)*width {
+			t.Errorf("instr %d: bases (%d,%d,%d), want (%d,%d,%d)",
+				i, di.D, di.A, di.B, int(in.Rd)*width, int(in.Ra)*width, int(in.Rb)*width)
+		}
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := Decode(nil, 4); err == nil {
+		t.Error("Decode(nil) should fail")
+	}
+	b := NewBuilder("dec", 0)
+	b.Nop()
+	p := b.MustBuild()
+	if _, err := Decode(p, 0); err == nil {
+		t.Error("Decode(width=0) should fail")
+	}
+}

@@ -206,7 +206,7 @@ type Instr struct {
 // String renders the instruction in assembly-like form.
 func (in Instr) String() string {
 	switch in.Op {
-	case OpNop, OpBarrier, OpHalt, OpNop + opCount:
+	case OpNop, OpBarrier, OpHalt:
 		return in.Op.String()
 	case OpConst:
 		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)

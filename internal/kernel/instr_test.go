@@ -76,6 +76,48 @@ func TestOpClassification(t *testing.T) {
 	}
 }
 
+// TestInstrStringExhaustive renders one representative instruction per
+// defined opcode and checks that none falls into String's default arm (the
+// "rd=... ra=..." dump reserved for undefined opcodes) and that every
+// rendering leads with the opcode's unique mnemonic — the round trip from
+// rendered text back to the opcode. A new opcode that is added without a
+// String case or an opNames entry fails here instead of silently degrading.
+func TestInstrStringExhaustive(t *testing.T) {
+	byName := make(map[string]Op, int(opCount))
+	for op := OpNop; op < opCount; op++ {
+		name := op.String()
+		if strings.Contains(name, "op(") {
+			t.Errorf("op %d has no mnemonic (opNames gap)", op)
+			continue
+		}
+		if prev, dup := byName[name]; dup {
+			t.Errorf("ops %d and %d share mnemonic %q", prev, op, name)
+		}
+		byName[name] = op
+	}
+	for op := OpNop; op < opCount; op++ {
+		in := Instr{Op: op, Rd: 1, Ra: 2, Rb: 3, Imm: 4, Target: 5}
+		got := in.String()
+		if strings.Contains(got, "rd=") {
+			t.Errorf("defined op %v rendered via the default arm: %q", op, got)
+		}
+		mnemonic := got
+		if i := strings.IndexByte(got, ' '); i >= 0 {
+			mnemonic = got[:i]
+		}
+		back, ok := byName[mnemonic]
+		if !ok || back != op {
+			t.Errorf("op %v rendering %q does not round-trip (mnemonic %q -> %v, %v)",
+				op, got, mnemonic, back, ok)
+		}
+	}
+	// The default arm must still catch genuinely undefined opcodes.
+	bad := Instr{Op: Op(opCount), Rd: 1}
+	if got := bad.String(); !strings.Contains(got, "rd=") {
+		t.Errorf("undefined op rendered %q, want the default dump", got)
+	}
+}
+
 func TestInstrString(t *testing.T) {
 	cases := []struct {
 		in   Instr

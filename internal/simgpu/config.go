@@ -72,7 +72,22 @@ type Config struct {
 	// memory-completion event. Results are identical; simulation is much
 	// slower. Exists for the clock-skip ablation bench.
 	DisableEventSkip bool
+	// LegacyInterp routes launches through the original tree-walking
+	// switch interpreter instead of the decoded-IR fast path (which also
+	// disables block memoization, since the memo replayer is built on the
+	// decoded form). Results are identical; simulation is slower. Exists
+	// as the reference arm of the interpreter differential tests and the
+	// simspeed ablation bench.
+	LegacyInterp bool
 }
+
+// MaxWarpWidth is the largest warp width Config.Validate accepts. The
+// simulator itself only needs per-lane vectors, which scale to any width;
+// the cap bounds per-warp memory and keeps launch parameters sane. Note
+// that package analyze tracks lane sets in 64-bit masks, so static
+// analysis (and hence lint gating and the BlockUniform memoization
+// certificate) is only available for widths up to 64.
+const MaxWarpWidth = 1024
 
 // Errors from configuration validation.
 var (
@@ -84,8 +99,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.NumSMs <= 0:
 		return fmt.Errorf("%w: NumSMs=%d", ErrBadConfig, c.NumSMs)
-	case c.WarpWidth <= 0 || c.WarpWidth > 64:
-		return fmt.Errorf("%w: WarpWidth=%d (want 1..64)", ErrBadConfig, c.WarpWidth)
+	case c.WarpWidth <= 0 || c.WarpWidth > MaxWarpWidth:
+		return fmt.Errorf("%w: WarpWidth=%d (want 1..%d)", ErrBadConfig, c.WarpWidth, MaxWarpWidth)
 	case c.SharedWords < 0:
 		return fmt.Errorf("%w: SharedWords=%d", ErrBadConfig, c.SharedWords)
 	case c.GlobalWords < 0:

@@ -17,7 +17,7 @@ func TestConfigValidate(t *testing.T) {
 	cases := []func(*Config){
 		func(c *Config) { c.NumSMs = 0 },
 		func(c *Config) { c.WarpWidth = 0 },
-		func(c *Config) { c.WarpWidth = 65 },
+		func(c *Config) { c.WarpWidth = MaxWarpWidth + 1 },
 		func(c *Config) { c.SharedWords = -1 },
 		func(c *Config) { c.GlobalWords = -1 },
 		func(c *Config) { c.MaxBlocksPerSM = 0 },

@@ -23,6 +23,80 @@ type Device struct {
 	// collectSites enables per-access-site counters on launches
 	// (KernelResult.Sites); off by default.
 	collectSites bool
+
+	// decCache holds the decoded execution form of each program launched
+	// on this device (the warp width is fixed per device, so one decode
+	// per program suffices).
+	decCache map[*kernel.Program]*kernel.Decoded
+
+	// uniformProver, when set, certifies that every block of a program
+	// provably executes the same instruction trace modulo OpBlockID-derived
+	// addressing with cross-block-disjoint global writes (the BlockUniform
+	// certificate from internal/analyze, injected here as a callback
+	// because analyze imports simgpu). Certified launches are eligible for
+	// steady-state block memoization; see memo.go.
+	uniformProver UniformProver
+	// proverVerdicts caches certificate decisions per (program, blocks).
+	proverVerdicts map[proverKey]bool
+	// memoDisabled turns memoization off device-wide; the Host sets it
+	// while a fault injector is armed, since faults must observe every
+	// block individually.
+	memoDisabled bool
+	// memoSkips counts launches on which block memoization engaged.
+	memoSkips int64
+}
+
+// UniformProver is the certificate callback consulted before enabling block
+// memoization: it must return true only when every one of blocks thread
+// blocks of prog provably executes the same instruction trace on cfg, with
+// identical per-position transaction counts and latencies and mutually
+// disjoint global writes. analyze.UniformProver is the canonical
+// implementation.
+type UniformProver func(prog *kernel.Program, cfg Config, blocks int) bool
+
+type proverKey struct {
+	prog   *kernel.Program
+	blocks int
+}
+
+// SetUniformProver installs the BlockUniform certificate callback that
+// gates block memoization. A nil prover (the default) disables memoization
+// entirely; launches are then always fully simulated.
+func (d *Device) SetUniformProver(p UniformProver) { d.uniformProver = p }
+
+// MemoSkips reports how many launches on this device engaged block
+// memoization (used by tests and benches to prove engagement, or the lack
+// of it under fault injection).
+func (d *Device) MemoSkips() int64 { return d.memoSkips }
+
+// decoded returns the cached decoded form of prog, decoding on first use.
+func (d *Device) decoded(prog *kernel.Program) (*kernel.Decoded, error) {
+	if dec, ok := d.decCache[prog]; ok {
+		return dec, nil
+	}
+	dec, err := kernel.Decode(prog, d.cfg.WarpWidth)
+	if err != nil {
+		return nil, err
+	}
+	if d.decCache == nil {
+		d.decCache = make(map[*kernel.Program]*kernel.Decoded)
+	}
+	d.decCache[prog] = dec
+	return dec, nil
+}
+
+// certified consults (and caches) the uniform prover's verdict.
+func (d *Device) certified(prog *kernel.Program, blocks int) bool {
+	k := proverKey{prog, blocks}
+	if v, ok := d.proverVerdicts[k]; ok {
+		return v
+	}
+	v := d.uniformProver(prog, d.cfg, blocks)
+	if d.proverVerdicts == nil {
+		d.proverVerdicts = make(map[proverKey]bool)
+	}
+	d.proverVerdicts[k] = v
+	return v
 }
 
 // SetCollectSites toggles per-access-site memory counters on subsequent
@@ -126,12 +200,18 @@ type smState struct {
 
 // launchState carries the per-launch machinery.
 type launchState struct {
-	d         *Device
-	prog      *kernel.Program
-	width     int
-	numBlocks int
-	nextBlock int
-	sms       []*smState
+	d     *Device
+	prog  *kernel.Program
+	width int
+	// numBlocks is H, the logical launch size (what OpNumBlocks reads).
+	// schedBlocks is how many blocks the scheduler actually simulates; it
+	// starts equal to numBlocks and is reduced when a steady-state period
+	// skip is applied (memo.go), with the elided blocks' statistics scaled
+	// in and their data effects replayed after the run.
+	numBlocks   int
+	schedBlocks int
+	nextBlock   int
+	sms         []*smState
 	// smIDs maps launch-state SM slots to physical SM indices; with
 	// failed SMs the slots cover only the active multiprocessors, so
 	// trace and warp bookkeeping still report hardware indices.
@@ -148,12 +228,32 @@ type launchState struct {
 	// tracer records scheduling events when non-nil.
 	tracer *Tracer
 
-	// bankCounts is scratch for shared-memory conflict analysis.
-	bankCounts []int
+	// bankCounts is scratch for shared-memory conflict analysis;
+	// blockScratch is scratch for global coalescing analysis. Both are
+	// sized from the launch width.
+	bankCounts   []int
+	blockScratch []int
 
 	// sites holds per-instruction memory counters when site collection is
 	// enabled (indexed by pc; nil otherwise).
 	sites []SiteStat
+
+	// dec is the decoded execution form; nil routes the launch through
+	// the legacy switch interpreter (Config.LegacyInterp).
+	dec *kernel.Decoded
+
+	// memo holds steady-state period detection for analyzer-certified
+	// uniform launches; nil when memoization is not eligible.
+	memo *memoState
+}
+
+// step issues one warp-instruction through whichever interpreter the
+// launch selected.
+func (ls *launchState) step(w *warp) error {
+	if ls.dec != nil {
+		return ls.execDec(w)
+	}
+	return ls.exec(w)
 }
 
 // Launch runs numBlocks thread blocks of prog to completion and returns the
@@ -180,14 +280,23 @@ func (d *Device) LaunchTraced(prog *kernel.Program, numBlocks int, tr *Tracer) (
 			ErrSharedExceeded, prog.Name, prog.SharedWords, d.cfg.SharedWords)
 	}
 	ls := &launchState{
-		d:          d,
-		prog:       prog,
-		width:      d.cfg.WarpWidth,
-		numBlocks:  numBlocks,
-		sms:        make([]*smState, 0, d.ActiveSMs()),
-		smIDs:      make([]int, 0, d.ActiveSMs()),
-		bankCounts: make([]int, d.cfg.WarpWidth),
-		tracer:     tr,
+		d:            d,
+		prog:         prog,
+		width:        d.cfg.WarpWidth,
+		numBlocks:    numBlocks,
+		schedBlocks:  numBlocks,
+		sms:          make([]*smState, 0, d.ActiveSMs()),
+		smIDs:        make([]int, 0, d.ActiveSMs()),
+		bankCounts:   make([]int, d.cfg.WarpWidth),
+		blockScratch: make([]int, d.cfg.WarpWidth),
+		tracer:       tr,
+	}
+	if !d.cfg.LegacyInterp {
+		dec, err := d.decoded(prog)
+		if err != nil {
+			return KernelResult{}, err
+		}
+		ls.dec = dec
 	}
 	for i := 0; i < d.cfg.NumSMs; i++ {
 		if d.failedSMs[i] {
@@ -204,7 +313,18 @@ func (d *Device) LaunchTraced(prog *kernel.Program, numBlocks int, tr *Tracer) (
 	if numBlocks == 0 {
 		return KernelResult{Time: 0, Stats: ls.stats}, nil
 	}
+	// Block memoization: only for decoded, untraced, site-free launches of
+	// analyzer-certified kernels, and never while faults are armed. Every
+	// disable condition falls back to plain full simulation.
+	if ls.dec != nil && tr == nil && !d.collectSites && !d.memoDisabled &&
+		numBlocks >= memoMinBlocks && d.uniformProver != nil &&
+		d.certified(prog, numBlocks) {
+		ls.memo = &memoState{}
+	}
 	if err := ls.run(occ); err != nil {
+		return KernelResult{}, err
+	}
+	if err := ls.finishMemo(); err != nil {
 		return KernelResult{}, err
 	}
 	ls.stats.Cycles = ls.cycle
@@ -238,7 +358,15 @@ func (ls *launchState) collectedSites() []SiteStat {
 
 // run drives the cycle loop until all blocks retire.
 func (ls *launchState) run(occ int) error {
+	retired := false
 	for {
+		if retired && ls.memo != nil {
+			// A block completed since the last fingerprint: the scheduler
+			// is at a retire boundary, the natural place to look for a
+			// steady-state period (memo.go).
+			ls.memo.observe(ls)
+			retired = false
+		}
 		ls.refill(occ)
 		done := true
 		for _, sm := range ls.sms {
@@ -248,7 +376,7 @@ func (ls *launchState) run(occ int) error {
 			}
 		}
 		if done {
-			if ls.nextBlock >= ls.numBlocks {
+			if ls.nextBlock >= ls.schedBlocks {
 				return nil
 			}
 			continue // refill will place more blocks next iteration
@@ -257,7 +385,7 @@ func (ls *launchState) run(occ int) error {
 		issuedAny := false
 		for _, sm := range ls.sms {
 			if len(sm.resident) == 0 {
-				if ls.nextBlock >= ls.numBlocks {
+				if ls.nextBlock >= ls.schedBlocks {
 					ls.stats.IdleCycles++
 				}
 				continue
@@ -268,13 +396,14 @@ func (ls *launchState) run(occ int) error {
 				continue
 			}
 			issuedAny = true
-			if err := ls.exec(w); err != nil {
+			if err := ls.step(w); err != nil {
 				return fmt.Errorf("%w: kernel %s block %d pc %d: %w",
 					ErrKernelTrap, ls.prog.Name, w.blockID, w.pc, err)
 			}
 			if w.state == wDone {
 				sm.retire(w)
 				ls.recycle(w)
+				retired = true
 			}
 		}
 
@@ -318,7 +447,7 @@ func (ls *launchState) refill(occ int) {
 	for {
 		placed := false
 		for smIdx, sm := range ls.sms {
-			if ls.nextBlock >= ls.numBlocks {
+			if ls.nextBlock >= ls.schedBlocks {
 				return
 			}
 			if len(sm.resident) >= occ {

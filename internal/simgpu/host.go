@@ -189,6 +189,10 @@ func (h *Host) SetFaults(inj faults.Injector, watchdog time.Duration, maxRelaunc
 	h.inj = inj
 	h.watchdog = watchdog
 	h.maxRelaunches = maxRelaunches
+	// Faults must observe every block's real execution, so an armed injector
+	// switches block memoization off device-wide (and a disarmed one, inj ==
+	// nil, switches it back on).
+	h.dev.memoDisabled = inj != nil
 	return nil
 }
 

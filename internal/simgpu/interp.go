@@ -89,12 +89,14 @@ func (ls *launchState) exec(w *warp) error {
 		}
 
 	case kernel.OpDivI, kernel.OpModI:
-		if in.Imm == 0 {
-			return errDivByZero
-		}
+		// A zero immediate divisor traps only if a lane actually executes
+		// it, matching the masked semantics of register-operand div/mod.
 		d, a := base(in.Rd), base(in.Ra)
 		for l := 0; l < width; l++ {
 			if w.active[l] {
+				if in.Imm == 0 {
+					return fmt.Errorf("%w: lane %d", errDivByZero, l)
+				}
 				if in.Op == kernel.OpDivI {
 					regs[d+l] = regs[a+l] / in.Imm
 				} else {
@@ -140,11 +142,11 @@ func (ls *launchState) exec(w *warp) error {
 
 	case kernel.OpLdGlobal, kernel.OpStGlobal:
 		// execGlobal advances pc itself on every path.
-		return ls.execGlobal(w, in)
+		return ls.execGlobal(w, in.Op, base(in.Rd), base(in.Ra), base(in.Rb))
 
 	case kernel.OpLdShared, kernel.OpStShared:
 		// execShared advances pc itself on every path.
-		return ls.execShared(w, in)
+		return ls.execShared(w, in.Op, base(in.Rd), base(in.Ra), base(in.Rb))
 
 	case kernel.OpBarrier:
 		// One warp per block: the barrier is trivially satisfied but
@@ -197,6 +199,7 @@ func (ls *launchState) exec(w *warp) error {
 		for l := 0; l < width; l++ {
 			if w.active[l] && regs[a+l] == 0 {
 				w.active[l] = false
+				w.activeN--
 			}
 		}
 
@@ -239,11 +242,12 @@ func (w *warp) uniformCond(a int) (taken, uniform, any bool) {
 
 // execGlobal performs a warp-wide global memory access: gathers active
 // lanes' addresses, counts coalesced transactions, moves the data, and puts
-// the warp to sleep for the transaction latency.
-func (ls *launchState) execGlobal(w *warp, in kernel.Instr) error {
+// the warp to sleep for the transaction latency. The register columns are
+// passed as precomputed flat bases so the legacy and decoded interpreters
+// share one implementation.
+func (ls *launchState) execGlobal(w *warp, op kernel.Op, dBase, aBase, sBase int) error {
 	width := ls.width
 	regs := w.regs
-	aBase := int(in.Ra) * width
 	g := ls.d.global
 	gsize := g.Size()
 
@@ -256,15 +260,16 @@ func (ls *launchState) execGlobal(w *warp, in kernel.Instr) error {
 		addr := regs[aBase+l]
 		if addr < 0 || addr >= kernel.Word(gsize) {
 			return fmt.Errorf("%w: global %s lane %d addr %d (G=%d)",
-				errAddrRange, in.Op, l, addr, gsize)
+				errAddrRange, op, l, addr, gsize)
 		}
 		w.addrs[l] = int(addr)
 	}
 
 	// Count distinct memory blocks (l transactions). Warps are small;
-	// linear scan over collected blocks avoids allocation.
+	// linear scan over collected blocks avoids allocation. The scratch is
+	// sized from the launch width (a warp touches at most width blocks).
 	bs := ls.width // block size equals warp width in the model
-	var blocks [64]int
+	blocks := ls.blockScratch
 	nblocks := 0
 	for l := 0; l < width; l++ {
 		if w.addrs[l] < 0 {
@@ -306,19 +311,17 @@ func (ls *launchState) execGlobal(w *warp, in kernel.Instr) error {
 		}
 	}
 	if ls.tracer != nil {
-		ls.tracer.onMem(w.blockID, w.smIdx, ls.cycle, nblocks, in.Op == kernel.OpStGlobal)
+		ls.tracer.onMem(w.blockID, w.smIdx, ls.cycle, nblocks, op == kernel.OpStGlobal)
 	}
 
 	raw := g.Raw()
-	if in.Op == kernel.OpLdGlobal {
-		dBase := int(in.Rd) * width
+	if op == kernel.OpLdGlobal {
 		for l := 0; l < width; l++ {
 			if w.addrs[l] >= 0 {
 				regs[dBase+l] = raw[w.addrs[l]]
 			}
 		}
 	} else {
-		sBase := int(in.Rb) * width
 		for l := 0; l < width; l++ {
 			if w.addrs[l] >= 0 {
 				raw[w.addrs[l]] = regs[sBase+l]
@@ -349,11 +352,11 @@ func (ls *launchState) execGlobal(w *warp, in kernel.Instr) error {
 }
 
 // execShared performs a warp-wide shared memory access with bank-conflict
-// analysis and optional serialisation.
-func (ls *launchState) execShared(w *warp, in kernel.Instr) error {
+// analysis and optional serialisation. Register columns arrive as
+// precomputed flat bases, shared with the decoded interpreter.
+func (ls *launchState) execShared(w *warp, op kernel.Op, dBase, aBase, sBase int) error {
 	width := ls.width
 	regs := w.regs
-	aBase := int(in.Ra) * width
 	sh := w.shared
 	ssize := sh.Size()
 
@@ -367,7 +370,7 @@ func (ls *launchState) execShared(w *warp, in kernel.Instr) error {
 		addr := regs[aBase+l]
 		if addr < 0 || addr >= kernel.Word(ssize) {
 			return fmt.Errorf("%w: shared %s lane %d addr %d (M-alloc=%d)",
-				errAddrRange, in.Op, l, addr, ssize)
+				errAddrRange, op, l, addr, ssize)
 		}
 		w.addrs[l] = int(addr)
 	}
@@ -396,15 +399,13 @@ func (ls *launchState) execShared(w *warp, in kernel.Instr) error {
 	}
 
 	raw := sh.Raw()
-	if in.Op == kernel.OpLdShared {
-		dBase := int(in.Rd) * width
+	if op == kernel.OpLdShared {
 		for l := 0; l < width; l++ {
 			if w.addrs[l] >= 0 {
 				regs[dBase+l] = raw[w.addrs[l]]
 			}
 		}
 	} else {
-		sBase := int(in.Rb) * width
 		for l := 0; l < width; l++ {
 			if w.addrs[l] >= 0 {
 				raw[w.addrs[l]] = regs[sBase+l]

@@ -1,0 +1,279 @@
+package simgpu
+
+import (
+	"errors"
+	"testing"
+
+	"atgpu/internal/kernel"
+)
+
+// uniformKernel builds idx = blk·b + lane; out[base+idx] <- in[idx] + idx,
+// the canonical block-uniform shape (disjoint per-block tiles, stride b).
+func uniformKernel(t *testing.T, b, n int) *kernel.Program {
+	t.Helper()
+	kb := kernel.NewBuilder("memo-uniform", 0)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	val := kb.Reg("val")
+	addr := kb.Reg("addr")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+	kb.LdGlobal(val, idx)
+	kb.Add(val, val, kernel.R(idx))
+	kb.Add(addr, idx, kernel.Imm(int64(n)))
+	kb.StGlobal(addr, val)
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+// alwaysUniform stands in for the analyzer's certificate in package-internal
+// tests (the kernels used here are uniform by construction).
+func alwaysUniform(*kernel.Program, Config, int) bool { return true }
+
+func memoConfig(n int) Config {
+	cfg := GTX650()
+	cfg.GlobalWords = 2 * n
+	return cfg
+}
+
+// launchPair runs the same kernel on a memoizing and a plain device and
+// returns both (result, global memory) pairs for comparison.
+func TestMemoMatchesFullSimulation(t *testing.T) {
+	const b, blocks = 32, 512
+	n := b * blocks
+	prog := uniformKernel(t, b, n)
+
+	run := func(withProver bool) (KernelResult, []kernel.Word, int64) {
+		dev, err := New(memoConfig(n))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if withProver {
+			dev.SetUniformProver(alwaysUniform)
+		}
+		raw := dev.Global().Raw()
+		for i := 0; i < n; i++ {
+			raw[i] = int64(i * 3)
+		}
+		res, err := dev.Launch(prog, blocks)
+		if err != nil {
+			t.Fatalf("Launch: %v", err)
+		}
+		out := append([]kernel.Word(nil), dev.Global().Raw()...)
+		return res, out, dev.MemoSkips()
+	}
+
+	full, fullMem, fullSkips := run(false)
+	memo, memoMem, memoSkips := run(true)
+
+	if fullSkips != 0 {
+		t.Fatalf("prover-less device memoized %d launches", fullSkips)
+	}
+	if memoSkips != 1 {
+		t.Fatalf("memoizing device engaged %d times, want 1", memoSkips)
+	}
+	if full.Stats != memo.Stats {
+		t.Errorf("stats diverge:\nfull: %+v\nmemo: %+v", full.Stats, memo.Stats)
+	}
+	if full.Time != memo.Time {
+		t.Errorf("time diverges: full %v, memo %v", full.Time, memo.Time)
+	}
+	for i := range fullMem {
+		if fullMem[i] != memoMem[i] {
+			t.Fatalf("global[%d] diverges: full %d, memo %d", i, fullMem[i], memoMem[i])
+		}
+	}
+}
+
+func TestMemoDisabledByTracerSitesAndLegacy(t *testing.T) {
+	const b, blocks = 32, 512
+	n := b * blocks
+	prog := uniformKernel(t, b, n)
+
+	cases := []struct {
+		name string
+		prep func(dev *Device) (trace *Tracer)
+	}{
+		{"tracer", func(dev *Device) *Tracer { return &Tracer{} }},
+		{"sites", func(dev *Device) *Tracer { dev.SetCollectSites(true); return nil }},
+		{"fault-armed", func(dev *Device) *Tracer { dev.memoDisabled = true; return nil }},
+	}
+	for _, tc := range cases {
+		dev, err := New(memoConfig(n))
+		if err != nil {
+			t.Fatalf("%s: New: %v", tc.name, err)
+		}
+		dev.SetUniformProver(alwaysUniform)
+		tr := tc.prep(dev)
+		if _, err := dev.LaunchTraced(prog, blocks, tr); err != nil {
+			t.Fatalf("%s: launch: %v", tc.name, err)
+		}
+		if got := dev.MemoSkips(); got != 0 {
+			t.Errorf("%s: memoization engaged (%d), want disabled", tc.name, got)
+		}
+	}
+
+	// LegacyInterp routes around the decoded path and therefore memoization.
+	cfg := memoConfig(n)
+	cfg.LegacyInterp = true
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatalf("legacy: New: %v", err)
+	}
+	dev.SetUniformProver(alwaysUniform)
+	if _, err := dev.Launch(prog, blocks); err != nil {
+		t.Fatalf("legacy: launch: %v", err)
+	}
+	if got := dev.MemoSkips(); got != 0 {
+		t.Errorf("legacy: memoization engaged (%d), want disabled", got)
+	}
+}
+
+func TestMemoSmallLaunchNotEligible(t *testing.T) {
+	const b = 32
+	blocks := memoMinBlocks - 1
+	n := b * blocks
+	prog := uniformKernel(t, b, n)
+	dev, err := New(memoConfig(n))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dev.SetUniformProver(alwaysUniform)
+	if _, err := dev.Launch(prog, blocks); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	if got := dev.MemoSkips(); got != 0 {
+		t.Errorf("memoization engaged on %d blocks (min %d)", blocks, memoMinBlocks)
+	}
+}
+
+// TestWideWarpGlobalAccess is the regression test for the execGlobal
+// coalescing scratch: at warp widths beyond 64 the old fixed [64]int
+// overflowed as soon as more than 64 distinct memory blocks were touched by
+// one warp access.
+func TestWideWarpGlobalAccess(t *testing.T) {
+	const width = 128
+	cfg := Tiny()
+	cfg.WarpWidth = width
+	// One word per memory block from each lane: addresses l*width are all
+	// in distinct blocks, so the access needs 128 scratch slots.
+	cfg.GlobalWords = width * width
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	kb := kernel.NewBuilder("wide", 0)
+	j := kb.Reg("lane")
+	addr := kb.Reg("addr")
+	val := kb.Reg("val")
+	kb.LaneID(j)
+	kb.Mul(addr, j, kernel.Imm(width))
+	kb.LdGlobal(val, addr)
+	kb.StGlobal(addr, val)
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := dev.Launch(prog, 1)
+	if err != nil {
+		t.Fatalf("launch at width %d: %v", width, err)
+	}
+	// 128 lanes hitting 128 distinct blocks: maximally uncoalesced.
+	if res.Stats.GlobalTransactions != 2*width {
+		t.Errorf("GlobalTransactions = %d, want %d", res.Stats.GlobalTransactions, 2*width)
+	}
+
+	// The legacy interpreter shares the scratch fix.
+	cfg.LegacyInterp = true
+	ldev, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New legacy: %v", err)
+	}
+	lres, err := ldev.Launch(prog, 1)
+	if err != nil {
+		t.Fatalf("legacy launch at width %d: %v", width, err)
+	}
+	if lres.Stats != res.Stats {
+		t.Errorf("legacy stats diverge:\ndecoded: %+v\nlegacy:  %+v", res.Stats, lres.Stats)
+	}
+}
+
+// TestMaskedImmediateDivideByZero pins satellite semantics: divi/modi with a
+// zero immediate only traps when an active lane executes it, in both
+// interpreters.
+func TestMaskedImmediateDivideByZero(t *testing.T) {
+	build := func(masked bool) *kernel.Program {
+		kb := kernel.NewBuilder("divi0", 0)
+		cond := kb.Reg("cond")
+		v := kb.Reg("v")
+		if masked {
+			kb.Const(cond, 0) // all lanes false: body never executes
+		} else {
+			kb.Const(cond, 1)
+		}
+		kb.IfDo(cond, func() {
+			kb.Div(v, v, kernel.Imm(0))
+		})
+		prog, err := kb.Build()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return prog
+	}
+
+	for _, legacy := range []bool{false, true} {
+		cfg := Tiny()
+		cfg.LegacyInterp = legacy
+		dev, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := dev.Launch(build(true), 1); err != nil {
+			t.Errorf("legacy=%v: masked divi #0 trapped: %v", legacy, err)
+		}
+		if _, err := dev.Launch(build(false), 1); !errors.Is(err, ErrKernelTrap) {
+			t.Errorf("legacy=%v: active divi #0 = %v, want ErrKernelTrap", legacy, err)
+		}
+	}
+}
+
+// TestDecodedMatchesLegacyStats is a package-internal spot check; the broad
+// differential sweep lives in internal/algorithms.
+func TestDecodedMatchesLegacyStats(t *testing.T) {
+	const b, blocks = 32, 96
+	n := b * blocks
+	prog := uniformKernel(t, b, n)
+	run := func(legacy bool) (KernelResult, []kernel.Word) {
+		cfg := memoConfig(n)
+		cfg.LegacyInterp = legacy
+		dev, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		raw := dev.Global().Raw()
+		for i := 0; i < n; i++ {
+			raw[i] = int64(7 * i)
+		}
+		res, err := dev.Launch(prog, blocks)
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		return res, append([]kernel.Word(nil), dev.Global().Raw()...)
+	}
+	dres, dmem := run(false)
+	lres, lmem := run(true)
+	if dres.Stats != lres.Stats {
+		t.Errorf("stats diverge:\ndecoded: %+v\nlegacy:  %+v", dres.Stats, lres.Stats)
+	}
+	for i := range dmem {
+		if dmem[i] != lmem[i] {
+			t.Fatalf("global[%d]: decoded %d, legacy %d", i, dmem[i], lmem[i])
+		}
+	}
+}

@@ -33,8 +33,11 @@ type warp struct {
 	// is regs[int(r)*width + l].
 	regs []kernel.Word
 	// active is the SIMT mask; lanes masked off by an if.begin stay
-	// inactive until the matching if.end.
-	active []bool
+	// inactive until the matching if.end. activeN caches the number of
+	// true entries — it is maintained by reset/popMask and by the if.begin
+	// handlers, the only places the mask changes.
+	active  []bool
+	activeN int
 	// maskStack saves outer masks across nested if regions; maskDepth is
 	// the live depth (entries above it are reusable storage).
 	maskStack [][]bool
@@ -74,6 +77,7 @@ func (w *warp) reset(blockID int) {
 	for i := range w.active {
 		w.active[i] = true
 	}
+	w.activeN = len(w.active)
 	w.maskDepth = 0
 	w.shared.Zero()
 }
@@ -95,6 +99,13 @@ func (w *warp) popMask() bool {
 	}
 	w.maskDepth--
 	copy(w.active, w.maskStack[w.maskDepth])
+	n := 0
+	for _, a := range w.active {
+		if a {
+			n++
+		}
+	}
+	w.activeN = n
 	return true
 }
 

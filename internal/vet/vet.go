@@ -1,11 +1,12 @@
 // Package vet implements the repo's custom static checks, run by
-// cmd/atgpu-vet next to the standard toolchain linters. Three invariants
+// cmd/atgpu-vet next to the standard toolchain linters. Four invariants
 // are enforced. The first two guard the determinism contract the
 // simulator, sweeps and goldens rely on (sweep output must be
 // byte-identical for any worker count, and simulated time must never
 // observe the wall clock); the third guards the daemon's survival
 // contract (a panic in a worker must become a failed job, never a dead
-// process):
+// process); the fourth guards the simulator's per-instruction hot path
+// (zero allocation per simulated step):
 //
 //   - notime: deterministic packages (timeline, simgpu, transfer,
 //     experiments) must not read the wall clock (time.Now, time.Since,
@@ -20,6 +21,12 @@
 //     statement must launch a function literal whose body visibly
 //     contains a recover() call or routes through sched.Protect; naked
 //     goroutines would take the whole daemon down on a panic.
+//
+//   - hotalloc: in the simulator package the interpreter's hot-path
+//     functions (exec* and replay*) must not call append or make. These
+//     run once per warp step — billions of times per sweep — so even a
+//     byte of garbage per call dominates the profile; anything they need
+//     must be preallocated at launch setup.
 //
 // The checks are syntactic: they parse with go/parser only, so they run
 // without build metadata and never depend on non-stdlib analysis
@@ -52,6 +59,12 @@ var DeterministicPackages = []string{
 var RecoverGuardedPackages = []string{
 	"atgpu/internal/sched",
 	"atgpu/internal/service",
+}
+
+// HotPathPackages lists the import paths whose exec*/replay* functions
+// form the simulator's per-step hot path and must stay allocation-free.
+var HotPathPackages = []string{
+	"atgpu/internal/simgpu",
 }
 
 // Diagnostic is one finding: where, which pass, and what.
@@ -87,6 +100,16 @@ func IsRecoverGuarded(importPath string) bool {
 	return false
 }
 
+// IsHotPath reports whether importPath is under the hotalloc contract.
+func IsHotPath(importPath string) bool {
+	for _, p := range HotPathPackages {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckFile runs every applicable pass over one parsed file. Test files are
 // the caller's concern (cmd/atgpu-vet skips them: tests may use the clock
 // for timeouts and scratch randomness).
@@ -97,6 +120,9 @@ func CheckFile(fset *token.FileSet, f *ast.File, importPath string) []Diagnostic
 	}
 	if IsRecoverGuarded(importPath) {
 		ds = append(ds, checkGoRecover(fset, f)...)
+	}
+	if IsHotPath(importPath) {
+		ds = append(ds, checkHotAlloc(fset, f)...)
 	}
 	ds = append(ds, checkMapOrder(fset, f)...)
 	return ds
@@ -230,6 +256,47 @@ func guardsPanics(body *ast.BlockStmt) bool {
 		return !guarded
 	})
 	return guarded
+}
+
+// checkHotAlloc flags append and make calls inside the interpreter's
+// hot-path functions — those named exec* or replay* (methods included).
+// These run once per warp step; allocating there turns the simulator's
+// inner loop into a garbage-collection benchmark. The check is lexical:
+// an allocation anywhere inside the function body is flagged, including
+// inside function literals, since those run on the same path.
+func checkHotAlloc(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var ds []Diagnostic
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !isHotPathFunc(fn.Name.Name) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || (id.Name != "append" && id.Name != "make") {
+				return true
+			}
+			ds = append(ds, Diagnostic{
+				Pos:  fset.Position(call.Pos()),
+				Pass: "hotalloc",
+				Msg: fmt.Sprintf("%s called in hot-path function %s; the per-step interpreter must not allocate — preallocate in launch setup",
+					id.Name, fn.Name.Name),
+			})
+			return true
+		})
+	}
+	return ds
+}
+
+// isHotPathFunc reports whether a function name is under the hotalloc
+// contract: the exec* interpreter dispatch family and the replay* memo
+// replay family.
+func isHotPathFunc(name string) bool {
+	return strings.HasPrefix(name, "exec") || strings.HasPrefix(name, "replay")
 }
 
 // outputCalls are callee names that commit bytes in call order: printing,

@@ -165,6 +165,55 @@ func fine(counts map[string]int) int {
 	}
 }
 
+func TestHotAllocFlagsAppendAndMake(t *testing.T) {
+	src := `package simgpu
+
+func (ls *launchState) execFast(w *warp) error {
+	buf := make([]int, 8)
+	w.pending = append(w.pending, buf[0])
+	return nil
+}
+
+func replayBlock(w *warp) {
+	f := func() { w.scratch = append(w.scratch, 1) }
+	f()
+}
+`
+	ds := checkSrc(t, "atgpu/internal/simgpu", src)
+	wantDiags(t, ds,
+		[2]interface{}{"hotalloc", 4},
+		[2]interface{}{"hotalloc", 5},
+		[2]interface{}{"hotalloc", 10})
+}
+
+func TestHotAllocIgnoresColdFunctions(t *testing.T) {
+	src := `package simgpu
+
+func setupLaunch(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+func memoReplay(n int) []int { return make([]int, n) }
+`
+	if ds := checkSrc(t, "atgpu/internal/simgpu", src); len(ds) != 0 {
+		t.Fatalf("cold-path allocation flagged: %v", ds)
+	}
+}
+
+func TestHotAllocScopedToHotPathPackages(t *testing.T) {
+	src := `package analyze
+
+func execPass(n int) []int { return make([]int, n) }
+`
+	if ds := checkSrc(t, "atgpu/internal/analyze", src); len(ds) != 0 {
+		t.Fatalf("non-hot-path package flagged: %v", ds)
+	}
+}
+
 // TestRepoInvariantsHold runs every pass over this repository's own
 // non-test sources — the same sweep CI performs with atgpu-vet — so a
 // violation fails here first, with the diagnostic text in the log.

@@ -1,0 +1,101 @@
+package atgpu
+
+// BenchmarkSimSpeed measures raw simulator throughput on a block-uniform
+// saxpy kernel (y[i] = a·x[i] + y[i]) in three arms:
+//
+//	legacy-switch: the reference switch interpreter (Config.LegacyInterp)
+//	decoded:       the decoded-IR fast path, memoization off
+//	decoded-memo:  decoded IR plus analyzer-certified block memoization
+//
+// Each op simulates one full launch of simSpeedBlocks thread blocks on the
+// GTX650 preset; divide ns/op by simSpeedBlocks for ns per simulated block.
+// CI parses `-bench SimSpeed` output into BENCH_simspeed.json and fails on
+// >15% ns/op regression against testdata/BENCH_simspeed_baseline.json.
+
+import (
+	"testing"
+
+	"atgpu/internal/analyze"
+	"atgpu/internal/kernel"
+	"atgpu/internal/simgpu"
+)
+
+const (
+	simSpeedN      = 1 << 18
+	simSpeedBlocks = simSpeedN / 32 // GTX650 warp width
+)
+
+// saxpyKernel builds y[idx] = a·x[idx] + y[idx], idx = blk·b + lane.
+func saxpyKernel(b *testing.B, width int, alpha int64, baseX, baseY int) *kernel.Program {
+	b.Helper()
+	kb := kernel.NewBuilder("saxpy", 0)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	x := kb.Reg("x")
+	y := kb.Reg("y")
+	addr := kb.Reg("addr")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(width)))
+	kb.Add(idx, idx, kernel.R(j))
+	kb.Add(addr, idx, kernel.Imm(int64(baseX)))
+	kb.LdGlobal(x, addr)
+	kb.Mul(x, x, kernel.Imm(alpha))
+	kb.Add(addr, idx, kernel.Imm(int64(baseY)))
+	kb.LdGlobal(y, addr)
+	kb.Add(y, y, kernel.R(x))
+	kb.StGlobal(addr, y)
+	prog, err := kb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func simSpeedDevice(b *testing.B, legacy bool, prover simgpu.UniformProver) *simgpu.Device {
+	b.Helper()
+	cfg := simgpu.GTX650()
+	cfg.GlobalWords = 1 << 20
+	cfg.LegacyInterp = legacy
+	dev, err := simgpu.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if prover != nil {
+		dev.SetUniformProver(prover)
+	}
+	raw := dev.Global().Raw()
+	for i := 0; i < 2*simSpeedN; i++ {
+		raw[i] = int64(i%97 - 48)
+	}
+	return dev
+}
+
+func BenchmarkSimSpeed(b *testing.B) {
+	arms := []struct {
+		name   string
+		legacy bool
+		prover simgpu.UniformProver
+	}{
+		{"legacy-switch", true, nil},
+		{"decoded", false, nil},
+		{"decoded-memo", false, analyze.UniformProver},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			dev := simSpeedDevice(b, arm.legacy, arm.prover)
+			prog := saxpyKernel(b, dev.Config().WarpWidth, 3, 0, simSpeedN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dev.Launch(prog, simSpeedBlocks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if arm.prover != nil && dev.MemoSkips() == 0 {
+				b.Fatal("memoization never engaged in decoded-memo arm")
+			}
+		})
+	}
+}
