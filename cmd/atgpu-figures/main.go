@@ -9,13 +9,17 @@
 //
 // Usage:
 //
-//	atgpu-figures [-fig 3|4|5|6|all] [-full] [-out DIR] [-summary] [-workers W]
+//	atgpu-figures [-fig 3|4|5|6|all] [-full] [-out DIR] [-o DIR] [-summary] [-workers W] [-run label]
 //
 // -full uses the paper's exact input sizes (minutes of simulation); the
 // default is a 10×-scaled sweep that finishes in seconds and preserves
 // every trend the paper reports. -workers spreads each sweep's points
 // over that many goroutines (0 = all cores); figures, CSVs and summaries
 // are byte-identical for any worker count.
+//
+// -o DIR additionally appends every sweep's canonical records to
+// DIR/records.jsonl (and, when -out is not set, directs the CSVs to DIR
+// too), so a figure regeneration leaves a queryable trajectory behind.
 package main
 
 import (
@@ -28,27 +32,34 @@ import (
 	"atgpu/internal/experiments"
 	"atgpu/internal/models"
 	"atgpu/internal/plot"
+	"atgpu/internal/results"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1 (Table I), 3, 4, 5, 6, ext (future-work studies), or all")
 	full := flag.Bool("full", false, "use the paper's full input sizes (slow)")
 	out := flag.String("out", "", "directory for CSV output (default: stdout charts only)")
+	oDir := flag.String("o", "", "output dir: append records to <dir>/records.jsonl (and CSVs there unless -out is set)")
 	summary := flag.Bool("summary", true, "print the §IV-D summary statistics")
 	workers := flag.Int("workers", 0, "worker goroutines per sweep (0 = GOMAXPROCS, 1 = sequential)")
+	runLabel := flag.String("run", "figures", "run label stamped on persisted records (-o)")
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "atgpu-figures: negative workers %d\n", *workers)
 		os.Exit(2)
 	}
-	if err := run(*fig, *full, *out, *summary, *workers); err != nil {
+	csvDir := *out
+	if csvDir == "" {
+		csvDir = *oDir
+	}
+	if err := run(*fig, *full, csvDir, *oDir, *runLabel, *summary, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu-figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, outDir string, summary bool, workers int) error {
+func run(fig string, full bool, outDir, recordsDir, runLabel string, summary bool, workers int) error {
 	if fig == "1" || fig == "table1" {
 		fmt.Println("Table I — comparison of GPU abstract models")
 		fmt.Println(models.TableI())
@@ -98,10 +109,14 @@ func run(fig string, full bool, outDir string, summary bool, workers int) error 
 		if err != nil {
 			return fmt.Errorf("%s: %w", sw.name, err)
 		}
+		wall := time.Since(start)
 		// Wall time goes to stderr: stdout (charts, CSVs, summaries) is
 		// deterministic and byte-identical for any -workers value.
 		fmt.Fprintf(os.Stderr, "atgpu-figures: %s sweep: %.1fs wall\n",
-			sw.name, time.Since(start).Seconds())
+			sw.name, wall.Seconds())
+		if err := persistRecords(recordsDir, runLabel, data.Records, workers, wall); err != nil {
+			return err
+		}
 		fmt.Printf("== %s sweep (%d sizes) ==\n", sw.name, len(data.Points))
 
 		for _, f := range experiments.Figures(data) {
@@ -214,6 +229,46 @@ func contains(xs []string, x string) bool {
 // selection "3" (or "6" etc.).
 func figMatches(id, sel string) bool {
 	return len(id) >= 4 && id[:3] == "fig" && id[3:4] == sel
+}
+
+// persistRecords appends a sweep's canonical records to
+// <dir>/records.jsonl, stamping run label, git describe, worker count
+// and the wall-clock envelope at this persist boundary only — the
+// records themselves stay byte-identical across workers and commits.
+func persistRecords(dir, run string, recs []results.Record, workers int, wall time.Duration) error {
+	if dir == "" || len(recs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "records.jsonl")
+	s, err := results.Open(path)
+	if err != nil {
+		return err
+	}
+	git := results.GitDescribe("")
+	host, _ := os.Hostname()
+	env := &results.Env{
+		SavedUnix: time.Now().Unix(),
+		Host:      host,
+		WallMs:    float64(wall.Milliseconds()),
+		Note:      run,
+	}
+	for _, rec := range recs {
+		rec.Run = run
+		rec.Git = git
+		rec.Workers = workers
+		if err := s.Append(rec, env); err != nil {
+			s.Close()
+			return err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "atgpu-figures: %d records -> %s\n", len(recs), path)
+	return nil
 }
 
 func writeCSV(dir string, f experiments.Figure) error {

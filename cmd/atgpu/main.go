@@ -9,8 +9,9 @@
 //	atgpu analyze -alg vecadd|reduce|matmul -n N
 //	atgpu lint    [-alg vecadd|reduce|matmul -n N] [-blocks B] [-json] [-o out] [file.pseudo ...]
 //	atgpu run     -alg vecadd|reduce|matmul -n N [--lint warn|error] [--fault-rate R --fault-seed S --max-retries K]
-//	atgpu sweep   -alg vecadd|reduce|matmul [-full] [--workers W] [--lint warn|error] [fault flags]
+//	atgpu sweep   -alg vecadd|reduce|matmul [-full] [--workers W] [--lint warn|error] [fault flags] [-o dir -run label]
 //	atgpu ooc     -n N -chunk C
+//	atgpu results list|diff|compare|gate [-store results.jsonl] [flags]
 //
 // lint statically analyses kernels — shared-memory races, barrier
 // divergence, out-of-bounds accesses, bank-conflict/coalescing prediction
@@ -55,6 +56,13 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "results" {
+		if err := resultsCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "atgpu:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	alg := fs.String("alg", "vecadd", "algorithm: vecadd, reduce, matmul")
 	n := fs.Int("n", 1_000_000, "input size (vector length / matrix side)")
@@ -72,7 +80,8 @@ func main() {
 	lintMode := fs.String("lint", "", "run/sweep: static-analysis pre-flight: off, warn, or error (error refuses launches with error-severity findings)")
 	lintBlocks := fs.Int("blocks", 0, "lint: override the launch block count for .pseudo files (0 = the file's #! lint: blocks directive, or 1)")
 	jsonOut := fs.Bool("json", false, "lint: emit JSON reports instead of text")
-	outPath := fs.String("o", "", "lint: write the report to this file instead of stdout")
+	outPath := fs.String("o", "", "lint: write the report to this file; sweep: write canonical records to <dir>/records.jsonl")
+	runLabel := fs.String("run", "local", "sweep: run label stamped on persisted records (-o)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -115,7 +124,7 @@ func main() {
 	// flushes the partial table, trace and metrics before exiting nonzero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := dispatch(ctx, cmd, *alg, *n, *chunk, *full, *pipeline, opts, *traceOut, *metricsOut); err != nil {
+	if err := dispatch(ctx, cmd, *alg, *n, *chunk, *full, *pipeline, opts, *traceOut, *metricsOut, *outPath, *runLabel); err != nil {
 		fmt.Fprintln(os.Stderr, "atgpu:", err)
 		os.Exit(1)
 	}
@@ -160,8 +169,11 @@ commands:
   lint        static analysis: races, barrier divergence, bounds,
               memory-performance and cost prediction      (-alg -n | file.pseudo ..., -blocks, -json, -o)
   run         predicted-vs-observed on the simulated GPU (-alg, -n)
-  sweep       predicted-vs-observed size sweep           (-alg, -full, -workers)
+  sweep       predicted-vs-observed size sweep           (-alg, -full, -workers, -o dir, -run label)
   ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)
+  results     query the canonical result store:
+              list | diff -a runA -b runB | compare -a devA -b devB |
+              gate trajectory-vs-fresh-BENCH regression check
 
 static pre-flight (run, sweep): --lint warn reports findings for every
 launched kernel to stderr; --lint error also refuses launches with
@@ -179,7 +191,7 @@ simulated-time axis); --metrics out.prom writes a deterministic Prometheus
 text snapshot; --trace-max-events caps trace growth.`)
 }
 
-func dispatch(ctx context.Context, cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options, traceOut, metricsOut string) error {
+func dispatch(ctx context.Context, cmd, alg string, n, chunk int, full, pipeline bool, opts atgpu.Options, traceOut, metricsOut, outDir, runLabel string) error {
 	switch cmd {
 	case "table1":
 		fmt.Println("Table I — comparison of GPU abstract models")
@@ -208,9 +220,9 @@ func dispatch(ctx context.Context, cmd, alg string, n, chunk int, full, pipeline
 		return run(alg, n, opts, traceOut, metricsOut)
 	case "sweep":
 		if pipeline {
-			return sweepPipelined(ctx, alg, full, opts, traceOut, metricsOut)
+			return sweepPipelined(ctx, alg, full, opts, traceOut, metricsOut, outDir, runLabel)
 		}
-		return sweep(ctx, alg, full, opts, traceOut, metricsOut)
+		return sweep(ctx, alg, full, opts, traceOut, metricsOut, outDir, runLabel)
 	case "ooc":
 		return ooc(n, chunk, opts)
 	default:
@@ -422,7 +434,7 @@ func runPipelined(alg string, n int, opts atgpu.Options, traceOut, metricsOut st
 // sweep. Stdout is byte-identical for any --workers value. On SIGINT the
 // completed points, trace and metrics are still flushed before the
 // cancellation error propagates.
-func sweepPipelined(ctx context.Context, alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
+func sweepPipelined(ctx context.Context, alg string, full bool, opts atgpu.Options, traceOut, metricsOut, outDir, runLabel string) error {
 	cfg := opts.ExperimentConfig()
 	cfg.Full = full
 	cfg.Context = ctx
@@ -469,6 +481,9 @@ func sweepPipelined(ctx context.Context, alg string, full bool, opts atgpu.Optio
 	if werr := writeObs(data.Obs, traceOut, metricsOut); werr != nil {
 		return werr
 	}
+	if werr := persistSweepRecords(outDir, runLabel, data.Records, opts.Workers, time.Since(start)); werr != nil {
+		return werr
+	}
 	if cancelled {
 		return sweepInterrupted(data.Points, func(i int) bool { return data.Points[i].Failed })
 	}
@@ -482,7 +497,7 @@ func sweepPipelined(ctx context.Context, alg string, full bool, opts atgpu.Optio
 // SIGINT the completed points, trace and metrics are still flushed (the
 // summary is skipped — it would describe a truncated sweep) before the
 // cancellation error propagates.
-func sweep(ctx context.Context, alg string, full bool, opts atgpu.Options, traceOut, metricsOut string) error {
+func sweep(ctx context.Context, alg string, full bool, opts atgpu.Options, traceOut, metricsOut, outDir, runLabel string) error {
 	cfg := opts.ExperimentConfig()
 	cfg.Full = full
 	cfg.Context = ctx
@@ -531,6 +546,9 @@ func sweep(ctx context.Context, alg string, full bool, opts atgpu.Options, trace
 		fmt.Print(s.String())
 	}
 	if werr := writeObs(data.Obs, traceOut, metricsOut); werr != nil {
+		return werr
+	}
+	if werr := persistSweepRecords(outDir, runLabel, data.Records, opts.Workers, time.Since(start)); werr != nil {
 		return werr
 	}
 	if cancelled {

@@ -6,7 +6,7 @@
 //
 //	atgpud [-addr :8080] [-workers 4] [-queue 64] [-per-client 16]
 //	       [-timeout 2m] [-drain 10s] [-cache 256] [-warm gtx650]
-//	       [-manifest atgpud-manifest.json]
+//	       [-manifest atgpud-manifest.json] [-results results.jsonl]
 //
 // Jobs are tracked in a manifest with an explicit state machine
 // (pending → running → success|failed|timeout|cancelled) and an
@@ -47,6 +47,7 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache entry bound")
 	warm := flag.String("warm", "gtx650", "comma-separated device presets to pre-calibrate at boot")
 	manifest := flag.String("manifest", "atgpud-manifest.json", "persist the job manifest here on shutdown (empty disables)")
+	resultsPath := flag.String("results", "", "append successful jobs' records to this JSONL result store (empty disables)")
 	flag.Parse()
 
 	cfg := service.ServerConfig{
@@ -57,6 +58,7 @@ func main() {
 		DrainTimeout:   *drain,
 		CacheEntries:   *cache,
 		ManifestPath:   *manifest,
+		ResultsPath:    *resultsPath,
 	}
 	if *warm != "" {
 		cfg.Warm = strings.Split(*warm, ",")

@@ -8,105 +8,46 @@
 // allocs_per_op when the benchmark ran with -benchmem or b.ReportAllocs
 // (the observability overhead benches rely on these to prove the
 // disabled path allocates nothing) — so CI artifacts can be diffed and
-// plotted without re-parsing the bench text format.
+// plotted without re-parsing the bench text format. The parsing itself
+// lives in internal/results, the same model `atgpu results gate`
+// checks trajectories with.
 //
 // With -baseline FILE the freshly parsed results are additionally compared
 // against a committed bench2json artifact: any benchmark present in both
 // whose ns/op regressed by more than -max-regress (a fraction, default
-// 0.15) fails the run with exit status 1. CI uses this as the simulator
-// perf-regression gate.
+// 0.15) fails the run with exit status 1.
+//
+// With -append STORE the fresh results are also appended to the JSONL
+// result store as kind "bench" records labelled -run, each carrying
+// -allowance as its per-benchmark gate threshold override (0 = the
+// gate's default). This is how CI extends the committed trajectory.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"time"
+
+	"atgpu/internal/results"
 )
 
-// result is one benchmark line, e.g.
-// "BenchmarkSweepWorkers/workers=4-8   5   238217412 ns/op".
-type result struct {
-	Name  string  `json:"name"`
-	Procs int     `json:"procs,omitempty"`
-	Runs  int64   `json:"runs"`
-	NsOp  float64 `json:"ns_per_op"`
-	// BytesOp and AllocsOp are pointers so a reported zero (the
-	// allocation-free disabled observability path) survives in the
-	// JSON while benches without -benchmem omit the fields entirely.
-	BytesOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsOp *int64   `json:"allocs_per_op,omitempty"`
-}
-
-func parseLine(line string) (result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return result{}, false
-	}
-	// Values always precede their unit: "<float> ns/op", and with
-	// -benchmem also "<float> B/op" and "<int> allocs/op".
-	idx := -1
-	for i, f := range fields {
-		if f == "ns/op" {
-			idx = i
-			break
-		}
-	}
-	if idx < 2 {
-		return result{}, false
-	}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return result{}, false
-	}
-	ns, err := strconv.ParseFloat(fields[idx-1], 64)
-	if err != nil {
-		return result{}, false
-	}
-	r := result{Name: fields[0], Runs: runs, NsOp: ns}
-	for i, f := range fields {
-		switch f {
-		case "B/op":
-			if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
-				r.BytesOp = &v
-			}
-		case "allocs/op":
-			if v, err := strconv.ParseInt(fields[i-1], 10, 64); err == nil {
-				r.AllocsOp = &v
-			}
-		}
-	}
-	// Split the trailing -P GOMAXPROCS suffix go test appends.
-	if cut := strings.LastIndex(r.Name, "-"); cut > 0 {
-		if p, err := strconv.Atoi(r.Name[cut+1:]); err == nil {
-			r.Name, r.Procs = r.Name[:cut], p
-		}
-	}
-	return r, true
-}
-
-// checkBaseline compares results against the committed baseline artifact
-// and returns one message per benchmark whose ns/op regressed beyond
-// maxRegress. Benchmarks present on only one side are ignored (new benches
-// land before their baseline does).
-func checkBaseline(results []result, baselinePath string, maxRegress float64) ([]string, error) {
-	data, err := os.ReadFile(baselinePath)
+// checkBaseline compares fresh results against the committed baseline
+// artifact and returns one regression per benchmark beyond maxRegress.
+// Benchmarks present on only one side are ignored (new benches land
+// before their baseline does).
+func checkBaseline(fresh []results.BenchResult, baselinePath string, maxRegress float64) ([]string, error) {
+	base, err := results.ParseBenchFile(baselinePath)
 	if err != nil {
 		return nil, err
 	}
-	var base []result
-	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", baselinePath, err)
-	}
-	byName := make(map[string]result, len(base))
+	byName := make(map[string]results.BenchResult, len(base))
 	for _, b := range base {
 		byName[b.Name] = b
 	}
 	var regressions []string
-	for _, r := range results {
+	for _, r := range fresh {
 		b, ok := byName[r.Name]
 		if !ok || b.NsOp <= 0 {
 			continue
@@ -120,31 +61,55 @@ func checkBaseline(results []result, baselinePath string, maxRegress float64) ([
 	return regressions, nil
 }
 
+// appendStore appends the fresh results to the JSONL result store as
+// bench records.
+func appendStore(fresh []results.BenchResult, path, run string, allowance float64) error {
+	s, err := results.Open(path)
+	if err != nil {
+		return err
+	}
+	host, _ := os.Hostname()
+	env := &results.Env{SavedUnix: time.Now().Unix(), Host: host, Note: "bench2json"}
+	git := results.GitDescribe("")
+	for _, b := range fresh {
+		rec := b.Record(run, allowance)
+		rec.Git = git
+		if err := s.Append(rec, env); err != nil {
+			s.Close()
+			return err
+		}
+	}
+	return s.Close()
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "bench2json artifact to compare ns/op against")
 	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression vs -baseline")
+	appendPath := flag.String("append", "", "also append the results to this JSONL result store")
+	run := flag.String("run", "", "run label stamped on appended records")
+	allowance := flag.Float64("allowance", 0, "per-benchmark gate allowance stored with appended records (0 = gate default)")
 	flag.Parse()
 
-	var results []result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	fresh, err := results.ParseBenchText(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(fresh); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+	if *appendPath != "" {
+		if err := appendStore(fresh, *appendPath, *run, *allowance); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench2json: appended %d records to %s\n", len(fresh), *appendPath)
+	}
 	if *baseline != "" {
-		regressions, err := checkBaseline(results, *baseline, *maxRegress)
+		regressions, err := checkBaseline(fresh, *baseline, *maxRegress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench2json:", err)
 			os.Exit(1)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"atgpu/internal/results"
 	"atgpu/internal/stats"
 )
 
@@ -29,17 +30,65 @@ func mustSeries(name string, x, y []float64) stats.Series {
 	return s
 }
 
+// Column accessors over the canonical record. Records built from bare
+// test literals may carry no Predicted/Observed payload at all; a nil
+// payload reads as zero, exactly like the zero-valued point fields the
+// figures were originally built from.
+
+func colATGPUCost(r results.Record) float64 {
+	if r.Predicted == nil {
+		return 0
+	}
+	return r.Predicted.ATGPUCost
+}
+
+func colSWGPUCost(r results.Record) float64 {
+	if r.Predicted == nil {
+		return 0
+	}
+	return r.Predicted.SWGPUCost
+}
+
+func colDeltaPredicted(r results.Record) float64 {
+	if r.Predicted == nil {
+		return 0
+	}
+	return r.Predicted.Delta
+}
+
+func colTotalTime(r results.Record) float64 {
+	if r.Observed == nil {
+		return 0
+	}
+	return r.Observed.TotalS
+}
+
+func colKernelTime(r results.Record) float64 {
+	if r.Observed == nil {
+		return 0
+	}
+	return r.Observed.KernelS
+}
+
+func colDeltaObserved(r results.Record) float64 {
+	if r.Observed == nil {
+		return 0
+	}
+	return r.Observed.Delta
+}
+
 // PredictedFigure builds the "(a) Predicted results" panel: ATGPU vs SWGPU
 // cost against input size (Figures 3a, 4a, 5a).
 func PredictedFigure(id string, d *WorkloadData) Figure {
-	x := d.Sizes()
+	recs := d.records()
+	x := results.Sizes(recs)
 	return Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("%s: predicted cost (s)", d.Workload),
 		XLabel: "n",
 		Series: []stats.Series{
-			mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost })),
-			mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost })),
+			mustSeries("ATGPU", x, results.Column(recs, colATGPUCost)),
+			mustSeries("SWGPU", x, results.Column(recs, colSWGPUCost)),
 		},
 	}
 }
@@ -47,14 +96,15 @@ func PredictedFigure(id string, d *WorkloadData) Figure {
 // ObservedFigure builds the "(b) Observed results" panel: total vs kernel
 // simulated time (Figures 3b, 4b, 5b).
 func ObservedFigure(id string, d *WorkloadData) Figure {
-	x := d.Sizes()
+	recs := d.records()
+	x := results.Sizes(recs)
 	return Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("%s: observed time (s)", d.Workload),
 		XLabel: "n",
 		Series: []stats.Series{
-			mustSeries("Total", x, d.column(func(p WorkloadPoint) float64 { return p.TotalTime })),
-			mustSeries("Kernel", x, d.column(func(p WorkloadPoint) float64 { return p.KernelTime })),
+			mustSeries("Total", x, results.Column(recs, colTotalTime)),
+			mustSeries("Kernel", x, results.Column(recs, colKernelTime)),
 		},
 	}
 }
@@ -62,12 +112,13 @@ func ObservedFigure(id string, d *WorkloadData) Figure {
 // NormalisedFigure builds the "(c) Normalised results" panel: all four
 // series rescaled to [0,1] (Figures 3c, 4c).
 func NormalisedFigure(id string, d *WorkloadData) Figure {
-	x := d.Sizes()
+	recs := d.records()
+	x := results.Sizes(recs)
 	raw := []stats.Series{
-		mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost })),
-		mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost })),
-		mustSeries("Total", x, d.column(func(p WorkloadPoint) float64 { return p.TotalTime })),
-		mustSeries("Kernel", x, d.column(func(p WorkloadPoint) float64 { return p.KernelTime })),
+		mustSeries("ATGPU", x, results.Column(recs, colATGPUCost)),
+		mustSeries("SWGPU", x, results.Column(recs, colSWGPUCost)),
+		mustSeries("Total", x, results.Column(recs, colTotalTime)),
+		mustSeries("Kernel", x, results.Column(recs, colKernelTime)),
 	}
 	norm := make([]stats.Series, len(raw))
 	for i, s := range raw {
@@ -84,14 +135,15 @@ func NormalisedFigure(id string, d *WorkloadData) Figure {
 // DeltaFigure builds one Figure 6 panel: the predicted (Δ_T) and observed
 // (Δ_E) proportions of time/cost allocated to data transfer.
 func DeltaFigure(id string, d *WorkloadData) Figure {
-	x := d.Sizes()
+	recs := d.records()
+	x := results.Sizes(recs)
 	return Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("%s: transfer proportion Δ", d.Workload),
 		XLabel: "n",
 		Series: []stats.Series{
-			mustSeries("ΔE (Observed)", x, d.column(func(p WorkloadPoint) float64 { return p.DeltaObserved })),
-			mustSeries("ΔT (Predicted)", x, d.column(func(p WorkloadPoint) float64 { return p.DeltaPredicted })),
+			mustSeries("ΔE (Observed)", x, results.Column(recs, colDeltaObserved)),
+			mustSeries("ΔT (Predicted)", x, results.Column(recs, colDeltaPredicted)),
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"atgpu/internal/algorithms"
 	"atgpu/internal/core"
 	"atgpu/internal/obs"
+	"atgpu/internal/results"
 	"atgpu/internal/sched"
 	"atgpu/internal/simgpu"
 )
@@ -85,9 +86,51 @@ type PipelineData struct {
 	Workload string
 	// Points holds one entry per input size, ascending.
 	Points []PipelinePoint
+	// Records holds the canonical result records, one per point in
+	// point order, stamped with the run identity.
+	Records []results.Record
 	// Obs folds every point's report in point order, each tagged
 	// "<workload> n=<N>" (nil unless Config.Obs enables collection).
 	Obs *obs.Report
+}
+
+// PipelinePointRecord converts one pipeline point into the canonical
+// record shape (payload only, no run identity).
+func PipelinePointRecord(workload string, pt PipelinePoint) results.Record {
+	rec := results.Record{
+		Kind:     "pipeline",
+		Workload: workload,
+		N:        pt.N,
+		Chunks:   pt.Chunks,
+		Failed:   pt.Failed,
+		Err:      pt.Err,
+	}
+	if pt.PredictedSequential != 0 || pt.PredictedPipelined != 0 {
+		rec.Predicted = &results.Predicted{
+			SequentialS: pt.PredictedSequential,
+			PipelinedS:  pt.PredictedPipelined,
+			SavingS:     pt.PredictedSaving,
+		}
+	}
+	if pt.SequentialTime > 0 || pt.PipelinedTime > 0 {
+		rec.Observed = &results.Observed{
+			SequentialS: pt.SequentialTime,
+			PipelinedS:  pt.PipelinedTime,
+			SavingS:     pt.ObservedSaving,
+		}
+	}
+	if snap := pt.Obs.Snapshot(); !snap.Empty() {
+		rec.Obs = &snap
+	}
+	return rec
+}
+
+// PipelineRecord converts one pipeline point into the canonical record
+// stamped with this runner's run identity.
+func (r *Runner) PipelineRecord(workload string, pt PipelinePoint) results.Record {
+	rec := PipelinePointRecord(workload, pt)
+	r.stampIdentity(&rec)
+	return rec
 }
 
 // runPipelineSweep mirrors runSweep for pipeline points: points are
@@ -109,6 +152,10 @@ func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, 
 	})
 	if err != nil {
 		return nil, err
+	}
+	data.Records = make([]results.Record, len(data.Points))
+	for i := range data.Points {
+		data.Records[i] = r.PipelineRecord(workload, data.Points[i])
 	}
 	if err := r.foldPipelineObs(workload, data); err != nil {
 		return nil, err

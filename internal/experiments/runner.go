@@ -42,6 +42,7 @@ import (
 	"atgpu/internal/mem"
 	"atgpu/internal/models"
 	"atgpu/internal/obs"
+	"atgpu/internal/results"
 	"atgpu/internal/sched"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
@@ -422,9 +423,14 @@ type WorkloadData struct {
 	// Points holds one entry per input size, ascending; under fault
 	// injection some may be Failed. Figures and summaries use Successful.
 	Points []WorkloadPoint
+	// Records holds the canonical result records, one per point in
+	// point order, stamped with the run identity (machine, seed,
+	// workers, fault plan). Summaries, figures and every persistence
+	// path render from these.
+	Records []results.Record
 	// Transfers and Resilience aggregate every point's engine and host
 	// totals — failed points included — folded in point order with the
-	// stats Merge methods.
+	// stats Merge methods (via results.Fold over Records).
 	Transfers  transfer.Stats
 	Resilience simgpu.ResilienceStats
 	// Obs folds every point's report in point order, each tagged
@@ -455,23 +461,94 @@ func (w *WorkloadData) FailedPoints() int {
 }
 
 // Sizes returns the x vector over successful points.
-func (w *WorkloadData) Sizes() []float64 {
-	pts := w.Successful()
-	xs := make([]float64, len(pts))
-	for i, p := range pts {
-		xs[i] = float64(p.N)
+func (w *WorkloadData) Sizes() []float64 { return results.Sizes(w.records()) }
+
+// records returns the canonical records, deriving bare ones (payload
+// only, no run identity) when the sweep was assembled by hand — test
+// fixtures and partial data — rather than by a runner.
+func (w *WorkloadData) records() []results.Record {
+	if w.Records != nil {
+		return w.Records
 	}
-	return xs
+	recs := make([]results.Record, len(w.Points))
+	for i, p := range w.Points {
+		recs[i] = PointRecord("sweep", w.Workload, p)
+	}
+	return recs
 }
 
-// column extracts one metric across successful points.
-func (w *WorkloadData) column(f func(WorkloadPoint) float64) []float64 {
-	pts := w.Successful()
-	ys := make([]float64, len(pts))
-	for i, p := range pts {
-		ys[i] = f(p)
+// PointRecord converts one sweep point into the canonical record
+// shape: payload only — predicted/observed costs, engine and recovery
+// counters, metrics snapshot — with no run identity stamped. Runner
+// sweeps stamp identity on top (see WorkloadData.Records); callers
+// assembling records outside a runner get the bare conversion.
+func PointRecord(kind, workload string, pt WorkloadPoint) results.Record {
+	rec := results.Record{
+		Kind:     kind,
+		Workload: workload,
+		N:        pt.N,
+		Failed:   pt.Failed,
+		Err:      pt.Err,
 	}
-	return ys
+	if pt.ATGPUCost != 0 || pt.SWGPUCost != 0 || pt.DeltaPredicted != 0 {
+		rec.Predicted = &results.Predicted{
+			ATGPUCost: pt.ATGPUCost,
+			SWGPUCost: pt.SWGPUCost,
+			Delta:     pt.DeltaPredicted,
+		}
+	}
+	if pt.TotalTime > 0 || pt.Failed {
+		rec.Observed = &results.Observed{
+			TotalS:    pt.TotalTime,
+			KernelS:   pt.KernelTime,
+			TransferS: pt.TransferTime,
+			SyncS:     pt.SyncTime,
+			Delta:     pt.DeltaObserved,
+		}
+	}
+	if pt.Transfers != (transfer.Stats{}) {
+		t := pt.Transfers
+		rec.Transfers = &t
+	}
+	if pt.Resilience != (simgpu.ResilienceStats{}) {
+		rs := pt.Resilience
+		rec.Resilience = &rs
+	}
+	if snap := pt.Obs.Snapshot(); !snap.Empty() {
+		rec.Obs = &snap
+	}
+	return rec
+}
+
+// Record converts one point into the canonical record stamped with
+// this runner's full run identity: the machine (device, scheme, σ),
+// the input seed and the fault plan.
+func (r *Runner) Record(kind, workload string, pt WorkloadPoint) results.Record {
+	rec := PointRecord(kind, workload, pt)
+	r.stampIdentity(&rec)
+	return rec
+}
+
+// stampIdentity fills a record's run-identity fields from the config.
+// The git stamp and worker count are deliberately not set here: sweep
+// data must be byte-identical for any worker count and across commits
+// that don't change behaviour, so the CLIs stamp both on the records
+// they persist.
+func (r *Runner) stampIdentity(rec *results.Record) {
+	rec.Seed = r.cfg.Seed
+	rec.Machine = &results.Machine{
+		Device:     r.cfg.Device,
+		Scheme:     r.cfg.Scheme.String(),
+		SyncCostUs: r.cfg.SyncCost.Microseconds(),
+	}
+	if r.cfg.FaultRate > 0 {
+		rec.Faults = &results.FaultPlan{
+			Rate:       r.cfg.FaultRate,
+			Seed:       r.cfg.FaultSeed,
+			MaxRetries: r.cfg.MaxRetries,
+			WatchdogUs: r.cfg.Watchdog.Microseconds(),
+		}
+	}
 }
 
 // runSweep executes one point per size through point, dispatching to the
@@ -501,10 +578,13 @@ func (r *Runner) runSweep(workload string, sizes []int, point func(idx, n int) (
 	if err != nil {
 		return nil, err
 	}
+	data.Records = make([]results.Record, len(data.Points))
 	for i := range data.Points {
-		data.Transfers.Merge(data.Points[i].Transfers)
-		data.Resilience.Merge(data.Points[i].Resilience)
+		data.Records[i] = r.Record("sweep", workload, data.Points[i])
 	}
+	agg := results.Fold(data.Records)
+	data.Transfers = agg.Transfers
+	data.Resilience = agg.Resilience
 	if r.cfg.Obs.Enabled() {
 		data.Obs = r.newSweepReport()
 		for i := range data.Points {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"atgpu/internal/results"
 	"atgpu/internal/stats"
 )
 
@@ -49,22 +50,26 @@ type Summary struct {
 
 // Summarise computes the Section IV-D statistics for one sweep. Statistics
 // cover the successful points; failed points contribute only to the
-// resilience aggregates.
+// resilience aggregates, which come from the same record fold the
+// sweep's own totals use.
 func Summarise(d *WorkloadData) (Summary, error) {
-	s := Summary{Workload: d.Workload, FailedPoints: d.FailedPoints()}
-	for _, p := range d.Points {
-		s.Retries += p.Transfers.Retries
-		s.WatchdogFires += p.Resilience.WatchdogFires
-		s.DegradedLaunches += p.Resilience.DegradedLaunches
+	recs := d.records()
+	agg := results.Fold(recs)
+	s := Summary{
+		Workload:         d.Workload,
+		FailedPoints:     agg.Failed,
+		Retries:          agg.Transfers.Retries,
+		WatchdogFires:    agg.Resilience.WatchdogFires,
+		DegradedLaunches: agg.Resilience.DegradedLaunches,
 	}
-	pts := d.Successful()
+	pts := results.Successful(recs)
 	if len(pts) == 0 {
 		return Summary{}, fmt.Errorf("experiments: no successful points for %s (%d failed)",
 			d.Workload, s.FailedPoints)
 	}
 
-	dObs := d.column(func(p WorkloadPoint) float64 { return p.DeltaObserved })
-	dPred := d.column(func(p WorkloadPoint) float64 { return p.DeltaPredicted })
+	dObs := results.Column(recs, colDeltaObserved)
+	dPred := results.Column(recs, colDeltaPredicted)
 	s.MeanDeltaObserved = stats.Mean(dObs)
 	s.MeanDeltaPredicted = stats.Mean(dPred)
 	gap, err := stats.MeanAbsDiff(dPred, dObs)
@@ -74,20 +79,20 @@ func Summarise(d *WorkloadData) (Summary, error) {
 	s.MeanDeltaGap = gap
 
 	// Captured share: kernel-side time over total, averaged over sizes.
-	// Points without an observed total (TotalTime <= 0) carry no share and
-	// are skipped, not averaged in as zeros.
+	// Points without an observed total carry no share and are skipped,
+	// not averaged in as zeros.
 	captured := make([]float64, 0, len(pts))
-	for _, p := range pts {
-		if p.TotalTime > 0 {
-			captured = append(captured, (p.KernelTime+p.SyncTime)/p.TotalTime)
+	for _, r := range pts {
+		if r.Observed != nil && r.Observed.TotalS > 0 {
+			captured = append(captured, (r.Observed.KernelS+r.Observed.SyncS)/r.Observed.TotalS)
 		}
 	}
 	s.SWGPUCaptured = stats.Mean(captured)
 
-	x := d.Sizes()
-	total := mustSeries("Total", x, d.column(func(p WorkloadPoint) float64 { return p.TotalTime }))
-	at := mustSeries("ATGPU", x, d.column(func(p WorkloadPoint) float64 { return p.ATGPUCost }))
-	sw := mustSeries("SWGPU", x, d.column(func(p WorkloadPoint) float64 { return p.SWGPUCost }))
+	x := results.Sizes(recs)
+	total := mustSeries("Total", x, results.Column(recs, colTotalTime))
+	at := mustSeries("ATGPU", x, results.Column(recs, colATGPUCost))
+	sw := mustSeries("SWGPU", x, results.Column(recs, colSWGPUCost))
 
 	if len(pts) >= 2 {
 		if s.ATGPUGrowthGap, err = stats.GrowthGap(at, total); err != nil {

@@ -54,6 +54,16 @@ func (r *Report) Merge(other *Report, tag string) {
 	r.Metrics.Merge(other.Metrics)
 }
 
+// Snapshot returns the report's metrics snapshot, folding the nil
+// (no-report) case into the empty snapshot so callers can embed it
+// into a canonical result record without a parallel format.
+func (r *Report) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return r.Metrics
+}
+
 // WriteTraceFile writes the trace as Perfetto JSON to path. Writing a
 // report with tracing disabled emits an empty trace.
 func (r *Report) WriteTraceFile(path string) error {

@@ -1,0 +1,22 @@
+package results
+
+import (
+	"os/exec"
+	"strings"
+)
+
+// GitDescribe returns the working tree's `git describe --always
+// --dirty` stamp, best effort: outside a repository (or without git)
+// it returns "". The stamp is part of a record's run identity — it
+// tells two trajectory entries from different commits apart — so only
+// real CLI runs stamp it; tests and goldens leave it empty.
+func GitDescribe(dir string) string {
+	if dir == "" {
+		dir = "."
+	}
+	out, err := exec.Command("git", "-C", dir, "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,143 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"atgpu/internal/simgpu"
+	"atgpu/internal/transfer"
+)
+
+// TestRecordBodyByteIdentical is the determinism contract: two records
+// of the same logical run marshal to byte-identical JSON, and the
+// envelope — the only thing that may vary — stays outside the body.
+func TestRecordBodyByteIdentical(t *testing.T) {
+	build := func() Record {
+		r := testRecord("sweep", "vecadd", 4096)
+		r.Seed = 7
+		r.Transfers = &transfer.Stats{InTransactions: 3, InWords: 4096}
+		return r
+	}
+	a, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs marshalled differently:\n%s\nvs\n%s", a, b)
+	}
+
+	// Differing envelopes must not leak into the body bytes.
+	ea, _ := json.Marshal(Entry{Record: build(), Env: &Env{SavedUnix: 111, Host: "a", WallMs: 5}})
+	eb, _ := json.Marshal(Entry{Record: build(), Env: &Env{SavedUnix: 222, Host: "b", WallMs: 9}})
+	var da, db Entry
+	if err := json.Unmarshal(ea, &da); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(eb, &db); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := json.Marshal(da.Record)
+	bb, _ := json.Marshal(db.Record)
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("env leaked into the record body:\n%s\nvs\n%s", ba, bb)
+	}
+}
+
+func TestRecordKeys(t *testing.T) {
+	r := testRecord("sweep", "vecadd", 4096)
+	r.Seed = 7
+
+	// Run label, git stamp and worker count never split the identity.
+	other := testRecord("sweep", "vecadd", 4096)
+	other.Seed = 7
+	other.Run, other.Git, other.Workers = "runB", "abc123-dirty", 8
+	if r.Key() != other.Key() {
+		t.Fatalf("run metadata split the key: %q vs %q", r.Key(), other.Key())
+	}
+
+	// The machine does split Key but not CompareKey.
+	big := testRecord("sweep", "vecadd", 4096)
+	big.Seed = 7
+	big.Machine = &Machine{Device: simgpu.GTX1080(), Scheme: "pageable", SyncCostUs: 50}
+	if r.Key() == big.Key() {
+		t.Fatal("different devices share a Key")
+	}
+	if r.CompareKey() != big.CompareKey() {
+		t.Fatalf("CompareKey split on machine: %q vs %q", r.CompareKey(), big.CompareKey())
+	}
+
+	// Size, seed, kind and chunks all split both.
+	for _, mut := range []func(*Record){
+		func(x *Record) { x.N = 8192 },
+		func(x *Record) { x.Seed = 8 },
+		func(x *Record) { x.Kind = "pipeline" },
+		func(x *Record) { x.Chunks = 4 },
+	} {
+		x := testRecord("sweep", "vecadd", 4096)
+		x.Seed = 7
+		mut(&x)
+		if x.Key() == r.Key() || x.CompareKey() != x.key(true) {
+			t.Fatalf("mutation did not split the key: %q", x.Key())
+		}
+	}
+}
+
+func TestRecordMetric(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		v    float64
+		unit string
+		ok   bool
+	}{
+		{"bench", Record{Bench: &Bench{NsOp: 1500}}, 1500, "ns/op", true},
+		{"observed total", Record{Observed: &Observed{TotalS: 2.5}}, 2.5, "s", true},
+		{"pipeline observed", Record{Observed: &Observed{PipelinedS: 1.25}}, 1.25, "s", true},
+		{"predicted only", Record{Predicted: &Predicted{ATGPUCost: 0.5}}, 0.5, "s", true},
+		{"predicted pipeline", Record{Predicted: &Predicted{PipelinedS: 0.75}}, 0.75, "s", true},
+		{"empty", Record{}, 0, "", false},
+	}
+	for _, c := range cases {
+		v, unit, ok := c.rec.Metric()
+		if v != c.v || unit != c.unit || ok != c.ok {
+			t.Fatalf("%s: Metric() = %v %q %v, want %v %q %v", c.name, v, unit, ok, c.v, c.unit, c.ok)
+		}
+	}
+}
+
+func TestFoldAndColumns(t *testing.T) {
+	recs := []Record{
+		{Kind: "sweep", N: 10, Observed: &Observed{TotalS: 1},
+			Transfers:  &transfer.Stats{Retries: 2, InWords: 100},
+			Resilience: &simgpu.ResilienceStats{WatchdogFires: 1}},
+		{Kind: "sweep", N: 20, Failed: true, Err: "boom",
+			Transfers: &transfer.Stats{Retries: 3}},
+		{Kind: "sweep", N: 30, Observed: &Observed{TotalS: 3}},
+	}
+	agg := Fold(recs)
+	if agg.Failed != 1 || agg.Transfers.Retries != 5 || agg.Transfers.InWords != 100 ||
+		agg.Resilience.WatchdogFires != 1 {
+		t.Fatalf("Fold = %+v", agg)
+	}
+
+	if got := Sizes(recs); len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Fatalf("Sizes = %v, want successful sizes [10 30]", got)
+	}
+	col := Column(recs, func(r Record) float64 {
+		if r.Observed == nil {
+			return 0
+		}
+		return r.Observed.TotalS
+	})
+	if len(col) != 2 || col[0] != 1 || col[1] != 3 {
+		t.Fatalf("Column = %v, want [1 3]", col)
+	}
+	if got := Successful(recs); len(got) != 2 {
+		t.Fatalf("Successful kept %d records, want 2", len(got))
+	}
+}

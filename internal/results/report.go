@@ -1,0 +1,223 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diff is one key's A-versus-B comparison. When the key exists on only
+// one side, the other side's value is absent and OnlyA/OnlyB marks it.
+type Diff struct {
+	// Key is the shared identity (Record.Key or CompareKey).
+	Key string `json:"key"`
+	// Label is the human form: "kind workload [device] n=…".
+	Label string `json:"label"`
+	// Unit is the metric unit ("s", "ns/op").
+	Unit string `json:"unit,omitempty"`
+	// A and B are the two sides' headline metrics.
+	A float64 `json:"a,omitempty"`
+	B float64 `json:"b,omitempty"`
+	// Delta is the fractional change (B−A)/A, when both sides exist
+	// and A is nonzero.
+	Delta float64 `json:"delta,omitempty"`
+	// OnlyA and OnlyB mark keys present on one side only.
+	OnlyA bool `json:"only_a,omitempty"`
+	OnlyB bool `json:"only_b,omitempty"`
+}
+
+// Report is a rendered comparison of two entry sets.
+type Report struct {
+	// LabelA and LabelB name the two sides (run labels, machine names).
+	LabelA string `json:"label_a"`
+	LabelB string `json:"label_b"`
+	// Diffs holds one row per identity key, sorted by key.
+	Diffs []Diff `json:"diffs"`
+}
+
+// CompareOptions shapes Compare.
+type CompareOptions struct {
+	// IgnoreMachine aligns records across device presets (CompareKey
+	// instead of Key) — the machine-comparison mode.
+	IgnoreMachine bool
+}
+
+// Compare matches two entry sets by record identity and diffs their
+// headline metrics. Within one side, the last entry per key wins (the
+// sets are append-ordered). Records without a metric are skipped.
+func Compare(a, b []Entry, labelA, labelB string, opts CompareOptions) Report {
+	key := func(r Record) string {
+		if opts.IgnoreMachine {
+			return r.CompareKey()
+		}
+		return r.Key()
+	}
+	type side struct {
+		v     float64
+		unit  string
+		label string
+	}
+	collect := func(entries []Entry) map[string]side {
+		m := make(map[string]side, len(entries))
+		for _, e := range entries {
+			v, unit, ok := e.Record.Metric()
+			if !ok {
+				continue
+			}
+			m[key(e.Record)] = side{v: v, unit: unit, label: label(e.Record)}
+		}
+		return m
+	}
+	ma, mb := collect(a), collect(b)
+
+	keys := make([]string, 0, len(ma)+len(mb))
+	for k := range ma {
+		keys = append(keys, k)
+	}
+	for k := range mb {
+		if _, ok := ma[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	rep := Report{LabelA: labelA, LabelB: labelB}
+	for _, k := range keys {
+		sa, okA := ma[k]
+		sb, okB := mb[k]
+		d := Diff{Key: k, OnlyA: okA && !okB, OnlyB: okB && !okA}
+		switch {
+		case okA:
+			d.Unit, d.Label, d.A = sa.unit, sa.label, sa.v
+		case okB:
+			d.Unit, d.Label = sb.unit, sb.label
+		}
+		if okB {
+			d.B = sb.v
+		}
+		if okA && okB && sa.v != 0 {
+			d.Delta = (sb.v - sa.v) / sa.v
+		}
+		rep.Diffs = append(rep.Diffs, d)
+	}
+	return rep
+}
+
+// label renders a record's human-readable row label.
+func label(r Record) string {
+	var sb strings.Builder
+	sb.WriteString(r.Kind)
+	if r.Workload != "" {
+		sb.WriteString(" ")
+		sb.WriteString(r.Workload)
+	}
+	if r.Machine != nil && r.Machine.Device.Name != "" {
+		fmt.Fprintf(&sb, " [%s]", r.Machine.Device.Name)
+	}
+	if r.N > 0 {
+		fmt.Fprintf(&sb, " n=%d", r.N)
+	}
+	if r.Chunks > 0 {
+		fmt.Fprintf(&sb, " chunks=%d", r.Chunks)
+	}
+	return sb.String()
+}
+
+// num renders a metric value compactly and deterministically.
+func num(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// delta renders a fractional change as a signed percentage.
+func delta(d Diff) string {
+	if d.OnlyA {
+		return "only A"
+	}
+	if d.OnlyB {
+		return "only B"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*d.Delta)
+}
+
+// WriteText renders the report as an aligned text table.
+func (rep Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "comparison: %s vs %s (%d rows)\n",
+		rep.LabelA, rep.LabelB, len(rep.Diffs)); err != nil {
+		return err
+	}
+	width := len("result")
+	for _, d := range rep.Diffs {
+		if len(d.Label) > width {
+			width = len(d.Label)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %14s %14s %9s %s\n",
+		width, "result", rep.LabelA, rep.LabelB, "change", "unit"); err != nil {
+		return err
+	}
+	for _, d := range rep.Diffs {
+		a, b := "-", "-"
+		if !d.OnlyB {
+			a = num(d.A)
+		}
+		if !d.OnlyA {
+			b = num(d.B)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %14s %14s %9s %s\n",
+			width, d.Label, a, b, delta(d), d.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the report as a markdown table.
+func (rep Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Results: %s vs %s\n\n", rep.LabelA, rep.LabelB); err != nil {
+		return err
+	}
+	if len(rep.Diffs) == 0 {
+		_, err := fmt.Fprintln(w, "No comparable records.")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| result | %s | %s | change | unit |\n|---|---:|---:|---:|---|\n",
+		rep.LabelA, rep.LabelB); err != nil {
+		return err
+	}
+	for _, d := range rep.Diffs {
+		a, b := "—", "—"
+		if !d.OnlyB {
+			a = num(d.A)
+		}
+		if !d.OnlyA {
+			b = num(d.B)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			d.Label, a, b, delta(d), d.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as an indented JSON document.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Write renders the report in the named format: "text", "markdown" or
+// "json".
+func (rep Report) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return rep.WriteText(w)
+	case "markdown", "md":
+		return rep.WriteMarkdown(w)
+	case "json":
+		return rep.WriteJSON(w)
+	}
+	return fmt.Errorf("results: unknown report format %q (want text, markdown or json)", format)
+}

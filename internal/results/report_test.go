@@ -1,0 +1,135 @@
+package results
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atgpu/internal/simgpu"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report fixtures under testdata/")
+
+// diffEntries builds two small run snapshots: run B is a uniform 10%
+// slower than run A on vecadd, drops the matmul point and adds a scan
+// point, exercising every diff row shape.
+func diffEntries() (a, b []Entry) {
+	mk := func(run, workload string, n int, total float64) Entry {
+		r := testRecord("sweep", workload, n)
+		r.Run = run
+		r.Seed = 7
+		r.Observed.TotalS = total
+		return Entry{Record: r}
+	}
+	a = []Entry{
+		mk("runA", "vecadd", 1000, 0.010),
+		mk("runA", "vecadd", 2000, 0.020),
+		mk("runA", "matmul", 64, 0.500),
+	}
+	b = []Entry{
+		mk("runB", "vecadd", 1000, 0.011),
+		mk("runB", "vecadd", 2000, 0.022),
+		mk("runB", "scan", 4096, 0.125),
+	}
+	return a, b
+}
+
+// TestGoldenMarkdownDiff pins the `results diff` markdown rendering to
+// a committed fixture. Regenerate deliberately with:
+//
+//	go test ./internal/results/ -run TestGoldenMarkdownDiff -update-golden
+func TestGoldenMarkdownDiff(t *testing.T) {
+	a, b := diffEntries()
+	rep := Compare(a, b, "runA", "runB", CompareOptions{})
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "diff_golden.md")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("markdown diff diverged from %s; rerun with -update-golden and review:\n%s", golden, buf.String())
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a, b := diffEntries()
+	rep := Compare(a, b, "runA", "runB", CompareOptions{})
+	if len(rep.Diffs) != 4 {
+		t.Fatalf("%d diff rows, want 4 (2 shared + 1 only-A + 1 only-B)", len(rep.Diffs))
+	}
+	var shared, onlyA, onlyB int
+	for _, d := range rep.Diffs {
+		switch {
+		case d.OnlyA:
+			onlyA++
+			if !strings.Contains(d.Label, "matmul") {
+				t.Fatalf("only-A row = %+v, want the matmul point", d)
+			}
+		case d.OnlyB:
+			onlyB++
+		default:
+			shared++
+			if d.Delta < 0.099 || d.Delta > 0.101 {
+				t.Fatalf("shared row delta = %v, want ~+10%%", d.Delta)
+			}
+		}
+	}
+	if shared != 2 || onlyA != 1 || onlyB != 1 {
+		t.Fatalf("row mix = %d shared, %d only-A, %d only-B", shared, onlyA, onlyB)
+	}
+}
+
+// TestCompareIgnoreMachine: the machine-comparison mode aligns the same
+// measurement taken on two device presets.
+func TestCompareIgnoreMachine(t *testing.T) {
+	a := testRecord("sweep", "vecadd", 1000)
+	b := testRecord("sweep", "vecadd", 1000)
+	b.Machine = &Machine{Device: simgpu.GTX1080(), Scheme: "pageable", SyncCostUs: 50}
+	b.Observed.TotalS = a.Observed.TotalS / 2
+
+	strict := Compare([]Entry{{Record: a}}, []Entry{{Record: b}}, "tiny", "gtx1080", CompareOptions{})
+	for _, d := range strict.Diffs {
+		if !d.OnlyA && !d.OnlyB {
+			t.Fatalf("strict compare aligned different machines: %+v", d)
+		}
+	}
+	loose := Compare([]Entry{{Record: a}}, []Entry{{Record: b}}, "tiny", "gtx1080",
+		CompareOptions{IgnoreMachine: true})
+	if len(loose.Diffs) != 1 || loose.Diffs[0].OnlyA || loose.Diffs[0].OnlyB {
+		t.Fatalf("machine compare rows = %+v, want one shared row", loose.Diffs)
+	}
+	if d := loose.Diffs[0].Delta; d > -0.49 || d < -0.51 {
+		t.Fatalf("machine compare delta = %v, want ~-50%%", d)
+	}
+}
+
+func TestReportFormats(t *testing.T) {
+	a, b := diffEntries()
+	rep := Compare(a, b, "A", "B", CompareOptions{})
+	for _, format := range []string{"text", "markdown", "md", "json", ""} {
+		var buf bytes.Buffer
+		if err := rep.Write(&buf, format); err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q produced nothing", format)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
 	"atgpu/internal/experiments"
+	"atgpu/internal/results"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
@@ -299,6 +300,12 @@ type Result struct {
 	// Lint is the lint payload.
 	Lint *analyze.Report `json:"lint,omitempty"`
 
+	// Records carries the same payload in the canonical result-record
+	// shape, one per point, stamped with the request's machine identity
+	// (but no git or worker stamp — the result must stay deterministic
+	// for the cache). The daemon appends these to its result store.
+	Records []results.Record `json:"records,omitempty"`
+
 	// FailedPoints counts points that exhausted fault recovery (a
 	// deterministic outcome of the fault plan, so still cacheable).
 	FailedPoints int `json:"failed_points,omitempty"`
@@ -413,6 +420,7 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 			return nil, err
 		}
 		doc.Point = &pt
+		doc.Records = []results.Record{runner.Record("analyze", req.Workload, pt)}
 	case "lint":
 		prog, blocks, err := algorithms.BuiltinKernel(req.Workload, req.N, cfg.Device.WarpWidth)
 		if err != nil {
@@ -434,8 +442,12 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 			return nil, err
 		}
 		doc.FailedPoints = data.FailedPoints()
+		doc.Records = data.Records
 		if req.Kind == "run" {
 			doc.Point = &data.Points[0]
+			// The sweep machinery stamped kind "sweep"; a one-point run
+			// is its own kind in the store.
+			doc.Records[0].Kind = "run"
 		} else {
 			doc.Points = data.Points
 		}
@@ -445,6 +457,7 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 			return nil, err
 		}
 		doc.Pipeline = data.Points
+		doc.Records = data.Records
 		for _, p := range data.Points {
 			if p.Failed {
 				doc.FailedPoints++

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
 	"atgpu/internal/experiments"
+	"atgpu/internal/results"
 	"atgpu/internal/sched"
 )
 
@@ -34,6 +36,10 @@ type ServerConfig struct {
 	// ManifestPath, when set, receives the persisted manifest on
 	// shutdown.
 	ManifestPath string
+	// ResultsPath, when set, opens the canonical result store there:
+	// every successful job's records are appended, stamped with the job
+	// ID, so the daemon's history is queryable with `atgpu results`.
+	ResultsPath string
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
 	// Warm lists device presets to pre-calibrate at boot.
@@ -70,6 +76,8 @@ type Server struct {
 	manifest *Manifest
 	cache    *Cache
 	exec     *Executor
+	store    *results.Store
+	git      string
 
 	// mu guards draining and serialises queue sends, so the
 	// length-check-then-send admission is race-free (workers only ever
@@ -98,6 +106,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if err := s.exec.Warm(cfg.Warm...); err != nil {
 		return nil, err
+	}
+	if cfg.ResultsPath != "" {
+		store, err := results.Open(cfg.ResultsPath)
+		if err != nil {
+			return nil, fmt.Errorf("service: open result store: %w", err)
+		}
+		s.store = store
+		s.git = results.GitDescribe("")
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
@@ -228,6 +244,7 @@ func (s *Server) record(id string, ctx context.Context, out jobOutcome) {
 	switch {
 	case out.err == nil:
 		s.manifest.finish(id, StateSuccess, "", "", out.data, out.hit)
+		s.persistRecords(id, out.data)
 	case errors.As(out.err, &pe):
 		s.manifest.finish(id, StateFailed, pe.Error(), string(pe.Stack), nil, false)
 	case errors.Is(out.err, experiments.ErrCancelled),
@@ -244,6 +261,38 @@ func (s *Server) record(id string, ctx context.Context, out jobOutcome) {
 		}
 	default:
 		s.manifest.finish(id, StateFailed, out.err.Error(), "", nil, false)
+	}
+}
+
+// persistRecords appends a successful job's canonical records to the
+// result store (when configured): the deterministic record body comes
+// straight out of the result document — cache hits included — and the
+// envelope carries the wall time, host and job ID. Append failures are
+// logged on the job's manifest entry as an event, never failed: the
+// result itself is already recorded.
+func (s *Server) persistRecords(id string, data []byte) {
+	if s.store == nil {
+		return
+	}
+	var doc struct {
+		Records []results.Record `json:"records"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.Records) == 0 {
+		return
+	}
+	host, _ := os.Hostname()
+	env := &results.Env{
+		SavedUnix: time.Now().Unix(),
+		Host:      host,
+		Note:      "job " + id,
+	}
+	for _, rec := range doc.Records {
+		rec.Run = id
+		rec.Git = s.git
+		if err := s.store.Append(rec, env); err != nil {
+			s.manifest.appendEvent(id, "result store append failed: "+err.Error())
+			return
+		}
 	}
 }
 
@@ -341,8 +390,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	var err error
+	if s.store != nil {
+		err = s.store.Close()
+	}
 	if s.cfg.ManifestPath != "" {
-		err = s.manifest.Save(s.cfg.ManifestPath)
+		if serr := s.manifest.Save(s.cfg.ManifestPath); err == nil {
+			err = serr
+		}
 	}
 	if !drained && err == nil {
 		err = fmt.Errorf("service: drain deadline expired; running jobs were cancelled")

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"atgpu/internal/results"
 )
 
 // newTestServer starts a full daemon core (workers running) and tears it
@@ -438,5 +440,69 @@ func TestHTTPAPI(t *testing.T) {
 	dresp.Body.Close()
 	if dresp.StatusCode != 200 {
 		t.Fatalf("delete terminal job = %d", dresp.StatusCode)
+	}
+}
+
+// TestServerResultStore: with ResultsPath configured, every successful
+// job's canonical records land in the store stamped with the job ID —
+// cache hits included — and the store survives daemon shutdown.
+func TestServerResultStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s := newTestServer(t, ServerConfig{Workers: 2, ResultsPath: path})
+	req := Request{Kind: "run", Workload: "vecadd", N: 64, Device: "tiny"}
+
+	first, err := s.Submit("t", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := waitTerminal(t, s, first.ID)
+	second, err := s.Submit("t", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := waitTerminal(t, s, second.ID)
+	if a.State != StateSuccess || b.State != StateSuccess || !b.CacheHit {
+		t.Fatalf("jobs = %s/%s cachehit=%v", a.State, b.State, b.CacheHit)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2 (fresh + cache hit)", store.Len())
+	}
+	for i, id := range []string{a.ID, b.ID} {
+		entry, ok := store.Latest(results.Filter{Run: id})
+		if !ok {
+			t.Fatalf("no stored record for job %s", id)
+		}
+		rec := entry.Record
+		if rec.Kind != "run" || rec.Workload != "vecadd" || rec.N != 64 {
+			t.Fatalf("record %d = kind=%q workload=%q n=%d", i, rec.Kind, rec.Workload, rec.N)
+		}
+		if rec.Machine == nil || rec.Machine.Device.Name == "" {
+			t.Fatalf("record %d missing machine identity: %+v", i, rec)
+		}
+		if entry.Env == nil || entry.Env.Note != "job "+id {
+			t.Fatalf("record %d envelope = %+v, want job note", i, entry.Env)
+		}
+	}
+	// The two jobs produced the same simulation: identical record bodies,
+	// distinguished only by the Run stamp and envelope.
+	ea, _ := store.Latest(results.Filter{Run: a.ID})
+	eb, _ := store.Latest(results.Filter{Run: b.ID})
+	ea.Record.Run, eb.Record.Run = "", ""
+	ja, _ := json.Marshal(ea.Record)
+	jb, _ := json.Marshal(eb.Record)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("fresh vs cached record bodies differ:\n%s\nvs\n%s", ja, jb)
 	}
 }

@@ -9,9 +9,12 @@
 // (zero allocation per simulated step):
 //
 //   - notime: deterministic packages (timeline, simgpu, transfer,
-//     experiments) must not read the wall clock (time.Now, time.Since,
-//     time.Until) or draw from math/rand's global source. Explicitly
-//     seeded generators — rand.New(rand.NewSource(seed)) — stay legal.
+//     experiments, results) must not read the wall clock (time.Now,
+//     time.Since, time.Until) or draw from math/rand's global source.
+//     Explicitly seeded generators — rand.New(rand.NewSource(seed)) —
+//     stay legal. For results this is what keeps record bodies
+//     byte-identical across re-runs: wall-clock only enters through the
+//     Env envelope its callers stamp at persist time.
 //
 //   - maporder: no package may feed output directly from a map iteration
 //     (printing, writer or hash calls inside a range over a map); keys
@@ -51,6 +54,7 @@ var DeterministicPackages = []string{
 	"atgpu/internal/simgpu",
 	"atgpu/internal/transfer",
 	"atgpu/internal/experiments",
+	"atgpu/internal/results",
 }
 
 // RecoverGuardedPackages lists the import paths whose goroutines must be

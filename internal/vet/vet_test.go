@@ -80,6 +80,20 @@ func allowedHere() (int64, int) { return time.Now().Unix(), rand.Int() }
 	}
 }
 
+// The results package holds the canonical record model whose bodies must
+// be byte-identical across re-runs, so it sits under the notime contract
+// alongside the simulator packages.
+func TestNoTimeCoversResultsPackage(t *testing.T) {
+	src := `package results
+
+import "time"
+
+func bad() int64 { return time.Now().Unix() }
+`
+	ds := checkSrc(t, "atgpu/internal/results", src)
+	wantDiags(t, ds, [2]interface{}{"notime", 5})
+}
+
 func TestNoTimeRespectsImportRename(t *testing.T) {
 	src := `package simgpu
 

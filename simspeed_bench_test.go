@@ -9,8 +9,9 @@ package atgpu
 //
 // Each op simulates one full launch of simSpeedBlocks thread blocks on the
 // GTX650 preset; divide ns/op by simSpeedBlocks for ns per simulated block.
-// CI parses `-bench SimSpeed` output into BENCH_simspeed.json and fails on
-// >15% ns/op regression against testdata/BENCH_simspeed_baseline.json.
+// CI parses `-bench SimSpeed` output into BENCH_simspeed.json; the gate
+// job fails on >15% ns/op regression against the committed benchmark
+// trajectory (testdata/trajectory.jsonl, via `atgpu results gate`).
 
 import (
 	"testing"
