@@ -25,6 +25,13 @@
 // With -check, the harness exits non-zero if any job ended in a
 // non-success state or if the daemon leaked non-terminal jobs after the
 // run — the CI gate.
+//
+// The harness also scrapes GET /metrics before and after every level and
+// folds the daemon's own view of that window — mean queue wait, mean
+// execute-phase latency, rejections, cache hits/misses — into each level
+// of the JSON report, so BENCH_service.json carries both the client-side
+// and the server-side account of the same run. A daemon without /metrics
+// (or an unparsable exposition) simply omits the server view.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"atgpu/internal/obs"
 	"atgpu/internal/service"
 )
 
@@ -88,7 +96,10 @@ func main() {
 	}
 	rep := report{Mode: *mode, URL: *url, Request: tmpl}
 	for _, lvl := range levels {
-		rep.Levels = append(rep.Levels, runLevel(*url, tmpl, *n, lvl, !*same))
+		before := scrapeMetrics(*url)
+		lr := runLevel(*url, tmpl, *n, lvl, !*same)
+		lr.Server = serverDelta(before, scrapeMetrics(*url))
+		rep.Levels = append(rep.Levels, lr)
 	}
 	for _, l := range rep.Levels {
 		rep.OK += l.OK
@@ -143,8 +154,13 @@ func (r report) print(w io.Writer) {
 	fmt.Fprintf(w, "%4s %6s %6s %6s %8s %9s %9s %9s %10s\n",
 		"c", "ok", "fail", "429s", "secs", "p50(ms)", "p95(ms)", "p99(ms)", "jobs/s")
 	for _, l := range r.Levels {
-		fmt.Fprintf(w, "%4d %6d %6d %6d %8.2f %9.2f %9.2f %9.2f %10.1f\n",
+		fmt.Fprintf(w, "%4d %6d %6d %6d %8.2f %9.2f %9.2f %9.2f %10.1f",
 			l.C, l.OK, l.Failed, l.Rejected, l.DurationS, l.P50ms, l.P95ms, l.P99ms, l.JobsPerSec)
+		if s := l.Server; s != nil {
+			fmt.Fprintf(w, "  [srv wait=%.2fms exec=%.2fms hits=%d misses=%d]",
+				s.QueueWaitMsMean, s.ExecMsMean, s.CacheHits, s.CacheMisses)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "total ok=%d failed=%d rejected=%d error_rate=%.4f non_terminal_after=%d\n",
 		r.OK, r.Failed, r.Rejected, r.ErrorRate, r.NonTerminalAfter)
@@ -163,8 +179,88 @@ type levelReport struct {
 	P95ms      float64 `json:"p95_ms"`
 	P99ms      float64 `json:"p99_ms"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Server is the daemon's own account of this level, from /metrics
+	// deltas; nil when the daemon does not serve metrics.
+	Server *serverView `json:"server,omitempty"`
 	// Errors samples the first few failure messages for diagnosis.
 	Errors []string `json:"errors,omitempty"`
+}
+
+// serverView is the server-side account of one level: the delta between
+// the /metrics scrapes bracketing it.
+type serverView struct {
+	QueueWaitMsMean float64 `json:"queue_wait_ms_mean"`
+	ExecMsMean      float64 `json:"exec_ms_mean"`
+	JobsSucceeded   int64   `json:"jobs_succeeded"`
+	Rejected        int64   `json:"rejected"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+}
+
+// scrapeMetrics fetches and parses the daemon's Prometheus exposition.
+// Best-effort: any failure yields nil and the report omits the server
+// view rather than failing the load run.
+func scrapeMetrics(url string) *obs.PromExposition {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	exp, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atgpu-load: /metrics exposition invalid: %v\n", err)
+		return nil
+	}
+	return exp
+}
+
+// counterDelta reads a counter family's total from both scrapes,
+// optionally filtered to one label value, and returns the difference.
+func counterDelta(before, after *obs.PromExposition, family, labelKey, labelVal string) int64 {
+	total := func(exp *obs.PromExposition) float64 {
+		f := exp.Family(family)
+		if f == nil {
+			return 0
+		}
+		sum := 0.0
+		for _, s := range f.Samples {
+			if labelKey != "" && s.Label(labelKey) != labelVal {
+				continue
+			}
+			sum += s.Value
+		}
+		return sum
+	}
+	return int64(total(after) - total(before))
+}
+
+// histogramMeanMs returns the mean of a latency histogram family over
+// the window between the two scrapes, in milliseconds.
+func histogramMeanMs(before, after *obs.PromExposition, family string) float64 {
+	c0, s0, _ := before.HistogramTotal(family)
+	c1, s1, ok := after.HistogramTotal(family)
+	if !ok || c1-c0 <= 0 {
+		return 0
+	}
+	return (s1 - s0) / (c1 - c0) / 1e6
+}
+
+// serverDelta folds two scrapes into the level's server-side view.
+func serverDelta(before, after *obs.PromExposition) *serverView {
+	if before == nil || after == nil {
+		return nil
+	}
+	return &serverView{
+		QueueWaitMsMean: histogramMeanMs(before, after, service.MetricQueueWaitNs),
+		ExecMsMean:      histogramMeanMs(before, after, service.MetricExecNs),
+		JobsSucceeded:   counterDelta(before, after, service.MetricJobsTotal, "state", "success"),
+		Rejected:        counterDelta(before, after, service.MetricRejectedTotal, "", ""),
+		CacheHits:       counterDelta(before, after, service.MetricCacheHitsTotal, "", ""),
+		CacheMisses:     counterDelta(before, after, service.MetricCacheMissesTotal, "", ""),
+	}
 }
 
 // runLevel drives n requests through c concurrent clients and collects

@@ -7,6 +7,16 @@
 //	atgpud [-addr :8080] [-workers 4] [-queue 64] [-per-client 16]
 //	       [-timeout 2m] [-drain 10s] [-cache 256] [-warm gtx650]
 //	       [-manifest atgpud-manifest.json] [-results results.jsonl]
+//	       [-trace-ring 256] [-pprof-addr ""] [-quiet]
+//
+// Telemetry: the daemon logs every job transition and HTTP request as
+// JSON (log/slog) on stderr, serves wall-clock operational metrics at
+// GET /metrics (Prometheus text; /metrics.json and /metrics.otlp for
+// JSON and OTLP-shaped export), an aggregate service timeline at
+// GET /tracez (Perfetto), and per-job artifacts at
+// GET /v1/jobs/{id}/trace and /v1/jobs/{id}/metrics for jobs submitted
+// with "trace"/"metrics" set. -pprof-addr exposes net/http/pprof on a
+// separate listener (off by default, never on the API address).
 //
 // Jobs are tracked in a manifest with an explicit state machine
 // (pending → running → success|failed|timeout|cancelled) and an
@@ -28,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +59,9 @@ func main() {
 	warm := flag.String("warm", "gtx650", "comma-separated device presets to pre-calibrate at boot")
 	manifest := flag.String("manifest", "atgpud-manifest.json", "persist the job manifest here on shutdown (empty disables)")
 	resultsPath := flag.String("results", "", "append successful jobs' records to this JSONL result store (empty disables)")
+	traceRing := flag.Int("trace-ring", 0, "per-job trace/metrics retention ring size (0 = default 256)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	quiet := flag.Bool("quiet", false, "suppress structured JSON logs on stderr")
 	flag.Parse()
 
 	cfg := service.ServerConfig{
@@ -59,17 +73,21 @@ func main() {
 		CacheEntries:   *cache,
 		ManifestPath:   *manifest,
 		ResultsPath:    *resultsPath,
+		TraceRing:      *traceRing,
+	}
+	if !*quiet {
+		cfg.LogWriter = os.Stderr
 	}
 	if *warm != "" {
 		cfg.Warm = strings.Split(*warm, ",")
 	}
-	if err := run(*addr, cfg); err != nil {
+	if err := run(*addr, *pprofAddr, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "atgpud: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.ServerConfig) error {
+func run(addr, pprofAddr string, cfg service.ServerConfig) error {
 	svc, err := service.NewServer(cfg)
 	if err != nil {
 		return err
@@ -78,6 +96,26 @@ func run(addr string, cfg service.ServerConfig) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if pprofAddr != "" {
+		// pprof is registered on the default mux by its blank import;
+		// serve it on its own listener so profiling endpoints never share
+		// the API address. Best-effort: a dead pprof listener is logged,
+		// not fatal.
+		pprofServer := &http.Server{Addr: pprofAddr, Handler: http.DefaultServeMux}
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					fmt.Fprintf(os.Stderr, "atgpud: pprof server panic: %v\n", v)
+				}
+			}()
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "atgpud: pprof listener: %v\n", err)
+			}
+		}()
+		defer pprofServer.Close()
+		fmt.Fprintf(os.Stderr, "atgpud: pprof on %s\n", pprofAddr)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

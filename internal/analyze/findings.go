@@ -182,10 +182,10 @@ type Report struct {
 	// Precise reports that every branch decision and memory address was
 	// statically known, making Stats/Sites/Cost exact predictions of the
 	// simulator rather than estimates.
-	Precise  bool        `json:"precise"`
-	Findings []Finding   `json:"findings"`
-	Stats    StaticStats `json:"stats"`
-	Sites    []Site      `json:"sites,omitempty"`
+	Precise  bool          `json:"precise"`
+	Findings []Finding     `json:"findings"`
+	Stats    StaticStats   `json:"stats"`
+	Sites    []Site        `json:"sites,omitempty"`
 	Cost     *CostEstimate `json:"cost,omitempty"`
 }
 

@@ -139,14 +139,16 @@ func (r *Runner) PipelineRecord(workload string, pt PipelinePoint) results.Recor
 // cancellation returns the partial data with ErrCancelled.
 func (r *Runner) runPipelineSweep(workload string, sizes []int, point func(idx, n int) (PipelinePoint, error)) (*PipelineData, error) {
 	data := &PipelineData{Workload: workload, Points: make([]PipelinePoint, len(sizes))}
-	errs := sched.Run(r.cfg.ctx(), len(sizes), r.cfg.workers(), func(i int) error {
-		pt, err := point(i, sizes[i])
-		if err != nil {
-			return err
-		}
-		data.Points[i] = pt
-		return nil
-	})
+	errs := sched.RunOpts(r.cfg.ctx(), len(sizes),
+		sched.Options{Workers: r.cfg.workers(), Observer: r.cfg.SchedObserver},
+		func(i int) error {
+			pt, err := point(i, sizes[i])
+			if err != nil {
+				return err
+			}
+			data.Points[i] = pt
+			return nil
+		})
 	cancelled, err := absorbSweepErrs(errs, func(i int, failed WorkloadPoint) {
 		data.Points[i] = PipelinePoint{N: sizes[i], Failed: true, Err: failed.Err}
 	})

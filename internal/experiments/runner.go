@@ -112,6 +112,13 @@ type Config struct {
 	// device Tracer attached, embedding per-block spans in the trace.
 	Obs obs.Options
 
+	// SchedObserver, when non-nil, receives sched.Observer callbacks for
+	// every sweep point dispatched (one scheduler job per point). It is
+	// an operational hook — the atgpud telemetry plane counts live
+	// points through it — and never affects results: observed and
+	// unobserved sweeps are byte-identical.
+	SchedObserver sched.Observer
+
 	// Lint arms a static-analysis pre-flight on every point's kernel
 	// launches: ModeWarn reports findings to LintWriter, ModeError also
 	// refuses launches with error-severity findings. Off by default.
@@ -563,14 +570,16 @@ func (r *Runner) stampIdentity(rec *results.Record) {
 // points as Failed and returns the partial data with ErrCancelled.
 func (r *Runner) runSweep(workload string, sizes []int, point func(idx, n int) (WorkloadPoint, error)) (*WorkloadData, error) {
 	data := &WorkloadData{Workload: workload, Points: make([]WorkloadPoint, len(sizes))}
-	errs := sched.Run(r.cfg.ctx(), len(sizes), r.cfg.workers(), func(i int) error {
-		pt, err := point(i, sizes[i])
-		if err != nil {
-			return err
-		}
-		data.Points[i] = pt
-		return nil
-	})
+	errs := sched.RunOpts(r.cfg.ctx(), len(sizes),
+		sched.Options{Workers: r.cfg.workers(), Observer: r.cfg.SchedObserver},
+		func(i int) error {
+			pt, err := point(i, sizes[i])
+			if err != nil {
+				return err
+			}
+			data.Points[i] = pt
+			return nil
+		})
 	cancelled, err := absorbSweepErrs(errs, func(i int, failed WorkloadPoint) {
 		failed.N = sizes[i]
 		data.Points[i] = failed

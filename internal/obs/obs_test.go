@@ -119,7 +119,7 @@ func TestSnapshotMergeIsOrderIndependent(t *testing.T) {
 		t.Fatalf("counter = %d, want 8", got)
 	}
 	h := fwd.Histograms["atgpu_transfer_in_ns"]
-	if h.Count != 3 || h.Sum != (time.Microsecond + 3*time.Microsecond + 40*time.Nanosecond).Nanoseconds() {
+	if h.Count != 3 || h.Sum != (time.Microsecond+3*time.Microsecond+40*time.Nanosecond).Nanoseconds() {
 		t.Fatalf("histogram = %+v", h)
 	}
 }

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// OTLP/JSON export of a Snapshot (ROADMAP item 5: "export the
+// internal/obs metrics registry as OTel/Grafana-ready output"). The
+// shapes below mirror the OpenTelemetry metrics protobuf rendered
+// through the canonical proto3 JSON mapping — resourceMetrics →
+// scopeMetrics → metrics, counters as monotonic cumulative sums with
+// int64 values string-encoded, gauges as double points, histograms
+// with explicitBounds/bucketCounts — so an OTLP/HTTP collector's JSON
+// receiver ingests the output directly.
+//
+// Timestamps are caller-supplied: obs itself never reads the wall
+// clock (the notime vet pass), and a simulated-time snapshot has no
+// intrinsic wall-clock anyway. Callers pass the scrape instant; tests
+// pass a constant for byte-stable goldens.
+
+type otlpExport struct {
+	ResourceMetrics []otlpResourceMetrics `json:"resourceMetrics"`
+}
+
+type otlpResourceMetrics struct {
+	Resource     otlpResource       `json:"resource"`
+	ScopeMetrics []otlpScopeMetrics `json:"scopeMetrics"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpScopeMetrics struct {
+	Scope   otlpScope    `json:"scope"`
+	Metrics []otlpMetric `json:"metrics"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+type otlpMetric struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Unit        string         `json:"unit,omitempty"`
+	Sum         *otlpSum       `json:"sum,omitempty"`
+	Gauge       *otlpGauge     `json:"gauge,omitempty"`
+	Histogram   *otlpHistogram `json:"histogram,omitempty"`
+}
+
+// aggregationTemporality 2 = cumulative, matching both the registry
+// semantics and the Prometheus exposition.
+const otlpCumulative = 2
+
+type otlpSum struct {
+	DataPoints             []otlpNumberPoint `json:"dataPoints"`
+	AggregationTemporality int               `json:"aggregationTemporality"`
+	IsMonotonic            bool              `json:"isMonotonic"`
+}
+
+type otlpGauge struct {
+	DataPoints []otlpNumberPoint `json:"dataPoints"`
+}
+
+type otlpHistogram struct {
+	DataPoints             []otlpHistogramPoint `json:"dataPoints"`
+	AggregationTemporality int                  `json:"aggregationTemporality"`
+}
+
+type otlpNumberPoint struct {
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+	TimeUnixNano string         `json:"timeUnixNano"`
+	// Proto3 JSON string-encodes int64; exactly one of AsInt/AsDouble
+	// is set.
+	AsInt    string   `json:"asInt,omitempty"`
+	AsDouble *float64 `json:"asDouble,omitempty"`
+}
+
+type otlpHistogramPoint struct {
+	Attributes     []otlpKeyValue `json:"attributes,omitempty"`
+	TimeUnixNano   string         `json:"timeUnixNano"`
+	Count          string         `json:"count"`
+	Sum            float64        `json:"sum"`
+	BucketCounts   []string       `json:"bucketCounts"`
+	ExplicitBounds []float64      `json:"explicitBounds"`
+}
+
+// otlpAttrs converts a series' label block into datapoint attributes.
+func otlpAttrs(series string) []otlpKeyValue {
+	_, labelStr := splitSeries(series)
+	if labelStr == "" {
+		return nil
+	}
+	return parseSeriesAttrs(labelStr)
+}
+
+// parseSeriesAttrs parses the canonical `k="v",...` label block (as
+// composed by Name) back into key/value attributes.
+func parseSeriesAttrs(labelStr string) []otlpKeyValue {
+	labels, _, err := parseLabelBlock("{" + labelStr + "}")
+	if err != nil {
+		// A registry key not composed via Name; surface it as one
+		// opaque attribute rather than dropping it.
+		return []otlpKeyValue{{Key: "series_labels", Value: otlpAnyValue{StringValue: labelStr}}}
+	}
+	attrs := make([]otlpKeyValue, len(labels))
+	for i, l := range labels {
+		attrs[i] = otlpKeyValue{Key: l.Key, Value: otlpAnyValue{StringValue: l.Value}}
+	}
+	return attrs
+}
+
+// otlpUnit infers a unit from the repo naming scheme (_ns suffixes are
+// simulated or wall-clock nanoseconds).
+func otlpUnit(family string) string {
+	if strings.HasSuffix(family, "_ns") || strings.HasSuffix(family, "_ns_total") {
+		return "ns"
+	}
+	return ""
+}
+
+// WriteOTLP emits the snapshot as an OTLP/JSON ExportMetricsServiceRequest
+// for the given service.name resource attribute, stamping every data
+// point with nowUnixNano. Families and series are sorted, so equal
+// snapshots serialise to equal bytes for equal timestamps.
+func (s Snapshot) WriteOTLP(w io.Writer, serviceName string, nowUnixNano int64) error {
+	fams, order, err := s.families()
+	if err != nil {
+		return err
+	}
+	ts := strconv.FormatInt(nowUnixNano, 10)
+	metrics := make([]otlpMetric, 0, len(order))
+	for _, fam := range order {
+		f := fams[fam]
+		m := otlpMetric{Name: fam, Description: helpFor(fam), Unit: otlpUnit(fam)}
+		switch f.typ {
+		case "counter":
+			sum := &otlpSum{AggregationTemporality: otlpCumulative, IsMonotonic: true}
+			for _, k := range f.series {
+				sum.DataPoints = append(sum.DataPoints, otlpNumberPoint{
+					Attributes:   otlpAttrs(k),
+					TimeUnixNano: ts,
+					AsInt:        strconv.FormatInt(s.Counters[k], 10),
+				})
+			}
+			m.Sum = sum
+		case "gauge":
+			g := &otlpGauge{}
+			for _, k := range f.series {
+				v := s.Gauges[k]
+				g.DataPoints = append(g.DataPoints, otlpNumberPoint{
+					Attributes:   otlpAttrs(k),
+					TimeUnixNano: ts,
+					AsDouble:     &v,
+				})
+			}
+			m.Gauge = g
+		case "histogram":
+			hg := &otlpHistogram{AggregationTemporality: otlpCumulative}
+			for _, k := range f.series {
+				h := s.Histograms[k]
+				// Bounds match the Prometheus exposition: 2^i − 1 ns per
+				// bucket, one overflow bucket past the last bound.
+				bounds := make([]float64, histBuckets)
+				counts := make([]string, histBuckets+1)
+				for i, c := range h.Buckets {
+					bounds[i] = float64((int64(1) << i) - 1)
+					counts[i] = strconv.FormatInt(c, 10)
+				}
+				counts[histBuckets] = strconv.FormatInt(h.Overflow, 10)
+				hg.DataPoints = append(hg.DataPoints, otlpHistogramPoint{
+					Attributes:     otlpAttrs(k),
+					TimeUnixNano:   ts,
+					Count:          strconv.FormatInt(h.Count, 10),
+					Sum:            float64(h.Sum),
+					BucketCounts:   counts,
+					ExplicitBounds: bounds,
+				})
+			}
+			m.Histogram = hg
+		}
+		metrics = append(metrics, m)
+	}
+	doc := otlpExport{ResourceMetrics: []otlpResourceMetrics{{
+		Resource: otlpResource{Attributes: []otlpKeyValue{
+			{Key: "service.name", Value: otlpAnyValue{StringValue: serviceName}},
+		}},
+		ScopeMetrics: []otlpScopeMetrics{{
+			Scope:   otlpScope{Name: "atgpu/internal/obs"},
+			Metrics: metrics,
+		}},
+	}}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

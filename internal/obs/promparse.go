@@ -1,0 +1,482 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the Prometheus text exposition format (version
+// 0.0.4) — the other half of WritePrometheus. It exists so the repo can
+// prove, in-process, that everything it exposes at /metrics is exactly
+// what a real scraper would ingest: the round-trip test feeds
+// WritePrometheus output back through ParsePrometheus and compares
+// values, the load harness uses it to read the daemon's server-side
+// counters, and the chaos suite uses it to assert every scrape under
+// storm parses.
+//
+// The parser is deliberately stricter than a production scraper: it
+// requires a # TYPE header before any sample of a family, contiguous
+// family blocks, valid metric/label grammar, and internally consistent
+// histograms (cumulative buckets, le="+Inf" equal to _count). Our own
+// writer always satisfies these, so any violation is a regression.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Series is the full series name as written (family + label block).
+	Series string
+	// Labels holds the parsed label pairs in appearance order.
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s PromSample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// PromFamily is one metric family: its # TYPE, # HELP and samples in
+// appearance order. For histograms the samples are the raw _bucket,
+// _sum and _count series.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// PromExposition is a parsed scrape.
+type PromExposition struct {
+	// Families holds the families in appearance order.
+	Families []*PromFamily
+	byName   map[string]*PromFamily
+}
+
+// Family returns the named family, or nil.
+func (e *PromExposition) Family(name string) *PromFamily {
+	return e.byName[name]
+}
+
+// Value returns the value of the exact series (family plus canonical
+// label block, as composed by Name) and whether it was present.
+func (e *PromExposition) Value(series string) (float64, bool) {
+	fam, _ := splitSeries(series)
+	f := e.byName[fam]
+	if f == nil {
+		// Histogram children live under their parent family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(fam, suffix); ok {
+				if pf := e.byName[base]; pf != nil {
+					f = pf
+					break
+				}
+			}
+		}
+	}
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Series == series {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CounterTotal sums every series of a counter (or gauge) family — the
+// label-blind view the load harness wants for families like
+// atgpud_rejected_total{reason=...}.
+func (e *PromExposition) CounterTotal(family string) (float64, bool) {
+	f := e.byName[family]
+	if f == nil {
+		return 0, false
+	}
+	total := 0.0
+	for _, s := range f.Samples {
+		total += s.Value
+	}
+	return total, true
+}
+
+// HistogramTotal sums a histogram family's _count and _sum across all
+// label sets, returning (count, sum).
+func (e *PromExposition) HistogramTotal(family string) (count, sum float64, ok bool) {
+	f := e.byName[family]
+	if f == nil || f.Type != "histogram" {
+		return 0, 0, false
+	}
+	for _, s := range f.Samples {
+		fam, _ := splitSeries(s.Series)
+		switch fam {
+		case family + "_count":
+			count += s.Value
+			ok = true
+		case family + "_sum":
+			sum += s.Value
+		}
+	}
+	return count, sum, ok
+}
+
+// validPromTypes enumerates the exposition format's metric types.
+var validPromTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return validMetricName(name)
+}
+
+// familyOf maps a sample's metric name onto its family given the open
+// family: histogram children (_bucket/_sum/_count) fold onto the parent.
+func familyOf(name, open string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && base == open {
+			return base
+		}
+	}
+	return name
+}
+
+// ParsePrometheus parses one text-format scrape, validating grammar and
+// histogram consistency. Any violation returns an error naming the line.
+func ParsePrometheus(r io.Reader) (*PromExposition, error) {
+	exp := &PromExposition{byName: make(map[string]*PromFamily)}
+	var open *PromFamily
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) (*PromExposition, error) {
+			return nil, fmt.Errorf("prometheus parse: line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, help, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return fail("invalid metric name in HELP")
+			}
+			if f := exp.byName[name]; f != nil {
+				return fail("duplicate HELP for family %s", name)
+			}
+			open = &PromFamily{Name: name, Help: help}
+			exp.Families = append(exp.Families, open)
+			exp.byName[name] = open
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return fail("malformed TYPE line")
+			}
+			name, typ := fields[0], fields[1]
+			if !validMetricName(name) {
+				return fail("invalid metric name in TYPE")
+			}
+			if !validPromTypes[typ] {
+				return fail("unknown metric type %q", typ)
+			}
+			if f := exp.byName[name]; f != nil {
+				// HELP may precede TYPE for the same (still open) family.
+				if f != open || f.Type != "" {
+					return fail("duplicate TYPE for family %s", name)
+				}
+				f.Type = typ
+				continue
+			}
+			open = &PromFamily{Name: name, Type: typ}
+			exp.Families = append(exp.Families, open)
+			exp.byName[name] = open
+		case strings.HasPrefix(line, "#"):
+			continue // free-form comment
+		default:
+			name, labels, value, err := parseSampleLine(line)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if open == nil {
+				return fail("sample before any # TYPE header")
+			}
+			fam := familyOf(name, open.Name)
+			if fam != open.Name {
+				return fail("sample outside its family block (open family %s)", open.Name)
+			}
+			series := canonicalSeries(name, labels)
+			if seen[series] {
+				return fail("duplicate series %s", series)
+			}
+			seen[series] = true
+			open.Samples = append(open.Samples, PromSample{Series: series, Labels: labels, Value: value})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range exp.Families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("prometheus parse: family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, fmt.Errorf("prometheus parse: family %s: %w", f.Name, err)
+			}
+		}
+	}
+	return exp, nil
+}
+
+// canonicalSeries renders name{labels...} with labels in appearance
+// order (the writer already sorts, so written order is canonical).
+func canonicalSeries(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	// Metric name runs to '{' or whitespace.
+	end := 0
+	for end < len(rest) && rest[end] != '{' && rest[end] != ' ' && rest[end] != '\t' {
+		end++
+	}
+	name = rest[:end]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = parseLabelBlock(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want value [timestamp] after name, got %q", rest)
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabelBlock parses `{k="v",...}` with escape handling, returning
+// the labels and the remainder of the line.
+func parseLabelBlock(s string) ([]Label, string, error) {
+	s = s[1:] // consume '{'
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validLabelKey(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s: unquoted value", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", key, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		s = s[i:]
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' after label %s", key)
+	}
+}
+
+// parsePromValue parses a sample value, accepting the format's special
+// floats.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return v, nil
+}
+
+// validateHistogram checks per-label-set consistency: cumulative
+// non-decreasing buckets in written order, an le="+Inf" bucket equal to
+// the matching _count, and a _sum present.
+func validateHistogram(f *PromFamily) error {
+	type hist struct {
+		lastLe    float64
+		lastCum   float64
+		inf       float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+		hasSum    bool
+		bucketSet bool
+	}
+	hists := make(map[string]*hist)
+	get := func(labels []Label) *hist {
+		// Key on the non-le labels, sorted.
+		var ks []string
+		for _, l := range labels {
+			if l.Key != "le" {
+				ks = append(ks, l.Key+"="+l.Value)
+			}
+		}
+		sort.Strings(ks)
+		k := strings.Join(ks, ",")
+		h, ok := hists[k]
+		if !ok {
+			h = &hist{lastLe: math.Inf(-1)}
+			hists[k] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		name, _ := splitSeries(s.Series)
+		h := get(s.Labels)
+		switch name {
+		case f.Name + "_bucket":
+			leStr := s.Label("le")
+			if leStr == "" {
+				return fmt.Errorf("bucket series %s without le label", s.Series)
+			}
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				return fmt.Errorf("bucket series %s: %v", s.Series, err)
+			}
+			if le <= h.lastLe {
+				return fmt.Errorf("bucket le %q out of order", leStr)
+			}
+			if h.bucketSet && s.Value < h.lastCum {
+				return fmt.Errorf("bucket counts not cumulative at le=%q (%v < %v)", leStr, s.Value, h.lastCum)
+			}
+			h.lastLe, h.lastCum, h.bucketSet = le, s.Value, true
+			if math.IsInf(le, 1) {
+				h.inf, h.hasInf = s.Value, true
+			}
+		case f.Name + "_sum":
+			h.hasSum = true
+		case f.Name + "_count":
+			h.count, h.hasCount = s.Value, true
+		default:
+			return fmt.Errorf("unexpected series %s in histogram family", s.Series)
+		}
+	}
+	for k, h := range hists {
+		if !h.hasInf || !h.hasCount || !h.hasSum {
+			return fmt.Errorf("label set {%s}: missing +Inf bucket, _sum or _count", k)
+		}
+		if h.inf != h.count {
+			return fmt.Errorf("label set {%s}: +Inf bucket %v != count %v", k, h.inf, h.count)
+		}
+	}
+	return nil
+}

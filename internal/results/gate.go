@@ -111,12 +111,18 @@ func ParseBenchText(r io.Reader) ([]BenchResult, error) {
 }
 
 // loadReport is the slice of cmd/atgpu-load's JSON report the gate
-// consumes: the per-concurrency latency levels.
+// consumes: the per-concurrency latency levels, plus the server-side
+// view the harness folds in from the daemon's /metrics deltas (absent
+// in reports taken against a daemon without a telemetry plane).
 type loadReport struct {
 	Mode   string `json:"mode"`
 	Levels []struct {
-		C     int     `json:"c"`
-		P50ms float64 `json:"p50_ms"`
+		C      int     `json:"c"`
+		P50ms  float64 `json:"p50_ms"`
+		Server *struct {
+			QueueWaitMsMean float64 `json:"queue_wait_ms_mean"`
+			ExecMsMean      float64 `json:"exec_ms_mean"`
+		} `json:"server"`
 	} `json:"levels"`
 }
 
@@ -125,7 +131,10 @@ type loadReport struct {
 // report object, whose per-level p50 latencies become pseudo-benchmarks
 // named "ServiceP50/c=<concurrency>" with ns/op = p50 (service
 // latencies are real wall time, so gate them with a generous
-// allowance).
+// allowance). Levels carrying the server-side /metrics view additionally
+// yield "ServiceQueueWaitMs/c=<n>" and "ServiceExecMs/c=<n>" from the
+// daemon's own histograms, so a queueing or execute-phase regression is
+// caught even when client-side round-trip numbers hide it.
 func ParseBenchFile(path string) ([]BenchResult, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -156,6 +165,23 @@ func ParseBenchFile(path string) ([]BenchResult, error) {
 				Runs: 1,
 				NsOp: lv.P50ms * 1e6,
 			})
+			if lv.Server == nil {
+				continue
+			}
+			if lv.Server.QueueWaitMsMean > 0 {
+				results = append(results, BenchResult{
+					Name: fmt.Sprintf("ServiceQueueWaitMs/c=%d", lv.C),
+					Runs: 1,
+					NsOp: lv.Server.QueueWaitMsMean * 1e6,
+				})
+			}
+			if lv.Server.ExecMsMean > 0 {
+				results = append(results, BenchResult{
+					Name: fmt.Sprintf("ServiceExecMs/c=%d", lv.C),
+					Runs: 1,
+					NsOp: lv.Server.ExecMsMean * 1e6,
+				})
+			}
 		}
 		return results, nil
 	}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// recordingObserver counts callbacks under a lock; callbacks arrive
+// concurrently with workers > 1.
+type recordingObserver struct {
+	mu      sync.Mutex
+	started map[int]int // index -> worker
+	done    map[int]error
+	doneW   map[int]int
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{
+		started: make(map[int]int),
+		done:    make(map[int]error),
+		doneW:   make(map[int]int),
+	}
+}
+
+func (o *recordingObserver) JobStart(index, worker int) {
+	o.mu.Lock()
+	o.started[index] = worker
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) JobDone(index, worker int, err error) {
+	o.mu.Lock()
+	o.done[index] = err
+	o.doneW[index] = worker
+	o.mu.Unlock()
+}
+
+func TestObserverSeesEveryJob(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		o := newRecordingObserver()
+		errs := RunOpts(context.Background(), 16, Options{Workers: workers, Observer: o}, func(i int) error {
+			switch i % 3 {
+			case 1:
+				return boom
+			case 2:
+				panic("job panic")
+			}
+			return nil
+		})
+		if len(o.started) != 16 || len(o.done) != 16 {
+			t.Fatalf("workers=%d: started=%d done=%d, want 16 each", workers, len(o.started), len(o.done))
+		}
+		for i := 0; i < 16; i++ {
+			if o.done[i] == nil != (errs[i] == nil) {
+				t.Errorf("workers=%d: observer err for %d = %v, Run reported %v", workers, i, o.done[i], errs[i])
+			}
+			if w := o.doneW[i]; w < 0 || w >= workers+1 {
+				t.Errorf("workers=%d: job %d done on worker %d", workers, i, w)
+			}
+			switch i % 3 {
+			case 1:
+				if !errors.Is(o.done[i], boom) {
+					t.Errorf("job %d: observer err = %v, want boom", i, o.done[i])
+				}
+			case 2:
+				var pe *PanicError
+				if !errors.As(o.done[i], &pe) {
+					t.Errorf("job %d: observer err = %v, want PanicError", i, o.done[i])
+				}
+			}
+		}
+	}
+}
+
+func TestObserverCancelledJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := newRecordingObserver()
+	release := make(chan struct{})
+	first := true
+	errs := RunOpts(ctx, 8, Options{Workers: 1, Observer: o}, func(i int) error {
+		if first {
+			first = false
+			cancel()
+			close(release)
+		}
+		<-release
+		return nil
+	})
+	cancelledJobs := 0
+	for i, err := range errs {
+		if errors.Is(err, ErrCancelled) {
+			cancelledJobs++
+			if _, ok := o.started[i]; ok {
+				t.Errorf("cancelled job %d reported JobStart", i)
+			}
+			if w := o.doneW[i]; w != -1 {
+				t.Errorf("cancelled job %d reported worker %d, want -1", i, w)
+			}
+			if !errors.Is(o.done[i], ErrCancelled) {
+				t.Errorf("cancelled job %d: observer err = %v", i, o.done[i])
+			}
+		}
+	}
+	if cancelledJobs == 0 {
+		t.Fatal("no job was cancelled")
+	}
+	if len(o.done) != 8 {
+		t.Fatalf("JobDone fired %d times, want 8 (every index, cancelled or not)", len(o.done))
+	}
+}
+
+// TestObserverDoesNotChangeResults pins the hook's operational-only
+// contract: the errs slice is identical with and without an observer.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	run := func(o Observer) []error {
+		return RunOpts(context.Background(), 12, Options{Workers: 3, Observer: o}, func(i int) error {
+			if i%4 == 2 {
+				return errors.New("expected")
+			}
+			return nil
+		})
+	}
+	plain := run(nil)
+	observed := run(newRecordingObserver())
+	for i := range plain {
+		if (plain[i] == nil) != (observed[i] == nil) {
+			t.Fatalf("index %d: plain=%v observed=%v", i, plain[i], observed[i])
+		}
+	}
+}

@@ -57,6 +57,33 @@ func Protect(fn func() error) (err error) {
 	return fn()
 }
 
+// Observer receives scheduling lifecycle callbacks, mirroring
+// timeline.SetObserver: synchronous, invoked from the goroutine running
+// the job, and expected to be cheap (a counter bump, a channel send the
+// observer owns). Implementations must be safe for concurrent use —
+// with workers > 1, callbacks for different indices arrive
+// concurrently. The atgpud telemetry plane uses this to expose live
+// worker-pool gauges without the pool knowing anything about metrics.
+type Observer interface {
+	// JobStart fires just before fn(index) runs on the given worker
+	// (workers are numbered 0..workers-1; the sequential path is
+	// worker 0).
+	JobStart(index, worker int)
+	// JobDone fires after fn(index) returns (err as Run would report
+	// it, including *PanicError). Indices cancelled before dispatch
+	// report JobDone with worker -1 and no preceding JobStart.
+	JobDone(index, worker int, err error)
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers is the pool size; <= 1 runs sequentially on the calling
+	// goroutine.
+	Workers int
+	// Observer, when non-nil, receives JobStart/JobDone callbacks.
+	Observer Observer
+}
+
 // Run executes fn(0) … fn(n-1) on up to workers goroutines and returns
 // one error slot per index: nil on success, the job's own error, a
 // *PanicError if the job panicked, or ErrCancelled if the context was
@@ -67,6 +94,13 @@ func Protect(fn func() error) (err error) {
 // batch behaves identically to a parallel one — the property the sweep
 // determinism tests pin.
 func Run(ctx context.Context, n, workers int, fn func(i int) error) []error {
+	return RunOpts(ctx, n, Options{Workers: workers}, fn)
+}
+
+// RunOpts is Run with an options struct, the form that carries the
+// observer hook. Observer callbacks never change scheduling or results:
+// a batch observed and a batch unobserved dispatch identically.
+func RunOpts(ctx context.Context, n int, opts Options, fn func(i int) error) []error {
 	errs := make([]error, n)
 	if n == 0 {
 		return errs
@@ -74,17 +108,31 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) []error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	obs := opts.Observer
+	cancelled := func(i int) {
+		errs[i] = fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+		if obs != nil {
+			obs.JobDone(i, -1, errs[i])
+		}
+	}
+	workers := opts.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				errs[i] = fmt.Errorf("%w: %v", ErrCancelled, err)
+			if ctx.Err() != nil {
+				cancelled(i)
 				continue
 			}
 			i := i
+			if obs != nil {
+				obs.JobStart(i, 0)
+			}
 			errs[i] = Protect(func() error { return fn(i) })
+			if obs != nil {
+				obs.JobDone(i, 0, errs[i])
+			}
 		}
 		return errs
 	}
@@ -93,13 +141,20 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) []error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		w := w
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				i := i
+				if obs != nil {
+					obs.JobStart(i, w)
+				}
 				// Protect recovers job panics into errs[i]; the worker
 				// goroutine itself therefore cannot die mid-batch.
 				errs[i] = Protect(func() error { return fn(i) })
+				if obs != nil {
+					obs.JobDone(i, w, errs[i])
+				}
 			}
 		}()
 	}
@@ -114,7 +169,7 @@ dispatch:
 	}
 	close(jobs)
 	for ; i < n; i++ {
-		errs[i] = fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+		cancelled(i)
 	}
 	wg.Wait()
 	return errs

@@ -28,10 +28,12 @@ type Cache struct {
 }
 
 // cacheEntry is one key's slot: in-flight (done open) or completed
-// (done closed, result set).
+// (done closed, result set). The stored *Artifacts is immutable: every
+// hit shares it, which is what makes a cached trace byte-identical to
+// the fresh run's.
 type cacheEntry struct {
 	done   chan struct{}
-	result []byte
+	result *Artifacts
 }
 
 // NewCache returns a cache holding at most max completed results
@@ -75,7 +77,7 @@ func (c *Cache) Stats() CacheStats {
 // error from Do is always the caller's own. hit reports whether the
 // result came from the cache (including a coalesced wait), which the
 // manifest records as CacheHit.
-func (c *Cache) Do(ctx context.Context, key uint64, compute func() ([]byte, error)) (result []byte, hit bool, err error) {
+func (c *Cache) Do(ctx context.Context, key uint64, compute func() (*Artifacts, error)) (result *Artifacts, hit bool, err error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {

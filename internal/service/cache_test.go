@@ -13,17 +13,17 @@ import (
 func TestCacheHitMissEvict(t *testing.T) {
 	c := NewCache(2)
 	ctx := context.Background()
-	compute := func(v string) func() ([]byte, error) {
-		return func() ([]byte, error) { return []byte(v), nil }
+	compute := func(v string) func() (*Artifacts, error) {
+		return func() (*Artifacts, error) { return &Artifacts{Result: []byte(v)}, nil }
 	}
 
 	got, hit, err := c.Do(ctx, 1, compute("one"))
-	if err != nil || hit || string(got) != "one" {
-		t.Fatalf("first Do = %q hit=%v err=%v", got, hit, err)
+	if err != nil || hit || string(got.Result) != "one" {
+		t.Fatalf("first Do = %q hit=%v err=%v", got.Result, hit, err)
 	}
 	got, hit, err = c.Do(ctx, 1, compute("IGNORED"))
-	if err != nil || !hit || string(got) != "one" {
-		t.Fatalf("second Do = %q hit=%v err=%v", got, hit, err)
+	if err != nil || !hit || string(got.Result) != "one" {
+		t.Fatalf("second Do = %q hit=%v err=%v", got.Result, hit, err)
 	}
 
 	c.Do(ctx, 2, compute("two"))
@@ -48,23 +48,23 @@ func TestCacheSingleFlightCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.Do(ctx, 7, func() ([]byte, error) {
+		c.Do(ctx, 7, func() (*Artifacts, error) {
 			computes++
 			close(leaderIn)
 			<-release
-			return []byte("shared"), nil
+			return &Artifacts{Result: []byte("shared")}, nil
 		})
 	}()
 	<-leaderIn
 
 	// Followers arrive while the leader computes; they must coalesce.
-	results := make([][]byte, 3)
+	results := make([]*Artifacts, 3)
 	hits := make([]bool, 3)
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], hits[i], _ = c.Do(ctx, 7, func() ([]byte, error) {
+			results[i], hits[i], _ = c.Do(ctx, 7, func() (*Artifacts, error) {
 				t.Error("follower computed despite in-flight leader")
 				return nil, nil
 			})
@@ -81,8 +81,8 @@ func TestCacheSingleFlightCoalesces(t *testing.T) {
 		t.Fatalf("computed %d times, want 1", computes)
 	}
 	for i := range results {
-		if string(results[i]) != "shared" || !hits[i] {
-			t.Fatalf("follower %d got %q hit=%v", i, results[i], hits[i])
+		if string(results[i].Result) != "shared" || !hits[i] {
+			t.Fatalf("follower %d got %q hit=%v", i, results[i].Result, hits[i])
 		}
 	}
 }
@@ -99,7 +99,7 @@ func TestCacheAbortedLeaderDoesNotPoisonWaiters(t *testing.T) {
 	var leaderErr error
 	go func() {
 		defer wg.Done()
-		_, _, leaderErr = c.Do(ctx, 9, func() ([]byte, error) {
+		_, _, leaderErr = c.Do(ctx, 9, func() (*Artifacts, error) {
 			close(leaderIn)
 			<-abort
 			return nil, boom
@@ -108,15 +108,15 @@ func TestCacheAbortedLeaderDoesNotPoisonWaiters(t *testing.T) {
 	<-leaderIn
 
 	waiterDone := make(chan struct{})
-	var got []byte
+	var got *Artifacts
 	var hit bool
 	var err error
 	go func() {
 		defer close(waiterDone)
-		got, hit, err = c.Do(ctx, 9, func() ([]byte, error) {
+		got, hit, err = c.Do(ctx, 9, func() (*Artifacts, error) {
 			// The waiter becomes the new leader after the abort and
 			// computes its own (successful) result.
-			return []byte("recovered"), nil
+			return &Artifacts{Result: []byte("recovered")}, nil
 		})
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -127,8 +127,8 @@ func TestCacheAbortedLeaderDoesNotPoisonWaiters(t *testing.T) {
 	if !errors.Is(leaderErr, boom) {
 		t.Fatalf("leader error = %v, want its own abort", leaderErr)
 	}
-	if err != nil || string(got) != "recovered" {
-		t.Fatalf("waiter got %q hit=%v err=%v — poisoned by the leader's abort", got, hit, err)
+	if err != nil || string(got.Result) != "recovered" {
+		t.Fatalf("waiter got %q hit=%v err=%v — poisoned by the leader's abort", got.Result, hit, err)
 	}
 	// Nothing non-deterministic was cached before the recovery.
 	if st := c.Stats(); st.Entries != 1 {
@@ -144,17 +144,17 @@ func TestCacheWaiterHonoursContext(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.Do(context.Background(), 5, func() ([]byte, error) {
+		c.Do(context.Background(), 5, func() (*Artifacts, error) {
 			close(leaderIn)
 			<-release
-			return []byte("late"), nil
+			return &Artifacts{Result: []byte("late")}, nil
 		})
 	}()
 	<-leaderIn
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := c.Do(ctx, 5, func() ([]byte, error) { return nil, nil })
+	_, _, err := c.Do(ctx, 5, func() (*Artifacts, error) { return nil, nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("waiter error = %v, want context.Canceled", err)
 	}
@@ -171,11 +171,11 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			want := []byte(fmt.Sprintf("v%d", i%8))
-			got, _, err := c.Do(ctx, uint64(i%8), func() ([]byte, error) {
-				return want, nil
+			got, _, err := c.Do(ctx, uint64(i%8), func() (*Artifacts, error) {
+				return &Artifacts{Result: want}, nil
 			})
-			if err != nil || !bytes.Equal(got, want) {
-				t.Errorf("key %d: got %q err=%v", i%8, got, err)
+			if err != nil || !bytes.Equal(got.Result, want) {
+				t.Errorf("key %d: got %q err=%v", i%8, got.Result, err)
 			}
 		}(i)
 	}

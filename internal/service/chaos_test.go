@@ -4,19 +4,28 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"atgpu/internal/obs"
 )
 
 // TestChaosStorm is the robustness acceptance gate: a 1000-job storm of
 // mixed traffic — healthy runs, fault-injected runs, instant-deadline
 // jobs, client cancellations, duplicate submissions hammering the
 // single-flight cache — driven through a small worker pool under the
-// race detector. Afterwards: every job is in a terminal state (nothing
-// stuck in running), the daemon still serves, cached results are
-// byte-identical to fresh ones, and shutdown drains cleanly.
+// race detector, while scraper goroutines hammer GET /metrics the whole
+// time. Afterwards: every job is in a terminal state (nothing stuck in
+// running), every scrape parsed and counters never went backwards, the
+// daemon still serves, cached results are byte-identical to fresh ones,
+// a faulted job's daemon-served trace matches a standalone run byte for
+// byte, the live gauges read zero once drained, and shutdown is clean.
 func TestChaosStorm(t *testing.T) {
 	if testing.Short() {
 		t.Skip("storm takes a while; skipped in -short")
@@ -31,7 +40,54 @@ func TestChaosStorm(t *testing.T) {
 		DefaultTimeout: 30 * time.Second,
 		ManifestPath:   filepath.Join(dir, "manifest.json"),
 		DrainTimeout:   60 * time.Second,
+		TraceRing:      2048, // retain every traced storm job
 	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The telemetry half of the storm: concurrent scrapers that validate
+	// every /metrics exposition with the strict parser and check that no
+	// counter family ever decreases between two of their own scrapes.
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	var scrapes atomic.Int64
+	for g := 0; g < 3; g++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			prev := map[string]float64{}
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				exp, err := obs.ParsePrometheus(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("mid-storm exposition invalid: %v", err)
+					return
+				}
+				for _, f := range exp.Families {
+					if f.Type != "counter" {
+						continue
+					}
+					total, _ := exp.CounterTotal(f.Name)
+					if total < prev[f.Name] {
+						t.Errorf("counter %s went backwards: %v -> %v", f.Name, prev[f.Name], total)
+					}
+					prev[f.Name] = total
+				}
+				scrapes.Add(1)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
 
 	// Deterministic mixed traffic. Seeds cycle so the cache sees heavy
 	// duplication (the single-flight path) while fault plans and sizes
@@ -40,11 +96,13 @@ func TestChaosStorm(t *testing.T) {
 		req := Request{Kind: "run", Workload: "vecadd", N: 64 + 32*(i%4),
 			Device: "tiny", Seed: int64(i % 11)}
 		switch i % 5 {
-		case 1: // fault-injected: deterministic retries/failures
+		case 1: // fault-injected: deterministic retries/failures, traced
 			req.Workload = "reduce"
 			req.N = 256
 			req.FaultRate = 0.05
 			req.FaultSeed = int64(i % 7)
+			req.Trace = true
+			req.Metrics = true
 		case 2: // sweep with duplication across jobs
 			req = Request{Kind: "sweep", Workload: "vecadd", Device: "tiny",
 				Sizes: []int{32, 64, 128}, Seed: int64(i % 3)}
@@ -101,6 +159,14 @@ func TestChaosStorm(t *testing.T) {
 	if leaked := s.manifest.NonTerminal(); len(leaked) != 0 {
 		t.Fatalf("non-terminal jobs after the storm: %v", leaked)
 	}
+	close(stopScrape)
+	scrapeWG.Wait()
+	// The scrape count is load-dependent (the storm saturates the CPUs
+	// and scrapers run at whatever cadence the scheduler grants them);
+	// what matters is that every scrape that did happen parsed cleanly.
+	if n := scrapes.Load(); n < 3 {
+		t.Errorf("only %d successful scrapes during the storm", n)
+	}
 
 	counts := s.manifest.CountByState()
 	for state := range counts {
@@ -149,6 +215,38 @@ func TestChaosStorm(t *testing.T) {
 			t.Errorf("cached faulted result differs from fresh simulation:\n%s\nvs\n%s",
 				faulted.Result, final.Result)
 		}
+
+		// The faulted job asked for trace and metrics: what the daemon
+		// serves for it must be byte-identical to a standalone executor
+		// running the same request — the telemetry acceptance gate.
+		fetch := func(what string) []byte {
+			t.Helper()
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + faultedID + "/" + what)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s for faulted %s = %d %s", what, faultedID, resp.StatusCode, body)
+			}
+			return body
+		}
+		daemonTrace, daemonMetrics := fetch("trace"), fetch("metrics")
+		norm, err := faultedReq.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := NewExecutor().Execute(context.Background(), norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(daemonTrace, golden.Trace) {
+			t.Error("faulted job's daemon trace differs from the standalone golden")
+		}
+		if !bytes.Equal(daemonMetrics, golden.Metrics) {
+			t.Error("faulted job's daemon metrics differ from the standalone golden")
+		}
 	}
 
 	st := s.cache.Stats()
@@ -173,6 +271,25 @@ func TestChaosStorm(t *testing.T) {
 	for _, j := range snap.Jobs {
 		if !j.State.Terminal() {
 			t.Errorf("persisted job %s non-terminal: %s", j.ID, j.State)
+		}
+	}
+
+	// Quiesced: one last scrape after the drain — still a valid
+	// exposition, and every liveness gauge reads zero.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("post-drain exposition invalid: %v", err)
+	}
+	for _, gauge := range []string{
+		MetricJobsInflight, MetricQueueDepth, MetricPointsInflight, MetricDrainRemaining,
+	} {
+		if v, ok := exp.Value(gauge); !ok || v != 0 {
+			t.Errorf("post-drain %s = %v (present=%v), want 0", gauge, v, ok)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -15,7 +16,9 @@ import (
 	"atgpu/internal/calibrate"
 	"atgpu/internal/core"
 	"atgpu/internal/experiments"
+	"atgpu/internal/obs"
 	"atgpu/internal/results"
+	"atgpu/internal/sched"
 	"atgpu/internal/simgpu"
 	"atgpu/internal/transfer"
 )
@@ -61,6 +64,15 @@ type Request struct {
 	FaultSeed  int64   `json:"fault_seed,omitempty"`
 	MaxRetries int     `json:"max_retries,omitempty"`
 	WatchdogUs int64   `json:"watchdog_us,omitempty"`
+
+	// Trace retains the job's simulated-time Perfetto trace, served at
+	// GET /v1/jobs/{id}/trace. Metrics retains the job's simulated-time
+	// obs snapshot (Prometheus text), served at GET /v1/jobs/{id}/metrics.
+	// Both are byte-identical to a standalone run of the same request and
+	// both participate in the cache key: they change the artifact set
+	// (and Metrics embeds obs snapshots in the result records).
+	Trace   bool `json:"trace,omitempty"`
+	Metrics bool `json:"metrics,omitempty"`
 
 	// TimeoutMs bounds the job's execution (0 = server default). Not
 	// part of the cache key: it is execution policy, not content.
@@ -247,9 +259,12 @@ func (r Request) CacheKey() (uint64, error) {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	str("atgpud-cache-v1")
+	str("atgpud-cache-v2")
 	str(r.Kind)
 	str(r.Workload)
+	// The observability flags select which artifacts exist (and Metrics
+	// adds obs snapshots to the result records), so they are content.
+	num(uint64(boolBit(r.Trace)<<1 | boolBit(r.Metrics)))
 	// The machine, in full: every config field participates, so a preset
 	// revision naturally invalidates old entries.
 	str(fmt.Sprintf("%#v", cfg.Device))
@@ -279,6 +294,14 @@ func (r Request) CacheKey() (uint64, error) {
 		str(prog.Disassemble())
 	}
 	return h.Sum64(), nil
+}
+
+// boolBit maps a flag into the cache-key hash input.
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Result is a job's deterministic output document. Exactly one of the
@@ -318,6 +341,12 @@ type Result struct {
 type Executor struct {
 	mu   sync.Mutex
 	cals map[calKey]*calEntry
+
+	// Sched, when non-nil, observes every sweep-point dispatch inside
+	// jobs this executor runs (one scheduler job per point). Purely
+	// operational — the telemetry plane counts live points through it —
+	// and never changes results. Set before first use.
+	Sched sched.Observer
 }
 
 type calKey struct {
@@ -386,12 +415,28 @@ func (x *Executor) calibration(req Request, cfg experiments.Config) (*transfer.L
 	return e.link, e.cal, e.err
 }
 
+// Artifacts is everything a job execution produces: the result document
+// plus the optional simulated-time observability artifacts selected by
+// Request.Trace and Request.Metrics. All three byte slices are
+// immutable once built — the cache hands the same *Artifacts to every
+// hit, so a cached trace is byte-identical to the fresh run's by
+// construction.
+type Artifacts struct {
+	// Result is the deterministic result document (canonical JSON).
+	Result []byte
+	// Trace is the Perfetto trace JSON (nil unless Request.Trace).
+	Trace []byte
+	// Metrics is the Prometheus text exposition of the job's
+	// simulated-time obs snapshot (nil unless Request.Metrics).
+	Metrics []byte
+}
+
 // Execute runs one normalized request to completion under ctx and
-// returns its result document as canonical JSON — the bytes the cache
-// stores, so a hit is byte-identical by construction. Cancellation
-// surfaces as experiments.ErrCancelled (the worker maps it to the
-// timeout or cancelled state); any other error fails the job.
-func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
+// returns its artifacts; the result document is canonical JSON — the
+// bytes the cache stores, so a hit is byte-identical by construction.
+// Cancellation surfaces as experiments.ErrCancelled (the worker maps it
+// to the timeout or cancelled state); any other error fails the job.
+func (x *Executor) Execute(ctx context.Context, req Request) (*Artifacts, error) {
 	cfg, err := req.config()
 	if err != nil {
 		return nil, err
@@ -401,6 +446,8 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 		return nil, err
 	}
 	cfg.Context = ctx
+	cfg.Obs = obs.Options{Trace: req.Trace, Metrics: req.Metrics}
+	cfg.SchedObserver = x.Sched
 	runner, err := experiments.NewRunnerCalibrated(cfg, link, cal)
 	if err != nil {
 		return nil, err
@@ -412,6 +459,11 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 		Scheme:     req.Scheme,
 		CostParams: runner.CostParams(),
 	}
+
+	// rep is the job's folded simulated-time obs report; analyze and
+	// lint do not simulate, so their requested artifacts are the valid
+	// empty trace / empty exposition.
+	var rep *obs.Report
 
 	switch req.Kind {
 	case "analyze":
@@ -441,6 +493,7 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep = data.Obs
 		doc.FailedPoints = data.FailedPoints()
 		doc.Records = data.Records
 		if req.Kind == "run" {
@@ -456,6 +509,7 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep = data.Obs
 		doc.Pipeline = data.Points
 		doc.Records = data.Records
 		for _, p := range data.Points {
@@ -467,7 +521,32 @@ func (x *Executor) Execute(ctx context.Context, req Request) ([]byte, error) {
 		return nil, fmt.Errorf("unknown kind %q", req.Kind)
 	}
 
-	return json.Marshal(doc)
+	result, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifacts{Result: result}
+	if req.Trace {
+		var buf bytes.Buffer
+		var tr *obs.Recorder
+		if rep != nil {
+			tr = rep.Trace
+		}
+		// A nil recorder writes the valid empty trace, so analyze/lint
+		// jobs that asked for a trace still serve well-formed JSON.
+		if err := tr.WriteTrace(&buf); err != nil {
+			return nil, err
+		}
+		art.Trace = buf.Bytes()
+	}
+	if req.Metrics {
+		var buf bytes.Buffer
+		if err := rep.Snapshot().WritePrometheus(&buf); err != nil {
+			return nil, err
+		}
+		art.Metrics = buf.Bytes()
+	}
+	return art, nil
 }
 
 // sweep dispatches to the workload's observed sweep.

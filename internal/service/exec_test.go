@@ -139,12 +139,12 @@ func TestExecuteDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("req %d second execute: %v", i, err)
 		}
-		if !bytes.Equal(a, b) {
+		if !bytes.Equal(a.Result, b.Result) {
 			t.Errorf("req %d (%s %s): executions diverge:\n%s\nvs\n%s",
-				i, req.Kind, req.Workload, a, b)
+				i, req.Kind, req.Workload, a.Result, b.Result)
 		}
 		var doc Result
-		if err := json.Unmarshal(a, &doc); err != nil {
+		if err := json.Unmarshal(a.Result, &doc); err != nil {
 			t.Fatalf("req %d: result not JSON: %v", i, err)
 		}
 		if doc.Kind != req.Kind || doc.Workload != req.Workload {
@@ -165,12 +165,12 @@ func TestExecutePayloadShapes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		data, err := x.Execute(ctx, req)
+		art, err := x.Execute(ctx, req)
 		if err != nil {
 			t.Fatalf("%s %s: %v", req.Kind, req.Workload, err)
 		}
 		var doc Result
-		if err := json.Unmarshal(data, &doc); err != nil {
+		if err := json.Unmarshal(art.Result, &doc); err != nil {
 			t.Fatal(err)
 		}
 		return doc

@@ -97,6 +97,11 @@ type Job struct {
 	ID string `json:"id"`
 	// Client identifies the submitting client (per-client caps key).
 	Client string `json:"client,omitempty"`
+	// TraceID is the request/trace identifier assigned at admission
+	// (the HTTP request ID for jobs submitted over the API), threaded
+	// through the manifest, event log and structured logs so one job
+	// can be followed across the plane.
+	TraceID string `json:"trace_id,omitempty"`
 	// Request is the submitted job request.
 	Request Request `json:"request"`
 	// State is the current lifecycle state.
@@ -153,6 +158,25 @@ type Manifest struct {
 	// persisted manifest are deterministic.
 	order []string
 	seq   int
+	// observer, when non-nil, is called after every state transition
+	// (from "" on Add) with a job view — outside the manifest lock, so
+	// it may call back into the manifest.
+	observer TransitionObserver
+}
+
+// TransitionObserver receives manifest state transitions: from is the
+// previous state ("" when the job is first added as pending). Called
+// synchronously but outside the manifest lock; job is a detached view.
+// The telemetry plane counts jobs by kind×state and logs transitions
+// through this hook.
+type TransitionObserver func(job Job, from, to State)
+
+// SetObserver installs the transition observer (nil disables). Install
+// before jobs flow; transitions racing an install may be unobserved.
+func (m *Manifest) SetObserver(fn TransitionObserver) {
+	m.mu.Lock()
+	m.observer = fn
+	m.mu.Unlock()
 }
 
 // NewManifest returns an empty manifest.
@@ -161,13 +185,15 @@ func NewManifest() *Manifest {
 }
 
 // Add registers a new pending job for the request and returns its view.
-func (m *Manifest) Add(client string, req Request) Job {
+// traceID is the admission-assigned trace/request identifier ("" lets
+// callers without one leave it unset).
+func (m *Manifest) Add(client, traceID string, req Request) Job {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("j-%06d", m.seq),
 		Client:  client,
+		TraceID: traceID,
 		Request: req,
 		State:   StatePending,
 		Worker:  -1,
@@ -177,7 +203,12 @@ func (m *Manifest) Add(client string, req Request) Job {
 	j.Events = append(j.Events, Event{Time: j.Created, State: StatePending, Msg: "submitted"})
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
-	return j.clone()
+	view, obs := j.clone(), m.observer
+	m.mu.Unlock()
+	if obs != nil {
+		obs(view, "", StatePending)
+	}
+	return view
 }
 
 // Get returns a job view by ID.
@@ -241,14 +272,28 @@ func (m *Manifest) InFlight(client string) int {
 	return n
 }
 
+// InFlightByClient tallies non-terminal jobs per client — the live
+// per-client gauge the telemetry plane exports.
+func (m *Manifest) InFlightByClient() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := make(map[string]int)
+	for _, j := range m.jobs {
+		if !j.State.Terminal() {
+			counts[j.Client]++
+		}
+	}
+	return counts
+}
+
 // start transitions a pending job to running on the given worker. A
 // false return means the job is no longer pending (cancelled while
 // queued) and must not run.
 func (m *Manifest) start(id string, worker int, cancel func()) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok || j.State != StatePending {
+		m.mu.Unlock()
 		return false
 	}
 	j.State = StateRunning
@@ -257,6 +302,11 @@ func (m *Manifest) start(id string, worker int, cancel func()) bool {
 	j.cancel = cancel
 	j.Events = append(j.Events, Event{Time: j.Started, State: StateRunning,
 		Msg: fmt.Sprintf("assigned to worker %d", worker)})
+	view, obs := j.clone(), m.observer
+	m.mu.Unlock()
+	if obs != nil {
+		obs(view, StatePending, StateRunning)
+	}
 	return true
 }
 
@@ -270,17 +320,20 @@ func (m *Manifest) finish(id string, to State, errMsg, stack string, result json
 		panic(fmt.Sprintf("service: finish to non-terminal state %q", to))
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return false
 	}
 	if j.State.Terminal() {
+		m.mu.Unlock()
 		return false
 	}
 	if !transitionLegal(j.State, to) {
+		m.mu.Unlock()
 		panic(fmt.Sprintf("service: illegal transition %s → %s for %s", j.State, to, id))
 	}
+	from := j.State
 	j.State = to
 	j.Finished = time.Now()
 	j.Error = errMsg
@@ -295,6 +348,11 @@ func (m *Manifest) finish(id string, to State, errMsg, stack string, result json
 	j.Events = append(j.Events, Event{Time: j.Finished, State: to, Msg: msg})
 	if j.done != nil {
 		close(j.done)
+	}
+	view, obs := j.clone(), m.observer
+	m.mu.Unlock()
+	if obs != nil {
+		obs(view, from, to)
 	}
 	return true
 }
@@ -320,7 +378,11 @@ func (m *Manifest) RequestCancel(id, reason string) (State, bool) {
 		if j.done != nil {
 			close(j.done)
 		}
+		view, obs := j.clone(), m.observer
 		m.mu.Unlock()
+		if obs != nil {
+			obs(view, StatePending, StateCancelled)
+		}
 		return StateCancelled, true
 	case StateRunning:
 		j.cancelRequested = true

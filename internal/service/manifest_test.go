@@ -16,7 +16,7 @@ func testRequest() Request {
 
 func TestManifestLifecycle(t *testing.T) {
 	m := NewManifest()
-	job := m.Add("c1", testRequest())
+	job := m.Add("c1", "", testRequest())
 	if job.ID != "j-000001" || job.State != StatePending || job.Worker != -1 {
 		t.Fatalf("fresh job = %+v", job)
 	}
@@ -46,7 +46,7 @@ func TestManifestLifecycle(t *testing.T) {
 
 func TestManifestFirstTransitionWins(t *testing.T) {
 	m := NewManifest()
-	job := m.Add("c1", testRequest())
+	job := m.Add("c1", "", testRequest())
 	m.start(job.ID, 0, func() {})
 	if !m.finish(job.ID, StateTimeout, "deadline", "", nil, false) {
 		t.Fatal("first finish refused")
@@ -62,7 +62,7 @@ func TestManifestFirstTransitionWins(t *testing.T) {
 
 func TestManifestIllegalTransitionPanics(t *testing.T) {
 	m := NewManifest()
-	job := m.Add("c1", testRequest())
+	job := m.Add("c1", "", testRequest())
 	// pending → timeout is not a legal edge.
 	defer func() {
 		if recover() == nil {
@@ -74,7 +74,7 @@ func TestManifestIllegalTransitionPanics(t *testing.T) {
 
 func TestManifestCancelPendingAndRunning(t *testing.T) {
 	m := NewManifest()
-	queued := m.Add("c1", testRequest())
+	queued := m.Add("c1", "", testRequest())
 	if st, ok := m.RequestCancel(queued.ID, "test cancel"); !ok || st != StateCancelled {
 		t.Fatalf("cancel pending: state=%v ok=%v", st, ok)
 	}
@@ -82,7 +82,7 @@ func TestManifestCancelPendingAndRunning(t *testing.T) {
 		t.Fatal("start accepted a cancelled job")
 	}
 
-	running := m.Add("c1", testRequest())
+	running := m.Add("c1", "", testRequest())
 	fired := false
 	m.start(running.ID, 0, func() { fired = true })
 	if st, ok := m.RequestCancel(running.ID, "test cancel"); !ok || st != StateRunning {
@@ -101,9 +101,9 @@ func TestManifestCancelPendingAndRunning(t *testing.T) {
 
 func TestManifestNonTerminalAndCounts(t *testing.T) {
 	m := NewManifest()
-	a := m.Add("c1", testRequest())
-	b := m.Add("c2", testRequest())
-	m.Add("c1", testRequest()) // stays pending
+	a := m.Add("c1", "", testRequest())
+	b := m.Add("c2", "", testRequest())
+	m.Add("c1", "", testRequest()) // stays pending
 	m.start(a.ID, 0, func() {})
 	m.finish(a.ID, StateSuccess, "", "", nil, false)
 	m.start(b.ID, 1, func() {})
@@ -122,10 +122,10 @@ func TestManifestNonTerminalAndCounts(t *testing.T) {
 
 func TestManifestSaveLoad(t *testing.T) {
 	m := NewManifest()
-	a := m.Add("c1", testRequest())
+	a := m.Add("c1", "", testRequest())
 	m.start(a.ID, 0, func() {})
 	m.finish(a.ID, StateFailed, "boom", "stack here", nil, false)
-	m.Add("c2", testRequest())
+	m.Add("c2", "", testRequest())
 
 	path := filepath.Join(t.TempDir(), "manifest.json")
 	if err := m.Save(path); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"atgpu/internal/experiments"
+	"atgpu/internal/obs"
 	"atgpu/internal/results"
 	"atgpu/internal/sched"
 )
@@ -44,6 +46,12 @@ type ServerConfig struct {
 	CacheEntries int
 	// Warm lists device presets to pre-calibrate at boot.
 	Warm []string
+	// LogWriter receives the structured (JSON) log stream; nil discards
+	// it. The daemon binary points this at stderr.
+	LogWriter io.Writer
+	// TraceRing bounds how many completed jobs' trace/metrics artifact
+	// sets are retained for GET /v1/jobs/{id}/trace (default 256).
+	TraceRing int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -90,6 +98,10 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
+
+	// tel is the wall-clock telemetry plane: operational metrics,
+	// structured logs, request IDs and the per-job artifact ring.
+	tel *Telemetry
 }
 
 // NewServer builds the daemon core: it pre-calibrates the Warm presets
@@ -103,7 +115,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cache:    NewCache(cfg.CacheEntries),
 		exec:     NewExecutor(),
 		queue:    make(chan string, cfg.QueueSize),
+		tel:      newTelemetry(cfg.LogWriter, cfg.TraceRing),
 	}
+	s.manifest.SetObserver(s.tel.onTransition)
+	s.exec.Sched = s.tel
 	if err := s.exec.Warm(cfg.Warm...); err != nil {
 		return nil, err
 	}
@@ -152,6 +167,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Manifest exposes the job table (for tests and the daemon binary).
 func (s *Server) Manifest() *Manifest { return s.manifest }
 
+// Telemetry exposes the telemetry plane (for the daemon binary's
+// logger and for tests).
+func (s *Server) Telemetry() *Telemetry { return s.tel }
+
 // failNonTerminal forces a job to failed unless it already finished —
 // the backstop that keeps even a buggy worker from leaking a running
 // job.
@@ -169,9 +188,9 @@ var testExecHook func(Request)
 
 // jobOutcome is what the exec goroutine hands back to its worker.
 type jobOutcome struct {
-	data []byte
-	hit  bool
-	err  error
+	art *Artifacts
+	hit bool
+	err error
 }
 
 // runJob executes one queued job end to end: transition to running,
@@ -199,14 +218,17 @@ func (s *Server) runJob(worker int, id string) {
 	ch := make(chan jobOutcome, 1)
 	go func() {
 		var out jobOutcome
+		execStart := time.Now()
 		out.err = sched.Protect(func() error {
 			if testExecHook != nil {
 				testExecHook(job.Request)
 			}
 			var err error
-			out.data, out.hit, err = s.execute(ctx, job.Request)
+			out.art, out.hit, err = s.execute(ctx, job.Request)
 			return err
 		})
+		s.tel.reg.Observe(obs.Name(MetricExecNs,
+			obs.Label{Key: "kind", Value: job.Request.Kind}), time.Since(execStart))
 		ch <- out
 	}()
 
@@ -219,16 +241,16 @@ func (s *Server) runJob(worker int, id string) {
 }
 
 // execute resolves a job through the cache (unless bypassed).
-func (s *Server) execute(ctx context.Context, req Request) ([]byte, bool, error) {
+func (s *Server) execute(ctx context.Context, req Request) (*Artifacts, bool, error) {
 	if req.NoCache {
-		data, err := s.exec.Execute(ctx, req)
-		return data, false, err
+		art, err := s.exec.Execute(ctx, req)
+		return art, false, err
 	}
 	key, err := req.CacheKey()
 	if err != nil {
 		return nil, false, err
 	}
-	return s.cache.Do(ctx, key, func() ([]byte, error) {
+	return s.cache.Do(ctx, key, func() (*Artifacts, error) {
 		return s.exec.Execute(ctx, req)
 	})
 }
@@ -243,8 +265,14 @@ func (s *Server) record(id string, ctx context.Context, out jobOutcome) {
 	var pe *sched.PanicError
 	switch {
 	case out.err == nil:
-		s.manifest.finish(id, StateSuccess, "", "", out.data, out.hit)
-		s.persistRecords(id, out.data)
+		job, _ := s.manifest.Get(id)
+		if out.art != nil && (job.Request.Trace || job.Request.Metrics) {
+			// Retain the artifact set — cache hits share the leader's
+			// immutable *Artifacts, preserving byte-identity.
+			s.tel.ring.Put(id, out.art)
+		}
+		s.manifest.finish(id, StateSuccess, "", "", out.art.Result, out.hit)
+		s.persistRecords(id, out.art.Result)
 	case errors.As(out.err, &pe):
 		s.manifest.finish(id, StateFailed, pe.Error(), string(pe.Stack), nil, false)
 	case errors.Is(out.err, experiments.ErrCancelled),
@@ -299,7 +327,14 @@ func (s *Server) persistRecords(id string, data []byte) {
 // Submit admits one job: validation, overload and per-client checks,
 // manifest entry, queue. It returns the pending job view, or an
 // AdmissionError telling the transport layer which status to answer.
+// The job's trace ID is minted at admission; submissions arriving over
+// HTTP carry their request ID instead (see handleSubmit).
 func (s *Server) Submit(client string, req Request) (Job, error) {
+	return s.submitTraced(client, s.tel.nextRequestID(), req)
+}
+
+// submitTraced is Submit with an explicit admission-assigned trace ID.
+func (s *Server) submitTraced(client, traceID string, req Request) (Job, error) {
 	norm, err := req.Normalize()
 	if err != nil {
 		return Job{}, &AdmissionError{Status: http.StatusBadRequest, Msg: err.Error()}
@@ -313,6 +348,7 @@ func (s *Server) Submit(client string, req Request) (Job, error) {
 		s.mu.Lock()
 		s.rejected++
 		s.mu.Unlock()
+		s.tel.rejected("per_client", client)
 		return Job{}, &AdmissionError{
 			Status: http.StatusTooManyRequests,
 			Msg:    fmt.Sprintf("client %q has %d jobs in flight (cap %d)", client, s.cfg.PerClient, s.cfg.PerClient),
@@ -322,14 +358,16 @@ func (s *Server) Submit(client string, req Request) (Job, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.tel.rejected("draining", client)
 		return Job{}, &AdmissionError{Status: http.StatusServiceUnavailable, Msg: "daemon draining", Retry: true}
 	}
 	if len(s.queue) == cap(s.queue) {
 		s.rejected++
 		s.mu.Unlock()
+		s.tel.rejected("queue_full", client)
 		return Job{}, &AdmissionError{Status: http.StatusTooManyRequests, Msg: "admission queue full", Retry: true}
 	}
-	job := s.manifest.Add(client, norm)
+	job := s.manifest.Add(client, traceID, norm)
 	// Cannot block: length < capacity above, and every sender holds mu.
 	s.queue <- job.ID
 	s.mu.Unlock()
@@ -463,6 +501,15 @@ func (s *Server) Ready() (bool, string) {
 	return true, "ok"
 }
 
+// handle registers pattern on mux with the route marked for telemetry
+// (metrics route label, request log) before the handler runs.
+func (s *Server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		markRoute(w, pattern)
+		h(w, r)
+	})
+}
+
 // Handler returns the HTTP API:
 //
 //	POST   /v1/jobs              submit (202; ?wait via request field)
@@ -471,55 +518,138 @@ func (s *Server) Ready() (bool, string) {
 //	DELETE /v1/jobs/{id}         request cancellation
 //	GET    /v1/jobs/{id}/result  the raw result document (success only)
 //	GET    /v1/jobs/{id}/events  the append-only event log
+//	GET    /v1/jobs/{id}/trace   the job's simulated-time Perfetto trace
+//	GET    /v1/jobs/{id}/metrics the job's simulated-time metrics (Prometheus text)
 //	GET    /v1/stats             counters
+//	GET    /metrics              operational metrics (Prometheus text exposition)
+//	GET    /metrics.json         the same snapshot as JSON
+//	GET    /metrics.otlp         the same snapshot as OTLP/JSON
+//	GET    /tracez               wall-clock service timeline (Perfetto)
 //	GET    /healthz              process liveness (always 200)
 //	GET    /readyz               load acceptance (503 when overloaded)
+//
+// Every request gets an X-Request-ID; every non-2xx response is a JSON
+// body carrying it, and 429/503 always carry Retry-After.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "POST /v1/jobs", s.handleSubmit)
+	s.handle(mux, "GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.manifest.List())
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if job, ok := s.manifest.Get(r.PathValue("id")); ok {
 			writeJSON(w, http.StatusOK, job)
 			return
 		}
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, r, http.StatusNotFound, "no such job")
 	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if _, ok := s.manifest.RequestCancel(id, "cancelled by client"); !ok {
-			httpError(w, http.StatusNotFound, "no such job")
+			httpError(w, r, http.StatusNotFound, "no such job")
 			return
 		}
 		job, _ := s.manifest.Get(id)
 		writeJSON(w, http.StatusOK, job)
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /v1/jobs/{id}/result", s.handleResult)
+	s.handle(mux, "GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		if job, ok := s.manifest.Get(r.PathValue("id")); ok {
 			writeJSON(w, http.StatusOK, job.Events)
 			return
 		}
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, r, http.StatusNotFound, "no such job")
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /v1/jobs/{id}/trace", s.handleJobArtifact(func(a *Artifacts) []byte { return a.Trace }, "trace"))
+	s.handle(mux, "GET /v1/jobs/{id}/metrics", s.handleJobArtifact(func(a *Artifacts) []byte { return a.Metrics }, "metrics"))
+	s.handle(mux, "GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.MetricsSnapshot().WritePrometheus(w); err != nil {
+			s.tel.log.Error("metrics exposition failed", "error", err.Error())
+		}
+	})
+	s.handle(mux, "GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.MetricsSnapshot().WriteJSON(w); err != nil {
+			s.tel.log.Error("metrics JSON failed", "error", err.Error())
+		}
+	})
+	s.handle(mux, "GET /metrics.otlp", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.MetricsSnapshot().WriteOTLP(w, "atgpud", time.Now().UnixNano()); err != nil {
+			s.tel.log.Error("metrics OTLP failed", "error", err.Error())
+		}
+	})
+	s.handle(mux, "GET /tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.writeTracez(w); err != nil {
+			s.tel.log.Error("tracez failed", "error", err.Error())
+		}
+	})
+	s.handle(mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		ready, why := s.Ready()
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !ready {
-			w.WriteHeader(http.StatusServiceUnavailable)
+			httpError(w, r, http.StatusServiceUnavailable, why)
+			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, why)
 	})
-	return mux
+	return s.tel.middleware(mux)
+}
+
+// handleJobArtifact serves one retained per-job artifact (trace or
+// metrics): 404 for unknown jobs or jobs that did not request the
+// artifact, 202 while running, 410 when the ring evicted it.
+func (s *Server) handleJobArtifact(pick func(*Artifacts) []byte, what string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		job, ok := s.manifest.Get(id)
+		if !ok {
+			httpError(w, r, http.StatusNotFound, "no such job")
+			return
+		}
+		wants := job.Request.Trace
+		if what == "metrics" {
+			wants = job.Request.Metrics
+		}
+		if !wants {
+			httpError(w, r, http.StatusNotFound, "job did not request "+what+" collection")
+			return
+		}
+		if !job.State.Terminal() {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, r, http.StatusAccepted, "job still "+string(job.State))
+			return
+		}
+		if job.State != StateSuccess {
+			httpError(w, r, http.StatusConflict, fmt.Sprintf("job %s: %s", job.State, job.Error))
+			return
+		}
+		art, ok := s.tel.ring.Get(id)
+		if !ok {
+			httpError(w, r, http.StatusGone, what+" evicted from the trace ring")
+			return
+		}
+		if what == "metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+		}
+		if job.CacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write(pick(art))
+	}
 }
 
 // handleSubmit decodes, admits and (optionally) waits for one job.
@@ -528,20 +658,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		httpError(w, r, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	job, err := s.Submit(clientID(r), req)
+	// The HTTP request ID doubles as the job's trace ID, so one
+	// identifier follows the job from admission through the logs.
+	job, err := s.submitTraced(clientID(r), requestID(r), req)
 	if err != nil {
 		var adm *AdmissionError
 		if errors.As(err, &adm) {
 			if adm.Retry {
 				w.Header().Set("Retry-After", "1")
 			}
-			httpError(w, adm.Status, adm.Msg)
+			httpError(w, r, adm.Status, adm.Msg)
 			return
 		}
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if !req.Wait {
@@ -554,7 +686,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, final)
 	case <-r.Context().Done():
 		// Client gave up waiting; the job keeps running.
-		httpError(w, http.StatusRequestTimeout, "client disconnected while waiting; job "+job.ID+" continues")
+		httpError(w, r, http.StatusRequestTimeout, "client disconnected while waiting; job "+job.ID+" continues")
 	}
 }
 
@@ -565,12 +697,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.manifest.Get(r.PathValue("id"))
 	switch {
 	case !ok:
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, r, http.StatusNotFound, "no such job")
 	case !job.State.Terminal():
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusAccepted, "job still "+string(job.State))
+		httpError(w, r, http.StatusAccepted, "job still "+string(job.State))
 	case job.State != StateSuccess:
-		httpError(w, http.StatusConflict,
+		httpError(w, r, http.StatusConflict,
 			fmt.Sprintf("job %s: %s", job.State, job.Error))
 	default:
 		w.Header().Set("Content-Type", "application/json")
@@ -600,7 +732,7 @@ func clientID(r *http.Request) string {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, nil, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -608,9 +740,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// httpError writes a JSON error envelope.
-func httpError(w http.ResponseWriter, status int, msg string) {
+// httpError writes the JSON error envelope, always carrying the
+// middleware-assigned request ID (r may be nil in internal fallbacks;
+// the envelope then reports an empty ID).
+func httpError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	id := ""
+	if r != nil {
+		id = requestID(r)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\n  \"error\": %s\n}\n", strconv.Quote(msg))
+	fmt.Fprintf(w, "{\n  \"error\": %s,\n  \"request_id\": %s\n}\n", strconv.Quote(msg), strconv.Quote(id))
 }

@@ -46,7 +46,10 @@ func newIdleServer(cfg ServerConfig) *Server {
 		cache:    NewCache(cfg.CacheEntries),
 		exec:     NewExecutor(),
 		queue:    make(chan string, cfg.QueueSize),
+		tel:      newTelemetry(nil, 0),
 	}
+	s.manifest.SetObserver(s.tel.onTransition)
+	s.exec.Sched = s.tel
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	return s
 }

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atgpu/internal/obs"
+	"atgpu/internal/sched"
+)
+
+// The live telemetry plane. Two clocks coexist in atgpud and this file
+// is where the wall-clock one lives:
+//
+//   - simulated time — everything inside a job. Per-job traces and
+//     metrics are stamped with simulated nanoseconds only, which is why
+//     a cached job's artifacts can be byte-identical to a fresh run's.
+//   - wall-clock time — everything about the service around the jobs:
+//     queue wait, execute-phase latency, HTTP latency, drain progress.
+//     None of it feeds back into results.
+//
+// The operational registry reuses internal/obs (labeled series via
+// obs.Name), so /metrics is written and parsed by the same code that
+// handles simulated-time snapshots.
+
+// Operational metric families. Constants so the dashboard generator,
+// the load harness and the tests reference the exact exported names.
+const (
+	MetricJobsTotal        = "atgpud_jobs_total"         // counter{kind,state}: state transitions
+	MetricJobsInflight     = "atgpud_jobs_inflight"      // gauge: non-terminal jobs
+	MetricClientInflight   = "atgpud_client_inflight"    // gauge{client}: per-client non-terminal jobs
+	MetricQueueDepth       = "atgpud_queue_depth"        // gauge: admission queue occupancy
+	MetricQueueCapacity    = "atgpud_queue_capacity"     // gauge: admission queue bound
+	MetricQueueWaitNs      = "atgpud_queue_wait_ns"      // histogram: pending → running wall time
+	MetricJobDurationNs    = "atgpud_job_duration_ns"    // histogram{kind}: submit → terminal wall time
+	MetricExecNs           = "atgpud_exec_ns"            // histogram{kind}: execute-phase wall time
+	MetricRejectedTotal    = "atgpud_rejected_total"     // counter{reason}: 429/503 admissions
+	MetricCacheHitsTotal   = "atgpud_cache_hits_total"   // counter: result-cache hits
+	MetricCacheMissesTotal = "atgpud_cache_misses_total" // counter: result-cache misses
+	MetricCacheCoalesced   = "atgpud_cache_coalesced_total"
+	MetricCacheEvicted     = "atgpud_cache_evicted_total"
+	MetricCacheEntries     = "atgpud_cache_entries" // gauge: completed results held
+	MetricHTTPTotal        = "atgpud_http_requests_total"
+	MetricHTTPNs           = "atgpud_http_request_ns"
+	MetricDraining         = "atgpud_draining"           // gauge: 1 while draining
+	MetricDrainRemaining   = "atgpud_drain_remaining"    // gauge: non-terminal jobs left to drain
+	MetricPointsTotal      = "atgpud_points_total"       // counter{outcome}: sweep points executed
+	MetricPointsInflight   = "atgpud_points_inflight"    // gauge: sweep points currently simulating
+	MetricTraceRingEntries = "atgpud_trace_ring_entries" // gauge: retained per-job artifact sets
+	MetricTraceRingEvicted = "atgpud_trace_ring_evicted_total"
+	MetricUptimeSeconds    = "atgpud_uptime_seconds" // gauge: wall time since boot
+)
+
+func init() {
+	for family, help := range map[string]string{
+		MetricJobsTotal:        "Job state transitions by kind and state entered.",
+		MetricJobsInflight:     "Jobs not yet in a terminal state.",
+		MetricClientInflight:   "Non-terminal jobs per client.",
+		MetricQueueDepth:       "Admission queue occupancy.",
+		MetricQueueCapacity:    "Admission queue capacity.",
+		MetricQueueWaitNs:      "Wall-clock wait from submission to worker assignment.",
+		MetricJobDurationNs:    "Wall-clock job duration from submission to terminal state.",
+		MetricExecNs:           "Wall-clock execute-phase duration (cache hits included).",
+		MetricRejectedTotal:    "Admissions rejected with 429 or 503, by reason.",
+		MetricCacheHitsTotal:   "Result-cache lookups served from a completed entry.",
+		MetricCacheMissesTotal: "Result-cache lookups that had to compute.",
+		MetricCacheCoalesced:   "Result-cache lookups coalesced onto an in-flight computation.",
+		MetricCacheEvicted:     "Completed results dropped by the cache FIFO bound.",
+		MetricCacheEntries:     "Completed results held by the cache.",
+		MetricHTTPTotal:        "HTTP requests by route and status code.",
+		MetricHTTPNs:           "HTTP request latency by route.",
+		MetricDraining:         "1 while the daemon is draining, else 0.",
+		MetricDrainRemaining:   "Non-terminal jobs remaining during drain.",
+		MetricPointsTotal:      "Sweep points executed inside jobs, by outcome.",
+		MetricPointsInflight:   "Sweep points currently simulating.",
+		MetricTraceRingEntries: "Per-job artifact sets retained in the trace ring.",
+		MetricTraceRingEvicted: "Per-job artifact sets evicted from the trace ring.",
+		MetricUptimeSeconds:    "Wall-clock seconds since the daemon booted.",
+	} {
+		obs.RegisterHelp(family, help)
+	}
+}
+
+// Telemetry is the daemon's wall-clock observability state: the
+// operational registry, the structured logger, the per-job artifact
+// ring, and the request-ID source. One per Server, created by
+// NewServer; all methods are safe for concurrent use.
+type Telemetry struct {
+	reg   *obs.Registry
+	log   *slog.Logger
+	ring  *traceRing
+	start time.Time
+
+	reqSeq    atomic.Int64
+	pointsRun atomic.Int64 // live sweep points (sched observer)
+}
+
+// newTelemetry builds the plane. logs == nil discards structured logs;
+// ringSize bounds the per-job artifact ring.
+func newTelemetry(logs io.Writer, ringSize int) *Telemetry {
+	if logs == nil {
+		logs = io.Discard
+	}
+	return &Telemetry{
+		reg:   obs.NewRegistry(),
+		log:   slog.New(slog.NewJSONHandler(logs, nil)),
+		ring:  newTraceRing(ringSize),
+		start: time.Now(),
+	}
+}
+
+// nextRequestID mints a request/trace identifier ("r-000042").
+func (t *Telemetry) nextRequestID() string {
+	return fmt.Sprintf("r-%06d", t.reqSeq.Add(1))
+}
+
+// Logger exposes the structured logger (the daemon binary logs through
+// it too, so every line shares one JSON stream).
+func (t *Telemetry) Logger() *slog.Logger { return t.log }
+
+// onTransition is the manifest observer: counters by kind×state, the
+// queue-wait and end-to-end histograms, and one structured log line per
+// transition carrying the job and trace IDs.
+func (t *Telemetry) onTransition(job Job, from, to State) {
+	t.reg.Add(obs.Name(MetricJobsTotal,
+		obs.Label{Key: "kind", Value: job.Request.Kind},
+		obs.Label{Key: "state", Value: string(to)}), 1)
+	switch {
+	case to == StateRunning:
+		t.reg.Observe(MetricQueueWaitNs, job.Started.Sub(job.Created))
+	case to.Terminal():
+		t.reg.Observe(obs.Name(MetricJobDurationNs,
+			obs.Label{Key: "kind", Value: job.Request.Kind}), job.Finished.Sub(job.Created))
+	}
+	attrs := []any{
+		"job_id", job.ID,
+		"trace_id", job.TraceID,
+		"kind", job.Request.Kind,
+		"from", string(from),
+		"to", string(to),
+		"client", job.Client,
+	}
+	if job.CacheHit {
+		attrs = append(attrs, "cache_hit", true)
+	}
+	if job.Error != "" {
+		attrs = append(attrs, "error", job.Error)
+	}
+	t.log.Info("job transition", attrs...)
+}
+
+// rejected counts one 429/503 admission by reason and logs it.
+func (t *Telemetry) rejected(reason, client string) {
+	t.reg.Add(obs.Name(MetricRejectedTotal, obs.Label{Key: "reason", Value: reason}), 1)
+	t.log.Warn("admission rejected", "reason", reason, "client", client)
+}
+
+// JobStart/JobDone implement sched.Observer: the executor routes every
+// sweep-point dispatch here, giving the plane a live "points
+// simulating" gauge and a points-executed counter without the scheduler
+// knowing about metrics.
+func (t *Telemetry) JobStart(index, worker int) {
+	t.pointsRun.Add(1)
+}
+
+// JobDone counts the finished point by outcome. Points cancelled before
+// they started (worker -1) never got a JobStart, so only started points
+// decrement the in-flight gauge.
+func (t *Telemetry) JobDone(index, worker int, err error) {
+	if worker >= 0 {
+		t.pointsRun.Add(-1)
+	}
+	outcome := "ok"
+	switch {
+	case errors.Is(err, sched.ErrCancelled):
+		outcome = "cancelled"
+	case err != nil:
+		outcome = "error"
+	}
+	t.reg.Add(obs.Name(MetricPointsTotal, obs.Label{Key: "outcome", Value: outcome}), 1)
+}
+
+// traceRing retains the artifact sets of completed jobs that asked for
+// tracing or metrics, bounded FIFO. The stored *Artifacts are the
+// cache's immutable values, so serving from the ring preserves
+// byte-identity with a standalone run.
+type traceRing struct {
+	mu      sync.Mutex
+	max     int
+	byJob   map[string]*Artifacts
+	order   []string
+	evicted int64
+}
+
+func newTraceRing(max int) *traceRing {
+	if max <= 0 {
+		max = 256
+	}
+	return &traceRing{max: max, byJob: make(map[string]*Artifacts)}
+}
+
+// Put retains a job's artifacts, evicting oldest-first past the bound.
+func (tr *traceRing) Put(jobID string, art *Artifacts) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.byJob[jobID]; ok {
+		return
+	}
+	tr.byJob[jobID] = art
+	tr.order = append(tr.order, jobID)
+	for len(tr.order) > tr.max {
+		old := tr.order[0]
+		tr.order = tr.order[1:]
+		delete(tr.byJob, old)
+		tr.evicted++
+	}
+}
+
+// Get returns a retained artifact set.
+func (tr *traceRing) Get(jobID string) (*Artifacts, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	art, ok := tr.byJob[jobID]
+	return art, ok
+}
+
+// stats returns (entries, evicted).
+func (tr *traceRing) stats() (int, int64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.order), tr.evicted
+}
+
+// MetricsSnapshot assembles the full operational view: the accumulated
+// registry (transitions, histograms, HTTP, rejections) plus the live
+// gauges and the cache/ring counters sampled at call time. Counter
+// families are monotonic across snapshots; gauges are instantaneous.
+func (s *Server) MetricsSnapshot() obs.Snapshot {
+	t := s.tel
+	snap := t.reg.Snapshot()
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]int64)
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]float64)
+	}
+
+	s.mu.Lock()
+	depth, draining := len(s.queue), s.draining
+	s.mu.Unlock()
+	snap.Gauges[MetricQueueDepth] = float64(depth)
+	snap.Gauges[MetricQueueCapacity] = float64(s.cfg.QueueSize)
+	if draining {
+		snap.Gauges[MetricDraining] = 1
+		snap.Gauges[MetricDrainRemaining] = float64(len(s.manifest.NonTerminal()))
+	} else {
+		snap.Gauges[MetricDraining] = 0
+		snap.Gauges[MetricDrainRemaining] = 0
+	}
+	snap.Gauges[MetricJobsInflight] = float64(len(s.manifest.NonTerminal()))
+	for client, n := range s.manifest.InFlightByClient() {
+		snap.Gauges[obs.Name(MetricClientInflight, obs.Label{Key: "client", Value: client})] = float64(n)
+	}
+	snap.Gauges[MetricPointsInflight] = float64(t.pointsRun.Load())
+
+	cs := s.cache.Stats()
+	snap.Counters[MetricCacheHitsTotal] = cs.Hits
+	snap.Counters[MetricCacheMissesTotal] = cs.Misses
+	snap.Counters[MetricCacheCoalesced] = cs.Coalesced
+	snap.Counters[MetricCacheEvicted] = cs.Evicted
+	snap.Gauges[MetricCacheEntries] = float64(cs.Entries)
+
+	entries, evicted := t.ring.stats()
+	snap.Gauges[MetricTraceRingEntries] = float64(entries)
+	snap.Counters[MetricTraceRingEvicted] = evicted
+	snap.Gauges[MetricUptimeSeconds] = time.Since(t.start).Seconds()
+	return snap
+}
+
+// requestIDKey carries the request/trace ID through handler contexts.
+type requestIDKey struct{}
+
+// requestID returns the middleware-assigned request ID ("" outside it).
+func requestID(r *http.Request) string {
+	if id, ok := r.Context().Value(requestIDKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// telemetryResponseWriter observes the response: it records the status,
+// guarantees Retry-After on 429/503, and converts any non-JSON error
+// response (including the mux's own 404/405 text) into the service's
+// JSON error envelope carrying the request ID.
+type telemetryResponseWriter struct {
+	http.ResponseWriter
+	requestID   string
+	route       string
+	status      int
+	wroteHeader bool
+	takeover    bool
+}
+
+// markRoute records which registered pattern handled the request, for
+// the route label (Go 1.22's mux does not expose the matched pattern).
+func markRoute(w http.ResponseWriter, route string) {
+	if rw, ok := w.(*telemetryResponseWriter); ok {
+		rw.route = route
+	}
+}
+
+func (rw *telemetryResponseWriter) WriteHeader(code int) {
+	if rw.wroteHeader {
+		return
+	}
+	rw.wroteHeader = true
+	rw.status = code
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		if rw.Header().Get("Retry-After") == "" {
+			rw.Header().Set("Retry-After", "1")
+		}
+	}
+	if code >= 400 && !strings.HasPrefix(rw.Header().Get("Content-Type"), "application/json") {
+		// A non-JSON error (e.g. the mux's own 404/405 plain text):
+		// take the body over so every error is the JSON envelope.
+		rw.takeover = true
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Header().Del("Content-Length")
+		rw.ResponseWriter.WriteHeader(code)
+		fmt.Fprintf(rw.ResponseWriter, "{\n  \"error\": %s,\n  \"request_id\": %s\n}\n",
+			strconv.Quote(http.StatusText(code)), strconv.Quote(rw.requestID))
+		return
+	}
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *telemetryResponseWriter) Write(b []byte) (int, error) {
+	if !rw.wroteHeader {
+		rw.WriteHeader(http.StatusOK)
+	}
+	if rw.takeover {
+		// Report success so handlers that wrote the original body
+		// (now replaced) do not surface spurious errors.
+		return len(b), nil
+	}
+	return rw.ResponseWriter.Write(b)
+}
+
+// middleware wraps the whole API: one request ID per request (echoed in
+// X-Request-ID and available via requestID), response observation, the
+// per-route latency/count metrics, and one structured request log line.
+func (t *Telemetry) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := t.nextRequestID()
+		rw := &telemetryResponseWriter{ResponseWriter: w, requestID: id, route: "unmatched", status: http.StatusOK}
+		rw.Header().Set("X-Request-ID", id)
+		start := time.Now()
+		next.ServeHTTP(rw, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		elapsed := time.Since(start)
+		t.reg.Add(obs.Name(MetricHTTPTotal,
+			obs.Label{Key: "route", Value: rw.route},
+			obs.Label{Key: "code", Value: strconv.Itoa(rw.status)}), 1)
+		t.reg.Observe(obs.Name(MetricHTTPNs, obs.Label{Key: "route", Value: rw.route}), elapsed)
+		t.log.Info("http request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", rw.route,
+			"status", rw.status,
+			"latency_ms", float64(elapsed.Nanoseconds())/1e6,
+			"client", clientID(r),
+		)
+	})
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"atgpu/internal/obs"
+)
+
+// /tracez: the aggregate wall-clock service timeline. Where a per-job
+// trace shows simulated time inside one job, tracez stitches every
+// job's lifecycle (queued → assigned → running → terminal) onto the
+// daemon's wall clock — one Perfetto view of what the queue and the
+// worker pool were actually doing. Built from the manifest on demand;
+// timestamps are nanoseconds since the daemon booted.
+
+// writeTracez renders the service timeline as Perfetto/Chrome trace
+// JSON: a "queue" track holding each job's pending span and one track
+// per worker holding its running spans, plus instants for cancel
+// requests surfaced in the event log.
+func (s *Server) writeTracez(w io.Writer) error {
+	t := s.tel
+	now := time.Now()
+	// Relative clock: the recorder speaks durations, so anchor every
+	// wall instant to boot (clamped — jobs cannot predate the daemon).
+	rel := func(at time.Time) time.Duration {
+		d := at.Sub(t.start)
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	rec := obs.NewRecorder(0)
+	for _, job := range s.manifest.List() {
+		args := []obs.Arg{
+			{Key: "job", Value: job.ID},
+			{Key: "trace_id", Value: job.TraceID},
+			{Key: "kind", Value: job.Request.Kind},
+			{Key: "state", Value: string(job.State)},
+			{Key: "client", Value: job.Client},
+		}
+		if job.CacheHit {
+			args = append(args, obs.Arg{Key: "cache_hit", Value: "true"})
+		}
+		if job.Error != "" {
+			args = append(args, obs.Arg{Key: "error", Value: job.Error})
+		}
+		// Pending span: submission until worker assignment (or terminal
+		// for jobs cancelled while queued; "now" for still-queued jobs).
+		queueEnd := now
+		switch {
+		case !job.Started.IsZero():
+			queueEnd = job.Started
+		case !job.Finished.IsZero():
+			queueEnd = job.Finished
+		}
+		rec.Span("atgpud", "queue", job.ID+" queued", rel(job.Created), rel(queueEnd), args...)
+		// Running span on the worker's own track.
+		if !job.Started.IsZero() {
+			runEnd := now
+			if !job.Finished.IsZero() {
+				runEnd = job.Finished
+			}
+			track := fmt.Sprintf("worker %02d", job.Worker)
+			rec.Span("atgpud", track, job.ID+" "+job.Request.Kind, rel(job.Started), rel(runEnd), args...)
+		}
+		// Terminal instant, so the outcome is visible even at zoom-out.
+		if !job.Finished.IsZero() {
+			rec.Instant("atgpud", "queue", job.ID+" "+string(job.State), rel(job.Finished), args...)
+		}
+	}
+	return rec.WriteTrace(w)
+}
