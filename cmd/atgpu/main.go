@@ -7,9 +7,17 @@
 //	atgpu table1
 //	atgpu calibrate
 //	atgpu analyze -alg vecadd|reduce|matmul -n N
-//	atgpu lint    [-alg vecadd|reduce|matmul -n N] [-blocks B] [-json] [-o out] [file.pseudo ...]
+//	atgpu lint    [-alg WORKLOAD -n N] [-blocks B] [-json] [-o out] [file.pseudo ...]
 //	atgpu run     -alg vecadd|reduce|matmul -n N [--lint warn|error] [--fault-rate R --fault-seed S --max-retries K]
-//	atgpu sweep   -alg vecadd|reduce|matmul [-full] [--workers W] [--lint warn|error] [fault flags] [-o dir -run label]
+//	atgpu sweep   -alg WORKLOAD [-full] [--workers W] [--lint warn|error] [fault flags] [-o dir -run label]
+//
+// WORKLOAD for lint and sweep is any built-in kernel: the three paper
+// workloads (vecadd, reduce, matmul) or the atomic workloads (histogram,
+// histogram-priv, compact, topk, montecarlo — plus scan for lint). The
+// atomic sweeps report the contention-priced cost estimate next to the
+// simulated timing, so histogram vs histogram-priv shows the predicted
+// and observed price of shared-counter serialisation side by side.
+//
 //	atgpu ooc     -n N -chunk C
 //	atgpu results list|diff|compare|gate [-store results.jsonl] [flags]
 //
@@ -64,7 +72,7 @@ func main() {
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	alg := fs.String("alg", "vecadd", "algorithm: vecadd, reduce, matmul")
+	alg := fs.String("alg", "vecadd", "algorithm: vecadd, reduce, matmul; lint/sweep also take histogram, histogram-priv, compact, topk, montecarlo")
 	n := fs.Int("n", 1_000_000, "input size (vector length / matrix side)")
 	chunk := fs.Int("chunk", 1<<18, "out-of-core chunk size in words")
 	full := fs.Bool("full", false, "sweep: use the paper's exact input sizes (minutes)")
@@ -170,6 +178,8 @@ commands:
               memory-performance and cost prediction      (-alg -n | file.pseudo ..., -blocks, -json, -o)
   run         predicted-vs-observed on the simulated GPU (-alg, -n)
   sweep       predicted-vs-observed size sweep           (-alg, -full, -workers, -o dir, -run label)
+              workloads: vecadd reduce matmul histogram histogram-priv
+              compact topk montecarlo (atomics carry contention pricing)
   ooc         out-of-core reduction, serial vs overlapped (-n, -chunk)
   results     query the canonical result store:
               list | diff -a runA -b runB | compare -a devA -b devB |
@@ -514,6 +524,16 @@ func sweep(ctx context.Context, alg string, full bool, opts atgpu.Options, trace
 		data, err = r.RunReduce()
 	case "matmul":
 		data, err = r.RunMatMul()
+	case "histogram":
+		data, err = r.RunHistogram(false)
+	case "histogram-priv":
+		data, err = r.RunHistogram(true)
+	case "compact":
+		data, err = r.RunCompact()
+	case "topk":
+		data, err = r.RunTopK()
+	case "montecarlo":
+		data, err = r.RunMonteCarlo()
 	default:
 		return fmt.Errorf("unknown algorithm %q", alg)
 	}

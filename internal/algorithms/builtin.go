@@ -38,6 +38,43 @@ func BuiltinKernel(alg string, n, b int) (*kernel.Program, int, error) {
 		a := MatMul{N: n}
 		prog, err := a.Kernel(b, 0, n*n, 2*n*n)
 		return prog, a.Blocks(b), err
+	case "histogram":
+		a := Histogram{N: n, Bins: builtinBins(n)}
+		prog, err := a.Kernel(b, 0, n)
+		return prog, a.Blocks(b), err
+	case "histogram-priv":
+		a := Histogram{N: n, Bins: builtinBins(n), Privatized: true}
+		prog, err := a.Kernel(b, 0, n)
+		return prog, a.Blocks(b), err
+	case "compact":
+		a := Compact{N: n}
+		prog, err := a.Kernel(b, 0, n, 2*n)
+		return prog, a.Blocks(b), err
+	case "topk":
+		a := TopK{N: n, K: builtinTopK(n)}
+		prog, err := a.Kernel(b, 0, n)
+		return prog, a.Blocks(b), err
+	case "montecarlo":
+		a := MonteCarlo{N: n, Trials: 16}
+		prog, err := a.Kernel(b, 0)
+		return prog, a.Blocks(b), err
 	}
 	return nil, 0, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+// builtinBins fixes the histogram bucket count the builtin mode uses: 16, or
+// n when the input is smaller, so tiny lint runs stay feasible.
+func builtinBins(n int) int {
+	if n < 16 {
+		return n
+	}
+	return 16
+}
+
+// builtinTopK fixes K for the builtin top-k: 4, or n when smaller.
+func builtinTopK(n int) int {
+	if n < 4 {
+		return n
+	}
+	return 4
 }

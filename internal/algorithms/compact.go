@@ -1,0 +1,231 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+)
+
+// Compact implements stream compaction: copy the non-zero elements of the
+// input to a dense prefix of the output, in a single pass, using atomics for
+// both the intra-block reservation (a shared counter every keeper increments)
+// and the inter-block reservation (one global counter per launch). The
+// relative order of survivors is schedule-dependent — the price of the
+// atomic single-pass formulation over a scan-based one — so results are
+// verified as a multiset.
+type Compact struct {
+	// N is the input length.
+	N int
+}
+
+// Name identifies the workload.
+func (c Compact) Name() string { return "compact" }
+
+// Blocks returns k: one warp per b input elements.
+func (c Compact) Blocks(b int) int { return ceilDiv(c.N, b) }
+
+// Shared layout: [0] keeper count for the block, [1] the block's base offset
+// in the output, reserved by lane 0 from the global counter.
+const (
+	compactSharedCount = 0
+	compactSharedBase  = 1
+	compactSharedWords = 2
+)
+
+// SharedWordsPerBlock returns m = 2: the block's counter and its output base.
+func (c Compact) SharedWordsPerBlock(int) int { return compactSharedWords }
+
+// GlobalWords returns the device footprint: input, output, and the one-word
+// survivor counter.
+func (c Compact) GlobalWords() int { return 2*c.N + 1 }
+
+// compactOpsPerThread approximates the straight-line per-thread operation
+// count (address arithmetic included).
+const compactOpsPerThread = 18
+
+// Analyze returns the ATGPU account: one round, t = Θ(1), q = k loads plus
+// the reservation and scatter traffic, I = n, O = n+1. The shared-counter
+// contention (up to b-way when every element survives) is the analyzer's
+// contention term, not part of these counts.
+func (c Compact) Analyze(p core.Params) (*core.Analysis, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, c.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := c.Blocks(p.B)
+	a := &core.Analysis{
+		Name:   c.Name(),
+		Params: p,
+		Rounds: []core.Round{{
+			Time:            compactOpsPerThread,
+			IO:              float64(3 * k),
+			GlobalWords:     c.GlobalWords(),
+			SharedWords:     compactSharedWords,
+			Blocks:          k,
+			InWords:         c.N,
+			InTransactions:  1,
+			OutWords:        c.N + 1,
+			OutTransactions: 2,
+		}},
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AGPU returns the asymptotic report the AGPU baseline would give.
+func (c Compact) AGPU() models.AGPUReport {
+	return models.AGPUReport{
+		Algorithm:        c.Name(),
+		TimeComplexity:   "O(1)",
+		IOComplexity:     "O(k)",
+		GlobalComplexity: "O(n)",
+		SharedComplexity: "O(1)",
+	}
+}
+
+// Kernel builds the compaction kernel: input at baseIn, dense output at
+// baseOut, the global survivor counter at baseCnt.
+func (c Compact) Kernel(b int, baseIn, baseOut, baseCnt int) (*kernel.Program, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, c.N)
+	}
+	kb := kernel.NewBuilder(fmt.Sprintf("compact-n%d", c.N), compactSharedWords)
+
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	// Lane 0 zeroes the block's keeper counter.
+	isLane0 := kb.Reg("isLane0")
+	zero := kb.Reg("zero")
+	addr := kb.Reg("addr")
+	kb.Const(zero, 0)
+	kb.Seq(isLane0, j, kernel.Imm(0))
+	kb.IfDo(isLane0, func() {
+		kb.Const(addr, compactSharedCount)
+		kb.StShared(addr, zero)
+	})
+	kb.Barrier()
+
+	// Load; keepers reserve a slot in the block's counter. v stays 0 for
+	// out-of-range lanes so their keep flag is deterministically false.
+	inRange := kb.Reg("inRange")
+	v := kb.Reg("v")
+	keep := kb.Reg("keep")
+	pos := kb.Reg("pos")
+	one := kb.Reg("one")
+	kb.Const(v, 0)
+	kb.Const(one, 1)
+	kb.Slt(inRange, idx, kernel.Imm(int64(c.N)))
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx, kernel.Imm(int64(baseIn)))
+		kb.LdGlobal(v, addr)
+	})
+	kb.Sne(keep, v, kernel.Imm(0))
+	kb.IfDo(keep, func() {
+		kb.Const(addr, compactSharedCount)
+		kb.AtomAdd(kernel.AtomShared, pos, addr, one)
+	})
+	kb.Barrier()
+
+	// Lane 0 reserves the block's span in the output from the global
+	// counter and publishes the base for the whole block.
+	cnt := kb.Reg("cnt")
+	base := kb.Reg("base")
+	kb.IfDo(isLane0, func() {
+		kb.Const(addr, compactSharedCount)
+		kb.LdShared(cnt, addr)
+		kb.Const(addr, int64(baseCnt))
+		kb.AtomAdd(kernel.AtomGlobal, base, addr, cnt)
+		kb.Const(addr, compactSharedBase)
+		kb.StShared(addr, base)
+	})
+	kb.Barrier()
+
+	// Keepers scatter into their reserved slots.
+	kb.IfDo(keep, func() {
+		kb.Const(addr, compactSharedBase)
+		kb.LdShared(base, addr)
+		kb.Add(addr, base, kernel.R(pos))
+		kb.Add(addr, addr, kernel.Imm(int64(baseOut)))
+		kb.StGlobal(addr, v)
+	})
+	kb.Release(isLane0, zero, inRange, v, keep, pos, one, cnt, base)
+	return kb.Build()
+}
+
+// Run executes the round plan and returns the dense survivors (length = the
+// global counter's final value, in schedule order) — compare as a multiset.
+func (c Compact) Run(h *simgpu.Host, in []Word) ([]Word, error) {
+	if err := checkLen("in", len(in), c.N); err != nil {
+		return nil, err
+	}
+	width := h.Device().Config().WarpWidth
+
+	baseIn, err := h.Malloc(c.N)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	baseOut, err := h.Malloc(c.N)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	baseCnt, err := h.Malloc(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+
+	prog, err := c.Kernel(width, baseIn, baseOut, baseCnt)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := h.TransferIn(baseIn, in); err != nil {
+		return nil, err
+	}
+	if err := h.TransferIn(baseCnt, []Word{0}); err != nil {
+		return nil, err
+	}
+	if _, err := h.Launch(prog, c.Blocks(width)); err != nil {
+		return nil, err
+	}
+	cnt, err := h.TransferOut(baseCnt, 1)
+	if err != nil {
+		return nil, err
+	}
+	if cnt[0] < 0 || cnt[0] > Word(c.N) {
+		return nil, fmt.Errorf("%w: survivor count %d out of [0,%d]", ErrVerifyFail, cnt[0], c.N)
+	}
+	var out []Word
+	if cnt[0] > 0 {
+		out, err = h.TransferOut(baseOut, int(cnt[0]))
+		if err != nil {
+			return nil, err
+		}
+	}
+	h.EndRound()
+	return out, nil
+}
+
+// CompactReference returns the non-zero elements of in, preserving input
+// order (the device result is the same multiset in a different order).
+func CompactReference(in []Word) []Word {
+	out := make([]Word, 0, len(in))
+	for _, v := range in {
+		if v != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

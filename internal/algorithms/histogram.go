@@ -1,0 +1,314 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+)
+
+// Histogram bins n input values into Bins counters with atomic increments —
+// the canonical contention workload. Two kernel strategies share the same
+// interface:
+//
+//   - contended (Privatized=false): one shared counter array per block; every
+//     lane atomically increments the bin its value hashes to, so lanes whose
+//     values collide on a bin (or a bank) serialise. Skewed inputs drive the
+//     contention factor toward b.
+//   - privatized (Privatized=true): each lane owns a private copy of the
+//     histogram in shared memory, laid out at an odd stride so both the
+//     update and the reduction phases are conflict-free; copies are reduced
+//     and flushed with one global atomic per bin per block.
+//
+// Both flush block-local counts into the global result with global atomadd,
+// so cross-block accumulation is exercised either way.
+type Histogram struct {
+	// N is the input length.
+	N int
+	// Bins is the number of histogram buckets; values are binned by v mod
+	// Bins (inputs are non-negative). Must be at least 1.
+	Bins int
+	// Privatized selects the per-lane private-copy strategy.
+	Privatized bool
+}
+
+// Name identifies the workload variant.
+func (hg Histogram) Name() string {
+	if hg.Privatized {
+		return "histogram-priv"
+	}
+	return "histogram"
+}
+
+// Blocks returns k: one warp per b input elements.
+func (hg Histogram) Blocks(b int) int { return ceilDiv(hg.N, b) }
+
+// stride is the padded row length of the privatized layout: the smallest odd
+// value ≥ Bins, so that lane rows start at coprime offsets to the b banks
+// (b is a power of two) and both phases are bank-conflict-free.
+func (hg Histogram) stride() int {
+	if hg.Bins%2 == 0 {
+		return hg.Bins + 1
+	}
+	return hg.Bins
+}
+
+// SharedWordsPerBlock returns m: the shared histogram (contended) or b
+// padded private copies (privatized). Privatization trades occupancy for
+// contention — visible directly in the cost estimate's ℓ.
+func (hg Histogram) SharedWordsPerBlock(b int) int {
+	if hg.Privatized {
+		return b * hg.stride()
+	}
+	return hg.Bins
+}
+
+// GlobalWords returns the device footprint: input plus result bins.
+func (hg Histogram) GlobalWords() int { return hg.N + hg.Bins }
+
+// histOpsPerThread approximates the straight-line per-thread operation count
+// of the binning phase (address arithmetic included).
+const histOpsPerThread = 12
+
+// Analyze returns the ATGPU account: one round, t = Θ(Bins/b) for the
+// zero/flush loops plus Θ(1) binning, q = k input transactions plus the
+// flush traffic, I = n, O = Bins. The contended variant's atomic
+// serialisation is NOT in these counts — it is the contention term the
+// static analyzer adds on top (CostEstimate.ContendedSeconds), which is the
+// point of the workload.
+func (hg Histogram) Analyze(p core.Params) (*core.Analysis, error) {
+	if hg.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, hg.N)
+	}
+	if hg.Bins <= 0 {
+		return nil, fmt.Errorf("%w: bins=%d", ErrBadSize, hg.Bins)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := hg.Blocks(p.B)
+	binLoops := ceilDiv(hg.Bins, p.B)
+	a := &core.Analysis{
+		Name:   hg.Name(),
+		Params: p,
+		Rounds: []core.Round{{
+			Time:            float64(histOpsPerThread + 6*binLoops),
+			IO:              float64(k * (1 + binLoops)),
+			GlobalWords:     hg.GlobalWords(),
+			SharedWords:     hg.SharedWordsPerBlock(p.B),
+			Blocks:          k,
+			InWords:         hg.N,
+			InTransactions:  1,
+			OutWords:        hg.Bins,
+			OutTransactions: 1,
+		}},
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AGPU returns the asymptotic report the AGPU baseline would give.
+func (hg Histogram) AGPU() models.AGPUReport {
+	return models.AGPUReport{
+		Algorithm:        hg.Name(),
+		TimeComplexity:   "O(Bins/b)",
+		IOComplexity:     "O(k·Bins/b)",
+		GlobalComplexity: "O(n + Bins)",
+		SharedComplexity: "O(Bins)",
+	}
+}
+
+// Kernel builds the histogram kernel for input at baseIn and result bins at
+// baseOut. Requires b to be a power of two for the privatized layout's
+// conflict-freedom argument.
+func (hg Histogram) Kernel(b int, baseIn, baseOut int) (*kernel.Program, error) {
+	if hg.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, hg.N)
+	}
+	if hg.Bins <= 0 {
+		return nil, fmt.Errorf("%w: bins=%d", ErrBadSize, hg.Bins)
+	}
+	if hg.Privatized && !isPow2(b) {
+		return nil, fmt.Errorf("%w: b=%d", ErrNotPow2, b)
+	}
+	kb := kernel.NewBuilder(fmt.Sprintf("%s-n%d-bins%d", hg.Name(), hg.N, hg.Bins),
+		hg.SharedWordsPerBlock(b))
+
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	zero := kb.Reg("zero")
+	kb.Const(zero, 0)
+	addr := kb.Reg("addr")
+	one := kb.Reg("one")
+	kb.Const(one, 1)
+
+	if hg.Privatized {
+		stride := int64(hg.stride())
+		rowBase := kb.Reg("rowBase")
+		kb.Mul(rowBase, j, kernel.Imm(stride))
+		// Zero this lane's private row.
+		kb.ForDo(kernel.Imm(0), kernel.Imm(int64(hg.Bins)), 1, func(i kernel.Reg) {
+			kb.Add(addr, rowBase, kernel.R(i))
+			kb.StShared(addr, zero)
+		})
+		kb.Barrier()
+
+		// Bin: each lane increments its own copy — conflict-free.
+		inRange := kb.Reg("inRange")
+		kb.Slt(inRange, idx, kernel.Imm(int64(hg.N)))
+		v := kb.Reg("v")
+		bin := kb.Reg("bin")
+		old := kb.Reg("old")
+		kb.IfDo(inRange, func() {
+			kb.Add(addr, idx, kernel.Imm(int64(baseIn)))
+			kb.LdGlobal(v, addr)
+			kb.Mod(bin, v, kernel.Imm(int64(hg.Bins)))
+			kb.Add(addr, rowBase, kernel.R(bin))
+			kb.AtomAdd(kernel.AtomShared, old, addr, one)
+		})
+		kb.Barrier()
+
+		// Reduce: lane j sums bin j, j+b, … across all b private rows and
+		// flushes with one global atomic per bin. Loops must be warp-uniform,
+		// so the lane stride is an if-guarded uniform loop over ⌈Bins/b⌉
+		// rounds. The inner loads hit distinct banks across lanes thanks to
+		// the odd stride.
+		sum := kb.Reg("sum")
+		t := kb.Reg("t")
+		bn := kb.Reg("bn")
+		inBins := kb.Reg("inBins")
+		kb.ForDo(kernel.Imm(0), kernel.Imm(int64(ceilDiv(hg.Bins, b))), 1, func(r kernel.Reg) {
+			kb.Mul(bn, r, kernel.Imm(int64(b)))
+			kb.Add(bn, bn, kernel.R(j))
+			kb.Slt(inBins, bn, kernel.Imm(int64(hg.Bins)))
+			kb.Const(sum, 0)
+			kb.ForDo(kernel.Imm(0), kernel.Imm(int64(b)), 1, func(l kernel.Reg) {
+				kb.Mul(addr, l, kernel.Imm(stride))
+				kb.Add(addr, addr, kernel.R(bn))
+				kb.IfDo(inBins, func() {
+					kb.LdShared(t, addr)
+					kb.Add(sum, sum, kernel.R(t))
+				})
+			})
+			kb.IfDo(inBins, func() {
+				kb.Add(addr, bn, kernel.Imm(int64(baseOut)))
+				kb.AtomAdd(kernel.AtomGlobal, old, addr, sum)
+			})
+		})
+		kb.Release(inRange, v, bin, old, sum, t, bn, inBins, rowBase)
+		return kb.Build()
+	}
+
+	// Contended: one shared histogram, atomically shared by all lanes. Lane
+	// strides are if-guarded uniform loops (the device traps divergent loop
+	// conditions).
+	pos := kb.Reg("pos")
+	inBins := kb.Reg("inBins")
+	binRounds := int64(ceilDiv(hg.Bins, b))
+	kb.ForDo(kernel.Imm(0), kernel.Imm(binRounds), 1, func(r kernel.Reg) {
+		kb.Mul(pos, r, kernel.Imm(int64(b)))
+		kb.Add(pos, pos, kernel.R(j))
+		kb.Slt(inBins, pos, kernel.Imm(int64(hg.Bins)))
+		kb.IfDo(inBins, func() {
+			kb.StShared(pos, zero)
+		})
+	})
+	kb.Barrier()
+
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(hg.N)))
+	v := kb.Reg("v")
+	bin := kb.Reg("bin")
+	old := kb.Reg("old")
+	kb.IfDo(inRange, func() {
+		kb.Add(addr, idx, kernel.Imm(int64(baseIn)))
+		kb.LdGlobal(v, addr)
+		kb.Mod(bin, v, kernel.Imm(int64(hg.Bins)))
+		kb.AtomAdd(kernel.AtomShared, old, bin, one)
+	})
+	kb.Barrier()
+
+	// Flush block-local counts into the global bins.
+	cnt := kb.Reg("cnt")
+	kb.ForDo(kernel.Imm(0), kernel.Imm(binRounds), 1, func(r kernel.Reg) {
+		kb.Mul(pos, r, kernel.Imm(int64(b)))
+		kb.Add(pos, pos, kernel.R(j))
+		kb.Slt(inBins, pos, kernel.Imm(int64(hg.Bins)))
+		kb.IfDo(inBins, func() {
+			kb.LdShared(cnt, pos)
+			kb.Add(addr, pos, kernel.Imm(int64(baseOut)))
+			kb.AtomAdd(kernel.AtomGlobal, old, addr, cnt)
+		})
+	})
+	kb.Release(inRange, v, bin, old, cnt, pos, inBins)
+	return kb.Build()
+}
+
+// Run executes the round plan: transfer the input in, zero the bins, launch,
+// transfer the bins out. Inputs must be non-negative (binned by v mod Bins).
+func (hg Histogram) Run(h *simgpu.Host, in []Word) ([]Word, error) {
+	if err := checkLen("in", len(in), hg.N); err != nil {
+		return nil, err
+	}
+	for i, v := range in {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: in[%d] = %d is negative", ErrBadShape, i, v)
+		}
+	}
+	width := h.Device().Config().WarpWidth
+
+	baseIn, err := h.Malloc(hg.N)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	baseOut, err := h.Malloc(hg.Bins)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+
+	prog, err := hg.Kernel(width, baseIn, baseOut)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := h.TransferIn(baseIn, in); err != nil {
+		return nil, err
+	}
+	if err := h.TransferIn(baseOut, make([]Word, hg.Bins)); err != nil {
+		return nil, err
+	}
+	if _, err := h.Launch(prog, hg.Blocks(width)); err != nil {
+		return nil, err
+	}
+	out, err := h.TransferOut(baseOut, hg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	h.EndRound()
+	return out, nil
+}
+
+// HistogramReference computes the histogram on the CPU.
+func HistogramReference(in []Word, bins int) ([]Word, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("%w: bins=%d", ErrBadSize, bins)
+	}
+	out := make([]Word, bins)
+	for i, v := range in {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: in[%d] = %d is negative", ErrBadShape, i, v)
+		}
+		out[v%Word(bins)]++
+	}
+	return out, nil
+}

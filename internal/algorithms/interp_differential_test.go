@@ -157,6 +157,74 @@ func TestDecodedMatchesLegacyAcrossWorkloads(t *testing.T) {
 	}
 }
 
+// TestDecodedMatchesLegacyAtomicWorkloads extends the equivalence pin to
+// every atomic builtin: histogram (contended AND privatized — atomadd under
+// heavy and zero conflict), compact (atomadd offset reservation), top-k
+// (atommax/atomcas slot updates), and montecarlo (atomadd global tally),
+// across presets, site collection, and fault seeds. The serialisation
+// charges feed the timeline, so Time/Stats equality here proves the two
+// interpreters agree on lane-order RMW semantics and on the cost model.
+func TestDecodedMatchesLegacyAtomicWorkloads(t *testing.T) {
+	presets := []simgpu.Config{simgpu.Tiny(), simgpu.GTX650()}
+	type wl struct {
+		name  string
+		words int
+		run   func(h *simgpu.Host) ([]Word, error)
+	}
+	mkWorkloads := func(n int) []wl {
+		// Histogram inputs must be non-negative; skew most values into one
+		// bin so the contended variant actually serialises whole warps.
+		in := make([]Word, n)
+		for i := range in {
+			if i%4 != 0 {
+				in[i] = 3
+			} else {
+				in[i] = Word(i % 23)
+			}
+		}
+		keep := randWords(n, 19) // roughly half zero-crossing: compact keeps v > 0
+		return []wl{
+			{"histogram", 3*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				return Histogram{N: n, Bins: 8}.Run(h, in)
+			}},
+			{"histogram-priv", 3*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				return Histogram{N: n, Bins: 8, Privatized: true}.Run(h, in)
+			}},
+			{"compact", 3*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				return Compact{N: n}.Run(h, keep)
+			}},
+			{"topk", 3*n + 256, func(h *simgpu.Host) ([]Word, error) {
+				return TopK{N: n, K: 4}.Run(h, keep)
+			}},
+			{"montecarlo", n + 256, func(h *simgpu.Host) ([]Word, error) {
+				s, err := MonteCarlo{N: n, Trials: 6}.Run(h)
+				return []Word{s}, err
+			}},
+		}
+	}
+	for _, preset := range presets {
+		for _, n := range []int{64, 100, 1 << 12} {
+			for _, w := range mkWorkloads(n) {
+				for _, sites := range []bool{false, true} {
+					for _, seed := range []int64{0, 23} {
+						if seed != 0 && (sites || n > 100) {
+							// One fault arm per workload/preset, as above.
+							continue
+						}
+						arm := armConfig{sites: sites, faultSeed: seed}
+						legacyArm := arm
+						legacyArm.legacy = true
+						want := runArm(t, preset, w.words, legacyArm, w.run)
+						got := runArm(t, preset, w.words, arm, w.run)
+						label := preset.Name + "/" + w.name
+						compareArms(t, label, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestMemoizedVecAddMatchesFullSimulation drives a certified launch big
 // enough for steady-state memoization to engage and requires exact
 // equality with the legacy interpreter (the pristine reference arm).

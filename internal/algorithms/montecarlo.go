@@ -1,0 +1,226 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"atgpu/internal/core"
+	"atgpu/internal/kernel"
+	"atgpu/internal/models"
+	"atgpu/internal/simgpu"
+)
+
+// LCG parameters (glibc constants) and derived draw geometry. State is
+// masked to 31 bits so every product stays far inside int64.
+const (
+	mcMulA  = 1103515245
+	mcAddC  = 12345
+	mcMask  = 1<<31 - 1
+	mcCoord = 1023                          // coordinate mask: x, y ∈ [0, 1023]
+	mcR2    = (mcCoord + 1) * (mcCoord + 1) // radius² of the quarter circle
+)
+
+// MonteCarlo estimates π/4 by dart-throwing: each thread runs Trials LCG
+// draws, counts lattice hits inside the quarter circle in a register, and
+// folds its count with a single shared atomadd — the warp-replicated
+// contention pattern where all b lanes target one cell, the analyzer's
+// worst shared-atomic case. Lane 0 then folds the block total into the
+// one-word global result with a global atomadd. The LCG is seeded by thread
+// index, so a CPU replay reproduces the count exactly.
+type MonteCarlo struct {
+	// N is the number of threads (total streams).
+	N int
+	// Trials is the number of draws per thread.
+	Trials int
+}
+
+// Name identifies the workload.
+func (mc MonteCarlo) Name() string { return "montecarlo" }
+
+// Blocks returns k: one warp per b threads.
+func (mc MonteCarlo) Blocks(b int) int { return ceilDiv(mc.N, b) }
+
+// SharedWordsPerBlock returns m = 1: the block accumulator every lane
+// atomically updates.
+func (mc MonteCarlo) SharedWordsPerBlock(int) int { return 1 }
+
+// GlobalWords returns the device footprint: the one-word result.
+func (mc MonteCarlo) GlobalWords() int { return 1 }
+
+// mcOpsPerTrial approximates the straight-line operations of one draw.
+const mcOpsPerTrial = 10
+
+// Analyze returns the ATGPU account: one round, t = Θ(Trials), q = k (one
+// result transaction per block), no input transfer, O = 1. The b-way
+// serialisation on the block accumulator is the contention term.
+func (mc MonteCarlo) Analyze(p core.Params) (*core.Analysis, error) {
+	if mc.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, mc.N)
+	}
+	if mc.Trials <= 0 {
+		return nil, fmt.Errorf("%w: trials=%d", ErrBadSize, mc.Trials)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := mc.Blocks(p.B)
+	a := &core.Analysis{
+		Name:   mc.Name(),
+		Params: p,
+		Rounds: []core.Round{{
+			Time:            float64(8 + mcOpsPerTrial*mc.Trials),
+			IO:              float64(k),
+			GlobalWords:     1,
+			SharedWords:     1,
+			Blocks:          k,
+			InWords:         1,
+			InTransactions:  1,
+			OutWords:        1,
+			OutTransactions: 1,
+		}},
+	}
+	if err := a.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AGPU returns the asymptotic report the AGPU baseline would give.
+func (mc MonteCarlo) AGPU() models.AGPUReport {
+	return models.AGPUReport{
+		Algorithm:        mc.Name(),
+		TimeComplexity:   "O(Trials)",
+		IOComplexity:     "O(k)",
+		GlobalComplexity: "O(1)",
+		SharedComplexity: "O(1)",
+	}
+}
+
+// Kernel builds the estimator kernel with the one-word result at baseOut.
+// The trial loop runs on every lane (uniform); out-of-range lanes simply do
+// not contribute their count.
+func (mc MonteCarlo) Kernel(b int, baseOut int) (*kernel.Program, error) {
+	if mc.N <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, mc.N)
+	}
+	if mc.Trials <= 0 {
+		return nil, fmt.Errorf("%w: trials=%d", ErrBadSize, mc.Trials)
+	}
+	kb := kernel.NewBuilder(fmt.Sprintf("montecarlo-n%d-t%d", mc.N, mc.Trials), 1)
+
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+
+	// Lane 0 zeroes the block accumulator.
+	isLane0 := kb.Reg("isLane0")
+	zero := kb.Reg("zero")
+	acc := kb.Reg("accAddr")
+	kb.Seq(isLane0, j, kernel.Imm(0))
+	kb.Const(zero, 0)
+	kb.Const(acc, 0)
+	kb.IfDo(isLane0, func() {
+		kb.StShared(acc, zero)
+	})
+	kb.Barrier()
+
+	// Per-thread LCG stream seeded by thread index (offset so lane 0 does
+	// not start at the fixed point of the zero seed).
+	seed := kb.Reg("seed")
+	kb.Add(seed, idx, kernel.Imm(1))
+	kb.Mul(seed, seed, kernel.Imm(2654435761))
+	kb.And(seed, seed, kernel.Imm(mcMask))
+
+	hits := kb.Reg("hits")
+	x := kb.Reg("x")
+	y := kb.Reg("y")
+	d := kb.Reg("d")
+	in := kb.Reg("in")
+	kb.Const(hits, 0)
+	kb.ForDo(kernel.Imm(0), kernel.Imm(int64(mc.Trials)), 1, func(kernel.Reg) {
+		kb.Mul(seed, seed, kernel.Imm(mcMulA))
+		kb.Add(seed, seed, kernel.Imm(mcAddC))
+		kb.And(seed, seed, kernel.Imm(mcMask))
+		kb.And(x, seed, kernel.Imm(mcCoord))
+		kb.Shr(y, seed, kernel.Imm(10))
+		kb.And(y, y, kernel.Imm(mcCoord))
+		kb.Mul(x, x, kernel.R(x))
+		kb.Mul(y, y, kernel.R(y))
+		kb.Add(d, x, kernel.R(y))
+		kb.Slt(in, d, kernel.Imm(mcR2))
+		kb.Add(hits, hits, kernel.R(in))
+	})
+
+	// Fold: every in-range lane atomically adds its count to the block
+	// accumulator (b-way contention by construction), then lane 0 folds the
+	// block total into the global result.
+	inRange := kb.Reg("inRange")
+	old := kb.Reg("old")
+	kb.Slt(inRange, idx, kernel.Imm(int64(mc.N)))
+	kb.IfDo(inRange, func() {
+		kb.AtomAdd(kernel.AtomShared, old, acc, hits)
+	})
+	kb.Barrier()
+	total := kb.Reg("total")
+	addr := kb.Reg("addr")
+	kb.IfDo(isLane0, func() {
+		kb.LdShared(total, acc)
+		kb.Const(addr, int64(baseOut))
+		kb.AtomAdd(kernel.AtomGlobal, old, addr, total)
+	})
+	kb.Release(isLane0, zero, seed, hits, x, y, d, in, inRange, old, total, addr)
+	return kb.Build()
+}
+
+// Run executes the round plan and returns the total hit count.
+func (mc MonteCarlo) Run(h *simgpu.Host) (Word, error) {
+	width := h.Device().Config().WarpWidth
+
+	baseOut, err := h.Malloc(1)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDoesNotFit, err)
+	}
+	prog, err := mc.Kernel(width, baseOut)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.TransferIn(baseOut, []Word{0}); err != nil {
+		return 0, err
+	}
+	if _, err := h.Launch(prog, mc.Blocks(width)); err != nil {
+		return 0, err
+	}
+	out, err := h.TransferOut(baseOut, 1)
+	if err != nil {
+		return 0, err
+	}
+	h.EndRound()
+	return out[0], nil
+}
+
+// MonteCarloReference replays every thread's LCG stream on the CPU and
+// returns the exact hit count the device must produce.
+func (mc MonteCarlo) MonteCarloReference() (Word, error) {
+	if mc.N <= 0 {
+		return 0, fmt.Errorf("%w: n=%d", ErrBadSize, mc.N)
+	}
+	if mc.Trials <= 0 {
+		return 0, fmt.Errorf("%w: trials=%d", ErrBadSize, mc.Trials)
+	}
+	var hits Word
+	for t := 0; t < mc.N; t++ {
+		seed := ((int64(t) + 1) * 2654435761) & mcMask
+		for i := 0; i < mc.Trials; i++ {
+			seed = (seed*mcMulA + mcAddC) & mcMask
+			x := seed & mcCoord
+			y := (seed >> 10) & mcCoord
+			if x*x+y*y < mcR2 {
+				hits++
+			}
+		}
+	}
+	return hits, nil
+}

@@ -28,6 +28,18 @@ type CostEstimate struct {
 	OccupancyFactor float64 `json:"occupancy_factor"`
 	PerfectSeconds  float64 `json:"perfect_seconds"`
 	GPUSeconds      float64 `json:"gpu_seconds"`
+
+	// Contention term, per Dong & Pai's utilization model: atomic lanes
+	// that conflict replay serially, so an access of degree d costs d
+	// issues where a conflict-free one costs 1. ContentionFactor is the
+	// launch-wide mean 1 + serialisations/accesses (the inverse of atomic
+	// utilization); ContendedSeconds extends GPUSeconds with the worst
+	// warp's predicted serialisation cycles. All fields stay zero (and
+	// absent from JSON) for atomics-free kernels.
+	AtomicAccesses       int64   `json:"atomic_accesses,omitempty"`
+	AtomicSerialisations int64   `json:"atomic_serialisations,omitempty"`
+	ContentionFactor     float64 `json:"contention_factor,omitempty"`
+	ContendedSeconds     float64 `json:"contended_seconds,omitempty"`
 }
 
 // costEstimate evaluates the kernel terms of Expressions (1) and (2) from
@@ -46,5 +58,16 @@ func costEstimate(cp core.CostParams, m Machine, sharedWords, blocks int, stats 
 	t, q := float64(est.T), float64(est.Q)
 	est.PerfectSeconds = (t + cp.Lambda*q) / cp.Gamma
 	est.GPUSeconds = (est.OccupancyFactor*t + cp.Lambda*q) / cp.Gamma
+	if stats.AtomicAccesses > 0 {
+		est.AtomicAccesses = stats.AtomicAccesses
+		est.AtomicSerialisations = stats.AtomicSerialisations
+		est.ContentionFactor = 1 + float64(stats.AtomicSerialisations)/float64(stats.AtomicAccesses)
+		lat := m.SharedLatencyCycles
+		if lat <= 0 {
+			lat = 1
+		}
+		serCycles := float64(stats.MaxWarpAtomicSerial) * float64(lat)
+		est.ContendedSeconds = est.GPUSeconds + est.OccupancyFactor*serCycles/cp.Gamma
+	}
 	return est
 }

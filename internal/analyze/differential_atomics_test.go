@@ -1,0 +1,203 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/analyze"
+	"atgpu/internal/kernel"
+	"atgpu/internal/simgpu"
+)
+
+// TestDifferentialMonteCarlo proves the atomic transfer functions exact on a
+// precise analysis: every address in the kernel (the block accumulator, the
+// global result word) is statically known, so the analyzer's conflict degrees
+// — b-way on the shared accumulator, block-count-way on the global word —
+// must equal the simulator's observed serialisation counter for counter,
+// on both the wide and the tiny device.
+func TestDifferentialMonteCarlo(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  func(int) simgpu.Config
+		n    int
+	}{
+		{"wide", wideConfig, 1000},
+		{"wide-tail", wideConfig, 100},
+		{"tiny", tinyConfig, 37},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			alg := algorithms.MonteCarlo{N: tc.n, Trials: 8}
+			cfg := tc.cfg(alg.GlobalWords() + 64)
+			h := newDiffHost(t, cfg)
+			launches := attachChecker(t, h, cfg)
+			got, err := alg.Run(h)
+			if err != nil {
+				t.Fatalf("n=%d: %v", tc.n, err)
+			}
+			want, err := alg.MonteCarloReference()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("n=%d: hits = %d, want %d", tc.n, got, want)
+			}
+			if *launches == 0 {
+				t.Fatalf("n=%d: no launches observed", tc.n)
+			}
+		})
+	}
+}
+
+// TestDifferentialTopK covers the global atomic-max cascade: the K slot
+// addresses are loop-counter uniform (all active lanes hit the same slot each
+// step), the analyzer's worst global-atomic case, and statically precise.
+func TestDifferentialTopK(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  func(int) simgpu.Config
+		n, k int
+	}{
+		{"wide", wideConfig, 1000, 8},
+		{"wide-tail", wideConfig, 100, 4},
+		{"tiny", tinyConfig, 33, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			alg := algorithms.TopK{N: tc.n, K: tc.k}
+			cfg := tc.cfg(alg.GlobalWords() + 64)
+			h := newDiffHost(t, cfg)
+			launches := attachChecker(t, h, cfg)
+			if _, err := alg.Run(h, randWords(tc.n, int64(tc.n))); err != nil {
+				t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+			}
+			if *launches == 0 {
+				t.Fatalf("n=%d k=%d: no launches observed", tc.n, tc.k)
+			}
+		})
+	}
+}
+
+// attachSoundnessChecker is the harness for workloads whose atomic addresses
+// are data-dependent (histogram bins, compaction keep flags): the analysis is
+// deliberately imprecise there, so instead of exact equality it must deliver
+// a sound worst-case bound — static atomic counters at or above whatever the
+// device observes on any input — while the access count, which only depends
+// on the (statically known) active masks, stays exact when unconditional.
+func attachSoundnessChecker(t *testing.T, h *simgpu.Host, cfg simgpu.Config) *int {
+	t.Helper()
+	cp := testCostParams(cfg)
+	launches := 0
+	h.SetLaunchObserver(func(prog *kernel.Program, numBlocks int, res simgpu.KernelResult) {
+		launches++
+		rep, err := analyze.Program(prog, analyze.Options{
+			Machine: analyze.FromConfig(cfg),
+			Blocks:  numBlocks,
+			Cost:    &cp,
+		})
+		if err != nil {
+			t.Fatalf("%s blocks=%d: analyze: %v", prog.Name, numBlocks, err)
+		}
+		if rep.Precise {
+			t.Errorf("%s blocks=%d: analysis claims precision despite data-dependent atomics", prog.Name, numBlocks)
+		}
+		for _, f := range rep.Findings {
+			if f.Severity == analyze.SevError {
+				t.Errorf("%s blocks=%d: unexpected error finding: %s", prog.Name, numBlocks, f)
+			}
+		}
+		st, obs := rep.Stats, res.Stats
+		bounds := []struct {
+			field     string
+			got, want int64
+		}{
+			{"AtomicAccesses", st.AtomicAccesses, obs.AtomicAccesses},
+			{"AtomicSerialisations", st.AtomicSerialisations, obs.AtomicSerialisations},
+			{"MaxAtomicDegree", int64(st.MaxAtomicDegree), int64(obs.MaxAtomicDegree)},
+			{"MaxWarpAtomicSerial", st.MaxWarpAtomicSerial, obs.MaxWarpAtomicSerial},
+		}
+		for _, b := range bounds {
+			if b.got < b.want {
+				t.Errorf("%s blocks=%d: static %s = %d below observed %d — the bound is unsound",
+					prog.Name, numBlocks, b.field, b.got, b.want)
+			}
+		}
+		if rep.Cost == nil {
+			t.Errorf("%s: no cost estimate", prog.Name)
+		} else if rep.Cost.ContentionFactor < 1 {
+			t.Errorf("%s: contention factor %v below 1", prog.Name, rep.Cost.ContentionFactor)
+		}
+	})
+	return &launches
+}
+
+// TestDifferentialAtomicSoundness runs the data-dependent atomic workloads —
+// contended histogram, privatized histogram, stream compaction — under the
+// soundness harness on both devices, with inputs chosen to push the observed
+// contention toward (skewed histogram) and away from (privatized, sparse
+// compaction) the static bound.
+func TestDifferentialAtomicSoundness(t *testing.T) {
+	run := func(t *testing.T, cfgFor func(int) simgpu.Config) {
+		t.Run("histogram-skewed", func(t *testing.T) {
+			const n, bins = 256, 8
+			alg := algorithms.Histogram{N: n, Bins: bins}
+			cfg := cfgFor(alg.GlobalWords() + 64)
+			h := newDiffHost(t, cfg)
+			launches := attachSoundnessChecker(t, h, cfg)
+			in := make([]algorithms.Word, n)
+			for i := range in {
+				in[i] = 3 // every value lands in one bin: the bound is realised
+			}
+			got, err := alg.Run(h, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := algorithms.HistogramReference(in, bins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bin %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+			if *launches == 0 {
+				t.Fatal("no launches observed")
+			}
+		})
+		t.Run("histogram-privatized", func(t *testing.T) {
+			const n, bins = 256, 8
+			alg := algorithms.Histogram{N: n, Bins: bins, Privatized: true}
+			cfg := cfgFor(alg.GlobalWords() + 64)
+			h := newDiffHost(t, cfg)
+			launches := attachSoundnessChecker(t, h, cfg)
+			in := make([]algorithms.Word, n)
+			for i := range in {
+				in[i] = algorithms.Word(i % bins)
+			}
+			if _, err := alg.Run(h, in); err != nil {
+				t.Fatal(err)
+			}
+			if *launches == 0 {
+				t.Fatal("no launches observed")
+			}
+		})
+		t.Run("compact", func(t *testing.T) {
+			const n = 256
+			alg := algorithms.Compact{N: n}
+			cfg := cfgFor(alg.GlobalWords() + 64)
+			h := newDiffHost(t, cfg)
+			launches := attachSoundnessChecker(t, h, cfg)
+			in := randWords(n, 99)
+			for i := 0; i < n; i += 2 {
+				in[i] = 0 // half the lanes keep: observed well below the bound
+			}
+			if _, err := alg.Run(h, in); err != nil {
+				t.Fatal(err)
+			}
+			if *launches == 0 {
+				t.Fatal("no launches observed")
+			}
+		})
+	}
+	t.Run("wide", func(t *testing.T) { run(t, wideConfig) })
+	t.Run("tiny", func(t *testing.T) { run(t, tinyConfig) })
+}

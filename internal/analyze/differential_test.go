@@ -117,6 +117,10 @@ func checkStats(t *testing.T, name string, blocks int, st analyze.StaticStats, o
 		{"SharedAccesses", st.SharedAccesses, obs.SharedAccesses},
 		{"BankConflicts", st.BankConflicts, obs.BankConflicts},
 		{"MaxConflictDegree", int64(st.MaxConflictDegree), int64(obs.MaxConflictDegree)},
+		{"AtomicAccesses", st.AtomicAccesses, obs.AtomicAccesses},
+		{"AtomicSerialisations", st.AtomicSerialisations, obs.AtomicSerialisations},
+		{"MaxAtomicDegree", int64(st.MaxAtomicDegree), int64(obs.MaxAtomicDegree)},
+		{"MaxWarpAtomicSerial", st.MaxWarpAtomicSerial, obs.MaxWarpAtomicSerial},
 		{"Barriers", st.Barriers, obs.Barriers},
 		{"DivergentBranches", st.DivergentBranches, obs.DivergentBranches},
 		{"BlocksExecuted", st.BlocksExecuted, obs.BlocksExecuted},

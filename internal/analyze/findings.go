@@ -63,6 +63,10 @@ const (
 	AnalyzerMemory     = "memory"     // bank conflicts and uncoalesced access
 	AnalyzerCost       = "cost"       // Expression (1)/(2) feasibility
 	AnalyzerExec       = "exec"       // abstract-interpretation limitations
+	// AnalyzerContention flags atomic serialisation hotspots: conflicting
+	// atomic lanes are a performance hazard (warning with the predicted
+	// contention factor), not a correctness race.
+	AnalyzerContention = "contention"
 )
 
 // Finding is one diagnostic: which analyzer produced it, where in the
@@ -119,11 +123,19 @@ type StaticStats struct {
 	SharedAccesses      int64 `json:"shared_accesses"`
 	BankConflicts       int64 `json:"bank_conflicts"`
 	MaxConflictDegree   int   `json:"max_conflict_degree"`
-	Barriers            int64 `json:"barriers"`
-	DivergentBranches   int64 `json:"divergent_branches"`
-	BlocksExecuted      int64 `json:"blocks_executed"`
-	MaxWarpInstrs       int64 `json:"max_warp_instrs"`
-	OccupancyLimit      int   `json:"occupancy_limit"`
+	// Atomic counters mirror the simulator's: accesses, Σ(degree−1)
+	// serialisations, the worst per-access degree, and the largest
+	// per-warp serialisation sum. Omitted from JSON for atomics-free
+	// kernels so existing reports are byte-identical.
+	AtomicAccesses       int64 `json:"atomic_accesses,omitempty"`
+	AtomicSerialisations int64 `json:"atomic_serialisations,omitempty"`
+	MaxAtomicDegree      int   `json:"max_atomic_degree,omitempty"`
+	MaxWarpAtomicSerial  int64 `json:"max_warp_atomic_serial,omitempty"`
+	Barriers             int64 `json:"barriers"`
+	DivergentBranches    int64 `json:"divergent_branches"`
+	BlocksExecuted       int64 `json:"blocks_executed"`
+	MaxWarpInstrs        int64 `json:"max_warp_instrs"`
+	OccupancyLimit       int   `json:"occupancy_limit"`
 }
 
 // Merge folds other into s the way simgpu.KernelStats.Merge does, for
@@ -138,6 +150,14 @@ func (s *StaticStats) Merge(other StaticStats) {
 	s.BankConflicts += other.BankConflicts
 	if other.MaxConflictDegree > s.MaxConflictDegree {
 		s.MaxConflictDegree = other.MaxConflictDegree
+	}
+	s.AtomicAccesses += other.AtomicAccesses
+	s.AtomicSerialisations += other.AtomicSerialisations
+	if other.MaxAtomicDegree > s.MaxAtomicDegree {
+		s.MaxAtomicDegree = other.MaxAtomicDegree
+	}
+	if other.MaxWarpAtomicSerial > s.MaxWarpAtomicSerial {
+		s.MaxWarpAtomicSerial = other.MaxWarpAtomicSerial
 	}
 	s.Barriers += other.Barriers
 	s.DivergentBranches += other.DivergentBranches
@@ -251,12 +271,20 @@ func (r *Report) Text() string {
 		s.GlobalAccesses, s.GlobalTransactions, s.UncoalescedAccesses)
 	fmt.Fprintf(&sb, "static shared: accesses=%d conflicts=%d maxDegree=%d\n",
 		s.SharedAccesses, s.BankConflicts, s.MaxConflictDegree)
+	if s.AtomicAccesses > 0 {
+		fmt.Fprintf(&sb, "static atomic: accesses=%d serialisations=%d maxDegree=%d maxWarpSerial=%d\n",
+			s.AtomicAccesses, s.AtomicSerialisations, s.MaxAtomicDegree, s.MaxWarpAtomicSerial)
+	}
 	fmt.Fprintf(&sb, "static control: barriers=%d divergent=%d\n",
 		s.Barriers, s.DivergentBranches)
 	if r.Cost != nil {
 		fmt.Fprintf(&sb, "static cost: t=%d q=%d occFactor=%g perfect=%.6gs gpu=%.6gs\n",
 			r.Cost.T, r.Cost.Q, r.Cost.OccupancyFactor,
 			r.Cost.PerfectSeconds, r.Cost.GPUSeconds)
+		if r.Cost.ContentionFactor > 0 {
+			fmt.Fprintf(&sb, "static contention: factor=%.4g contended=%.6gs\n",
+				r.Cost.ContentionFactor, r.Cost.ContendedSeconds)
+		}
 	}
 	return sb.String()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"atgpu/internal/analyze"
@@ -146,5 +147,67 @@ func TestFixtureDeterminism(t *testing.T) {
 		if !bytes.Equal(aj, bj) {
 			t.Errorf("%s: two analyses differ:\n%s\n---\n%s", name, aj, bj)
 		}
+	}
+}
+
+// requireWarning asserts exactly one warning-severity finding from the given
+// analyzer, anchored at the given source line.
+func requireWarning(t *testing.T, rep *analyze.Report, analyzer string, line int) analyze.Finding {
+	t.Helper()
+	var hits []analyze.Finding
+	for _, f := range rep.Findings {
+		if f.Analyzer == analyzer && f.Severity == analyze.SevWarning {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly one %s warning, got %d: %v", analyzer, len(hits), rep.Findings)
+	}
+	if hits[0].Line != line {
+		t.Fatalf("%s warning at line %d, want line %d: %s", analyzer, hits[0].Line, line, hits[0])
+	}
+	return hits[0]
+}
+
+// TestContendedHistogramFlagged pins the atomic classification: the
+// data-dependent shared atomadd draws an AnalyzerContention WARNING at its
+// exact line, carrying the predicted worst-case factor (all 8 lanes of the
+// fixture machine serialising), and no error-severity finding anywhere —
+// contention is a performance verdict, not a correctness one.
+func TestContendedHistogramFlagged(t *testing.T) {
+	rep := analyzeFixture(t, "contended_histogram.pseudo")
+	f := requireWarning(t, rep, analyze.AnalyzerContention, 14)
+	if !strings.Contains(f.Message, "predicted contention factor 8.0x") {
+		t.Errorf("contention warning lacks the predicted factor: %s", f.Message)
+	}
+	for _, f := range rep.Findings {
+		if f.Severity == analyze.SevError {
+			t.Errorf("contended histogram drew an error finding: %s", f)
+		}
+	}
+}
+
+// TestPrivatizedHistogramClean is the twin: identical structure, but every
+// atomadd targets the lane's own cell (lane-affine addressing the analyzer
+// can prove conflict-free), so the report must carry no findings at all.
+func TestPrivatizedHistogramClean(t *testing.T) {
+	rep := analyzeFixture(t, "privatized_histogram.pseudo")
+	if len(rep.Findings) != 0 {
+		t.Errorf("privatized histogram should lint clean, got %d findings:", len(rep.Findings))
+		for _, f := range rep.Findings {
+			t.Errorf("  %s", f)
+		}
+	}
+}
+
+// TestMixedAtomicStoreStillRace guards the boundary of the contention
+// classification: a plain store and an atomic update of the same cell with
+// no barrier between them is a genuine race and must stay an
+// AnalyzerRace ERROR, exactly as if both accesses were plain.
+func TestMixedAtomicStoreStillRace(t *testing.T) {
+	rep := analyzeFixture(t, "mixed_atomic_store.pseudo")
+	f := requireFinding(t, rep, analyze.AnalyzerRace, 12)
+	if !strings.Contains(f.Message, "atomically updates") {
+		t.Errorf("race finding does not name the atomic side: %s", f.Message)
 	}
 }

@@ -27,9 +27,17 @@ type blockRun struct {
 
 	shared []V
 	// Race log since the last barrier: which lanes wrote/read each cell,
-	// and the pc of the last write (for witness reporting).
+	// and the pc of the last write (for witness reporting). amask tracks
+	// atomic updates separately: atomic-vs-atomic on one cell serialises
+	// (contention, not a race) while atomic-vs-plain in either direction
+	// is a race.
 	wmask, rmask []uint64
+	amask        []uint64
 	wpc          []int32
+
+	// atomSer accumulates Σ(degree−1) over this block's atomic accesses,
+	// mirroring the simulator's per-warp serialisation counter.
+	atomSer int64
 
 	// addrs is the gathered per-lane address vector of a memory access:
 	// the concrete address, or laneMasked / laneUnknown.
@@ -59,6 +67,7 @@ func newBlockRun(a *analysis, blockID int) *blockRun {
 		shared:   make([]V, a.prog.SharedWords),
 		wmask:    make([]uint64, a.prog.SharedWords),
 		rmask:    make([]uint64, a.prog.SharedWords),
+		amask:    make([]uint64, a.prog.SharedWords),
 		wpc:      make([]int32, a.prog.SharedWords),
 		addrs:    make([]int64, width),
 		fuel:     a.opt.fuel(),
@@ -77,6 +86,7 @@ func (b *blockRun) reset(blockID int) {
 	b.pc = 0
 	b.instrs = 0
 	b.depth = 0
+	b.atomSer = 0
 	b.fuel = b.a.opt.fuel()
 	for i := range b.regs {
 		b.regs[i] = known(0)
@@ -89,6 +99,7 @@ func (b *blockRun) reset(blockID int) {
 		b.shared[i] = known(0)
 		b.wmask[i] = 0
 		b.rmask[i] = 0
+		b.amask[i] = 0
 	}
 	if len(b.brVisits) > 0 {
 		b.brVisits = make(map[int]int)
@@ -260,6 +271,12 @@ func (b *blockRun) run() bool {
 			}
 			continue // pc advanced inside
 
+		case kernel.OpAtomAdd, kernel.OpAtomMax, kernel.OpAtomExch, kernel.OpAtomCAS:
+			if !b.execAtom(in) {
+				return false
+			}
+			continue // pc advanced inside
+
 		case kernel.OpBarrier:
 			a.stats.Barriers++
 			b.checkBarrier()
@@ -268,6 +285,7 @@ func (b *blockRun) run() bool {
 			for i := range b.wmask {
 				b.wmask[i] = 0
 				b.rmask[i] = 0
+				b.amask[i] = 0
 			}
 
 		case kernel.OpJump:
@@ -299,6 +317,9 @@ func (b *blockRun) run() bool {
 			a.stats.BlocksExecuted++
 			if b.instrs > a.stats.MaxWarpInstrs {
 				a.stats.MaxWarpInstrs = b.instrs
+			}
+			if b.atomSer > a.stats.MaxWarpAtomicSerial {
+				a.stats.MaxWarpAtomicSerial = b.atomSer
 			}
 			return true
 

@@ -22,6 +22,10 @@ type Machine struct {
 	// BroadcastSharedReads recognises all-lanes-same-word shared reads as
 	// conflict-free, matching the device configuration bit.
 	BroadcastSharedReads bool
+	// SharedLatencyCycles prices one serialised atomic replay in the
+	// contention term of the cost estimate (the device's conflict-free
+	// shared access cost). 0 defaults to 1 cycle per replay.
+	SharedLatencyCycles int
 }
 
 // FromConfig derives the abstract machine from a simulator configuration,
@@ -34,6 +38,7 @@ func FromConfig(cfg simgpu.Config) Machine {
 		NumSMs:               cfg.NumSMs,
 		MaxBlocksPerSM:       cfg.MaxBlocksPerSM,
 		BroadcastSharedReads: cfg.BroadcastSharedReads,
+		SharedLatencyCycles:  cfg.SharedLatencyCycles,
 	}
 }
 

@@ -64,6 +64,8 @@ func opKind(op kernel.Op) string {
 	switch op {
 	case kernel.OpLdGlobal, kernel.OpLdShared:
 		return "load"
+	case kernel.OpAtomAdd, kernel.OpAtomMax, kernel.OpAtomExch, kernel.OpAtomCAS:
+		return "atomic update"
 	default:
 		return "store"
 	}
@@ -260,6 +262,11 @@ func (b *blockRun) sharedLoad(in kernel.Instr) {
 			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(wl, l)},
 				"shared memory race: lane %d reads _shared[%d] written by lane %d (pc %d, line %d) with no barrier between",
 				l, c, wl, b.wpc[c], b.prog.Line(int(b.wpc[c])))
+		} else if m := b.amask[c] &^ laneBit(l); m != 0 {
+			ml := lowestLane(m)
+			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(ml, l)},
+				"shared memory race: lane %d plainly reads _shared[%d] atomically updated by lane %d with no barrier between",
+				l, c, ml)
 		}
 		b.rmask[c] |= laneBit(l)
 		b.setLane(d+l, l, b.shared[c])
@@ -299,6 +306,11 @@ func (b *blockRun) sharedStore(in kernel.Instr) {
 			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(wl, l)},
 				"shared memory race: lanes %d and %d both write _shared[%d] with no barrier between",
 				wl, l, c)
+		} else if m := b.amask[c] &^ laneBit(l); m != 0 {
+			ml := lowestLane(m)
+			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(ml, l)},
+				"shared memory race: lane %d plainly writes _shared[%d] atomically updated by lane %d with no barrier between",
+				l, c, ml)
 		} else if r := b.rmask[c] &^ laneBit(l); r != 0 {
 			rl := lowestLane(r)
 			a.reportf(Finding{Analyzer: AnalyzerRace, Severity: SevError, PC: b.pc, Block: b.blockID, Lanes: witness(rl, l)},

@@ -265,6 +265,15 @@ func (u *uniState) run() error {
 				return err
 			}
 
+		case kernel.OpAtomAdd, kernel.OpAtomMax, kernel.OpAtomExch, kernel.OpAtomCAS:
+			// Atomics are refused outright. A global atomic makes every block
+			// touch a cell other blocks may touch, defeating the disjointness
+			// the certificate rests on; a shared atomic's serialisation charge
+			// and returned old value depend on which lanes contend, which the
+			// affine domain cannot prove identical across blocks once any
+			// operand is Top. The launch simply runs under full simulation.
+			return u.refusef("atomic %v: read-modify-write effects are not provably block-uniform", in.Op)
+
 		case kernel.OpBarrier:
 			// Timing of a barrier is mask-shaped only; the mask is already
 			// proven block-invariant.

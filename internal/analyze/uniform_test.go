@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"atgpu/internal/kernel"
+	"atgpu/internal/simgpu"
 )
 
 // buildVecAddLike is the canonical certifiable kernel: idx = blk·b + lane,
@@ -159,5 +160,107 @@ func TestBlockUniformMaskedConstDivide(t *testing.T) {
 	}
 	if _, err := BlockUniform(prog, 4, 1024, 64); err != nil {
 		t.Fatalf("masked divi #0 should certify: %v", err)
+	}
+}
+
+// buildAtomicVecAddLike is buildVecAddLike with a single conflict-free
+// shared atomadd spliced in — the ONLY difference from the certifiable
+// baseline, so a refusal is attributable to the atomic alone.
+func buildAtomicVecAddLike(t *testing.T, b, n int) *kernel.Program {
+	t.Helper()
+	kb := kernel.NewBuilder("uni-vecadd-atomic", 3*b)
+	j := kb.Reg("lane")
+	blk := kb.Reg("block")
+	idx := kb.Reg("idx")
+	kb.LaneID(j)
+	kb.BlockID(blk)
+	kb.Mul(idx, blk, kernel.Imm(int64(b)))
+	kb.Add(idx, idx, kernel.R(j))
+	inRange := kb.Reg("inRange")
+	kb.Slt(inRange, idx, kernel.Imm(int64(n)))
+	addr := kb.Reg("addr")
+	val := kb.Reg("val")
+	old := kb.Reg("old")
+	kb.IfDo(inRange, func() {
+		kb.LdGlobal(val, idx)
+		kb.AtomAdd(kernel.AtomShared, old, j, val) // per-lane cells: no conflicts
+		kb.LdShared(val, j)
+		kb.Add(addr, idx, kernel.Imm(int64(n)))
+		kb.StGlobal(addr, val)
+	})
+	prog, err := kb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+// TestBlockUniformRefusesAtomics pins the certification boundary: the
+// vecadd-like baseline certifies (TestBlockUniformCertifiesVecAdd), and the
+// same kernel with one shared atomadd — even conflict-free, on per-lane
+// cells — must be refused.
+func TestBlockUniformRefusesAtomics(t *testing.T) {
+	const b, n = 32, 1 << 14
+	prog := buildAtomicVecAddLike(t, b, n)
+	if _, err := BlockUniform(prog, b, 2*n, n/b); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("BlockUniform = %v, want ErrNotUniform for a kernel with atomics", err)
+	}
+}
+
+// TestMemoFallsBackToFullSimulationOnAtomics is the end-to-end pin for the
+// memoization boundary under the REAL prover: a memoization-eligible kernel
+// engages block memoization, its atomic twin does not — it silently falls
+// back to full simulation with results byte-identical to a prover-less
+// device.
+func TestMemoFallsBackToFullSimulationOnAtomics(t *testing.T) {
+	const b, blocks = 32, 512
+	n := b * blocks
+	cfg := simgpu.GTX650()
+	cfg.GlobalWords = 2 * n
+
+	run := func(prog *kernel.Program, withProver bool) (simgpu.KernelResult, []kernel.Word, int64) {
+		dev, err := simgpu.New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if withProver {
+			dev.SetUniformProver(UniformProver)
+		}
+		raw := dev.Global().Raw()
+		for i := 0; i < n; i++ {
+			raw[i] = int64(i*5 - 100)
+		}
+		res, err := dev.Launch(prog, blocks)
+		if err != nil {
+			t.Fatalf("Launch: %v", err)
+		}
+		out := append([]kernel.Word(nil), dev.Global().Raw()...)
+		return res, out, dev.MemoSkips()
+	}
+
+	// Control: the atomics-free baseline is certified and memoized.
+	base := buildVecAddLike(t, b, n)
+	if _, _, skips := run(base, true); skips != 1 {
+		t.Fatalf("baseline kernel engaged memoization %d times, want 1", skips)
+	}
+
+	// Pin: the atomic twin must fall back to full simulation...
+	atomic := buildAtomicVecAddLike(t, b, n)
+	memoRes, memoMem, skips := run(atomic, true)
+	if skips != 0 {
+		t.Fatalf("atomic kernel engaged memoization %d times, want full-simulation fallback", skips)
+	}
+	// ...and be byte-identical to a device that never memoizes.
+	fullRes, fullMem, _ := run(atomic, false)
+	if memoRes.Stats != fullRes.Stats {
+		t.Errorf("stats diverge:\nprover: %+v\nplain:  %+v", memoRes.Stats, fullRes.Stats)
+	}
+	if memoRes.Time != fullRes.Time {
+		t.Errorf("time diverges: prover %v, plain %v", memoRes.Time, fullRes.Time)
+	}
+	for i := range fullMem {
+		if fullMem[i] != memoMem[i] {
+			t.Fatalf("global[%d] diverges: prover %d, plain %d", i, memoMem[i], fullMem[i])
+		}
 	}
 }

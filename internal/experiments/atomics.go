@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"atgpu/internal/algorithms"
+	"atgpu/internal/analyze"
+	"atgpu/internal/mem"
+	"atgpu/internal/simgpu"
+)
+
+// Fixed shape parameters of the atomic-workload sweeps. They are part of
+// each sweep's identity (the cache key hashes the kernel they produce), so
+// changing them is a results-format change.
+const (
+	// HistogramSweepBins is the bucket count of the histogram sweeps.
+	HistogramSweepBins = 32
+	// TopKSweepK is the slot count of the top-k sweep.
+	TopKSweepK = 8
+	// MonteCarloTrials is the per-thread draw count of the Monte Carlo
+	// sweep.
+	MonteCarloTrials = 64
+)
+
+// HistogramSizes returns the effective histogram sweep sizes.
+func (r *Runner) HistogramSizes() []int { return r.cfg.mustSweepSizes("histogram") }
+
+// CompactSizes returns the effective compaction sweep sizes.
+func (r *Runner) CompactSizes() []int { return r.cfg.mustSweepSizes("compact") }
+
+// TopKSizes returns the effective top-k sweep sizes.
+func (r *Runner) TopKSizes() []int { return r.cfg.mustSweepSizes("topk") }
+
+// MonteCarloSizes returns the effective Monte Carlo sweep sizes.
+func (r *Runner) MonteCarloSizes() []int { return r.cfg.mustSweepSizes("montecarlo") }
+
+// randNonNeg draws n words uniformly from [0, 2000], the histogram input
+// domain (bins index by value mod Bins, so values must be non-negative).
+func randNonNeg(rng *rand.Rand, n int) []mem.Word {
+	w := make([]mem.Word, n)
+	for i := range w {
+		w[i] = mem.Word(rng.Intn(2001))
+	}
+	return w
+}
+
+// RunHistogram sweeps the contended histogram (privatized=false selects the
+// shared-counter kernel whose atomic serialisation the contention model
+// prices; see RunHistogramContention for the predicted-versus-observed
+// factor study).
+func (r *Runner) RunHistogram(privatized bool) (*WorkloadData, error) {
+	name := "histogram"
+	if privatized {
+		name = "histogram-priv"
+	}
+	return r.runSweep(name, r.HistogramSizes(), func(idx, n int) (WorkloadPoint, error) {
+		alg := algorithms.Histogram{N: n, Bins: HistogramSweepBins, Privatized: privatized}
+
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("%s n=%d: analyze: %w", name, n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("%s n=%d: predict: %w", name, n, err)
+		}
+		pt.N = n
+
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(), name, n, idx)
+			if err != nil {
+				return nil, err
+			}
+			in := randNonNeg(r.inputRNG(name, n, idx), n)
+			got, err := alg.Run(h, in)
+			if err != nil {
+				return h, fmt.Errorf("%s n=%d: run: %w", name, n, err)
+			}
+			want, err := algorithms.HistogramReference(in, HistogramSweepBins)
+			if err != nil {
+				return h, err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return h, fmt.Errorf("%s n=%d: %w: bin %d got %d want %d",
+						name, n, algorithms.ErrVerifyFail, i, got[i], want[i])
+				}
+			}
+			return h, nil
+		})
+		return pt, err
+	})
+}
+
+// RunCompact sweeps stream compaction. The survivor order is
+// schedule-dependent, so verification compares sorted multisets.
+func (r *Runner) RunCompact() (*WorkloadData, error) {
+	return r.runSweep("compact", r.CompactSizes(), func(idx, n int) (WorkloadPoint, error) {
+		alg := algorithms.Compact{N: n}
+
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("compact n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("compact n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(), "compact", n, idx)
+			if err != nil {
+				return nil, err
+			}
+			// Roughly half the elements survive: draw from [-1000,1000] and
+			// zero every third, as the smoke tests do.
+			in := randWords(r.inputRNG("compact", n, idx), n)
+			for i := 0; i < n; i += 3 {
+				in[i] = 0
+			}
+			got, err := alg.Run(h, in)
+			if err != nil {
+				return h, fmt.Errorf("compact n=%d: run: %w", n, err)
+			}
+			want := algorithms.CompactReference(in)
+			if !equalMultiset(got, want) {
+				return h, fmt.Errorf("compact n=%d: %w: %d survivors, want %d",
+					n, algorithms.ErrVerifyFail, len(got), len(want))
+			}
+			return h, nil
+		})
+		return pt, err
+	})
+}
+
+// RunTopK sweeps the atomic-max top-k cascade.
+func (r *Runner) RunTopK() (*WorkloadData, error) {
+	return r.runSweep("topk", r.TopKSizes(), func(idx, n int) (WorkloadPoint, error) {
+		alg := algorithms.TopK{N: n, K: TopKSweepK}
+
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("topk n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("topk n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(), "topk", n, idx)
+			if err != nil {
+				return nil, err
+			}
+			in := randWords(r.inputRNG("topk", n, idx), n)
+			got, err := alg.Run(h, in)
+			if err != nil {
+				return h, fmt.Errorf("topk n=%d: run: %w", n, err)
+			}
+			want, err := algorithms.TopKReference(in, TopKSweepK)
+			if err != nil {
+				return h, err
+			}
+			if !equalMultiset(got, want) {
+				return h, fmt.Errorf("topk n=%d: %w: slots %v want %v",
+					n, algorithms.ErrVerifyFail, got, want)
+			}
+			return h, nil
+		})
+		return pt, err
+	})
+}
+
+// RunMonteCarlo sweeps the warp-replicated Monte Carlo estimator over
+// thread counts; each thread runs MonteCarloTrials draws.
+func (r *Runner) RunMonteCarlo() (*WorkloadData, error) {
+	return r.runSweep("montecarlo", r.MonteCarloSizes(), func(idx, n int) (WorkloadPoint, error) {
+		alg := algorithms.MonteCarlo{N: n, Trials: MonteCarloTrials}
+
+		analysis, err := alg.Analyze(r.modelParams(alg.Blocks(r.cfg.Device.WarpWidth)))
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("montecarlo n=%d: analyze: %w", n, err)
+		}
+		pt, err := r.predict(analysis)
+		if err != nil {
+			return WorkloadPoint{}, fmt.Errorf("montecarlo n=%d: predict: %w", n, err)
+		}
+		pt.N = n
+
+		err = r.observePoint(&pt, func() (*simgpu.Host, error) {
+			h, err := r.newHost(alg.GlobalWords(), "montecarlo", n, idx)
+			if err != nil {
+				return nil, err
+			}
+			got, err := alg.Run(h)
+			if err != nil {
+				return h, fmt.Errorf("montecarlo n=%d: run: %w", n, err)
+			}
+			want, err := alg.MonteCarloReference()
+			if err != nil {
+				return h, err
+			}
+			if got != want {
+				return h, fmt.Errorf("montecarlo n=%d: %w: hits %d want %d",
+					n, algorithms.ErrVerifyFail, got, want)
+			}
+			return h, nil
+		})
+		return pt, err
+	})
+}
+
+// equalMultiset compares two word slices as multisets.
+func equalMultiset(a, b []mem.Word) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[mem.Word]int, len(a))
+	for _, v := range a {
+		counts[v]++
+	}
+	for _, v := range b {
+		if counts[v] == 0 {
+			return false
+		}
+		counts[v]--
+	}
+	return true
+}
+
+// ContentionPoint is one skew level's predicted-versus-observed contention
+// outcome for the histogram study.
+type ContentionPoint struct {
+	// Skew is the fraction of inputs forced into bin 0; the rest are
+	// uniform over the bins. 1 is the analyzer's worst case realised.
+	Skew float64 `json:"skew"`
+	// PredictedFactor is the static contention factor 1 + Ser/Acc from
+	// the analyzer's counters — input-agnostic, so constant across skews:
+	// the model's upper bound.
+	PredictedFactor float64 `json:"predicted_factor"`
+	// ObservedFactor is the simulator's 1 + Ser/Acc for the same launch.
+	ObservedFactor float64 `json:"observed_factor"`
+	// PredictedSeconds is the static contended-cost estimate
+	// (CostEstimate.ContendedSeconds) for the launch.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	// ObservedKernelSeconds is the simulated kernel time.
+	ObservedKernelSeconds float64 `json:"observed_kernel_seconds"`
+	// StaticSerialisations and ObservedSerialisations expose the raw
+	// counters behind the factors.
+	StaticSerialisations   int64 `json:"static_serialisations"`
+	ObservedSerialisations int64 `json:"observed_serialisations"`
+	// StaticAccesses and ObservedAccesses likewise.
+	StaticAccesses   int64 `json:"static_accesses"`
+	ObservedAccesses int64 `json:"observed_accesses"`
+	// Precise is the analyzer's exactness flag for the launch.
+	Precise bool `json:"precise"`
+}
+
+// ContentionStudy is the histogram contention experiment: the same launch
+// analysed statically once and simulated across input skews, exposing how
+// the observed contention factor approaches the static upper bound as the
+// input concentrates onto one bin.
+type ContentionStudy struct {
+	Workload string            `json:"workload"`
+	N        int               `json:"n"`
+	Bins     int               `json:"bins"`
+	Points   []ContentionPoint `json:"points"`
+}
+
+// RunHistogramContention runs the contended-histogram contention study: one
+// static analysis of the exact launched kernel, then one simulation per
+// skew level. At skew 1 every lane of a full warp hits one bin, the
+// analyzer's pessimistic degree is realised, and predicted and observed
+// factors must agree (the differential tests hold them within 10%).
+func (r *Runner) RunHistogramContention(n int, skews []float64) (*ContentionStudy, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: contention study: non-positive n %d", n)
+	}
+	if len(skews) == 0 {
+		skews = []float64{0, 0.5, 0.9, 1}
+	}
+	alg := algorithms.Histogram{N: n, Bins: HistogramSweepBins}
+	study := &ContentionStudy{Workload: alg.Name(), N: n, Bins: HistogramSweepBins}
+
+	for idx, skew := range skews {
+		if skew < 0 || skew > 1 {
+			return nil, fmt.Errorf("experiments: contention study: skew %v outside [0,1]", skew)
+		}
+		h, err := r.newHost(alg.GlobalWords(), "histogram-contention", n, idx)
+		if err != nil {
+			return nil, err
+		}
+		// Allocate exactly as Histogram.Run does, but build and analyse the
+		// kernel here so the static report describes the exact program the
+		// device executes, base addresses included.
+		baseIn, err := h.Malloc(n)
+		if err != nil {
+			return nil, err
+		}
+		baseOut, err := h.Malloc(HistogramSweepBins)
+		if err != nil {
+			return nil, err
+		}
+		width := h.Device().Config().WarpWidth
+		prog, err := alg.Kernel(width, baseIn, baseOut)
+		if err != nil {
+			return nil, err
+		}
+
+		cp := r.params
+		rep, err := analyze.Program(prog, analyze.Options{
+			Machine: analyze.FromConfig(h.Device().Config()),
+			Blocks:  alg.Blocks(width),
+			Cost:    &cp,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: contention study: analyze: %w", err)
+		}
+
+		rng := r.inputRNG("histogram-contention", n, idx)
+		in := make([]mem.Word, n)
+		for i := range in {
+			if rng.Float64() < skew {
+				in[i] = 0 // bin 0
+			} else {
+				in[i] = mem.Word(rng.Intn(HistogramSweepBins))
+			}
+		}
+		if err := h.TransferIn(baseIn, in); err != nil {
+			return nil, err
+		}
+		if err := h.TransferIn(baseOut, make([]mem.Word, HistogramSweepBins)); err != nil {
+			return nil, err
+		}
+		if _, err := h.Launch(prog, alg.Blocks(width)); err != nil {
+			return nil, fmt.Errorf("experiments: contention study skew=%v: %w", skew, err)
+		}
+		got, err := h.TransferOut(baseOut, HistogramSweepBins)
+		if err != nil {
+			return nil, err
+		}
+		h.EndRound()
+		want, err := algorithms.HistogramReference(in, HistogramSweepBins)
+		if err != nil {
+			return nil, err
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return nil, fmt.Errorf("experiments: contention study skew=%v: %w: bin %d got %d want %d",
+					skew, algorithms.ErrVerifyFail, i, got[i], want[i])
+			}
+		}
+
+		st := h.KernelStats()
+		pt := ContentionPoint{
+			Skew:                   skew,
+			StaticSerialisations:   rep.Stats.AtomicSerialisations,
+			ObservedSerialisations: st.AtomicSerialisations,
+			StaticAccesses:         rep.Stats.AtomicAccesses,
+			ObservedAccesses:       st.AtomicAccesses,
+			ObservedKernelSeconds:  h.KernelTime().Seconds(),
+			Precise:                rep.Precise,
+		}
+		if rep.Cost != nil {
+			pt.PredictedFactor = rep.Cost.ContentionFactor
+			pt.PredictedSeconds = rep.Cost.ContendedSeconds
+		}
+		if st.AtomicAccesses > 0 {
+			pt.ObservedFactor = 1 + float64(st.AtomicSerialisations)/float64(st.AtomicAccesses)
+		}
+		study.Points = append(study.Points, pt)
+	}
+	return study, nil
+}

@@ -44,6 +44,62 @@ func BenchmarkPipelineOverlap(b *testing.B) {
 	}
 }
 
+// BenchmarkAtomics measures the end-to-end atomic-workload sweeps —
+// contended and privatized histogram, compaction, top-k, Monte Carlo —
+// plus the histogram contention study, each point running the full
+// predict/simulate/verify pipeline. The sizes are the short test ladder so
+// a CI run with -benchtime 2x stays in seconds; CI uploads the numbers as
+// BENCH_atomics.json and gates them against the committed trajectory.
+func BenchmarkAtomics(b *testing.B) {
+	cfg := atomicsTestConfig()
+	cfg.Workers = 1
+	r, err := NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checked := func(fn func() (*WorkloadData, error)) func() error {
+		return func() error {
+			data, err := fn()
+			if err != nil {
+				return err
+			}
+			if n := data.FailedPoints(); n != 0 {
+				return fmt.Errorf("%s: %d failed points", data.Workload, n)
+			}
+			return nil
+		}
+	}
+	subs := []struct {
+		name string
+		fn   func() error
+	}{
+		{"histogram", checked(func() (*WorkloadData, error) { return r.RunHistogram(false) })},
+		{"histogram-priv", checked(func() (*WorkloadData, error) { return r.RunHistogram(true) })},
+		{"compact", checked(r.RunCompact)},
+		{"topk", checked(r.RunTopK)},
+		{"montecarlo", checked(r.RunMonteCarlo)},
+		{"contention-study", func() error {
+			study, err := r.RunHistogramContention(1<<12, nil)
+			if err != nil {
+				return err
+			}
+			if len(study.Points) == 0 {
+				return fmt.Errorf("contention study produced no points")
+			}
+			return nil
+		}},
+	}
+	for _, sub := range subs {
+		b.Run(sub.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sub.fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSweepWorkers(b *testing.B) {
 	counts := []int{1, 2, 4}
 	if p := runtime.GOMAXPROCS(0); p > 4 {

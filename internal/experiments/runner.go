@@ -73,6 +73,12 @@ type Config struct {
 	SizesVecAdd []int
 	SizesReduce []int
 	SizesMatMul []int
+	// SizesHistogram, SizesCompact, SizesTopK and SizesMonteCarlo override
+	// the atomic-workload sweep sizes the same way.
+	SizesHistogram  []int
+	SizesCompact    []int
+	SizesTopK       []int
+	SizesMonteCarlo []int
 
 	// Workers is the number of goroutines a sweep dispatches its points
 	// to. 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs the points
@@ -154,6 +160,10 @@ func (c Config) Validate() error {
 		{"SizesVecAdd", c.SizesVecAdd},
 		{"SizesReduce", c.SizesReduce},
 		{"SizesMatMul", c.SizesMatMul},
+		{"SizesHistogram", c.SizesHistogram},
+		{"SizesCompact", c.SizesCompact},
+		{"SizesTopK", c.SizesTopK},
+		{"SizesMonteCarlo", c.SizesMonteCarlo},
 	} {
 		for _, n := range s.sizes {
 			if n <= 0 {
@@ -713,8 +723,47 @@ func (c Config) SweepSizes(workload string) ([]int, error) {
 			sizes = append(sizes, n)
 		}
 		return sizes, nil
+	case "histogram", "histogram-priv":
+		if c.SizesHistogram != nil {
+			return c.SizesHistogram, nil
+		}
+		return atomicSweepSizes(c.Full), nil
+	case "compact":
+		if c.SizesCompact != nil {
+			return c.SizesCompact, nil
+		}
+		return atomicSweepSizes(c.Full), nil
+	case "topk":
+		if c.SizesTopK != nil {
+			return c.SizesTopK, nil
+		}
+		return atomicSweepSizes(c.Full), nil
+	case "montecarlo":
+		if c.SizesMonteCarlo != nil {
+			return c.SizesMonteCarlo, nil
+		}
+		// Thread counts; each thread runs MonteCarloTrials draws, so the
+		// sweep is an order smaller than the memory-bound workloads.
+		if c.Full {
+			return []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}, nil
+		}
+		return []int{1 << 8, 1 << 10, 1 << 12}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown workload %q", workload)
+}
+
+// atomicSweepSizes is the shared default ladder of the atomic workloads:
+// doublings from 2^10, three octaves further in Full mode.
+func atomicSweepSizes(full bool) []int {
+	hi := 16
+	if full {
+		hi = 22
+	}
+	var sizes []int
+	for e := 10; e <= hi; e += 2 {
+		sizes = append(sizes, 1<<e)
+	}
+	return sizes
 }
 
 // mustSweepSizes resolves sizes for a workload known to be valid.
@@ -852,6 +901,21 @@ func (r *Runner) analysisFor(workload string, n int) (*core.Analysis, error) {
 		return algorithms.Reduce{N: n}.Analyze(r.modelParams((n + b - 1) / b))
 	case "matmul":
 		alg := algorithms.MatMul{N: n}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	case "histogram":
+		alg := algorithms.Histogram{N: n, Bins: HistogramSweepBins}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	case "histogram-priv":
+		alg := algorithms.Histogram{N: n, Bins: HistogramSweepBins, Privatized: true}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	case "compact":
+		alg := algorithms.Compact{N: n}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	case "topk":
+		alg := algorithms.TopK{N: n, K: TopKSweepK}
+		return alg.Analyze(r.modelParams(alg.Blocks(b)))
+	case "montecarlo":
+		alg := algorithms.MonteCarlo{N: n, Trials: MonteCarloTrials}
 		return alg.Analyze(r.modelParams(alg.Blocks(b)))
 	}
 	return nil, fmt.Errorf("experiments: unknown workload %q", workload)

@@ -1,0 +1,113 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAtomicInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAtomAdd, Rd: 1, Ra: 2, Rb: 3, Imm: AtomShared}, "atom.add r1, [shared:r2], r3"},
+		{Instr{Op: OpAtomMax, Rd: 4, Ra: 5, Rb: 6, Imm: AtomGlobal}, "atom.max r4, [global:r5], r6"},
+		{Instr{Op: OpAtomExch, Rd: 0, Ra: 1, Rb: 2, Imm: AtomShared}, "atom.exch r0, [shared:r1], r2"},
+		{Instr{Op: OpAtomCAS, Rd: 7, Ra: 8, Rb: 9, Imm: AtomGlobal}, "atom.cas r7, [global:r8], r9"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Instr.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIsAtomic(t *testing.T) {
+	for _, op := range []Op{OpAtomAdd, OpAtomMax, OpAtomExch, OpAtomCAS} {
+		if !op.IsAtomic() {
+			t.Errorf("%v should be atomic", op)
+		}
+		// Atomics touch memory but are classified separately: IsMemory is
+		// the plain load/store predicate the coalescing analyses key on.
+		if op.IsMemory() {
+			t.Errorf("%v should not be plain memory", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpMax, OpLdGlobal, OpStShared, OpBarrier, OpHalt} {
+		if op.IsAtomic() {
+			t.Errorf("%v should not be atomic", op)
+		}
+	}
+}
+
+func TestValidateAtomicSpace(t *testing.T) {
+	prog := func(space Word) *Program {
+		return &Program{
+			Name:    "atomspace",
+			NumRegs: 4,
+			Instrs: []Instr{
+				{Op: OpAtomAdd, Rd: 0, Ra: 1, Rb: 2, Imm: space},
+				{Op: OpHalt},
+			},
+		}
+	}
+	for _, space := range []Word{AtomShared, AtomGlobal} {
+		if err := prog(space).Validate(); err != nil {
+			t.Errorf("space %d: unexpected validate error: %v", space, err)
+		}
+	}
+	for _, space := range []Word{-1, 2, 99} {
+		if err := prog(space).Validate(); !errors.Is(err, ErrBadAtomSpace) {
+			t.Errorf("space %d: got %v, want ErrBadAtomSpace", space, err)
+		}
+	}
+	// Register bounds apply to all three operand registers.
+	bad := prog(AtomShared)
+	bad.Instrs[0].Rb = 200
+	if err := bad.Validate(); !errors.Is(err, ErrBadRegister) {
+		t.Errorf("out-of-file Rb: got %v, want ErrBadRegister", err)
+	}
+}
+
+func TestBuilderAtomics(t *testing.T) {
+	kb := NewBuilder("atoms", 8)
+	rd := kb.Reg("old")
+	addr := kb.Reg("addr")
+	v := kb.Reg("v")
+	kb.Const(addr, 0)
+	kb.Const(v, 1)
+	kb.AtomAdd(AtomShared, rd, addr, v)
+	kb.AtomMax(AtomGlobal, rd, addr, v)
+	kb.AtomExch(AtomShared, rd, addr, v)
+	kb.AtomCAS(AtomGlobal, rd, addr, v)
+	p := kb.MustBuild()
+
+	want := []struct {
+		op    Op
+		space Word
+	}{
+		{OpAtomAdd, AtomShared},
+		{OpAtomMax, AtomGlobal},
+		{OpAtomExch, AtomShared},
+		{OpAtomCAS, AtomGlobal},
+	}
+	var got []Instr
+	for _, in := range p.Instrs {
+		if in.Op.IsAtomic() {
+			got = append(got, in)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d atomics, want %d:\n%s", len(got), len(want), p.Disassemble())
+	}
+	for i, w := range want {
+		in := got[i]
+		if in.Op != w.op || in.Imm != w.space {
+			t.Errorf("atomic %d = %v imm=%d, want %v imm=%d", i, in.Op, in.Imm, w.op, w.space)
+		}
+		if in.Rd != rd || in.Ra != addr || in.Rb != v {
+			t.Errorf("atomic %d operands (r%d, r%d, r%d), want (r%d, r%d, r%d)",
+				i, in.Rd, in.Ra, in.Rb, rd, addr, v)
+		}
+	}
+}

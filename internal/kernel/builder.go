@@ -218,6 +218,30 @@ func (b *Builder) LdShared(rd, addr Reg) { b.emit(Instr{Op: OpLdShared, Rd: rd, 
 // StShared emits shared[addr] <- rs.
 func (b *Builder) StShared(addr, rs Reg) { b.emit(Instr{Op: OpStShared, Ra: addr, Rb: rs}) }
 
+// AtomAdd emits the atomic rd <- mem[addr]; mem[addr] <- rd + val in the
+// given address space (AtomShared or AtomGlobal). Conflicting lanes
+// serialise in ascending lane order.
+func (b *Builder) AtomAdd(space Word, rd, addr, val Reg) {
+	b.emit(Instr{Op: OpAtomAdd, Rd: rd, Ra: addr, Rb: val, Imm: space})
+}
+
+// AtomMax emits the atomic rd <- mem[addr]; mem[addr] <- max(rd, val).
+func (b *Builder) AtomMax(space Word, rd, addr, val Reg) {
+	b.emit(Instr{Op: OpAtomMax, Rd: rd, Ra: addr, Rb: val, Imm: space})
+}
+
+// AtomExch emits the atomic rd <- mem[addr]; mem[addr] <- val.
+func (b *Builder) AtomExch(space Word, rd, addr, val Reg) {
+	b.emit(Instr{Op: OpAtomExch, Rd: rd, Ra: addr, Rb: val, Imm: space})
+}
+
+// AtomCAS emits the atomic compare-and-swap: if mem[addr] == rd (its value
+// before the instruction) then mem[addr] <- val; rd always receives the old
+// cell value.
+func (b *Builder) AtomCAS(space Word, rd, addr, val Reg) {
+	b.emit(Instr{Op: OpAtomCAS, Rd: rd, Ra: addr, Rb: val, Imm: space})
+}
+
 // Barrier emits a block-wide barrier.
 func (b *Builder) Barrier() { b.emit(Instr{Op: OpBarrier}) }
 

@@ -107,7 +107,28 @@ const (
 	// OpHalt retires the warp.
 	OpHalt
 
+	// Atomics. Each performs a read-modify-write on one memory cell per
+	// lane: Ra holds the address, Rb the operand, and Rd receives the old
+	// cell value. Imm selects the address space (AtomShared or AtomGlobal).
+	// Conflicting lanes are serialised by the device — per bank for shared
+	// atomics, per address for global atomics — in ascending lane order, so
+	// results are deterministic.
+	OpAtomAdd  // Rd <- mem[Ra]; mem[Ra] <- Rd + Rb
+	OpAtomMax  // Rd <- mem[Ra]; mem[Ra] <- max(Rd, Rb)
+	OpAtomExch // Rd <- mem[Ra]; mem[Ra] <- Rb
+	// OpAtomCAS compares against Rd's incoming value: if mem[Ra] == Rd then
+	// mem[Ra] <- Rb; Rd always receives the old cell value.
+	OpAtomCAS
+
 	opCount // sentinel; keep last
+)
+
+// Address-space selectors carried in an atomic instruction's Imm field.
+const (
+	// AtomShared targets the block's shared memory.
+	AtomShared Word = 0
+	// AtomGlobal targets device global memory.
+	AtomGlobal Word = 1
 )
 
 var opNames = [...]string{
@@ -155,6 +176,10 @@ var opNames = [...]string{
 	OpIfBegin:   "if.begin",
 	OpIfEnd:     "if.end",
 	OpHalt:      "halt",
+	OpAtomAdd:   "atom.add",
+	OpAtomMax:   "atom.max",
+	OpAtomExch:  "atom.exch",
+	OpAtomCAS:   "atom.cas",
 }
 
 // String returns the mnemonic for the opcode.
@@ -180,6 +205,17 @@ func (o Op) IsMemory() bool {
 // IsGlobalMemory reports whether the opcode accesses global memory; such
 // instructions are the ones counted by the model's I/O metric qᵢ.
 func (o Op) IsGlobalMemory() bool { return o == OpLdGlobal || o == OpStGlobal }
+
+// IsAtomic reports whether the opcode is a read-modify-write atomic; the
+// targeted address space is the instruction's Imm field (AtomShared or
+// AtomGlobal).
+func (o Op) IsAtomic() bool {
+	switch o {
+	case OpAtomAdd, OpAtomMax, OpAtomExch, OpAtomCAS:
+		return true
+	}
+	return false
+}
 
 // IsControl reports whether the opcode alters the program counter or the
 // active mask.
@@ -237,6 +273,12 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s r%d, @%d", in.Op, in.Ra, in.Target)
 	case OpIfEnd:
 		return in.Op.String()
+	case OpAtomAdd, OpAtomMax, OpAtomExch, OpAtomCAS:
+		space := "shared"
+		if in.Imm == AtomGlobal {
+			space = "global"
+		}
+		return fmt.Sprintf("%s r%d, [%s:r%d], r%d", in.Op, in.Rd, space, in.Ra, in.Rb)
 	default:
 		return fmt.Sprintf("%s rd=%d ra=%d rb=%d imm=%d tgt=%d",
 			in.Op, in.Rd, in.Ra, in.Rb, in.Imm, in.Target)

@@ -67,6 +67,7 @@ var (
 	ErrTooManyRegs    = errors.New("kernel: register file exceeds 256 registers")
 	ErrNegativeShared = errors.New("kernel: negative shared memory size")
 	ErrBadLineTable   = errors.New("kernel: line table length does not match instruction count")
+	ErrBadAtomSpace   = errors.New("kernel: atomic address space must be AtomShared or AtomGlobal")
 )
 
 // Validate checks the static well-formedness of the program: every opcode
@@ -108,6 +109,10 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("%w: at %d: @%d", ErrBadTarget, i, in.Target)
 			}
 			ifStack = append(ifStack, i)
+		case OpAtomAdd, OpAtomMax, OpAtomExch, OpAtomCAS:
+			if in.Imm != AtomShared && in.Imm != AtomGlobal {
+				return fmt.Errorf("%w: at %d: imm=%d", ErrBadAtomSpace, i, in.Imm)
+			}
 		case OpIfEnd:
 			if len(ifStack) == 0 {
 				return fmt.Errorf("%w: stray if.end at %d", ErrUnbalancedIf, i)
@@ -156,6 +161,8 @@ func (p *Program) checkRegs(i int, in Instr) error {
 		return check(in.Ra, in.Rb)
 	case OpBrNZ, OpIfBegin:
 		return check(in.Ra)
+	case OpAtomAdd, OpAtomMax, OpAtomExch, OpAtomCAS:
+		return check(in.Rd, in.Ra, in.Rb)
 	default: // three-register arithmetic
 		return check(in.Rd, in.Ra, in.Rb)
 	}

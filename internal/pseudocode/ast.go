@@ -31,6 +31,8 @@ func StmtLine(s Stmt) int {
 		return s.Line
 	case *BarrierStmt:
 		return s.Line
+	case *AtomicCall:
+		return s.Line
 	}
 	return 0
 }
@@ -98,6 +100,17 @@ type ForStmt struct {
 // BarrierStmt is `barrier`.
 type BarrierStmt struct{ Line int }
 
+// AtomicCall is atomadd(_s[i], v), atommax, atomexch, or
+// atomcas(_s[i], cmp, v): a read-modify-write of one shared or global
+// element. It is both a statement (the old value is discarded) and an
+// expression (it yields the element's value from before the update).
+type AtomicCall struct {
+	Fn     string
+	Target Expr // *SharedIndexExpr or *GlobalIndexExpr
+	Args   []Expr
+	Line   int
+}
+
 func (*AssignStmt) stmtNode()      {}
 func (*VarStmt) stmtNode()         {}
 func (*SharedStoreStmt) stmtNode() {}
@@ -105,6 +118,7 @@ func (*GlobalStoreStmt) stmtNode() {}
 func (*IfStmt) stmtNode()          {}
 func (*ForStmt) stmtNode()         {}
 func (*BarrierStmt) stmtNode()     {}
+func (*AtomicCall) stmtNode()      {}
 
 // ExprLine returns an expression's source line.
 func ExprLine(e Expr) int {
@@ -120,6 +134,8 @@ func ExprLine(e Expr) int {
 	case *BinExpr:
 		return e.Line
 	case *CallExpr:
+		return e.Line
+	case *AtomicCall:
 		return e.Line
 	}
 	return 0
@@ -173,3 +189,4 @@ func (*SharedIndexExpr) exprNode() {}
 func (*GlobalIndexExpr) exprNode() {}
 func (*BinExpr) exprNode()         {}
 func (*CallExpr) exprNode()        {}
+func (*AtomicCall) exprNode()      {}

@@ -1,0 +1,223 @@
+package pseudocode
+
+import (
+	"errors"
+	"testing"
+
+	"atgpu/internal/kernel"
+	"atgpu/internal/mem"
+)
+
+// TestAtomicParse pins the surface syntax: statement form discards the old
+// value, expression form binds it, and atomcas carries its extra compare
+// argument.
+func TestAtomicParse(t *testing.T) {
+	src := `
+kernel atoms(n)
+  shared _s[b]
+  atomadd(_s[core], 1)
+  atommax(global[n], core)
+  x = atomexch(_s[0], core)
+  y = atomcas(_s[0], x, core + 1)
+`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Body) != 4 {
+		t.Fatalf("body has %d statements, want 4", len(k.Body))
+	}
+	add, ok := k.Body[0].(*AtomicCall)
+	if !ok || add.Fn != "atomadd" || len(add.Args) != 1 {
+		t.Fatalf("statement 0 = %#v, want atomadd AtomicCall with 1 arg", k.Body[0])
+	}
+	if _, ok := add.Target.(*SharedIndexExpr); !ok {
+		t.Fatalf("atomadd target is %T, want *SharedIndexExpr", add.Target)
+	}
+	maxc, ok := k.Body[1].(*AtomicCall)
+	if !ok || maxc.Fn != "atommax" {
+		t.Fatalf("statement 1 = %#v, want atommax AtomicCall", k.Body[1])
+	}
+	if _, ok := maxc.Target.(*GlobalIndexExpr); !ok {
+		t.Fatalf("atommax target is %T, want *GlobalIndexExpr", maxc.Target)
+	}
+	exch, ok := k.Body[2].(*AssignStmt)
+	if !ok {
+		t.Fatalf("statement 2 = %#v, want assignment from atomexch", k.Body[2])
+	}
+	if call, ok := exch.Expr.(*AtomicCall); !ok || call.Fn != "atomexch" || len(call.Args) != 1 {
+		t.Fatalf("atomexch expression = %#v", exch.Expr)
+	}
+	cas, ok := k.Body[3].(*AssignStmt)
+	if !ok {
+		t.Fatalf("statement 3 = %#v, want assignment from atomcas", k.Body[3])
+	}
+	if call, ok := cas.Expr.(*AtomicCall); !ok || call.Fn != "atomcas" || len(call.Args) != 2 {
+		t.Fatalf("atomcas expression = %#v", cas.Expr)
+	}
+}
+
+func TestAtomicParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"plain var target", "kernel k()\natomadd(x, 1)\n"},
+		{"constant target", "kernel k()\natomadd(3, 1)\n"},
+		{"missing operand", "kernel k()\nshared _s[4]\natomadd(_s[0])\n"},
+		{"atomcas missing compare", "kernel k()\natomcas(global[0], 1)\n"},
+		{"unclosed call", "kernel k()\nshared _s[4]\natomadd(_s[0], 1\n"},
+		{"no parens", "kernel k()\natomadd\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: parse accepted %q", c.name, c.src)
+		}
+	}
+}
+
+func TestAtomicCompileErrors(t *testing.T) {
+	// The target's shared array must be declared, exactly as for plain
+	// shared accesses.
+	if _, err := CompileSource("kernel k()\natomadd(_s[0], 1)\n", 4, nil); !errors.Is(err, ErrCompile) {
+		t.Errorf("undeclared shared atomic target: err = %v, want ErrCompile", err)
+	}
+}
+
+// TestAtomicOpcodeLowering: each builtin lowers to its own opcode, shared
+// and global targets both reachable.
+func TestAtomicOpcodeLowering(t *testing.T) {
+	prog, err := CompileSource(`
+kernel lower()
+  shared _s[b]
+  atomadd(_s[core], 1)
+  atommax(_s[core], 2)
+  x = atomexch(global[core], 3)
+  y = atomcas(global[core], x, 4)
+  global[core] = x + y
+`, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := prog.CountStatic()
+	for _, op := range []kernel.Op{kernel.OpAtomAdd, kernel.OpAtomMax, kernel.OpAtomExch, kernel.OpAtomCAS} {
+		if counts[op] != 1 {
+			t.Errorf("%v lowered %d times, want 1: %v", op, counts[op], counts)
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("compiled atomic program invalid: %v\n%s", err, prog.Disassemble())
+	}
+}
+
+// TestAtomAddDSL: every lane of every block bumps one contended shared
+// counter, then lane 0 drains it into a per-block global slot — the
+// canonical use the syntax exists for.
+func TestAtomAddDSL(t *testing.T) {
+	src := `
+kernel count(outBase)
+  shared _c[1]
+  iszero = core == 0
+  if iszero
+    _c[0] = 0
+  end
+  barrier
+  atomadd(_c[0], core + 1)
+  barrier
+  if iszero
+    global[outBase + mp] <== _c[0]
+  end
+`
+	out := run(t, src, map[string]int64{"outBase": 0}, 3, make([]mem.Word, 8))
+	// Lanes 0..3 contribute 1+2+3+4 = 10 per block.
+	for blk := 0; blk < 3; blk++ {
+		if out[blk] != 10 {
+			t.Fatalf("block %d counter = %d, want 10", blk, out[blk])
+		}
+	}
+}
+
+// TestAtomExchOldValueDSL pins the expression form and the warp's
+// deterministic lane-order serialisation: each lane receives exactly the
+// value the previous lane deposited.
+func TestAtomExchOldValueDSL(t *testing.T) {
+	src := `
+kernel exch(seed, outBase)
+  shared _s[1]
+  iszero = core == 0
+  if iszero
+    _s[0] = seed
+  end
+  barrier
+  x = atomexch(_s[0], core + 10)
+  global[outBase + core] = x
+  barrier
+  if iszero
+    global[outBase + b] <== _s[0]
+  end
+`
+	out := run(t, src, map[string]int64{"seed": 7, "outBase": 0}, 1, make([]mem.Word, 8))
+	want := []mem.Word{7, 10, 11, 12} // lane k sees lane k-1's deposit
+	for lane, w := range want {
+		if out[lane] != w {
+			t.Fatalf("lane %d old value = %d, want %d", lane, out[lane], w)
+		}
+	}
+	if out[4] != 13 {
+		t.Fatalf("final cell = %d, want last lane's deposit 13", out[4])
+	}
+}
+
+// TestAtomCASDSL: only the first lane's compare succeeds; the rest observe
+// the winner's value — the lock-acquisition idiom.
+func TestAtomCASDSL(t *testing.T) {
+	src := `
+kernel cas(outBase)
+  shared _s[1]
+  iszero = core == 0
+  if iszero
+    _s[0] = 0
+  end
+  barrier
+  old = atomcas(_s[0], 0, core + 1)
+  global[outBase + core] = old
+  barrier
+  if iszero
+    global[outBase + b] <== _s[0]
+  end
+`
+	out := run(t, src, map[string]int64{"outBase": 0}, 1, make([]mem.Word, 8))
+	want := []mem.Word{0, 1, 1, 1} // lane 0 wins; later lanes fail and see 1
+	for lane, w := range want {
+		if out[lane] != w {
+			t.Fatalf("lane %d old value = %d, want %d", lane, out[lane], w)
+		}
+	}
+	if out[4] != 1 {
+		t.Fatalf("final cell = %d, want the winner's 1", out[4])
+	}
+}
+
+// TestAtomMaxGlobalDSL: a cross-block global max is deterministic however
+// blocks interleave, because max is commutative.
+func TestAtomMaxGlobalDSL(t *testing.T) {
+	src := `
+kernel gmax(n, slot)
+  idx = mp * b + core
+  if idx < n
+    v = idx * 3 % 17
+    atommax(global[slot], v)
+  end
+`
+	n := 23
+	out := run(t, src, map[string]int64{"n": int64(n), "slot": 0}, 6, make([]mem.Word, 4))
+	var want mem.Word
+	for i := 0; i < n; i++ {
+		if v := mem.Word(i * 3 % 17); v > want {
+			want = v
+		}
+	}
+	if out[0] != want {
+		t.Fatalf("global max = %d, want %d", out[0], want)
+	}
+}

@@ -158,6 +158,11 @@ func (c *compiler) scanBuiltins(stmts []Stmt) {
 			for _, a := range e.Args {
 				walkExpr(a)
 			}
+		case *AtomicCall:
+			walkExpr(e.Target)
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
 		}
 	}
 	var walkStmt func(Stmt)
@@ -186,6 +191,8 @@ func (c *compiler) scanBuiltins(stmts []Stmt) {
 			for _, t := range s.Body {
 				walkStmt(t)
 			}
+		case *AtomicCall:
+			walkExpr(s)
 		}
 	}
 	for _, s := range stmts {
@@ -364,6 +371,10 @@ func (c *compiler) compileStmt(s Stmt) error {
 	case *BarrierStmt:
 		c.b.Barrier()
 		return nil
+
+	case *AtomicCall:
+		// Statement form: the returned old value lands in a scratch.
+		return c.compileAtomicInto(c.temp(), s)
 
 	case *IfStmt:
 		cond, err := c.compileExpr(s.Cond)
@@ -558,8 +569,81 @@ func (c *compiler) compileExprInto(rd kernel.Reg, e Expr) error {
 			c.b.Max(rd, l, kernel.R(r))
 		}
 		return nil
+
+	case *AtomicCall:
+		return c.compileAtomicInto(rd, e)
 	}
 	return c.errorf(ExprLine(e), "unhandled expression %T", e)
+}
+
+// compileAtomicInto lowers an atomic builtin: the target element's address,
+// the operand value, and for atomcas the compare value — which travels in rd
+// because the instruction reads Rd as compare-in and overwrites it with the
+// old value.
+func (c *compiler) compileAtomicInto(rd kernel.Reg, e *AtomicCall) error {
+	var addr kernel.Reg
+	var space kernel.Word
+	switch t := e.Target.(type) {
+	case *SharedIndexExpr:
+		base, ok := c.sharedB[t.Name]
+		if !ok {
+			return c.errorf(t.Line, "shared %q not declared", t.Name)
+		}
+		a, err := c.compileSharedAddr(base, t.Index, t.Line)
+		if err != nil {
+			return err
+		}
+		addr, space = a, kernel.AtomShared
+	case *GlobalIndexExpr:
+		a, err := c.compileExpr(t.Index)
+		if err != nil {
+			return err
+		}
+		addr, space = a, kernel.AtomGlobal
+	default:
+		return c.errorf(e.Line, "%s target must be a shared or global element", e.Fn)
+	}
+
+	nargs := 1
+	if e.Fn == "atomcas" {
+		nargs = 2
+	}
+	if len(e.Args) != nargs {
+		return c.errorf(e.Line, "%s expects %d argument(s) after the target", e.Fn, nargs)
+	}
+	val, err := c.compileExpr(e.Args[nargs-1])
+	if err != nil {
+		return err
+	}
+	if e.Fn == "atomcas" {
+		// Evaluating the compare value into rd happens last so the address
+		// and operand could still read rd's old contents; if either already
+		// lives in rd, park it in a scratch first.
+		if addr == rd {
+			t := c.temp()
+			c.b.Mov(t, addr)
+			addr = t
+		}
+		if val == rd {
+			t := c.temp()
+			c.b.Mov(t, val)
+			val = t
+		}
+		if err := c.compileExprInto(rd, e.Args[0]); err != nil {
+			return err
+		}
+	}
+	switch e.Fn {
+	case "atomadd":
+		c.b.AtomAdd(space, rd, addr, val)
+	case "atommax":
+		c.b.AtomMax(space, rd, addr, val)
+	case "atomexch":
+		c.b.AtomExch(space, rd, addr, val)
+	default:
+		c.b.AtomCAS(space, rd, addr, val)
+	}
+	return nil
 }
 
 func (c *compiler) emitBin(rd, l kernel.Reg, op tokKind, r kernel.Reg, line int) error {

@@ -47,6 +47,13 @@ func FuzzParse(f *testing.F) {
 		"plan p()\n", // wrong entry point
 		"# only a comment\n",
 		"kernel k()\nx = 1 << 3 >> 1 & 7 | 2 ^ 1\n",
+		"kernel k()\nshared _s[b]\natomadd(_s[core], 1)\n",
+		"kernel k(n)\nshared _h[8]\natomadd(_h[core % n], 1)\nbarrier\natomadd(global[core], _h[core])\n",
+		"kernel k()\nshared _s[b]\nx = atomexch(_s[0], core)\nglobal[core] = x\n",
+		"kernel k()\nshared _s[b]\nold = atomcas(_s[0], 0, core + 1)\n",
+		"kernel k()\natommax(global[0], core * core)\n",
+		"kernel k()\natomadd(x, 1)\n",         // bad target
+		"kernel k()\natomcas(global[0], 1)\n", // missing operand
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -55,7 +55,8 @@ func (p *parser) skipNewlines() {
 func isKeyword(s string) bool {
 	switch s {
 	case "kernel", "shared", "var", "if", "for", "to", "downto", "step",
-		"end", "barrier", "global", "min", "max", "mp", "core", "b", "nblocks":
+		"end", "barrier", "global", "min", "max", "mp", "core", "b", "nblocks",
+		"atomadd", "atommax", "atomexch", "atomcas":
 		return true
 	}
 	return false
@@ -235,6 +236,18 @@ func (p *parser) parseStmt() (Stmt, error) {
 	case "for":
 		return p.parseFor()
 
+	case "atomadd", "atommax", "atomexch", "atomcas":
+		// Statement form: the old value is discarded.
+		p.next()
+		call, err := p.parseAtomicCall(t)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokNewline); err != nil {
+			return nil, err
+		}
+		return call, nil
+
 	case "global":
 		// global[idx] = expr  |  global[idx] <== expr
 		p.next()
@@ -377,6 +390,43 @@ func (p *parser) parseFor() (Stmt, error) {
 	return &ForStmt{Var: name.text, Start: start, Limit: limit, Step: step, Body: body, Line: t.line}, nil
 }
 
+// parseAtomicCall parses what follows an atomadd/atommax/atomexch/atomcas
+// name token: '(' target ',' operand ')' — atomcas takes '(' target ','
+// compare ',' operand ')'. The target must be a shared or global element.
+func (p *parser) parseAtomicCall(name token) (*AtomicCall, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	target, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch target.(type) {
+	case *SharedIndexExpr, *GlobalIndexExpr:
+	default:
+		return nil, p.errorf(name, "%s target must be a shared (_name[i]) or global[i] element", name.text)
+	}
+	nargs := 1
+	if name.text == "atomcas" {
+		nargs = 2
+	}
+	args := make([]Expr, 0, nargs)
+	for i := 0; i < nargs; i++ {
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &AtomicCall{Fn: name.text, Target: target, Args: args, Line: name.line}, nil
+}
+
 // Expression parsing: precedence climbing.
 //
 //	1: | ^
@@ -476,6 +526,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			return &CallExpr{Fn: t.text, Args: []Expr{a, bArg}, Line: t.line}, nil
+		case "atomadd", "atommax", "atomexch", "atomcas":
+			return p.parseAtomicCall(t)
 		case "global":
 			if _, err := p.expect(tokLBracket); err != nil {
 				return nil, err

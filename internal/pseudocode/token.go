@@ -24,11 +24,17 @@
 //	if expr ... end                  single-block conditional
 //	for i = expr to expr [step k]    uniform counted loop (i < limit)
 //	barrier                          block-wide barrier
+//	atomadd(_s[expr], expr)          atomic read-modify-write; also
+//	atommax / atomexch / atomcas     atomcas(_s[i], cmp, v); targets may
+//	                                 be _shared[i] or global[i]; usable as
+//	                                 a statement or as an expression that
+//	                                 yields the element's previous value
 //
 // Expressions: integer literals, parameters, variables, _shared[expr],
 // global[expr], the builtins mp (multiprocessor/block index), core (lane
-// index), b (warp width), nblocks, min(a,b), max(a,b), and the operators
-// + - * / % << >> & | ^ < <= > >= == != with conventional precedence.
+// index), b (warp width), nblocks, min(a,b), max(a,b), the atomic builtins
+// above, and the operators + - * / % << >> & | ^ < <= > >= == != with
+// conventional precedence.
 package pseudocode
 
 import "fmt"

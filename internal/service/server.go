@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atgpu/internal/experiments"
@@ -182,9 +183,10 @@ func (s *Server) failNonTerminal(id, msg, stack string) {
 
 // testExecHook, when non-nil, runs on the exec goroutine before a job
 // executes — tests use it to inject panics into the execution path and
-// prove they surface as failed manifest entries, not dead workers. Set
-// before the server starts, reset after it stops.
-var testExecHook func(Request)
+// prove they surface as failed manifest entries, not dead workers. Atomic
+// because workers from an earlier test's still-draining server may read it
+// while the next test installs its hook.
+var testExecHook atomic.Pointer[func(Request)]
 
 // jobOutcome is what the exec goroutine hands back to its worker.
 type jobOutcome struct {
@@ -220,8 +222,8 @@ func (s *Server) runJob(worker int, id string) {
 		var out jobOutcome
 		execStart := time.Now()
 		out.err = sched.Protect(func() error {
-			if testExecHook != nil {
-				testExecHook(job.Request)
+			if hook := testExecHook.Load(); hook != nil {
+				(*hook)(job.Request)
 			}
 			var err error
 			out.art, out.hit, err = s.execute(ctx, job.Request)

@@ -215,12 +215,13 @@ func TestServerCancelRunning(t *testing.T) {
 // the worker survives and keeps serving.
 func TestServerPanicBecomesFailedJob(t *testing.T) {
 	const marker = int64(424242)
-	testExecHook = func(req Request) {
+	hook := func(req Request) {
 		if req.Seed == marker {
 			panic("injected service crash")
 		}
 	}
-	t.Cleanup(func() { testExecHook = nil })
+	testExecHook.Store(&hook)
+	t.Cleanup(func() { testExecHook.Store(nil) })
 	s := newTestServer(t, ServerConfig{Workers: 1})
 
 	job, err := s.Submit("t", Request{Kind: "run", Workload: "vecadd", N: 64,

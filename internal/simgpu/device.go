@@ -492,6 +492,9 @@ func (ls *launchState) recycle(w *warp) {
 	if w.instrs > ls.stats.MaxWarpInstrs {
 		ls.stats.MaxWarpInstrs = w.instrs
 	}
+	if w.atomSer > ls.stats.MaxWarpAtomicSerial {
+		ls.stats.MaxWarpAtomicSerial = w.atomSer
+	}
 	if ls.tracer != nil {
 		ls.tracer.onRetire(w.traceIdx, ls.cycle, w.instrs)
 	}

@@ -36,6 +36,13 @@ func (ls *launchState) execDec(w *warp) error {
 		// advances pc itself on every path
 		return ls.execShared(w, in.Op, int(in.D), int(in.A), int(in.B))
 
+	case kernel.OpAtomAdd, kernel.OpAtomMax, kernel.OpAtomExch, kernel.OpAtomCAS:
+		// both advance pc themselves on every path
+		if in.Imm == kernel.AtomGlobal {
+			return ls.execAtomGlobal(w, in.Op, int(in.D), int(in.A), int(in.B))
+		}
+		return ls.execAtomShared(w, in.Op, int(in.D), int(in.A), int(in.B))
+
 	case kernel.OpBarrier:
 		ls.stats.Barriers++
 

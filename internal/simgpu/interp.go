@@ -148,6 +148,13 @@ func (ls *launchState) exec(w *warp) error {
 		// execShared advances pc itself on every path.
 		return ls.execShared(w, in.Op, base(in.Rd), base(in.Ra), base(in.Rb))
 
+	case kernel.OpAtomAdd, kernel.OpAtomMax, kernel.OpAtomExch, kernel.OpAtomCAS:
+		// Both advance pc themselves on every path.
+		if in.Imm == kernel.AtomGlobal {
+			return ls.execAtomGlobal(w, in.Op, base(in.Rd), base(in.Ra), base(in.Rb))
+		}
+		return ls.execAtomShared(w, in.Op, base(in.Rd), base(in.Ra), base(in.Rb))
+
 	case kernel.OpBarrier:
 		// One warp per block: the barrier is trivially satisfied but
 		// still consumes an issue slot, as on hardware.

@@ -38,6 +38,21 @@ type KernelStats struct {
 	// MaxConflictDegree is the worst serialisation factor seen.
 	MaxConflictDegree int
 
+	// AtomicAccesses counts warp-wide atomic instructions that touched
+	// memory (shared or global); atomics are tracked separately from the
+	// plain load/store counters so the model's qᵢ metric is unchanged.
+	AtomicAccesses int64
+	// AtomicSerialisations is Σ(degree−1) over atomic accesses: the extra
+	// serialised replays conflicting lanes cost beyond a conflict-free
+	// access (per bank for shared atomics, per address for global ones).
+	AtomicSerialisations int64
+	// MaxAtomicDegree is the worst per-access atomic serialisation factor.
+	MaxAtomicDegree int
+	// MaxWarpAtomicSerial is the largest per-warp Σ(degree−1) across all
+	// blocks — the scheduling-independent serialisation term the static
+	// contention model predicts.
+	MaxWarpAtomicSerial int64
+
 	// Barriers counts barrier instructions executed.
 	Barriers int64
 	// DivergentBranches counts if.begin executions where the warp split
@@ -76,6 +91,14 @@ func (s *KernelStats) Merge(other KernelStats) {
 	if other.MaxConflictDegree > s.MaxConflictDegree {
 		s.MaxConflictDegree = other.MaxConflictDegree
 	}
+	s.AtomicAccesses += other.AtomicAccesses
+	s.AtomicSerialisations += other.AtomicSerialisations
+	if other.MaxAtomicDegree > s.MaxAtomicDegree {
+		s.MaxAtomicDegree = other.MaxAtomicDegree
+	}
+	if other.MaxWarpAtomicSerial > s.MaxWarpAtomicSerial {
+		s.MaxWarpAtomicSerial = other.MaxWarpAtomicSerial
+	}
 	s.Barriers += other.Barriers
 	s.DivergentBranches += other.DivergentBranches
 	s.StallCycles += other.StallCycles
@@ -100,6 +123,10 @@ func (s KernelStats) String() string {
 		s.GlobalAccesses, s.GlobalTransactions, s.UncoalescedAccesses)
 	fmt.Fprintf(&sb, "shared: accesses=%d conflicts=%d maxDegree=%d\n",
 		s.SharedAccesses, s.BankConflicts, s.MaxConflictDegree)
+	if s.AtomicAccesses > 0 {
+		fmt.Fprintf(&sb, "atomic: accesses=%d serialisations=%d maxDegree=%d maxWarpSerial=%d\n",
+			s.AtomicAccesses, s.AtomicSerialisations, s.MaxAtomicDegree, s.MaxWarpAtomicSerial)
+	}
 	fmt.Fprintf(&sb, "control: barriers=%d divergent=%d\n", s.Barriers, s.DivergentBranches)
 	fmt.Fprintf(&sb, "sched: stall=%d idle=%d blocks=%d maxResident=%d occLimit=%d maxWarpInstrs=%d",
 		s.StallCycles, s.IdleCycles, s.BlocksExecuted, s.MaxResidentBlocks, s.OccupancyLimit, s.MaxWarpInstrs)

@@ -23,6 +23,7 @@ type warp struct {
 	state   wState
 	readyAt int64 // cycle at which a waiting warp becomes ready
 	instrs  int64 // warp-instructions issued by this block
+	atomSer int64 // Σ(degree−1) over this block's atomic accesses
 
 	// smIdx is the hosting SM; traceIdx links to the Tracer's span for
 	// this residency (-1 when untraced).
@@ -71,6 +72,7 @@ func (w *warp) reset(blockID int) {
 	w.state = wReady
 	w.readyAt = 0
 	w.instrs = 0
+	w.atomSer = 0
 	for i := range w.regs {
 		w.regs[i] = 0
 	}

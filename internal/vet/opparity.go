@@ -1,0 +1,151 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The opparity pass guards the repo's three-way interpreter contract: every
+// opcode declared in internal/kernel must be handled by the legacy switch
+// interpreter, the decoded dispatch, and the static analyzer's transfer
+// functions. The three grew together and must stay in lockstep — an opcode
+// added to the IR but missed in one arena is a latent trap (simulator) or a
+// silently wrong prediction (analyzer) that no compile error catches, since
+// Go switches have no exhaustiveness check.
+//
+// The pass is cross-file, so unlike the single-file passes it accumulates
+// state: feed it every non-test file via AddFile, then read Diagnostics.
+// Opcode collection is syntactic — exported Op* constants declared in
+// internal/kernel — and arena membership is a mention of the constant
+// (through the kernel import, any local name) anywhere in the arena's
+// dispatch file. A mention is accepted anywhere in the file rather than only
+// in case clauses so that grouped cases, table entries and helper calls all
+// count; the point is catching the opcode nobody thought about, not policing
+// how a file organises its dispatch.
+
+// opArenas maps each dispatch arena to the file that must mention every
+// opcode. Keys are "importPath/basename".
+var opArenas = map[string]string{
+	"atgpu/internal/simgpu/interp.go":       "legacy interpreter (internal/simgpu/interp.go)",
+	"atgpu/internal/simgpu/exec_decoded.go": "decoded interpreter (internal/simgpu/exec_decoded.go)",
+	"atgpu/internal/analyze/interp.go":      "analyzer transfer functions (internal/analyze/interp.go)",
+}
+
+// kernelImportPath is where the opcode universe is declared.
+const kernelImportPath = "atgpu/internal/kernel"
+
+// OpParity accumulates opcode declarations and arena mentions across files.
+// Zero value is not ready; use NewOpParity.
+type OpParity struct {
+	// universe maps opcode name to its declaration position.
+	universe map[string]token.Position
+	// mentions maps arena description to the opcode names its file mentions.
+	mentions map[string]map[string]bool
+}
+
+// NewOpParity returns an empty accumulator.
+func NewOpParity() *OpParity {
+	return &OpParity{
+		universe: make(map[string]token.Position),
+		mentions: make(map[string]map[string]bool),
+	}
+}
+
+// isOpName reports whether a constant name is an exported opcode: "Op"
+// followed by an upper-case letter. The opCount sentinel stays out.
+func isOpName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "Op") &&
+		name[2] >= 'A' && name[2] <= 'Z'
+}
+
+// AddFile feeds one parsed file into the accumulator. Kernel-package files
+// contribute opcode declarations; arena files contribute mentions; all other
+// files are ignored.
+func (p *OpParity) AddFile(fset *token.FileSet, f *ast.File, importPath string) {
+	if importPath == kernelImportPath {
+		p.addUniverse(fset, f)
+		return
+	}
+	base := filepath.Base(fset.Position(f.Pos()).Filename)
+	arena, ok := opArenas[importPath+"/"+base]
+	if !ok {
+		return
+	}
+	seen := p.mentions[arena]
+	if seen == nil {
+		seen = make(map[string]bool)
+		p.mentions[arena] = seen
+	}
+	kernelName := importName(f, kernelImportPath)
+	if kernelName == "" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if ok && id.Name == kernelName && isOpName(sel.Sel.Name) {
+			seen[sel.Sel.Name] = true
+		}
+		return true
+	})
+}
+
+// addUniverse collects exported Op* constants declared in a kernel file.
+func (p *OpParity) addUniverse(fset *token.FileSet, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if isOpName(name.Name) {
+					p.universe[name.Name] = fset.Position(name.Pos())
+				}
+			}
+		}
+	}
+}
+
+// Diagnostics reports every opcode missing from an arena whose file was
+// seen. Arenas never fed to AddFile produce no findings, so partial sweeps
+// (a single-directory atgpu-vet run) do not false-positive on files outside
+// the sweep.
+func (p *OpParity) Diagnostics() []Diagnostic {
+	ops := make([]string, 0, len(p.universe))
+	for op := range p.universe {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	arenas := make([]string, 0, len(p.mentions))
+	for arena := range p.mentions {
+		arenas = append(arenas, arena)
+	}
+	sort.Strings(arenas)
+	var ds []Diagnostic
+	for _, op := range ops {
+		for _, arena := range arenas {
+			if p.mentions[arena][op] {
+				continue
+			}
+			ds = append(ds, Diagnostic{
+				Pos:  p.universe[op],
+				Pass: "opparity",
+				Msg: fmt.Sprintf("kernel.%s has no handler in the %s; the IR, both interpreters and the analyzer must cover every opcode",
+					op, arena),
+			})
+		}
+	}
+	return ds
+}

@@ -1,12 +1,15 @@
 // Package vet implements the repo's custom static checks, run by
-// cmd/atgpu-vet next to the standard toolchain linters. Four invariants
+// cmd/atgpu-vet next to the standard toolchain linters. Five invariants
 // are enforced. The first two guard the determinism contract the
 // simulator, sweeps and goldens rely on (sweep output must be
 // byte-identical for any worker count, and simulated time must never
 // observe the wall clock); the third guards the daemon's survival
 // contract (a panic in a worker must become a failed job, never a dead
 // process); the fourth guards the simulator's per-instruction hot path
-// (zero allocation per simulated step):
+// (zero allocation per simulated step); the fifth (opparity, see
+// opparity.go) guards the three-way interpreter contract — every opcode
+// declared in internal/kernel must be handled by the legacy switch, the
+// decoded dispatch, and the analyzer's transfer functions:
 //
 //   - notime: deterministic packages (timeline, simgpu, transfer,
 //     experiments, results) must not read the wall clock (time.Now,
@@ -30,6 +33,13 @@
 //     run once per warp step — billions of times per sweep — so even a
 //     byte of garbage per call dominates the profile; anything they need
 //     must be preallocated at launch setup.
+//
+//   - opparity: every kernel.Op* constant must be mentioned by the legacy
+//     interpreter (simgpu/interp.go), the decoded interpreter
+//     (simgpu/exec_decoded.go) and the analyzer's abstract interpreter
+//     (analyze/interp.go). Go switches are not exhaustive, so a new
+//     opcode missed in one arena compiles cleanly and fails at runtime —
+//     or worse, mispredicts silently.
 //
 // The checks are syntactic: they parse with go/parser only, so they run
 // without build metadata and never depend on non-stdlib analysis
